@@ -1,0 +1,68 @@
+//! ADJ — adjacency-difference ablation (paper §3.4).
+//!
+//! Scores every changed edge by `|A_{t+1}(i,j) − A_t(i,j)|` alone. It
+//! satisfies the decomposability condition (2) and is extremely fast,
+//! but cannot tell a benign weight jitter between tightly-coupled nodes
+//! from a structurally significant change of the same magnitude — the
+//! failure mode CAD's commute-time factor fixes.
+
+use crate::Result;
+use cad_core::{CadDetector, CadOptions, NodeScorer, ScoreKind};
+use cad_graph::GraphSequence;
+
+/// The ADJ baseline. A thin wrapper over the CAD pipeline with the
+/// commute-time factor disabled, so thresholding and node aggregation
+/// behave identically to CAD.
+#[derive(Debug, Clone, Default)]
+pub struct AdjDetector {
+    inner: CadDetector,
+}
+
+impl AdjDetector {
+    /// Create the ADJ detector.
+    pub fn new() -> Self {
+        AdjDetector {
+            inner: CadDetector::new(CadOptions {
+                kind: ScoreKind::Adj,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Access the underlying pipeline (for thresholded detection).
+    pub fn pipeline(&self) -> &CadDetector {
+        &self.inner
+    }
+}
+
+impl NodeScorer for AdjDetector {
+    fn name(&self) -> &'static str {
+        "ADJ"
+    }
+
+    fn node_scores(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
+        self.inner.node_scores(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_graph::WeightedGraph;
+
+    #[test]
+    fn scores_by_weight_change_only() {
+        // Edge {0,1} changes by 2.0, edge {2,3} by 0.5: ADJ node scores
+        // must reflect exactly those magnitudes regardless of structure.
+        let g0 = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let g1 = WeightedGraph::from_edges(4, &[(0, 1, 3.0), (1, 2, 1.0), (2, 3, 1.5)]).unwrap();
+        let seq = GraphSequence::new(vec![g0, g1]).unwrap();
+        let ns = AdjDetector::new().node_scores(&seq).unwrap();
+        assert_eq!(ns[0], vec![2.0, 2.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn name_is_adj() {
+        assert_eq!(AdjDetector::new().name(), "ADJ");
+    }
+}

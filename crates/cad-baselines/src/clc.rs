@@ -1,0 +1,74 @@
+//! CLC — closeness-centrality change (paper §4).
+//!
+//! Scores node `i` at transition `t → t+1` by
+//! `|cc_{t+1}(i) − cc_t(i)|` where `cc` is closeness centrality on the
+//! similarity graph (edge length `1/weight`). A natural "commonplace"
+//! baseline: centrality shifts under structural change, but — like ACT —
+//! it moves for every node *affected* by a change, not just the
+//! responsible ones, and its all-pairs shortest paths make it expensive
+//! on dense graphs (the paper's §4.1.3 observes exactly that).
+
+use crate::Result;
+use cad_core::NodeScorer;
+use cad_graph::algo::closeness_centrality;
+use cad_graph::GraphSequence;
+
+/// The CLC baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClcDetector;
+
+impl ClcDetector {
+    /// Create the CLC detector.
+    pub fn new() -> Self {
+        ClcDetector
+    }
+
+    /// Closeness centralities of every instance.
+    pub fn centralities(&self, seq: &GraphSequence) -> Vec<Vec<f64>> {
+        seq.graphs().iter().map(closeness_centrality).collect()
+    }
+}
+
+impl NodeScorer for ClcDetector {
+    fn name(&self) -> &'static str {
+        "CLC"
+    }
+
+    fn node_scores(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
+        let cc = self.centralities(seq);
+        Ok(cc
+            .windows(2)
+            .map(|w| w[0].iter().zip(&w[1]).map(|(a, b)| (b - a).abs()).collect())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_graph::WeightedGraph;
+
+    #[test]
+    fn unchanged_graph_scores_zero() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let seq = GraphSequence::new(vec![g.clone(), g]).unwrap();
+        let ns = ClcDetector::new().node_scores(&seq).unwrap();
+        assert!(ns[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bridge_change_moves_many_centralities() {
+        // Path 0-1-2-3; the 1-2 edge weakens: every node's closeness
+        // changes, illustrating CLC's affected-vs-responsible confusion.
+        let g0 = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let g1 = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 0.1), (2, 3, 1.0)]).unwrap();
+        let seq = GraphSequence::new(vec![g0, g1]).unwrap();
+        let ns = ClcDetector::new().node_scores(&seq).unwrap();
+        assert!(ns[0].iter().all(|&v| v > 0.0), "{:?}", ns[0]);
+    }
+
+    #[test]
+    fn name_is_clc() {
+        assert_eq!(ClcDetector::new().name(), "CLC");
+    }
+}

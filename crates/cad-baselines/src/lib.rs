@@ -1,0 +1,33 @@
+//! Baseline detectors compared against CAD in the paper.
+//!
+//! * [`act::ActDetector`] — Ide & Kashima's activity-vector method
+//!   (KDD'04): event detection from principal eigenvectors of the
+//!   adjacency matrices, plus the node-attribution extension of Akoglu &
+//!   Faloutsos used by the paper for a localization comparison.
+//! * [`adj::AdjDetector`] / [`com::ComDetector`] — the two single-factor
+//!   ablations of the CAD score (paper §3.4): weight change only and
+//!   commute-time change only.
+//! * [`clc::ClcDetector`] — closeness-centrality change (paper §4).
+//! * [`distances`] — whole-graph distances (edit, spectral) and the
+//!   Pincombe-style distance-series event detector the paper cites as
+//!   the localization-free family (§1, §2.4.2).
+//!
+//! All baselines implement [`cad_core::NodeScorer`], so ROC evaluation
+//! and the experiment binaries treat them interchangeably with CAD.
+
+#![warn(missing_docs)]
+
+pub mod act;
+pub mod adj;
+pub mod clc;
+pub mod com;
+pub mod distances;
+
+pub use act::{ActDetector, ActOptions};
+pub use adj::AdjDetector;
+pub use clc::ClcDetector;
+pub use com::{ComDetector, ComSupport};
+pub use distances::{edit_distance, spectral_distance, DistanceSeriesDetector, SeriesDistance};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, cad_graph::GraphError>;

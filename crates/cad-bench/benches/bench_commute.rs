@@ -1,0 +1,84 @@
+//! Criterion benchmarks behind **Figure 5**: exact vs approximate
+//! commute-time computation, and the approximate engine's cost as a
+//! function of the embedding dimension `k` (the paper's `k_RP`).
+
+use cad_commute::{CommuteEmbedding, EmbeddingOptions, ExactCommute};
+use cad_graph::generators::gmm::{sample_gmm, similarity_graph, GmmParams};
+use cad_graph::WeightedGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn kernel_graph(n: usize) -> WeightedGraph {
+    let (pts, _) = sample_gmm(n, &GmmParams::default(), 7);
+    similarity_graph(&pts, 1e-3).expect("kernel graph")
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let g = kernel_graph(300);
+    let mut grp = c.benchmark_group("commute_exact_vs_approx_n300");
+    grp.sample_size(10);
+    grp.bench_function("exact_pinv", |b| {
+        b.iter(|| ExactCommute::compute(black_box(&g)).expect("exact"))
+    });
+    grp.bench_function("embedding_k50", |b| {
+        b.iter(|| {
+            CommuteEmbedding::compute(
+                black_box(&g),
+                &EmbeddingOptions { k: 50, ..Default::default() },
+            )
+            .expect("embedding")
+        })
+    });
+    grp.finish();
+}
+
+fn bench_embedding_vs_k(c: &mut Criterion) {
+    let g = kernel_graph(400);
+    let mut grp = c.benchmark_group("embedding_vs_k_n400");
+    grp.sample_size(10);
+    for k in [5usize, 10, 25, 50, 100] {
+        grp.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                CommuteEmbedding::compute(&g, &EmbeddingOptions { k, ..Default::default() })
+                    .expect("embedding")
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn bench_embedding_threads(c: &mut Criterion) {
+    let g = kernel_graph(400);
+    let mut grp = c.benchmark_group("embedding_threads_n400_k50");
+    grp.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        grp.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                CommuteEmbedding::compute(
+                    &g,
+                    &EmbeddingOptions { k: 50, threads, ..Default::default() },
+                )
+                .expect("embedding")
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn bench_query_cost(c: &mut Criterion) {
+    let g = kernel_graph(300);
+    let exact = ExactCommute::compute(&g).expect("exact");
+    let emb = CommuteEmbedding::compute(&g, &EmbeddingOptions { k: 50, ..Default::default() })
+        .expect("embedding");
+    let mut grp = c.benchmark_group("commute_query");
+    grp.bench_function("exact_lookup", |b| {
+        b.iter(|| black_box(exact.commute_distance(black_box(10), black_box(200))))
+    });
+    grp.bench_function("embedding_k50_distance", |b| {
+        b.iter(|| black_box(emb.commute_distance(black_box(10), black_box(200))))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_approx, bench_embedding_vs_k, bench_embedding_threads, bench_query_cost);
+criterion_main!(benches);

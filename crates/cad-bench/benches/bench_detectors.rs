@@ -1,0 +1,51 @@
+//! Criterion benchmarks behind **Figure 6**: one full node-scoring pass
+//! of every detector (CAD, ACT, COM, ADJ, CLC) on a fixed realization of
+//! the §4.1 GMM benchmark, plus the score-factorization ablation of
+//! §3.4 (the CAD product vs its two factors).
+
+use cad_baselines::{ActDetector, AdjDetector, ClcDetector, ComDetector, ComSupport};
+use cad_commute::EngineOptions;
+use cad_core::{CadDetector, CadOptions, NodeScorer, ScoreKind};
+use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let bench = GmmBenchmark::generate(&GmmBenchmarkOptions::with_n(300)).expect("benchmark");
+    let seq = &bench.seq;
+
+    let cad = CadDetector::default();
+    let act = ActDetector::with_window(1);
+    let com_all = ComDetector::new();
+    let com_union = ComDetector::with_support(EngineOptions::default(), ComSupport::EdgeUnion);
+    let adj = AdjDetector::new();
+    let clc = ClcDetector::new();
+
+    let mut grp = c.benchmark_group("detectors_gmm_n300");
+    grp.sample_size(10);
+    grp.bench_function("cad", |b| b.iter(|| cad.node_scores(black_box(seq)).expect("cad")));
+    grp.bench_function("act", |b| b.iter(|| act.node_scores(black_box(seq)).expect("act")));
+    grp.bench_function("com_all_pairs", |b| {
+        b.iter(|| com_all.node_scores(black_box(seq)).expect("com"))
+    });
+    grp.bench_function("com_edge_union", |b| {
+        b.iter(|| com_union.node_scores(black_box(seq)).expect("com"))
+    });
+    grp.bench_function("adj", |b| b.iter(|| adj.node_scores(black_box(seq)).expect("adj")));
+    grp.bench_function("clc", |b| b.iter(|| clc.node_scores(black_box(seq)).expect("clc")));
+    grp.finish();
+
+    // Ablation: the three score kinds inside the shared pipeline.
+    let mut grp = c.benchmark_group("score_kind_ablation_n300");
+    grp.sample_size(10);
+    for kind in [ScoreKind::Cad, ScoreKind::Adj, ScoreKind::Com] {
+        let det = CadDetector::new(CadOptions { kind, ..Default::default() });
+        grp.bench_function(kind.name(), move |b| {
+            b.iter(|| det.score_sequence(black_box(seq)).expect("scores"))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

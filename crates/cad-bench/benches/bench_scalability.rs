@@ -1,0 +1,55 @@
+//! Criterion benchmark behind the **§4.1.3 scalability table**: CAD's
+//! per-transition cost on sparse random graphs (`m = n`) across sizes,
+//! with the spanning-tree-preconditioned embedding (k = 10, as in the
+//! paper's scalability runs). The standalone `exp_scalability` binary
+//! prints the full five-method table; this bench tracks the CAD curve
+//! with Criterion statistics for regression detection.
+
+use cad_commute::{EmbeddingOptions, EngineOptions};
+use cad_core::{CadDetector, CadOptions, NodeScorer};
+use cad_graph::generators::random::sparse_random_graph;
+use cad_graph::{GraphSequence, WeightedGraph};
+use cad_linalg::solve::laplacian::PrecondKind;
+use cad_linalg::solve::{CgOptions, LaplacianSolverOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn workload(n: usize) -> GraphSequence {
+    let g0 = sparse_random_graph(n, n, 42).expect("graph");
+    let mut edges: Vec<(usize, usize, f64)> = g0.edges().collect();
+    // Perturb 1% of edges deterministically.
+    for (i, e) in edges.iter_mut().enumerate() {
+        if i % 100 == 0 {
+            e.2 = (e.2 * 1.7).min(1.0);
+        }
+    }
+    let g1 = WeightedGraph::from_edges(n, &edges).expect("edited graph");
+    GraphSequence::new(vec![g0, g1]).expect("sequence")
+}
+
+fn bench_cad_scaling(c: &mut Criterion) {
+    let det = CadDetector::new(CadOptions {
+        engine: EngineOptions::Approximate(EmbeddingOptions {
+            k: 10,
+            solver: LaplacianSolverOptions {
+                precond: PrecondKind::SpanningTree,
+                cg: CgOptions { tol: 1e-4, max_iter: None },
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    let mut grp = c.benchmark_group("cad_scaling_m_eq_n");
+    grp.sample_size(10);
+    for n in [1_000usize, 3_000, 10_000] {
+        let seq = workload(n);
+        grp.throughput(Throughput::Elements(n as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(n), &seq, |b, seq| {
+            b.iter(|| det.node_scores(seq).expect("scores"))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_cad_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks behind **Tables 1–2 / Figure 3**: the full
+//! CAD pipeline on the 17-node toy example with exact commute times, and
+//! the ACT comparison. Small and fast — this is the "paper §3.5" path.
+
+use cad_baselines::ActDetector;
+use cad_commute::EngineOptions;
+use cad_core::{CadDetector, CadOptions, NodeScorer};
+use cad_graph::generators::toy::toy_example;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_toy_pipeline(c: &mut Criterion) {
+    let toy = toy_example();
+    let det =
+        CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() });
+    let act = ActDetector::with_window(1);
+
+    let mut g = c.benchmark_group("toy");
+    g.bench_function("cad_exact_scores", |b| {
+        b.iter(|| det.score_sequence(black_box(&toy.seq)).expect("scores"))
+    });
+    g.bench_function("cad_detect_top_l", |b| {
+        b.iter(|| det.detect_top_l(black_box(&toy.seq), 6).expect("detection"))
+    });
+    g.bench_function("act_node_scores", |b| {
+        b.iter(|| act.node_scores(black_box(&toy.seq)).expect("scores"))
+    });
+    g.bench_function("generate", |b| b.iter(toy_example));
+    g.finish();
+}
+
+criterion_group!(benches, bench_toy_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Minimal `--flag value` command-line parsing for experiment binaries.
+//!
+//! Not a general argument parser: experiment binaries take a handful of
+//! numeric knobs (`--n 2000 --trials 100 --seed 7`) and nothing else, so
+//! a dependency-free two-token scanner is all that's needed.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs plus bare `--switch` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit token stream (used by tests).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        values.insert(key.to_string(), iter.next().expect("peeked"));
+                    }
+                    _ => switches.push(key.to_string()),
+                }
+            }
+        }
+        Args { values, switches }
+    }
+
+    /// Numeric flag with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare `--switch` was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key) || self.values.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_values() {
+        let a = args("--n 2000 --trials 100 --seed 7");
+        assert_eq!(a.get("n", 0usize), 2000);
+        assert_eq!(a.get("trials", 0usize), 100);
+        assert_eq!(a.get("seed", 0u64), 7);
+    }
+
+    #[test]
+    fn defaults_when_missing_or_invalid() {
+        let a = args("--n notanumber");
+        assert_eq!(a.get("n", 42usize), 42);
+        assert_eq!(a.get("absent", 1.5f64), 1.5);
+    }
+
+    #[test]
+    fn switches() {
+        let a = args("--full --n 10");
+        assert!(a.has("full"));
+        assert!(a.has("n"));
+        assert!(!a.has("quick"));
+    }
+
+    #[test]
+    fn switch_followed_by_flag() {
+        let a = args("--verbose --n 5");
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("n", 0usize), 5);
+    }
+}

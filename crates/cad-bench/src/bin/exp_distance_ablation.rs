@@ -1,0 +1,126 @@
+//! Ablation of the paper's §3.1 design choice: commute-time distance vs
+//! shortest-path distance as the `d_t(i, j)` inside the CAD score.
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin exp_distance_ablation -- \
+//!     [--replicas 40] [--jitter 0.3] [--seed 7]
+//! ```
+//!
+//! The paper picks commute time because it is "averaged over all paths
+//! (and not just the shortest path)", making it "more robust to data
+//! perturbations". Two measurements on the 17-node toy example:
+//!
+//! 1. **margin** — the anomalous-to-benign score separation factor
+//!    (`min anomalous ΔE / max benign ΔE`). A shortest-path distance
+//!    passes a benign direct-edge jitter straight through
+//!    (`Δd = Δ(1/w)` whenever the edge is its own shortest route),
+//!    while commute time discounts it by all parallel connectivity, so
+//!    the commute margin should be wider.
+//! 2. **jitter stability** — multiply every edge weight by a random
+//!    `(1 ± jitter)` factor (same factor at both instants, so the
+//!    planted anomalies are untouched) and count how often the three
+//!    planted anomalies remain the top-3 ranked edges.
+
+use cad_bench::{Args, Table};
+use cad_commute::EngineOptions;
+use cad_core::{CadDetector, CadOptions};
+use cad_graph::generators::toy::toy_example;
+use cad_graph::{GraphSequence, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn margin(det: &CadDetector, seq: &GraphSequence, anomalous: &[(usize, usize)], benign: &[(usize, usize)]) -> f64 {
+    let scored = det.score_sequence(seq).expect("scores");
+    let score_of = |u: usize, v: usize| {
+        scored[0]
+            .iter()
+            .find(|e| (e.u, e.v) == (u.min(v), u.max(v)))
+            .map_or(0.0, |e| e.score)
+    };
+    let a_min = anomalous.iter().map(|&(u, v)| score_of(u, v)).fold(f64::INFINITY, f64::min);
+    let b_max = benign.iter().map(|&(u, v)| score_of(u, v)).fold(0.0f64, f64::max);
+    a_min / b_max.max(1e-12)
+}
+
+fn top3_correct(det: &CadDetector, seq: &GraphSequence, anomalous: &[(usize, usize)]) -> bool {
+    let scored = det.score_sequence(seq).expect("scores");
+    let top: Vec<(usize, usize)> = scored[0].iter().take(3).map(|e| (e.u, e.v)).collect();
+    anomalous.iter().all(|e| top.contains(e))
+}
+
+fn jittered(seq: &GraphSequence, rng: &mut StdRng, jitter: f64) -> GraphSequence {
+    // One multiplicative factor per *edge identity*, applied at both
+    // instants: the background wobbles, the planted changes persist.
+    let mut factors = std::collections::HashMap::new();
+    let graphs: Vec<WeightedGraph> = seq
+        .graphs()
+        .iter()
+        .map(|g| {
+            let edges: Vec<(usize, usize, f64)> = g
+                .edges()
+                .map(|(u, v, w)| {
+                    let f = *factors
+                        .entry((u, v))
+                        .or_insert_with(|| 1.0 + jitter * (2.0 * rng.random::<f64>() - 1.0));
+                    (u, v, w * f)
+                })
+                .collect();
+            WeightedGraph::from_edges(g.n_nodes(), &edges).expect("jittered edges valid")
+        })
+        .collect();
+    GraphSequence::new(graphs).expect("same shape")
+}
+
+fn main() {
+    let args = Args::from_env();
+    let replicas = args.get("replicas", 40usize);
+    let jitter = args.get("jitter", 0.3f64);
+    let seed = args.get("seed", 7u64);
+
+    let toy = toy_example();
+    let engines: [(&str, EngineOptions); 2] = [
+        ("commute", EngineOptions::Exact),
+        ("shortest-path", EngineOptions::ShortestPath),
+    ];
+
+    let mut rows = Vec::new();
+    let mut margins = [0.0f64; 2];
+    let mut stability = [0usize; 2];
+    for (ei, (name, engine)) in engines.iter().enumerate() {
+        let det = CadDetector::new(CadOptions { engine: *engine, ..Default::default() });
+        margins[ei] = margin(&det, &toy.seq, &toy.anomalous_edges, &toy.benign_changed_edges);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..replicas {
+            let seq = jittered(&toy.seq, &mut rng, jitter);
+            if top3_correct(&det, &seq, &toy.anomalous_edges) {
+                stability[ei] += 1;
+            }
+        }
+        rows.push((name.to_string(), margins[ei], stability[ei]));
+    }
+
+    println!(
+        "== §3.1 ablation: commute vs shortest-path distance \
+         (toy example, ±{:.0}% jitter, {replicas} replicas) ==",
+        jitter * 100.0
+    );
+    let mut t = Table::new(&["distance", "anomalous/benign margin", "top-3 stable"]);
+    for (name, m, s) in &rows {
+        t.row(&[name.clone(), format!("{m:.1}x"), format!("{s}/{replicas}")]);
+    }
+    t.print();
+
+    assert!(
+        margins[0] > margins[1],
+        "commute margin {:.1} should exceed shortest-path margin {:.1} (§3.1 robustness)",
+        margins[0],
+        margins[1]
+    );
+    assert!(
+        stability[0] >= stability[1],
+        "commute ranking should be at least as jitter-stable: {} vs {}",
+        stability[0],
+        stability[1]
+    );
+    println!("\ndistance-ablation shape checks passed (robustness claim of §3.1 confirmed)");
+}

@@ -1,0 +1,161 @@
+//! Reproduces **Figure 7** and **Figure 8** of the paper on the
+//! Enron-style organizational e-mail simulator (§4.2.1; the real corpus
+//! is gated, so a generative stand-in with planted ground truth is used
+//! — DESIGN.md §5).
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin exp_enron -- \
+//!     [--l 5] [--act-window 3] [--act-top 10] [--seed ...]
+//! ```
+//!
+//! * Figure 7 — per-transition anomalous node counts for CAD (δ chosen
+//!   for `l = 5` nodes/transition on average, as in the paper) and ACT
+//!   (`w = 3`, top-5 nodes on its most anomalous transitions), aligned
+//!   with the scripted scandal timeline.
+//! * Figure 8 — the CEO's monthly e-mail volume histogram and ego-net
+//!   size around the eruption month.
+//!
+//! Reproduction contract: CAD localizes the CEO at the eruption
+//! transition (the paper's Kenneth Lay finding), flags the scripted
+//! event transitions, stays quiet in calm months — and ACT, while it
+//! sees that *something* changed, does not put the CEO in its top-5
+//! (the paper's James Steffes anecdote).
+
+use cad_baselines::ActDetector;
+use cad_bench::{Args, Table};
+use cad_commute::EngineOptions;
+use cad_core::{CadDetector, CadOptions, NodeScorer};
+use cad_datasets::{EnronSim, EnronSimOptions};
+
+fn main() {
+    let args = Args::from_env();
+    let l = args.get("l", 5usize);
+    let act_window = args.get("act-window", 3usize);
+    let act_top = args.get("act-top", 10usize);
+    let mut opts = EnronSimOptions::default();
+    opts.seed = args.get("seed", opts.seed);
+
+    let sim = EnronSim::generate(&opts).expect("enron simulator");
+    let n_trans = sim.seq.n_transitions();
+
+    // CAD with the exact engine (n = 151, same as the paper's choice).
+    let cad = CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() });
+    let detection = cad.detect_top_l(&sim.seq, l).expect("CAD detection");
+
+    // ACT: w = 3; flag the `act_top` transitions with the highest z and
+    // report the top-5 nodes on each (the paper's presentation).
+    let act = ActDetector::with_window(act_window);
+    let z = act.transition_scores(&sim.seq).expect("ACT transition scores");
+    let act_nodes = act.node_scores(&sim.seq).expect("ACT node scores");
+    let mut z_order: Vec<usize> = (0..n_trans).collect();
+    z_order.sort_by(|&a, &b| z[b].partial_cmp(&z[a]).expect("finite"));
+    let act_flagged: std::collections::HashSet<usize> =
+        z_order.iter().take(act_top).copied().collect();
+
+    // ---- Figure 7 ----
+    println!("== Figure 7: anomalous nodes per monthly transition ==");
+    let mut t = Table::new(&["transition", "CAD nodes", "ACT nodes", "scripted event"]);
+    for tr in 0..n_trans {
+        let cad_count = detection.transitions[tr].nodes.len();
+        let act_count = if act_flagged.contains(&tr) { 5 } else { 0 };
+        let event = sim
+            .events
+            .iter()
+            .find(|e| e.month == tr + 1 || e.month + e.duration == tr + 1)
+            .map_or(String::new(), |e| e.name.to_string());
+        if cad_count > 0 || act_count > 0 || !event.is_empty() {
+            t.row(&[
+                format!("{tr}->{}", tr + 1),
+                cad_count.to_string(),
+                act_count.to_string(),
+                event,
+            ]);
+        }
+    }
+    t.print();
+
+    // ---- Figure 8a: CEO volume histogram ----
+    println!("\n== Figure 8a: CEO monthly e-mail volume ==");
+    let vol = sim.monthly_volume(EnronSim::CEO);
+    let max = vol.iter().cloned().fold(0.0f64, f64::max);
+    for (m, v) in vol.iter().enumerate() {
+        let bar = "#".repeat((v / max * 50.0).round() as usize);
+        println!("month {m:>2} {v:>7.0} {bar}");
+    }
+
+    // ---- Figure 8b: CEO ego-net around the eruption ----
+    let before = sim.ego_edges(EnronSim::CEO, 32).len();
+    let during = sim.ego_edges(EnronSim::CEO, 33).len();
+    println!("\n== Figure 8b: CEO ego-network size: month 32 = {before}, month 33 = {during} ==");
+
+    // ---- Reproduction contract ----
+    // 1. CAD localizes the CEO at the eruption transition 32 -> 33.
+    let eruption = &detection.transitions[32];
+    assert!(
+        eruption.nodes.contains(&EnronSim::CEO),
+        "CAD must flag the CEO at 32->33; flagged {:?}",
+        eruption.nodes
+    );
+    // ...and the CEO carries the largest share of anomalous edges there
+    // (the paper's "involved in the highest number of anomalous edges").
+    let ceo_edges = eruption
+        .edges
+        .iter()
+        .filter(|e| e.u == EnronSim::CEO || e.v == EnronSim::CEO)
+        .count();
+    assert!(
+        2 * ceo_edges > eruption.edges.len(),
+        "CEO should dominate E_32: {ceo_edges} of {}",
+        eruption.edges.len()
+    );
+
+    // 2. CAD's flagged transitions align with the scripted events.
+    let truth: std::collections::HashSet<usize> =
+        sim.anomalous_transitions().into_iter().collect();
+    let flagged = detection.anomalous_transitions();
+    let hits = flagged.iter().filter(|t| truth.contains(t)).count();
+    println!(
+        "\nCAD flagged {} transitions, {} of them scripted events (events total {})",
+        flagged.len(),
+        hits,
+        truth.len()
+    );
+    assert!(
+        hits * 2 >= truth.len(),
+        "CAD should recover most scripted event transitions"
+    );
+    // Calm tail (months 41+) stays quiet.
+    let tail_nodes: usize =
+        (41..n_trans).map(|t| detection.transitions[t].nodes.len()).sum();
+    assert!(tail_nodes <= 3 * l, "calm tail too noisy: {tail_nodes} nodes");
+
+    // 3. ACT's top-5 misses the CEO at the eruption even when flagged.
+    let mut act_rank: Vec<usize> = (0..sim.seq.n_nodes()).collect();
+    act_rank.sort_by(|&a, &b| {
+        act_nodes[32][b].partial_cmp(&act_nodes[32][a]).expect("finite")
+    });
+    let ceo_rank = act_rank.iter().position(|&i| i == EnronSim::CEO).unwrap();
+    println!("ACT rank of the CEO at 32->33: {} (CAD rank: top)", ceo_rank + 1);
+
+    // 4. The Steffes/Lay anecdote: a pure volume surge between existing
+    // tight contacts happens at the same month. ACT (volume-driven)
+    // ranks the surging executive above the CEO; CAD discounts the
+    // surge because its commute-time factor is tiny, and ranks the CEO
+    // first by ΔN.
+    let cad_nodes = cad.node_scores(&sim.seq).expect("CAD node scores");
+    let cad_top = (0..sim.seq.n_nodes())
+        .max_by(|&a, &b| cad_nodes[32][a].partial_cmp(&cad_nodes[32][b]).expect("finite"))
+        .unwrap();
+    assert_eq!(cad_top, EnronSim::CEO, "CAD's top node at the eruption must be the CEO");
+    assert!(
+        ceo_rank > 0,
+        "ACT should be distracted by the volume-surge executive (Steffes analogue)"
+    );
+    let act_top = act_rank[0];
+    println!(
+        "ACT's top node at 32->33 is node {act_top} ({:?}); CAD's is the CEO",
+        sim.roles[act_top]
+    );
+
+    println!("enron shape checks passed");
+}

@@ -1,0 +1,114 @@
+//! Reproduces **Table 1**, **Table 2**, **Figure 2** and **Figure 3** of
+//! the paper on the 17-node toy example (§3.5).
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin exp_toy [-- --embedding]
+//! ```
+//!
+//! * Table 1 — `ΔE_t` for every edge with a non-zero score, exact
+//!   commute times (the paper uses eq. 3 directly at n = 17).
+//! * Table 2 — `ΔN_t` for all 17 nodes.
+//! * Figure 2 (with `--embedding`) — 2-D Laplacian eigenmap coordinates
+//!   of both instances.
+//! * Figure 3 — normalized CAD vs ACT node scores side by side.
+//!
+//! The paper's concrete numbers (10.6 / 9.56 / 8.99 …) depend on edge
+//! weights Figure 1 only specifies pictorially; the reproduction target
+//! is the *shape*: three anomalous edges scoring an order of magnitude
+//! above the two benign changed edges, everything else exactly zero, and
+//! CAD separating responsible nodes more cleanly than ACT.
+
+use cad_baselines::ActDetector;
+use cad_bench::{Args, Table};
+use cad_commute::eigenmap::laplacian_eigenmap;
+use cad_core::node_scores::normalize_by_max;
+use cad_core::{CadDetector, CadOptions, NodeScorer};
+use cad_graph::generators::toy::{node_label, toy_example};
+
+fn main() {
+    let args = Args::from_env();
+    let toy = toy_example();
+    let det = CadDetector::new(CadOptions { engine: cad_commute::EngineOptions::Exact, ..Default::default() });
+
+    // ---- Table 1: edge scores ΔE_t ----
+    let scored = det.score_sequence(&toy.seq).expect("toy sequence scores");
+    println!("== Table 1: edge anomaly scores ΔE_t (non-zero) ==");
+    let mut t1 = Table::new(&["edge", "ΔE", "|ΔA|", "|Δc|"]);
+    for e in &scored[0] {
+        t1.row(&[
+            format!("{},{}", node_label(e.u), node_label(e.v)),
+            format!("{:.3}", e.score),
+            format!("{:.3}", e.d_weight.abs()),
+            format!("{:.3}", e.d_commute.abs()),
+        ]);
+    }
+    t1.print();
+
+    // ---- Table 2: node scores ΔN_t ----
+    let cad_nodes = det.node_scores(&toy.seq).expect("toy node scores");
+    println!("\n== Table 2: node anomaly scores ΔN_t ==");
+    let mut t2 = Table::new(&["node", "ΔN"]);
+    for (i, s) in cad_nodes[0].iter().enumerate() {
+        t2.row(&[node_label(i), format!("{s:.3}")]);
+    }
+    t2.print();
+
+    // ---- Figure 2: eigenmap embeddings ----
+    if args.has("embedding") {
+        println!("\n== Figure 2: Laplacian eigenmap coordinates (v2, v3) ==");
+        for (t, g) in toy.seq.graphs().iter().enumerate() {
+            let coords = laplacian_eigenmap(g, 2).expect("17-node eigenmap");
+            println!("-- instance t{} --", t);
+            let mut tf = Table::new(&["node", "x", "y"]);
+            for (i, c) in coords.iter().enumerate() {
+                tf.row(&[node_label(i), format!("{:+.4}", c[0]), format!("{:+.4}", c[1])]);
+            }
+            tf.print();
+        }
+    }
+
+    // ---- Figure 3: normalized CAD vs ACT ----
+    let act = ActDetector::with_window(1);
+    let act_nodes = act.node_scores(&toy.seq).expect("ACT node scores");
+    let cad_norm = normalize_by_max(&cad_nodes[0]);
+    let act_norm = normalize_by_max(&act_nodes[0]);
+    println!("\n== Figure 3: normalized node scores, CAD vs ACT ==");
+    let mut t3 = Table::new(&["node", "CAD", "ACT", "ground truth"]);
+    for i in 0..17 {
+        t3.row(&[
+            node_label(i),
+            format!("{:.3}", cad_norm[i]),
+            format!("{:.3}", act_norm[i]),
+            if toy.anomalous_nodes.contains(&i) { "anomalous".into() } else { String::new() },
+        ]);
+    }
+    t3.print();
+
+    // ---- Shape assertions (the reproduction contract) ----
+    let score_of = |u: usize, v: usize| {
+        scored[0]
+            .iter()
+            .find(|e| (e.u, e.v) == (u.min(v), u.max(v)))
+            .map_or(0.0, |e| e.score)
+    };
+    let anomalous_min = toy
+        .anomalous_edges
+        .iter()
+        .map(|&(u, v)| score_of(u, v))
+        .fold(f64::INFINITY, f64::min);
+    let benign_max = toy
+        .benign_changed_edges
+        .iter()
+        .map(|&(u, v)| score_of(u, v))
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nseparation: min(anomalous ΔE) = {anomalous_min:.3}, max(benign ΔE) = {benign_max:.3}, ratio = {:.1}x",
+        anomalous_min / benign_max.max(1e-12)
+    );
+    assert!(
+        anomalous_min > 10.0 * benign_max,
+        "Table 1 shape violated: anomalous edges must dominate benign ones"
+    );
+    assert_eq!(scored[0].len(), 5, "exactly the five changed edges have non-zero ΔE support");
+    println!("toy-example shape checks passed");
+}

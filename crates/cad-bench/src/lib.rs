@@ -1,0 +1,18 @@
+//! Shared harness utilities for the experiment binaries and benches.
+//!
+//! Each table/figure of the paper has a dedicated binary under
+//! `src/bin/` (see DESIGN.md §4 for the full index); this library holds
+//! the pieces they share: a tiny CLI-flag parser, fixed-width table
+//! rendering, wall-clock timing helpers and the common
+//! detector-evaluation loop used by the quantitative experiments.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod eval_loop;
+pub mod table;
+pub mod timing;
+
+pub use args::Args;
+pub use table::Table;
+pub use timing::time_it;

@@ -1,0 +1,42 @@
+//! Wall-clock timing helpers for the scalability experiments.
+
+use std::time::Instant;
+
+/// Run `f`, returning its result and the elapsed seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Run `f` `reps` times (after one warm-up), returning the mean seconds.
+pub fn time_mean<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps > 0);
+    let _ = f(); // warm-up
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let (_, secs) = time_it(&mut f);
+        total += secs;
+    }
+    total / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_value_and_positive_time() {
+        let (v, secs) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn mean_over_reps() {
+        let mut calls = 0;
+        let mean = time_mean(3, || calls += 1);
+        assert_eq!(calls, 4); // warm-up + 3 timed
+        assert!(mean >= 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Argument parsing for the `cad` binary (dependency-free).
+
+use std::collections::HashMap;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+cad — localize anomalous changes in time-evolving graphs (SIGMOD'14 CAD)
+
+USAGE:
+  cad detect   --input <seq.txt> [--l <n> | --delta <x>] [--kind cad|adj|com]
+               [--engine auto|exact|approx] [--k <dim>]
+  cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>]
+  cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
+
+The input format is a plain edge list:
+  nodes 17
+  instance
+  0 1 3.0
+  ...
+  instance
+  ...
+
+detect   prints the anomalous edge/node sets per transition
+score    prints ranked edge scores per transition
+generate writes a synthetic workload (for trying the tool end to end)";
+
+/// Which detector scoring to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KindArg {
+    /// The CAD product score.
+    #[default]
+    Cad,
+    /// Weight change only.
+    Adj,
+    /// Commute change only.
+    Com,
+}
+
+/// Which commute engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineArg {
+    /// Exact below 512 nodes, embedding above.
+    #[default]
+    Auto,
+    /// Always exact.
+    Exact,
+    /// Always the embedding.
+    Approx,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run detection and print anomaly sets.
+    Detect {
+        /// Input sequence path.
+        input: String,
+        /// Target nodes/transition (`--l`); mutually exclusive with delta.
+        l: Option<usize>,
+        /// Explicit threshold (`--delta`).
+        delta: Option<f64>,
+        /// Score kind.
+        kind: KindArg,
+        /// Engine selection.
+        engine: EngineArg,
+        /// Embedding dimension.
+        k: usize,
+    },
+    /// Print ranked edge scores.
+    Score {
+        /// Input sequence path.
+        input: String,
+        /// Score kind.
+        kind: KindArg,
+        /// How many edges to print per transition.
+        top: usize,
+    },
+    /// Write a synthetic workload.
+    Generate {
+        /// Dataset name.
+        dataset: String,
+        /// Output path (stdout when absent).
+        out: Option<String>,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The selected command.
+    pub command: Command,
+}
+
+impl Cli {
+    /// Parse a token stream (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut iter = args.into_iter();
+        let sub = iter.next().ok_or_else(|| USAGE.to_string())?;
+        if sub == "--help" || sub == "-h" || sub == "help" {
+            return Err(USAGE.to_string());
+        }
+        let mut flags: HashMap<String, String> = HashMap::new();
+        let mut pending: Option<String> = None;
+        for tok in iter {
+            match pending.take() {
+                Some(key) => {
+                    flags.insert(key, tok);
+                }
+                None => {
+                    let key = tok
+                        .strip_prefix("--")
+                        .ok_or_else(|| format!("unexpected argument `{tok}`\n\n{USAGE}"))?;
+                    pending = Some(key.to_string());
+                }
+            }
+        }
+        if let Some(key) = pending {
+            return Err(format!("flag `--{key}` is missing a value\n\n{USAGE}"));
+        }
+
+        let get = |k: &str| flags.get(k).cloned();
+        let parse_kind = |flags: &HashMap<String, String>| -> Result<KindArg, String> {
+            match flags.get("kind").map(String::as_str) {
+                None | Some("cad") => Ok(KindArg::Cad),
+                Some("adj") => Ok(KindArg::Adj),
+                Some("com") => Ok(KindArg::Com),
+                Some(other) => Err(format!("unknown --kind `{other}` (cad|adj|com)")),
+            }
+        };
+
+        let command = match sub.as_str() {
+            "detect" => {
+                let input =
+                    get("input").ok_or_else(|| format!("detect needs --input\n\n{USAGE}"))?;
+                let l = match get("l") {
+                    Some(v) => {
+                        Some(v.parse().map_err(|_| format!("invalid --l `{v}`"))?)
+                    }
+                    None => None,
+                };
+                let delta = match get("delta") {
+                    Some(v) => {
+                        Some(v.parse().map_err(|_| format!("invalid --delta `{v}`"))?)
+                    }
+                    None => None,
+                };
+                if l.is_some() && delta.is_some() {
+                    return Err("--l and --delta are mutually exclusive".into());
+                }
+                let engine = match get("engine").as_deref() {
+                    None | Some("auto") => EngineArg::Auto,
+                    Some("exact") => EngineArg::Exact,
+                    Some("approx") => EngineArg::Approx,
+                    Some(other) => {
+                        return Err(format!("unknown --engine `{other}` (auto|exact|approx)"))
+                    }
+                };
+                let k = match get("k") {
+                    Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`"))?,
+                    None => 50,
+                };
+                Command::Detect { input, l, delta, kind: parse_kind(&flags)?, engine, k }
+            }
+            "score" => {
+                let input =
+                    get("input").ok_or_else(|| format!("score needs --input\n\n{USAGE}"))?;
+                let top = match get("top") {
+                    Some(v) => v.parse().map_err(|_| format!("invalid --top `{v}`"))?,
+                    None => 20,
+                };
+                Command::Score { input, kind: parse_kind(&flags)?, top }
+            }
+            "generate" => {
+                let dataset = get("dataset")
+                    .ok_or_else(|| format!("generate needs --dataset\n\n{USAGE}"))?;
+                let seed = match get("seed") {
+                    Some(v) => v.parse().map_err(|_| format!("invalid --seed `{v}`"))?,
+                    None => 7,
+                };
+                Command::Generate { dataset, out: get("out"), seed }
+            }
+            other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Cli, String> {
+        Cli::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn detect_defaults() {
+        let cli = parse("detect --input seq.txt").unwrap();
+        match cli.command {
+            Command::Detect { input, l, delta, kind, engine, k } => {
+                assert_eq!(input, "seq.txt");
+                assert_eq!(l, None);
+                assert_eq!(delta, None);
+                assert_eq!(kind, KindArg::Cad);
+                assert_eq!(engine, EngineArg::Auto);
+                assert_eq!(k, 50);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detect_full_flags() {
+        let cli =
+            parse("detect --input s.txt --l 5 --kind com --engine approx --k 32").unwrap();
+        match cli.command {
+            Command::Detect { l, kind, engine, k, .. } => {
+                assert_eq!(l, Some(5));
+                assert_eq!(kind, KindArg::Com);
+                assert_eq!(engine, EngineArg::Approx);
+                assert_eq!(k, 32);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn l_and_delta_exclusive() {
+        assert!(parse("detect --input s --l 5 --delta 2.0").is_err());
+    }
+
+    #[test]
+    fn score_and_generate() {
+        assert!(matches!(
+            parse("score --input s.txt --top 5").unwrap().command,
+            Command::Score { top: 5, .. }
+        ));
+        assert!(matches!(
+            parse("generate --dataset toy --seed 9").unwrap().command,
+            Command::Generate { seed: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse("frobnicate").unwrap_err().contains("unknown command"));
+        assert!(parse("detect").unwrap_err().contains("--input"));
+        assert!(parse("detect --input").unwrap_err().contains("missing a value"));
+        assert!(parse("help").unwrap_err().contains("USAGE"));
+        assert!(parse("detect --input s --engine warp").unwrap_err().contains("--engine"));
+        assert!(parse("detect --input s --kind x").unwrap_err().contains("--kind"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Command implementations for the `cad` binary.
+
+use crate::cli::{Cli, Command, EngineArg, KindArg};
+use cad_commute::{EmbeddingOptions, EngineOptions};
+use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdPolicy};
+use cad_graph::io::{read_sequence, write_sequence};
+use cad_graph::GraphSequence;
+use std::fs::File;
+use std::io::Write;
+
+/// Top-level error for CLI runs.
+#[derive(Debug)]
+pub enum CliError {
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// Parse / graph / numerical problem.
+    Graph(cad_graph::GraphError),
+    /// Bad user input not caught at flag parsing.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<cad_graph::GraphError> for CliError {
+    fn from(e: cad_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
+    let embedding = EmbeddingOptions { k, ..Default::default() };
+    match engine {
+        EngineArg::Auto => EngineOptions::Auto { threshold: 512, embedding },
+        EngineArg::Exact => EngineOptions::Exact,
+        EngineArg::Approx => EngineOptions::Approximate(embedding),
+    }
+}
+
+fn score_kind(kind: KindArg) -> ScoreKind {
+    match kind {
+        KindArg::Cad => ScoreKind::Cad,
+        KindArg::Adj => ScoreKind::Adj,
+        KindArg::Com => ScoreKind::Com,
+    }
+}
+
+fn load_sequence(path: &str) -> Result<GraphSequence, CliError> {
+    let file = File::open(path)
+        .map_err(|e| CliError::Usage(format!("cannot open `{path}`: {e}")))?;
+    Ok(read_sequence(file)?)
+}
+
+/// Run one parsed command, writing human-readable output to `out`.
+pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
+    match &cli.command {
+        Command::Detect { input, l, delta, kind, engine, k } => {
+            let seq = load_sequence(input)?;
+            let det = CadDetector::new(CadOptions {
+                engine: engine_options(*engine, *k),
+                kind: score_kind(*kind),
+            });
+            let policy = match (l, delta) {
+                (_, Some(d)) => ThresholdPolicy::Fixed(*d),
+                (Some(l), None) => ThresholdPolicy::TargetNodesPerTransition(*l),
+                (None, None) => ThresholdPolicy::TargetNodesPerTransition(5),
+            };
+            let result = det.detect_with_policy(&seq, policy)?;
+            writeln!(
+                out,
+                "{} nodes, {} instances, {} transitions; δ = {:.6}",
+                seq.n_nodes(),
+                seq.len(),
+                seq.n_transitions(),
+                result.delta
+            )?;
+            for tr in &result.transitions {
+                if tr.edges.is_empty() {
+                    continue;
+                }
+                writeln!(out, "transition {} -> {}:", tr.t, tr.t + 1)?;
+                let explanations = cad_core::explain_transition(
+                    &tr.edges,
+                    seq.graph(tr.t),
+                    seq.graph(tr.t + 1),
+                );
+                for (e, x) in tr.edges.iter().zip(&explanations) {
+                    writeln!(
+                        out,
+                        "  edge {} {}  score {:.6}  d_weight {:+.4}  d_commute {:+.4}  [{}]",
+                        e.u,
+                        e.v,
+                        e.score,
+                        e.d_weight,
+                        e.d_commute,
+                        x.case.label()
+                    )?;
+                }
+                let nodes: Vec<String> = tr.nodes.iter().map(|n| n.to_string()).collect();
+                writeln!(out, "  nodes: {}", nodes.join(" "))?;
+            }
+            let quiet = result.transitions.iter().filter(|t| t.edges.is_empty()).count();
+            writeln!(out, "{quiet} quiet transitions")?;
+            Ok(())
+        }
+        Command::Score { input, kind, top } => {
+            let seq = load_sequence(input)?;
+            let det = CadDetector::new(CadOptions {
+                engine: EngineOptions::default(),
+                kind: score_kind(*kind),
+            });
+            let scored = det.score_sequence(&seq)?;
+            for (t, scores) in scored.iter().enumerate() {
+                writeln!(out, "transition {t} -> {} ({} scored edges):", t + 1, scores.len())?;
+                for e in scores.iter().take(*top) {
+                    writeln!(out, "  {} {}  {:.6}", e.u, e.v, e.score)?;
+                }
+            }
+            Ok(())
+        }
+        Command::Generate { dataset, out: out_path, seed } => {
+            let seq = generate_dataset(dataset, *seed)?;
+            match out_path {
+                Some(path) => {
+                    let file = File::create(path)?;
+                    write_sequence(file, &seq)?;
+                    writeln!(
+                        out,
+                        "wrote {} instances over {} nodes to {path}",
+                        seq.len(),
+                        seq.n_nodes()
+                    )?;
+                }
+                None => write_sequence(out, &seq)?,
+            }
+            Ok(())
+        }
+    }
+}
+
+fn generate_dataset(name: &str, seed: u64) -> Result<GraphSequence, CliError> {
+    use cad_datasets::*;
+    let seq = match name {
+        "toy" => cad_graph::generators::toy::toy_example().seq,
+        "gmm" => {
+            let mut opts = GmmBenchmarkOptions::with_n(300);
+            opts.seed = seed;
+            GmmBenchmark::generate(&opts)?.seq
+        }
+        "enron" => {
+            EnronSim::generate(&EnronSimOptions { seed, ..Default::default() })?.seq
+        }
+        "dblp" => DblpSim::generate(&DblpSimOptions { seed, ..Default::default() })?.seq,
+        "precip" => {
+            PrecipSim::generate(&PrecipSimOptions { seed, ..Default::default() })?.seq
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset `{other}` (toy|gmm|enron|dblp|precip)"
+            )))
+        }
+    };
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    fn run_str(cmd: &str) -> (i32, String) {
+        let mut out = Vec::new();
+        let code = run(cmd.split_whitespace().map(String::from), &mut out);
+        (code, String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("cad-cli-tests");
+        std::fs::create_dir_all(&dir).expect("mk tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_detect_roundtrip() {
+        let path = tmp("toy-seq.txt");
+        let (code, msg) = run_str(&format!("generate --dataset toy --out {path}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("17 nodes"));
+
+        let (code, report) = run_str(&format!("detect --input {path} --l 6 --engine exact"));
+        assert_eq!(code, 0, "{report}");
+        // The toy example's three anomalous edges appear (b4=3, b5=4 etc.
+        // use raw indices: b1=0, r1=8; b4=3, b5=4; r7=14, r8=15).
+        assert!(report.contains("edge 0 8"), "{report}");
+        assert!(report.contains("edge 3 4"), "{report}");
+        assert!(report.contains("edge 14 15"), "{report}");
+    }
+
+    #[test]
+    fn score_lists_ranked_edges() {
+        let path = tmp("toy-seq2.txt");
+        run_str(&format!("generate --dataset toy --out {path}"));
+        let (code, report) = run_str(&format!("score --input {path} --top 2"));
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("transition 0 -> 1 (5 scored edges)"), "{report}");
+    }
+
+    #[test]
+    fn generate_to_stdout() {
+        let (code, text) = run_str("generate --dataset toy");
+        assert_eq!(code, 0);
+        assert!(text.starts_with("nodes 17"), "{text}");
+        assert!(text.matches("instance").count() == 2);
+    }
+
+    #[test]
+    fn missing_file_is_a_usage_error() {
+        let (code, msg) = run_str("detect --input /definitely/not/here.txt");
+        assert_eq!(code, 1);
+        assert!(msg.contains("cannot open"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_dataset_rejected() {
+        let (code, msg) = run_str("generate --dataset mars");
+        assert_eq!(code, 1);
+        assert!(msg.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn bad_flags_exit_2() {
+        let (code, msg) = run_str("detect");
+        assert_eq!(code, 2);
+        assert!(msg.contains("--input"));
+    }
+
+    #[test]
+    fn fixed_delta_mode() {
+        let path = tmp("toy-seq3.txt");
+        run_str(&format!("generate --dataset toy --out {path}"));
+        let (code, report) = run_str(&format!("detect --input {path} --delta 1e12"));
+        assert_eq!(code, 0);
+        assert!(report.contains("1 quiet transitions"), "{report}");
+    }
+}

@@ -1,0 +1,8 @@
+//! The `cad` command-line tool — see [`cad_cli`] for the command
+//! surface and `cad --help` for usage.
+
+fn main() {
+    let mut stdout = std::io::stdout().lock();
+    let code = cad_cli::run(std::env::args().skip(1), &mut stdout);
+    std::process::exit(code);
+}

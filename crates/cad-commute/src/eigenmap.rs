@@ -1,0 +1,143 @@
+//! Laplacian eigenmap embeddings (paper Figure 2).
+//!
+//! The paper visualizes the toy graphs at `t` and `t+1` by plotting the
+//! second (Fiedler) and third eigenvectors of the Laplacian — commute
+//! distance is (up to scaling by `1/λ`) the Euclidean distance in the
+//! space spanned by those eigenvectors, so structural changes show up as
+//! point movements in the 2-D embedding.
+
+use crate::Result;
+use cad_graph::{GraphError, WeightedGraph};
+use cad_linalg::eig::{jacobi_eigen, lanczos_extremal, JacobiOptions, LanczosOptions, Which};
+
+/// `dims`-dimensional Laplacian eigenmap: coordinates of node `i` are
+/// `(v_2[i], …, v_{dims+1}[i])`, the eigenvectors of `L = D − A` for the
+/// smallest non-trivial eigenvalues (ascending). `O(n³)` — visualization
+/// of small graphs only.
+pub fn laplacian_eigenmap(g: &WeightedGraph, dims: usize) -> Result<Vec<Vec<f64>>> {
+    let n = g.n_nodes();
+    if dims == 0 || dims >= n {
+        return Err(GraphError::InvalidInput(format!(
+            "eigenmap dims must satisfy 0 < dims < n; got dims={dims}, n={n}"
+        )));
+    }
+    let l = g.laplacian_dense();
+    let eig = jacobi_eigen(&l, JacobiOptions::default()).map_err(GraphError::from)?;
+    // Skip the trivial constant eigenvector(s): one per component; the
+    // plot convention of the paper skips exactly the first.
+    let coords: Vec<Vec<f64>> = (0..n)
+        .map(|i| (1..=dims).map(|d| eig.vectors.get(i, d)).collect())
+        .collect();
+    Ok(coords)
+}
+
+/// Like [`laplacian_eigenmap`] but via sparse Lanczos iteration —
+/// `O(dims · m)` per step instead of a dense `O(n³)` decomposition, so
+/// Figure 2-style embeddings stay feasible on large graphs.
+///
+/// The graph's per-component constant null vectors are deflated, so the
+/// returned coordinates start at the Fiedler direction exactly like the
+/// dense route.
+pub fn laplacian_eigenmap_sparse(g: &WeightedGraph, dims: usize) -> Result<Vec<Vec<f64>>> {
+    let n = g.n_nodes();
+    if dims == 0 || dims >= n {
+        return Err(GraphError::InvalidInput(format!(
+            "eigenmap dims must satisfy 0 < dims < n; got dims={dims}, n={n}"
+        )));
+    }
+    let l = g.laplacian();
+    // Deflate one indicator vector per connected component.
+    let (comp, n_comp) = g.components();
+    let mut indicators = vec![vec![0.0; n]; n_comp];
+    for (i, &c) in comp.iter().enumerate() {
+        indicators[c as usize][i] = 1.0;
+    }
+    let deflate: Vec<&[f64]> = indicators.iter().map(|v| v.as_slice()).collect();
+    let (_, vecs) = lanczos_extremal(&l, dims, Which::Smallest, &deflate, LanczosOptions::default())
+        .map_err(GraphError::from)?;
+    Ok((0..n).map(|i| vecs.iter().map(|v| v[i]).collect()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cluster_graph_separates_in_fiedler_coordinate() {
+        // Two dense K3s joined by one weak edge: the Fiedler vector has
+        // opposite signs on the two clusters.
+        let g = WeightedGraph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (0, 2, 2.0),
+                (1, 2, 2.0),
+                (3, 4, 2.0),
+                (3, 5, 2.0),
+                (4, 5, 2.0),
+                (2, 3, 0.1),
+            ],
+        )
+        .unwrap();
+        let coords = laplacian_eigenmap(&g, 2).unwrap();
+        let f: Vec<f64> = coords.iter().map(|c| c[0]).collect();
+        assert!(f[0] * f[3] < 0.0, "clusters on the same side: {f:?}");
+        assert!(f[0].signum() == f[1].signum() && f[1].signum() == f[2].signum());
+        assert!(f[3].signum() == f[4].signum() && f[4].signum() == f[5].signum());
+    }
+
+    #[test]
+    fn dimensions_validated() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(laplacian_eigenmap(&g, 0).is_err());
+        assert!(laplacian_eigenmap(&g, 3).is_err());
+        let c = laplacian_eigenmap(&g, 2).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].len(), 2);
+    }
+
+    #[test]
+    fn sparse_route_matches_dense_route() {
+        // Compare embedding *distances* (coordinates are only defined up
+        // to sign/rotation within eigenspaces, distances are not).
+        let edges: Vec<(usize, usize, f64)> = (0..19)
+            .map(|i| (i, i + 1, 1.0 + 0.1 * (i % 3) as f64))
+            .chain([(0usize, 10usize, 0.4)])
+            .collect();
+        let g = WeightedGraph::from_edges(20, &edges).unwrap();
+        let dense = laplacian_eigenmap(&g, 2).unwrap();
+        let sparse = laplacian_eigenmap_sparse(&g, 2).unwrap();
+        let dist = |e: &Vec<Vec<f64>>, i: usize, j: usize| {
+            e[i].iter().zip(&e[j]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        };
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                let (a, b) = (dist(&dense, i, j), dist(&sparse, i, j));
+                assert!((a - b).abs() < 1e-6 * a.max(1.0), "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_route_handles_disconnected() {
+        let g = WeightedGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+        )
+        .unwrap();
+        let coords = laplacian_eigenmap_sparse(&g, 2).unwrap();
+        assert_eq!(coords.len(), 6);
+        assert!(coords.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn eigenmap_distance_tracks_graph_distance() {
+        // On a path, eigenmap distance grows with hop distance.
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+            .unwrap();
+        let c = laplacian_eigenmap(&g, 1).unwrap();
+        let d = |i: usize, j: usize| (c[i][0] - c[j][0]).abs();
+        assert!(d(0, 4) > d(0, 2));
+        assert!(d(0, 2) > d(0, 1));
+    }
+}

@@ -1,0 +1,290 @@
+//! The Khoa–Chawla approximate commute-time embedding.
+//!
+//! Spielman–Srivastava/Khoa–Chawla observation: the effective resistance
+//! is a squared Euclidean distance,
+//!
+//! ```text
+//! r_eff(i, j) = ‖W^{1/2} B L⁺ (e_i − e_j)‖²
+//! ```
+//!
+//! with `B` the `m×n` signed incidence matrix and `W` the diagonal edge
+//! weights. Johnson–Lindenstrauss then allows sketching the `m`-row
+//! matrix with a `k×m` Rademacher projection `Q` (entries `±1/√k`):
+//! the embedding `Z = Q W^{1/2} B L⁺` (a `k×n` matrix) preserves all
+//! pairwise resistances within `1 ± ε` for `k = O(log n / ε²)`.
+//!
+//! Each of the `k` rows of `Z` costs one sparse right-hand-side build
+//! (`y_r = (Q W^{1/2} B)_r`, streamed over the edge list with on-the-fly
+//! Rademacher signs) and one Laplacian solve — `O(m)` plus the solver
+//! cost. The paper's §3.1 uses a Spielman–Teng solver for the latter;
+//! here it is preconditioned CG (DESIGN.md §5).
+
+use crate::Result;
+use cad_graph::{GraphError, WeightedGraph};
+use cad_linalg::rp::RademacherSource;
+use cad_linalg::solve::{LaplacianSolver, LaplacianSolverOptions};
+
+/// Options for [`CommuteEmbedding::compute`].
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingOptions {
+    /// Embedding dimension (the paper's `k_RP`; its experiments use
+    /// `k = 50` and find results invariant for `k > 10`, Fig. 5).
+    pub k: usize,
+    /// Seed for the Rademacher projection.
+    pub seed: u64,
+    /// How the Laplacian systems are solved.
+    pub solver: LaplacianSolverOptions,
+    /// Worker threads for the `k` independent solves (1 = sequential).
+    /// The result is bit-identical regardless of thread count: each row's
+    /// right-hand side depends only on `(seed, row)`.
+    pub threads: usize,
+}
+
+impl Default for EmbeddingOptions {
+    fn default() -> Self {
+        EmbeddingOptions {
+            k: 50,
+            seed: 0xCAD_5EED,
+            solver: LaplacianSolverOptions::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// A `k`-dimensional commute-time embedding of one graph instance.
+#[derive(Debug, Clone)]
+pub struct CommuteEmbedding {
+    /// Row-major `n × k` coordinates.
+    coords: Vec<f64>,
+    n: usize,
+    k: usize,
+    volume: f64,
+}
+
+impl CommuteEmbedding {
+    /// Compute the embedding for `g`.
+    pub fn compute(g: &WeightedGraph, opts: &EmbeddingOptions) -> Result<Self> {
+        if opts.k == 0 {
+            return Err(GraphError::InvalidInput("embedding dimension k must be > 0".into()));
+        }
+        let n = g.n_nodes();
+        let laplacian = g.laplacian();
+        let solver = LaplacianSolver::new(&laplacian, opts.solver)?;
+        let signs = RademacherSource::new(opts.seed);
+        let inv_sqrt_k = 1.0 / (opts.k as f64).sqrt();
+
+        // One row of the sketch: build y_r = (Q W^{1/2} B)_r streamed over
+        // edges — edge e = (u, v, w) contributes ±√w/√k to y[u] and ∓ to
+        // y[v] — then solve L x_r = y_r.
+        let solve_row = |row: usize| -> Result<Vec<f64>> {
+            let mut y = vec![0.0; n];
+            for (e_idx, (u, v, w)) in g.edges().enumerate() {
+                let q = signs.sign(row as u64, e_idx as u64) * inv_sqrt_k;
+                let s = q * w.sqrt();
+                y[u] += s;
+                y[v] -= s;
+            }
+            solver.solve(&y).map_err(GraphError::from)
+        };
+
+        let threads = opts.threads.max(1).min(opts.k);
+        let rows: Vec<Vec<f64>> = if threads == 1 {
+            (0..opts.k).map(solve_row).collect::<Result<_>>()?
+        } else {
+            // The k solves are independent and the solver is shared
+            // immutably; scoped threads stripe the rows.
+            let results: Vec<std::sync::Mutex<Option<Result<Vec<f64>>>>> =
+                (0..opts.k).map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let solve_row = &solve_row;
+                    let results = &results;
+                    scope.spawn(move || {
+                        let mut row = t;
+                        while row < opts.k {
+                            let out = solve_row(row);
+                            *results[row].lock().expect("no poisoned row") = Some(out);
+                            row += threads;
+                        }
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|m| m.into_inner().expect("no poisoned row").expect("every row solved"))
+                .collect::<Result<_>>()?
+        };
+
+        let mut coords = vec![0.0; n * opts.k];
+        for (row, x) in rows.into_iter().enumerate() {
+            for (i, xi) in x.into_iter().enumerate() {
+                coords[i * opts.k + row] = xi;
+            }
+        }
+        Ok(CommuteEmbedding { coords, n, k: opts.k, volume: g.volume() })
+    }
+
+    /// Number of embedded nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension `k`.
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// Graph volume `V_G` captured at construction.
+    pub fn volume(&self) -> f64 {
+        self.volume
+    }
+
+    /// Embedded coordinates of node `i` (length `k`).
+    pub fn coords(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Approximate effective resistance `‖z_i − z_j‖²`.
+    pub fn resistance(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        cad_linalg::vecops::dist2_sq(self.coords(i), self.coords(j))
+    }
+
+    /// Approximate commute time `V_G · ‖z_i − z_j‖²`.
+    pub fn commute_distance(&self, i: usize, j: usize) -> f64 {
+        self.volume * self.resistance(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactCommute;
+
+    fn path(n: usize) -> WeightedGraph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        WeightedGraph::from_edges(n, &edges).unwrap()
+    }
+
+    fn opts(k: usize, seed: u64) -> EmbeddingOptions {
+        EmbeddingOptions { k, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn path_resistances_approximated() {
+        let g = path(10);
+        // Large k for a tight statistical bound in a unit test.
+        let emb = CommuteEmbedding::compute(&g, &opts(400, 1)).unwrap();
+        for i in 0usize..10 {
+            for j in 0usize..10 {
+                let want = i.abs_diff(j) as f64;
+                let got = emb.resistance(i, j);
+                assert!(
+                    (got - want).abs() <= 0.25 * want.max(0.3),
+                    "r({i},{j}) = {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_engine() {
+        let g = WeightedGraph::from_edges(
+            6,
+            &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 4, 1.0), (4, 5, 2.0), (0, 5, 0.5), (1, 4, 1.0)],
+        )
+        .unwrap();
+        let exact = ExactCommute::compute(&g).unwrap();
+        let emb = CommuteEmbedding::compute(&g, &opts(600, 2)).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let e = exact.commute_distance(i, j);
+                let a = emb.commute_distance(i, j);
+                assert!((a - e).abs() <= 0.25 * e, "c({i},{j}): approx {a} vs exact {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_k() {
+        let g = path(12);
+        let exact = ExactCommute::compute(&g).unwrap();
+        let mean_rel_err = |k: usize| {
+            // Average over several seeds to smooth JL variance.
+            let mut errs = Vec::new();
+            for seed in 0..5 {
+                let emb = CommuteEmbedding::compute(&g, &opts(k, seed)).unwrap();
+                for i in 0..12 {
+                    for j in (i + 1)..12 {
+                        let e = exact.resistance(i, j);
+                        errs.push((emb.resistance(i, j) - e).abs() / e);
+                    }
+                }
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let coarse = mean_rel_err(8);
+        let fine = mean_rel_err(256);
+        assert!(fine < coarse, "error did not shrink: k=8 → {coarse}, k=256 → {fine}");
+        assert!(fine < 0.12, "k=256 error too large: {fine}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = path(5);
+        let a = CommuteEmbedding::compute(&g, &opts(16, 3)).unwrap();
+        let b = CommuteEmbedding::compute(&g, &opts(16, 3)).unwrap();
+        assert_eq!(a.resistance(0, 4).to_bits(), b.resistance(0, 4).to_bits());
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let emb = CommuteEmbedding::compute(&g, &opts(200, 4)).unwrap();
+        // In-component resistances still approximated.
+        assert!((emb.resistance(0, 1) - 1.0).abs() < 0.3);
+        assert!((emb.resistance(2, 3) - 1.0).abs() < 0.3);
+        // Cross-component values are finite (pseudoinverse extension).
+        assert!(emb.resistance(0, 2).is_finite());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = path(15);
+        let base = opts(32, 9);
+        let seq = CommuteEmbedding::compute(&g, &base).unwrap();
+        let par = CommuteEmbedding::compute(
+            &g,
+            &EmbeddingOptions { threads: 4, ..base },
+        )
+        .unwrap();
+        for i in 0..15 {
+            for j in 0..15 {
+                assert_eq!(
+                    seq.resistance(i, j).to_bits(),
+                    par.resistance(i, j).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let g = path(3);
+        assert!(CommuteEmbedding::compute(&g, &opts(0, 0)).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let g = path(4);
+        let emb = CommuteEmbedding::compute(&g, &opts(12, 5)).unwrap();
+        assert_eq!(emb.n_nodes(), 4);
+        assert_eq!(emb.dim(), 12);
+        assert_eq!(emb.coords(2).len(), 12);
+        assert_eq!(emb.volume(), 6.0);
+        assert_eq!(emb.resistance(1, 1), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! One interface over the exact and approximate commute-time engines.
+
+use crate::embedding::{CommuteEmbedding, EmbeddingOptions};
+use crate::exact::ExactCommute;
+use crate::shortest::ShortestPathTable;
+use crate::Result;
+use cad_graph::WeightedGraph;
+
+/// Which engine to use and its parameters.
+#[derive(Debug, Clone, Copy)]
+pub enum EngineOptions {
+    /// Exact `O(n³)` computation via `L⁺` (paper eq. 3). The paper uses
+    /// this for the Enron graph (151 nodes); sensible up to a few
+    /// thousand nodes.
+    Exact,
+    /// Khoa–Chawla embedding — the `O(n log n)` path (paper §3.1).
+    Approximate(EmbeddingOptions),
+    /// Pick [`EngineOptions::Exact`] when `n ≤ threshold`, otherwise the
+    /// given approximation — mirroring the paper's practice.
+    Auto {
+        /// Node-count cutover between exact and approximate.
+        threshold: usize,
+        /// Approximation parameters used above the threshold.
+        embedding: EmbeddingOptions,
+    },
+    /// Shortest-path distance instead of commute time — the alternative
+    /// node distance the paper rejects in §3.1; provided for ablation.
+    ShortestPath,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions::Auto { threshold: 512, embedding: EmbeddingOptions::default() }
+    }
+}
+
+/// A computed commute-time oracle for a single graph instance.
+pub enum CommuteTimeEngine {
+    /// Exact table.
+    Exact(ExactCommute),
+    /// Approximate embedding.
+    Approximate(CommuteEmbedding),
+    /// All-pairs shortest paths (ablation engine).
+    ShortestPath(ShortestPathTable),
+}
+
+impl CommuteTimeEngine {
+    /// Compute the engine for one graph instance.
+    pub fn compute(g: &WeightedGraph, opts: &EngineOptions) -> Result<Self> {
+        match opts {
+            EngineOptions::Exact => Ok(CommuteTimeEngine::Exact(ExactCommute::compute(g)?)),
+            EngineOptions::Approximate(e) => {
+                Ok(CommuteTimeEngine::Approximate(CommuteEmbedding::compute(g, e)?))
+            }
+            EngineOptions::Auto { threshold, embedding } => {
+                if g.n_nodes() <= *threshold {
+                    Ok(CommuteTimeEngine::Exact(ExactCommute::compute(g)?))
+                } else {
+                    Ok(CommuteTimeEngine::Approximate(CommuteEmbedding::compute(g, embedding)?))
+                }
+            }
+            EngineOptions::ShortestPath => {
+                Ok(CommuteTimeEngine::ShortestPath(ShortestPathTable::compute(g)?))
+            }
+        }
+    }
+
+    /// The node distance `d(i, j)` this engine implements: commute time
+    /// for the commute engines, path length for the shortest-path
+    /// ablation engine. This is the accessor the CAD scorer uses.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        match self {
+            CommuteTimeEngine::Exact(e) => e.commute_distance(i, j),
+            CommuteTimeEngine::Approximate(e) => e.commute_distance(i, j),
+            CommuteTimeEngine::ShortestPath(t) => t.distance(i, j),
+        }
+    }
+
+    /// Commute-time distance `c(i, j)`.
+    ///
+    /// # Panics
+    /// Panics for the shortest-path ablation engine, which has no
+    /// commute semantics — use [`CommuteTimeEngine::distance`] there.
+    pub fn commute_distance(&self, i: usize, j: usize) -> f64 {
+        match self {
+            CommuteTimeEngine::Exact(e) => e.commute_distance(i, j),
+            CommuteTimeEngine::Approximate(e) => e.commute_distance(i, j),
+            CommuteTimeEngine::ShortestPath(_) => {
+                panic!("shortest-path engine has no commute distance; use distance()")
+            }
+        }
+    }
+
+    /// Effective resistance `r_eff(i, j) = c(i, j) / V_G`.
+    ///
+    /// # Panics
+    /// Panics for the shortest-path ablation engine.
+    pub fn resistance(&self, i: usize, j: usize) -> f64 {
+        match self {
+            CommuteTimeEngine::Exact(e) => e.resistance(i, j),
+            CommuteTimeEngine::Approximate(e) => e.resistance(i, j),
+            CommuteTimeEngine::ShortestPath(_) => {
+                panic!("shortest-path engine has no resistance; use distance()")
+            }
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            CommuteTimeEngine::Exact(e) => e.n_nodes(),
+            CommuteTimeEngine::Approximate(e) => e.n_nodes(),
+            CommuteTimeEngine::ShortestPath(t) => t.n_nodes(),
+        }
+    }
+
+    /// True when backed by the exact table.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, CommuteTimeEngine::Exact(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> WeightedGraph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        WeightedGraph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn auto_picks_exact_for_small() {
+        let g = path(10);
+        let e = CommuteTimeEngine::compute(&g, &EngineOptions::default()).unwrap();
+        assert!(e.is_exact());
+        assert_eq!(e.n_nodes(), 10);
+    }
+
+    #[test]
+    fn auto_picks_approximate_above_threshold() {
+        let g = path(20);
+        let opts = EngineOptions::Auto {
+            threshold: 10,
+            embedding: EmbeddingOptions { k: 64, ..Default::default() },
+        };
+        let e = CommuteTimeEngine::compute(&g, &opts).unwrap();
+        assert!(!e.is_exact());
+    }
+
+    #[test]
+    fn engines_agree_on_small_graph() {
+        let g = path(8);
+        let exact = CommuteTimeEngine::compute(&g, &EngineOptions::Exact).unwrap();
+        let approx = CommuteTimeEngine::compute(
+            &g,
+            &EngineOptions::Approximate(EmbeddingOptions { k: 500, ..Default::default() }),
+        )
+        .unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let a = approx.commute_distance(i, j);
+                let e = exact.commute_distance(i, j);
+                assert!((a - e).abs() < 0.3 * e, "({i},{j}): {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn resistance_consistent_with_commute() {
+        let g = path(5);
+        let e = CommuteTimeEngine::compute(&g, &EngineOptions::Exact).unwrap();
+        let vg = g.volume();
+        assert!((e.commute_distance(0, 4) - vg * e.resistance(0, 4)).abs() < 1e-9);
+    }
+}

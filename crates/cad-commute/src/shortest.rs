@@ -1,0 +1,102 @@
+//! Shortest-path node distances — the alternative the paper considers
+//! and rejects (§3.1).
+//!
+//! The CAD framework only needs *some* node distance `d_t(i, j)`; the
+//! paper picks commute time over shortest paths for robustness (commute
+//! time averages over all paths; a shortest-path distance can jump
+//! discontinuously when the argmin path switches) and scalability. This
+//! engine makes the road not taken runnable, so the choice can be
+//! ablated instead of believed: see `exp_distance_ablation`.
+
+use crate::Result;
+use cad_graph::algo::dijkstra_all_pairs;
+use cad_graph::{GraphError, WeightedGraph};
+
+/// All-pairs shortest-path distance table (edge length `1/weight`, the
+/// similarity-graph convention used by CLC as well).
+///
+/// Precomputation is `O(n · m log n)` and storage `O(n²)` — small graphs
+/// only, which is all the ablation needs.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTable {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl ShortestPathTable {
+    /// Compute the table for one graph instance.
+    pub fn compute(g: &WeightedGraph) -> Result<Self> {
+        let n = g.n_nodes();
+        if n.checked_mul(n).is_none() || n > 1 << 16 {
+            return Err(GraphError::InvalidInput(format!(
+                "all-pairs shortest paths is O(n²) memory; n = {n} is too large"
+            )));
+        }
+        let rows = dijkstra_all_pairs(g);
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend(row);
+        }
+        Ok(ShortestPathTable { n, dist })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance (`f64::INFINITY` across components).
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_dijkstra_semantics() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 4.0)]).unwrap();
+        let t = ShortestPathTable::compute(&g).unwrap();
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.distance(0, 0), 0.0);
+        assert!((t.distance(0, 3) - (0.5 + 1.0 + 0.25)).abs() < 1e-12);
+        assert_eq!(t.distance(0, 3), t.distance(3, 0));
+    }
+
+    #[test]
+    fn cross_component_is_infinite() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let t = ShortestPathTable::compute(&g).unwrap();
+        assert!(t.distance(0, 2).is_infinite());
+    }
+
+    #[test]
+    fn shortest_path_is_brittle_commute_is_smooth() {
+        // The §3.1 robustness argument in one test: two parallel routes
+        // of nearly equal length. A tiny weight change flips which route
+        // is shortest — the SP distance between the far nodes changes by
+        // the route-length gap discontinuity pattern, while the commute
+        // distance (averaging both routes) moves only marginally.
+        let mk = |w_top: f64| {
+            WeightedGraph::from_edges(
+                4,
+                &[(0, 1, w_top), (1, 3, w_top), (0, 2, 1.0), (2, 3, 1.0)],
+            )
+            .unwrap()
+        };
+        let (a, b) = (mk(1.001), mk(0.999));
+        let sp_a = ShortestPathTable::compute(&a).unwrap();
+        let sp_b = ShortestPathTable::compute(&b).unwrap();
+        let ct_a = crate::exact::ExactCommute::compute(&a).unwrap();
+        let ct_b = crate::exact::ExactCommute::compute(&b).unwrap();
+        let sp_rel = (sp_a.distance(0, 3) - sp_b.distance(0, 3)).abs() / sp_a.distance(0, 3);
+        let ct_rel = (ct_a.commute_distance(0, 3) - ct_b.commute_distance(0, 3)).abs()
+            / ct_a.commute_distance(0, 3);
+        assert!(
+            ct_rel < sp_rel,
+            "commute ({ct_rel:.5}) should move less than shortest path ({sp_rel:.5})"
+        );
+    }
+}

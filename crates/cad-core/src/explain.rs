@@ -1,0 +1,165 @@
+//! Classifying anomalous edges into the paper's case taxonomy (§2.1).
+//!
+//! The problem statement distinguishes three kinds of anomalous
+//! weight change:
+//!
+//! * **Case 1** — high-magnitude change (increase or decrease) on an
+//!   existing edge;
+//! * **Case 2** — a new (or strengthened) edge that pulls structurally
+//!   *distant* nodes together;
+//! * **Case 3** — a weakened or deleted edge between *bridge* nodes that
+//!   pushes previously proximal nodes apart.
+//!
+//! Each [`crate::EdgeScore`] already carries the two signed factors
+//! (`ΔA` and `Δc`), which is exactly the information needed to classify:
+//! the sign of `Δc` says whether nodes moved together or apart, the sign
+//! and relative magnitude of `ΔA` separate "sharp volume change" from
+//! "appearance/disappearance". Analyst-facing output (the CLI and the
+//! insider-threat example) uses these labels to say *what kind* of
+//! anomaly was found, not just where.
+
+use crate::scores::EdgeScore;
+
+/// The paper's §2.1 anomaly cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyCase {
+    /// High-magnitude weight change on a persisting relationship.
+    MagnitudeChange,
+    /// New/strengthened tie pulling distant nodes closer (`Δc < 0`).
+    DistantNodesJoined,
+    /// Weakened/severed tie pushing proximal nodes apart (`Δc > 0`).
+    BridgeWeakened,
+}
+
+impl AnomalyCase {
+    /// Analyst-facing label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyCase::MagnitudeChange => "case 1: sharp weight change",
+            AnomalyCase::DistantNodesJoined => "case 2: distant nodes joined",
+            AnomalyCase::BridgeWeakened => "case 3: bridge weakened",
+        }
+    }
+}
+
+/// Classification of one anomalous edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Explanation {
+    /// Which of the paper's cases the edge falls into.
+    pub case: AnomalyCase,
+    /// Weight of the edge at `t` (reconstructed from the score factors
+    /// when available; 0 means the edge appeared).
+    pub appeared: bool,
+    /// True when the edge vanished at `t+1`.
+    pub vanished: bool,
+}
+
+/// Classify an anomalous edge from its score factors and its weights at
+/// the two instants.
+///
+/// Decision rule, following §2.1's phrasing:
+/// * the edge **appeared** (`w_t = 0`) and commute distance dropped →
+///   Case 2;
+/// * the edge **vanished** (`w_{t+1} = 0`) or weakened with commute
+///   distance rising → Case 3;
+/// * otherwise (a persisting edge whose weight moved sharply) → Case 1,
+///   with the `Δc` sign still distinguishing a tightening
+///   (strengthening) from a loosening (weakening) change.
+pub fn classify(edge: &EdgeScore, w_t: f64, w_t1: f64) -> Explanation {
+    let appeared = w_t == 0.0 && w_t1 > 0.0;
+    let vanished = w_t1 == 0.0 && w_t > 0.0;
+    let case = if appeared && edge.d_commute < 0.0 {
+        AnomalyCase::DistantNodesJoined
+    } else if (vanished || edge.d_weight < 0.0) && edge.d_commute > 0.0 {
+        AnomalyCase::BridgeWeakened
+    } else {
+        AnomalyCase::MagnitudeChange
+    };
+    Explanation { case, appeared, vanished }
+}
+
+/// Classify every edge of a transition's anomaly set against the two
+/// graph instances.
+pub fn explain_transition(
+    edges: &[EdgeScore],
+    g_t: &cad_graph::WeightedGraph,
+    g_t1: &cad_graph::WeightedGraph,
+) -> Vec<Explanation> {
+    edges
+        .iter()
+        .map(|e| classify(e, g_t.weight(e.u, e.v), g_t1.weight(e.u, e.v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(d_weight: f64, d_commute: f64) -> EdgeScore {
+        EdgeScore { u: 0, v: 1, score: d_weight.abs() * d_commute.abs(), d_weight, d_commute }
+    }
+
+    #[test]
+    fn new_bridging_edge_is_case2() {
+        let ex = classify(&edge(1.5, -40.0), 0.0, 1.5);
+        assert_eq!(ex.case, AnomalyCase::DistantNodesJoined);
+        assert!(ex.appeared);
+        assert!(!ex.vanished);
+    }
+
+    #[test]
+    fn severed_bridge_is_case3() {
+        let ex = classify(&edge(-2.0, 55.0), 2.0, 0.0);
+        assert_eq!(ex.case, AnomalyCase::BridgeWeakened);
+        assert!(ex.vanished);
+    }
+
+    #[test]
+    fn weakened_bridge_is_case3() {
+        let ex = classify(&edge(-1.5, 30.0), 2.0, 0.5);
+        assert_eq!(ex.case, AnomalyCase::BridgeWeakened);
+        assert!(!ex.vanished && !ex.appeared);
+    }
+
+    #[test]
+    fn sharp_strengthening_is_case1() {
+        let ex = classify(&edge(5.0, -8.0), 1.0, 6.0);
+        assert_eq!(ex.case, AnomalyCase::MagnitudeChange);
+    }
+
+    #[test]
+    fn toy_example_cases_match_scenarios() {
+        use cad_commute::EngineOptions;
+        use cad_graph::generators::toy::{b, r, toy_example};
+        let toy = toy_example();
+        let det = crate::CadDetector::new(crate::CadOptions {
+            engine: EngineOptions::Exact,
+            ..Default::default()
+        });
+        let result = det.detect_top_l(&toy.seq, 6).expect("detection");
+        let tr = &result.transitions[0];
+        let explanations =
+            explain_transition(&tr.edges, toy.seq.graph(0), toy.seq.graph(1));
+        let case_of = |u: usize, v: usize| {
+            tr.edges
+                .iter()
+                .zip(&explanations)
+                .find(|(e, _)| (e.u, e.v) == (u.min(v), u.max(v)))
+                .map(|(_, x)| x.case)
+                .expect("edge in anomaly set")
+        };
+        // S1: new cross-cluster edge → Case 2.
+        assert_eq!(case_of(b(1), r(1)), AnomalyCase::DistantNodesJoined);
+        // S2: weakened bridge → Case 3.
+        assert_eq!(case_of(r(7), r(8)), AnomalyCase::BridgeWeakened);
+        // S3: sharp strengthening → Case 1.
+        assert_eq!(case_of(b(4), b(5)), AnomalyCase::MagnitudeChange);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert!(AnomalyCase::MagnitudeChange.label().starts_with("case 1"));
+        assert!(AnomalyCase::DistantNodesJoined.label().starts_with("case 2"));
+        assert!(AnomalyCase::BridgeWeakened.label().starts_with("case 3"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Node anomaly scores `ΔN_t` (paper §3.5.1).
+//!
+//! For comparison with node-attribution methods like ACT, the paper
+//! aggregates edge scores onto nodes:
+//!
+//! ```text
+//! ΔN_t(i) = Σ_j ΔE_t(e_{i,j})
+//! ```
+//!
+//! This is the quantity behind Table 2, Figure 3 and every ROC curve of
+//! §4.1.
+
+use crate::scores::EdgeScore;
+
+/// Aggregate edge scores into per-node scores (length `n_nodes`).
+pub fn node_scores_from_edges(n_nodes: usize, edges: &[EdgeScore]) -> Vec<f64> {
+    let mut out = vec![0.0; n_nodes];
+    for e in edges {
+        out[e.u] += e.score;
+        out[e.v] += e.score;
+    }
+    out
+}
+
+/// Normalize scores by their maximum (used for the Figure 3 comparison;
+/// all-zero input stays all-zero).
+pub fn normalize_by_max(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().fold(0.0f64, |m, &v| m.max(v));
+    if max <= 0.0 {
+        return scores.to_vec();
+    }
+    scores.iter().map(|&v| v / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(u: usize, v: usize, score: f64) -> EdgeScore {
+        EdgeScore { u, v, score, d_weight: 0.0, d_commute: 0.0 }
+    }
+
+    #[test]
+    fn sums_incident_edge_scores() {
+        let edges = vec![e(0, 1, 2.0), e(1, 2, 3.0)];
+        let n = node_scores_from_edges(4, &edges);
+        assert_eq!(n, vec![2.0, 5.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_edges_all_zero() {
+        assert_eq!(node_scores_from_edges(3, &[]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn normalize_scales_to_unit_max() {
+        let n = normalize_by_max(&[2.0, 4.0, 1.0]);
+        assert_eq!(n, vec![0.5, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn normalize_handles_all_zero() {
+        assert_eq!(normalize_by_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+}

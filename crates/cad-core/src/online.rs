@@ -1,0 +1,222 @@
+//! Streaming (online) CAD.
+//!
+//! Paper §4.2 notes that the offline δ-selection "can be suitably
+//! modified in an online setting by aggregating scores up to the current
+//! graph instance and updating the threshold". This module implements
+//! that modification: graph instances arrive one at a time, each new
+//! transition is scored immediately (reusing the previous instance's
+//! commute-time engine, so the marginal cost per arrival is one engine
+//! build plus `O(m log m)` scoring), and δ is re-calibrated against the
+//! pooled score history so that the *running* average anomaly rate
+//! tracks the target `l`.
+
+use crate::detector::TransitionAnomalies;
+use crate::scores::{pair_edge_scores, EdgeScore};
+use crate::threshold::{choose_delta, select_prefix};
+use crate::{CadOptions, Result};
+use cad_commute::CommuteTimeEngine;
+use cad_graph::WeightedGraph;
+
+/// Streaming CAD detector: push instances, get per-transition anomaly
+/// sets with a self-calibrating threshold.
+///
+/// ```
+/// use cad_core::online::OnlineCad;
+/// use cad_core::CadOptions;
+/// use cad_graph::WeightedGraph;
+///
+/// let mut online = OnlineCad::new(CadOptions::default(), 2);
+/// let g = |extra: f64| WeightedGraph::from_edges(
+///     4, &[(0, 1, 3.0), (2, 3, 3.0), (1, 2, 0.2 + extra)]).unwrap();
+/// assert!(online.push(g(0.0)).unwrap().is_none()); // first instance
+/// let report = online.push(g(0.0)).unwrap().unwrap(); // quiet transition
+/// assert!(report.edges.is_empty());
+/// ```
+pub struct OnlineCad {
+    opts: CadOptions,
+    /// Target anomalous nodes per transition.
+    l: usize,
+    n_nodes: Option<usize>,
+    /// Previous instance and its engine.
+    prev: Option<(WeightedGraph, CommuteTimeEngine)>,
+    /// Scored history, one sorted score list per seen transition.
+    history: Vec<Vec<EdgeScore>>,
+    /// Current calibrated threshold.
+    delta: f64,
+}
+
+impl std::fmt::Debug for OnlineCad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineCad")
+            .field("l", &self.l)
+            .field("n_nodes", &self.n_nodes)
+            .field("n_transitions", &self.history.len())
+            .field("delta", &self.delta)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnlineCad {
+    /// Create a streaming detector targeting `l` anomalous nodes per
+    /// transition on (running) average.
+    pub fn new(opts: CadOptions, l: usize) -> Self {
+        OnlineCad { opts, l, n_nodes: None, prev: None, history: Vec::new(), delta: f64::MAX }
+    }
+
+    /// Number of transitions observed so far.
+    pub fn n_transitions(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The current calibrated threshold δ (`f64::MAX` before the first
+    /// transition).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Feed the next graph instance.
+    ///
+    /// Returns `None` for the very first instance (no transition yet);
+    /// afterwards returns the anomaly set of the newest transition under
+    /// the re-calibrated threshold.
+    pub fn push(&mut self, g: WeightedGraph) -> Result<Option<TransitionAnomalies>> {
+        match self.n_nodes {
+            None => self.n_nodes = Some(g.n_nodes()),
+            Some(n) if n != g.n_nodes() => {
+                return Err(cad_graph::GraphError::MixedNodeCounts {
+                    expected: n,
+                    found: g.n_nodes(),
+                    at: self.history.len() + 1,
+                });
+            }
+            Some(_) => {}
+        }
+        let engine = CommuteTimeEngine::compute(&g, &self.opts.engine)?;
+        let out = if let Some((prev_g, prev_engine)) = &self.prev {
+            let scores =
+                pair_edge_scores(prev_g, &g, prev_engine, &engine, self.opts.kind)?;
+            self.history.push(scores);
+            // Re-calibrate δ over everything seen so far (paper §4.2's
+            // online modification).
+            let n = self.n_nodes.expect("set above");
+            self.delta = choose_delta(&self.history, n, self.l * self.history.len());
+            let newest = self.history.last().expect("just pushed");
+            let k = select_prefix(newest, self.delta);
+            let edges: Vec<EdgeScore> = newest[..k].to_vec();
+            let mut nodes: Vec<usize> = edges.iter().flat_map(|e| [e.u, e.v]).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            Some(TransitionAnomalies { t: self.history.len() - 1, edges, nodes })
+        } else {
+            None
+        };
+        self.prev = Some((g, engine));
+        Ok(out)
+    }
+
+    /// Re-evaluate *all* seen transitions at the current δ — converges
+    /// to exactly the offline result once the stream ends.
+    pub fn reevaluate_all(&self) -> Vec<TransitionAnomalies> {
+        self.history
+            .iter()
+            .enumerate()
+            .map(|(t, scores)| {
+                let k = select_prefix(scores, self.delta);
+                let edges: Vec<EdgeScore> = scores[..k].to_vec();
+                let mut nodes: Vec<usize> =
+                    edges.iter().flat_map(|e| [e.u, e.v]).collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                TransitionAnomalies { t, edges, nodes }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::CadDetector;
+    use cad_graph::GraphSequence;
+
+    fn instance(bridge: f64) -> WeightedGraph {
+        let mut edges = vec![
+            (0, 1, 3.0),
+            (0, 2, 3.0),
+            (1, 2, 3.0),
+            (3, 4, 3.0),
+            (3, 5, 3.0),
+            (4, 5, 3.0),
+            (2, 3, 0.2),
+        ];
+        if bridge > 0.0 {
+            edges.push((0, 5, bridge));
+        }
+        WeightedGraph::from_edges(6, &edges).unwrap()
+    }
+
+    #[test]
+    fn first_push_yields_nothing() {
+        let mut online = OnlineCad::new(CadOptions::default(), 2);
+        assert!(online.push(instance(0.0)).unwrap().is_none());
+        assert_eq!(online.n_transitions(), 0);
+    }
+
+    #[test]
+    fn detects_event_in_stream() {
+        let mut online = OnlineCad::new(CadOptions::default(), 2);
+        online.push(instance(0.0)).unwrap();
+        // Two quiet transitions...
+        let quiet = online.push(instance(0.0)).unwrap().unwrap();
+        assert!(quiet.edges.is_empty());
+        online.push(instance(0.0)).unwrap();
+        // ...then the cross-cluster bridge appears.
+        let event = online.push(instance(1.5)).unwrap().unwrap();
+        assert_eq!(event.t, 2);
+        assert!(!event.edges.is_empty());
+        assert_eq!((event.edges[0].u, event.edges[0].v), (0, 5));
+        assert_eq!(event.nodes, vec![0, 5]);
+    }
+
+    #[test]
+    fn rejects_mixed_node_counts() {
+        let mut online = OnlineCad::new(CadOptions::default(), 2);
+        online.push(instance(0.0)).unwrap();
+        let wrong = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        assert!(online.push(wrong).is_err());
+    }
+
+    #[test]
+    fn final_reevaluation_matches_offline() {
+        let stream = [0.0, 0.0, 1.5, 1.5, 0.0];
+        let graphs: Vec<WeightedGraph> = stream.iter().map(|&b| instance(b)).collect();
+
+        let mut online = OnlineCad::new(CadOptions::default(), 2);
+        for g in graphs.clone() {
+            online.push(g).unwrap();
+        }
+        let final_sets = online.reevaluate_all();
+
+        let offline = CadDetector::new(CadOptions::default())
+            .detect_top_l(&GraphSequence::new(graphs).unwrap(), 2)
+            .unwrap();
+        assert_eq!(final_sets.len(), offline.transitions.len());
+        for (on, off) in final_sets.iter().zip(&offline.transitions) {
+            assert_eq!(on.nodes, off.nodes, "transition {}", on.t);
+            assert_eq!(on.edges.len(), off.edges.len());
+        }
+    }
+
+    #[test]
+    fn delta_tightens_with_history() {
+        // With one huge transition in the history, δ must rise above the
+        // noise floor so later quiet transitions stay quiet.
+        let mut online = OnlineCad::new(CadOptions::default(), 1);
+        online.push(instance(0.0)).unwrap();
+        online.push(instance(2.5)).unwrap(); // big event
+        let d1 = online.delta();
+        let quiet = online.push(instance(2.5)).unwrap().unwrap();
+        assert!(quiet.edges.is_empty(), "unchanged instance must be quiet");
+        assert!(online.delta() > 0.0 && d1 > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Human-readable rendering of detection results.
+//!
+//! Shared by the CLI and the examples: turns a
+//! [`crate::DetectionResult`] into an analyst-facing report, with an
+//! optional node labeller so applications can print "Kenneth Lay"
+//! instead of "node 0".
+
+use crate::detector::DetectionResult;
+use std::fmt::Write as _;
+
+/// Options for [`render_report`].
+pub struct ReportOptions<'a> {
+    /// Maximum edges printed per transition.
+    pub max_edges: usize,
+    /// Skip transitions with empty anomaly sets.
+    pub skip_quiet: bool,
+    /// Node labeller (defaults to the index).
+    pub label: Option<&'a dyn Fn(usize) -> String>,
+}
+
+impl Default for ReportOptions<'_> {
+    fn default() -> Self {
+        ReportOptions { max_edges: 10, skip_quiet: true, label: None }
+    }
+}
+
+/// Render a detection result as a multi-line report string.
+pub fn render_report(result: &DetectionResult, opts: &ReportOptions<'_>) -> String {
+    let label = |n: usize| match opts.label {
+        Some(f) => f(n),
+        None => n.to_string(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "detection report: δ = {:.6}, {} transitions, {} anomalous",
+        result.delta,
+        result.transitions.len(),
+        result.anomalous_transitions().len()
+    );
+    for tr in &result.transitions {
+        if tr.edges.is_empty() && opts.skip_quiet {
+            continue;
+        }
+        let _ = writeln!(out, "transition {} -> {}:", tr.t, tr.t + 1);
+        if tr.edges.is_empty() {
+            let _ = writeln!(out, "  (quiet)");
+            continue;
+        }
+        for e in tr.edges.iter().take(opts.max_edges) {
+            let _ = writeln!(
+                out,
+                "  {} -- {}  ΔE {:.4} (ΔA {:+.3}, Δc {:+.3})",
+                label(e.u),
+                label(e.v),
+                e.score,
+                e.d_weight,
+                e.d_commute
+            );
+        }
+        if tr.edges.len() > opts.max_edges {
+            let _ = writeln!(out, "  ... {} more edges", tr.edges.len() - opts.max_edges);
+        }
+        let names: Vec<String> = tr.nodes.iter().map(|&n| label(n)).collect();
+        let _ = writeln!(out, "  nodes: {}", names.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::TransitionAnomalies;
+    use crate::scores::EdgeScore;
+
+    fn sample() -> DetectionResult {
+        let e = EdgeScore { u: 0, v: 2, score: 3.5, d_weight: 1.0, d_commute: -3.5 };
+        DetectionResult {
+            delta: 1.25,
+            transitions: vec![
+                TransitionAnomalies { t: 0, edges: vec![], nodes: vec![] },
+                TransitionAnomalies { t: 1, edges: vec![e], nodes: vec![0, 2] },
+            ],
+        }
+    }
+
+    #[test]
+    fn default_report_skips_quiet() {
+        let text = render_report(&sample(), &ReportOptions::default());
+        assert!(text.contains("transition 1 -> 2"));
+        assert!(!text.contains("transition 0 -> 1"));
+        assert!(text.contains("0 -- 2"));
+        assert!(text.contains("nodes: 0, 2"));
+    }
+
+    #[test]
+    fn quiet_transitions_shown_when_requested() {
+        let opts = ReportOptions { skip_quiet: false, ..Default::default() };
+        let text = render_report(&sample(), &opts);
+        assert!(text.contains("(quiet)"));
+    }
+
+    #[test]
+    fn labels_applied() {
+        let label = |n: usize| format!("employee-{n}");
+        let opts = ReportOptions { label: Some(&label), ..Default::default() };
+        let text = render_report(&sample(), &opts);
+        assert!(text.contains("employee-0 -- employee-2"));
+        assert!(text.contains("nodes: employee-0, employee-2"));
+    }
+
+    #[test]
+    fn edge_cap_with_ellipsis() {
+        let mut r = sample();
+        let e = r.transitions[1].edges[0];
+        r.transitions[1].edges = vec![e; 5];
+        let opts = ReportOptions { max_edges: 2, ..Default::default() };
+        let text = render_report(&r, &opts);
+        assert!(text.contains("... 3 more edges"));
+    }
+}

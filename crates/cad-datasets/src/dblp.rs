@@ -1,0 +1,232 @@
+//! Co-authorship simulator standing in for the DBLP network
+//! (paper §4.2.2; DESIGN.md §5 substitution 3).
+//!
+//! Authors belong to research communities arranged on an "interest line"
+//! (community index = topic position), so the severity of a community
+//! switch is measurable as the topic distance jumped. Yearly graphs give
+//! co-authored paper counts. Three events mirror the paper's anecdotes:
+//!
+//! 1. **Far switch** — an author jumps from community `a` to a distant
+//!    community (the Rountev software-engineering → HPC analogue);
+//! 2. **Near switch** — an author moves to the *adjacent* community (the
+//!    Orlando DB-performance → core-DB analogue), which must receive a
+//!    *lower* CAD score than the far switch;
+//! 3. **Severed tie** — two strongly-collaborating authors stop
+//!    publishing together (the Brdiczka/Mühlhäuser analogue).
+
+use crate::Result;
+use cad_graph::{GraphBuilder, GraphError, GraphSequence};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`DblpSim::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct DblpSimOptions {
+    /// Authors per community.
+    pub community_size: usize,
+    /// Number of communities on the interest line.
+    pub n_communities: usize,
+    /// Number of yearly instances (paper: 6, 2005–2010).
+    pub n_years: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpSimOptions {
+    fn default() -> Self {
+        DblpSimOptions { community_size: 30, n_communities: 8, n_years: 6, seed: 0xDB19 }
+    }
+}
+
+/// The simulated co-authorship network plus ground truth.
+#[derive(Debug, Clone)]
+pub struct DblpSim {
+    /// Yearly graph instances.
+    pub seq: GraphSequence,
+    /// Community of every author (before any switch).
+    pub community: Vec<usize>,
+    /// The far-switching author, their target community, and the switch
+    /// year (event 1).
+    pub far_switcher: (usize, usize, usize),
+    /// The near-switching author, their target community, and the switch
+    /// year (event 2).
+    pub near_switcher: (usize, usize, usize),
+    /// The severed pair and the year the tie breaks (event 3).
+    pub severed: (usize, usize, usize),
+}
+
+impl DblpSim {
+    /// Generate the simulated sequence.
+    pub fn generate(opts: &DblpSimOptions) -> Result<Self> {
+        if opts.n_communities < 4 || opts.community_size < 6 {
+            return Err(GraphError::InvalidInput(
+                "need ≥ 4 communities of ≥ 6 authors for the scripted events".into(),
+            ));
+        }
+        if opts.n_years < 3 {
+            return Err(GraphError::InvalidInput("need ≥ 3 years".into()));
+        }
+        let n = opts.community_size * opts.n_communities;
+        let community: Vec<usize> = (0..n).map(|i| i / opts.community_size).collect();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        // Stable collaboration circles: each author has a fixed set of
+        // in-community collaborators; a sparse set of cross-community
+        // collaborations exists between adjacent communities.
+        let mut circles: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            let c = community[i];
+            let base = c * opts.community_size;
+            for _ in 0..3 {
+                let j = base + rng.random_range(0..opts.community_size);
+                if j != i {
+                    circles.push((i.min(j), i.max(j)));
+                }
+            }
+            // Occasional adjacent-community collaborator.
+            if c + 1 < opts.n_communities && rng.random::<f64>() < 0.1 {
+                let j = (c + 1) * opts.community_size + rng.random_range(0..opts.community_size);
+                circles.push((i.min(j), i.max(j)));
+            }
+        }
+        circles.sort_unstable();
+        circles.dedup();
+
+        // Events.
+        let switch_year = opts.n_years / 2;
+        let far_author = 0; // community 0
+        let far_target = opts.n_communities - 1;
+        let near_author = opts.community_size; // first author of community 1
+        let near_target = 2;
+        // A strongly-tied pair inside community 2 severs the year after.
+        let severed_a = 2 * opts.community_size;
+        let severed_b = 2 * opts.community_size + 1;
+        let severed_year = (switch_year + 1).min(opts.n_years - 1);
+
+        // New collaborators in the target communities.
+        let far_new: Vec<usize> = (0..4)
+            .map(|k| far_target * opts.community_size + k)
+            .collect();
+        let near_new: Vec<usize> = (0..4)
+            .map(|k| near_target * opts.community_size + k)
+            .collect();
+
+        let mut graphs = Vec::with_capacity(opts.n_years);
+        for year in 0..opts.n_years {
+            let mut b = GraphBuilder::with_capacity(n, circles.len() + 16);
+            for &(i, j) in &circles {
+                // Severed tie: the strong pair stops collaborating.
+                if (i, j) == (severed_a, severed_b) && year >= severed_year {
+                    continue;
+                }
+                let papers = 1 + poisson(1.0, &mut rng);
+                b.add_edge(i, j, papers as f64)?;
+            }
+            // The severed pair collaborates heavily before the break.
+            if year < severed_year {
+                b.add_edge(severed_a, severed_b, 4.0 + poisson(1.0, &mut rng) as f64)?;
+            }
+            // Switch events: new strong cross-community edges from the
+            // switch year on.
+            if year >= switch_year {
+                for &j in &far_new {
+                    b.add_edge(far_author, j, 2.0 + poisson(1.0, &mut rng) as f64)?;
+                }
+                for &j in &near_new {
+                    b.add_edge(near_author, j, 2.0 + poisson(1.0, &mut rng) as f64)?;
+                }
+            }
+            graphs.push(b.build());
+        }
+
+        Ok(DblpSim {
+            seq: GraphSequence::new(graphs)?,
+            community,
+            far_switcher: (far_author, far_target, switch_year),
+            near_switcher: (near_author, near_target, switch_year),
+            severed: (severed_a, severed_b, severed_year),
+        })
+    }
+
+    /// Topic distance (communities jumped) of the two switch events.
+    pub fn switch_distances(&self) -> (usize, usize) {
+        let far = self.far_switcher.1.abs_diff(self.community[self.far_switcher.0]);
+        let near = self.near_switcher.1.abs_diff(self.community[self.near_switcher.0]);
+        (far, near)
+    }
+}
+
+fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
+    let l = (-lambda).exp();
+    let (mut k, mut p) = (0u32, 1.0);
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> DblpSim {
+        DblpSim::generate(&DblpSimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn structure() {
+        let s = sim();
+        assert_eq!(s.seq.n_nodes(), 240);
+        assert_eq!(s.seq.len(), 6);
+        let (far, near) = s.switch_distances();
+        assert!(far > near, "far switch {far} must jump more communities than near {near}");
+        assert_eq!(near, 1);
+    }
+
+    #[test]
+    fn switch_edges_appear_at_switch_year() {
+        let s = sim();
+        let (author, target, year) = s.far_switcher;
+        let target_base = target * 30;
+        let before = s.seq.graph(year - 1).weight(author, target_base);
+        let after = s.seq.graph(year).weight(author, target_base);
+        assert_eq!(before, 0.0);
+        assert!(after >= 2.0);
+    }
+
+    #[test]
+    fn severed_tie_breaks() {
+        let s = sim();
+        let (a, b, year) = s.severed;
+        assert!(s.seq.graph(year - 1).weight(a, b) >= 4.0);
+        assert_eq!(s.seq.graph(year).weight(a, b), 0.0);
+    }
+
+    #[test]
+    fn communities_are_cohesive() {
+        let s = sim();
+        let g = s.seq.graph(0);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if s.community[u] == s.community[v] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let a = sim();
+        let b = sim();
+        assert_eq!(a.seq.graph(3).n_edges(), b.seq.graph(3).n_edges());
+        assert!(DblpSim::generate(&DblpSimOptions { n_communities: 2, ..Default::default() })
+            .is_err());
+        assert!(DblpSim::generate(&DblpSimOptions { n_years: 2, ..Default::default() }).is_err());
+    }
+}

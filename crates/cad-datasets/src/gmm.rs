@@ -1,0 +1,287 @@
+//! The quantitative synthetic benchmark of paper §4.1.
+//!
+//! Protocol (paper wording in quotes):
+//!
+//! 1. "Draw `n` random samples from a 2-dimensional Gaussian mixture
+//!    distribution with 4 components" and build `P(i,j) = exp(−d(i,j))`.
+//! 2. "Perturb this adjacency matrix by adding a small amount of random
+//!    noise *to the data*": re-kernelize jittered points into `Q`.
+//! 3. Build a sparse symmetric noise matrix `R` with `U(0,1)` entries
+//!    and set `A_1 = P`, `A_2 = Q + (R + Rᵀ)/2`.
+//! 4. Ground truth: noise edges *between clusters* are anomalous (they
+//!    tie distant nodes together — paper Case 2); intra-cluster noise is
+//!    benign; a node is anomalous when incident to an anomalous edge.
+//!
+//! Two deliberate parameter adaptations (DESIGN.md §5):
+//!
+//! * kernel values below `kernel_floor` are dropped so `P`/`Q` stay
+//!   sparse (the paper stores them densely);
+//! * the noise matrix `R` is split into its two roles. The paper draws
+//!   `R` uniformly over *all* pairs at 5% density — but then every node
+//!   of a 2000-node graph is incident to ~100 inter-cluster noise edges,
+//!   making *every* node ground-truth-anomalous and the node-level ROC
+//!   the paper reports degenerate. What the experiment actually measures
+//!   is whether a detector can tell *cluster-bridging* noise from
+//!   *same-cluster* noise of identical magnitude. We therefore keep the
+//!   paper's dense `U(0,1)` noise on intra-cluster pairs (5% density —
+//!   every node is incident to many benign noise edges, which is what
+//!   neutralizes ADJ) and plant only a small set of cross-cluster noise
+//!   edges (`n/20` by default), whose endpoints are the anomalous nodes.
+
+use crate::Result;
+use cad_graph::generators::gmm::{sample_gmm, similarity_graph, GmmParams};
+use cad_graph::{GraphBuilder, GraphError, GraphSequence};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`GmmBenchmark::generate`].
+#[derive(Debug, Clone)]
+pub struct GmmBenchmarkOptions {
+    /// Number of sample points / graph nodes (paper: 2000).
+    pub n: usize,
+    /// Mixture layout.
+    pub params: GmmParams,
+    /// Std-dev of the coordinate jitter producing `Q` from `P`.
+    pub perturb_std: f64,
+    /// Probability that an intra-cluster pair receives a benign noise
+    /// edge (the paper's `R` density, 0.05).
+    pub intra_noise_density: f64,
+    /// Number of planted cross-cluster (anomalous) noise edges.
+    pub cross_noise_edges: usize,
+    /// Kernel sparsification floor for `P` and `Q`.
+    pub kernel_floor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GmmBenchmarkOptions {
+    /// Defaults scaled for tests and CI (`n = 500`); pass `n = 2000` for
+    /// the paper-size benchmark.
+    pub fn with_n(n: usize) -> Self {
+        GmmBenchmarkOptions {
+            n,
+            // Wider component separation than the generic default: the
+            // clusters must be *weakly* coupled in aggregate (the kernel
+            // floor prunes most inter-cluster pairs) or a single bridging
+            // edge cannot change commute times measurably — the regime
+            // the paper's Figure 4 layout depicts.
+            params: GmmParams {
+                means: vec![[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]],
+                std: 0.6,
+            },
+            perturb_std: 0.02,
+            intra_noise_density: 0.05,
+            cross_noise_edges: n / 20,
+            kernel_floor: 1e-4,
+            seed: 0x6A11,
+        }
+    }
+}
+
+impl Default for GmmBenchmarkOptions {
+    fn default() -> Self {
+        Self::with_n(500)
+    }
+}
+
+/// One realization of the §4.1 benchmark.
+#[derive(Debug, Clone)]
+pub struct GmmBenchmark {
+    /// The two-instance dynamic graph `(A_1, A_2)`.
+    pub seq: GraphSequence,
+    /// Mixture component of every node.
+    pub component: Vec<usize>,
+    /// Planted anomalous (inter-cluster noise) edges, `u < v`.
+    pub anomalous_edges: Vec<(usize, usize)>,
+    /// Planted benign (intra-cluster) noise edges, `u < v`.
+    pub benign_noise_edges: Vec<(usize, usize)>,
+    /// Ground-truth node labels (`true` = anomalous).
+    pub node_labels: Vec<bool>,
+}
+
+impl GmmBenchmark {
+    /// Generate one realization.
+    pub fn generate(opts: &GmmBenchmarkOptions) -> Result<Self> {
+        if opts.n < 8 {
+            return Err(GraphError::InvalidInput(format!(
+                "benchmark needs n ≥ 8, got {}",
+                opts.n
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let (points, component) = sample_gmm(opts.n, &opts.params, rng.random());
+
+        // A_1 = P.
+        let p = similarity_graph(&points, opts.kernel_floor)?;
+
+        // Q: jitter the data, re-kernelize.
+        let jittered: Vec<[f64; 2]> = points
+            .iter()
+            .map(|pt| {
+                [
+                    pt[0] + opts.perturb_std * gaussian(&mut rng),
+                    pt[1] + opts.perturb_std * gaussian(&mut rng),
+                ]
+            })
+            .collect();
+        let q = similarity_graph(&jittered, opts.kernel_floor)?;
+
+        // Plant the noise. Benign: dense U(0,1) noise on intra-cluster
+        // pairs at the paper's 5% density, so every node carries plenty
+        // of weight change. Anomalous: a small set of cross-cluster noise
+        // edges of the same magnitude — the only thing separating the
+        // ground-truth-anomalous nodes from the rest is *where* their
+        // noise edges land, not how heavy they are.
+        let mut anomalous_edges = Vec::new();
+        let mut benign_noise_edges = Vec::new();
+        let mut builder = GraphBuilder::with_capacity(opts.n, q.n_edges() + opts.n);
+        builder.add_edges(q.edges())?;
+        for u in 0..opts.n {
+            for v in (u + 1)..opts.n {
+                if component[u] == component[v] && rng.random::<f64>() < opts.intra_noise_density
+                {
+                    let w = rng.random::<f64>();
+                    if w > 0.0 {
+                        builder.add_edge(u, v, w)?;
+                        benign_noise_edges.push((u, v));
+                    }
+                }
+            }
+        }
+        let mut planted = std::collections::HashSet::new();
+        let mut attempts = 0usize;
+        while planted.len() < opts.cross_noise_edges && attempts < 100 * opts.cross_noise_edges
+        {
+            attempts += 1;
+            let u = rng.random_range(0..opts.n);
+            let mut v = rng.random_range(0..opts.n - 1);
+            if v >= u {
+                v += 1;
+            }
+            let key = (u.min(v), u.max(v));
+            if component[key.0] == component[key.1] || !planted.insert(key) {
+                continue;
+            }
+            let w = rng.random::<f64>();
+            if w > 0.0 {
+                builder.add_edge(key.0, key.1, w)?;
+                anomalous_edges.push(key);
+            }
+        }
+        let a2 = builder.build();
+
+        let mut node_labels = vec![false; opts.n];
+        for &(u, v) in &anomalous_edges {
+            node_labels[u] = true;
+            node_labels[v] = true;
+        }
+
+        anomalous_edges.sort_unstable();
+        benign_noise_edges.sort_unstable();
+        let seq = GraphSequence::new(vec![p, a2])?;
+        Ok(GmmBenchmark { seq, component, anomalous_edges, benign_noise_edges, node_labels })
+    }
+
+    /// Number of ground-truth anomalous nodes.
+    pub fn n_anomalous_nodes(&self) -> usize {
+        self.node_labels.iter().filter(|&&l| l).count()
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GmmBenchmark {
+        GmmBenchmark::generate(&GmmBenchmarkOptions::with_n(120)).unwrap()
+    }
+
+    #[test]
+    fn shapes_and_labels_consistent() {
+        let b = small();
+        assert_eq!(b.seq.len(), 2);
+        assert_eq!(b.seq.n_nodes(), 120);
+        assert_eq!(b.component.len(), 120);
+        assert_eq!(b.node_labels.len(), 120);
+        // Every anomalous edge crosses clusters and labels its endpoints.
+        for &(u, v) in &b.anomalous_edges {
+            assert_ne!(b.component[u], b.component[v]);
+            assert!(b.node_labels[u] && b.node_labels[v]);
+        }
+        for &(u, v) in &b.benign_noise_edges {
+            assert_eq!(b.component[u], b.component[v]);
+        }
+        assert_eq!(b.anomalous_edges.len(), 120 / 20);
+        // Dense intra-cluster noise: far more benign noise than anomalous.
+        assert!(b.benign_noise_edges.len() > 10 * b.anomalous_edges.len());
+    }
+
+    #[test]
+    fn noise_edges_present_only_at_t1() {
+        let b = small();
+        for &(u, v) in &b.anomalous_edges {
+            let w0 = b.seq.graph(0).weight(u, v);
+            let w1 = b.seq.graph(1).weight(u, v);
+            assert!(w1 > w0, "noise edge ({u},{v}) should gain weight: {w0} → {w1}");
+        }
+    }
+
+    #[test]
+    fn anomalous_fraction_moderate() {
+        let b = GmmBenchmark::generate(&GmmBenchmarkOptions::with_n(400)).unwrap();
+        let frac = b.n_anomalous_nodes() as f64 / 400.0;
+        assert!(
+            (0.01..=0.25).contains(&frac),
+            "anomalous node fraction {frac} out of the useful ROC range"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.anomalous_edges, b.anomalous_edges);
+        assert_eq!(a.node_labels, b.node_labels);
+        let mut opts = GmmBenchmarkOptions::with_n(120);
+        opts.seed = 999;
+        let c = GmmBenchmark::generate(&opts).unwrap();
+        assert_ne!(a.anomalous_edges, c.anomalous_edges);
+    }
+
+    #[test]
+    fn background_graphs_are_similar() {
+        // P and Q differ only by jitter: their edge weights on shared
+        // support stay close.
+        let b = small();
+        let g0 = b.seq.graph(0);
+        let g1 = b.seq.graph(1);
+        let noise: std::collections::HashSet<(usize, usize)> = b
+            .anomalous_edges
+            .iter()
+            .chain(&b.benign_noise_edges)
+            .copied()
+            .collect();
+        let mut max_rel = 0.0f64;
+        for (u, v, w) in g0.edges() {
+            if noise.contains(&(u, v)) {
+                continue;
+            }
+            let w1 = g1.weight(u, v);
+            if w1 > 0.0 {
+                max_rel = max_rel.max((w1 - w).abs() / w);
+            }
+        }
+        assert!(max_rel < 0.5, "background drifted too much: {max_rel}");
+    }
+
+    #[test]
+    fn rejects_tiny_n() {
+        assert!(GmmBenchmark::generate(&GmmBenchmarkOptions::with_n(4)).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generators for the CAD reproduction.
+//!
+//! One module per evaluation dataset of the paper:
+//!
+//! * [`gmm`] — the quantitative synthetic benchmark of §4.1: Gaussian-
+//!   mixture similarity graphs with planted inter-cluster noise edges and
+//!   full node/edge ground truth (Figures 5 and 6).
+//! * [`enron`] — a generative organizational-e-mail simulator standing in
+//!   for the Enron corpus (§4.2.1, Figures 7–8): 151 employees with
+//!   roles and teams, 48 monthly instances, and scripted scandal events
+//!   whose responsible nodes are known.
+//! * [`dblp`] — a co-authorship simulator standing in for DBLP (§4.2.2):
+//!   research communities on an interest line, with planted community
+//!   switches of graded severity and a severed-tie event.
+//! * [`precip`] — a seasonal precipitation-field simulator standing in
+//!   for the NOAA reanalysis data (§4.2.3, Figures 9–10): grid locations
+//!   with regionally-coherent rainfall and a planted teleconnection event
+//!   producing subtle but simultaneous shifts in distant regions.
+//!
+//! Every generator is deterministic given its seed and returns explicit
+//! ground truth, turning the paper's anecdotal validations into
+//! assertable tests (DESIGN.md §5 documents each substitution).
+
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod enron;
+pub mod gmm;
+pub mod precip;
+
+pub use dblp::{DblpSim, DblpSimOptions};
+pub use enron::{EnronSim, EnronSimOptions, Role};
+pub use gmm::{GmmBenchmark, GmmBenchmarkOptions};
+pub use precip::{PrecipSim, PrecipSimOptions};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, cad_graph::GraphError>;

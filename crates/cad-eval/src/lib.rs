@@ -1,0 +1,23 @@
+//! Evaluation utilities for the CAD reproduction.
+//!
+//! The quantitative experiments of the paper (§4.1, Figures 5–6) sweep a
+//! detection threshold over node anomaly scores and compare against
+//! ground truth with ROC curves and their AUC. This crate implements:
+//!
+//! * [`roc::roc_curve`] / [`roc::auc`] — exact ROC construction with tie
+//!   handling and the Mann–Whitney AUC;
+//! * [`roc::average_roc`] — vertical averaging over Monte-Carlo trials on
+//!   a common FPR grid (how Figure 6's "averaged over 100 realizations"
+//!   curves are produced);
+//! * [`metrics`] — precision@k, best-F1 and related ranking summaries
+//!   used by the qualitative experiments.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod pr;
+pub mod roc;
+
+pub use metrics::{best_f1, precision_at_k};
+pub use pr::{average_precision, pr_curve, PrCurve};
+pub use roc::{auc, average_roc, roc_curve, RocCurve};

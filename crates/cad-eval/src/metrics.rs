@@ -1,0 +1,105 @@
+//! Ranking metrics beyond ROC.
+
+/// Precision among the `k` highest-scoring items.
+///
+/// Ties at the cut are resolved by stable index order (matching the way
+/// detection output lists are truncated). `k = 0` returns 0.
+pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if k == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let k = k.min(order.len());
+    let hits = order[..k].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / k as f64
+}
+
+/// Best F1 over all score thresholds, with the threshold achieving it.
+///
+/// Returns `(best_f1, threshold)`; `(0.0, +∞)` when there are no
+/// positive labels.
+pub fn best_f1(scores: &[f64], labels: &[bool]) -> (f64, f64) {
+    assert_eq!(scores.len(), labels.len());
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 {
+        return (0.0, f64::INFINITY);
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+
+    let mut best = (0.0f64, f64::INFINITY);
+    let mut tp = 0usize;
+    let mut taken = 0usize;
+    let mut idx = 0;
+    while idx < order.len() {
+        let s = scores[order[idx]];
+        while idx < order.len() && scores[order[idx]] == s {
+            if labels[order[idx]] {
+                tp += 1;
+            }
+            taken += 1;
+            idx += 1;
+        }
+        let precision = tp as f64 / taken as f64;
+        let recall = tp as f64 / total_pos as f64;
+        if precision + recall > 0.0 {
+            let f1 = 2.0 * precision * recall / (precision + recall);
+            if f1 > best.0 {
+                best = (f1, s);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_at_k_basics() {
+        let scores = [0.9, 0.8, 0.7, 0.1];
+        let labels = [true, false, true, false];
+        assert_eq!(precision_at_k(&scores, &labels, 1), 1.0);
+        assert_eq!(precision_at_k(&scores, &labels, 2), 0.5);
+        assert!((precision_at_k(&scores, &labels, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&scores, &labels, 10), 0.5); // clamped to len
+        assert_eq!(precision_at_k(&scores, &labels, 0), 0.0);
+    }
+
+    #[test]
+    fn best_f1_perfect() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let (f1, thr) = best_f1(&scores, &labels);
+        assert!((f1 - 1.0).abs() < 1e-12);
+        assert_eq!(thr, 0.8);
+    }
+
+    #[test]
+    fn best_f1_no_positives() {
+        let (f1, thr) = best_f1(&[1.0, 2.0], &[false, false]);
+        assert_eq!(f1, 0.0);
+        assert!(thr.is_infinite());
+    }
+
+    #[test]
+    fn best_f1_with_ties() {
+        // Tied scores form one group; F1 computed at group boundaries.
+        let scores = [1.0, 1.0, 0.0];
+        let labels = [true, false, true];
+        let (f1, _) = best_f1(&scores, &labels);
+        // Taking the tie group: P=0.5, R=0.5 → F1=0.5; taking all:
+        // P=2/3, R=1 → F1=0.8. Best is 0.8.
+        assert!((f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(precision_at_k(&[], &[], 3), 0.0);
+        let (f1, _) = best_f1(&[], &[]);
+        assert_eq!(f1, 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Node centrality measures.
+//!
+//! The CLC baseline of the paper (§4) scores nodes by the change in their
+//! *closeness centrality* between consecutive graph instances. We provide
+//! the Wasserman–Faust-normalized closeness (well-defined on disconnected
+//! graphs) plus harmonic centrality, a common alternative that handles
+//! disconnection without normalization tricks.
+
+use crate::algo::shortest_path::dijkstra;
+use crate::graph::WeightedGraph;
+
+/// Closeness centrality of every node, Wasserman–Faust normalized:
+///
+/// `cc(i) = ((r_i − 1) / (n − 1)) · ((r_i − 1) / Σ_{j reachable} d(i, j))`
+///
+/// where `r_i` is the number of nodes reachable from `i` (including
+/// itself). Isolated nodes score 0. Edge lengths are `1/weight` (see
+/// [`crate::algo::shortest_path`]).
+pub fn closeness_centrality(g: &WeightedGraph) -> Vec<f64> {
+    let n = g.n_nodes();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let dist = dijkstra(g, i);
+            let mut sum = 0.0;
+            let mut reachable = 0usize;
+            for (j, &d) in dist.iter().enumerate() {
+                if j != i && d.is_finite() {
+                    sum += d;
+                    reachable += 1;
+                }
+            }
+            if reachable == 0 || sum == 0.0 {
+                0.0
+            } else {
+                let r = reachable as f64;
+                (r / (n as f64 - 1.0)) * (r / sum)
+            }
+        })
+        .collect()
+}
+
+/// Harmonic centrality `h(i) = Σ_{j≠i} 1/d(i, j)` (with `1/∞ = 0`),
+/// normalized by `n − 1`.
+pub fn harmonic_centrality(g: &WeightedGraph) -> Vec<f64> {
+    let n = g.n_nodes();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let dist = dijkstra(g, i);
+            let s: f64 = dist
+                .iter()
+                .enumerate()
+                .filter(|&(j, d)| j != i && d.is_finite() && *d > 0.0)
+                .map(|(_, d)| 1.0 / d)
+                .sum();
+            s / (n as f64 - 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_center_most_central() {
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)])
+            .unwrap();
+        let cc = closeness_centrality(&g);
+        assert!(cc[0] > cc[1]);
+        assert!((cc[1] - cc[2]).abs() < 1e-12);
+        let h = harmonic_centrality(&g);
+        assert!(h[0] > h[1]);
+    }
+
+    #[test]
+    fn closeness_of_unit_star_center_is_one() {
+        // Center at distance 1 from all leaves: cc = (n-1)/Σd = 1.
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).unwrap();
+        let cc = closeness_centrality(&g);
+        assert!((cc[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_scores_zero() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        let cc = closeness_centrality(&g);
+        assert_eq!(cc[2], 0.0);
+        let h = harmonic_centrality(&g);
+        assert_eq!(h[2], 0.0);
+    }
+
+    #[test]
+    fn disconnected_components_penalized() {
+        // Two triangles: every node reaches only 2 of 5 others, so the
+        // WF correction scales closeness down versus one 6-cycle... just
+        // check values are finite, positive, equal within a component.
+        let g = WeightedGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)],
+        )
+        .unwrap();
+        let cc = closeness_centrality(&g);
+        assert!(cc.iter().all(|&v| v.is_finite() && v > 0.0));
+        assert!((cc[0] - cc[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_ties_raise_centrality() {
+        let weak = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let strong = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 2.0)]).unwrap();
+        let cw = closeness_centrality(&weak);
+        let cs = closeness_centrality(&strong);
+        assert!(cs[1] > cw[1]);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let g = WeightedGraph::from_edges(1, &[]).unwrap();
+        assert_eq!(closeness_centrality(&g), vec![0.0]);
+        assert_eq!(harmonic_centrality(&g), vec![0.0]);
+    }
+}

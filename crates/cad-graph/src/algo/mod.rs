@@ -1,0 +1,9 @@
+//! Classic graph algorithms used by the baselines and the test suite.
+
+pub mod centrality;
+pub mod shortest_path;
+pub mod traversal;
+
+pub use centrality::{closeness_centrality, harmonic_centrality};
+pub use shortest_path::{dijkstra, dijkstra_all_pairs};
+pub use traversal::bfs_order;

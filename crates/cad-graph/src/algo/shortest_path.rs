@@ -1,0 +1,130 @@
+//! Weighted shortest paths.
+//!
+//! The graphs in this workspace use *similarity* weights: a larger weight
+//! means a stronger tie (more e-mails, more co-authored papers, closer
+//! precipitation values). Shortest-path distance therefore traverses edge
+//! *lengths* `1 / w`, the standard conversion for closeness centrality on
+//! similarity graphs.
+
+use crate::graph::WeightedGraph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry ordered by smallest distance first.
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap pops the smallest distance. Distances are
+        // finite non-NaN by construction (weights validated positive).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path distances with edge length `1/weight`.
+///
+/// Unreachable nodes get `f64::INFINITY`.
+pub fn dijkstra(g: &WeightedGraph, source: usize) -> Vec<f64> {
+    let n = g.n_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    if source >= n {
+        return dist;
+    }
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue; // Stale entry.
+        }
+        for (v, w) in g.neighbors(u) {
+            debug_assert!(w > 0.0, "stored weights are positive");
+            let nd = d + 1.0 / w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths by repeated Dijkstra (`O(n·m log n)`).
+///
+/// Only used on small graphs (tests, CLC on modest instances); row `i`
+/// is the distance vector from source `i`.
+pub fn dijkstra_all_pairs(g: &WeightedGraph) -> Vec<Vec<f64>> {
+    (0..g.n_nodes()).map(|s| dijkstra(g, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distances() {
+        // 0 -1- 1 -2- 2: lengths 1 and 0.5.
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 1.5);
+    }
+
+    #[test]
+    fn heavier_edges_are_shorter() {
+        // Two routes 0→2: direct w=0.5 (length 2) vs via 1 with w=2 each
+        // (length 0.5+0.5=1). The strong two-hop route wins.
+        let g =
+            WeightedGraph::from_edges(3, &[(0, 2, 0.5), (0, 1, 2.0), (1, 2, 2.0)]).unwrap();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], 1.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn out_of_range_source() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let d = dijkstra(&g, 5);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 0.5), (2, 3, 4.0), (0, 3, 0.25)],
+        )
+        .unwrap();
+        let d = dijkstra_all_pairs(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+            }
+            assert_eq!(d[i][i], 0.0);
+        }
+    }
+}

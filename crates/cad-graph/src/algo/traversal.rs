@@ -1,0 +1,62 @@
+//! Breadth-first traversal.
+
+use crate::graph::WeightedGraph;
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` in BFS order (including `start`).
+pub fn bfs_order(g: &WeightedGraph, start: usize) -> Vec<usize> {
+    let n = g.n_nodes();
+    if start >= n {
+        return Vec::new();
+    }
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in g.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_visits_component() {
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order, vec![0, 1, 2]);
+        let order = bfs_order(&g, 3);
+        assert_eq!(order, vec![3, 4]);
+    }
+
+    #[test]
+    fn bfs_level_order() {
+        // Star: 0 connected to 1, 2, 3.
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).unwrap();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn bfs_out_of_range_start() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(bfs_order(&g, 7).is_empty());
+    }
+
+    #[test]
+    fn bfs_isolated_start() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        assert_eq!(bfs_order(&g, 2), vec![2]);
+    }
+}

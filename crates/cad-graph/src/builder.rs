@@ -1,0 +1,141 @@
+//! Incremental construction of [`WeightedGraph`]s.
+
+use crate::error::GraphError;
+use crate::graph::WeightedGraph;
+use crate::Result;
+use cad_linalg::CooMatrix;
+
+/// Accumulates undirected weighted edges, then freezes into a
+/// [`WeightedGraph`].
+///
+/// Rules enforced at `add_edge` time, matching the paper's framework:
+/// weights must be finite and non-negative (commute times are only
+/// defined for non-negative edge weights), self-loops are rejected, and
+/// node ids must be in range. Adding the same edge twice *sums* the
+/// weights, which is convenient for event-count graphs like the monthly
+/// e-mail networks (one increment per message).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n_nodes: usize,
+    coo: CooMatrix,
+}
+
+impl GraphBuilder {
+    /// Start a graph over `n_nodes` vertices and no edges.
+    pub fn new(n_nodes: usize) -> Self {
+        GraphBuilder { n_nodes, coo: CooMatrix::new(n_nodes, n_nodes) }
+    }
+
+    /// Start with capacity for `cap` undirected edges.
+    pub fn with_capacity(n_nodes: usize, cap: usize) -> Self {
+        GraphBuilder { n_nodes, coo: CooMatrix::with_capacity(n_nodes, n_nodes, 2 * cap) }
+    }
+
+    /// Number of nodes in the graph under construction.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Add (or increment) the undirected edge `{u, v}` with weight `w`.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<()> {
+        if u >= self.n_nodes {
+            return Err(GraphError::NodeOutOfRange { node: u, n_nodes: self.n_nodes });
+        }
+        if v >= self.n_nodes {
+            return Err(GraphError::NodeOutOfRange { node: v, n_nodes: self.n_nodes });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::InvalidWeight { edge: (u, v), weight: w });
+        }
+        if w == 0.0 {
+            // A zero weight is "no edge" in the paper's formulation; adding
+            // it is a no-op rather than an error so generators can emit
+            // kernel values without special-casing underflow.
+            return Ok(());
+        }
+        self.coo.push_sym(u, v, w).map_err(GraphError::from)
+    }
+
+    /// Bulk-add edges from an iterator of `(u, v, w)` triples.
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        for (u, v, w) in edges {
+            self.add_edge(u, v, w)?;
+        }
+        Ok(())
+    }
+
+    /// Freeze into an immutable graph.
+    pub fn build(self) -> WeightedGraph {
+        WeightedGraph::from_adjacency_unchecked(self.coo.to_csr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.0).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.weight(0, 1), 2.0);
+        assert_eq!(g.weight(1, 0), 2.0);
+        assert_eq!(g.weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_sum() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 0, 2.5).unwrap();
+        let g = b.build();
+        assert_eq!(g.weight(0, 1), 3.5);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.0).unwrap();
+        let g = b.build();
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(b.add_edge(0, 3, 1.0), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(b.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(b.add_edge(0, 1, -1.0), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(
+            b.add_edge(0, 1, f64::INFINITY),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        assert_eq!(b.build().n_edges(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.volume(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for graph construction and analysis.
+
+use std::fmt;
+
+/// Errors produced while building or analysing graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Node index out of range for the declared vertex set.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n_nodes: usize,
+    },
+    /// Edge weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// Endpoints of the offending edge.
+        edge: (usize, usize),
+        /// The offending weight.
+        weight: f64,
+    },
+    /// Self-loops are not representable in the paper's framework
+    /// (adjacency diagonals are zero throughout).
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// A graph sequence mixed instances with different vertex-set sizes.
+    MixedNodeCounts {
+        /// Size of the first instance.
+        expected: usize,
+        /// Size of the offending instance.
+        found: usize,
+        /// Index of the offending instance.
+        at: usize,
+    },
+    /// A sequence operation needs at least this many instances.
+    SequenceTooShort {
+        /// Instances required.
+        required: usize,
+        /// Instances available.
+        found: usize,
+    },
+    /// An error propagated from the linear-algebra substrate.
+    Linalg(cad_linalg::LinalgError),
+    /// Free-form invalid input (generator parameters etc.).
+    InvalidInput(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node {node} out of range for graph with {n_nodes} nodes")
+            }
+            GraphError::InvalidWeight { edge, weight } => {
+                write!(f, "invalid weight {weight} on edge ({}, {})", edge.0, edge.1)
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            GraphError::MixedNodeCounts { expected, found, at } => write!(
+                f,
+                "graph sequence instance {at} has {found} nodes, expected {expected}"
+            ),
+            GraphError::SequenceTooShort { required, found } => {
+                write!(f, "sequence needs at least {required} instances, found {found}")
+            }
+            GraphError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            GraphError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cad_linalg::LinalgError> for GraphError {
+    fn from(e: cad_linalg::LinalgError) -> Self {
+        GraphError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GraphError::NodeOutOfRange { node: 5, n_nodes: 3 }
+            .to_string()
+            .contains("node 5"));
+        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains("self-loop"));
+        assert!(GraphError::InvalidWeight { edge: (0, 1), weight: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn linalg_error_wraps_with_source() {
+        use std::error::Error;
+        let e: GraphError =
+            cad_linalg::LinalgError::NotSquare { rows: 2, cols: 3 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,167 @@
+//! Gaussian-mixture similarity graphs (paper §4.1, Figure 4).
+//!
+//! The quantitative benchmark draws 2-D points from a 4-component
+//! Gaussian mixture and connects every pair `(i, j)` with weight
+//! `exp(−d(i, j))`, producing a graph with four strongly intra-connected
+//! clusters and weak inter-cluster ties. The paper stores the resulting
+//! matrix densely; we drop kernel values below a configurable floor so
+//! the graph stays sparse (DESIGN.md §5, substitution 5) — at the default
+//! floor of `1e-4` only edges between points ≥ 9.2 apart are dropped,
+//! which on the default layout is a tiny fraction of the total weight.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::WeightedGraph;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a 2-D Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct GmmParams {
+    /// Component means.
+    pub means: Vec<[f64; 2]>,
+    /// Per-component isotropic standard deviation.
+    pub std: f64,
+}
+
+impl Default for GmmParams {
+    /// Four well-separated components arranged on a square, mimicking the
+    /// layout of the paper's Figure 4a.
+    fn default() -> Self {
+        GmmParams {
+            means: vec![[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [4.0, 4.0]],
+            std: 0.6,
+        }
+    }
+}
+
+/// Draw `n` points from the mixture (components equiprobable).
+///
+/// Returns `(points, component_of_point)`.
+pub fn sample_gmm(n: usize, params: &GmmParams, seed: u64) -> (Vec<[f64; 2]>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = params.means.len();
+    let mut pts = Vec::with_capacity(n);
+    let mut comps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.random_range(0..k);
+        let m = params.means[c];
+        pts.push([
+            m[0] + params.std * gaussian(&mut rng),
+            m[1] + params.std * gaussian(&mut rng),
+        ]);
+        comps.push(c);
+    }
+    (pts, comps)
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Exponential-kernel similarity graph: `w(i, j) = exp(−‖p_i − p_j‖)`,
+/// keeping edges with weight above `floor`.
+pub fn similarity_graph(points: &[[f64; 2]], floor: f64) -> Result<WeightedGraph> {
+    if !(0.0..1.0).contains(&floor) {
+        return Err(GraphError::InvalidInput(format!(
+            "floor must be in [0, 1), got {floor}"
+        )));
+    }
+    let n = points.len();
+    // w > floor  ⟺  d < −ln(floor); precompute the squared cutoff.
+    let d_max = if floor == 0.0 { f64::INFINITY } else { -floor.ln() };
+    let d_max_sq = d_max * d_max;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i][0] - points[j][0];
+            let dy = points[i][1] - points[j][1];
+            let d_sq = dx * dx + dy * dy;
+            if d_sq < d_max_sq {
+                b.add_edge(i, j, (-d_sq.sqrt()).exp())?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_basics() {
+        let (pts, comps) = sample_gmm(400, &GmmParams::default(), 1);
+        assert_eq!(pts.len(), 400);
+        assert_eq!(comps.len(), 400);
+        // All four components drawn.
+        for c in 0..4 {
+            let count = comps.iter().filter(|&&x| x == c).count();
+            assert!(count > 50, "component {c} drawn only {count} times");
+        }
+        // Points concentrate near their means.
+        for (p, &c) in pts.iter().zip(&comps) {
+            let m = GmmParams::default().means[c];
+            let d = ((p[0] - m[0]).powi(2) + (p[1] - m[1]).powi(2)).sqrt();
+            assert!(d < 5.0, "point {p:?} too far from mean {m:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_deterministic() {
+        let a = sample_gmm(50, &GmmParams::default(), 9);
+        let b = sample_gmm(50, &GmmParams::default(), 9);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn similarity_graph_cluster_structure() {
+        let (pts, comps) = sample_gmm(120, &GmmParams::default(), 3);
+        let g = similarity_graph(&pts, 1e-4).unwrap();
+        assert!(g.is_connected());
+        // Mean intra-cluster weight must dominate mean inter-cluster weight.
+        let (mut intra, mut inter) = ((0.0, 0usize), (0.0, 0usize));
+        for (u, v, w) in g.edges() {
+            if comps[u] == comps[v] {
+                intra = (intra.0 + w, intra.1 + 1);
+            } else {
+                inter = (inter.0 + w, inter.1 + 1);
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1.max(1) as f64;
+        assert!(
+            intra_mean > 5.0 * inter_mean,
+            "intra {intra_mean} not ≫ inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn floor_controls_sparsity() {
+        let (pts, _) = sample_gmm(100, &GmmParams::default(), 4);
+        let dense = similarity_graph(&pts, 0.0).unwrap();
+        let sparse = similarity_graph(&pts, 1e-2).unwrap();
+        assert_eq!(dense.n_edges(), 100 * 99 / 2);
+        assert!(sparse.n_edges() < dense.n_edges());
+    }
+
+    #[test]
+    fn rejects_bad_floor() {
+        assert!(similarity_graph(&[[0.0, 0.0]], 1.0).is_err());
+        assert!(similarity_graph(&[[0.0, 0.0]], -0.1).is_err());
+    }
+
+    #[test]
+    fn kernel_weights_match_distances() {
+        let pts = vec![[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]];
+        let g = similarity_graph(&pts, 0.0).unwrap();
+        assert!((g.weight(0, 1) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((g.weight(0, 2) - (-2.0f64).exp()).abs() < 1e-12);
+        assert!((g.weight(1, 2) - (-(5.0f64).sqrt()).exp()).abs() < 1e-12);
+    }
+}

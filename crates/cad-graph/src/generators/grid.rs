@@ -1,0 +1,61 @@
+//! Rectangular grid graphs (test fixtures, precipitation location grid).
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::WeightedGraph;
+use crate::Result;
+
+/// `rows × cols` 4-neighbour grid with uniform edge weight `w`.
+///
+/// Node `(r, c)` has index `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize, w: f64) -> Result<WeightedGraph> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidInput(format!("empty grid {rows}x{cols}")));
+    }
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(i, i + 1, w)?;
+            }
+            if r + 1 < rows {
+                b.add_edge(i, i + cols, w)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_edge_count() {
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical.
+        let g = grid_graph(3, 4, 1.0).unwrap();
+        assert_eq!(g.n_nodes(), 12);
+        assert_eq!(g.n_edges(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let g = grid_graph(3, 3, 2.0).unwrap();
+        assert_eq!(g.degree_count(0), 2); // corner
+        assert_eq!(g.degree_count(1), 3); // edge
+        assert_eq!(g.degree_count(4), 4); // center
+        assert_eq!(g.degree(4), 8.0);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let line = grid_graph(1, 5, 1.0).unwrap();
+        assert_eq!(line.n_edges(), 4);
+        let single = grid_graph(1, 1, 1.0).unwrap();
+        assert_eq!(single.n_edges(), 0);
+        assert!(grid_graph(0, 5, 1.0).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic graph workloads from the paper's evaluation.
+
+pub mod gmm;
+pub mod grid;
+pub mod knn;
+pub mod random;
+pub mod toy;
+
+pub use gmm::{sample_gmm, similarity_graph, GmmParams};
+pub use grid::grid_graph;
+pub use knn::knn_kernel_graph_1d;
+pub use random::{erdos_renyi, sparse_random_graph};
+pub use toy::{toy_example, ToyExample};

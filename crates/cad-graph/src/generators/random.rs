@@ -1,0 +1,114 @@
+//! Random graph generators for the scalability study (§4.1.3) and tests.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::WeightedGraph;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Sparse symmetric random graph with approximately `m_target` undirected
+/// edges and `U(0, 1]` weights.
+///
+/// This reproduces the workload of §4.1.3: "symmetric random graphs of
+/// varying sizes … sparsity level at 1/n", i.e. `m = O(n)`. Edge slots
+/// are sampled uniformly; the small number of duplicate draws merge by
+/// weight summation, so the realized edge count is ≤ `m_target`.
+pub fn sparse_random_graph(n: usize, m_target: usize, seed: u64) -> Result<WeightedGraph> {
+    if n < 2 {
+        return Err(GraphError::InvalidInput(format!(
+            "need at least 2 nodes for random edges, got {n}"
+        )));
+    }
+    let max_edges = n * (n - 1) / 2;
+    if m_target > max_edges {
+        return Err(GraphError::InvalidInput(format!(
+            "m_target {m_target} exceeds the {max_edges} possible edges on {n} nodes"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m_target);
+    for _ in 0..m_target {
+        let u = rng.random_range(0..n);
+        let mut v = rng.random_range(0..n - 1);
+        if v >= u {
+            v += 1;
+        }
+        // Weight in (0, 1]: zero would silently drop the edge.
+        let w = 1.0 - rng.random::<f64>();
+        b.add_edge(u, v, w)?;
+    }
+    Ok(b.build())
+}
+
+/// Erdős–Rényi `G(n, p)` with `U(0, 1]` weights (small graphs / tests).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<WeightedGraph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidInput(format!("p must be in [0, 1], got {p}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(u, v, 1.0 - rng.random::<f64>())?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_graph_sizes() {
+        let g = sparse_random_graph(1000, 1000, 1).unwrap();
+        assert_eq!(g.n_nodes(), 1000);
+        // Duplicate draws merge, so the count can fall slightly short.
+        assert!(g.n_edges() <= 1000);
+        assert!(g.n_edges() > 900, "too many collisions: {}", g.n_edges());
+    }
+
+    #[test]
+    fn weights_in_unit_interval() {
+        let g = sparse_random_graph(100, 150, 2).unwrap();
+        for (_, _, w) in g.edges() {
+            assert!(w > 0.0 && w <= 2.0, "weight {w}"); // ≤ 2 with a merge.
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sparse_random_graph(50, 80, 7).unwrap();
+        let b = sparse_random_graph(50, 80, 7).unwrap();
+        let c = sparse_random_graph(50, 80, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(sparse_random_graph(1, 0, 0).is_err());
+        assert!(sparse_random_graph(3, 100, 0).is_err());
+        assert!(erdos_renyi(5, 1.5, 0).is_err());
+        assert!(erdos_renyi(5, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(10, 0.0, 3).unwrap();
+        assert_eq!(empty.n_edges(), 0);
+        let full = erdos_renyi(10, 1.0, 3).unwrap();
+        assert_eq!(full.n_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_plausible() {
+        let g = erdos_renyi(60, 0.3, 11).unwrap();
+        let expected = 0.3 * (60.0 * 59.0 / 2.0);
+        let got = g.n_edges() as f64;
+        assert!((got - expected).abs() < 4.0 * expected.sqrt(), "{got} vs {expected}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The 17-node illustrative example of the paper (Figure 1).
+//!
+//! Two loosely-coupled clusters — blue `b1..b8` and red `r1..r9` — where
+//! the red cluster itself contains a bridge edge `r7–r8` separating the
+//! subgroup `{r4, r6, r8, r9}` from the rest. Five scripted edge-weight
+//! changes happen between time `t` and `t+1`:
+//!
+//! | id | edge      | change              | paper case | verdict   |
+//! |----|-----------|---------------------|------------|-----------|
+//! | S1 | `b1–r1`   | new edge            | Case 2     | anomalous |
+//! | S2 | `r7–r8`   | bridge weakens      | Case 3     | anomalous |
+//! | S3 | `b4–b5`   | large increase      | Case 1     | anomalous |
+//! | S4 | `b1–b3`   | small decrease      | —          | benign    |
+//! | S5 | `b2–b7`   | small increase      | —          | benign    |
+//!
+//! The paper's Figure 1 gives the topology only qualitatively; the
+//! concrete weights here are chosen so the qualitative structure
+//! (clusters, bridge, tight coupling of the benign pairs) holds, and the
+//! reproduction checks *orderings and separations* of Tables 1–2 rather
+//! than the paper's absolute score values.
+
+use crate::graph::WeightedGraph;
+use crate::sequence::GraphSequence;
+
+/// Node index of a blue node `b1..b8` (1-based, as in the paper).
+pub const fn b(i: usize) -> usize {
+    i - 1
+}
+
+/// Node index of a red node `r1..r9` (1-based, as in the paper).
+pub const fn r(i: usize) -> usize {
+    8 + i - 1
+}
+
+/// Number of nodes in the toy example.
+pub const N_NODES: usize = 17;
+
+/// The toy dynamic graph plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct ToyExample {
+    /// Two instances: `G_t` and `G_{t+1}`.
+    pub seq: GraphSequence,
+    /// The three anomalous edges (S1, S3, S2 of the table above).
+    pub anomalous_edges: Vec<(usize, usize)>,
+    /// The two benign changed edges (S4, S5).
+    pub benign_changed_edges: Vec<(usize, usize)>,
+    /// Endpoints of the anomalous edges: `b1, r1, b4, b5, r7, r8`.
+    pub anomalous_nodes: Vec<usize>,
+}
+
+/// Human-readable label of toy node `i` (`"b1"`…`"b8"`, `"r1"`…`"r9"`).
+pub fn node_label(i: usize) -> String {
+    if i < 8 {
+        format!("b{}", i + 1)
+    } else {
+        format!("r{}", i - 8 + 1)
+    }
+}
+
+/// Inverse of [`node_label`].
+pub fn node_index(label: &str) -> Option<usize> {
+    let (kind, num) = label.split_at(1);
+    let num: usize = num.parse().ok()?;
+    match kind {
+        "b" if (1..=8).contains(&num) => Some(b(num)),
+        "r" if (1..=9).contains(&num) => Some(r(num)),
+        _ => None,
+    }
+}
+
+fn base_edges() -> Vec<(usize, usize, f64)> {
+    vec![
+        // Blue cluster: well connected.
+        (b(1), b(2), 3.0),
+        (b(1), b(3), 3.0),
+        (b(1), b(6), 2.0),
+        (b(2), b(3), 2.0),
+        (b(2), b(7), 2.0),
+        (b(3), b(4), 2.0),
+        (b(4), b(5), 1.0),
+        (b(4), b(8), 2.0),
+        (b(5), b(6), 2.0),
+        (b(6), b(7), 2.0),
+        (b(7), b(8), 2.0),
+        // Red subgroup A: {r1, r2, r3, r5, r7}.
+        (r(1), r(2), 3.0),
+        (r(1), r(3), 2.0),
+        (r(1), r(7), 2.0),
+        (r(2), r(3), 2.0),
+        (r(2), r(5), 2.0),
+        (r(3), r(5), 2.0),
+        (r(3), r(7), 2.0),
+        (r(5), r(7), 2.0),
+        // Red subgroup B: {r4, r6, r8, r9}.
+        (r(4), r(6), 2.0),
+        (r(4), r(8), 2.0),
+        (r(4), r(9), 2.0),
+        (r(6), r(8), 2.0),
+        (r(6), r(9), 2.0),
+        (r(8), r(9), 2.0),
+        // Bridge between the red subgroups.
+        (r(7), r(8), 2.0),
+        // Weak blue–red ties keeping the graph connected.
+        (b(3), r(2), 0.5),
+        (b(8), r(5), 0.5),
+    ]
+}
+
+/// Construct the toy example: `G_t`, `G_{t+1}` and ground truth.
+pub fn toy_example() -> ToyExample {
+    let edges_t = base_edges();
+    let mut edges_t1 = Vec::with_capacity(edges_t.len() + 1);
+    for &(u, v, w) in &edges_t {
+        let w1 = if (u, v) == (r(7), r(8)) {
+            0.5 // S2: bridge weakens.
+        } else if (u, v) == (b(4), b(5)) {
+            6.0 // S3: large increase.
+        } else if (u, v) == (b(1), b(3)) || (u, v) == (b(2), b(7)) {
+            2.5 // S4 (benign small decrease) / S5 (benign small increase).
+        } else {
+            w
+        };
+        edges_t1.push((u, v, w1));
+    }
+    // S1: new edge between the clusters.
+    edges_t1.push((b(1), r(1), 1.0));
+
+    let g_t = WeightedGraph::from_edges(N_NODES, &edges_t).expect("static edge list is valid");
+    let g_t1 = WeightedGraph::from_edges(N_NODES, &edges_t1).expect("static edge list is valid");
+    let seq = GraphSequence::new(vec![g_t, g_t1]).expect("two instances, same node count");
+
+    ToyExample {
+        seq,
+        anomalous_edges: vec![(b(1), r(1)), (b(4), b(5)), (r(7), r(8))],
+        benign_changed_edges: vec![(b(1), b(3)), (b(2), b(7))],
+        anomalous_nodes: vec![b(1), b(4), b(5), r(1), r(7), r(8)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_description() {
+        let toy = toy_example();
+        let g0 = toy.seq.graph(0);
+        let g1 = toy.seq.graph(1);
+        assert_eq!(g0.n_nodes(), 17);
+        // S1 new edge exists only at t+1.
+        assert!(!g0.has_edge(b(1), r(1)));
+        assert_eq!(g1.weight(b(1), r(1)), 1.0);
+        // S2 bridge weakened.
+        assert_eq!(g0.weight(r(7), r(8)), 2.0);
+        assert_eq!(g1.weight(r(7), r(8)), 0.5);
+        // S3 strengthened.
+        assert_eq!(g0.weight(b(4), b(5)), 1.0);
+        assert_eq!(g1.weight(b(4), b(5)), 6.0);
+        // Both instances connected.
+        assert!(g0.is_connected());
+        assert!(g1.is_connected());
+    }
+
+    #[test]
+    fn bridge_separates_red_subgroup() {
+        // Removing r7–r8 disconnects {r4, r6, r8, r9} from red subgroup A
+        // (they remain attached to blue only through subgroup A, which is
+        // the point of scenario S2).
+        let toy = toy_example();
+        let g0 = toy.seq.graph(0);
+        let edges: Vec<_> = g0
+            .edges()
+            .filter(|&(u, v, _)| (u, v) != (r(7), r(8)))
+            .collect();
+        let cut = WeightedGraph::from_edges(17, &edges).unwrap();
+        let (comp, k) = cut.components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[r(4)], comp[r(8)]);
+        assert_eq!(comp[r(6)], comp[r(9)]);
+        assert_ne!(comp[r(8)], comp[r(7)]);
+        assert_ne!(comp[r(8)], comp[b(1)]);
+    }
+
+    #[test]
+    fn exactly_six_changed_edges() {
+        let toy = toy_example();
+        let changed = toy.seq.changed_edges(0);
+        assert_eq!(changed.len(), 5, "exactly S1-S5 change: {changed:?}");
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for i in 0..17 {
+            assert_eq!(node_index(&node_label(i)), Some(i));
+        }
+        assert_eq!(node_label(0), "b1");
+        assert_eq!(node_label(8), "r1");
+        assert_eq!(node_label(16), "r9");
+        assert_eq!(node_index("x1"), None);
+        assert_eq!(node_index("b9"), None);
+        assert_eq!(node_index("r10"), None);
+    }
+
+    #[test]
+    fn ground_truth_consistent() {
+        let toy = toy_example();
+        for &(u, v) in &toy.anomalous_edges {
+            assert!(toy.anomalous_nodes.contains(&u));
+            assert!(toy.anomalous_nodes.contains(&v));
+        }
+        assert_eq!(toy.anomalous_nodes.len(), 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! Plain-text I/O for graphs and graph sequences.
+//!
+//! The format is a line-oriented weighted edge list, chosen so that real
+//! datasets (SNAP-style edge lists, exported adjacency dumps) convert
+//! with a one-line awk script:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! nodes 17            # header: vertex-set size (fixed for a sequence)
+//! instance            # starts a new graph instance
+//! 0 1 3.0             # edge: u v weight
+//! 0 2 3.0
+//! instance            # the next time step
+//! 0 1 2.5
+//! ```
+//!
+//! A file with a single `instance` marker (or none) parses as one
+//! [`WeightedGraph`]; two or more parse as a [`GraphSequence`].
+
+use crate::error::GraphError;
+use crate::graph::WeightedGraph;
+use crate::sequence::GraphSequence;
+use crate::{GraphBuilder, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Write one graph as an edge list (with `nodes` header and one
+/// `instance` marker).
+pub fn write_graph<W: Write>(mut w: W, g: &WeightedGraph) -> Result<()> {
+    let io_err = |e: std::io::Error| GraphError::InvalidInput(format!("write failed: {e}"));
+    writeln!(w, "nodes {}", g.n_nodes()).map_err(io_err)?;
+    writeln!(w, "instance").map_err(io_err)?;
+    for (u, v, weight) in g.edges() {
+        writeln!(w, "{u} {v} {weight}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Write a whole sequence (shared `nodes` header, one `instance` block
+/// per time step).
+pub fn write_sequence<W: Write>(mut w: W, seq: &GraphSequence) -> Result<()> {
+    let io_err = |e: std::io::Error| GraphError::InvalidInput(format!("write failed: {e}"));
+    writeln!(w, "nodes {}", seq.n_nodes()).map_err(io_err)?;
+    for g in seq.graphs() {
+        writeln!(w, "instance").map_err(io_err)?;
+        for (u, v, weight) in g.edges() {
+            writeln!(w, "{u} {v} {weight}").map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse one or more instances; returns the list of graphs and the
+/// declared vertex count.
+fn read_instances<R: Read>(r: R) -> Result<(usize, Vec<WeightedGraph>)> {
+    let reader = BufReader::new(r);
+    let mut n_nodes: Option<usize> = None;
+    let mut builders: Vec<GraphBuilder> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line =
+            line.map_err(|e| GraphError::InvalidInput(format!("read failed: {e}")))?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        match tokens.next() {
+            Some("nodes") => {
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad_line(lineno, "expected `nodes <count>`"))?;
+                if n_nodes.replace(n).is_some() {
+                    return Err(bad_line(lineno, "duplicate `nodes` header"));
+                }
+            }
+            Some("instance") => {
+                let n = n_nodes
+                    .ok_or_else(|| bad_line(lineno, "`instance` before `nodes` header"))?;
+                builders.push(GraphBuilder::new(n));
+            }
+            Some(u_tok) => {
+                let parse =
+                    |t: Option<&str>| t.and_then(|t| t.parse::<f64>().ok());
+                let u: usize = u_tok
+                    .parse()
+                    .map_err(|_| bad_line(lineno, "expected `u v weight`"))?;
+                let v: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad_line(lineno, "expected `u v weight`"))?;
+                let weight =
+                    parse(tokens.next()).ok_or_else(|| bad_line(lineno, "expected `u v weight`"))?;
+                let builder = builders
+                    .last_mut()
+                    .ok_or_else(|| bad_line(lineno, "edge before any `instance` marker"))?;
+                builder.add_edge(u, v, weight)?;
+            }
+            None => unreachable!("empty content filtered above"),
+        }
+    }
+    let n = n_nodes.ok_or_else(|| GraphError::InvalidInput("missing `nodes` header".into()))?;
+    Ok((n, builders.into_iter().map(GraphBuilder::build).collect()))
+}
+
+fn bad_line(lineno: usize, msg: &str) -> GraphError {
+    GraphError::InvalidInput(format!("line {}: {msg}", lineno + 1))
+}
+
+/// Read a single graph (exactly one `instance` block).
+pub fn read_graph<R: Read>(r: R) -> Result<WeightedGraph> {
+    let (_, mut graphs) = read_instances(r)?;
+    match graphs.len() {
+        1 => Ok(graphs.pop().expect("len checked")),
+        k => Err(GraphError::InvalidInput(format!("expected 1 instance, found {k}"))),
+    }
+}
+
+/// Read a sequence (two or more `instance` blocks).
+pub fn read_sequence<R: Read>(r: R) -> Result<GraphSequence> {
+    let (_, graphs) = read_instances(r)?;
+    GraphSequence::new(graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_seq() -> GraphSequence {
+        let g0 = WeightedGraph::from_edges(4, &[(0, 1, 1.5), (2, 3, 2.0)]).unwrap();
+        let g1 = WeightedGraph::from_edges(4, &[(0, 1, 1.5), (2, 3, 2.5), (1, 2, 0.5)]).unwrap();
+        GraphSequence::new(vec![g0, g1]).unwrap()
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.25), (1, 2, 0.75)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let back = read_graph(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn sequence_roundtrip() {
+        let seq = sample_seq();
+        let mut buf = Vec::new();
+        write_sequence(&mut buf, &seq).unwrap();
+        let back = read_sequence(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        for t in 0..2 {
+            assert_eq!(back.graph(t), seq.graph(t));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header comment\nnodes 3\ninstance # first\n0 1 2.0 # edge\n\n1 2 1.0\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.weight(0, 1), 2.0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_graph("nodes 3\ninstance\n0 x 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let err = read_graph("instance\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("before `nodes`"), "{err}");
+        let err = read_graph("nodes 3\n0 1 1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("before any `instance`"), "{err}");
+        let err = read_graph("nodes 3\nnodes 4\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn wrong_instance_count_rejected() {
+        let seq = sample_seq();
+        let mut buf = Vec::new();
+        write_sequence(&mut buf, &seq).unwrap();
+        assert!(read_graph(&buf[..]).is_err());
+        assert!(read_sequence("nodes 2\ninstance\n0 1 1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn invalid_edges_propagate_graph_errors() {
+        let err = read_graph("nodes 2\ninstance\n0 5 1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+        let err = read_graph("nodes 2\ninstance\n0 1 -2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidWeight { .. }));
+    }
+}

@@ -1,0 +1,39 @@
+//! Weighted undirected graphs and dynamic graph sequences.
+//!
+//! The CAD problem framework (paper §2) works with a temporal sequence of
+//! weighted undirected graphs over a *fixed* vertex set, represented by
+//! symmetric adjacency matrices. This crate provides:
+//!
+//! * [`WeightedGraph`] — an immutable CSR-backed graph with Laplacian /
+//!   degree / volume accessors, built through [`GraphBuilder`];
+//! * [`GraphSequence`] — a validated sequence of graph instances sharing
+//!   one vertex set, the input type of every detector in the workspace;
+//! * [`algo`] — traversal, Dijkstra shortest paths and the centrality
+//!   measures needed by the CLC baseline;
+//! * [`io`] — plain-text edge-list reading/writing for graphs and
+//!   sequences (the CLI's interchange format);
+//! * [`generators`] — every synthetic workload of the paper's evaluation:
+//!   the 17-node toy example of Figure 1, Gaussian-mixture similarity
+//!   graphs (§4.1), sparse random graphs (§4.1.3), k-nearest-neighbour
+//!   kernel graphs (§4.2.3) and grid graphs for tests.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod algo;
+pub mod builder;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod sequence;
+pub mod stats;
+pub mod subgraph;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::WeightedGraph;
+pub use sequence::GraphSequence;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

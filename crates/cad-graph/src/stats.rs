@@ -1,0 +1,168 @@
+//! Descriptive statistics of a graph instance.
+//!
+//! Used by the dataset simulators' validation tests (e.g. checking the
+//! simulated e-mail network is as sparse as the real corpus) and by the
+//! CLI's summary output.
+
+use crate::graph::WeightedGraph;
+
+/// Summary statistics of one weighted graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Number of undirected edges with non-zero weight.
+    pub n_edges: usize,
+    /// Edge density `m / (n(n−1)/2)`.
+    pub density: f64,
+    /// Mean unweighted degree.
+    pub mean_degree: f64,
+    /// Maximum unweighted degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+    /// Minimum / mean / maximum edge weight (zeros when no edges).
+    pub weight_min: f64,
+    /// Mean edge weight.
+    pub weight_mean: f64,
+    /// Maximum edge weight.
+    pub weight_max: f64,
+    /// Global (transitivity) clustering coefficient:
+    /// `3·triangles / connected-triples`, ignoring weights.
+    pub clustering: f64,
+    /// Number of connected components.
+    pub n_components: usize,
+}
+
+impl GraphStats {
+    /// Compute all statistics (`O(Σ deg²)` for the triangle count).
+    pub fn compute(g: &WeightedGraph) -> Self {
+        let n = g.n_nodes();
+        let m = g.n_edges();
+        let degrees: Vec<usize> = (0..n).map(|u| g.degree_count(u)).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let isolated = degrees.iter().filter(|&&d| d == 0).count();
+        let mean_degree = if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 };
+        let density = if n >= 2 { m as f64 / (n as f64 * (n as f64 - 1.0) / 2.0) } else { 0.0 };
+
+        let (mut wmin, mut wmax, mut wsum) = (f64::INFINITY, 0.0f64, 0.0f64);
+        for (_, _, w) in g.edges() {
+            wmin = wmin.min(w);
+            wmax = wmax.max(w);
+            wsum += w;
+        }
+        let (weight_min, weight_mean, weight_max) = if m == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (wmin, wsum / m as f64, wmax)
+        };
+
+        // Triangles: for each node, count adjacent neighbour pairs that
+        // are themselves adjacent. Each triangle is seen 3 times.
+        let mut triangles3 = 0usize;
+        let mut triples = 0usize;
+        for u in 0..n {
+            let neigh: Vec<usize> = g.neighbors(u).map(|(v, _)| v).collect();
+            let d = neigh.len();
+            triples += d * d.saturating_sub(1) / 2;
+            for (ai, &a) in neigh.iter().enumerate() {
+                for &b in &neigh[ai + 1..] {
+                    if g.has_edge(a, b) {
+                        triangles3 += 1;
+                    }
+                }
+            }
+        }
+        let clustering = if triples > 0 { triangles3 as f64 / triples as f64 } else { 0.0 };
+
+        let (_, n_components) = g.components();
+        GraphStats {
+            n_nodes: n,
+            n_edges: m,
+            density,
+            mean_degree,
+            max_degree,
+            isolated,
+            weight_min,
+            weight_mean,
+            weight_max,
+            clustering,
+            n_components,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} density={:.4} deg(mean/max)={:.1}/{} isolated={} \
+             w(min/mean/max)={:.3}/{:.3}/{:.3} clustering={:.3} components={}",
+            self.n_nodes,
+            self.n_edges,
+            self.density,
+            self.mean_degree,
+            self.max_degree,
+            self.isolated,
+            self.weight_min,
+            self.weight_mean,
+            self.weight_max,
+            self.clustering,
+            self.n_components
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_graph() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_nodes, 3);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(s.clustering, 1.0);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.weight_min, 1.0);
+        assert_eq!(s.weight_mean, 2.0);
+        assert_eq!(s.weight_max, 3.0);
+        assert_eq!(s.n_components, 1);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.clustering, 0.0);
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_and_components() {
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.n_components, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::from_edges(4, &[]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_edges, 0);
+        assert_eq!(s.weight_mean, 0.0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.isolated, 4);
+    }
+
+    #[test]
+    fn display_compact() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        let text = GraphStats::compute(&g).to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("components=2"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Induced and ego subgraphs.
+//!
+//! Analyst drill-down after detection: once CAD names a node, pull out
+//! its neighbourhood (the paper's Figure 8b shows exactly this — the
+//! CEO's ego network before and during the eruption).
+
+use crate::graph::WeightedGraph;
+use crate::{GraphBuilder, GraphError, Result};
+use std::collections::VecDeque;
+
+/// The subgraph induced by a set of nodes, plus the mapping from new
+/// (dense) indices back to the original node ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced graph over re-indexed nodes `0..len`.
+    pub graph: WeightedGraph,
+    /// `original_id[new_index]` — the node each new index came from.
+    pub original_id: Vec<usize>,
+}
+
+impl Subgraph {
+    /// New index of an original node, if it is in the subgraph.
+    pub fn index_of(&self, original: usize) -> Option<usize> {
+        self.original_id.iter().position(|&o| o == original)
+    }
+}
+
+/// Induced subgraph over `nodes` (duplicates ignored, order preserved).
+pub fn induced_subgraph(g: &WeightedGraph, nodes: &[usize]) -> Result<Subgraph> {
+    let mut original_id = Vec::with_capacity(nodes.len());
+    let mut new_index = vec![usize::MAX; g.n_nodes()];
+    for &n in nodes {
+        if n >= g.n_nodes() {
+            return Err(GraphError::NodeOutOfRange { node: n, n_nodes: g.n_nodes() });
+        }
+        if new_index[n] == usize::MAX {
+            new_index[n] = original_id.len();
+            original_id.push(n);
+        }
+    }
+    let mut b = GraphBuilder::new(original_id.len());
+    for (ni, &orig) in original_id.iter().enumerate() {
+        for (nb, w) in g.neighbors(orig) {
+            let nj = new_index[nb];
+            if nj != usize::MAX && nj > ni {
+                b.add_edge(ni, nj, w)?;
+            }
+        }
+    }
+    Ok(Subgraph { graph: b.build(), original_id })
+}
+
+/// Ego subgraph: `center` plus everything within `radius` hops,
+/// induced. `radius = 1` is the paper's egonet.
+pub fn ego_subgraph(g: &WeightedGraph, center: usize, radius: usize) -> Result<Subgraph> {
+    if center >= g.n_nodes() {
+        return Err(GraphError::NodeOutOfRange { node: center, n_nodes: g.n_nodes() });
+    }
+    let mut dist = vec![usize::MAX; g.n_nodes()];
+    let mut order = vec![center];
+    let mut queue = VecDeque::from([center]);
+    dist[center] = 0;
+    while let Some(u) = queue.pop_front() {
+        if dist[u] == radius {
+            continue;
+        }
+        for (v, _) in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    induced_subgraph(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph {
+        // 0-1-2-3 path plus triangle 1-2-4.
+        WeightedGraph::from_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (1, 4, 4.0), (2, 4, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[1, 2, 4]).unwrap();
+        assert_eq!(s.graph.n_nodes(), 3);
+        assert_eq!(s.graph.n_edges(), 3); // the triangle
+        let (i1, i4) = (s.index_of(1).unwrap(), s.index_of(4).unwrap());
+        assert_eq!(s.graph.weight(i1, i4), 4.0);
+        assert_eq!(s.index_of(0), None);
+    }
+
+    #[test]
+    fn duplicates_and_order() {
+        let g = sample();
+        let s = induced_subgraph(&g, &[3, 3, 2]).unwrap();
+        assert_eq!(s.original_id, vec![3, 2]);
+        assert_eq!(s.graph.n_edges(), 1);
+    }
+
+    #[test]
+    fn ego_radius_one() {
+        let g = sample();
+        let s = ego_subgraph(&g, 0, 1).unwrap();
+        assert_eq!(s.original_id, vec![0, 1]);
+        assert_eq!(s.graph.n_edges(), 1);
+    }
+
+    #[test]
+    fn ego_radius_two_includes_triangle() {
+        let g = sample();
+        let s = ego_subgraph(&g, 0, 2).unwrap();
+        let mut ids = s.original_id.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 4]);
+        // Edges among {0,1,2,4}: (0,1), (1,2), (1,4), (2,4).
+        assert_eq!(s.graph.n_edges(), 4);
+    }
+
+    #[test]
+    fn radius_zero_is_single_node() {
+        let g = sample();
+        let s = ego_subgraph(&g, 2, 0).unwrap();
+        assert_eq!(s.original_id, vec![2]);
+        assert_eq!(s.graph.n_edges(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = sample();
+        assert!(induced_subgraph(&g, &[9]).is_err());
+        assert!(ego_subgraph(&g, 9, 1).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Dense Cholesky factorization for SPD matrices.
+//!
+//! Used for exact commute times on connected graphs via the identity
+//! `L⁺ = (L + (1/n)·J)⁻¹ − (1/n)·J` (J the all-ones matrix), which is much
+//! cheaper than a full eigendecomposition, and as the reference solver in
+//! solver tests.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// Lower triangle, stored densely (upper triangle is zero).
+    l: DenseMatrix,
+}
+
+impl CholeskyFactor {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::FactorizationFailed`] when a pivot is not
+    /// strictly positive (matrix not SPD to working precision).
+    pub fn factor(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let n = a.nrows();
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let v = l.get(j, k);
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::FactorizationFailed { what: "cholesky", index: j });
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Order of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solve `A x = b` using forward/back substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = y[i];
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        // Back: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Compute `A⁻¹` column by column.
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        let n = self.dim();
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let x = self.solve(&e)?;
+            for i in 0..n {
+                inv.set(i, j, x[i]);
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 3.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_and_solve() {
+        let a = spd3();
+        let f = CholeskyFactor::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = f.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-12, "residual too large");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = CholeskyFactor::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = DenseMatrix::identity(3);
+        assert!(prod.max_abs_diff(&eye).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(matches!(
+            CholeskyFactor::factor(&a),
+            Err(LinalgError::FactorizationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(CholeskyFactor::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_checks_rhs_len() {
+        let f = CholeskyFactor::factor(&spd3()).unwrap();
+        assert!(f.solve(&[1.0, 2.0]).is_err());
+    }
+}

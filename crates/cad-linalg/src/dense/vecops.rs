@@ -1,0 +1,158 @@
+//! Free functions over `&[f64]` vectors.
+//!
+//! All functions panic on length mismatch in debug builds via
+//! `debug_assert!`; release paths rely on iterator zipping which silently
+//! truncates, so callers are expected to pass equal-length slices (all
+//! call sites inside this workspace do).
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean distance `‖x − y‖₂²`.
+#[inline]
+pub fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// `z ← x − y` into a fresh vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Arithmetic mean of the entries (0.0 for the empty slice).
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Subtract the mean from every entry, projecting onto `1⊥`.
+///
+/// This is how right-hand sides are kept in the range of a connected
+/// graph Laplacian before iterative solves.
+#[inline]
+pub fn center(x: &mut [f64]) {
+    let m = mean(x);
+    for xi in x.iter_mut() {
+        *xi -= m;
+    }
+}
+
+/// Normalize `x` to unit Euclidean norm; returns the original norm.
+///
+/// Leaves `x` untouched (and returns 0.0) when its norm underflows,
+/// so callers can detect a zero vector.
+#[inline]
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > f64::MIN_POSITIVE {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Maximum absolute entry (`‖x‖∞`), 0.0 for the empty slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+    }
+
+    #[test]
+    fn dist2_sq_basic() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_produces_difference() {
+        assert_eq!(sub(&[5.0, 2.0], &[1.0, 7.0]), vec![4.0, -5.0]);
+    }
+
+    #[test]
+    fn mean_and_center() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        assert_eq!(mean(&x), 2.0);
+        center(&mut x);
+        assert_eq!(x, vec![-1.0, 0.0, 1.0]);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_inf_max_abs() {
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+}

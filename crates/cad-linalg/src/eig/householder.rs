@@ -1,0 +1,233 @@
+//! Householder reduction of a dense symmetric matrix to tridiagonal
+//! form, and the fast eigensolver built on it.
+//!
+//! The cyclic-Jacobi solver is simple and robust but needs several
+//! `O(n³)` sweeps; the classic two-stage route — Householder
+//! tridiagonalization (`4n³/3` flops, once) followed by implicit-shift
+//! QL on the tridiagonal ([`crate::eig::tridiag`]) — is ~5–10× faster at
+//! the sizes the exact commute-time engine targets (the paper's GMM
+//! benchmark is n = 2000). [`sym_eigen`] is the drop-in fast variant of
+//! [`crate::eig::jacobi_eigen`].
+
+use crate::dense::DenseMatrix;
+use crate::eig::jacobi::EigenDecomposition;
+use crate::eig::tridiag::tridiagonal_eigen;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Householder tridiagonalization `A = Q T Qᵀ`.
+///
+/// Returns `(diag, offdiag, q)` with `T` given by its main diagonal and
+/// subdiagonal and `Q` orthogonal. The input must be symmetric.
+pub fn householder_tridiagonalize(
+    a: &DenseMatrix,
+) -> Result<(Vec<f64>, Vec<f64>, DenseMatrix)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::InvalidInput(
+            "householder tridiagonalization requires a symmetric matrix".into(),
+        ));
+    }
+    let n = a.nrows();
+    let mut m = a.clone(); // Working copy; lower triangle holds reflectors.
+    let mut diag = vec![0.0; n];
+    let mut off = vec![0.0; n.saturating_sub(1)];
+
+    // EISPACK `tred2`-style reduction, processing columns from the end.
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let mut scale = 0.0f64;
+            for k in 0..=l {
+                scale += m.get(i, k).abs();
+            }
+            if scale == 0.0 {
+                off[l] = m.get(i, l);
+            } else {
+                for k in 0..=l {
+                    let v = m.get(i, k) / scale;
+                    m.set(i, k, v);
+                    h += v * v;
+                }
+                let mut f = m.get(i, l);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                off[l] = scale * g;
+                h -= f * g;
+                m.set(i, l, f - g);
+                let mut f_acc = 0.0f64;
+                // e (stored in a scratch) = A u / h, then the rank-2 update.
+                let mut e_scratch = vec![0.0f64; l + 1];
+                for j in 0..=l {
+                    m.set(j, i, m.get(i, j) / h);
+                    let mut g2 = 0.0f64;
+                    for k in 0..=j {
+                        g2 += m.get(j, k) * m.get(i, k);
+                    }
+                    for k in (j + 1)..=l {
+                        g2 += m.get(k, j) * m.get(i, k);
+                    }
+                    e_scratch[j] = g2 / h;
+                    f_acc += e_scratch[j] * m.get(i, j);
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    f = m.get(i, j);
+                    let g2 = e_scratch[j] - hh * f;
+                    e_scratch[j] = g2;
+                    for k in 0..=j {
+                        let v = m.get(j, k) - f * e_scratch[k] - g2 * m.get(i, k);
+                        m.set(j, k, v);
+                    }
+                }
+            }
+        } else {
+            off[l] = m.get(i, l);
+        }
+        diag[i] = h;
+    }
+
+    // Accumulate Q (tred2 back-accumulation).
+    diag[0] = 0.0;
+    let mut q = DenseMatrix::identity(n);
+    for i in 0..n {
+        let l = i; // columns 0..i are finished
+        if diag[i] != 0.0 {
+            for j in 0..l {
+                let mut g = 0.0f64;
+                for k in 0..l {
+                    g += m.get(i, k) * q.get(k, j);
+                }
+                for k in 0..l {
+                    let v = q.get(k, j) - g * m.get(k, i);
+                    q.set(k, j, v);
+                }
+            }
+        }
+        diag[i] = m.get(i, i);
+        q.set(i, i, 1.0);
+        for j in 0..l {
+            q.set(i, j, 0.0);
+            q.set(j, i, 0.0);
+        }
+    }
+    // After accumulation, recompute the diagonal of T from the working
+    // copy (tred2 stores it in `d` during the loop above).
+    Ok((diag, off, q))
+}
+
+/// Fast symmetric eigendecomposition: Householder + implicit-shift QL.
+///
+/// Same contract as [`crate::eig::jacobi_eigen`] (ascending eigenvalues,
+/// orthonormal columns), several times faster for `n ≳ 100`.
+pub fn sym_eigen(a: &DenseMatrix) -> Result<EigenDecomposition> {
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(EigenDecomposition { values: Vec::new(), vectors: DenseMatrix::zeros(0, 0) });
+    }
+    let (diag, off, q) = householder_tridiagonalize(a)?;
+    let (values, z) = tridiagonal_eigen(&diag, &off)?;
+    // Eigenvectors of A are Q Z.
+    let vectors = q.matmul(&z)?;
+    Ok(EigenDecomposition { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::vecops;
+    use crate::eig::{jacobi_eigen, JacobiOptions};
+
+    fn random_symmetric(n: usize, seed: u64) -> DenseMatrix {
+        // Deterministic pseudo-random symmetric matrix.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next() * 4.0;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        m
+    }
+
+    fn check_decomposition(a: &DenseMatrix, tol: f64) {
+        let n = a.nrows();
+        let e = sym_eigen(a).unwrap();
+        // Ascending.
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        // A v = λ v.
+        for j in 0..n {
+            let v = e.vectors.col(j);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..n {
+                assert!(
+                    (av[i] - e.values[j] * v[i]).abs() < tol,
+                    "residual ({i},{j}): {} vs {}",
+                    av[i],
+                    e.values[j] * v[i]
+                );
+            }
+        }
+        // Orthonormal columns.
+        for i in 0..n {
+            for j in 0..n {
+                let d = vecops::dot(&e.vectors.col(i), &e.vectors.col(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-8, "q{i}·q{j} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_matrices() {
+        for seed in 1..5u64 {
+            let a = random_symmetric(12, seed);
+            let fast = sym_eigen(&a).unwrap();
+            let reference = jacobi_eigen(&a, JacobiOptions::default()).unwrap();
+            for (x, y) in fast.values.iter().zip(&reference.values) {
+                assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_contract_on_various_inputs() {
+        check_decomposition(&random_symmetric(20, 42), 1e-7);
+        check_decomposition(&DenseMatrix::identity(5), 1e-10);
+        check_decomposition(&DenseMatrix::zeros(4, 4), 1e-10);
+        // Laplacian of a star.
+        let mut star = DenseMatrix::zeros(5, 5);
+        star.set(0, 0, 4.0);
+        for i in 1..5 {
+            star.set(i, i, 1.0);
+            star.set(0, i, -1.0);
+            star.set(i, 0, -1.0);
+        }
+        check_decomposition(&star, 1e-8);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(sym_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let e = sym_eigen(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        let one = DenseMatrix::from_rows(&[&[3.5]]).unwrap();
+        let e = sym_eigen(&one).unwrap();
+        assert_eq!(e.values, vec![3.5]);
+    }
+}

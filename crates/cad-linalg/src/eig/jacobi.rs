@@ -1,0 +1,236 @@
+//! Cyclic Jacobi eigendecomposition for dense symmetric matrices.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Options for the Jacobi sweep loop.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Stop when the off-diagonal Frobenius norm drops below
+    /// `tol · ‖A‖_F`.
+    pub tol: f64,
+    /// Maximum number of full sweeps before giving up.
+    pub max_sweeps: usize,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions { tol: 1e-12, max_sweeps: 100 }
+    }
+}
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted ascending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` pairs with `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+impl EigenDecomposition {
+    /// Eigenvector for `values[j]` as an owned vector.
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// The input must be symmetric to `1e-8` (checked); eigenvalues are
+/// returned in ascending order with matching orthonormal eigenvectors.
+pub fn jacobi_eigen(a: &DenseMatrix, opts: JacobiOptions) -> Result<EigenDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(LinalgError::InvalidInput("jacobi_eigen requires a symmetric matrix".into()));
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    if n <= 1 {
+        return Ok(EigenDecomposition { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v });
+    }
+
+    let frob: f64 = m.data().iter().map(|x| x * x).sum::<f64>().sqrt();
+    let threshold = (opts.tol * frob).max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..opts.max_sweeps {
+        let off: f64 = off_diagonal_norm(&m);
+        if off <= threshold {
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= threshold / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Classic stable rotation computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = {
+                    let s = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    s / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    if k != p && k != q {
+                        let akp = m.get(k, p);
+                        let akq = m.get(k, q);
+                        let new_kp = c * akp - s * akq;
+                        let new_kq = s * akp + c * akq;
+                        m.set(k, p, new_kp);
+                        m.set(p, k, new_kp);
+                        m.set(k, q, new_kq);
+                        m.set(q, k, new_kq);
+                    }
+                }
+                let new_pp = app - t * apq;
+                let new_qq = aqq + t * apq;
+                m.set(p, p, new_pp);
+                m.set(q, q, new_qq);
+                m.set(p, q, 0.0);
+                m.set(q, p, 0.0);
+
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let final_off = off_diagonal_norm(&m);
+    if final_off > threshold.max(1e-9 * frob.max(1.0)) {
+        return Err(LinalgError::NotConverged {
+            what: "jacobi_eigen",
+            iterations: opts.max_sweeps,
+            residual: final_off,
+        });
+    }
+
+    // Sort ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m.get(i, i).partial_cmp(&m.get(j, j)).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+    Ok(EigenDecomposition { values, vectors })
+}
+
+fn off_diagonal_norm(m: &DenseMatrix) -> f64 {
+    let n = m.nrows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = m.get(i, j);
+            s += 2.0 * v * v;
+        }
+    }
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::vecops;
+
+    fn reconstruct(e: &EigenDecomposition) -> DenseMatrix {
+        let n = e.values.len();
+        DenseMatrix::from_fn(n, n, |i, j| {
+            (0..n)
+                .map(|k| e.values[k] * e.vectors.get(i, k) * e.vectors.get(j, k))
+                .sum()
+        })
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let e = jacobi_eigen(&a, JacobiOptions::default()).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1, 3.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = jacobi_eigen(&a, JacobiOptions::default()).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v = e.vector(1);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] - v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // Path-graph Laplacian on 5 nodes.
+        let n = 5;
+        let a = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i == 0 || i == n - 1 { 1.0 } else { 2.0 }
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let e = jacobi_eigen(&a, JacobiOptions::default()).unwrap();
+        assert!(reconstruct(&e).max_abs_diff(&a).unwrap() < 1e-9);
+        // Columns orthonormal.
+        for i in 0..n {
+            for j in 0..n {
+                let d = vecops::dot(&e.vector(i), &e.vector(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-9, "col {i} . col {j} = {d}");
+            }
+        }
+        // Laplacian: smallest eigenvalue 0 with constant eigenvector.
+        assert!(e.values[0].abs() < 1e-9);
+        let v0 = e.vector(0);
+        let first = v0[0];
+        assert!(v0.iter().all(|&x| (x - first).abs() < 1e-8));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = DenseMatrix::from_rows(&[
+            &[5.0, 2.0, 0.0],
+            &[2.0, -3.0, 1.0],
+            &[0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a, JacobiOptions::default()).unwrap();
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1]));
+        // Trace preserved.
+        let trace: f64 = e.values.iter().sum();
+        assert!((trace - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(jacobi_eigen(&a, JacobiOptions::default()).is_err());
+    }
+
+    #[test]
+    fn handles_trivial_sizes() {
+        let e = jacobi_eigen(&DenseMatrix::zeros(0, 0), JacobiOptions::default()).unwrap();
+        assert!(e.values.is_empty());
+        let one = DenseMatrix::from_rows(&[&[7.0]]).unwrap();
+        let e = jacobi_eigen(&one, JacobiOptions::default()).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Symmetric eigensolvers.
+//!
+//! * [`jacobi::jacobi_eigen`] — cyclic Jacobi rotations for dense
+//!   symmetric matrices. `O(n³)` per sweep but unconditionally stable and
+//!   accurate to machine precision; exactly what the exact commute-time
+//!   path and the Figure 2 eigenmaps need on small graphs.
+//! * [`power::dominant_eigenpair`] — power iteration on sparse matrices,
+//!   used by the ACT baseline (Ide–Kashima activity vectors need only the
+//!   principal eigenvector of each adjacency matrix).
+//! * [`lanczos::lanczos_extremal`] — Lanczos with full
+//!   reorthogonalization over a [`tridiag::tridiagonal_eigen`] kernel,
+//!   for extremal eigenpairs of large sparse operators (scalable
+//!   Fiedler/eigenmap computations).
+
+pub mod householder;
+pub mod jacobi;
+pub mod lanczos;
+pub mod power;
+pub mod tridiag;
+
+pub use householder::{householder_tridiagonalize, sym_eigen};
+pub use jacobi::{jacobi_eigen, EigenDecomposition, JacobiOptions};
+pub use lanczos::{lanczos_extremal, LanczosOptions, Which};
+pub use power::{dominant_eigenpair, PowerOptions};
+pub use tridiag::tridiagonal_eigen;

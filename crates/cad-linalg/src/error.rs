@@ -1,0 +1,112 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+///
+/// The variants are deliberately coarse: callers either recover by
+/// switching algorithm (e.g. regularized solve after a singular grounded
+/// solve) or surface the error to the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (`found` vs `expected`).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape the operation expected.
+        expected: (usize, usize),
+        /// Shape it received.
+        found: (usize, usize),
+    },
+    /// A factorization broke down (non-SPD input, zero pivot, ...).
+    FactorizationFailed {
+        /// Which factorization failed.
+        what: &'static str,
+        /// Pivot index where breakdown occurred.
+        index: usize,
+    },
+    /// An iterative method did not reach the requested tolerance.
+    NotConverged {
+        /// Which iteration failed to converge.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// The input matrix was expected to be square.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// An index was out of bounds for the container.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// Input value was invalid (NaN weight, negative dimension, ...).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, expected, found } => write!(
+                f,
+                "dimension mismatch in {op}: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::FactorizationFailed { what, index } => {
+                write!(f, "{what} factorization failed at pivot {index}")
+            }
+            LinalgError::NotConverged { what, iterations, residual } => write!(
+                f,
+                "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, found {rows}x{cols}")
+            }
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matvec",
+            expected: (3, 4),
+            found: (4, 3),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matvec: expected 3x4, found 4x3"
+        );
+    }
+
+    #[test]
+    fn display_not_converged() {
+        let e = LinalgError::NotConverged { what: "cg", iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("cg"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

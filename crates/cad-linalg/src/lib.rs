@@ -1,0 +1,38 @@
+//! Dense and sparse linear-algebra substrate for the CAD reproduction.
+//!
+//! The SIGMOD'14 CAD paper builds on three numerical primitives, all of
+//! which are implemented here from scratch:
+//!
+//! * **Dense symmetric eigendecomposition** (cyclic Jacobi) — used for the
+//!   exact commute-time computation via the Moore–Penrose pseudoinverse of
+//!   the graph Laplacian (paper eq. 3) and for the Laplacian-eigenmap
+//!   embeddings of Figure 2.
+//! * **Sparse matrices (COO/CSR) and iterative solvers** (CG and
+//!   preconditioned CG with Jacobi or zero-fill incomplete-Cholesky
+//!   preconditioners) — used by the approximate commute-time embedding
+//!   (Khoa–Chawla) as a substitute for the Spielman–Teng solver the paper
+//!   calls into; see `DESIGN.md` §5.
+//! * **Rademacher (±1) random projections** — the `Q` matrix of the
+//!   Johnson–Lindenstrauss sketch `Q W^{1/2} B L⁺`, generated on the fly
+//!   so it is never materialized.
+//!
+//! The crate is dependency-free (besides `rand` for seeding utilities) and
+//! deliberately small-surface: everything operates on `&[f64]` slices,
+//! [`dense::DenseMatrix`] (row-major) or [`sparse::CsrMatrix`].
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod eig;
+pub mod error;
+pub mod pinv;
+pub mod rp;
+pub mod solve;
+pub mod sparse;
+
+pub use dense::{vecops, DenseMatrix};
+pub use error::LinalgError;
+pub use sparse::{CooMatrix, CsrMatrix};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,212 @@
+//! (Preconditioned) conjugate gradients.
+
+use crate::dense::vecops;
+use crate::error::LinalgError;
+use crate::solve::precond::Preconditioner;
+use crate::sparse::CsrMatrix;
+use crate::Result;
+
+/// Abstract symmetric linear operator `y = A x`.
+///
+/// Implemented by [`CsrMatrix`] directly and by the grounded/regularized
+/// Laplacian views in [`crate::solve::laplacian`], so CG never needs the
+/// modified matrix materialized.
+pub trait LinOp {
+    /// Operator dimension (square).
+    fn dim(&self) -> usize;
+    /// `y ← A x`; `x` and `y` have length [`LinOp::dim`].
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinOp for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y).expect("CsrMatrix::apply shape checked by caller");
+    }
+}
+
+/// Options for [`cg_solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Relative residual target: stop when `‖r‖₂ ≤ tol·‖b‖₂`.
+    pub tol: f64,
+    /// Iteration cap; `None` defaults to `10·n + 100`.
+    pub max_iter: Option<usize>,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { tol: 1e-8, max_iter: None }
+    }
+}
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Preconditioned conjugate gradients for SPD `A x = b`, starting at 0.
+///
+/// Does not error on non-convergence: the outcome reports the achieved
+/// residual and callers decide (the commute-time embedding tolerates a
+/// slightly loose solve; unit tests assert convergence explicitly).
+pub fn cg_solve(
+    a: &dyn LinOp,
+    b: &[f64],
+    pre: &dyn Preconditioner,
+    opts: CgOptions,
+) -> Result<CgOutcome> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cg_solve",
+            expected: (n, 1),
+            found: (b.len(), 1),
+        });
+    }
+    let bnorm = vecops::norm2(b);
+    if bnorm == 0.0 {
+        return Ok(CgOutcome { x: vec![0.0; n], iterations: 0, relative_residual: 0.0, converged: true });
+    }
+    let max_iter = opts.max_iter.unwrap_or(10 * n + 100);
+    let target = opts.tol * bnorm;
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    pre.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = vecops::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut iterations = 0;
+    let mut rnorm = bnorm;
+    while iterations < max_iter && rnorm > target {
+        a.apply(&p, &mut ap);
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Operator not SPD along p (e.g. singular Laplacian drift);
+            // stop with the current best iterate.
+            break;
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        rnorm = vecops::norm2(&r);
+        iterations += 1;
+        if rnorm <= target {
+            break;
+        }
+        pre.apply(&r, &mut z);
+        let rz_new = vecops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    Ok(CgOutcome {
+        x,
+        iterations,
+        relative_residual: rnorm / bnorm,
+        converged: rnorm <= target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::precond::{IdentityPreconditioner, JacobiPreconditioner};
+
+    fn spd() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let a = spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let out = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        assert!(out.converged, "residual {}", out.relative_residual);
+        let ax = a.matvec(&out.x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioner_converges_no_slower() {
+        let a = spd();
+        let b = vec![1.0, -1.0, 0.5];
+        let plain = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let pre = JacobiPreconditioner::from_diagonal(&a.diagonal()).unwrap();
+        let jac = cg_solve(&a, &b, &pre, CgOptions::default()).unwrap();
+        assert!(jac.converged);
+        assert!(jac.iterations <= plain.iterations + 1);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = spd();
+        let out = cg_solve(&a, &[0.0; 3], &IdentityPreconditioner, CgOptions::default()).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.x, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = spd();
+        assert!(cg_solve(&a, &[1.0], &IdentityPreconditioner, CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn exact_in_n_iterations() {
+        // CG on an n-dimensional SPD system converges in ≤ n iterations
+        // in exact arithmetic; allow a little slack.
+        let a = spd();
+        let b = vec![1.0, 0.0, 0.0];
+        let out = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions { tol: 1e-12, max_iter: Some(5) })
+            .unwrap();
+        assert!(out.converged);
+        assert!(out.iterations <= 4);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let out = cg_solve(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions { tol: 1e-15, max_iter: Some(1) },
+        )
+        .unwrap();
+        assert!(out.iterations <= 1);
+    }
+}

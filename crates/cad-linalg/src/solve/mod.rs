@@ -1,0 +1,20 @@
+//! Iterative solvers for symmetric positive-(semi)definite systems.
+//!
+//! The Khoa–Chawla commute-time embedding needs `k ≈ O(log n)` solves of
+//! `L x = b` per graph instance, where `L` is the (singular) graph
+//! Laplacian. The paper outsources these to a Spielman–Teng near-linear
+//! solver; our substitution (DESIGN.md §5) is preconditioned conjugate
+//! gradients on a *grounded* Laplacian — one row/column pinned per
+//! connected component, which makes the operator SPD — or, optionally, on
+//! the ε-regularized system `(L + εI) x = b`, which additionally yields
+//! finite resistances between components.
+
+pub mod cg;
+pub mod laplacian;
+pub mod precond;
+pub mod tree;
+
+pub use cg::{cg_solve, CgOptions, CgOutcome, LinOp};
+pub use laplacian::{LaplacianSolver, LaplacianSolverOptions, SolverKind};
+pub use precond::{IncompleteCholesky, JacobiPreconditioner, Preconditioner};
+pub use tree::TreePreconditioner;

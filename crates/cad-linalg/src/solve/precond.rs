@@ -1,0 +1,293 @@
+//! Preconditioners for conjugate gradients.
+
+use crate::error::LinalgError;
+use crate::sparse::CsrMatrix;
+use crate::Result;
+
+/// Application of `z = M⁻¹ r` for an SPD preconditioner `M`.
+pub trait Preconditioner {
+    /// `z ← M⁻¹ r`; both slices have the operator dimension.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// No-op preconditioner (`M = I`), turning PCG into plain CG.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner `M = diag(A)`.
+///
+/// For graph Laplacians the diagonal is the weighted degree, making this
+/// the classic degree-scaling preconditioner: cheap and effective on the
+/// kernel-similarity graphs used throughout the paper, whose degrees span
+/// orders of magnitude.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Build from an explicit diagonal; entries must be strictly positive.
+    pub fn from_diagonal(diag: &[f64]) -> Result<Self> {
+        if let Some(idx) = diag.iter().position(|&d| d <= 0.0 || !d.is_finite()) {
+            return Err(LinalgError::InvalidInput(format!(
+                "jacobi preconditioner needs a positive diagonal; entry {idx} is {}",
+                diag[idx]
+            )));
+        }
+        Ok(JacobiPreconditioner { inv_diag: diag.iter().map(|d| 1.0 / d).collect() })
+    }
+
+    /// Build from the diagonal of a CSR matrix.
+    pub fn from_matrix(a: &CsrMatrix) -> Result<Self> {
+        Self::from_diagonal(&a.diagonal())
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.inv_diag.len());
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Zero-fill incomplete Cholesky, IC(0): `M = L̃ L̃ᵀ` with the sparsity
+/// pattern of the lower triangle of `A`.
+///
+/// Falls back to a diagonal shift (`A + σ diag(A)`) and refactors when a
+/// pivot breaks down, the standard Manteuffel remedy; after a few shifts
+/// the factorization always exists for a symmetric M-matrix like a
+/// grounded Laplacian.
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky {
+    // CSR of the lower-triangular factor (diagonal included, last in row).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    n: usize,
+}
+
+impl IncompleteCholesky {
+    /// Factor a symmetric matrix with positive diagonal.
+    pub fn factor(a: &CsrMatrix) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let mut shift = 0.0;
+        for attempt in 0..8 {
+            match Self::try_factor(a, shift) {
+                Ok(f) => return Ok(f),
+                Err(_) => {
+                    shift = if attempt == 0 { 1e-3 } else { shift * 10.0 };
+                }
+            }
+        }
+        Err(LinalgError::FactorizationFailed { what: "ic0", index: 0 })
+    }
+
+    fn try_factor(a: &CsrMatrix, shift: f64) -> Result<Self> {
+        let n = a.nrows();
+        // Extract lower triangle (col <= row), diagonal shifted.
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (c as usize) < i {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            // Diagonal entry is required.
+            let d = a.get(i, i);
+            if d <= 0.0 {
+                return Err(LinalgError::FactorizationFailed { what: "ic0", index: i });
+            }
+            col_idx.push(i as u32);
+            values.push(d * (1.0 + shift));
+            row_ptr[i + 1] = col_idx.len();
+        }
+
+        // IKJ-style IC(0): for each row i, update using previous rows that
+        // share pattern, then scale.
+        // col_of[i] maps column -> position in row i for fast lookup.
+        for i in 0..n {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            // For each k (column index < i present in row i):
+            for kk in lo..hi - 1 {
+                let k = col_idx[kk] as usize;
+                // values[kk] currently holds a_ik minus prior updates;
+                // divide by d_k (diagonal of row k, last entry of row k).
+                let dk = values[row_ptr[k + 1] - 1];
+                if dk <= 0.0 {
+                    return Err(LinalgError::FactorizationFailed { what: "ic0", index: k });
+                }
+                values[kk] /= dk;
+                let lik = values[kk];
+                // Update remaining entries of row i with pattern of row k:
+                // a_ij -= l_ik * l_jk * d_k  for j in row i pattern, j > k.
+                for jj in (kk + 1)..hi {
+                    let j = col_idx[jj] as usize;
+                    // Find l_jk in row j? For IC(0) with our storage we use
+                    // row k of L: l_jk is stored at row j... that's a lookup
+                    // in row j. Instead use the symmetric update via row k:
+                    // find entry (j, k) == value at row j col k.
+                    let (jlo, jhi) = (row_ptr[j], row_ptr[j + 1]);
+                    let pos = col_idx[jlo..jhi].binary_search(&(k as u32)).ok();
+                    if let Some(p) = pos {
+                        let ljk = values[jlo + p];
+                        values[jj] -= lik * ljk * dk;
+                    }
+                }
+            }
+            // After updates, the diagonal must stay positive.
+            let d = values[hi - 1];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::FactorizationFailed { what: "ic0", index: i });
+            }
+        }
+
+        // Convert LDLᵀ-style storage (unit-lower with diagonal d) to
+        // L̃ = L sqrt(D): scale column entries.
+        // Our values: for k<i, values holds l_ik (unit-lower); diagonal holds d_i.
+        let mut out_vals = values.clone();
+        for i in 0..n {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            for kk in lo..hi - 1 {
+                let k = col_idx[kk] as usize;
+                let dk = values[row_ptr[k + 1] - 1];
+                out_vals[kk] = values[kk] * dk.sqrt();
+            }
+            out_vals[hi - 1] = values[hi - 1].sqrt();
+        }
+
+        Ok(IncompleteCholesky { row_ptr, col_idx, values: out_vals, n })
+    }
+
+    /// Solve `L̃ L̃ᵀ z = r`.
+    fn solve(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.n;
+        // Forward: L̃ y = r (rows end with the diagonal).
+        for i in 0..n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let mut s = r[i];
+            for kk in lo..hi - 1 {
+                s -= self.values[kk] * z[self.col_idx[kk] as usize];
+            }
+            z[i] = s / self.values[hi - 1];
+        }
+        // Backward: L̃ᵀ z = y. Traverse rows in reverse, scattering.
+        for i in (0..n).rev() {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            z[i] /= self.values[hi - 1];
+            let zi = z[i];
+            for kk in lo..hi - 1 {
+                z[self.col_idx[kk] as usize] -= self.values[kk] * zi;
+            }
+        }
+    }
+}
+
+impl Preconditioner for IncompleteCholesky {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.solve(r, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::cg::{cg_solve, CgOptions};
+
+    fn tridiag_spd(n: usize) -> CsrMatrix {
+        let mut tri = Vec::new();
+        for i in 0..n {
+            tri.push((i as u32, i as u32, 2.5));
+            if i + 1 < n {
+                tri.push((i as u32, i as u32 + 1, -1.0));
+                tri.push((i as u32 + 1, i as u32, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &tri)
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let p = JacobiPreconditioner::from_diagonal(&[2.0, 4.0]).unwrap();
+        let mut z = vec![0.0; 2];
+        p.apply(&[2.0, 4.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_rejects_nonpositive() {
+        assert!(JacobiPreconditioner::from_diagonal(&[1.0, 0.0]).is_err());
+        assert!(JacobiPreconditioner::from_diagonal(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn ic0_exact_on_tridiagonal() {
+        // IC(0) on a tridiagonal SPD matrix is the exact Cholesky
+        // factorization (no fill is discarded), so M⁻¹ r solves exactly.
+        let a = tridiag_spd(6);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..6).map(|i| (i as f64) - 2.0).collect();
+        let mut z = vec![0.0; 6];
+        ic.apply(&b, &mut z);
+        let az = a.matvec(&z).unwrap();
+        for (l, r) in az.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10, "IC(0) should be exact here: {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn ic0_accelerates_cg() {
+        let a = tridiag_spd(50);
+        let b: Vec<f64> = (0..50).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let plain = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let fast = cg_solve(&a, &b, &ic, CgOptions::default()).unwrap();
+        assert!(fast.converged);
+        assert!(fast.iterations <= plain.iterations, "{} > {}", fast.iterations, plain.iterations);
+        // Tridiagonal => exact preconditioner => one iteration.
+        assert!(fast.iterations <= 2);
+    }
+
+    #[test]
+    fn ic0_rejects_rectangular() {
+        assert!(IncompleteCholesky::factor(&CsrMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn ic0_on_grounded_laplacian_pattern() {
+        // 2D-grid-like SPD matrix with off-pattern fill dropped: still a
+        // valid preconditioner (M SPD) and CG converges.
+        let n = 16;
+        let mut tri = Vec::new();
+        for i in 0..n {
+            tri.push((i as u32, i as u32, 4.2));
+            let (r, c) = (i / 4, i % 4);
+            if c + 1 < 4 {
+                tri.push((i as u32, (i + 1) as u32, -1.0));
+                tri.push(((i + 1) as u32, i as u32, -1.0));
+            }
+            if r + 1 < 4 {
+                tri.push((i as u32, (i + 4) as u32, -1.0));
+                tri.push(((i + 4) as u32, i as u32, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &tri);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let b = vec![1.0; n];
+        let out = cg_solve(&a, &b, &ic, CgOptions::default()).unwrap();
+        assert!(out.converged);
+    }
+}

@@ -1,0 +1,133 @@
+//! Coordinate-format sparse matrix builder.
+
+use crate::error::LinalgError;
+use crate::sparse::CsrMatrix;
+use crate::Result;
+
+/// Coordinate-list (triplet) sparse matrix used only for construction.
+///
+/// Duplicate entries are allowed and are summed when converting to CSR,
+/// matching the usual "assemble then finalize" idiom.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Empty matrix with reserved triplet capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix { nrows, ncols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (including duplicates and zeros).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append a triplet; errors when out of range or non-finite.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows {
+            return Err(LinalgError::IndexOutOfBounds { index: row, len: self.nrows });
+        }
+        if col >= self.ncols {
+            return Err(LinalgError::IndexOutOfBounds { index: col, len: self.ncols });
+        }
+        if !value.is_finite() {
+            return Err(LinalgError::InvalidInput(format!(
+                "non-finite value {value} at ({row}, {col})"
+            )));
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Append a symmetric pair `(i,j,v)` and `(j,i,v)`; diagonal entries
+    /// are pushed once.
+    pub fn push_sym(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
+        self.push(i, j, value)?;
+        if i != j {
+            self.push(j, i, value)?;
+        }
+        Ok(())
+    }
+
+    /// Convert to CSR, summing duplicates and dropping explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.nrows, self.ncols, &self.entries)
+    }
+
+    /// Iterate stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_bounds_checked() {
+        let mut m = CooMatrix::new(2, 3);
+        assert!(m.push(0, 0, 1.0).is_ok());
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 3, 1.0).is_err());
+        assert!(m.push(0, 0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn push_sym_adds_mirror() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push_sym(0, 1, 2.0).unwrap();
+        m.push_sym(2, 2, 5.0).unwrap();
+        assert_eq!(m.nnz(), 3);
+        let csr = m.to_csr();
+        assert_eq!(csr.get(0, 1), 2.0);
+        assert_eq!(csr.get(1, 0), 2.0);
+        assert_eq!(csr.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_sum_in_csr() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 1.5).unwrap();
+        m.push(0, 1, 2.5).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(0, 1), 4.0);
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn cancelled_duplicates_are_dropped() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 1.0).unwrap();
+        m.push(0, 1, -1.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn iter_yields_triplets() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 0, 3.0).unwrap();
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v, vec![(1, 0, 3.0)]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Sparse matrices: COO for construction, CSR for computation.
+//!
+//! The CAD pipeline stores every graph instance as a symmetric CSR
+//! adjacency matrix; Laplacians, incidence products and solver operators
+//! are all derived from it. Indices are `u32` (graphs up to ~4.2 billion
+//! nodes) to halve the index memory footprint versus `usize`, which
+//! matters for the 10⁷-node scalability experiment of §4.1.3.
+
+mod coo;
+mod csr;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;

@@ -1,0 +1,96 @@
+//! Finding climate teleconnections in precipitation networks
+//! (the paper's §4.2.3 application).
+//!
+//! ```text
+//! cargo run --release -p cad-examples --bin climate_teleconnections
+//! ```
+//!
+//! Builds yearly k-NN similarity graphs over precipitation gauges and
+//! asks CAD which gauge *relationships* changed anomalously. A planted
+//! La-Niña-style event shifts four distant regions simultaneously —
+//! subtly enough that no single gauge's time series stands out — and CAD
+//! localizes the year and the affected region pairs from graph structure
+//! alone.
+
+use cad_core::{CadDetector, CadOptions};
+use cad_datasets::{PrecipSim, PrecipSimOptions};
+
+fn main() {
+    let sim = PrecipSim::generate(&PrecipSimOptions::default()).expect("simulated climate");
+    println!(
+        "precipitation network: {} gauges in {} regions, {} yearly snapshots\n",
+        sim.seq.n_nodes(),
+        sim.region.iter().max().unwrap() + 1,
+        sim.seq.len()
+    );
+
+    let detector = CadDetector::new(CadOptions::default());
+    let scored = detector.score_sequence(&sim.seq).expect("scores");
+
+    // Which year restructured the climate network the most?
+    let mass: Vec<f64> =
+        scored.iter().map(|s| s.iter().map(|e| e.score).sum()).collect();
+    let top_year = (0..mass.len())
+        .max_by(|&a, &b| mass[a].partial_cmp(&mass[b]).expect("finite"))
+        .unwrap();
+    println!("largest structural change: transition {top_year} -> {}", top_year + 1);
+    assert_eq!(top_year, sim.event_year - 1, "the teleconnection year must dominate");
+
+    // Which region pairs drive it?
+    let kind = |r: usize| {
+        if sim.wetter_regions.contains(&r) {
+            "wet-shifted"
+        } else if sim.drier_regions.contains(&r) {
+            "dry-shifted"
+        } else {
+            "reference"
+        }
+    };
+    println!("\ntop anomalous gauge pairs in the teleconnection year:");
+    let mut seen_pairs = std::collections::HashSet::new();
+    for e in scored[top_year].iter() {
+        let pair = (sim.region[e.u].min(sim.region[e.v]), sim.region[e.u].max(sim.region[e.v]));
+        if pair.0 == pair.1 || !seen_pairs.insert(pair) {
+            continue;
+        }
+        println!(
+            "  regions {} ({}) <-> {} ({})   top edge ΔE {:.0}",
+            pair.0,
+            kind(pair.0),
+            pair.1,
+            kind(pair.1),
+            e.score
+        );
+        if seen_pairs.len() >= 6 {
+            break;
+        }
+    }
+
+    // The per-gauge view shows why time-series analysis misses this:
+    // the typical event-year change at an affected gauge sits well
+    // below the largest natural year-over-year swings elsewhere in the
+    // network, so any per-gauge threshold loose enough to catch the
+    // event drowns in false alarms from ordinary years.
+    let event_t = sim.event_year - 1;
+    let affected = sim.affected_locations();
+    let mean_event: f64 = affected
+        .iter()
+        .map(|&loc| sim.yoy_deltas(loc)[event_t].abs())
+        .sum::<f64>()
+        / affected.len() as f64;
+    let max_natural = (0..sim.seq.n_nodes())
+        .flat_map(|loc| {
+            sim.yoy_deltas(loc)
+                .into_iter()
+                .enumerate()
+                .filter(|&(t, _)| t != event_t && t != sim.event_year)
+                .map(|(_, d)| d.abs())
+        })
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nmean event-year change at affected gauges: {mean_event:.2}; \
+         largest natural swing anywhere: {max_natural:.2}"
+    );
+    assert!(mean_event < max_natural);
+    println!("— individually unremarkable; only the simultaneity across regions gives it away");
+}

@@ -1,0 +1,72 @@
+//! Detecting research-interest shifts in a co-authorship network
+//! (the paper's DBLP application, §4.2.2).
+//!
+//! ```text
+//! cargo run --release -p cad-examples --bin collaboration_shift
+//! ```
+//!
+//! Yearly co-authorship graphs over authors grouped into research
+//! communities. CAD surfaces: authors who start collaborating far
+//! outside their community (with scores *graded by how far they jump*),
+//! and long-standing collaborations that dissolve.
+
+use cad_core::{CadDetector, CadOptions};
+use cad_datasets::{DblpSim, DblpSimOptions};
+
+fn main() {
+    let sim = DblpSim::generate(&DblpSimOptions::default()).expect("simulated network");
+    println!(
+        "co-authorship network: {} authors, {} communities, {} yearly snapshots\n",
+        sim.seq.n_nodes(),
+        sim.community.iter().max().unwrap() + 1,
+        sim.seq.len()
+    );
+
+    let detector = CadDetector::new(CadOptions::default());
+    let report = detector.detect_top_l(&sim.seq, 20).expect("detection");
+
+    for tr in &report.transitions {
+        if tr.edges.is_empty() {
+            continue;
+        }
+        println!("=== transition {} -> {} ===", tr.t, tr.t + 1);
+        for e in tr.edges.iter().take(5) {
+            let (cu, cv) = (sim.community[e.u], sim.community[e.v]);
+            let verdict = if cu == cv {
+                "within community — collaboration intensity change".to_string()
+            } else {
+                format!(
+                    "CROSS-COMMUNITY ({} hops apart) — interest shift",
+                    cu.abs_diff(cv)
+                )
+            };
+            println!("  authors {:>3} & {:>3}  ΔE {:>9.1}  {}", e.u, e.v, e.score, verdict);
+        }
+    }
+
+    // Severity grading: the far jump scores above the near jump.
+    let (far_author, _, switch_year) = sim.far_switcher;
+    let (near_author, _, _) = sim.near_switcher;
+    let edges = &report.transitions[switch_year - 1].edges;
+    let best = |a: usize| {
+        edges
+            .iter()
+            .filter(|e| e.u == a || e.v == a)
+            .map(|e| e.score)
+            .fold(0.0f64, f64::max)
+    };
+    let (far, near) = (best(far_author), best(near_author));
+    println!(
+        "\nseverity grading at the switch year: far jump ΔE = {far:.0}, near jump ΔE = {near:.0}"
+    );
+    assert!(far > near, "a larger interest jump must score higher");
+
+    // The dissolved collaboration is localized too.
+    let (a, b, sever_year) = sim.severed;
+    let found = report.transitions[sever_year - 1]
+        .edges
+        .iter()
+        .any(|e| (e.u, e.v) == (a.min(b), a.max(b)));
+    println!("severed collaboration ({a}, {b}): {}", if found { "localized" } else { "missed" });
+    assert!(found);
+}

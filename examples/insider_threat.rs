@@ -1,0 +1,113 @@
+//! Insider-threat monitoring — the paper's motivating application (§1).
+//!
+//! ```text
+//! cargo run --release -p cad-examples --bin insider_threat
+//! ```
+//!
+//! Plays a security analyst watching an organization's monthly e-mail
+//! graphs. For every month-to-month transition CAD reports the employees
+//! whose *relationship changes* restructured the network — new contacts
+//! with distant colleagues, sudden collusion-like bursts — while staying
+//! quiet about routine volume fluctuations between close co-workers.
+//!
+//! The workload is the Enron-style simulator with scripted events, so
+//! the report can be compared against the known culprits at the end.
+
+use cad_commute::EngineOptions;
+use cad_core::{CadDetector, CadOptions};
+use cad_datasets::{EnronSim, EnronSimOptions, Role};
+
+fn role_name(r: Role) -> &'static str {
+    match r {
+        Role::Ceo => "CEO",
+        Role::IncomingCeo => "incoming CEO",
+        Role::Assistant => "assistant",
+        Role::Executive => "executive",
+        Role::Legal => "legal counsel",
+        Role::Trader => "trader",
+        Role::Staff => "staff",
+    }
+}
+
+fn main() {
+    let sim = EnronSim::generate(&EnronSimOptions::default()).expect("simulated organization");
+    println!(
+        "monitoring {} employees over {} monthly snapshots (~{:.0} edges/month)\n",
+        sim.seq.n_nodes(),
+        sim.seq.len(),
+        sim.seq.mean_edges()
+    );
+
+    // n = 151 — small enough for exact commute times, like the paper.
+    let detector =
+        CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() });
+    // Alert budget: ~5 employees per month on average; δ is calibrated
+    // globally so quiet months raise no alerts at all.
+    let report = detector.detect_top_l(&sim.seq, 5).expect("detection");
+
+    println!("=== monthly alert report (δ = {:.2}) ===", report.delta);
+    let mut alerts = 0usize;
+    for tr in &report.transitions {
+        if tr.nodes.is_empty() {
+            continue;
+        }
+        alerts += 1;
+        let who: Vec<String> = tr
+            .nodes
+            .iter()
+            .take(6)
+            .map(|&n| format!("#{n} ({})", role_name(sim.roles[n])))
+            .collect();
+        let more = if tr.nodes.len() > 6 {
+            format!(" +{} more", tr.nodes.len() - 6)
+        } else {
+            String::new()
+        };
+        // Classify the leading edge into the paper's case taxonomy so
+        // the analyst knows *what kind* of change fired the alert.
+        let case = cad_core::explain_transition(
+            &tr.edges[..1],
+            sim.seq.graph(tr.t),
+            sim.seq.graph(tr.t + 1),
+        )[0]
+        .case
+        .label();
+        println!(
+            "month {:>2} -> {:>2}: {}{}  [{}]",
+            tr.t,
+            tr.t + 1,
+            who.join(", "),
+            more,
+            case
+        );
+    }
+    println!("\n{alerts} of {} transitions raised alerts", report.transitions.len());
+
+    // --- Compare against the scripted ground truth.
+    println!("\n=== ground truth events ===");
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for ev in &sim.events {
+        if ev.responsible.is_empty() {
+            continue; // volume-surge confounder: correctly not a target
+        }
+        total += 1;
+        let start_t = ev.month - 1;
+        let hit = ev
+            .responsible
+            .iter()
+            .any(|r| report.transitions[start_t].nodes.contains(r));
+        if hit {
+            found += 1;
+        }
+        println!(
+            "{:<20} month {:>2}: responsible {:?} — {}",
+            ev.name,
+            ev.month,
+            ev.responsible.iter().take(4).collect::<Vec<_>>(),
+            if hit { "LOCALIZED" } else { "missed" }
+        );
+    }
+    println!("\nlocalized {found}/{total} scripted events at their onset transition");
+    assert!(found >= total - 1, "the detector should localize the scripted culprits");
+}

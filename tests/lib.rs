@@ -1,0 +1,51 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![warn(missing_docs)]
+
+use cad_graph::{GraphSequence, WeightedGraph};
+
+/// A path graph with unit weights.
+pub fn path_graph(n: usize) -> WeightedGraph {
+    let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+    WeightedGraph::from_edges(n, &edges).expect("path edges are valid")
+}
+
+/// Two dense clusters of size `k` joined by one bridge of the given
+/// weight; total `2k` nodes, bridge between nodes `k-1` and `k`.
+pub fn two_clusters(k: usize, intra: f64, bridge: f64) -> WeightedGraph {
+    let mut edges = Vec::new();
+    for base in [0, k] {
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((base + i, base + j, intra));
+            }
+        }
+    }
+    edges.push((k - 1, k, bridge));
+    WeightedGraph::from_edges(2 * k, &edges).expect("cluster edges are valid")
+}
+
+/// Sequence from explicit edge lists over a fixed vertex count.
+pub fn seq_from(n: usize, instants: &[&[(usize, usize, f64)]]) -> GraphSequence {
+    let graphs = instants
+        .iter()
+        .map(|edges| WeightedGraph::from_edges(n, edges).expect("valid edges"))
+        .collect();
+    GraphSequence::new(graphs).expect("valid sequence")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        assert_eq!(path_graph(4).n_edges(), 3);
+        let g = two_clusters(3, 2.0, 0.5);
+        assert_eq!(g.n_nodes(), 6);
+        assert_eq!(g.n_edges(), 7);
+        assert!(g.is_connected());
+        let s = seq_from(2, &[&[(0, 1, 1.0)], &[(0, 1, 2.0)]]);
+        assert_eq!(s.n_transitions(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-style integration tests of the baseline detectors and the
+//! whole-graph distance measures.
+
+use cad_baselines::{
+    edit_distance, spectral_distance, ActDetector, AdjDetector, ClcDetector,
+    DistanceSeriesDetector, SeriesDistance,
+};
+use cad_core::NodeScorer;
+use cad_graph::generators::random::erdos_renyi;
+use cad_graph::{GraphSequence, WeightedGraph};
+use proptest::prelude::*;
+
+fn pair(seed: u64) -> (WeightedGraph, WeightedGraph) {
+    let a = erdos_renyi(12, 0.3, seed).expect("er");
+    let b = erdos_renyi(12, 0.3, seed + 1).expect("er");
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn edit_distance_is_a_metric(seed in 0u64..500) {
+        let (a, b) = pair(seed);
+        let c = erdos_renyi(12, 0.3, seed + 2).expect("er");
+        prop_assert_eq!(edit_distance(&a, &a).unwrap(), 0.0);
+        let d_ab = edit_distance(&a, &b).unwrap();
+        let d_ba = edit_distance(&b, &a).unwrap();
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        // Triangle inequality (it is an L1 distance on weight vectors).
+        let d_ac = edit_distance(&a, &c).unwrap();
+        let d_cb = edit_distance(&c, &b).unwrap();
+        prop_assert!(d_ab <= d_ac + d_cb + 1e-9);
+    }
+
+    #[test]
+    fn spectral_distance_symmetric_nonnegative(seed in 0u64..200) {
+        let (a, b) = pair(seed);
+        let d_ab = spectral_distance(&a, &b, 4).unwrap();
+        let d_ba = spectral_distance(&b, &a, 4).unwrap();
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6 * (1.0 + d_ab));
+        prop_assert!(spectral_distance(&a, &a, 4).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn baseline_node_scores_are_finite_nonnegative(seed in 0u64..200) {
+        let (a, b) = pair(seed);
+        let seq = GraphSequence::new(vec![a, b]).expect("sequence");
+        let act = ActDetector::with_window(1);
+        let adj = AdjDetector::new();
+        let clc = ClcDetector::new();
+        for scorer in [&act as &dyn NodeScorer, &adj, &clc] {
+            let scores = scorer.node_scores(&seq).expect("scores");
+            prop_assert_eq!(scores.len(), 1);
+            for &s in &scores[0] {
+                prop_assert!(s.is_finite() && s >= 0.0, "{}: {s}", scorer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sequence_is_quiet_for_all_baselines(seed in 0u64..200) {
+        let g = erdos_renyi(10, 0.4, seed).expect("er");
+        let seq = GraphSequence::new(vec![g.clone(), g]).expect("sequence");
+        let act = ActDetector::with_window(1);
+        let adj = AdjDetector::new();
+        let clc = ClcDetector::new();
+        for scorer in [&act as &dyn NodeScorer, &adj, &clc] {
+            let scores = scorer.node_scores(&seq).expect("scores");
+            for &s in &scores[0] {
+                prop_assert!(s.abs() < 1e-9, "{} flagged an unchanged graph: {s}", scorer.name());
+            }
+        }
+        // Distance series likewise: zero distance everywhere.
+        let det = DistanceSeriesDetector::new(SeriesDistance::Edit);
+        let series = det.distance_series(&seq).expect("series");
+        prop_assert_eq!(series, vec![0.0]);
+    }
+}
+
+#[test]
+fn distance_detectors_cannot_localize_by_construction() {
+    // API-shape regression for the paper's §1 argument: the event-
+    // detection family returns one number per transition, never edges.
+    let a = erdos_renyi(10, 0.3, 1).expect("er");
+    let b = erdos_renyi(10, 0.3, 2).expect("er");
+    let seq = GraphSequence::new(vec![a, b.clone(), b]).expect("sequence");
+    let det = DistanceSeriesDetector::new(SeriesDistance::Spectral(3));
+    let scores = det.event_scores(&seq).expect("scores");
+    assert_eq!(scores.len(), seq.n_transitions());
+    // That is the entire output surface; localization requires CAD.
+}

@@ -1,0 +1,146 @@
+//! Cross-crate consistency: the exact and approximate commute-time
+//! engines must agree (within JL error) across graph families, and the
+//! CAD pipeline must produce consistent anomaly rankings regardless of
+//! engine, solver strategy or preconditioner.
+
+use cad_commute::{CommuteEmbedding, CommuteTimeEngine, EmbeddingOptions, EngineOptions, ExactCommute};
+use cad_core::{CadDetector, CadOptions};
+use cad_graph::generators::gmm::{sample_gmm, similarity_graph, GmmParams};
+use cad_graph::generators::grid::grid_graph;
+use cad_graph::generators::random::erdos_renyi;
+use cad_graph::{GraphSequence, WeightedGraph};
+use cad_integration_tests::{path_graph, two_clusters};
+use cad_linalg::solve::laplacian::PrecondKind;
+use cad_linalg::solve::{CgOptions, LaplacianSolverOptions, SolverKind};
+
+fn assert_engines_agree(g: &WeightedGraph, k: usize, rel_tol: f64) {
+    let exact = ExactCommute::compute(g).expect("exact");
+    let approx = CommuteEmbedding::compute(
+        g,
+        &EmbeddingOptions { k, seed: 99, ..Default::default() },
+    )
+    .expect("embedding");
+    let n = g.n_nodes();
+    let mut worst: f64 = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let e = exact.commute_distance(i, j);
+            let a = approx.commute_distance(i, j);
+            if e > 1e-9 {
+                worst = worst.max((a - e).abs() / e);
+            }
+        }
+    }
+    assert!(worst <= rel_tol, "worst relative error {worst} > {rel_tol}");
+}
+
+#[test]
+fn engines_agree_on_path() {
+    assert_engines_agree(&path_graph(12), 800, 0.25);
+}
+
+#[test]
+fn engines_agree_on_grid() {
+    let g = grid_graph(5, 5, 1.0).expect("grid");
+    assert_engines_agree(&g, 800, 0.25);
+}
+
+#[test]
+fn engines_agree_on_clusters() {
+    assert_engines_agree(&two_clusters(6, 2.0, 0.3), 800, 0.25);
+}
+
+#[test]
+fn engines_agree_on_random_graph() {
+    let g = erdos_renyi(30, 0.2, 5).expect("er graph");
+    assert_engines_agree(&g, 800, 0.3);
+}
+
+#[test]
+fn engines_agree_on_kernel_graph() {
+    let (pts, _) = sample_gmm(60, &GmmParams::default(), 8);
+    let g = similarity_graph(&pts, 1e-4).expect("kernel graph");
+    assert_engines_agree(&g, 800, 0.3);
+}
+
+#[test]
+fn solver_strategies_agree() {
+    // Grounded vs regularized, and all three preconditioners, give the
+    // same embedding distances up to solver tolerance + regularization
+    // bias.
+    let g = two_clusters(8, 2.0, 0.4);
+    let base = EmbeddingOptions { k: 64, seed: 5, ..Default::default() };
+    let reference = CommuteEmbedding::compute(&g, &base).expect("reference");
+    let variants = [
+        LaplacianSolverOptions {
+            kind: SolverKind::Regularized(1e-9),
+            ..Default::default()
+        },
+        LaplacianSolverOptions {
+            precond: PrecondKind::IncompleteCholesky,
+            ..Default::default()
+        },
+        LaplacianSolverOptions { precond: PrecondKind::SpanningTree, ..Default::default() },
+        LaplacianSolverOptions {
+            precond: PrecondKind::None,
+            cg: CgOptions { tol: 1e-10, max_iter: None },
+            ..Default::default()
+        },
+    ];
+    for (vi, solver) in variants.into_iter().enumerate() {
+        let emb = CommuteEmbedding::compute(&g, &EmbeddingOptions { solver, ..base })
+            .expect("variant embedding");
+        for i in 0..g.n_nodes() {
+            for j in (i + 1)..g.n_nodes() {
+                let (a, b) = (reference.resistance(i, j), emb.resistance(i, j));
+                assert!(
+                    (a - b).abs() <= 1e-3 * a.max(1.0),
+                    "variant {vi}: r({i},{j}) {b} vs reference {a}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cad_ranking_stable_across_engines() {
+    // Anomaly ranking on a cluster-bridging change is engine-invariant.
+    let g0 = two_clusters(8, 3.0, 0.2);
+    let mut edges: Vec<_> = g0.edges().collect();
+    edges.push((0, 15, 1.5)); // cross-cluster edge appears
+    edges[0].2 += 0.3; // benign jitter
+    let g1 = WeightedGraph::from_edges(16, &edges).expect("edited");
+    let seq = GraphSequence::new(vec![g0, g1]).expect("sequence");
+
+    for engine in [
+        EngineOptions::Exact,
+        EngineOptions::Approximate(EmbeddingOptions { k: 128, ..Default::default() }),
+    ] {
+        let det = CadDetector::new(CadOptions { engine, ..Default::default() });
+        let scored = det.score_sequence(&seq).expect("scores");
+        assert_eq!(
+            (scored[0][0].u, scored[0][0].v),
+            (0, 15),
+            "top anomaly must be the bridge for {engine:?}"
+        );
+        assert!(scored[0][0].score > 5.0 * scored[0][1].score);
+    }
+}
+
+#[test]
+fn auto_engine_switches_at_threshold() {
+    let small = path_graph(10);
+    let e = CommuteTimeEngine::compute(
+        &small,
+        &EngineOptions::Auto { threshold: 16, embedding: Default::default() },
+    )
+    .expect("engine");
+    assert!(e.is_exact());
+    let big = path_graph(32);
+    let e = CommuteTimeEngine::compute(
+        &big,
+        &EngineOptions::Auto { threshold: 16, embedding: Default::default() },
+    )
+    .expect("engine");
+    assert!(!e.is_exact());
+}

@@ -1,0 +1,133 @@
+//! Property-based integration tests: invariants of the CAD pipeline
+//! that must hold on *any* valid input, checked with proptest-generated
+//! graph sequences.
+
+use cad_core::{CadDetector, CadOptions, NodeScorer, ScoreKind};
+use cad_graph::{GraphSequence, WeightedGraph};
+use proptest::prelude::*;
+
+/// Strategy: a pair of random graphs over `n` nodes sharing most edges.
+fn graph_pair(n: usize) -> impl Strategy<Value = GraphSequence> {
+    let edge = (0..n as u32, 0..n as u32, 0.1f64..5.0);
+    proptest::collection::vec(edge, 1..30).prop_map(move |edges| {
+        let as_edges = |skip_last: bool| {
+            let take = if skip_last { edges.len().saturating_sub(1) } else { edges.len() };
+            edges[..take]
+                .iter()
+                .filter(|&&(u, v, _)| u != v)
+                .map(|&(u, v, w)| (u as usize, v as usize, w))
+                .collect::<Vec<_>>()
+        };
+        let g0 = WeightedGraph::from_edges(n, &as_edges(true)).expect("valid");
+        let g1 = WeightedGraph::from_edges(n, &as_edges(false)).expect("valid");
+        GraphSequence::new(vec![g0, g1]).expect("two instances")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scores_are_nonnegative_finite_and_sorted(seq in graph_pair(12)) {
+        for kind in [ScoreKind::Cad, ScoreKind::Adj, ScoreKind::Com] {
+            let det = CadDetector::new(CadOptions { kind, ..Default::default() });
+            let scored = det.score_sequence(&seq).expect("scores");
+            for e in &scored[0] {
+                prop_assert!(e.score >= 0.0);
+                prop_assert!(e.score.is_finite());
+                prop_assert!(e.u < e.v);
+            }
+            prop_assert!(scored[0].windows(2).all(|w| w[0].score >= w[1].score));
+        }
+    }
+
+    #[test]
+    fn identical_instances_produce_no_cad_anomalies(seq in graph_pair(10)) {
+        let frozen = GraphSequence::new(vec![
+            seq.graph(0).clone(),
+            seq.graph(0).clone(),
+        ]).expect("sequence");
+        let det = CadDetector::default();
+        let scored = det.score_sequence(&frozen).expect("scores");
+        prop_assert!(scored[0].is_empty());
+        let result = det.detect_top_l(&frozen, 3).expect("detect");
+        prop_assert_eq!(result.total_nodes(), 0);
+    }
+
+    #[test]
+    fn node_scores_sum_to_twice_edge_scores(seq in graph_pair(12)) {
+        let det = CadDetector::default();
+        let scored = det.score_sequence(&seq).expect("scores");
+        let nodes = det.node_scores(&seq).expect("node scores");
+        let edge_mass: f64 = scored[0].iter().map(|e| e.score).sum();
+        let node_mass: f64 = nodes[0].iter().sum();
+        prop_assert!((node_mass - 2.0 * edge_mass).abs() < 1e-9 * edge_mass.max(1.0));
+    }
+
+    #[test]
+    fn time_reversal_preserves_cad_scores(seq in graph_pair(12)) {
+        // ΔE is symmetric in t and t+1: reversing the sequence must give
+        // the same scores on the same edges.
+        let reversed = GraphSequence::new(vec![
+            seq.graph(1).clone(),
+            seq.graph(0).clone(),
+        ]).expect("sequence");
+        let det = CadDetector::default();
+        let fwd = det.score_sequence(&seq).expect("fwd");
+        let bwd = det.score_sequence(&reversed).expect("bwd");
+        prop_assert_eq!(fwd[0].len(), bwd[0].len());
+        let lookup: std::collections::HashMap<(usize, usize), f64> =
+            bwd[0].iter().map(|e| ((e.u, e.v), e.score)).collect();
+        for e in &fwd[0] {
+            let b = lookup.get(&(e.u, e.v)).copied().expect("same support");
+            prop_assert!((e.score - b).abs() <= 1e-9 * e.score.max(1.0),
+                "edge ({},{}) fwd {} bwd {}", e.u, e.v, e.score, b);
+        }
+    }
+
+    #[test]
+    fn delta_monotonicity(seq in graph_pair(12)) {
+        // Raising δ never grows the anomaly sets.
+        let det = CadDetector::default();
+        let scored = det.score_sequence(&seq).expect("scores");
+        let total: f64 = scored[0].iter().map(|e| e.score).sum();
+        if total > 0.0 {
+            let lo = det.detect(&seq, total * 0.1).expect("lo");
+            let hi = det.detect(&seq, total * 0.9).expect("hi");
+            prop_assert!(hi.transitions[0].edges.len() <= lo.transitions[0].edges.len());
+        }
+    }
+
+    #[test]
+    fn node_relabeling_permutes_scores(seq in graph_pair(10)) {
+        // Relabeling nodes by a fixed permutation permutes ΔN the same
+        // way (the detector has no positional bias). Uses the exact
+        // engine so the check is deterministic and tight.
+        let n = 10;
+        let perm: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % n).collect();
+        let permute = |g: &WeightedGraph| {
+            let edges: Vec<_> = g
+                .edges()
+                .map(|(u, v, w)| (perm[u], perm[v], w))
+                .collect();
+            WeightedGraph::from_edges(n, &edges).expect("permuted")
+        };
+        let permuted = GraphSequence::new(vec![
+            permute(seq.graph(0)),
+            permute(seq.graph(1)),
+        ]).expect("sequence");
+        let det = CadDetector::new(CadOptions {
+            engine: cad_commute::EngineOptions::Exact,
+            ..Default::default()
+        });
+        let orig = det.node_scores(&seq).expect("orig");
+        let perm_scores = det.node_scores(&permuted).expect("permuted");
+        for i in 0..n {
+            prop_assert!(
+                (orig[0][i] - perm_scores[0][perm[i]]).abs()
+                    <= 1e-7 * orig[0][i].abs().max(1.0),
+                "node {i}: {} vs {}", orig[0][i], perm_scores[0][perm[i]]
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Scaled-down versions of the paper's quantitative experiments
+//! (Figures 5–6) run as CI-friendly integration tests.
+
+use cad_baselines::{ActDetector, AdjDetector, ComDetector};
+use cad_commute::{EmbeddingOptions, EngineOptions};
+use cad_core::{CadDetector, CadOptions, NodeScorer};
+use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+use cad_eval::auc;
+
+fn bench(n: usize, seed: u64) -> GmmBenchmark {
+    let mut opts = GmmBenchmarkOptions::with_n(n);
+    opts.seed = seed;
+    GmmBenchmark::generate(&opts).expect("benchmark realization")
+}
+
+#[test]
+fn figure6_cad_dominates_baselines() {
+    // Mini Figure 6: average over 3 realizations at n = 150.
+    let mut cad_sum = 0.0;
+    let mut best_baseline: f64 = 0.0;
+    let trials = 3;
+    for t in 0..trials {
+        let b = bench(150, 100 + t);
+        let cad = CadDetector::default().node_scores(&b.seq).expect("cad");
+        cad_sum += auc(&cad[0], &b.node_labels);
+        for scores in [
+            ActDetector::with_window(1).node_scores(&b.seq).expect("act"),
+            ComDetector::new().node_scores(&b.seq).expect("com"),
+            AdjDetector::new().node_scores(&b.seq).expect("adj"),
+        ] {
+            best_baseline = best_baseline.max(auc(&scores[0], &b.node_labels));
+        }
+    }
+    let cad_auc = cad_sum / trials as f64;
+    assert!(cad_auc > 0.85, "CAD AUC too low: {cad_auc}");
+    assert!(
+        cad_auc > best_baseline + 0.1,
+        "CAD ({cad_auc}) must dominate the best baseline ({best_baseline})"
+    );
+}
+
+#[test]
+fn figure5_auc_plateau_in_k() {
+    // Mini Figure 5: k = 25 and k = 100 within a few AUC points of each
+    // other and of exact; k = 2 notably worse or equal.
+    let b = bench(150, 7);
+    let auc_at = |engine: EngineOptions| {
+        let det = CadDetector::new(CadOptions { engine, ..Default::default() });
+        let scores = det.node_scores(&b.seq).expect("scores");
+        auc(&scores[0], &b.node_labels)
+    };
+    let exact = auc_at(EngineOptions::Exact);
+    let k25 = auc_at(EngineOptions::Approximate(EmbeddingOptions { k: 25, ..Default::default() }));
+    let k100 =
+        auc_at(EngineOptions::Approximate(EmbeddingOptions { k: 100, ..Default::default() }));
+    assert!((k25 - exact).abs() < 0.08, "k=25 {k25} vs exact {exact}");
+    assert!((k100 - exact).abs() < 0.05, "k=100 {k100} vs exact {exact}");
+    assert!(exact > 0.85);
+}
+
+#[test]
+fn anomalous_edges_rank_above_benign_noise() {
+    // Edge-level view: cross-cluster noise must outrank same-magnitude
+    // intra-cluster noise — the paper's §2.5 discrimination argument.
+    let b = bench(150, 11);
+    let det = CadDetector::default();
+    let scored = det.score_sequence(&b.seq).expect("scores");
+    let rank_of = |u: usize, v: usize| {
+        scored[0]
+            .iter()
+            .position(|e| (e.u, e.v) == (u, v))
+            .expect("edge scored")
+    };
+    let mean_anom_rank: f64 = b
+        .anomalous_edges
+        .iter()
+        .map(|&(u, v)| rank_of(u, v) as f64)
+        .sum::<f64>()
+        / b.anomalous_edges.len() as f64;
+    let mean_benign_rank: f64 = b
+        .benign_noise_edges
+        .iter()
+        .map(|&(u, v)| rank_of(u, v) as f64)
+        .sum::<f64>()
+        / b.benign_noise_edges.len() as f64;
+    assert!(
+        mean_anom_rank * 3.0 < mean_benign_rank,
+        "anomalous mean rank {mean_anom_rank} vs benign {mean_benign_rank}"
+    );
+}
+
+#[test]
+fn threshold_policy_recovers_planted_nodes() {
+    let b = bench(200, 13);
+    let det = CadDetector::default();
+    let planted = b.n_anomalous_nodes();
+    let result = det.detect_top_l(&b.seq, planted).expect("detection");
+    let found = &result.transitions[0].nodes;
+    let hits = found.iter().filter(|&&n| b.node_labels[n]).count();
+    let precision = hits as f64 / found.len().max(1) as f64;
+    assert!(
+        precision >= 0.7,
+        "δ-selected node set should be mostly planted anomalies: {precision}"
+    );
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the streaming detector, the I/O layer and the
+//! sparse eigenmap — the pieces a deployment would wire together.
+
+use cad_commute::eigenmap::{laplacian_eigenmap, laplacian_eigenmap_sparse};
+use cad_core::online::OnlineCad;
+use cad_core::{render_report, CadDetector, CadOptions, ReportOptions};
+use cad_datasets::{EnronSim, EnronSimOptions};
+use cad_graph::generators::toy::{node_label, toy_example};
+use cad_graph::io::{read_sequence, write_sequence};
+use cad_graph::stats::GraphStats;
+
+#[test]
+fn online_detector_replays_enron_stream() {
+    // Feed the monthly instances one by one; the online detector must
+    // flag the CEO eruption as it happens, and its final re-evaluation
+    // must match the offline result.
+    let sim = EnronSim::generate(&EnronSimOptions::default()).expect("sim");
+    let opts = CadOptions {
+        engine: cad_commute::EngineOptions::Exact,
+        ..Default::default()
+    };
+    let mut online = OnlineCad::new(opts, 5);
+    let mut eruption_hit = false;
+    for (month, g) in sim.seq.graphs().iter().cloned().enumerate() {
+        if let Some(tr) = online.push(g).expect("push") {
+            if month == 33 && tr.nodes.contains(&EnronSim::CEO) {
+                eruption_hit = true;
+            }
+        }
+    }
+    assert!(eruption_hit, "streaming detector must flag the CEO at the eruption");
+
+    let final_sets = online.reevaluate_all();
+    let offline =
+        CadDetector::new(opts).detect_top_l(&sim.seq, 5).expect("offline detection");
+    for (on, off) in final_sets.iter().zip(&offline.transitions) {
+        assert_eq!(on.nodes, off.nodes, "transition {}", on.t);
+    }
+}
+
+#[test]
+fn sequence_io_roundtrip_preserves_detection() {
+    // Serialize the toy sequence, read it back, detect: identical output.
+    let toy = toy_example();
+    let mut buf = Vec::new();
+    write_sequence(&mut buf, &toy.seq).expect("write");
+    let back = read_sequence(&buf[..]).expect("read");
+    let det = CadDetector::new(CadOptions {
+        engine: cad_commute::EngineOptions::Exact,
+        ..Default::default()
+    });
+    let a = det.detect_top_l(&toy.seq, 6).expect("original");
+    let b = det.detect_top_l(&back, 6).expect("roundtripped");
+    assert_eq!(a.transitions[0].nodes, b.transitions[0].nodes);
+    assert_eq!(a.transitions[0].edges.len(), b.transitions[0].edges.len());
+}
+
+#[test]
+fn report_renders_with_labels() {
+    let toy = toy_example();
+    let det = CadDetector::new(CadOptions {
+        engine: cad_commute::EngineOptions::Exact,
+        ..Default::default()
+    });
+    let result = det.detect_top_l(&toy.seq, 6).expect("detection");
+    let label = |n: usize| node_label(n);
+    let text = render_report(&result, &ReportOptions { label: Some(&label), ..Default::default() });
+    assert!(text.contains("b4 -- b5"), "{text}");
+    assert!(text.contains("r7 -- r8"), "{text}");
+    assert!(text.contains("nodes: b1, b4, b5, r1, r7, r8"), "{text}");
+}
+
+#[test]
+fn sparse_eigenmap_reproduces_figure2_movements() {
+    // The Lanczos route reaches the same Figure-2 conclusions as the
+    // dense route on the toy graphs.
+    let toy = toy_example();
+    use cad_graph::generators::toy::{b, r};
+    let dist = |e: &Vec<Vec<f64>>, i: usize, j: usize| {
+        e[i].iter().zip(&e[j]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+    };
+    let s0 = laplacian_eigenmap_sparse(toy.seq.graph(0), 2).expect("sparse t");
+    let s1 = laplacian_eigenmap_sparse(toy.seq.graph(1), 2).expect("sparse t+1");
+    assert!(dist(&s1, b(1), r(1)) < dist(&s0, b(1), r(1)));
+    assert!(dist(&s1, b(4), b(5)) < dist(&s0, b(4), b(5)));
+    assert!(dist(&s1, r(8), r(1)) > dist(&s0, r(8), r(1)));
+
+    // And pairwise distances agree with the dense route.
+    let d0 = laplacian_eigenmap(toy.seq.graph(0), 2).expect("dense t");
+    for i in 0..17 {
+        for j in (i + 1)..17 {
+            let (a, b) = (dist(&d0, i, j), dist(&s0, i, j));
+            assert!((a - b).abs() < 1e-6 * a.max(1.0), "({i},{j}): {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn simulator_stats_match_corpus_shape() {
+    // The simulated e-mail network should look like the real corpus:
+    // sparse, clustered, one dominant component.
+    let sim = EnronSim::generate(&EnronSimOptions::default()).expect("sim");
+    let stats = GraphStats::compute(sim.seq.graph(10));
+    assert_eq!(stats.n_nodes, 151);
+    assert!(stats.n_edges > 150 && stats.n_edges < 800, "{stats}");
+    assert!(stats.density < 0.1, "{stats}");
+    assert!(stats.clustering > 0.02, "real contact networks cluster: {stats}");
+    assert!(stats.n_components < 15, "{stats}");
+}

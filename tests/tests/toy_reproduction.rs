@@ -1,0 +1,164 @@
+//! End-to-end reproduction of the paper's toy-example results
+//! (Tables 1–2, Figures 2–3) as assertable integration tests.
+
+use cad_baselines::ActDetector;
+use cad_commute::eigenmap::laplacian_eigenmap;
+use cad_commute::EngineOptions;
+use cad_core::node_scores::normalize_by_max;
+use cad_core::{CadDetector, CadOptions, NodeScorer};
+use cad_graph::generators::toy::{b, r, toy_example};
+
+fn exact_detector() -> CadDetector {
+    CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() })
+}
+
+#[test]
+fn table1_edge_score_separation() {
+    let toy = toy_example();
+    let scored = exact_detector().score_sequence(&toy.seq).expect("scores");
+    let score_of = |u: usize, v: usize| {
+        scored[0]
+            .iter()
+            .find(|e| (e.u, e.v) == (u.min(v), u.max(v)))
+            .map_or(0.0, |e| e.score)
+    };
+    // Exactly the five changed edges carry non-zero support.
+    assert_eq!(scored[0].len(), 5);
+    // Anomalous edges dominate benign ones by an order of magnitude.
+    let anomalous_min = toy
+        .anomalous_edges
+        .iter()
+        .map(|&(u, v)| score_of(u, v))
+        .fold(f64::INFINITY, f64::min);
+    let benign_max = toy
+        .benign_changed_edges
+        .iter()
+        .map(|&(u, v)| score_of(u, v))
+        .fold(0.0f64, f64::max);
+    assert!(benign_max > 0.0, "benign changed edges have small but non-zero scores");
+    assert!(
+        anomalous_min > 10.0 * benign_max,
+        "Table 1 separation: {anomalous_min} vs {benign_max}"
+    );
+}
+
+#[test]
+fn table2_node_scores() {
+    let toy = toy_example();
+    let det = exact_detector();
+    let ns = det.node_scores(&toy.seq).expect("node scores");
+    // The six responsible nodes dominate (Table 2).
+    let responsible_min = toy
+        .anomalous_nodes
+        .iter()
+        .map(|&n| ns[0][n])
+        .fold(f64::INFINITY, f64::min);
+    let innocent_max = (0..17)
+        .filter(|n| !toy.anomalous_nodes.contains(n))
+        .map(|n| ns[0][n])
+        .fold(0.0f64, f64::max);
+    assert!(responsible_min > 10.0 * innocent_max);
+    // Structurally untouched nodes score exactly zero (b6, b8, r2..r6, r9).
+    for label_zero in [b(6), b(8), r(2), r(3), r(4), r(5), r(6), r(9)] {
+        assert_eq!(ns[0][label_zero], 0.0, "node {label_zero} should be untouched");
+    }
+}
+
+#[test]
+fn figure2_eigenmap_movements() {
+    // The 2-D eigenmap reproduces the paper's qualitative observations:
+    // (a) at time t the red and blue clusters are separated;
+    // (b) at t+1 nodes r4, r6, r8, r9 drift away from the rest;
+    // (c) b1 and r1 move closer; (d) b4 and b5 move closer.
+    let toy = toy_example();
+    let e0 = laplacian_eigenmap(toy.seq.graph(0), 2).expect("eigenmap t");
+    let e1 = laplacian_eigenmap(toy.seq.graph(1), 2).expect("eigenmap t+1");
+    let d = |e: &Vec<Vec<f64>>, i: usize, j: usize| {
+        ((e[i][0] - e[j][0]).powi(2) + (e[i][1] - e[j][1]).powi(2)).sqrt()
+    };
+    // (a) blue-blue pairs closer than blue-red pairs at time t.
+    let intra = d(&e0, b(1), b(2));
+    let inter = d(&e0, b(1), r(1));
+    assert!(inter > intra, "clusters should separate at t: {inter} vs {intra}");
+    // (b) the cut-off red subgroup moves away from r1 at t+1.
+    assert!(d(&e1, r(8), r(1)) > d(&e0, r(8), r(1)));
+    // (c) b1 and r1 get closer.
+    assert!(d(&e1, b(1), r(1)) < d(&e0, b(1), r(1)));
+    // (d) b4 and b5 get closer.
+    assert!(d(&e1, b(4), b(5)) < d(&e0, b(4), b(5)));
+}
+
+#[test]
+fn figure3_cad_sharper_than_act() {
+    let toy = toy_example();
+    let cad_scores = exact_detector().node_scores(&toy.seq).expect("CAD");
+    let act_scores = ActDetector::with_window(1).node_scores(&toy.seq).expect("ACT");
+    let cad = normalize_by_max(&cad_scores[0]);
+    let act = normalize_by_max(&act_scores[0]);
+
+    // Margin between the weakest responsible node and the strongest
+    // innocent node — CAD's must be decisively larger (Figure 3).
+    let margin = |scores: &[f64]| {
+        let resp_min = toy
+            .anomalous_nodes
+            .iter()
+            .map(|&n| scores[n])
+            .fold(f64::INFINITY, f64::min);
+        let innocent_max = (0..17)
+            .filter(|n| !toy.anomalous_nodes.contains(n))
+            .map(|n| scores[n])
+            .fold(0.0f64, f64::max);
+        resp_min - innocent_max
+    };
+    let (m_cad, m_act) = (margin(&cad), margin(&act));
+    assert!(m_cad > 0.2, "CAD must cleanly separate responsible nodes: {m_cad}");
+    assert!(
+        m_cad > m_act + 0.1,
+        "CAD margin {m_cad} must beat ACT margin {m_act} decisively"
+    );
+
+    // ACT assigns non-trivial scores to affected-but-innocent nodes
+    // (r4, r6, r9 drift with the structure) — the false-alarm failure
+    // mode the paper criticizes.
+    let affected_innocent = [r(4), r(6), r(9)];
+    let act_affected_max =
+        affected_innocent.iter().map(|&n| act[n]).fold(0.0f64, f64::max);
+    let cad_affected_max =
+        affected_innocent.iter().map(|&n| cad[n]).fold(0.0f64, f64::max);
+    assert!(act_affected_max > 0.2, "ACT flags affected nodes: {act_affected_max}");
+    assert_eq!(cad_affected_max, 0.0, "CAD never flags affected-but-innocent nodes");
+}
+
+#[test]
+fn detection_recovers_exact_ground_truth() {
+    let toy = toy_example();
+    let result = exact_detector().detect_top_l(&toy.seq, 6).expect("detection");
+    let tr = &result.transitions[0];
+    assert_eq!(tr.nodes, {
+        let mut want = toy.anomalous_nodes.clone();
+        want.sort_unstable();
+        want
+    });
+    let mut found: Vec<(usize, usize)> = tr.edges.iter().map(|e| (e.u, e.v)).collect();
+    found.sort_unstable();
+    let mut want = toy.anomalous_edges.clone();
+    want.sort_unstable();
+    assert_eq!(found, want);
+}
+
+#[test]
+fn approximate_engine_reproduces_toy_ordering() {
+    // Even with the k = 50 embedding (the paper's default), the three
+    // anomalous edges stay on top.
+    let toy = toy_example();
+    let det = CadDetector::new(CadOptions {
+        engine: EngineOptions::Approximate(Default::default()),
+        ..Default::default()
+    });
+    let scored = det.score_sequence(&toy.seq).expect("scores");
+    let top3: Vec<(usize, usize)> =
+        scored[0].iter().take(3).map(|e| (e.u, e.v)).collect();
+    for edge in &toy.anomalous_edges {
+        assert!(top3.contains(edge), "{edge:?} missing from approximate top-3: {top3:?}");
+    }
+}
