@@ -33,7 +33,10 @@ pub struct ActOptions {
 
 impl Default for ActOptions {
     fn default() -> Self {
-        ActOptions { window: 1, power: PowerOptions::default() }
+        ActOptions {
+            window: 1,
+            power: PowerOptions::default(),
+        }
     }
 }
 
@@ -51,7 +54,12 @@ impl ActDetector {
 
     /// Create with window size `w` and default power iteration.
     pub fn with_window(w: usize) -> Self {
-        ActDetector { opts: ActOptions { window: w, ..Default::default() } }
+        ActDetector {
+            opts: ActOptions {
+                window: w,
+                ..Default::default()
+            },
+        }
     }
 
     /// Activity vectors of every instance (unit norm, sign-canonical).
@@ -206,7 +214,11 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!([3, 4, 5].contains(&top), "top node {top}, scores {:?}", ns[0]);
+        assert!(
+            [3, 4, 5].contains(&top),
+            "top node {top}, scores {:?}",
+            ns[0]
+        );
     }
 
     #[test]
@@ -229,7 +241,10 @@ mod tests {
     fn rejects_zero_window() {
         let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
         let seq = GraphSequence::new(vec![g.clone(), g]).unwrap();
-        let act = ActDetector::new(ActOptions { window: 0, ..Default::default() });
+        let act = ActDetector::new(ActOptions {
+            window: 0,
+            ..Default::default()
+        });
         assert!(act.activity_vectors(&seq).is_err());
     }
 

@@ -7,15 +7,49 @@
 //! it moves for every node *affected* by a change, not just the
 //! responsible ones, and its all-pairs shortest paths make it expensive
 //! on dense graphs (the paper's §4.1.3 observes exactly that).
+//!
+//! The distance table comes from the shared
+//! [`cad_commute::DistanceOracle`] factory (the shortest-path backend) —
+//! this crate keeps no distance-table implementation of its own; only
+//! the Wasserman–Faust normalization lives here.
 
 use crate::Result;
+use cad_commute::{CommuteTimeEngine, DistanceOracle, EngineOptions};
 use cad_core::NodeScorer;
-use cad_graph::algo::closeness_centrality;
 use cad_graph::GraphSequence;
 
 /// The CLC baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClcDetector;
+
+/// Wasserman–Faust closeness `cc(i) = (r/(n−1)) · (r/Σ d(i,j))` over the
+/// `r` finite-distance peers of `i` (isolated nodes score 0), computed
+/// from any [`DistanceOracle`].
+fn closeness_from_oracle(oracle: &dyn DistanceOracle) -> Vec<f64> {
+    let n = oracle.n_nodes();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let mut sum = 0.0;
+            let mut reachable = 0usize;
+            for j in 0..n {
+                let d = oracle.distance(i, j);
+                if j != i && d.is_finite() {
+                    sum += d;
+                    reachable += 1;
+                }
+            }
+            if reachable == 0 || sum == 0.0 {
+                0.0
+            } else {
+                let r = reachable as f64;
+                (r / (n as f64 - 1.0)) * (r / sum)
+            }
+        })
+        .collect()
+}
 
 impl ClcDetector {
     /// Create the CLC detector.
@@ -24,8 +58,14 @@ impl ClcDetector {
     }
 
     /// Closeness centralities of every instance.
-    pub fn centralities(&self, seq: &GraphSequence) -> Vec<Vec<f64>> {
-        seq.graphs().iter().map(closeness_centrality).collect()
+    pub fn centralities(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
+        seq.graphs()
+            .iter()
+            .map(|g| {
+                let oracle = CommuteTimeEngine::compute(g, &EngineOptions::ShortestPath)?;
+                Ok(closeness_from_oracle(oracle.as_ref()))
+            })
+            .collect()
     }
 }
 
@@ -35,7 +75,7 @@ impl NodeScorer for ClcDetector {
     }
 
     fn node_scores(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
-        let cc = self.centralities(seq);
+        let cc = self.centralities(seq)?;
         Ok(cc
             .windows(2)
             .map(|w| w[0].iter().zip(&w[1]).map(|(a, b)| (b - a).abs()).collect())
@@ -65,6 +105,30 @@ mod tests {
         let seq = GraphSequence::new(vec![g0, g1]).unwrap();
         let ns = ClcDetector::new().node_scores(&seq).unwrap();
         assert!(ns[0].iter().all(|&v| v > 0.0), "{:?}", ns[0]);
+    }
+
+    #[test]
+    fn oracle_closeness_matches_reference_implementation() {
+        // The oracle-backed closeness must agree exactly with the direct
+        // Dijkstra implementation in cad-graph (same distances, same
+        // Wasserman–Faust normalization) — including across components.
+        let g = WeightedGraph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 0.5),
+                (2, 3, 1.0),
+                (0, 3, 1.0),
+                (4, 5, 3.0),
+            ],
+        )
+        .unwrap();
+        let seq = GraphSequence::new(vec![g.clone(), g.clone()]).unwrap();
+        let oracle_cc = ClcDetector::new().centralities(&seq).unwrap();
+        let direct_cc = cad_graph::algo::closeness_centrality(&g);
+        for (a, b) in oracle_cc[0].iter().zip(&direct_cc) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
     }
 
     #[test]

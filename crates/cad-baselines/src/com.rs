@@ -33,6 +33,7 @@ pub enum ComSupport {
 pub struct ComDetector {
     engine: EngineOptions,
     support: ComSupport,
+    threads: usize,
     inner: CadDetector,
 }
 
@@ -56,10 +57,21 @@ impl ComDetector {
 
     /// Create with explicit engine and support.
     pub fn with_support(engine: EngineOptions, support: ComSupport) -> Self {
+        Self::with_threads(engine, support, 1)
+    }
+
+    /// Create with explicit engine, support, and worker-thread count
+    /// (1 = sequential, 0 = one per core; output is thread-invariant).
+    pub fn with_threads(engine: EngineOptions, support: ComSupport, threads: usize) -> Self {
         ComDetector {
             engine,
             support,
-            inner: CadDetector::new(CadOptions { engine, kind: ScoreKind::Com }),
+            threads,
+            inner: CadDetector::new(CadOptions {
+                engine,
+                kind: ScoreKind::Com,
+                threads,
+            }),
         }
     }
 
@@ -80,26 +92,26 @@ impl NodeScorer for ComDetector {
             ComSupport::EdgeUnion => self.inner.node_scores(seq),
             ComSupport::AllPairs => {
                 let n = seq.n_nodes();
-                let mut engines = Vec::with_capacity(seq.len());
-                for g in seq.graphs() {
-                    engines.push(CommuteTimeEngine::compute(g, &self.engine)?);
-                }
-                Ok((0..seq.n_transitions())
-                    .map(|t| {
-                        let (e0, e1) = (&engines[t], &engines[t + 1]);
-                        let mut scores = vec![0.0; n];
-                        for i in 0..n {
-                            for j in (i + 1)..n {
-                                let d = (e1.commute_distance(i, j)
-                                    - e0.commute_distance(i, j))
-                                .abs();
-                                scores[i] += d;
-                                scores[j] += d;
-                            }
+                // Oracles come from the shared factory — COM keeps no
+                // distance tables of its own — and both the per-instance
+                // builds and the O(n²) per-transition accumulations run
+                // on the cad-linalg worker pool.
+                let engines =
+                    cad_linalg::par::par_map_result(seq.graphs(), self.threads, |_, g| {
+                        CommuteTimeEngine::compute(g, &self.engine)
+                    })?;
+                cad_linalg::par::par_tabulate_result(seq.n_transitions(), self.threads, |t| {
+                    let (e0, e1) = (&engines[t], &engines[t + 1]);
+                    let mut scores = vec![0.0; n];
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            let d = (e1.commute_distance(i, j) - e0.commute_distance(i, j)).abs();
+                            scores[i] += d;
+                            scores[j] += d;
                         }
-                        scores
-                    })
-                    .collect())
+                    }
+                    Ok(scores)
+                })
             }
         }
     }
@@ -164,6 +176,21 @@ mod tests {
         // All-pairs accumulates at least as much mass everywhere.
         for (a, u) in all[0].iter().zip(&union[0]) {
             assert!(a + 1e-12 >= *u, "{a} < {u}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seq = bridge_collapse_seq();
+        let serial = ComDetector::new().node_scores(&seq).unwrap();
+        for threads in [2, 8] {
+            let par =
+                ComDetector::with_threads(EngineOptions::default(), ComSupport::AllPairs, threads)
+                    .node_scores(&seq)
+                    .unwrap();
+            for (a, b) in serial[0].iter().zip(&par[0]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
         }
     }
 

@@ -149,7 +149,11 @@ pub fn ar1_residual_zscores(x: &[f64]) -> Vec<f64> {
         })
         .collect();
     let rmean = residual.iter().sum::<f64>() / n as f64;
-    let rvar = residual.iter().map(|v| (v - rmean) * (v - rmean)).sum::<f64>() / n as f64;
+    let rvar = residual
+        .iter()
+        .map(|v| (v - rmean) * (v - rmean))
+        .sum::<f64>()
+        / n as f64;
     let rstd = rvar.sqrt().max(f64::MIN_POSITIVE);
     residual.iter().map(|v| (v - rmean).abs() / rstd).collect()
 }
@@ -230,7 +234,9 @@ mod tests {
         let mut x: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
         x[10] += 5.0;
         let z = ar1_residual_zscores(&x);
-        let top = (0..z.len()).max_by(|&a, &b| z[a].partial_cmp(&z[b]).unwrap()).unwrap();
+        let top = (0..z.len())
+            .max_by(|&a, &b| z[a].partial_cmp(&z[b]).unwrap())
+            .unwrap();
         assert!(top == 10 || top == 11, "spike not found: {top}");
     }
 }

@@ -24,7 +24,10 @@ fn bench_exact_vs_approx(c: &mut Criterion) {
         b.iter(|| {
             CommuteEmbedding::compute(
                 black_box(&g),
-                &EmbeddingOptions { k: 50, ..Default::default() },
+                &EmbeddingOptions {
+                    k: 50,
+                    ..Default::default()
+                },
             )
             .expect("embedding")
         })
@@ -39,8 +42,14 @@ fn bench_embedding_vs_k(c: &mut Criterion) {
     for k in [5usize, 10, 25, 50, 100] {
         grp.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                CommuteEmbedding::compute(&g, &EmbeddingOptions { k, ..Default::default() })
-                    .expect("embedding")
+                CommuteEmbedding::compute(
+                    &g,
+                    &EmbeddingOptions {
+                        k,
+                        ..Default::default()
+                    },
+                )
+                .expect("embedding")
             })
         });
     }
@@ -52,15 +61,23 @@ fn bench_embedding_threads(c: &mut Criterion) {
     let mut grp = c.benchmark_group("embedding_threads_n400_k50");
     grp.sample_size(10);
     for threads in [1usize, 2, 4] {
-        grp.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                CommuteEmbedding::compute(
-                    &g,
-                    &EmbeddingOptions { k: 50, threads, ..Default::default() },
-                )
-                .expect("embedding")
-            })
-        });
+        grp.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    CommuteEmbedding::compute(
+                        &g,
+                        &EmbeddingOptions {
+                            k: 50,
+                            threads,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("embedding")
+                })
+            },
+        );
     }
     grp.finish();
 }
@@ -68,8 +85,14 @@ fn bench_embedding_threads(c: &mut Criterion) {
 fn bench_query_cost(c: &mut Criterion) {
     let g = kernel_graph(300);
     let exact = ExactCommute::compute(&g).expect("exact");
-    let emb = CommuteEmbedding::compute(&g, &EmbeddingOptions { k: 50, ..Default::default() })
-        .expect("embedding");
+    let emb = CommuteEmbedding::compute(
+        &g,
+        &EmbeddingOptions {
+            k: 50,
+            ..Default::default()
+        },
+    )
+    .expect("embedding");
     let mut grp = c.benchmark_group("commute_query");
     grp.bench_function("exact_lookup", |b| {
         b.iter(|| black_box(exact.commute_distance(black_box(10), black_box(200))))
@@ -80,5 +103,11 @@ fn bench_query_cost(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_exact_vs_approx, bench_embedding_vs_k, bench_embedding_threads, bench_query_cost);
+criterion_group!(
+    benches,
+    bench_exact_vs_approx,
+    bench_embedding_vs_k,
+    bench_embedding_threads,
+    bench_query_cost
+);
 criterion_main!(benches);

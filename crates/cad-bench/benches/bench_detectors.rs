@@ -23,23 +23,34 @@ fn bench_detectors(c: &mut Criterion) {
 
     let mut grp = c.benchmark_group("detectors_gmm_n300");
     grp.sample_size(10);
-    grp.bench_function("cad", |b| b.iter(|| cad.node_scores(black_box(seq)).expect("cad")));
-    grp.bench_function("act", |b| b.iter(|| act.node_scores(black_box(seq)).expect("act")));
+    grp.bench_function("cad", |b| {
+        b.iter(|| cad.node_scores(black_box(seq)).expect("cad"))
+    });
+    grp.bench_function("act", |b| {
+        b.iter(|| act.node_scores(black_box(seq)).expect("act"))
+    });
     grp.bench_function("com_all_pairs", |b| {
         b.iter(|| com_all.node_scores(black_box(seq)).expect("com"))
     });
     grp.bench_function("com_edge_union", |b| {
         b.iter(|| com_union.node_scores(black_box(seq)).expect("com"))
     });
-    grp.bench_function("adj", |b| b.iter(|| adj.node_scores(black_box(seq)).expect("adj")));
-    grp.bench_function("clc", |b| b.iter(|| clc.node_scores(black_box(seq)).expect("clc")));
+    grp.bench_function("adj", |b| {
+        b.iter(|| adj.node_scores(black_box(seq)).expect("adj"))
+    });
+    grp.bench_function("clc", |b| {
+        b.iter(|| clc.node_scores(black_box(seq)).expect("clc"))
+    });
     grp.finish();
 
     // Ablation: the three score kinds inside the shared pipeline.
     let mut grp = c.benchmark_group("score_kind_ablation_n300");
     grp.sample_size(10);
     for kind in [ScoreKind::Cad, ScoreKind::Adj, ScoreKind::Com] {
-        let det = CadDetector::new(CadOptions { kind, ..Default::default() });
+        let det = CadDetector::new(CadOptions {
+            kind,
+            ..Default::default()
+        });
         grp.bench_function(kind.name(), move |b| {
             b.iter(|| det.score_sequence(black_box(seq)).expect("scores"))
         });

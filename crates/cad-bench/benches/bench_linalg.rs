@@ -28,8 +28,11 @@ fn bench_spmv(c: &mut Criterion) {
 fn bench_csr_construction(c: &mut Criterion) {
     let n = 50_000;
     let g = sparse_random_graph(n, 4 * n, 2).expect("graph");
-    let triplets: Vec<(u32, u32, f64)> =
-        g.adjacency().iter().map(|(i, j, v)| (i as u32, j as u32, v)).collect();
+    let triplets: Vec<(u32, u32, f64)> = g
+        .adjacency()
+        .iter()
+        .map(|(i, j, v)| (i as u32, j as u32, v))
+        .collect();
     c.bench_function("csr_from_triplets_200k", |b| {
         b.iter(|| CsrMatrix::from_triplets(n, n, black_box(&triplets)))
     });
@@ -52,5 +55,10 @@ fn bench_dense_eigen_and_pinv(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_spmv, bench_csr_construction, bench_dense_eigen_and_pinv);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_csr_construction,
+    bench_dense_eigen_and_pinv
+);
 criterion_main!(benches);

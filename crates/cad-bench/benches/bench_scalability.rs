@@ -26,13 +26,33 @@ fn workload(n: usize) -> GraphSequence {
     GraphSequence::new(vec![g0, g1]).expect("sequence")
 }
 
+/// A `t`-instance sequence of lightly drifting sparse graphs — the
+/// engine-build parallelism workload (one oracle per instance).
+fn drifting_workload(n: usize, t: usize) -> GraphSequence {
+    let mut graphs = Vec::with_capacity(t);
+    for step in 0..t {
+        let g = sparse_random_graph(n, n, 42).expect("graph");
+        let mut edges: Vec<(usize, usize, f64)> = g.edges().collect();
+        for (i, e) in edges.iter_mut().enumerate() {
+            if (i + step) % 50 == 0 {
+                e.2 = (e.2 * (1.1 + 0.05 * step as f64)).min(1.0);
+            }
+        }
+        graphs.push(WeightedGraph::from_edges(n, &edges).expect("edited graph"));
+    }
+    GraphSequence::new(graphs).expect("sequence")
+}
+
 fn bench_cad_scaling(c: &mut Criterion) {
     let det = CadDetector::new(CadOptions {
         engine: EngineOptions::Approximate(EmbeddingOptions {
             k: 10,
             solver: LaplacianSolverOptions {
                 precond: PrecondKind::SpanningTree,
-                cg: CgOptions { tol: 1e-4, max_iter: None },
+                cg: CgOptions {
+                    tol: 1e-4,
+                    max_iter: None,
+                },
                 ..Default::default()
             },
             ..Default::default()
@@ -51,5 +71,64 @@ fn bench_cad_scaling(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_cad_scaling);
+/// Serial vs parallel per-instance oracle construction: the same
+/// 16-instance sequence scored with 1/2/4/8 worker threads. Output is
+/// bit-identical across rows (see `tests/parallel_equivalence.rs`);
+/// only wall-clock should move. The closing speedup summary makes the
+/// parallel payoff (or its absence on core-starved machines) explicit.
+fn bench_engine_build_threads(c: &mut Criterion) {
+    let engine = EngineOptions::Approximate(EmbeddingOptions {
+        k: 10,
+        solver: LaplacianSolverOptions {
+            precond: PrecondKind::SpanningTree,
+            cg: CgOptions {
+                tol: 1e-4,
+                max_iter: None,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let seq = drifting_workload(1_000, 16);
+    let mut grp = c.benchmark_group("engine_build_threads_16x1000");
+    grp.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let det = CadDetector::new(CadOptions {
+            engine,
+            threads,
+            ..Default::default()
+        });
+        grp.bench_with_input(BenchmarkId::from_parameter(threads), &seq, |b, seq| {
+            b.iter(|| det.score_sequence(seq).expect("scores"))
+        });
+    }
+    grp.finish();
+
+    // Explicit speedup summary (criterion rows only show means).
+    let time_once = |threads: usize| {
+        let det = CadDetector::new(CadOptions {
+            engine,
+            threads,
+            ..Default::default()
+        });
+        det.score_sequence(&seq).expect("warmup");
+        let start = std::time::Instant::now();
+        for _ in 0..3 {
+            criterion::black_box(det.score_sequence(&seq).expect("scores"));
+        }
+        start.elapsed().as_secs_f64() / 3.0
+    };
+    let base = time_once(1);
+    println!(
+        "engine build+score, 16 instances of n=1000 (host has {} cores):",
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    );
+    println!("  threads=1  {:.3}s  (baseline)", base);
+    for threads in [2usize, 4, 8] {
+        let t = time_once(threads);
+        println!("  threads={threads}  {:.3}s  speedup {:.2}x", t, base / t);
+    }
+}
+
+criterion_group!(benches, bench_cad_scaling, bench_engine_build_threads);
 criterion_main!(benches);

@@ -18,14 +18,19 @@ fn solve_with(g: &WeightedGraph, precond: PrecondKind) {
         &l,
         LaplacianSolverOptions {
             precond,
-            cg: CgOptions { tol: 1e-6, max_iter: None },
+            cg: CgOptions {
+                tol: 1e-6,
+                max_iter: None,
+            },
             ..Default::default()
         },
     )
     .expect("solver setup");
     // A mean-free RHS similar to the embedding's incidence rows.
     let n = g.n_nodes();
-    let b: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     let x = solver.solve(&b).expect("solve");
     std::hint::black_box(x);
 }

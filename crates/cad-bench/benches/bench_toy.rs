@@ -11,8 +11,10 @@ use std::hint::black_box;
 
 fn bench_toy_pipeline(c: &mut Criterion) {
     let toy = toy_example();
-    let det =
-        CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() });
+    let det = CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        ..Default::default()
+    });
     let act = ActDetector::with_window(1);
 
     let mut g = c.benchmark_group("toy");

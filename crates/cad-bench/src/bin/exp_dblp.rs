@@ -65,8 +65,14 @@ fn main() {
         .filter(|e| e.u == near_author || e.v == near_author)
         .map(|e| e.score)
         .fold(0.0f64, f64::max);
-    assert!(far_score > 0.0, "far switcher must appear in E_t at the switch transition");
-    assert!(near_score > 0.0, "near switcher must appear in E_t at the switch transition");
+    assert!(
+        far_score > 0.0,
+        "far switcher must appear in E_t at the switch transition"
+    );
+    assert!(
+        near_score > 0.0,
+        "near switcher must appear in E_t at the switch transition"
+    );
     let (far_d, near_d) = sim.switch_distances();
     println!(
         "\nseverity ordering: far switch ({far_d} communities) ΔE = {far_score:.2} \
@@ -85,7 +91,11 @@ fn main() {
         *per_node.entry(e.u).or_insert(0) += 1;
         *per_node.entry(e.v).or_insert(0) += 1;
     }
-    let top_by_count = per_node.iter().max_by_key(|(_, &c)| c).map(|(&n, _)| n).unwrap();
+    let top_by_count = per_node
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(&n, _)| n)
+        .unwrap();
     println!("author with most anomalous edges at the switch: {top_by_count} (far switcher = {far_author})");
     assert_eq!(top_by_count, far_author);
 
@@ -94,7 +104,10 @@ fn main() {
         .edges
         .iter()
         .any(|e| (e.u, e.v) == (sev_a.min(sev_b), sev_a.max(sev_b)));
-    assert!(severed_found, "the severed strong tie must be localized at {sev_t}");
+    assert!(
+        severed_found,
+        "the severed strong tie must be localized at {sev_t}"
+    );
     println!("severed tie ({sev_a}, {sev_b}) localized at transition {sev_t}");
 
     println!("dblp shape checks passed");

@@ -29,7 +29,12 @@ use cad_graph::{GraphSequence, WeightedGraph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-fn margin(det: &CadDetector, seq: &GraphSequence, anomalous: &[(usize, usize)], benign: &[(usize, usize)]) -> f64 {
+fn margin(
+    det: &CadDetector,
+    seq: &GraphSequence,
+    anomalous: &[(usize, usize)],
+    benign: &[(usize, usize)],
+) -> f64 {
     let scored = det.score_sequence(seq).expect("scores");
     let score_of = |u: usize, v: usize| {
         scored[0]
@@ -37,8 +42,14 @@ fn margin(det: &CadDetector, seq: &GraphSequence, anomalous: &[(usize, usize)], 
             .find(|e| (e.u, e.v) == (u.min(v), u.max(v)))
             .map_or(0.0, |e| e.score)
     };
-    let a_min = anomalous.iter().map(|&(u, v)| score_of(u, v)).fold(f64::INFINITY, f64::min);
-    let b_max = benign.iter().map(|&(u, v)| score_of(u, v)).fold(0.0f64, f64::max);
+    let a_min = anomalous
+        .iter()
+        .map(|&(u, v)| score_of(u, v))
+        .fold(f64::INFINITY, f64::min);
+    let b_max = benign
+        .iter()
+        .map(|&(u, v)| score_of(u, v))
+        .fold(0.0f64, f64::max);
     a_min / b_max.max(1e-12)
 }
 
@@ -87,8 +98,16 @@ fn main() {
     let mut margins = [0.0f64; 2];
     let mut stability = [0usize; 2];
     for (ei, (name, engine)) in engines.iter().enumerate() {
-        let det = CadDetector::new(CadOptions { engine: *engine, ..Default::default() });
-        margins[ei] = margin(&det, &toy.seq, &toy.anomalous_edges, &toy.benign_changed_edges);
+        let det = CadDetector::new(CadOptions {
+            engine: *engine,
+            ..Default::default()
+        });
+        margins[ei] = margin(
+            &det,
+            &toy.seq,
+            &toy.anomalous_edges,
+            &toy.benign_changed_edges,
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..replicas {
             let seq = jittered(&toy.seq, &mut rng, jitter);

@@ -39,13 +39,18 @@ fn main() {
     let n_trans = sim.seq.n_transitions();
 
     // CAD with the exact engine (n = 151, same as the paper's choice).
-    let cad = CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() });
+    let cad = CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        ..Default::default()
+    });
     let detection = cad.detect_top_l(&sim.seq, l).expect("CAD detection");
 
     // ACT: w = 3; flag the `act_top` transitions with the highest z and
     // report the top-5 nodes on each (the paper's presentation).
     let act = ActDetector::with_window(act_window);
-    let z = act.transition_scores(&sim.seq).expect("ACT transition scores");
+    let z = act
+        .transition_scores(&sim.seq)
+        .expect("ACT transition scores");
     let act_nodes = act.node_scores(&sim.seq).expect("ACT node scores");
     let mut z_order: Vec<usize> = (0..n_trans).collect();
     z_order.sort_by(|&a, &b| z[b].partial_cmp(&z[a]).expect("finite"));
@@ -110,8 +115,7 @@ fn main() {
     );
 
     // 2. CAD's flagged transitions align with the scripted events.
-    let truth: std::collections::HashSet<usize> =
-        sim.anomalous_transitions().into_iter().collect();
+    let truth: std::collections::HashSet<usize> = sim.anomalous_transitions().into_iter().collect();
     let flagged = detection.anomalous_transitions();
     let hits = flagged.iter().filter(|t| truth.contains(t)).count();
     println!(
@@ -125,17 +129,26 @@ fn main() {
         "CAD should recover most scripted event transitions"
     );
     // Calm tail (months 41+) stays quiet.
-    let tail_nodes: usize =
-        (41..n_trans).map(|t| detection.transitions[t].nodes.len()).sum();
-    assert!(tail_nodes <= 3 * l, "calm tail too noisy: {tail_nodes} nodes");
+    let tail_nodes: usize = (41..n_trans)
+        .map(|t| detection.transitions[t].nodes.len())
+        .sum();
+    assert!(
+        tail_nodes <= 3 * l,
+        "calm tail too noisy: {tail_nodes} nodes"
+    );
 
     // 3. ACT's top-5 misses the CEO at the eruption even when flagged.
     let mut act_rank: Vec<usize> = (0..sim.seq.n_nodes()).collect();
     act_rank.sort_by(|&a, &b| {
-        act_nodes[32][b].partial_cmp(&act_nodes[32][a]).expect("finite")
+        act_nodes[32][b]
+            .partial_cmp(&act_nodes[32][a])
+            .expect("finite")
     });
     let ceo_rank = act_rank.iter().position(|&i| i == EnronSim::CEO).unwrap();
-    println!("ACT rank of the CEO at 32->33: {} (CAD rank: top)", ceo_rank + 1);
+    println!(
+        "ACT rank of the CEO at 32->33: {} (CAD rank: top)",
+        ceo_rank + 1
+    );
 
     // 4. The Steffes/Lay anecdote: a pure volume surge between existing
     // tight contacts happens at the same month. ACT (volume-driven)
@@ -144,9 +157,17 @@ fn main() {
     // first by ΔN.
     let cad_nodes = cad.node_scores(&sim.seq).expect("CAD node scores");
     let cad_top = (0..sim.seq.n_nodes())
-        .max_by(|&a, &b| cad_nodes[32][a].partial_cmp(&cad_nodes[32][b]).expect("finite"))
+        .max_by(|&a, &b| {
+            cad_nodes[32][a]
+                .partial_cmp(&cad_nodes[32][b])
+                .expect("finite")
+        })
         .unwrap();
-    assert_eq!(cad_top, EnronSim::CEO, "CAD's top node at the eruption must be the CEO");
+    assert_eq!(
+        cad_top,
+        EnronSim::CEO,
+        "CAD's top node at the eruption must be the CEO"
+    );
     assert!(
         ceo_rank > 0,
         "ACT should be distracted by the volume-surge executive (Steffes analogue)"

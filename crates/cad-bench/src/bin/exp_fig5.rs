@@ -78,6 +78,9 @@ fn main() {
             );
         }
     }
-    assert!(exact_auc > 0.75, "CAD should be far above chance: {exact_auc:.3}");
+    assert!(
+        exact_auc > 0.75,
+        "CAD should be far above chance: {exact_auc:.3}"
+    );
     println!("\nfigure-5 shape checks passed (AUC invariant for k > 10)");
 }

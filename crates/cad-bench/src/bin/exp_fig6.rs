@@ -36,12 +36,21 @@ fn main() {
         methods.push(&clc); // CLC is all-pairs Dijkstra: slow at large n.
     }
 
-    eprintln!("running {} methods x {trials} trials at n = {n} ...", methods.len());
+    eprintln!(
+        "running {} methods x {trials} trials at n = {n} ...",
+        methods.len()
+    );
     let evals = evaluate_on_gmm(&opts, trials, &methods).expect("evaluation");
 
     println!("== Figure 6: AUC on the GMM benchmark (n={n}, {trials} trials) ==");
     let mut t = Table::new(&["method", "mean AUC", "min", "max", "paper AUC"]);
-    let paper = [("CAD", 0.88), ("ACT", 0.53), ("COM", 0.51), ("ADJ", 0.53), ("CLC", 0.49)];
+    let paper = [
+        ("CAD", 0.88),
+        ("ACT", 0.53),
+        ("COM", 0.51),
+        ("ADJ", 0.53),
+        ("CLC", 0.49),
+    ];
     for e in &evals {
         let min = e.aucs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = e.aucs.iter().cloned().fold(0.0f64, f64::max);

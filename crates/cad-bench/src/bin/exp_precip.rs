@@ -102,8 +102,7 @@ fn main() {
     //    *shifted* region to a reference (or oppositely shifted) region
     //    — both endpoints are reported, exactly as the paper marks both
     //    southern Africa (shifted) and equatorial Africa (unchanged).
-    let affected: std::collections::HashSet<usize> =
-        sim.affected_locations().into_iter().collect();
+    let affected: std::collections::HashSet<usize> = sim.affected_locations().into_iter().collect();
     let top20 = &scored[event_t][..20.min(scored[event_t].len())];
     let edge_hits = top20
         .iter()
@@ -111,7 +110,10 @@ fn main() {
         .count();
     let edge_precision = edge_hits as f64 / top20.len() as f64;
     println!("\ntop-20 edges touching a shifted region: {edge_precision:.2}");
-    assert!(edge_precision >= 0.8, "top edges must involve the shifted regions");
+    assert!(
+        edge_precision >= 0.8,
+        "top edges must involve the shifted regions"
+    );
     // Every shifted region appears among the top-300 edges (~7% of the
     // support): the wet and
     // dry poles of the teleconnection are detected *simultaneously*.
@@ -128,7 +130,9 @@ fn main() {
     let node_scores = det.node_scores(&sim.seq).expect("node scores");
     let mut rank: Vec<usize> = (0..sim.seq.n_nodes()).collect();
     rank.sort_by(|&a, &b| {
-        node_scores[event_t][b].partial_cmp(&node_scores[event_t][a]).expect("finite")
+        node_scores[event_t][b]
+            .partial_cmp(&node_scores[event_t][a])
+            .expect("finite")
     });
     let hits = rank[..l].iter().filter(|n| affected.contains(n)).count();
     let cad_precision = hits as f64 / l as f64;
@@ -168,9 +172,7 @@ fn main() {
         .map(|(_, &c)| c)
         .max()
         .unwrap();
-    println!(
-        "per-location z>2.5 alarms: event year {event_alarms}, max ordinary year {max_other}"
-    );
+    println!("per-location z>2.5 alarms: event year {event_alarms}, max ordinary year {max_other}");
     assert!(
         event_alarms < 3 * max_other.max(1),
         "the event must NOT stand out to a per-location threshold detector"

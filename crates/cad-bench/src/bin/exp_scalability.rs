@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p cad-bench --bin exp_scalability -- \
-//!     [--max-n 100000] [--clc-cap 5000] [--reps 3] [--seed 42]
+//!     [--max-n 100000] [--clc-cap 5000] [--reps 3] [--seed 42] [--threads 1]
 //! ```
 //!
 //! Paper findings at `n = 10⁷`: CAD ≈ COM ≈ 5 min, ACT ≈ 1 min,
@@ -55,6 +55,9 @@ fn main() {
     let clc_cap = args.get("clc-cap", 5_000usize);
     let reps = args.get("reps", 1usize).max(1);
     let seed = args.get("seed", 42u64);
+    // Worker threads for oracle builds and scoring (0 = one per core).
+    // Purely a wall-clock knob: the scores are thread-count invariant.
+    let threads = args.get("threads", 1usize);
 
     // k = 10 per the paper's §4.1.3 choice ("we select k=10"). The
     // spanning-tree preconditioner stands in for the paper's
@@ -64,22 +67,31 @@ fn main() {
         k: 10,
         solver: cad_linalg::solve::LaplacianSolverOptions {
             precond: cad_linalg::solve::laplacian::PrecondKind::SpanningTree,
-            cg: cad_linalg::solve::CgOptions { tol: 1e-4, max_iter: None },
+            cg: cad_linalg::solve::CgOptions {
+                tol: 1e-4,
+                max_iter: None,
+            },
             ..Default::default()
         },
         ..Default::default()
     };
     let approx = EngineOptions::Approximate(embedding);
-    let cad = CadDetector::new(CadOptions { engine: approx, ..Default::default() });
-    let com = ComDetector::with_support(approx, ComSupport::EdgeUnion);
+    let cad = CadDetector::new(CadOptions {
+        engine: approx,
+        threads,
+        ..Default::default()
+    });
+    let com = ComDetector::with_threads(approx, ComSupport::EdgeUnion, threads);
     let act = ActDetector::with_window(1);
     let adj = AdjDetector::new();
     let clc = ClcDetector::new();
 
-    let sizes: Vec<usize> = [1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000]
-        .into_iter()
-        .filter(|&n| n <= max_n)
-        .collect();
+    let sizes: Vec<usize> = [
+        1_000usize, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000,
+    ]
+    .into_iter()
+    .filter(|&n| n <= max_n)
+    .collect();
 
     println!("== §4.1.3 scalability: seconds per graph instance (m = n) ==");
     let mut t = Table::new(&["n", "CAD", "COM", "ACT", "ADJ", "CLC"]);
@@ -110,7 +122,11 @@ fn main() {
             format!("{s_com:.3}"),
             format!("{s_act:.3}"),
             format!("{s_adj:.3}"),
-            if s_clc.is_nan() { "skipped".into() } else { format!("{s_clc:.3}") },
+            if s_clc.is_nan() {
+                "skipped".into()
+            } else {
+                format!("{s_clc:.3}")
+            },
         ]);
         eprintln!("n = {n} done");
     }
@@ -122,7 +138,10 @@ fn main() {
     let row = last_row.expect("at least one size");
     let (s_cad, s_com, s_act, s_adj) = (row[0], row[1], row[2], row[3]);
     assert!(s_adj <= s_cad, "ADJ ({s_adj}s) must be the cheapest");
-    assert!(s_act <= s_cad * 1.2, "ACT ({s_act}s) should undercut CAD ({s_cad}s)");
+    assert!(
+        s_act <= s_cad * 1.2,
+        "ACT ({s_act}s) should undercut CAD ({s_cad}s)"
+    );
     assert!(
         s_com <= 3.0 * s_cad + 0.05 && s_cad <= 3.0 * s_com + 0.05,
         "CAD ({s_cad}s) and COM ({s_com}s) share the embedding cost"

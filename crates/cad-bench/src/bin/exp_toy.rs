@@ -28,7 +28,10 @@ use cad_graph::generators::toy::{node_label, toy_example};
 fn main() {
     let args = Args::from_env();
     let toy = toy_example();
-    let det = CadDetector::new(CadOptions { engine: cad_commute::EngineOptions::Exact, ..Default::default() });
+    let det = CadDetector::new(CadOptions {
+        engine: cad_commute::EngineOptions::Exact,
+        ..Default::default()
+    });
 
     // ---- Table 1: edge scores ΔE_t ----
     let scored = det.score_sequence(&toy.seq).expect("toy sequence scores");
@@ -61,7 +64,11 @@ fn main() {
             println!("-- instance t{} --", t);
             let mut tf = Table::new(&["node", "x", "y"]);
             for (i, c) in coords.iter().enumerate() {
-                tf.row(&[node_label(i), format!("{:+.4}", c[0]), format!("{:+.4}", c[1])]);
+                tf.row(&[
+                    node_label(i),
+                    format!("{:+.4}", c[0]),
+                    format!("{:+.4}", c[1]),
+                ]);
             }
             tf.print();
         }
@@ -79,7 +86,11 @@ fn main() {
             node_label(i),
             format!("{:.3}", cad_norm[i]),
             format!("{:.3}", act_norm[i]),
-            if toy.anomalous_nodes.contains(&i) { "anomalous".into() } else { String::new() },
+            if toy.anomalous_nodes.contains(&i) {
+                "anomalous".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     t3.print();
@@ -109,6 +120,10 @@ fn main() {
         anomalous_min > 10.0 * benign_max,
         "Table 1 shape violated: anomalous edges must dominate benign ones"
     );
-    assert_eq!(scored[0].len(), 5, "exactly the five changed edges have non-zero ΔE support");
+    assert_eq!(
+        scored[0].len(),
+        5,
+        "exactly the five changed edges have non-zero ΔE support"
+    );
     println!("toy-example shape checks passed");
 }

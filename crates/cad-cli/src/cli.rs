@@ -8,8 +8,8 @@ cad — localize anomalous changes in time-evolving graphs (SIGMOD'14 CAD)
 
 USAGE:
   cad detect   --input <seq.txt> [--l <n> | --delta <x>] [--kind cad|adj|com]
-               [--engine auto|exact|approx] [--k <dim>]
-  cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>]
+               [--engine auto|exact|approx|corrected] [--k <dim>] [--threads <n>]
+  cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>] [--threads <n>]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
 
 The input format is a plain edge list:
@@ -46,6 +46,8 @@ pub enum EngineArg {
     Exact,
     /// Always the embedding.
     Approx,
+    /// Exact amplified (von Luxburg-corrected) commute distance.
+    Corrected,
 }
 
 /// A parsed command.
@@ -65,6 +67,8 @@ pub enum Command {
         engine: EngineArg,
         /// Embedding dimension.
         k: usize,
+        /// Worker threads (1 = sequential, 0 = one per core).
+        threads: usize,
     },
     /// Print ranked edge scores.
     Score {
@@ -74,6 +78,8 @@ pub enum Command {
         kind: KindArg,
         /// How many edges to print per transition.
         top: usize,
+        /// Worker threads (1 = sequential, 0 = one per core).
+        threads: usize,
     },
     /// Write a synthetic workload.
     Generate {
@@ -121,6 +127,12 @@ impl Cli {
         }
 
         let get = |k: &str| flags.get(k).cloned();
+        let parse_threads = |flags: &HashMap<String, String>| -> Result<usize, String> {
+            match flags.get("threads") {
+                Some(v) => v.parse().map_err(|_| format!("invalid --threads `{v}`")),
+                None => Ok(1),
+            }
+        };
         let parse_kind = |flags: &HashMap<String, String>| -> Result<KindArg, String> {
             match flags.get("kind").map(String::as_str) {
                 None | Some("cad") => Ok(KindArg::Cad),
@@ -135,15 +147,11 @@ impl Cli {
                 let input =
                     get("input").ok_or_else(|| format!("detect needs --input\n\n{USAGE}"))?;
                 let l = match get("l") {
-                    Some(v) => {
-                        Some(v.parse().map_err(|_| format!("invalid --l `{v}`"))?)
-                    }
+                    Some(v) => Some(v.parse().map_err(|_| format!("invalid --l `{v}`"))?),
                     None => None,
                 };
                 let delta = match get("delta") {
-                    Some(v) => {
-                        Some(v.parse().map_err(|_| format!("invalid --delta `{v}`"))?)
-                    }
+                    Some(v) => Some(v.parse().map_err(|_| format!("invalid --delta `{v}`"))?),
                     None => None,
                 };
                 if l.is_some() && delta.is_some() {
@@ -153,15 +161,26 @@ impl Cli {
                     None | Some("auto") => EngineArg::Auto,
                     Some("exact") => EngineArg::Exact,
                     Some("approx") => EngineArg::Approx,
+                    Some("corrected") => EngineArg::Corrected,
                     Some(other) => {
-                        return Err(format!("unknown --engine `{other}` (auto|exact|approx)"))
+                        return Err(format!(
+                            "unknown --engine `{other}` (auto|exact|approx|corrected)"
+                        ))
                     }
                 };
                 let k = match get("k") {
                     Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`"))?,
                     None => 50,
                 };
-                Command::Detect { input, l, delta, kind: parse_kind(&flags)?, engine, k }
+                Command::Detect {
+                    input,
+                    l,
+                    delta,
+                    kind: parse_kind(&flags)?,
+                    engine,
+                    k,
+                    threads: parse_threads(&flags)?,
+                }
             }
             "score" => {
                 let input =
@@ -170,16 +189,25 @@ impl Cli {
                     Some(v) => v.parse().map_err(|_| format!("invalid --top `{v}`"))?,
                     None => 20,
                 };
-                Command::Score { input, kind: parse_kind(&flags)?, top }
+                Command::Score {
+                    input,
+                    kind: parse_kind(&flags)?,
+                    top,
+                    threads: parse_threads(&flags)?,
+                }
             }
             "generate" => {
-                let dataset = get("dataset")
-                    .ok_or_else(|| format!("generate needs --dataset\n\n{USAGE}"))?;
+                let dataset =
+                    get("dataset").ok_or_else(|| format!("generate needs --dataset\n\n{USAGE}"))?;
                 let seed = match get("seed") {
                     Some(v) => v.parse().map_err(|_| format!("invalid --seed `{v}`"))?,
                     None => 7,
                 };
-                Command::Generate { dataset, out: get("out"), seed }
+                Command::Generate {
+                    dataset,
+                    out: get("out"),
+                    seed,
+                }
             }
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
@@ -199,13 +227,22 @@ mod tests {
     fn detect_defaults() {
         let cli = parse("detect --input seq.txt").unwrap();
         match cli.command {
-            Command::Detect { input, l, delta, kind, engine, k } => {
+            Command::Detect {
+                input,
+                l,
+                delta,
+                kind,
+                engine,
+                k,
+                threads,
+            } => {
                 assert_eq!(input, "seq.txt");
                 assert_eq!(l, None);
                 assert_eq!(delta, None);
                 assert_eq!(kind, KindArg::Cad);
                 assert_eq!(engine, EngineArg::Auto);
                 assert_eq!(k, 50);
+                assert_eq!(threads, 1);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -213,17 +250,37 @@ mod tests {
 
     #[test]
     fn detect_full_flags() {
-        let cli =
-            parse("detect --input s.txt --l 5 --kind com --engine approx --k 32").unwrap();
+        let cli = parse("detect --input s.txt --l 5 --kind com --engine approx --k 32 --threads 4")
+            .unwrap();
         match cli.command {
-            Command::Detect { l, kind, engine, k, .. } => {
+            Command::Detect {
+                l,
+                kind,
+                engine,
+                k,
+                threads,
+                ..
+            } => {
                 assert_eq!(l, Some(5));
                 assert_eq!(kind, KindArg::Com);
                 assert_eq!(engine, EngineArg::Approx);
                 assert_eq!(k, 32);
+                assert_eq!(threads, 4);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrected_engine_parses() {
+        let cli = parse("detect --input s.txt --engine corrected").unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Detect {
+                engine: EngineArg::Corrected,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -247,9 +304,18 @@ mod tests {
     fn errors_are_helpful() {
         assert!(parse("frobnicate").unwrap_err().contains("unknown command"));
         assert!(parse("detect").unwrap_err().contains("--input"));
-        assert!(parse("detect --input").unwrap_err().contains("missing a value"));
+        assert!(parse("detect --input")
+            .unwrap_err()
+            .contains("missing a value"));
         assert!(parse("help").unwrap_err().contains("USAGE"));
-        assert!(parse("detect --input s --engine warp").unwrap_err().contains("--engine"));
-        assert!(parse("detect --input s --kind x").unwrap_err().contains("--kind"));
+        assert!(parse("detect --input s --engine warp")
+            .unwrap_err()
+            .contains("--engine"));
+        assert!(parse("detect --input s --kind x")
+            .unwrap_err()
+            .contains("--kind"));
+        assert!(parse("detect --input s --threads x")
+            .unwrap_err()
+            .contains("--threads"));
     }
 }

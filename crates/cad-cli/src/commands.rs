@@ -42,11 +42,18 @@ impl From<cad_graph::GraphError> for CliError {
 }
 
 fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
-    let embedding = EmbeddingOptions { k, ..Default::default() };
+    let embedding = EmbeddingOptions {
+        k,
+        ..Default::default()
+    };
     match engine {
-        EngineArg::Auto => EngineOptions::Auto { threshold: 512, embedding },
+        EngineArg::Auto => EngineOptions::Auto {
+            threshold: 512,
+            embedding,
+        },
         EngineArg::Exact => EngineOptions::Exact,
         EngineArg::Approx => EngineOptions::Approximate(embedding),
+        EngineArg::Corrected => EngineOptions::Corrected,
     }
 }
 
@@ -59,19 +66,28 @@ fn score_kind(kind: KindArg) -> ScoreKind {
 }
 
 fn load_sequence(path: &str) -> Result<GraphSequence, CliError> {
-    let file = File::open(path)
-        .map_err(|e| CliError::Usage(format!("cannot open `{path}`: {e}")))?;
+    let file =
+        File::open(path).map_err(|e| CliError::Usage(format!("cannot open `{path}`: {e}")))?;
     Ok(read_sequence(file)?)
 }
 
 /// Run one parsed command, writing human-readable output to `out`.
 pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
     match &cli.command {
-        Command::Detect { input, l, delta, kind, engine, k } => {
+        Command::Detect {
+            input,
+            l,
+            delta,
+            kind,
+            engine,
+            k,
+            threads,
+        } => {
             let seq = load_sequence(input)?;
             let det = CadDetector::new(CadOptions {
                 engine: engine_options(*engine, *k),
                 kind: score_kind(*kind),
+                threads: *threads,
             });
             let policy = match (l, delta) {
                 (_, Some(d)) => ThresholdPolicy::Fixed(*d),
@@ -79,24 +95,25 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 (None, None) => ThresholdPolicy::TargetNodesPerTransition(5),
             };
             let result = det.detect_with_policy(&seq, policy)?;
+            let delta_text = match result.delta {
+                Some(d) => format!("{d:.6}"),
+                None => "n/a".to_string(),
+            };
             writeln!(
                 out,
-                "{} nodes, {} instances, {} transitions; δ = {:.6}",
+                "{} nodes, {} instances, {} transitions; δ = {}",
                 seq.n_nodes(),
                 seq.len(),
                 seq.n_transitions(),
-                result.delta
+                delta_text
             )?;
             for tr in &result.transitions {
                 if tr.edges.is_empty() {
                     continue;
                 }
                 writeln!(out, "transition {} -> {}:", tr.t, tr.t + 1)?;
-                let explanations = cad_core::explain_transition(
-                    &tr.edges,
-                    seq.graph(tr.t),
-                    seq.graph(tr.t + 1),
-                );
+                let explanations =
+                    cad_core::explain_transition(&tr.edges, seq.graph(tr.t), seq.graph(tr.t + 1));
                 for (e, x) in tr.edges.iter().zip(&explanations) {
                     writeln!(
                         out,
@@ -112,26 +129,45 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 let nodes: Vec<String> = tr.nodes.iter().map(|n| n.to_string()).collect();
                 writeln!(out, "  nodes: {}", nodes.join(" "))?;
             }
-            let quiet = result.transitions.iter().filter(|t| t.edges.is_empty()).count();
+            let quiet = result
+                .transitions
+                .iter()
+                .filter(|t| t.edges.is_empty())
+                .count();
             writeln!(out, "{quiet} quiet transitions")?;
             Ok(())
         }
-        Command::Score { input, kind, top } => {
+        Command::Score {
+            input,
+            kind,
+            top,
+            threads,
+        } => {
             let seq = load_sequence(input)?;
             let det = CadDetector::new(CadOptions {
                 engine: EngineOptions::default(),
                 kind: score_kind(*kind),
+                threads: *threads,
             });
             let scored = det.score_sequence(&seq)?;
             for (t, scores) in scored.iter().enumerate() {
-                writeln!(out, "transition {t} -> {} ({} scored edges):", t + 1, scores.len())?;
+                writeln!(
+                    out,
+                    "transition {t} -> {} ({} scored edges):",
+                    t + 1,
+                    scores.len()
+                )?;
                 for e in scores.iter().take(*top) {
                     writeln!(out, "  {} {}  {:.6}", e.u, e.v, e.score)?;
                 }
             }
             Ok(())
         }
-        Command::Generate { dataset, out: out_path, seed } => {
+        Command::Generate {
+            dataset,
+            out: out_path,
+            seed,
+        } => {
             let seq = generate_dataset(dataset, *seed)?;
             match out_path {
                 Some(path) => {
@@ -161,11 +197,25 @@ fn generate_dataset(name: &str, seed: u64) -> Result<GraphSequence, CliError> {
             GmmBenchmark::generate(&opts)?.seq
         }
         "enron" => {
-            EnronSim::generate(&EnronSimOptions { seed, ..Default::default() })?.seq
+            EnronSim::generate(&EnronSimOptions {
+                seed,
+                ..Default::default()
+            })?
+            .seq
         }
-        "dblp" => DblpSim::generate(&DblpSimOptions { seed, ..Default::default() })?.seq,
+        "dblp" => {
+            DblpSim::generate(&DblpSimOptions {
+                seed,
+                ..Default::default()
+            })?
+            .seq
+        }
         "precip" => {
-            PrecipSim::generate(&PrecipSimOptions { seed, ..Default::default() })?.seq
+            PrecipSim::generate(&PrecipSimOptions {
+                seed,
+                ..Default::default()
+            })?
+            .seq
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -214,7 +264,10 @@ mod tests {
         run_str(&format!("generate --dataset toy --out {path}"));
         let (code, report) = run_str(&format!("score --input {path} --top 2"));
         assert_eq!(code, 0, "{report}");
-        assert!(report.contains("transition 0 -> 1 (5 scored edges)"), "{report}");
+        assert!(
+            report.contains("transition 0 -> 1 (5 scored edges)"),
+            "{report}"
+        );
     }
 
     #[test]
@@ -244,6 +297,26 @@ mod tests {
         let (code, msg) = run_str("detect");
         assert_eq!(code, 2);
         assert!(msg.contains("--input"));
+    }
+
+    #[test]
+    fn threads_flag_gives_identical_report() {
+        let path = tmp("toy-seq4.txt");
+        run_str(&format!("generate --dataset toy --out {path}"));
+        let (code, serial) = run_str(&format!("detect --input {path} --l 6 --threads 1"));
+        assert_eq!(code, 0, "{serial}");
+        let (code, par) = run_str(&format!("detect --input {path} --l 6 --threads 4"));
+        assert_eq!(code, 0, "{par}");
+        assert_eq!(serial, par, "output must be thread-count invariant");
+    }
+
+    #[test]
+    fn corrected_engine_runs() {
+        let path = tmp("toy-seq5.txt");
+        run_str(&format!("generate --dataset toy --out {path}"));
+        let (code, report) = run_str(&format!("detect --input {path} --l 6 --engine corrected"));
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("transition 0 -> 1"), "{report}");
     }
 
     #[test]

@@ -44,6 +44,11 @@ impl CorrectedCommute {
         self.exact.n_nodes()
     }
 
+    /// Graph volume `V_G`.
+    pub fn volume(&self) -> f64 {
+        self.exact.volume()
+    }
+
     /// The raw effective resistance (for comparison).
     pub fn raw_resistance(&self, i: usize, j: usize) -> f64 {
         self.exact.resistance(i, j)

@@ -53,9 +53,17 @@ pub fn laplacian_eigenmap_sparse(g: &WeightedGraph, dims: usize) -> Result<Vec<V
         indicators[c as usize][i] = 1.0;
     }
     let deflate: Vec<&[f64]> = indicators.iter().map(|v| v.as_slice()).collect();
-    let (_, vecs) = lanczos_extremal(&l, dims, Which::Smallest, &deflate, LanczosOptions::default())
-        .map_err(GraphError::from)?;
-    Ok((0..n).map(|i| vecs.iter().map(|v| v[i]).collect()).collect())
+    let (_, vecs) = lanczos_extremal(
+        &l,
+        dims,
+        Which::Smallest,
+        &deflate,
+        LanczosOptions::default(),
+    )
+    .map_err(GraphError::from)?;
+    Ok((0..n)
+        .map(|i| vecs.iter().map(|v| v[i]).collect())
+        .collect())
 }
 
 #[cfg(test)]
@@ -108,7 +116,11 @@ mod tests {
         let dense = laplacian_eigenmap(&g, 2).unwrap();
         let sparse = laplacian_eigenmap_sparse(&g, 2).unwrap();
         let dist = |e: &Vec<Vec<f64>>, i: usize, j: usize| {
-            e[i].iter().zip(&e[j]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            e[i].iter()
+                .zip(&e[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
         };
         for i in 0..20 {
             for j in (i + 1)..20 {
@@ -120,11 +132,8 @@ mod tests {
 
     #[test]
     fn sparse_route_handles_disconnected() {
-        let g = WeightedGraph::from_edges(
-            6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+            .unwrap();
         let coords = laplacian_eigenmap_sparse(&g, 2).unwrap();
         assert_eq!(coords.len(), 6);
         assert!(coords.iter().flatten().all(|v| v.is_finite()));

@@ -65,7 +65,9 @@ impl CommuteEmbedding {
     /// Compute the embedding for `g`.
     pub fn compute(g: &WeightedGraph, opts: &EmbeddingOptions) -> Result<Self> {
         if opts.k == 0 {
-            return Err(GraphError::InvalidInput("embedding dimension k must be > 0".into()));
+            return Err(GraphError::InvalidInput(
+                "embedding dimension k must be > 0".into(),
+            ));
         }
         let n = g.n_nodes();
         let laplacian = g.laplacian();
@@ -87,33 +89,11 @@ impl CommuteEmbedding {
             solver.solve(&y).map_err(GraphError::from)
         };
 
-        let threads = opts.threads.max(1).min(opts.k);
-        let rows: Vec<Vec<f64>> = if threads == 1 {
-            (0..opts.k).map(solve_row).collect::<Result<_>>()?
-        } else {
-            // The k solves are independent and the solver is shared
-            // immutably; scoped threads stripe the rows.
-            let results: Vec<std::sync::Mutex<Option<Result<Vec<f64>>>>> =
-                (0..opts.k).map(|_| std::sync::Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for t in 0..threads {
-                    let solve_row = &solve_row;
-                    let results = &results;
-                    scope.spawn(move || {
-                        let mut row = t;
-                        while row < opts.k {
-                            let out = solve_row(row);
-                            *results[row].lock().expect("no poisoned row") = Some(out);
-                            row += threads;
-                        }
-                    });
-                }
-            });
-            results
-                .into_iter()
-                .map(|m| m.into_inner().expect("no poisoned row").expect("every row solved"))
-                .collect::<Result<_>>()?
-        };
+        // The k solves are independent and the solver is shared
+        // immutably; the pool stripes the rows and returns them in row
+        // order, so the result is thread-count invariant.
+        let rows: Vec<Vec<f64>> =
+            cad_linalg::par::par_tabulate_result(opts.k, opts.threads.max(1), solve_row)?;
 
         let mut coords = vec![0.0; n * opts.k];
         for (row, x) in rows.into_iter().enumerate() {
@@ -121,7 +101,12 @@ impl CommuteEmbedding {
                 coords[i * opts.k + row] = xi;
             }
         }
-        Ok(CommuteEmbedding { coords, n, k: opts.k, volume: g.volume() })
+        Ok(CommuteEmbedding {
+            coords,
+            n,
+            k: opts.k,
+            volume: g.volume(),
+        })
     }
 
     /// Number of embedded nodes.
@@ -169,7 +154,11 @@ mod tests {
     }
 
     fn opts(k: usize, seed: u64) -> EmbeddingOptions {
-        EmbeddingOptions { k, seed, ..Default::default() }
+        EmbeddingOptions {
+            k,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -193,7 +182,15 @@ mod tests {
     fn agrees_with_exact_engine() {
         let g = WeightedGraph::from_edges(
             6,
-            &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 4, 1.0), (4, 5, 2.0), (0, 5, 0.5), (1, 4, 1.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 4, 1.0),
+                (4, 5, 2.0),
+                (0, 5, 0.5),
+                (1, 4, 1.0),
+            ],
         )
         .unwrap();
         let exact = ExactCommute::compute(&g).unwrap();
@@ -202,7 +199,10 @@ mod tests {
             for j in (i + 1)..6 {
                 let e = exact.commute_distance(i, j);
                 let a = emb.commute_distance(i, j);
-                assert!((a - e).abs() <= 0.25 * e, "c({i},{j}): approx {a} vs exact {e}");
+                assert!(
+                    (a - e).abs() <= 0.25 * e,
+                    "c({i},{j}): approx {a} vs exact {e}"
+                );
             }
         }
     }
@@ -227,7 +227,10 @@ mod tests {
         };
         let coarse = mean_rel_err(8);
         let fine = mean_rel_err(256);
-        assert!(fine < coarse, "error did not shrink: k=8 → {coarse}, k=256 → {fine}");
+        assert!(
+            fine < coarse,
+            "error did not shrink: k=8 → {coarse}, k=256 → {fine}"
+        );
         assert!(fine < 0.12, "k=256 error too large: {fine}");
     }
 
@@ -255,11 +258,7 @@ mod tests {
         let g = path(15);
         let base = opts(32, 9);
         let seq = CommuteEmbedding::compute(&g, &base).unwrap();
-        let par = CommuteEmbedding::compute(
-            &g,
-            &EmbeddingOptions { threads: 4, ..base },
-        )
-        .unwrap();
+        let par = CommuteEmbedding::compute(&g, &EmbeddingOptions { threads: 4, ..base }).unwrap();
         for i in 0..15 {
             for j in 0..15 {
                 assert_eq!(

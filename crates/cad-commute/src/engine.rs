@@ -1,7 +1,10 @@
-//! One interface over the exact and approximate commute-time engines.
+//! Engine selection: a thin factory from [`EngineOptions`] to a boxed
+//! [`DistanceOracle`].
 
+use crate::corrected::CorrectedCommute;
 use crate::embedding::{CommuteEmbedding, EmbeddingOptions};
 use crate::exact::ExactCommute;
+use crate::oracle::SharedOracle;
 use crate::shortest::ShortestPathTable;
 use crate::Result;
 use cad_graph::WeightedGraph;
@@ -26,103 +29,54 @@ pub enum EngineOptions {
     /// Shortest-path distance instead of commute time — the alternative
     /// node distance the paper rejects in §3.1; provided for ablation.
     ShortestPath,
+    /// Amplified (von Luxburg-corrected) commute distance — removes the
+    /// `1/d_i + 1/d_j` degeneracy raw commute time develops on dense
+    /// graphs. Exact `O(n³)` path.
+    Corrected,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions::Auto { threshold: 512, embedding: EmbeddingOptions::default() }
+        EngineOptions::Auto {
+            threshold: 512,
+            embedding: EmbeddingOptions::default(),
+        }
     }
 }
 
-/// A computed commute-time oracle for a single graph instance.
-pub enum CommuteTimeEngine {
-    /// Exact table.
-    Exact(ExactCommute),
-    /// Approximate embedding.
-    Approximate(CommuteEmbedding),
-    /// All-pairs shortest paths (ablation engine).
-    ShortestPath(ShortestPathTable),
-}
+/// Factory for per-instance distance oracles.
+///
+/// Formerly a closed three-variant enum; now every backend is a
+/// first-class [`crate::DistanceOracle`] impl and this type only decides
+/// which one to build. Queries go through the trait object it returns.
+pub struct CommuteTimeEngine;
 
 impl CommuteTimeEngine {
-    /// Compute the engine for one graph instance.
-    pub fn compute(g: &WeightedGraph, opts: &EngineOptions) -> Result<Self> {
+    /// Build the oracle for one graph instance.
+    pub fn compute(g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle> {
         match opts {
-            EngineOptions::Exact => Ok(CommuteTimeEngine::Exact(ExactCommute::compute(g)?)),
-            EngineOptions::Approximate(e) => {
-                Ok(CommuteTimeEngine::Approximate(CommuteEmbedding::compute(g, e)?))
-            }
-            EngineOptions::Auto { threshold, embedding } => {
+            EngineOptions::Exact => Ok(Box::new(ExactCommute::compute(g)?)),
+            EngineOptions::Approximate(e) => Ok(Box::new(CommuteEmbedding::compute(g, e)?)),
+            EngineOptions::Auto {
+                threshold,
+                embedding,
+            } => {
                 if g.n_nodes() <= *threshold {
-                    Ok(CommuteTimeEngine::Exact(ExactCommute::compute(g)?))
+                    Ok(Box::new(ExactCommute::compute(g)?))
                 } else {
-                    Ok(CommuteTimeEngine::Approximate(CommuteEmbedding::compute(g, embedding)?))
+                    Ok(Box::new(CommuteEmbedding::compute(g, embedding)?))
                 }
             }
-            EngineOptions::ShortestPath => {
-                Ok(CommuteTimeEngine::ShortestPath(ShortestPathTable::compute(g)?))
-            }
+            EngineOptions::ShortestPath => Ok(Box::new(ShortestPathTable::compute(g)?)),
+            EngineOptions::Corrected => Ok(Box::new(CorrectedCommute::compute(g)?)),
         }
-    }
-
-    /// The node distance `d(i, j)` this engine implements: commute time
-    /// for the commute engines, path length for the shortest-path
-    /// ablation engine. This is the accessor the CAD scorer uses.
-    pub fn distance(&self, i: usize, j: usize) -> f64 {
-        match self {
-            CommuteTimeEngine::Exact(e) => e.commute_distance(i, j),
-            CommuteTimeEngine::Approximate(e) => e.commute_distance(i, j),
-            CommuteTimeEngine::ShortestPath(t) => t.distance(i, j),
-        }
-    }
-
-    /// Commute-time distance `c(i, j)`.
-    ///
-    /// # Panics
-    /// Panics for the shortest-path ablation engine, which has no
-    /// commute semantics — use [`CommuteTimeEngine::distance`] there.
-    pub fn commute_distance(&self, i: usize, j: usize) -> f64 {
-        match self {
-            CommuteTimeEngine::Exact(e) => e.commute_distance(i, j),
-            CommuteTimeEngine::Approximate(e) => e.commute_distance(i, j),
-            CommuteTimeEngine::ShortestPath(_) => {
-                panic!("shortest-path engine has no commute distance; use distance()")
-            }
-        }
-    }
-
-    /// Effective resistance `r_eff(i, j) = c(i, j) / V_G`.
-    ///
-    /// # Panics
-    /// Panics for the shortest-path ablation engine.
-    pub fn resistance(&self, i: usize, j: usize) -> f64 {
-        match self {
-            CommuteTimeEngine::Exact(e) => e.resistance(i, j),
-            CommuteTimeEngine::Approximate(e) => e.resistance(i, j),
-            CommuteTimeEngine::ShortestPath(_) => {
-                panic!("shortest-path engine has no resistance; use distance()")
-            }
-        }
-    }
-
-    /// Number of nodes covered.
-    pub fn n_nodes(&self) -> usize {
-        match self {
-            CommuteTimeEngine::Exact(e) => e.n_nodes(),
-            CommuteTimeEngine::Approximate(e) => e.n_nodes(),
-            CommuteTimeEngine::ShortestPath(t) => t.n_nodes(),
-        }
-    }
-
-    /// True when backed by the exact table.
-    pub fn is_exact(&self) -> bool {
-        matches!(self, CommuteTimeEngine::Exact(_))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::OracleKind;
 
     fn path(n: usize) -> WeightedGraph {
         let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
@@ -134,6 +88,7 @@ mod tests {
         let g = path(10);
         let e = CommuteTimeEngine::compute(&g, &EngineOptions::default()).unwrap();
         assert!(e.is_exact());
+        assert_eq!(e.kind(), OracleKind::Exact);
         assert_eq!(e.n_nodes(), 10);
     }
 
@@ -142,10 +97,52 @@ mod tests {
         let g = path(20);
         let opts = EngineOptions::Auto {
             threshold: 10,
-            embedding: EmbeddingOptions { k: 64, ..Default::default() },
+            embedding: EmbeddingOptions {
+                k: 64,
+                ..Default::default()
+            },
         };
         let e = CommuteTimeEngine::compute(&g, &opts).unwrap();
         assert!(!e.is_exact());
+        assert_eq!(e.kind(), OracleKind::Embedding);
+    }
+
+    #[test]
+    fn auto_cutover_is_inclusive_at_threshold() {
+        // n == threshold stays exact; n == threshold + 1 switches.
+        let opts = |threshold| EngineOptions::Auto {
+            threshold,
+            embedding: EmbeddingOptions {
+                k: 16,
+                ..Default::default()
+            },
+        };
+        let at = CommuteTimeEngine::compute(&path(12), &opts(12)).unwrap();
+        assert_eq!(at.kind(), OracleKind::Exact);
+        let above = CommuteTimeEngine::compute(&path(13), &opts(12)).unwrap();
+        assert_eq!(above.kind(), OracleKind::Embedding);
+    }
+
+    #[test]
+    fn every_option_builds_its_oracle_kind() {
+        let g = path(9);
+        let cases: [(EngineOptions, OracleKind); 4] = [
+            (EngineOptions::Exact, OracleKind::Exact),
+            (
+                EngineOptions::Approximate(EmbeddingOptions {
+                    k: 8,
+                    ..Default::default()
+                }),
+                OracleKind::Embedding,
+            ),
+            (EngineOptions::ShortestPath, OracleKind::ShortestPath),
+            (EngineOptions::Corrected, OracleKind::Corrected),
+        ];
+        for (opts, want) in cases {
+            let e = CommuteTimeEngine::compute(&g, &opts).unwrap();
+            assert_eq!(e.kind(), want);
+            assert_eq!(e.n_nodes(), 9);
+        }
     }
 
     #[test]
@@ -154,7 +151,10 @@ mod tests {
         let exact = CommuteTimeEngine::compute(&g, &EngineOptions::Exact).unwrap();
         let approx = CommuteTimeEngine::compute(
             &g,
-            &EngineOptions::Approximate(EmbeddingOptions { k: 500, ..Default::default() }),
+            &EngineOptions::Approximate(EmbeddingOptions {
+                k: 500,
+                ..Default::default()
+            }),
         )
         .unwrap();
         for i in 0..8 {

@@ -35,7 +35,10 @@ impl ExactCommute {
         } else {
             sym_pinv(&l, PINV_CUTOFF)?
         };
-        Ok(ExactCommute { pinv, volume: g.volume() })
+        Ok(ExactCommute {
+            pinv,
+            volume: g.volume(),
+        })
     }
 
     /// Number of nodes.
@@ -148,7 +151,14 @@ mod tests {
     fn metric_properties() {
         let g = WeightedGraph::from_edges(
             5,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 4, 0.5), (0, 4, 1.5), (1, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 0.5),
+                (0, 4, 1.5),
+                (1, 3, 1.0),
+            ],
         )
         .unwrap();
         let c = ExactCommute::compute(&g).unwrap();

@@ -22,8 +22,10 @@
 //!   `k = O(log n / ε²)`, computed from `k` Laplacian solves. This is the
 //!   `O(n log n)` path that makes CAD scale (paper §3.1).
 //!
-//! [`engine::CommuteTimeEngine`] unifies the two behind a single
-//! query interface so the CAD scorer is generic over the engine.
+//! Every backend implements the [`oracle::DistanceOracle`] trait, so the
+//! CAD scorer is generic over the distance notion; the
+//! [`engine::CommuteTimeEngine`] factory picks an implementation from
+//! [`engine::EngineOptions`] and returns it boxed.
 
 #![warn(missing_docs)]
 
@@ -32,12 +34,14 @@ pub mod eigenmap;
 pub mod embedding;
 pub mod engine;
 pub mod exact;
+pub mod oracle;
 pub mod shortest;
 
 pub use corrected::CorrectedCommute;
 pub use embedding::{CommuteEmbedding, EmbeddingOptions};
 pub use engine::{CommuteTimeEngine, EngineOptions};
 pub use exact::ExactCommute;
+pub use oracle::{DistanceOracle, OracleKind, SharedOracle};
 pub use shortest::ShortestPathTable;
 
 /// Crate-wide result alias (errors come from the graph/linalg layers).

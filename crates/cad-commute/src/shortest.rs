@@ -80,11 +80,8 @@ mod tests {
         // the route-length gap discontinuity pattern, while the commute
         // distance (averaging both routes) moves only marginally.
         let mk = |w_top: f64| {
-            WeightedGraph::from_edges(
-                4,
-                &[(0, 1, w_top), (1, 3, w_top), (0, 2, 1.0), (2, 3, 1.0)],
-            )
-            .unwrap()
+            WeightedGraph::from_edges(4, &[(0, 1, w_top), (1, 3, w_top), (0, 2, 1.0), (2, 3, 1.0)])
+                .unwrap()
         };
         let (a, b) = (mk(1.001), mk(0.999));
         let sp_a = ShortestPathTable::compute(&a).unwrap();

@@ -4,7 +4,7 @@ use crate::node_scores::node_scores_from_edges;
 use crate::scores::{transition_edge_scores, EdgeScore, ScoreKind};
 use crate::threshold::{apply_policy, ThresholdPolicy};
 use crate::Result;
-use cad_commute::{CommuteTimeEngine, EngineOptions};
+use cad_commute::{CommuteTimeEngine, EngineOptions, SharedOracle};
 use cad_graph::GraphSequence;
 
 /// Configuration of a [`CadDetector`].
@@ -15,11 +15,19 @@ pub struct CadOptions {
     /// Score factorization; [`ScoreKind::Cad`] unless running the ADJ or
     /// COM ablation.
     pub kind: ScoreKind,
+    /// Worker threads for per-instance oracle construction and
+    /// per-transition scoring (1 = sequential, 0 = one per core).
+    /// Results are bit-identical regardless of thread count.
+    pub threads: usize,
 }
 
 impl Default for CadOptions {
     fn default() -> Self {
-        CadOptions { engine: EngineOptions::default(), kind: ScoreKind::Cad }
+        CadOptions {
+            engine: EngineOptions::default(),
+            kind: ScoreKind::Cad,
+            threads: 1,
+        }
     }
 }
 
@@ -37,9 +45,9 @@ pub struct TransitionAnomalies {
 /// Full detection output across a sequence.
 #[derive(Debug, Clone)]
 pub struct DetectionResult {
-    /// The threshold `δ` that produced the anomaly sets (`NaN` for the
+    /// The threshold `δ` that produced the anomaly sets (`None` for the
     /// top-k policy, which has no δ).
-    pub delta: f64,
+    pub delta: Option<f64>,
     /// Per-transition anomaly sets.
     pub transitions: Vec<TransitionAnomalies>,
 }
@@ -97,6 +105,12 @@ impl CadDetector {
 
     /// Edge scores for every transition, each sorted descending
     /// (steps 3–7 of Algorithm 1).
+    ///
+    /// Oracle construction (one per instance, the dominant cost) and
+    /// per-transition scoring both run on the `cad_linalg::par` worker
+    /// pool with [`CadOptions::threads`] workers. Work is striped by
+    /// index and collected in order, so output is bit-identical for any
+    /// thread count.
     pub fn score_sequence(&self, seq: &GraphSequence) -> Result<Vec<Vec<EdgeScore>>> {
         // ADJ never consults commute times; skip the engines entirely.
         if self.opts.kind == ScoreKind::Adj {
@@ -104,14 +118,20 @@ impl CadDetector {
                 .map(|t| crate::scores::adj_transition_scores(seq, t))
                 .collect());
         }
-        // One engine per instance, reused by both adjacent transitions.
-        let mut engines: Vec<CommuteTimeEngine> = Vec::with_capacity(seq.len());
-        for g in seq.graphs() {
-            engines.push(CommuteTimeEngine::compute(g, &self.opts.engine)?);
-        }
-        (0..seq.n_transitions())
-            .map(|t| transition_edge_scores(seq, t, &engines[t], &engines[t + 1], self.opts.kind))
-            .collect()
+        // One oracle per instance, reused by both adjacent transitions.
+        let engines: Vec<SharedOracle> =
+            cad_linalg::par::par_map_result(seq.graphs(), self.opts.threads, |_, g| {
+                CommuteTimeEngine::compute(g, &self.opts.engine)
+            })?;
+        cad_linalg::par::par_tabulate_result(seq.n_transitions(), self.opts.threads, |t| {
+            transition_edge_scores(
+                seq,
+                t,
+                engines[t].as_ref(),
+                engines[t + 1].as_ref(),
+                self.opts.kind,
+            )
+        })
     }
 
     /// Run detection with an explicit threshold `δ` (Algorithm 1).
@@ -132,16 +152,14 @@ impl CadDetector {
         policy: ThresholdPolicy,
     ) -> Result<DetectionResult> {
         let scored = self.score_sequence(seq)?;
-        let (delta, counts) =
-            apply_policy(&scored, seq.n_nodes(), seq.n_transitions(), policy);
+        let (delta, counts) = apply_policy(&scored, seq.n_nodes(), seq.n_transitions(), policy);
         let transitions = scored
             .into_iter()
             .zip(counts)
             .enumerate()
             .map(|(t, (scores, k))| {
                 let edges: Vec<EdgeScore> = scores.into_iter().take(k).collect();
-                let mut nodes: Vec<usize> =
-                    edges.iter().flat_map(|e| [e.u, e.v]).collect();
+                let mut nodes: Vec<usize> = edges.iter().flat_map(|e| [e.u, e.v]).collect();
                 nodes.sort_unstable();
                 nodes.dedup();
                 TransitionAnomalies { t, edges, nodes }
@@ -241,7 +259,10 @@ mod tests {
         // cross edge here, so instead check ADJ assigns the jitter a score
         // equal to its weight change — no structural discount.
         let seq = two_cluster_seq();
-        let det = CadDetector::new(CadOptions { kind: ScoreKind::Adj, ..Default::default() });
+        let det = CadDetector::new(CadOptions {
+            kind: ScoreKind::Adj,
+            ..Default::default()
+        });
         assert_eq!(det.name(), "ADJ");
         let scored = det.score_sequence(&seq).unwrap();
         let jitter = scored[0].iter().find(|e| (e.u, e.v) == (0, 1)).unwrap();
@@ -253,8 +274,41 @@ mod tests {
         let seq = two_cluster_seq();
         let det = CadDetector::new(CadOptions::default());
         let res = det.detect(&seq, 0.123).unwrap();
-        assert_eq!(res.delta, 0.123);
+        assert_eq!(res.delta, Some(0.123));
         let auto = det.detect_top_l(&seq, 2).unwrap();
-        assert!(auto.delta.is_finite() && auto.delta > 0.0);
+        let d = auto.delta.expect("auto policy reports a delta");
+        assert!(d.is_finite() && d > 0.0);
+        let topk = det
+            .detect_with_policy(&seq, ThresholdPolicy::TopEdgesPerTransition(1))
+            .unwrap();
+        assert_eq!(topk.delta, None, "top-k policy has no delta");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seq = two_cluster_seq();
+        let serial = CadDetector::new(CadOptions::default())
+            .detect_top_l(&seq, 2)
+            .unwrap();
+        for threads in [0, 2, 8] {
+            let par = CadDetector::new(CadOptions {
+                threads,
+                ..Default::default()
+            })
+            .detect_top_l(&seq, 2)
+            .unwrap();
+            assert_eq!(
+                par.delta.unwrap().to_bits(),
+                serial.delta.unwrap().to_bits(),
+                "threads={threads}"
+            );
+            for (a, b) in par.transitions.iter().zip(&serial.transitions) {
+                assert_eq!(a.nodes, b.nodes);
+                assert_eq!(a.edges.len(), b.edges.len());
+                for (x, y) in a.edges.iter().zip(&b.edges) {
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
     }
 }

@@ -75,7 +75,11 @@ pub fn classify(edge: &EdgeScore, w_t: f64, w_t1: f64) -> Explanation {
     } else {
         AnomalyCase::MagnitudeChange
     };
-    Explanation { case, appeared, vanished }
+    Explanation {
+        case,
+        appeared,
+        vanished,
+    }
 }
 
 /// Classify every edge of a transition's anomaly set against the two
@@ -96,7 +100,13 @@ mod tests {
     use super::*;
 
     fn edge(d_weight: f64, d_commute: f64) -> EdgeScore {
-        EdgeScore { u: 0, v: 1, score: d_weight.abs() * d_commute.abs(), d_weight, d_commute }
+        EdgeScore {
+            u: 0,
+            v: 1,
+            score: d_weight.abs() * d_commute.abs(),
+            d_weight,
+            d_commute,
+        }
     }
 
     #[test]
@@ -138,8 +148,7 @@ mod tests {
         });
         let result = det.detect_top_l(&toy.seq, 6).expect("detection");
         let tr = &result.transitions[0];
-        let explanations =
-            explain_transition(&tr.edges, toy.seq.graph(0), toy.seq.graph(1));
+        let explanations = explain_transition(&tr.edges, toy.seq.graph(0), toy.seq.graph(1));
         let case_of = |u: usize, v: usize| {
             tr.edges
                 .iter()
@@ -159,7 +168,9 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert!(AnomalyCase::MagnitudeChange.label().starts_with("case 1"));
-        assert!(AnomalyCase::DistantNodesJoined.label().starts_with("case 2"));
+        assert!(AnomalyCase::DistantNodesJoined
+            .label()
+            .starts_with("case 2"));
         assert!(AnomalyCase::BridgeWeakened.label().starts_with("case 3"));
     }
 }

@@ -57,9 +57,9 @@ pub mod threshold;
 
 pub use detector::{CadDetector, CadOptions, DetectionResult, NodeScorer, TransitionAnomalies};
 pub use explain::{classify, explain_transition, AnomalyCase, Explanation};
+pub use node_scores::node_scores_from_edges;
 pub use online::OnlineCad;
 pub use report::{render_report, ReportOptions};
-pub use node_scores::node_scores_from_edges;
 pub use scores::{pair_edge_scores, transition_edge_scores, EdgeScore, ScoreKind};
 pub use threshold::{choose_delta, select_prefix, ThresholdPolicy};
 

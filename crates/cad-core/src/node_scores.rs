@@ -37,7 +37,13 @@ mod tests {
     use super::*;
 
     fn e(u: usize, v: usize, score: f64) -> EdgeScore {
-        EdgeScore { u, v, score, d_weight: 0.0, d_commute: 0.0 }
+        EdgeScore {
+            u,
+            v,
+            score,
+            d_weight: 0.0,
+            d_commute: 0.0,
+        }
     }
 
     #[test]

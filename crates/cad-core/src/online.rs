@@ -14,7 +14,7 @@ use crate::detector::TransitionAnomalies;
 use crate::scores::{pair_edge_scores, EdgeScore};
 use crate::threshold::{choose_delta, select_prefix};
 use crate::{CadOptions, Result};
-use cad_commute::CommuteTimeEngine;
+use cad_commute::{CommuteTimeEngine, SharedOracle};
 use cad_graph::WeightedGraph;
 
 /// Streaming CAD detector: push instances, get per-transition anomaly
@@ -37,8 +37,8 @@ pub struct OnlineCad {
     /// Target anomalous nodes per transition.
     l: usize,
     n_nodes: Option<usize>,
-    /// Previous instance and its engine.
-    prev: Option<(WeightedGraph, CommuteTimeEngine)>,
+    /// Previous instance and its distance oracle.
+    prev: Option<(WeightedGraph, SharedOracle)>,
     /// Scored history, one sorted score list per seen transition.
     history: Vec<Vec<EdgeScore>>,
     /// Current calibrated threshold.
@@ -60,7 +60,14 @@ impl OnlineCad {
     /// Create a streaming detector targeting `l` anomalous nodes per
     /// transition on (running) average.
     pub fn new(opts: CadOptions, l: usize) -> Self {
-        OnlineCad { opts, l, n_nodes: None, prev: None, history: Vec::new(), delta: f64::MAX }
+        OnlineCad {
+            opts,
+            l,
+            n_nodes: None,
+            prev: None,
+            history: Vec::new(),
+            delta: f64::MAX,
+        }
     }
 
     /// Number of transitions observed so far.
@@ -93,8 +100,13 @@ impl OnlineCad {
         }
         let engine = CommuteTimeEngine::compute(&g, &self.opts.engine)?;
         let out = if let Some((prev_g, prev_engine)) = &self.prev {
-            let scores =
-                pair_edge_scores(prev_g, &g, prev_engine, &engine, self.opts.kind)?;
+            let scores = pair_edge_scores(
+                prev_g,
+                &g,
+                prev_engine.as_ref(),
+                engine.as_ref(),
+                self.opts.kind,
+            )?;
             self.history.push(scores);
             // Re-calibrate δ over everything seen so far (paper §4.2's
             // online modification).
@@ -106,7 +118,11 @@ impl OnlineCad {
             let mut nodes: Vec<usize> = edges.iter().flat_map(|e| [e.u, e.v]).collect();
             nodes.sort_unstable();
             nodes.dedup();
-            Some(TransitionAnomalies { t: self.history.len() - 1, edges, nodes })
+            Some(TransitionAnomalies {
+                t: self.history.len() - 1,
+                edges,
+                nodes,
+            })
         } else {
             None
         };
@@ -123,8 +139,7 @@ impl OnlineCad {
             .map(|(t, scores)| {
                 let k = select_prefix(scores, self.delta);
                 let edges: Vec<EdgeScore> = scores[..k].to_vec();
-                let mut nodes: Vec<usize> =
-                    edges.iter().flat_map(|e| [e.u, e.v]).collect();
+                let mut nodes: Vec<usize> = edges.iter().flat_map(|e| [e.u, e.v]).collect();
                 nodes.sort_unstable();
                 nodes.dedup();
                 TransitionAnomalies { t, edges, nodes }

@@ -20,7 +20,11 @@ pub struct ReportOptions<'a> {
 
 impl Default for ReportOptions<'_> {
     fn default() -> Self {
-        ReportOptions { max_edges: 10, skip_quiet: true, label: None }
+        ReportOptions {
+            max_edges: 10,
+            skip_quiet: true,
+            label: None,
+        }
     }
 }
 
@@ -31,10 +35,14 @@ pub fn render_report(result: &DetectionResult, opts: &ReportOptions<'_>) -> Stri
         None => n.to_string(),
     };
     let mut out = String::new();
+    let delta = match result.delta {
+        Some(d) => format!("{d:.6}"),
+        None => "n/a (top-k policy)".to_string(),
+    };
     let _ = writeln!(
         out,
-        "detection report: δ = {:.6}, {} transitions, {} anomalous",
-        result.delta,
+        "detection report: δ = {}, {} transitions, {} anomalous",
+        delta,
         result.transitions.len(),
         result.anomalous_transitions().len()
     );
@@ -74,12 +82,26 @@ mod tests {
     use crate::scores::EdgeScore;
 
     fn sample() -> DetectionResult {
-        let e = EdgeScore { u: 0, v: 2, score: 3.5, d_weight: 1.0, d_commute: -3.5 };
+        let e = EdgeScore {
+            u: 0,
+            v: 2,
+            score: 3.5,
+            d_weight: 1.0,
+            d_commute: -3.5,
+        };
         DetectionResult {
-            delta: 1.25,
+            delta: Some(1.25),
             transitions: vec![
-                TransitionAnomalies { t: 0, edges: vec![], nodes: vec![] },
-                TransitionAnomalies { t: 1, edges: vec![e], nodes: vec![0, 2] },
+                TransitionAnomalies {
+                    t: 0,
+                    edges: vec![],
+                    nodes: vec![],
+                },
+                TransitionAnomalies {
+                    t: 1,
+                    edges: vec![e],
+                    nodes: vec![0, 2],
+                },
             ],
         }
     }
@@ -94,8 +116,19 @@ mod tests {
     }
 
     #[test]
+    fn missing_delta_rendered_as_na() {
+        let mut r = sample();
+        r.delta = None;
+        let text = render_report(&r, &ReportOptions::default());
+        assert!(text.contains("δ = n/a (top-k policy)"));
+    }
+
+    #[test]
     fn quiet_transitions_shown_when_requested() {
-        let opts = ReportOptions { skip_quiet: false, ..Default::default() };
+        let opts = ReportOptions {
+            skip_quiet: false,
+            ..Default::default()
+        };
         let text = render_report(&sample(), &opts);
         assert!(text.contains("(quiet)"));
     }
@@ -103,7 +136,10 @@ mod tests {
     #[test]
     fn labels_applied() {
         let label = |n: usize| format!("employee-{n}");
-        let opts = ReportOptions { label: Some(&label), ..Default::default() };
+        let opts = ReportOptions {
+            label: Some(&label),
+            ..Default::default()
+        };
         let text = render_report(&sample(), &opts);
         assert!(text.contains("employee-0 -- employee-2"));
         assert!(text.contains("nodes: employee-0, employee-2"));
@@ -114,7 +150,10 @@ mod tests {
         let mut r = sample();
         let e = r.transitions[1].edges[0];
         r.transitions[1].edges = vec![e; 5];
-        let opts = ReportOptions { max_edges: 2, ..Default::default() };
+        let opts = ReportOptions {
+            max_edges: 2,
+            ..Default::default()
+        };
         let text = render_report(&r, &opts);
         assert!(text.contains("... 3 more edges"));
     }

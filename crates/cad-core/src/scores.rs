@@ -1,7 +1,7 @@
 //! Per-edge anomaly scores `ΔE_t` (paper §2.5 / §3.2).
 
 use crate::Result;
-use cad_commute::CommuteTimeEngine;
+use cad_commute::DistanceOracle;
 use cad_graph::GraphSequence;
 
 /// Which factorization of the edge score to compute.
@@ -80,8 +80,8 @@ pub fn adj_transition_scores(seq: &GraphSequence, t: usize) -> Vec<EdgeScore> {
 pub fn transition_edge_scores(
     seq: &GraphSequence,
     t: usize,
-    engine_t: &CommuteTimeEngine,
-    engine_t1: &CommuteTimeEngine,
+    engine_t: &dyn DistanceOracle,
+    engine_t1: &dyn DistanceOracle,
     kind: ScoreKind,
 ) -> Result<Vec<EdgeScore>> {
     pair_edge_scores(seq.graph(t), seq.graph(t + 1), engine_t, engine_t1, kind)
@@ -93,8 +93,8 @@ pub fn transition_edge_scores(
 pub fn pair_edge_scores(
     g_t: &cad_graph::WeightedGraph,
     g_t1: &cad_graph::WeightedGraph,
-    engine_t: &CommuteTimeEngine,
-    engine_t1: &CommuteTimeEngine,
+    engine_t: &dyn DistanceOracle,
+    engine_t1: &dyn DistanceOracle,
     kind: ScoreKind,
 ) -> Result<Vec<EdgeScore>> {
     let mut out = Vec::new();
@@ -109,7 +109,13 @@ pub fn pair_edge_scores(
             ScoreKind::Adj => d_weight.abs(),
             ScoreKind::Com => d_commute.abs(),
         };
-        out.push(EdgeScore { u, v, score, d_weight, d_commute });
+        out.push(EdgeScore {
+            u,
+            v,
+            score,
+            d_weight,
+            d_commute,
+        });
     };
 
     let diff = a_t1
@@ -139,19 +145,16 @@ pub fn pair_edge_scores(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cad_commute::EngineOptions;
+    use cad_commute::{CommuteTimeEngine, EngineOptions, SharedOracle};
     use cad_graph::WeightedGraph;
 
-    fn fixture() -> (GraphSequence, CommuteTimeEngine, CommuteTimeEngine) {
+    fn fixture() -> (GraphSequence, SharedOracle, SharedOracle) {
         // Path 0-1-2-3 at t; at t+1 a shortcut edge {0,3} appears and
         // {1,2} strengthens slightly.
-        let g0 =
-            WeightedGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)]).unwrap();
-        let g1 = WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 2.0), (1, 2, 2.2), (2, 3, 2.0), (0, 3, 1.0)],
-        )
-        .unwrap();
+        let g0 = WeightedGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)]).unwrap();
+        let g1 =
+            WeightedGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 2.2), (2, 3, 2.0), (0, 3, 1.0)])
+                .unwrap();
         let seq = GraphSequence::new(vec![g0, g1]).unwrap();
         let e0 = CommuteTimeEngine::compute(seq.graph(0), &EngineOptions::Exact).unwrap();
         let e1 = CommuteTimeEngine::compute(seq.graph(1), &EngineOptions::Exact).unwrap();
@@ -161,7 +164,8 @@ mod tests {
     #[test]
     fn cad_ranks_bridge_edge_first() {
         let (seq, e0, e1) = fixture();
-        let scores = transition_edge_scores(&seq, 0, &e0, &e1, ScoreKind::Cad).unwrap();
+        let scores =
+            transition_edge_scores(&seq, 0, e0.as_ref(), e1.as_ref(), ScoreKind::Cad).unwrap();
         assert_eq!(scores.len(), 2);
         assert_eq!((scores[0].u, scores[0].v), (0, 3));
         assert!(scores[0].score > 5.0 * scores[1].score);
@@ -170,7 +174,8 @@ mod tests {
     #[test]
     fn score_factors_recorded() {
         let (seq, e0, e1) = fixture();
-        let scores = transition_edge_scores(&seq, 0, &e0, &e1, ScoreKind::Cad).unwrap();
+        let scores =
+            transition_edge_scores(&seq, 0, e0.as_ref(), e1.as_ref(), ScoreKind::Cad).unwrap();
         let bridge = scores.iter().find(|s| (s.u, s.v) == (0, 3)).unwrap();
         assert_eq!(bridge.d_weight, 1.0);
         assert!(bridge.d_commute < 0.0, "new edge shrinks commute distance");
@@ -180,7 +185,8 @@ mod tests {
     #[test]
     fn adj_ignores_structure() {
         let (seq, e0, e1) = fixture();
-        let scores = transition_edge_scores(&seq, 0, &e0, &e1, ScoreKind::Adj).unwrap();
+        let scores =
+            transition_edge_scores(&seq, 0, e0.as_ref(), e1.as_ref(), ScoreKind::Adj).unwrap();
         let bridge = scores.iter().find(|s| (s.u, s.v) == (0, 3)).unwrap();
         let benign = scores.iter().find(|s| (s.u, s.v) == (1, 2)).unwrap();
         assert_eq!(bridge.score, 1.0);
@@ -190,11 +196,15 @@ mod tests {
     #[test]
     fn com_covers_unchanged_edges() {
         let (seq, e0, e1) = fixture();
-        let scores = transition_edge_scores(&seq, 0, &e0, &e1, ScoreKind::Com).unwrap();
+        let scores =
+            transition_edge_scores(&seq, 0, e0.as_ref(), e1.as_ref(), ScoreKind::Com).unwrap();
         // All four union edges scored, including unchanged {0,1}, {2,3}.
         assert_eq!(scores.len(), 4);
         let unchanged = scores.iter().find(|s| (s.u, s.v) == (0, 1)).unwrap();
-        assert!(unchanged.score > 0.0, "commute time changed even where weight did not");
+        assert!(
+            unchanged.score > 0.0,
+            "commute time changed even where weight did not"
+        );
     }
 
     #[test]
@@ -203,7 +213,8 @@ mod tests {
         let seq = GraphSequence::new(vec![g.clone(), g]).unwrap();
         let e0 = CommuteTimeEngine::compute(seq.graph(0), &EngineOptions::Exact).unwrap();
         let e1 = CommuteTimeEngine::compute(seq.graph(1), &EngineOptions::Exact).unwrap();
-        let scores = transition_edge_scores(&seq, 0, &e0, &e1, ScoreKind::Cad).unwrap();
+        let scores =
+            transition_edge_scores(&seq, 0, e0.as_ref(), e1.as_ref(), ScoreKind::Cad).unwrap();
         assert!(scores.is_empty());
     }
 
@@ -211,8 +222,11 @@ mod tests {
     fn scores_sorted_descending() {
         let (seq, e0, e1) = fixture();
         for kind in [ScoreKind::Cad, ScoreKind::Adj, ScoreKind::Com] {
-            let scores = transition_edge_scores(&seq, 0, &e0, &e1, kind).unwrap();
-            assert!(scores.windows(2).all(|w| w[0].score >= w[1].score), "{kind:?}");
+            let scores = transition_edge_scores(&seq, 0, e0.as_ref(), e1.as_ref(), kind).unwrap();
+            assert!(
+                scores.windows(2).all(|w| w[0].score >= w[1].score),
+                "{kind:?}"
+            );
         }
     }
 

@@ -99,27 +99,34 @@ pub fn choose_delta(
     hi
 }
 
-/// Apply a [`ThresholdPolicy`], returning the per-transition number of
-/// selected edges.
+/// Apply a [`ThresholdPolicy`], returning the δ in effect (`None` for
+/// the δ-free top-k policy) and the per-transition number of selected
+/// edges.
 pub fn apply_policy(
     transitions: &[Vec<EdgeScore>],
     n_nodes: usize,
     n_transitions_total: usize,
     policy: ThresholdPolicy,
-) -> (f64, Vec<usize>) {
+) -> (Option<f64>, Vec<usize>) {
     match policy {
         ThresholdPolicy::Fixed(delta) => {
-            let counts = transitions.iter().map(|s| select_prefix(s, delta)).collect();
-            (delta, counts)
+            let counts = transitions
+                .iter()
+                .map(|s| select_prefix(s, delta))
+                .collect();
+            (Some(delta), counts)
         }
         ThresholdPolicy::TargetNodesPerTransition(l) => {
             let delta = choose_delta(transitions, n_nodes, l * n_transitions_total);
-            let counts = transitions.iter().map(|s| select_prefix(s, delta)).collect();
-            (delta, counts)
+            let counts = transitions
+                .iter()
+                .map(|s| select_prefix(s, delta))
+                .collect();
+            (Some(delta), counts)
         }
         ThresholdPolicy::TopEdgesPerTransition(k) => {
             let counts = transitions.iter().map(|s| s.len().min(k)).collect();
-            (f64::NAN, counts)
+            (None, counts)
         }
     }
 }
@@ -129,7 +136,13 @@ mod tests {
     use super::*;
 
     fn e(u: usize, v: usize, score: f64) -> EdgeScore {
-        EdgeScore { u, v, score, d_weight: 0.0, d_commute: 0.0 }
+        EdgeScore {
+            u,
+            v,
+            score,
+            d_weight: 0.0,
+            d_commute: 0.0,
+        }
     }
 
     #[test]
@@ -191,13 +204,12 @@ mod tests {
     fn apply_policy_variants() {
         let trans = vec![vec![e(0, 1, 10.0), e(1, 2, 5.0)], vec![e(2, 3, 2.0)]];
         let (d, counts) = apply_policy(&trans, 4, 2, ThresholdPolicy::Fixed(6.0));
-        assert_eq!(d, 6.0);
+        assert_eq!(d, Some(6.0));
         assert_eq!(counts, vec![1, 0]);
-        let (_, counts) =
-            apply_policy(&trans, 4, 2, ThresholdPolicy::TopEdgesPerTransition(1));
+        let (d, counts) = apply_policy(&trans, 4, 2, ThresholdPolicy::TopEdgesPerTransition(1));
+        assert_eq!(d, None);
         assert_eq!(counts, vec![1, 1]);
-        let (_, counts) =
-            apply_policy(&trans, 4, 2, ThresholdPolicy::TargetNodesPerTransition(1));
+        let (_, counts) = apply_policy(&trans, 4, 2, ThresholdPolicy::TargetNodesPerTransition(1));
         // Target 2 nodes total: the strongest edge only.
         assert_eq!(counts, vec![1, 0]);
     }

@@ -34,7 +34,12 @@ pub struct DblpSimOptions {
 
 impl Default for DblpSimOptions {
     fn default() -> Self {
-        DblpSimOptions { community_size: 30, n_communities: 8, n_years: 6, seed: 0xDB19 }
+        DblpSimOptions {
+            community_size: 30,
+            n_communities: 8,
+            n_years: 6,
+            seed: 0xDB20,
+        }
     }
 }
 
@@ -74,8 +79,7 @@ impl DblpSim {
         // in-community collaborators; a sparse set of cross-community
         // collaborations exists between adjacent communities.
         let mut circles: Vec<(usize, usize)> = Vec::new();
-        for i in 0..n {
-            let c = community[i];
+        for (i, &c) in community.iter().enumerate() {
             let base = c * opts.community_size;
             for _ in 0..3 {
                 let j = base + rng.random_range(0..opts.community_size);
@@ -150,8 +154,14 @@ impl DblpSim {
 
     /// Topic distance (communities jumped) of the two switch events.
     pub fn switch_distances(&self) -> (usize, usize) {
-        let far = self.far_switcher.1.abs_diff(self.community[self.far_switcher.0]);
-        let near = self.near_switcher.1.abs_diff(self.community[self.near_switcher.0]);
+        let far = self
+            .far_switcher
+            .1
+            .abs_diff(self.community[self.far_switcher.0]);
+        let near = self
+            .near_switcher
+            .1
+            .abs_diff(self.community[self.near_switcher.0]);
         (far, near)
     }
 }
@@ -182,7 +192,10 @@ mod tests {
         assert_eq!(s.seq.n_nodes(), 240);
         assert_eq!(s.seq.len(), 6);
         let (far, near) = s.switch_distances();
-        assert!(far > near, "far switch {far} must jump more communities than near {near}");
+        assert!(
+            far > near,
+            "far switch {far} must jump more communities than near {near}"
+        );
         assert_eq!(near, 1);
     }
 
@@ -225,8 +238,15 @@ mod tests {
         let a = sim();
         let b = sim();
         assert_eq!(a.seq.graph(3).n_edges(), b.seq.graph(3).n_edges());
-        assert!(DblpSim::generate(&DblpSimOptions { n_communities: 2, ..Default::default() })
-            .is_err());
-        assert!(DblpSim::generate(&DblpSimOptions { n_years: 2, ..Default::default() }).is_err());
+        assert!(DblpSim::generate(&DblpSimOptions {
+            n_communities: 2,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(DblpSim::generate(&DblpSimOptions {
+            n_years: 2,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

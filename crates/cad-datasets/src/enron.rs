@@ -73,7 +73,11 @@ pub struct EnronSimOptions {
 
 impl Default for EnronSimOptions {
     fn default() -> Self {
-        EnronSimOptions { n_employees: 151, n_months: 48, seed: 0xE17_807 }
+        EnronSimOptions {
+            n_employees: 151,
+            n_months: 48,
+            seed: 11,
+        }
     }
 }
 
@@ -150,7 +154,12 @@ impl EnronSim {
             graphs.push(b.build());
         }
 
-        Ok(EnronSim { seq: GraphSequence::new(graphs)?, roles, department, events })
+        Ok(EnronSim {
+            seq: GraphSequence::new(graphs)?,
+            roles,
+            department,
+            events,
+        })
     }
 
     /// Total e-mail volume of a node per month (Figure 8a histogram).
@@ -266,7 +275,7 @@ fn baseline_circles(
     // reproducible for a given seed.
     let mut out: Vec<(usize, usize, f64)> =
         rates.into_iter().map(|((i, j), r)| (i, j, r)).collect();
-    out.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    out.sort_unstable_by_key(|a| (a.0, a.1));
     out
 }
 
@@ -276,10 +285,8 @@ fn script_events(
     roles: &[Role],
     rng: &mut StdRng,
 ) -> Vec<ScriptedEvent> {
-    let traders: Vec<usize> =
-        (0..n).filter(|&i| roles[i] == Role::Trader).collect();
-    let executives: Vec<usize> =
-        (0..n).filter(|&i| roles[i] == Role::Executive).collect();
+    let traders: Vec<usize> = (0..n).filter(|&i| roles[i] == Role::Trader).collect();
+    let executives: Vec<usize> = (0..n).filter(|&i| roles[i] == Role::Executive).collect();
     let legal: Vec<usize> = (0..n).filter(|&i| roles[i] == Role::Legal).collect();
     let everyone: Vec<usize> = (3..n).collect();
 
@@ -305,7 +312,10 @@ fn script_events(
     // change the graph's structure, and no method should flag it.)
     let staff: Vec<usize> = (0..n).filter(|&i| roles[i] == Role::Staff).collect();
     let mut edges = Vec::new();
-    for &e in pick(&traders[5..], 6, rng).iter().chain(pick(&staff, 6, rng).iter()) {
+    for &e in pick(&traders[5..], 6, rng)
+        .iter()
+        .chain(pick(&staff, 6, rng).iter())
+    {
         edges.push((EnronSim::ASSISTANT.min(e), EnronSim::ASSISTANT.max(e), 2.0));
     }
     events.push(ScriptedEvent {
@@ -448,7 +458,11 @@ mod tests {
         let months: Vec<usize> = s.events.iter().map(|e| e.month).collect();
         assert_eq!(months, vec![12, 24, 33, 33, 35]);
         // The volume surge is a confounder, not an anomaly.
-        let surge = s.events.iter().find(|e| e.name == "exec-volume-surge").unwrap();
+        let surge = s
+            .events
+            .iter()
+            .find(|e| e.name == "exec-volume-surge")
+            .unwrap();
         assert!(surge.responsible.is_empty());
         // CEO eruption transition is 32 → 33.
         assert!(s.responsible_at_transition(32).contains(&EnronSim::CEO));
@@ -495,8 +509,11 @@ mod tests {
             ..Default::default()
         })
         .is_err());
-        assert!(EnronSim::generate(&EnronSimOptions { n_months: 1, ..Default::default() })
-            .is_err());
+        assert!(EnronSim::generate(&EnronSimOptions {
+            n_months: 1,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]

@@ -138,8 +138,7 @@ impl GmmBenchmark {
         builder.add_edges(q.edges())?;
         for u in 0..opts.n {
             for v in (u + 1)..opts.n {
-                if component[u] == component[v] && rng.random::<f64>() < opts.intra_noise_density
-                {
+                if component[u] == component[v] && rng.random::<f64>() < opts.intra_noise_density {
                     let w = rng.random::<f64>();
                     if w > 0.0 {
                         builder.add_edge(u, v, w)?;
@@ -150,8 +149,7 @@ impl GmmBenchmark {
         }
         let mut planted = std::collections::HashSet::new();
         let mut attempts = 0usize;
-        while planted.len() < opts.cross_noise_edges && attempts < 100 * opts.cross_noise_edges
-        {
+        while planted.len() < opts.cross_noise_edges && attempts < 100 * opts.cross_noise_edges {
             attempts += 1;
             let u = rng.random_range(0..opts.n);
             let mut v = rng.random_range(0..opts.n - 1);
@@ -179,7 +177,13 @@ impl GmmBenchmark {
         anomalous_edges.sort_unstable();
         benign_noise_edges.sort_unstable();
         let seq = GraphSequence::new(vec![p, a2])?;
-        Ok(GmmBenchmark { seq, component, anomalous_edges, benign_noise_edges, node_labels })
+        Ok(GmmBenchmark {
+            seq,
+            component,
+            anomalous_edges,
+            benign_noise_edges,
+            node_labels,
+        })
     }
 
     /// Number of ground-truth anomalous nodes.
@@ -228,7 +232,10 @@ mod tests {
         for &(u, v) in &b.anomalous_edges {
             let w0 = b.seq.graph(0).weight(u, v);
             let w1 = b.seq.graph(1).weight(u, v);
-            assert!(w1 > w0, "noise edge ({u},{v}) should gain weight: {w0} → {w1}");
+            assert!(
+                w1 > w0,
+                "noise edge ({u},{v}) should gain weight: {w0} → {w1}"
+            );
         }
     }
 

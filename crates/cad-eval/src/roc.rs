@@ -51,7 +51,9 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> RocCurve {
     let p = labels.iter().filter(|&&l| l).count();
     let n = labels.len() - p;
     if p == 0 || n == 0 {
-        return RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)] };
+        return RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        };
     }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
@@ -93,8 +95,7 @@ pub fn average_roc(curves: &[RocCurve], grid: usize) -> RocCurve {
     let points = (0..=grid)
         .map(|g| {
             let fpr = g as f64 / grid as f64;
-            let mean_tpr =
-                curves.iter().map(|c| c.tpr_at(fpr)).sum::<f64>() / curves.len() as f64;
+            let mean_tpr = curves.iter().map(|c| c.tpr_at(fpr)).sum::<f64>() / curves.len() as f64;
             (fpr, mean_tpr)
         })
         .collect();
@@ -147,7 +148,9 @@ mod tests {
 
     #[test]
     fn tpr_interpolation() {
-        let c = RocCurve { points: vec![(0.0, 0.0), (0.5, 1.0), (1.0, 1.0)] };
+        let c = RocCurve {
+            points: vec![(0.0, 0.0), (0.5, 1.0), (1.0, 1.0)],
+        };
         assert!((c.tpr_at(0.25) - 0.5).abs() < 1e-12);
         assert!((c.tpr_at(0.75) - 1.0).abs() < 1e-12);
         assert_eq!(c.tpr_at(-1.0), 0.0);
@@ -156,8 +159,12 @@ mod tests {
 
     #[test]
     fn averaging_two_curves() {
-        let a = RocCurve { points: vec![(0.0, 0.0), (0.0, 1.0), (1.0, 1.0)] }; // perfect
-        let b = RocCurve { points: vec![(0.0, 0.0), (1.0, 1.0)] }; // diagonal
+        let a = RocCurve {
+            points: vec![(0.0, 0.0), (0.0, 1.0), (1.0, 1.0)],
+        }; // perfect
+        let b = RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        }; // diagonal
         let avg = average_roc(&[a, b], 4);
         // At fpr 0.5: (1.0 + 0.5)/2 = 0.75.
         assert!((avg.tpr_at(0.5) - 0.75).abs() < 1e-12);
@@ -171,7 +178,7 @@ mod tests {
             seed in 0u64..1000,
         ) {
             let labels: Vec<bool> =
-                (0..scores.len()).map(|i| (i as u64 + seed) % 3 == 0).collect();
+                (0..scores.len()).map(|i| (i as u64 + seed).is_multiple_of(3)).collect();
             let a = auc(&scores, &labels);
             prop_assert!((0.0..=1.0).contains(&a));
         }

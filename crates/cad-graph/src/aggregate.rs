@@ -29,7 +29,12 @@ pub struct EdgeEvent {
 impl EdgeEvent {
     /// A unit-weight event.
     pub fn new(u: usize, v: usize, time: u64) -> Self {
-        EdgeEvent { u, v, time, weight: 1.0 }
+        EdgeEvent {
+            u,
+            v,
+            time,
+            weight: 1.0,
+        }
     }
 }
 
@@ -57,7 +62,9 @@ pub fn sequence_from_events(
     opts: &AggregateOptions,
 ) -> Result<GraphSequence> {
     if opts.bucket_width == 0 {
-        return Err(GraphError::InvalidInput("bucket width must be positive".into()));
+        return Err(GraphError::InvalidInput(
+            "bucket width must be positive".into(),
+        ));
     }
     if events.is_empty() && opts.n_buckets.is_none() {
         return Err(GraphError::InvalidInput(
@@ -80,11 +87,15 @@ pub fn sequence_from_events(
         }
     };
     if n_buckets < 2 {
-        return Err(GraphError::SequenceTooShort { required: 2, found: n_buckets });
+        return Err(GraphError::SequenceTooShort {
+            required: 2,
+            found: n_buckets,
+        });
     }
 
-    let mut builders: Vec<GraphBuilder> =
-        (0..n_buckets).map(|_| GraphBuilder::new(opts.n_nodes)).collect();
+    let mut builders: Vec<GraphBuilder> = (0..n_buckets)
+        .map(|_| GraphBuilder::new(opts.n_nodes))
+        .collect();
     for e in events {
         if e.time < start {
             continue;
@@ -111,7 +122,12 @@ mod tests {
         let events = vec![ev(0, 1, 0), ev(0, 1, 5), ev(1, 2, 8), ev(0, 1, 12)];
         let seq = sequence_from_events(
             &events,
-            &AggregateOptions { n_nodes: 3, bucket_width: 10, start: None, n_buckets: None },
+            &AggregateOptions {
+                n_nodes: 3,
+                bucket_width: 10,
+                start: None,
+                n_buckets: None,
+            },
         )
         .unwrap();
         assert_eq!(seq.len(), 2);
@@ -125,7 +141,12 @@ mod tests {
         let events = vec![ev(0, 1, 0), ev(0, 1, 25)];
         let seq = sequence_from_events(
             &events,
-            &AggregateOptions { n_nodes: 2, bucket_width: 10, start: None, n_buckets: None },
+            &AggregateOptions {
+                n_nodes: 2,
+                bucket_width: 10,
+                start: None,
+                n_buckets: None,
+            },
         )
         .unwrap();
         assert_eq!(seq.len(), 3);
@@ -158,7 +179,12 @@ mod tests {
         e.weight = 2.5;
         let seq = sequence_from_events(
             &[e, ev(0, 1, 10)],
-            &AggregateOptions { n_nodes: 2, bucket_width: 10, start: None, n_buckets: None },
+            &AggregateOptions {
+                n_nodes: 2,
+                bucket_width: 10,
+                start: None,
+                n_buckets: None,
+            },
         )
         .unwrap();
         assert_eq!(seq.graph(0).weight(0, 1), 2.5);
@@ -166,11 +192,19 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        let opts =
-            AggregateOptions { n_nodes: 2, bucket_width: 0, start: None, n_buckets: None };
+        let opts = AggregateOptions {
+            n_nodes: 2,
+            bucket_width: 0,
+            start: None,
+            n_buckets: None,
+        };
         assert!(sequence_from_events(&[ev(0, 1, 0)], &opts).is_err());
-        let opts =
-            AggregateOptions { n_nodes: 2, bucket_width: 10, start: None, n_buckets: None };
+        let opts = AggregateOptions {
+            n_nodes: 2,
+            bucket_width: 10,
+            start: None,
+            n_buckets: None,
+        };
         assert!(sequence_from_events(&[], &opts).is_err());
         // Single bucket → too short for a sequence.
         assert!(matches!(
@@ -202,7 +236,12 @@ mod tests {
         }
         let seq = sequence_from_events(
             &events,
-            &AggregateOptions { n_nodes: 4, bucket_width: 10, start: None, n_buckets: None },
+            &AggregateOptions {
+                n_nodes: 4,
+                bucket_width: 10,
+                start: None,
+                n_buckets: None,
+            },
         )
         .unwrap();
         let det = cad_core_stub::detect_top(&seq);

@@ -102,7 +102,14 @@ mod tests {
         // check values are finite, positive, equal within a component.
         let g = WeightedGraph::from_edges(
             6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+            ],
         )
         .unwrap();
         let cc = closeness_centrality(&g);

@@ -48,7 +48,10 @@ pub fn dijkstra(g: &WeightedGraph, source: usize) -> Vec<f64> {
     }
     dist[source] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { dist: 0.0, node: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
         if d > dist[u] {
             continue; // Stale entry.
@@ -91,8 +94,7 @@ mod tests {
     fn heavier_edges_are_shorter() {
         // Two routes 0→2: direct w=0.5 (length 2) vs via 1 with w=2 each
         // (length 0.5+0.5=1). The strong two-hop route wins.
-        let g =
-            WeightedGraph::from_edges(3, &[(0, 2, 0.5), (0, 1, 2.0), (1, 2, 2.0)]).unwrap();
+        let g = WeightedGraph::from_edges(3, &[(0, 2, 0.5), (0, 1, 2.0), (1, 2, 2.0)]).unwrap();
         let d = dijkstra(&g, 0);
         assert_eq!(d[2], 1.0);
     }
@@ -114,17 +116,15 @@ mod tests {
 
     #[test]
     fn all_pairs_symmetric() {
-        let g = WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 0.5), (2, 3, 4.0), (0, 3, 0.25)],
-        )
-        .unwrap();
+        let g =
+            WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 0.5), (2, 3, 4.0), (0, 3, 0.25)])
+                .unwrap();
         let d = dijkstra_all_pairs(&g);
-        for i in 0..4 {
-            for j in 0..4 {
-                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &dij) in row.iter().enumerate() {
+                assert!((dij - d[j][i]).abs() < 1e-12);
             }
-            assert_eq!(d[i][i], 0.0);
+            assert_eq!(row[i], 0.0);
         }
     }
 }

@@ -23,12 +23,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a graph over `n_nodes` vertices and no edges.
     pub fn new(n_nodes: usize) -> Self {
-        GraphBuilder { n_nodes, coo: CooMatrix::new(n_nodes, n_nodes) }
+        GraphBuilder {
+            n_nodes,
+            coo: CooMatrix::new(n_nodes, n_nodes),
+        }
     }
 
     /// Start with capacity for `cap` undirected edges.
     pub fn with_capacity(n_nodes: usize, cap: usize) -> Self {
-        GraphBuilder { n_nodes, coo: CooMatrix::with_capacity(n_nodes, n_nodes, 2 * cap) }
+        GraphBuilder {
+            n_nodes,
+            coo: CooMatrix::with_capacity(n_nodes, n_nodes, 2 * cap),
+        }
     }
 
     /// Number of nodes in the graph under construction.
@@ -39,16 +45,25 @@ impl GraphBuilder {
     /// Add (or increment) the undirected edge `{u, v}` with weight `w`.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<()> {
         if u >= self.n_nodes {
-            return Err(GraphError::NodeOutOfRange { node: u, n_nodes: self.n_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                n_nodes: self.n_nodes,
+            });
         }
         if v >= self.n_nodes {
-            return Err(GraphError::NodeOutOfRange { node: v, n_nodes: self.n_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                n_nodes: self.n_nodes,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
         if !w.is_finite() || w < 0.0 {
-            return Err(GraphError::InvalidWeight { edge: (u, v), weight: w });
+            return Err(GraphError::InvalidWeight {
+                edge: (u, v),
+                weight: w,
+            });
         }
         if w == 0.0 {
             // A zero weight is "no edge" in the paper's formulation; adding
@@ -114,10 +129,22 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(b.add_edge(0, 3, 1.0), Err(GraphError::NodeOutOfRange { .. })));
-        assert!(matches!(b.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(b.add_edge(0, 1, -1.0), Err(GraphError::InvalidWeight { .. })));
-        assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(
+            b.add_edge(0, 3, 1.0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(1, 1, 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, -1.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
         assert!(matches!(
             b.add_edge(0, 1, f64::INFINITY),
             Err(GraphError::InvalidWeight { .. })
@@ -127,7 +154,8 @@ mod tests {
     #[test]
     fn add_edges_bulk() {
         let mut b = GraphBuilder::new(4);
-        b.add_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        b.add_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+            .unwrap();
         assert_eq!(b.build().n_edges(), 3);
     }
 

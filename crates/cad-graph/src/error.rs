@@ -54,15 +54,26 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range for graph with {n_nodes} nodes")
             }
             GraphError::InvalidWeight { edge, weight } => {
-                write!(f, "invalid weight {weight} on edge ({}, {})", edge.0, edge.1)
+                write!(
+                    f,
+                    "invalid weight {weight} on edge ({}, {})",
+                    edge.0, edge.1
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
-            GraphError::MixedNodeCounts { expected, found, at } => write!(
+            GraphError::MixedNodeCounts {
+                expected,
+                found,
+                at,
+            } => write!(
                 f,
                 "graph sequence instance {at} has {found} nodes, expected {expected}"
             ),
             GraphError::SequenceTooShort { required, found } => {
-                write!(f, "sequence needs at least {required} instances, found {found}")
+                write!(
+                    f,
+                    "sequence needs at least {required} instances, found {found}"
+                )
             }
             GraphError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             GraphError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
@@ -91,20 +102,27 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GraphError::NodeOutOfRange { node: 5, n_nodes: 3 }
+        assert!(GraphError::NodeOutOfRange {
+            node: 5,
+            n_nodes: 3
+        }
+        .to_string()
+        .contains("node 5"));
+        assert!(GraphError::SelfLoop { node: 2 }
             .to_string()
-            .contains("node 5"));
-        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains("self-loop"));
-        assert!(GraphError::InvalidWeight { edge: (0, 1), weight: -1.0 }
-            .to_string()
-            .contains("-1"));
+            .contains("self-loop"));
+        assert!(GraphError::InvalidWeight {
+            edge: (0, 1),
+            weight: -1.0
+        }
+        .to_string()
+        .contains("-1"));
     }
 
     #[test]
     fn linalg_error_wraps_with_source() {
         use std::error::Error;
-        let e: GraphError =
-            cad_linalg::LinalgError::NotSquare { rows: 2, cols: 3 }.into();
+        let e: GraphError = cad_linalg::LinalgError::NotSquare { rows: 2, cols: 3 }.into();
         assert!(e.source().is_some());
     }
 }

@@ -73,7 +73,11 @@ pub fn similarity_graph(points: &[[f64; 2]], floor: f64) -> Result<WeightedGraph
     }
     let n = points.len();
     // w > floor  ⟺  d < −ln(floor); precompute the squared cutoff.
-    let d_max = if floor == 0.0 { f64::INFINITY } else { -floor.ln() };
+    let d_max = if floor == 0.0 {
+        f64::INFINITY
+    } else {
+        -floor.ln()
+    };
     let d_max_sq = d_max * d_max;
     let mut b = GraphBuilder::new(n);
     for i in 0..n {

@@ -10,7 +10,9 @@ use crate::Result;
 /// Node `(r, c)` has index `r * cols + c`.
 pub fn grid_graph(rows: usize, cols: usize, w: f64) -> Result<WeightedGraph> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::InvalidInput(format!("empty grid {rows}x{cols}")));
+        return Err(GraphError::InvalidInput(format!(
+            "empty grid {rows}x{cols}"
+        )));
     }
     let n = rows * cols;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);

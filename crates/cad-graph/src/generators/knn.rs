@@ -28,7 +28,9 @@ pub fn knn_kernel_graph_1d(values: &[f64], k: usize, sigma: f64) -> Result<Weigh
         )));
     }
     if sigma <= 0.0 || !sigma.is_finite() {
-        return Err(GraphError::InvalidInput(format!("sigma must be positive, got {sigma}")));
+        return Err(GraphError::InvalidInput(format!(
+            "sigma must be positive, got {sigma}"
+        )));
     }
     if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
         return Err(GraphError::InvalidInput(format!("non-finite value {bad}")));
@@ -36,7 +38,11 @@ pub fn knn_kernel_graph_1d(values: &[f64], k: usize, sigma: f64) -> Result<Weigh
 
     // Sort node ids by value.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("values are finite")
+    });
 
     let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
     let mut b = GraphBuilder::with_capacity(n, n * k);
@@ -61,11 +67,10 @@ pub fn knn_kernel_graph_1d(values: &[f64], k: usize, sigma: f64) -> Result<Weigh
             }
         }
         let i = order[p];
-        for q in lo..=hi {
+        for (q, &j) in order.iter().enumerate().take(hi + 1).skip(lo) {
             if q == p {
                 continue;
             }
-            let j = order[q];
             let key = if i < j { (i, j) } else { (j, i) };
             if !seen.insert(key) {
                 continue; // Edge already added from the other side.

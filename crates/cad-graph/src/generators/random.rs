@@ -44,7 +44,9 @@ pub fn sparse_random_graph(n: usize, m_target: usize, seed: u64) -> Result<Weigh
 /// Erdős–Rényi `G(n, p)` with `U(0, 1]` weights (small graphs / tests).
 pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<WeightedGraph> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidInput(format!("p must be in [0, 1], got {p}")));
+        return Err(GraphError::InvalidInput(format!(
+            "p must be in [0, 1], got {p}"
+        )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -109,6 +111,9 @@ mod tests {
         let g = erdos_renyi(60, 0.3, 11).unwrap();
         let expected = 0.3 * (60.0 * 59.0 / 2.0);
         let got = g.n_edges() as f64;
-        assert!((got - expected).abs() < 4.0 * expected.sqrt(), "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt(),
+            "{got} vs {expected}"
+        );
     }
 }

@@ -30,7 +30,10 @@ impl WeightedGraph {
                 return Err(GraphError::SelfLoop { node: i });
             }
             if !v.is_finite() || v < 0.0 {
-                return Err(GraphError::InvalidWeight { edge: (i, j), weight: v });
+                return Err(GraphError::InvalidWeight {
+                    edge: (i, j),
+                    weight: v,
+                });
             }
             if (adj.get(j, i) - v).abs() > 1e-12 * v.abs().max(1.0) {
                 return Err(GraphError::InvalidInput(format!(

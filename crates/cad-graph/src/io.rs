@@ -56,8 +56,7 @@ fn read_instances<R: Read>(r: R) -> Result<(usize, Vec<WeightedGraph>)> {
     let mut n_nodes: Option<usize> = None;
     let mut builders: Vec<GraphBuilder> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line =
-            line.map_err(|e| GraphError::InvalidInput(format!("read failed: {e}")))?;
+        let line = line.map_err(|e| GraphError::InvalidInput(format!("read failed: {e}")))?;
         let content = line.split('#').next().unwrap_or("").trim();
         if content.is_empty() {
             continue;
@@ -74,13 +73,12 @@ fn read_instances<R: Read>(r: R) -> Result<(usize, Vec<WeightedGraph>)> {
                 }
             }
             Some("instance") => {
-                let n = n_nodes
-                    .ok_or_else(|| bad_line(lineno, "`instance` before `nodes` header"))?;
+                let n =
+                    n_nodes.ok_or_else(|| bad_line(lineno, "`instance` before `nodes` header"))?;
                 builders.push(GraphBuilder::new(n));
             }
             Some(u_tok) => {
-                let parse =
-                    |t: Option<&str>| t.and_then(|t| t.parse::<f64>().ok());
+                let parse = |t: Option<&str>| t.and_then(|t| t.parse::<f64>().ok());
                 let u: usize = u_tok
                     .parse()
                     .map_err(|_| bad_line(lineno, "expected `u v weight`"))?;
@@ -88,8 +86,8 @@ fn read_instances<R: Read>(r: R) -> Result<(usize, Vec<WeightedGraph>)> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| bad_line(lineno, "expected `u v weight`"))?;
-                let weight =
-                    parse(tokens.next()).ok_or_else(|| bad_line(lineno, "expected `u v weight`"))?;
+                let weight = parse(tokens.next())
+                    .ok_or_else(|| bad_line(lineno, "expected `u v weight`"))?;
                 let builder = builders
                     .last_mut()
                     .ok_or_else(|| bad_line(lineno, "edge before any `instance` marker"))?;
@@ -111,7 +109,9 @@ pub fn read_graph<R: Read>(r: R) -> Result<WeightedGraph> {
     let (_, mut graphs) = read_instances(r)?;
     match graphs.len() {
         1 => Ok(graphs.pop().expect("len checked")),
-        k => Err(GraphError::InvalidInput(format!("expected 1 instance, found {k}"))),
+        k => Err(GraphError::InvalidInput(format!(
+            "expected 1 instance, found {k}"
+        ))),
     }
 }
 

@@ -18,7 +18,10 @@ impl GraphSequence {
     /// size and that there are at least two (one transition).
     pub fn new(graphs: Vec<WeightedGraph>) -> Result<Self> {
         if graphs.len() < 2 {
-            return Err(GraphError::SequenceTooShort { required: 2, found: graphs.len() });
+            return Err(GraphError::SequenceTooShort {
+                required: 2,
+                found: graphs.len(),
+            });
         }
         let n_nodes = graphs[0].n_nodes();
         for (t, g) in graphs.iter().enumerate() {
@@ -65,7 +68,10 @@ impl GraphSequence {
 
     /// Iterate consecutive pairs `(t, G_t, G_{t+1})`.
     pub fn transitions(&self) -> impl Iterator<Item = (usize, &WeightedGraph, &WeightedGraph)> {
-        self.graphs.windows(2).enumerate().map(|(t, w)| (t, &w[0], &w[1]))
+        self.graphs
+            .windows(2)
+            .enumerate()
+            .map(|(t, w)| (t, &w[0], &w[1]))
     }
 
     /// Undirected edges whose weight differs between `G_t` and `G_{t+1}`,

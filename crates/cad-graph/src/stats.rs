@@ -42,8 +42,16 @@ impl GraphStats {
         let degrees: Vec<usize> = (0..n).map(|u| g.degree_count(u)).collect();
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
         let isolated = degrees.iter().filter(|&&d| d == 0).count();
-        let mean_degree = if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 };
-        let density = if n >= 2 { m as f64 / (n as f64 * (n as f64 - 1.0) / 2.0) } else { 0.0 };
+        let mean_degree = if n > 0 {
+            2.0 * m as f64 / n as f64
+        } else {
+            0.0
+        };
+        let density = if n >= 2 {
+            m as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
+        } else {
+            0.0
+        };
 
         let (mut wmin, mut wmax, mut wsum) = (f64::INFINITY, 0.0f64, 0.0f64);
         for (_, _, w) in g.edges() {
@@ -73,7 +81,11 @@ impl GraphStats {
                 }
             }
         }
-        let clustering = if triples > 0 { triangles3 as f64 / triples as f64 } else { 0.0 };
+        let clustering = if triples > 0 {
+            triangles3 as f64 / triples as f64
+        } else {
+            0.0
+        };
 
         let (_, n_components) = g.components();
         GraphStats {

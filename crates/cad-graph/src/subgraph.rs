@@ -31,7 +31,10 @@ pub fn induced_subgraph(g: &WeightedGraph, nodes: &[usize]) -> Result<Subgraph> 
     let mut new_index = vec![usize::MAX; g.n_nodes()];
     for &n in nodes {
         if n >= g.n_nodes() {
-            return Err(GraphError::NodeOutOfRange { node: n, n_nodes: g.n_nodes() });
+            return Err(GraphError::NodeOutOfRange {
+                node: n,
+                n_nodes: g.n_nodes(),
+            });
         }
         if new_index[n] == usize::MAX {
             new_index[n] = original_id.len();
@@ -47,14 +50,20 @@ pub fn induced_subgraph(g: &WeightedGraph, nodes: &[usize]) -> Result<Subgraph> 
             }
         }
     }
-    Ok(Subgraph { graph: b.build(), original_id })
+    Ok(Subgraph {
+        graph: b.build(),
+        original_id,
+    })
 }
 
 /// Ego subgraph: `center` plus everything within `radius` hops,
 /// induced. `radius = 1` is the paper's egonet.
 pub fn ego_subgraph(g: &WeightedGraph, center: usize, radius: usize) -> Result<Subgraph> {
     if center >= g.n_nodes() {
-        return Err(GraphError::NodeOutOfRange { node: center, n_nodes: g.n_nodes() });
+        return Err(GraphError::NodeOutOfRange {
+            node: center,
+            n_nodes: g.n_nodes(),
+        });
     }
     let mut dist = vec![usize::MAX; g.n_nodes()];
     let mut order = vec![center];
@@ -83,7 +92,13 @@ mod tests {
         // 0-1-2-3 path plus triangle 1-2-4.
         WeightedGraph::from_edges(
             5,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (1, 4, 4.0), (2, 4, 5.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (1, 4, 4.0),
+                (2, 4, 5.0),
+            ],
         )
         .unwrap()
     }

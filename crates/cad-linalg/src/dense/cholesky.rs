@@ -23,7 +23,10 @@ impl CholeskyFactor {
     /// strictly positive (matrix not SPD to working precision).
     pub fn factor(a: &DenseMatrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let mut l = DenseMatrix::zeros(n, n);
@@ -34,7 +37,10 @@ impl CholeskyFactor {
                 d -= v * v;
             }
             if d <= 0.0 || !d.is_finite() {
-                return Err(LinalgError::FactorizationFailed { what: "cholesky", index: j });
+                return Err(LinalgError::FactorizationFailed {
+                    what: "cholesky",
+                    index: j,
+                });
             }
             let dj = d.sqrt();
             l.set(j, j, dj);
@@ -69,16 +75,16 @@ impl CholeskyFactor {
         for i in 0..n {
             let row = self.l.row(i);
             let mut s = y[i];
-            for k in 0..i {
-                s -= row[k] * y[k];
+            for (rk, yk) in row.iter().zip(&y).take(i) {
+                s -= rk * yk;
             }
             y[i] = s / row[i];
         }
         // Back: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l.get(k, i) * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                s -= self.l.get(k, i) * yk;
             }
             y[i] = s / self.l.get(i, i);
         }
@@ -93,8 +99,8 @@ impl CholeskyFactor {
         for j in 0..n {
             e[j] = 1.0;
             let x = self.solve(&e)?;
-            for i in 0..n {
-                inv.set(i, j, x[i]);
+            for (i, &xi) in x.iter().enumerate() {
+                inv.set(i, j, xi);
             }
             e[j] = 0.0;
         }
@@ -107,12 +113,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 3.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap()
+        DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap()
     }
 
     #[test]
@@ -148,7 +149,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(CholeskyFactor::factor(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            CholeskyFactor::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

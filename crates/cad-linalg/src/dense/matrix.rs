@@ -19,7 +19,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// All-zero matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -225,8 +229,17 @@ impl DenseMatrix {
                 found: (other.nrows, other.ncols),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(DenseMatrix { nrows: self.nrows, ncols: self.ncols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(DenseMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        })
     }
 
     /// Entry-wise scale `c·A` in place.

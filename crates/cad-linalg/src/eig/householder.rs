@@ -19,11 +19,15 @@ use crate::Result;
 ///
 /// Returns `(diag, offdiag, q)` with `T` given by its main diagonal and
 /// subdiagonal and `Q` orthogonal. The input must be symmetric.
-pub fn householder_tridiagonalize(
-    a: &DenseMatrix,
-) -> Result<(Vec<f64>, Vec<f64>, DenseMatrix)> {
+// The tred2 loops index several buffers at once with shifting sub-ranges;
+// keeping the textbook index form beats iterator chains here.
+#[allow(clippy::needless_range_loop)]
+pub fn householder_tridiagonalize(a: &DenseMatrix) -> Result<(Vec<f64>, Vec<f64>, DenseMatrix)> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
     }
     if !a.is_symmetric(1e-8) {
         return Err(LinalgError::InvalidInput(
@@ -125,7 +129,10 @@ pub fn householder_tridiagonalize(
 pub fn sym_eigen(a: &DenseMatrix) -> Result<EigenDecomposition> {
     let n = a.nrows();
     if n == 0 {
-        return Ok(EigenDecomposition { values: Vec::new(), vectors: DenseMatrix::zeros(0, 0) });
+        return Ok(EigenDecomposition {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(0, 0),
+        });
     }
     let (diag, off, q) = householder_tridiagonalize(a)?;
     let (values, z) = tridiagonal_eigen(&diag, &off)?;

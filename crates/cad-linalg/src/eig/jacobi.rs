@@ -16,7 +16,10 @@ pub struct JacobiOptions {
 
 impl Default for JacobiOptions {
     fn default() -> Self {
-        JacobiOptions { tol: 1e-12, max_sweeps: 100 }
+        JacobiOptions {
+            tol: 1e-12,
+            max_sweeps: 100,
+        }
     }
 }
 
@@ -42,16 +45,24 @@ impl EigenDecomposition {
 /// returned in ascending order with matching orthonormal eigenvectors.
 pub fn jacobi_eigen(a: &DenseMatrix, opts: JacobiOptions) -> Result<EigenDecomposition> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
     }
     if !a.is_symmetric(1e-8) {
-        return Err(LinalgError::InvalidInput("jacobi_eigen requires a symmetric matrix".into()));
+        return Err(LinalgError::InvalidInput(
+            "jacobi_eigen requires a symmetric matrix".into(),
+        ));
     }
     let n = a.nrows();
     let mut m = a.clone();
     let mut v = DenseMatrix::identity(n);
     if n <= 1 {
-        return Ok(EigenDecomposition { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v });
+        return Ok(EigenDecomposition {
+            values: (0..n).map(|i| m.get(i, i)).collect(),
+            vectors: v,
+        });
     }
 
     let frob: f64 = m.data().iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -121,7 +132,11 @@ pub fn jacobi_eigen(a: &DenseMatrix, opts: JacobiOptions) -> Result<EigenDecompo
 
     // Sort ascending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m.get(i, i).partial_cmp(&m.get(j, j)).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| {
+        m.get(i, i)
+            .partial_cmp(&m.get(j, j))
+            .expect("finite eigenvalues")
+    });
     let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
     let vectors = DenseMatrix::from_fn(n, n, |i, j| v.get(i, order[j]));
     Ok(EigenDecomposition { values, vectors })
@@ -180,7 +195,11 @@ mod tests {
         let n = 5;
         let a = DenseMatrix::from_fn(n, n, |i, j| {
             if i == j {
-                if i == 0 || i == n - 1 { 1.0 } else { 2.0 }
+                if i == 0 || i == n - 1 {
+                    1.0
+                } else {
+                    2.0
+                }
             } else if i.abs_diff(j) == 1 {
                 -1.0
             } else {
@@ -206,12 +225,8 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_ascending() {
-        let a = DenseMatrix::from_rows(&[
-            &[5.0, 2.0, 0.0],
-            &[2.0, -3.0, 1.0],
-            &[0.0, 1.0, 1.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[5.0, 2.0, 0.0], &[2.0, -3.0, 1.0], &[0.0, 1.0, 1.0]])
+            .unwrap();
         let e = jacobi_eigen(&a, JacobiOptions::default()).unwrap();
         assert!(e.values.windows(2).all(|w| w[0] <= w[1]));
         // Trace preserved.

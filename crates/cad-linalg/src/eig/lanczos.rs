@@ -42,7 +42,11 @@ pub struct LanczosOptions {
 
 impl Default for LanczosOptions {
     fn default() -> Self {
-        LanczosOptions { max_dim: None, tol: 1e-8, seed: 0x1A2C05 }
+        LanczosOptions {
+            max_dim: None,
+            tol: 1e-8,
+            seed: 0x1A2C05,
+        }
     }
 }
 
@@ -117,7 +121,7 @@ pub fn lanczos_extremal(
 
         // Convergence test every few steps once we have enough pairs.
         let m = basis.len();
-        if m >= 2 * k && m % 5 == 0 {
+        if m >= 2 * k && m.is_multiple_of(5) {
             if let Some(true) = converged(&alphas, &betas, k, which, opts.tol) {
                 break;
             }
@@ -164,7 +168,10 @@ fn converged(alphas: &[f64], betas: &[f64], k: usize, which: Which, tol: f64) ->
         Which::Smallest => (0..k).collect(),
         Which::Largest => (m - k..m).collect(),
     };
-    Some(idx.iter().all(|&j| beta_m * z.get(m - 1, j).abs() <= tol * scale))
+    Some(
+        idx.iter()
+            .all(|&j| beta_m * z.get(m - 1, j).abs() <= tol * scale),
+    )
 }
 
 #[cfg(test)]
@@ -190,12 +197,13 @@ mod tests {
         let l = path_laplacian(n);
         let ones = vec![1.0; n];
         let (vals, vecs) =
-            lanczos_extremal(&l, 3, Which::Smallest, &[&ones], LanczosOptions::default())
-                .unwrap();
+            lanczos_extremal(&l, 3, Which::Smallest, &[&ones], LanczosOptions::default()).unwrap();
         // Closed form: λ_j = 4 sin²(π j / 2n), j = 1, 2, 3 (null deflated).
         for (j, v) in vals.iter().enumerate() {
             let want = 4.0
-                * (std::f64::consts::PI * (j + 1) as f64 / (2.0 * n as f64)).sin().powi(2);
+                * (std::f64::consts::PI * (j + 1) as f64 / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
             assert!((v - want).abs() < 1e-7, "λ_{} = {v}, want {want}", j + 1);
         }
         // Residual check A v ≈ λ v.
@@ -209,7 +217,10 @@ mod tests {
         let fiedler = &vecs[0];
         let increasing = fiedler.windows(2).all(|w| w[1] >= w[0] - 1e-9);
         let decreasing = fiedler.windows(2).all(|w| w[1] <= w[0] + 1e-9);
-        assert!(increasing || decreasing, "Fiedler vector must be monotone on a path");
+        assert!(
+            increasing || decreasing,
+            "Fiedler vector must be monotone on a path"
+        );
     }
 
     #[test]
@@ -230,7 +241,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 2.0),
+                (2, 2, 5.0),
+            ],
         );
         let (vals, _) =
             lanczos_extremal(&a, 3, Which::Smallest, &[], LanczosOptions::default()).unwrap();
@@ -242,10 +259,8 @@ mod tests {
     #[test]
     fn rejects_bad_k() {
         let a = path_laplacian(5);
-        assert!(lanczos_extremal(&a, 0, Which::Smallest, &[], LanczosOptions::default())
-            .is_err());
-        assert!(lanczos_extremal(&a, 6, Which::Smallest, &[], LanczosOptions::default())
-            .is_err());
+        assert!(lanczos_extremal(&a, 0, Which::Smallest, &[], LanczosOptions::default()).is_err());
+        assert!(lanczos_extremal(&a, 6, Which::Smallest, &[], LanczosOptions::default()).is_err());
     }
 
     #[test]

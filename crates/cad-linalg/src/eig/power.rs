@@ -25,7 +25,11 @@ pub struct PowerOptions {
 
 impl Default for PowerOptions {
     fn default() -> Self {
-        PowerOptions { tol: 1e-10, max_iter: 1000, seed: 0x9E3779B97F4A7C15 }
+        PowerOptions {
+            tol: 1e-10,
+            max_iter: 1000,
+            seed: 0x9E3779B97F4A7C15,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ impl Default for PowerOptions {
 /// on empty graph instances instead of erroring.
 pub fn dominant_eigenpair(a: &CsrMatrix, opts: PowerOptions) -> Result<(f64, Vec<f64>)> {
     if a.nrows() != a.ncols() {
-        return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
     }
     let n = a.nrows();
     if n == 0 {
@@ -103,7 +110,8 @@ mod tests {
     #[test]
     fn known_dominant_pair() {
         // [[2,1],[1,2]]: dominant λ=3, v = (1,1)/√2.
-        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)]);
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)]);
         let (l, v) = dominant_eigenpair(&a, PowerOptions::default()).unwrap();
         assert!((l - 3.0).abs() < 1e-8);
         assert!((v[0] - v[1]).abs() < 1e-6);
@@ -161,7 +169,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        let a =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         let r1 = dominant_eigenpair(&a, PowerOptions::default()).unwrap();
         let r2 = dominant_eigenpair(&a, PowerOptions::default()).unwrap();
         assert_eq!(r1.0.to_bits(), r2.0.to_bits());

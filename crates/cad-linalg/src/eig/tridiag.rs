@@ -127,11 +127,11 @@ mod tests {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
         // Verify A v = λ v for each pair.
-        for j in 0..n {
+        for (j, &lambda) in vals.iter().enumerate() {
             let v = vecs.col(j);
             let av = dense.matvec(&v).unwrap();
-            for i in 0..n {
-                assert!((av[i] - vals[j] * v[i]).abs() < 1e-8, "residual at ({i},{j})");
+            for (i, (&avi, &vi)) in av.iter().zip(&v).enumerate() {
+                assert!((avi - lambda * vi).abs() < 1e-8, "residual at ({i},{j})");
             }
         }
     }
@@ -148,12 +148,16 @@ mod tests {
     fn path_laplacian_closed_form() {
         // Path Laplacian eigenvalues: 4 sin²(π j / 2n), j = 0..n−1.
         let n = 9;
-        let diag: Vec<f64> =
-            (0..n).map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 }).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
         let off = vec![-1.0; n - 1];
         let (vals, _) = tridiagonal_eigen(&diag, &off).unwrap();
         for (j, v) in vals.iter().enumerate() {
-            let want = 4.0 * (std::f64::consts::PI * j as f64 / (2.0 * n as f64)).sin().powi(2);
+            let want = 4.0
+                * (std::f64::consts::PI * j as f64 / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
             assert!((v - want).abs() < 1e-9, "λ_{j} = {v}, want {want}");
         }
     }

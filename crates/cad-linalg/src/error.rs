@@ -55,7 +55,11 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, expected, found } => write!(
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "dimension mismatch in {op}: expected {}x{}, found {}x{}",
                 expected.0, expected.1, found.0, found.1
@@ -63,7 +67,11 @@ impl fmt::Display for LinalgError {
             LinalgError::FactorizationFailed { what, index } => {
                 write!(f, "{what} factorization failed at pivot {index}")
             }
-            LinalgError::NotConverged { what, iterations, residual } => write!(
+            LinalgError::NotConverged {
+                what,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
@@ -99,7 +107,11 @@ mod tests {
 
     #[test]
     fn display_not_converged() {
-        let e = LinalgError::NotConverged { what: "cg", iterations: 10, residual: 0.5 };
+        let e = LinalgError::NotConverged {
+            what: "cg",
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("cg"));
         assert!(e.to_string().contains("10"));
     }

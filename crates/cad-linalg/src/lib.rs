@@ -25,6 +25,7 @@
 pub mod dense;
 pub mod eig;
 pub mod error;
+pub mod par;
 pub mod pinv;
 pub mod rp;
 pub mod solve;

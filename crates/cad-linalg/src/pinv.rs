@@ -30,8 +30,7 @@ pub fn sym_pinv(a: &DenseMatrix, rel_cutoff: f64) -> Result<DenseMatrix> {
         .map(|&l| if l.abs() <= cutoff { 0.0 } else { 1.0 / l })
         .collect();
     let mut out = DenseMatrix::zeros(n, n);
-    for k in 0..n {
-        let w = inv_vals[k];
+    for (k, &w) in inv_vals.iter().enumerate() {
         if w == 0.0 {
             continue;
         }
@@ -56,7 +55,10 @@ pub fn sym_pinv(a: &DenseMatrix, rel_cutoff: f64) -> Result<DenseMatrix> {
 /// to [`sym_pinv`].
 pub fn laplacian_pinv_cholesky(l: &DenseMatrix) -> Result<DenseMatrix> {
     if !l.is_square() {
-        return Err(LinalgError::NotSquare { rows: l.nrows(), cols: l.ncols() });
+        return Err(LinalgError::NotSquare {
+            rows: l.nrows(),
+            cols: l.ncols(),
+        });
     }
     let n = l.nrows();
     if n == 0 {
@@ -73,12 +75,7 @@ mod tests {
     use super::*;
 
     fn path3_laplacian() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ])
-        .unwrap()
+        DenseMatrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]).unwrap()
     }
 
     fn check_penrose(a: &DenseMatrix, p: &DenseMatrix, tol: f64) {
@@ -90,7 +87,10 @@ mod tests {
         assert!(pap.max_abs_diff(p).unwrap() < tol, "PAP != P");
         // (AP)ᵀ = AP and (PA)ᵀ = PA
         let ap = a.matmul(p).unwrap();
-        assert!(ap.max_abs_diff(&ap.transpose()).unwrap() < tol, "AP not symmetric");
+        assert!(
+            ap.max_abs_diff(&ap.transpose()).unwrap() < tol,
+            "AP not symmetric"
+        );
     }
 
     #[test]
@@ -131,7 +131,10 @@ mod tests {
             Err(_) => {}
             Ok(p) => {
                 let garbage = p.data().iter().any(|v| v.abs() > 1e6);
-                assert!(garbage, "unexpectedly sane result on a singular system: {p:?}");
+                assert!(
+                    garbage,
+                    "unexpectedly sane result on a singular system: {p:?}"
+                );
             }
         }
         // Eigen route handles it: pinv of zero matrix is zero.

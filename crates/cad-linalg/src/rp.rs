@@ -88,7 +88,9 @@ mod tests {
         // Consecutive entries in a row should not alternate deterministically.
         let s = RademacherSource::new(5);
         let first_eight: Vec<f64> = (0..8).map(|c| s.sign(0, c)).collect();
-        let alternating: Vec<f64> = (0..8).map(|c| if c % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alternating: Vec<f64> = (0..8)
+            .map(|c| if c % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert_ne!(first_eight, alternating);
         let constant = first_eight.iter().all(|&v| v == first_eight[0]);
         assert!(!constant);

@@ -24,7 +24,8 @@ impl LinOp for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec_into(x, y).expect("CsrMatrix::apply shape checked by caller");
+        self.matvec_into(x, y)
+            .expect("CsrMatrix::apply shape checked by caller");
     }
 }
 
@@ -39,7 +40,10 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { tol: 1e-8, max_iter: None }
+        CgOptions {
+            tol: 1e-8,
+            max_iter: None,
+        }
     }
 }
 
@@ -77,7 +81,12 @@ pub fn cg_solve(
     }
     let bnorm = vecops::norm2(b);
     if bnorm == 0.0 {
-        return Ok(CgOutcome { x: vec![0.0; n], iterations: 0, relative_residual: 0.0, converged: true });
+        return Ok(CgOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        });
     }
     let max_iter = opts.max_iter.unwrap_or(10 * n + 100);
     let target = opts.tol * bnorm;
@@ -190,8 +199,16 @@ mod tests {
         // in exact arithmetic; allow a little slack.
         let a = spd();
         let b = vec![1.0, 0.0, 0.0];
-        let out = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions { tol: 1e-12, max_iter: Some(5) })
-            .unwrap();
+        let out = cg_solve(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                max_iter: Some(5),
+            },
+        )
+        .unwrap();
         assert!(out.converged);
         assert!(out.iterations <= 4);
     }
@@ -204,7 +221,10 @@ mod tests {
             &a,
             &b,
             &IdentityPreconditioner,
-            CgOptions { tol: 1e-15, max_iter: Some(1) },
+            CgOptions {
+                tol: 1e-15,
+                max_iter: Some(1),
+            },
         )
         .unwrap();
         assert!(out.iterations <= 1);

@@ -157,9 +157,8 @@ impl LaplacianSolver {
                         ground[c] = i;
                     }
                 }
-                let grounded: Vec<bool> = (0..n)
-                    .map(|i| ground[component[i] as usize] == i)
-                    .collect();
+                let grounded: Vec<bool> =
+                    (0..n).map(|i| ground[component[i] as usize] == i).collect();
                 let mut reduced_index = vec![usize::MAX; n];
                 let mut full_index = Vec::with_capacity(n - n_components);
                 for i in 0..n {
@@ -382,7 +381,15 @@ mod tests {
         assert_eq!(solver.n_components(), 1);
         // b must be mean-free; use the incidence column of edge (0,3)-ish.
         let b = vec![1.0, 0.0, 0.0, -1.0];
-        let x = solver.solve_with(&b, CgOptions { tol: 1e-12, max_iter: None }).unwrap();
+        let x = solver
+            .solve_with(
+                &b,
+                CgOptions {
+                    tol: 1e-12,
+                    max_iter: None,
+                },
+            )
+            .unwrap();
         // Check L x = b and x ⊥ 1.
         let lx = l.matvec(&x).unwrap();
         for (got, want) in lx.iter().zip(&b) {
@@ -407,7 +414,10 @@ mod tests {
         )
         .unwrap();
         let b = vec![1.0, -1.0, 1.0, -1.0];
-        let cg = CgOptions { tol: 1e-12, max_iter: None };
+        let cg = CgOptions {
+            tol: 1e-12,
+            max_iter: None,
+        };
         let xg = g.solve_with(&b, cg).unwrap();
         let mut xr = r.solve_with(&b, cg).unwrap();
         // Regularized answer differs by ~constant; compare after centering.
@@ -434,7 +444,15 @@ mod tests {
         let solver = LaplacianSolver::new(&l, LaplacianSolverOptions::default()).unwrap();
         assert_eq!(solver.n_components(), 2);
         let b = vec![1.0, -1.0, 0.5, -0.5];
-        let x = solver.solve_with(&b, CgOptions { tol: 1e-12, max_iter: None }).unwrap();
+        let x = solver
+            .solve_with(
+                &b,
+                CgOptions {
+                    tol: 1e-12,
+                    max_iter: None,
+                },
+            )
+            .unwrap();
         let lx = l.matvec(&x).unwrap();
         for (got, want) in lx.iter().zip(&b) {
             assert!((got - want).abs() < 1e-8);
@@ -457,7 +475,10 @@ mod tests {
     #[test]
     fn ic0_precond_agrees_with_jacobi() {
         let l = path4_laplacian();
-        let cg = CgOptions { tol: 1e-12, max_iter: None };
+        let cg = CgOptions {
+            tol: 1e-12,
+            max_iter: None,
+        };
         let b = vec![1.0, 2.0, -1.0, -2.0];
         let xj = LaplacianSolver::new(&l, LaplacianSolverOptions::default())
             .unwrap()
@@ -483,11 +504,16 @@ mod tests {
         let l = path4_laplacian();
         assert!(LaplacianSolver::new(
             &l,
-            LaplacianSolverOptions { kind: SolverKind::Regularized(0.0), ..Default::default() }
+            LaplacianSolverOptions {
+                kind: SolverKind::Regularized(0.0),
+                ..Default::default()
+            }
         )
         .is_err());
-        assert!(LaplacianSolver::new(&CsrMatrix::zeros(2, 3), LaplacianSolverOptions::default())
-            .is_err());
+        assert!(
+            LaplacianSolver::new(&CsrMatrix::zeros(2, 3), LaplacianSolverOptions::default())
+                .is_err()
+        );
         let s = LaplacianSolver::new(&l, LaplacianSolverOptions::default()).unwrap();
         assert!(s.solve(&[1.0]).is_err());
     }

@@ -40,7 +40,9 @@ impl JacobiPreconditioner {
                 diag[idx]
             )));
         }
-        Ok(JacobiPreconditioner { inv_diag: diag.iter().map(|d| 1.0 / d).collect() })
+        Ok(JacobiPreconditioner {
+            inv_diag: diag.iter().map(|d| 1.0 / d).collect(),
+        })
     }
 
     /// Build from the diagonal of a CSR matrix.
@@ -78,7 +80,10 @@ impl IncompleteCholesky {
     /// Factor a symmetric matrix with positive diagonal.
     pub fn factor(a: &CsrMatrix) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let mut shift = 0.0;
         for attempt in 0..8 {
@@ -89,7 +94,10 @@ impl IncompleteCholesky {
                 }
             }
         }
-        Err(LinalgError::FactorizationFailed { what: "ic0", index: 0 })
+        Err(LinalgError::FactorizationFailed {
+            what: "ic0",
+            index: 0,
+        })
     }
 
     fn try_factor(a: &CsrMatrix, shift: f64) -> Result<Self> {
@@ -109,7 +117,10 @@ impl IncompleteCholesky {
             // Diagonal entry is required.
             let d = a.get(i, i);
             if d <= 0.0 {
-                return Err(LinalgError::FactorizationFailed { what: "ic0", index: i });
+                return Err(LinalgError::FactorizationFailed {
+                    what: "ic0",
+                    index: i,
+                });
             }
             col_idx.push(i as u32);
             values.push(d * (1.0 + shift));
@@ -128,7 +139,10 @@ impl IncompleteCholesky {
                 // divide by d_k (diagonal of row k, last entry of row k).
                 let dk = values[row_ptr[k + 1] - 1];
                 if dk <= 0.0 {
-                    return Err(LinalgError::FactorizationFailed { what: "ic0", index: k });
+                    return Err(LinalgError::FactorizationFailed {
+                        what: "ic0",
+                        index: k,
+                    });
                 }
                 values[kk] /= dk;
                 let lik = values[kk];
@@ -151,7 +165,10 @@ impl IncompleteCholesky {
             // After updates, the diagonal must stay positive.
             let d = values[hi - 1];
             if d <= 0.0 || !d.is_finite() {
-                return Err(LinalgError::FactorizationFailed { what: "ic0", index: i });
+                return Err(LinalgError::FactorizationFailed {
+                    what: "ic0",
+                    index: i,
+                });
             }
         }
 
@@ -169,7 +186,12 @@ impl IncompleteCholesky {
             out_vals[hi - 1] = values[hi - 1].sqrt();
         }
 
-        Ok(IncompleteCholesky { row_ptr, col_idx, values: out_vals, n })
+        Ok(IncompleteCholesky {
+            row_ptr,
+            col_idx,
+            values: out_vals,
+            n,
+        })
     }
 
     /// Solve `L̃ L̃ᵀ z = r`.
@@ -244,7 +266,10 @@ mod tests {
         ic.apply(&b, &mut z);
         let az = a.matvec(&z).unwrap();
         for (l, r) in az.iter().zip(&b) {
-            assert!((l - r).abs() < 1e-10, "IC(0) should be exact here: {l} vs {r}");
+            assert!(
+                (l - r).abs() < 1e-10,
+                "IC(0) should be exact here: {l} vs {r}"
+            );
         }
     }
 
@@ -256,7 +281,12 @@ mod tests {
         let plain = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
         let fast = cg_solve(&a, &b, &ic, CgOptions::default()).unwrap();
         assert!(fast.converged);
-        assert!(fast.iterations <= plain.iterations, "{} > {}", fast.iterations, plain.iterations);
+        assert!(
+            fast.iterations <= plain.iterations,
+            "{} > {}",
+            fast.iterations,
+            plain.iterations
+        );
         // Tridiagonal => exact preconditioner => one iteration.
         assert!(fast.iterations <= 2);
     }

@@ -60,7 +60,10 @@ impl TreePreconditioner {
     pub fn from_matrix(a: &CsrMatrix) -> Result<Self> {
         let n = a.nrows();
         if a.ncols() != n {
-            return Err(LinalgError::NotSquare { rows: n, cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: n,
+                cols: a.ncols(),
+            });
         }
         // Collect off-diagonal edges (upper triangle), weight = −a_ij > 0.
         let mut edges: Vec<(f64, u32, u32)> = Vec::new();
@@ -134,7 +137,12 @@ impl TreePreconditioner {
             }
         }
 
-        Ok(TreePreconditioner { parent, parent_weight, leak, elimination_order: order })
+        Ok(TreePreconditioner {
+            parent,
+            parent_weight,
+            leak,
+            elimination_order: order,
+        })
     }
 
     /// Exactly solve `T z = r` where `T` is the tree Laplacian plus the
@@ -195,7 +203,10 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect(), size: vec![1; n] }
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -211,7 +222,11 @@ impl Dsu {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         true
@@ -265,7 +280,10 @@ mod tests {
         let b: Vec<f64> = (0..400).map(|i| (i % 11) as f64 - 5.0).collect();
         let tree = TreePreconditioner::from_matrix(&a).unwrap();
         let jac = JacobiPreconditioner::from_matrix(&a).unwrap();
-        let opts = CgOptions { tol: 1e-10, max_iter: None };
+        let opts = CgOptions {
+            tol: 1e-10,
+            max_iter: None,
+        };
         let fast = cg_solve(&a, &b, &tree, opts).unwrap();
         let slow = cg_solve(&a, &b, &jac, opts).unwrap();
         assert!(fast.converged);
@@ -310,7 +328,16 @@ mod tests {
         let a = CsrMatrix::from_triplets(n, n, &tri);
         let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
         let tree = TreePreconditioner::from_matrix(&a).unwrap();
-        let out = cg_solve(&a, &b, &tree, CgOptions { tol: 1e-10, max_iter: None }).unwrap();
+        let out = cg_solve(
+            &a,
+            &b,
+            &tree,
+            CgOptions {
+                tol: 1e-10,
+                max_iter: None,
+            },
+        )
+        .unwrap();
         assert!(out.converged);
         let az = a.matvec(&out.x).unwrap();
         for (got, want) in az.iter().zip(&b) {
@@ -322,7 +349,8 @@ mod tests {
     fn handles_forest_components() {
         // Two disjoint grounded paths.
         let a5 = grounded_path(5);
-        let mut tri: Vec<(u32, u32, f64)> = a5.iter().map(|(i, j, v)| (i as u32, j as u32, v)).collect();
+        let mut tri: Vec<(u32, u32, f64)> =
+            a5.iter().map(|(i, j, v)| (i as u32, j as u32, v)).collect();
         for (i, j, v) in a5.iter() {
             tri.push(((i + 5) as u32, (j + 5) as u32, v));
         }

@@ -18,12 +18,20 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Empty matrix of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, entries: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Empty matrix with reserved triplet capacity.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
-        CooMatrix { nrows, ncols, entries: Vec::with_capacity(cap) }
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows.
@@ -44,10 +52,16 @@ impl CooMatrix {
     /// Append a triplet; errors when out of range or non-finite.
     pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
         if row >= self.nrows {
-            return Err(LinalgError::IndexOutOfBounds { index: row, len: self.nrows });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: row,
+                len: self.nrows,
+            });
         }
         if col >= self.ncols {
-            return Err(LinalgError::IndexOutOfBounds { index: col, len: self.ncols });
+            return Err(LinalgError::IndexOutOfBounds {
+                index: col,
+                len: self.ncols,
+            });
         }
         if !value.is_finite() {
             return Err(LinalgError::InvalidInput(format!(
@@ -75,7 +89,9 @@ impl CooMatrix {
 
     /// Iterate stored triplets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 }
 

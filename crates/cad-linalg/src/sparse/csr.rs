@@ -63,7 +63,12 @@ impl CsrMatrix {
         for r in 0..nrows {
             let (lo, hi) = (counts[r], counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {
@@ -80,7 +85,13 @@ impl CsrMatrix {
             }
             row_ptr[r + 1] = out_cols.len();
         }
-        CsrMatrix { nrows, ncols, row_ptr, col_idx: out_cols, values: out_vals }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx: out_cols,
+            values: out_vals,
+        }
     }
 
     /// Build from a dense matrix, keeping entries with `|a_ij| > threshold`.
@@ -134,7 +145,9 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.nrows).flat_map(move |i| {
             let (cols, vals) = self.row(i);
-            cols.iter().zip(vals).map(move |(&c, &v)| (i, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i, c as usize, v))
         })
     }
 
@@ -160,13 +173,13 @@ impl CsrMatrix {
                 found: (y.len(), x.len()),
             });
         }
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(())
     }
@@ -196,7 +209,13 @@ impl CsrMatrix {
         row_ptr.push(self.nnz());
         row_ptr.truncate(self.ncols + 1);
         row_ptr[self.ncols] = self.nnz();
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// True when `‖A − Aᵀ‖∞ ≤ tol` over stored entries.
@@ -204,17 +223,22 @@ impl CsrMatrix {
         if self.nrows != self.ncols {
             return false;
         }
-        self.iter().all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
+        self.iter()
+            .all(|(i, j, v)| (self.get(j, i) - v).abs() <= tol)
     }
 
     /// Diagonal as a dense vector.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Row sums (for a symmetric adjacency matrix: weighted degrees).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.nrows).map(|i| self.row(i).1.iter().sum()).collect()
+        (0..self.nrows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
     }
 
     /// Sum of all stored values.
@@ -226,7 +250,12 @@ impl CsrMatrix {
     ///
     /// Linear-time two-pointer merge over rows; the workhorse of the
     /// adjacency-difference scores (`ΔE` needs `A_{t+1} − A_t`).
-    pub fn linear_combination(&self, alpha: f64, other: &CsrMatrix, beta: f64) -> Result<CsrMatrix> {
+    pub fn linear_combination(
+        &self,
+        alpha: f64,
+        other: &CsrMatrix,
+        beta: f64,
+    ) -> Result<CsrMatrix> {
         if self.nrows != other.nrows || self.ncols != other.ncols {
             return Err(LinalgError::DimensionMismatch {
                 op: "csr linear_combination",
@@ -263,7 +292,13 @@ impl CsrMatrix {
             }
             row_ptr[i + 1] = col_idx.len();
         }
-        Ok(CsrMatrix { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Apply `f` to every stored value (keeps the pattern, drops new zeros).
@@ -302,7 +337,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 1, 2.0), (1, 0, 2.0), (1, 2, 3.0), (2, 1, 3.0), (2, 2, 1.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 0, 2.0),
+                (1, 2, 3.0),
+                (2, 1, 3.0),
+                (2, 2, 1.0),
+            ],
         )
     }
 

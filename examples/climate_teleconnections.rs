@@ -28,13 +28,22 @@ fn main() {
     let scored = detector.score_sequence(&sim.seq).expect("scores");
 
     // Which year restructured the climate network the most?
-    let mass: Vec<f64> =
-        scored.iter().map(|s| s.iter().map(|e| e.score).sum()).collect();
+    let mass: Vec<f64> = scored
+        .iter()
+        .map(|s| s.iter().map(|e| e.score).sum())
+        .collect();
     let top_year = (0..mass.len())
         .max_by(|&a, &b| mass[a].partial_cmp(&mass[b]).expect("finite"))
         .unwrap();
-    println!("largest structural change: transition {top_year} -> {}", top_year + 1);
-    assert_eq!(top_year, sim.event_year - 1, "the teleconnection year must dominate");
+    println!(
+        "largest structural change: transition {top_year} -> {}",
+        top_year + 1
+    );
+    assert_eq!(
+        top_year,
+        sim.event_year - 1,
+        "the teleconnection year must dominate"
+    );
 
     // Which region pairs drive it?
     let kind = |r: usize| {
@@ -49,7 +58,10 @@ fn main() {
     println!("\ntop anomalous gauge pairs in the teleconnection year:");
     let mut seen_pairs = std::collections::HashSet::new();
     for e in scored[top_year].iter() {
-        let pair = (sim.region[e.u].min(sim.region[e.v]), sim.region[e.u].max(sim.region[e.v]));
+        let pair = (
+            sim.region[e.u].min(sim.region[e.v]),
+            sim.region[e.u].max(sim.region[e.v]),
+        );
         if pair.0 == pair.1 || !seen_pairs.insert(pair) {
             continue;
         }

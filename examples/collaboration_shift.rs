@@ -40,7 +40,10 @@ fn main() {
                     cu.abs_diff(cv)
                 )
             };
-            println!("  authors {:>3} & {:>3}  ΔE {:>9.1}  {}", e.u, e.v, e.score, verdict);
+            println!(
+                "  authors {:>3} & {:>3}  ΔE {:>9.1}  {}",
+                e.u, e.v, e.score, verdict
+            );
         }
     }
 
@@ -67,6 +70,9 @@ fn main() {
         .edges
         .iter()
         .any(|e| (e.u, e.v) == (a.min(b), a.max(b)));
-    println!("severed collaboration ({a}, {b}): {}", if found { "localized" } else { "missed" });
+    println!(
+        "severed collaboration ({a}, {b}): {}",
+        if found { "localized" } else { "missed" }
+    );
     assert!(found);
 }

@@ -39,13 +39,18 @@ fn main() {
     );
 
     // n = 151 — small enough for exact commute times, like the paper.
-    let detector =
-        CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() });
+    let detector = CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        ..Default::default()
+    });
     // Alert budget: ~5 employees per month on average; δ is calibrated
     // globally so quiet months raise no alerts at all.
     let report = detector.detect_top_l(&sim.seq, 5).expect("detection");
 
-    println!("=== monthly alert report (δ = {:.2}) ===", report.delta);
+    println!(
+        "=== monthly alert report (δ = {:.2}) ===",
+        report.delta.expect("top-l policy reports a delta")
+    );
     let mut alerts = 0usize;
     for tr in &report.transitions {
         if tr.nodes.is_empty() {
@@ -81,7 +86,10 @@ fn main() {
             case
         );
     }
-    println!("\n{alerts} of {} transitions raised alerts", report.transitions.len());
+    println!(
+        "\n{alerts} of {} transitions raised alerts",
+        report.transitions.len()
+    );
 
     // --- Compare against the scripted ground truth.
     println!("\n=== ground truth events ===");
@@ -109,5 +117,8 @@ fn main() {
         );
     }
     println!("\nlocalized {found}/{total} scripted events at their onset transition");
-    assert!(found >= total - 1, "the detector should localize the scripted culprits");
+    assert!(
+        found >= total - 1,
+        "the detector should localize the scripted culprits"
+    );
 }

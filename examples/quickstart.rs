@@ -68,7 +68,10 @@ fn main() {
     // transition on average (the paper's δ-selection automation).
     let result = detector.detect_top_l(&seq, 2).expect("detection succeeds");
     let tr = &result.transitions[0];
-    println!("\nanomalous edges E_0 (δ = {:.3}):", result.delta);
+    println!(
+        "\nanomalous edges E_0 (δ = {:.3}):",
+        result.delta.expect("top-l policy reports a delta")
+    );
     for e in &tr.edges {
         println!("  ({}, {})  score {:.3}", e.u, e.v, e.score);
     }

@@ -20,7 +20,10 @@ use cad_datasets::{EnronSim, EnronSimOptions};
 fn main() {
     let sim = EnronSim::generate(&EnronSimOptions::default()).expect("simulated organization");
     let mut monitor = OnlineCad::new(
-        CadOptions { engine: EngineOptions::Exact, ..Default::default() },
+        CadOptions {
+            engine: EngineOptions::Exact,
+            ..Default::default()
+        },
         5, // alert budget: ~5 employees per month on running average
     );
 
@@ -43,12 +46,19 @@ fn main() {
             alert.edges.len(),
             alert.nodes.len(),
             monitor.delta(),
-            if is_event_onset { "  << scripted event starts here" } else { "" }
+            if is_event_onset {
+                "  << scripted event starts here"
+            } else {
+                ""
+            }
         );
     }
 
-    let with_truth =
-        sim.events.iter().filter(|e| !e.responsible.is_empty()).count();
+    let with_truth = sim
+        .events
+        .iter()
+        .filter(|e| !e.responsible.is_empty())
+        .count();
     println!(
         "\ncaught {event_onsets_caught} of {} scripted event onsets in streaming mode",
         sim.events.len()
@@ -61,7 +71,10 @@ fn main() {
     // After the stream, a full re-evaluation at the final δ equals the
     // offline batch result — the monitor loses nothing by being online.
     let final_sets = monitor.reevaluate_all();
-    let busiest = final_sets.iter().max_by_key(|t| t.nodes.len()).expect("non-empty");
+    let busiest = final_sets
+        .iter()
+        .max_by_key(|t| t.nodes.len())
+        .expect("non-empty");
     println!(
         "busiest transition in hindsight: {} -> {} with {} employees",
         busiest.t,

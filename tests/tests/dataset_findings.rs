@@ -10,7 +10,10 @@ use cad_datasets::{
 use std::sync::OnceLock;
 
 fn exact_cad() -> CadDetector {
-    CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() })
+    CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        ..Default::default()
+    })
 }
 
 // The simulators and their detection runs are the expensive part; each
@@ -28,7 +31,9 @@ fn dblp() -> &'static (DblpSim, DetectionResult) {
     static CELL: OnceLock<(DblpSim, DetectionResult)> = OnceLock::new();
     CELL.get_or_init(|| {
         let sim = DblpSim::generate(&DblpSimOptions::default()).expect("sim");
-        let det = CadDetector::default().detect_top_l(&sim.seq, 20).expect("detection");
+        let det = CadDetector::default()
+            .detect_top_l(&sim.seq, 20)
+            .expect("detection");
         (sim, det)
     })
 }
@@ -37,7 +42,9 @@ fn precip() -> &'static (PrecipSim, Vec<Vec<cad_core::EdgeScore>>) {
     static CELL: OnceLock<(PrecipSim, Vec<Vec<cad_core::EdgeScore>>)> = OnceLock::new();
     CELL.get_or_init(|| {
         let sim = PrecipSim::generate(&PrecipSimOptions::default()).expect("sim");
-        let scored = CadDetector::default().score_sequence(&sim.seq).expect("scores");
+        let scored = CadDetector::default()
+            .score_sequence(&sim.seq)
+            .expect("scores");
         (sim, scored)
     })
 }
@@ -48,8 +55,11 @@ fn enron_ceo_localized_at_eruption() {
     // Kenneth-Lay analogue: flagged at 32 -> 33 with the most edges.
     let tr = &result.transitions[32];
     assert!(tr.nodes.contains(&EnronSim::CEO));
-    let ceo_edges =
-        tr.edges.iter().filter(|e| e.u == EnronSim::CEO || e.v == EnronSim::CEO).count();
+    let ceo_edges = tr
+        .edges
+        .iter()
+        .filter(|e| e.u == EnronSim::CEO || e.v == EnronSim::CEO)
+        .count();
     assert!(2 * ceo_edges > tr.edges.len());
 }
 
@@ -70,7 +80,9 @@ fn enron_volume_surge_distracts_act_not_cad() {
     // executive; CAD's ΔN prefers the CEO.
     let (sim, _) = enron();
     let cad_scores = exact_cad().node_scores(&sim.seq).expect("cad");
-    let act_scores = ActDetector::with_window(3).node_scores(&sim.seq).expect("act");
+    let act_scores = ActDetector::with_window(3)
+        .node_scores(&sim.seq)
+        .expect("act");
     let argmax = |s: &[f64]| {
         (0..s.len())
             .max_by(|&a, &b| s[a].partial_cmp(&s[b]).expect("finite"))
@@ -87,7 +99,11 @@ fn dblp_switch_severity_ordering() {
     let (near_author, _, _) = sim.near_switcher;
     let edges = &result.transitions[switch_year - 1].edges;
     let best = |a: usize| {
-        edges.iter().filter(|e| e.u == a || e.v == a).map(|e| e.score).fold(0.0f64, f64::max)
+        edges
+            .iter()
+            .filter(|e| e.u == a || e.v == a)
+            .map(|e| e.score)
+            .fold(0.0f64, f64::max)
     };
     assert!(best(far_author) > best(near_author));
     assert!(best(near_author) > 0.0);
@@ -106,8 +122,10 @@ fn dblp_severed_tie_found() {
 #[test]
 fn precip_event_transition_dominates() {
     let (sim, scored) = precip();
-    let mass: Vec<f64> =
-        scored.iter().map(|s| s.iter().map(|e| e.score).sum()).collect();
+    let mass: Vec<f64> = scored
+        .iter()
+        .map(|s| s.iter().map(|e| e.score).sum())
+        .collect();
     let top = (0..mass.len())
         .max_by(|&a, &b| mass[a].partial_cmp(&mass[b]).expect("finite"))
         .unwrap();
@@ -118,8 +136,7 @@ fn precip_event_transition_dominates() {
 fn precip_top_edges_touch_shifted_regions() {
     let (sim, scored) = precip();
     let event_t = sim.event_year - 1;
-    let affected: std::collections::HashSet<usize> =
-        sim.affected_locations().into_iter().collect();
+    let affected: std::collections::HashSet<usize> = sim.affected_locations().into_iter().collect();
     let hits = scored[event_t][..20]
         .iter()
         .filter(|e| affected.contains(&e.u) || affected.contains(&e.v))

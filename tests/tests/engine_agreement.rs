@@ -3,7 +3,9 @@
 //! CAD pipeline must produce consistent anomaly rankings regardless of
 //! engine, solver strategy or preconditioner.
 
-use cad_commute::{CommuteEmbedding, CommuteTimeEngine, EmbeddingOptions, EngineOptions, ExactCommute};
+use cad_commute::{
+    CommuteEmbedding, CommuteTimeEngine, EmbeddingOptions, EngineOptions, ExactCommute,
+};
 use cad_core::{CadDetector, CadOptions};
 use cad_graph::generators::gmm::{sample_gmm, similarity_graph, GmmParams};
 use cad_graph::generators::grid::grid_graph;
@@ -17,7 +19,11 @@ fn assert_engines_agree(g: &WeightedGraph, k: usize, rel_tol: f64) {
     let exact = ExactCommute::compute(g).expect("exact");
     let approx = CommuteEmbedding::compute(
         g,
-        &EmbeddingOptions { k, seed: 99, ..Default::default() },
+        &EmbeddingOptions {
+            k,
+            seed: 99,
+            ..Default::default()
+        },
     )
     .expect("embedding");
     let n = g.n_nodes();
@@ -69,7 +75,11 @@ fn solver_strategies_agree() {
     // same embedding distances up to solver tolerance + regularization
     // bias.
     let g = two_clusters(8, 2.0, 0.4);
-    let base = EmbeddingOptions { k: 64, seed: 5, ..Default::default() };
+    let base = EmbeddingOptions {
+        k: 64,
+        seed: 5,
+        ..Default::default()
+    };
     let reference = CommuteEmbedding::compute(&g, &base).expect("reference");
     let variants = [
         LaplacianSolverOptions {
@@ -80,10 +90,16 @@ fn solver_strategies_agree() {
             precond: PrecondKind::IncompleteCholesky,
             ..Default::default()
         },
-        LaplacianSolverOptions { precond: PrecondKind::SpanningTree, ..Default::default() },
+        LaplacianSolverOptions {
+            precond: PrecondKind::SpanningTree,
+            ..Default::default()
+        },
         LaplacianSolverOptions {
             precond: PrecondKind::None,
-            cg: CgOptions { tol: 1e-10, max_iter: None },
+            cg: CgOptions {
+                tol: 1e-10,
+                max_iter: None,
+            },
             ..Default::default()
         },
     ];
@@ -114,9 +130,15 @@ fn cad_ranking_stable_across_engines() {
 
     for engine in [
         EngineOptions::Exact,
-        EngineOptions::Approximate(EmbeddingOptions { k: 128, ..Default::default() }),
+        EngineOptions::Approximate(EmbeddingOptions {
+            k: 128,
+            ..Default::default()
+        }),
     ] {
-        let det = CadDetector::new(CadOptions { engine, ..Default::default() });
+        let det = CadDetector::new(CadOptions {
+            engine,
+            ..Default::default()
+        });
         let scored = det.score_sequence(&seq).expect("scores");
         assert_eq!(
             (scored[0][0].u, scored[0][0].v),
@@ -132,14 +154,20 @@ fn auto_engine_switches_at_threshold() {
     let small = path_graph(10);
     let e = CommuteTimeEngine::compute(
         &small,
-        &EngineOptions::Auto { threshold: 16, embedding: Default::default() },
+        &EngineOptions::Auto {
+            threshold: 16,
+            embedding: Default::default(),
+        },
     )
     .expect("engine");
     assert!(e.is_exact());
     let big = path_graph(32);
     let e = CommuteTimeEngine::compute(
         &big,
-        &EngineOptions::Auto { threshold: 16, embedding: Default::default() },
+        &EngineOptions::Auto {
+            threshold: 16,
+            embedding: Default::default(),
+        },
     )
     .expect("engine");
     assert!(!e.is_exact());

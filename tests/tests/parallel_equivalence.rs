@@ -1,0 +1,113 @@
+//! Determinism of the parallel detection pipeline: the full
+//! `CadDetector` output must be **bit-identical** for any worker-thread
+//! count, on arbitrary GMM-generated graph sequences and for both the
+//! exact and embedding oracle backends. This is the contract that makes
+//! `--threads` a pure performance knob (the worker pool stripes work by
+//! index and collects in order; no result ever depends on scheduling).
+
+use cad_commute::{EmbeddingOptions, EngineOptions};
+use cad_core::{CadDetector, CadOptions, DetectionResult};
+use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+use cad_graph::GraphSequence;
+use proptest::prelude::*;
+
+/// A sequence of `instances` GMM graphs over `n` shared nodes, built by
+/// chaining the two-instance GMM benchmark across consecutive seeds.
+fn gmm_sequence(seed: u64, n: usize, instances: usize) -> GraphSequence {
+    let mut graphs = Vec::new();
+    let mut s = seed;
+    while graphs.len() < instances {
+        let mut opts = GmmBenchmarkOptions::with_n(n);
+        opts.seed = s;
+        let bench = GmmBenchmark::generate(&opts).expect("gmm benchmark");
+        graphs.extend(bench.seq.graphs().iter().cloned());
+        s = s.wrapping_add(1);
+    }
+    graphs.truncate(instances);
+    GraphSequence::new(graphs).expect("valid sequence")
+}
+
+/// Bit-level equality of two detection results (scores compared via
+/// `f64::to_bits`, not approximate closeness).
+fn assert_bit_identical(a: &DetectionResult, b: &DetectionResult) -> Result<(), String> {
+    let bits = |d: Option<f64>| d.map(f64::to_bits);
+    if bits(a.delta) != bits(b.delta) {
+        return Err(format!("delta differs: {:?} vs {:?}", a.delta, b.delta));
+    }
+    if a.transitions.len() != b.transitions.len() {
+        return Err("transition count differs".into());
+    }
+    for (x, y) in a.transitions.iter().zip(&b.transitions) {
+        if x.nodes != y.nodes {
+            return Err(format!(
+                "nodes differ at t={}: {:?} vs {:?}",
+                x.t, x.nodes, y.nodes
+            ));
+        }
+        if x.edges.len() != y.edges.len() {
+            return Err(format!("edge count differs at t={}", x.t));
+        }
+        for (e, f) in x.edges.iter().zip(&y.edges) {
+            if (e.u, e.v) != (f.u, f.v)
+                || e.score.to_bits() != f.score.to_bits()
+                || e.d_weight.to_bits() != f.d_weight.to_bits()
+                || e.d_commute.to_bits() != f.d_commute.to_bits()
+            {
+                return Err(format!("edge ({}, {}) differs at t={}", e.u, e.v, x.t));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn exact_detection_is_thread_count_invariant(seed in 0u64..1_000, n in 30usize..60) {
+        let seq = gmm_sequence(seed, n, 4);
+        let detect = |threads: usize| {
+            CadDetector::new(CadOptions {
+                engine: EngineOptions::Exact,
+                threads,
+                ..Default::default()
+            })
+            .detect_top_l(&seq, 3)
+            .expect("detection")
+        };
+        let serial = detect(1);
+        for threads in [2usize, 8] {
+            let par = detect(threads);
+            if let Err(msg) = assert_bit_identical(&serial, &par) {
+                prop_assert!(false, "threads={}: {}", threads, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_detection_is_thread_count_invariant(seed in 0u64..1_000, n in 30usize..50) {
+        // The embedding backend also parallelizes its k Laplacian solves
+        // internally; both pool layers must stay deterministic.
+        let seq = gmm_sequence(seed, n, 4);
+        let detect = |threads: usize| {
+            CadDetector::new(CadOptions {
+                engine: EngineOptions::Approximate(EmbeddingOptions {
+                    k: 12,
+                    threads: threads.max(1),
+                    ..Default::default()
+                }),
+                threads,
+                ..Default::default()
+            })
+            .detect_top_l(&seq, 3)
+            .expect("detection")
+        };
+        let serial = detect(1);
+        for threads in [2usize, 8] {
+            let par = detect(threads);
+            if let Err(msg) = assert_bit_identical(&serial, &par) {
+                prop_assert!(false, "threads={}: {}", threads, msg);
+            }
+        }
+    }
+}

@@ -11,7 +11,11 @@ fn graph_pair(n: usize) -> impl Strategy<Value = GraphSequence> {
     let edge = (0..n as u32, 0..n as u32, 0.1f64..5.0);
     proptest::collection::vec(edge, 1..30).prop_map(move |edges| {
         let as_edges = |skip_last: bool| {
-            let take = if skip_last { edges.len().saturating_sub(1) } else { edges.len() };
+            let take = if skip_last {
+                edges.len().saturating_sub(1)
+            } else {
+                edges.len()
+            };
             edges[..take]
                 .iter()
                 .filter(|&&(u, v, _)| u != v)

@@ -24,7 +24,9 @@ fn figure6_cad_dominates_baselines() {
         let cad = CadDetector::default().node_scores(&b.seq).expect("cad");
         cad_sum += auc(&cad[0], &b.node_labels);
         for scores in [
-            ActDetector::with_window(1).node_scores(&b.seq).expect("act"),
+            ActDetector::with_window(1)
+                .node_scores(&b.seq)
+                .expect("act"),
             ComDetector::new().node_scores(&b.seq).expect("com"),
             AdjDetector::new().node_scores(&b.seq).expect("adj"),
         ] {
@@ -45,14 +47,22 @@ fn figure5_auc_plateau_in_k() {
     // other and of exact; k = 2 notably worse or equal.
     let b = bench(150, 7);
     let auc_at = |engine: EngineOptions| {
-        let det = CadDetector::new(CadOptions { engine, ..Default::default() });
+        let det = CadDetector::new(CadOptions {
+            engine,
+            ..Default::default()
+        });
         let scores = det.node_scores(&b.seq).expect("scores");
         auc(&scores[0], &b.node_labels)
     };
     let exact = auc_at(EngineOptions::Exact);
-    let k25 = auc_at(EngineOptions::Approximate(EmbeddingOptions { k: 25, ..Default::default() }));
-    let k100 =
-        auc_at(EngineOptions::Approximate(EmbeddingOptions { k: 100, ..Default::default() }));
+    let k25 = auc_at(EngineOptions::Approximate(EmbeddingOptions {
+        k: 25,
+        ..Default::default()
+    }));
+    let k100 = auc_at(EngineOptions::Approximate(EmbeddingOptions {
+        k: 100,
+        ..Default::default()
+    }));
     assert!((k25 - exact).abs() < 0.08, "k=25 {k25} vs exact {exact}");
     assert!((k100 - exact).abs() < 0.05, "k=100 {k100} vs exact {exact}");
     assert!(exact > 0.85);

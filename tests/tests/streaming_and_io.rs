@@ -28,11 +28,15 @@ fn online_detector_replays_enron_stream() {
             }
         }
     }
-    assert!(eruption_hit, "streaming detector must flag the CEO at the eruption");
+    assert!(
+        eruption_hit,
+        "streaming detector must flag the CEO at the eruption"
+    );
 
     let final_sets = online.reevaluate_all();
-    let offline =
-        CadDetector::new(opts).detect_top_l(&sim.seq, 5).expect("offline detection");
+    let offline = CadDetector::new(opts)
+        .detect_top_l(&sim.seq, 5)
+        .expect("offline detection");
     for (on, off) in final_sets.iter().zip(&offline.transitions) {
         assert_eq!(on.nodes, off.nodes, "transition {}", on.t);
     }
@@ -64,7 +68,13 @@ fn report_renders_with_labels() {
     });
     let result = det.detect_top_l(&toy.seq, 6).expect("detection");
     let label = |n: usize| node_label(n);
-    let text = render_report(&result, &ReportOptions { label: Some(&label), ..Default::default() });
+    let text = render_report(
+        &result,
+        &ReportOptions {
+            label: Some(&label),
+            ..Default::default()
+        },
+    );
     assert!(text.contains("b4 -- b5"), "{text}");
     assert!(text.contains("r7 -- r8"), "{text}");
     assert!(text.contains("nodes: b1, b4, b5, r1, r7, r8"), "{text}");
@@ -77,7 +87,11 @@ fn sparse_eigenmap_reproduces_figure2_movements() {
     let toy = toy_example();
     use cad_graph::generators::toy::{b, r};
     let dist = |e: &Vec<Vec<f64>>, i: usize, j: usize| {
-        e[i].iter().zip(&e[j]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        e[i].iter()
+            .zip(&e[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
     };
     let s0 = laplacian_eigenmap_sparse(toy.seq.graph(0), 2).expect("sparse t");
     let s1 = laplacian_eigenmap_sparse(toy.seq.graph(1), 2).expect("sparse t+1");
@@ -104,6 +118,9 @@ fn simulator_stats_match_corpus_shape() {
     assert_eq!(stats.n_nodes, 151);
     assert!(stats.n_edges > 150 && stats.n_edges < 800, "{stats}");
     assert!(stats.density < 0.1, "{stats}");
-    assert!(stats.clustering > 0.02, "real contact networks cluster: {stats}");
+    assert!(
+        stats.clustering > 0.02,
+        "real contact networks cluster: {stats}"
+    );
     assert!(stats.n_components < 15, "{stats}");
 }

@@ -9,7 +9,10 @@ use cad_core::{CadDetector, CadOptions, NodeScorer};
 use cad_graph::generators::toy::{b, r, toy_example};
 
 fn exact_detector() -> CadDetector {
-    CadDetector::new(CadOptions { engine: EngineOptions::Exact, ..Default::default() })
+    CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -35,7 +38,10 @@ fn table1_edge_score_separation() {
         .iter()
         .map(|&(u, v)| score_of(u, v))
         .fold(0.0f64, f64::max);
-    assert!(benign_max > 0.0, "benign changed edges have small but non-zero scores");
+    assert!(
+        benign_max > 0.0,
+        "benign changed edges have small but non-zero scores"
+    );
     assert!(
         anomalous_min > 10.0 * benign_max,
         "Table 1 separation: {anomalous_min} vs {benign_max}"
@@ -60,7 +66,10 @@ fn table2_node_scores() {
     assert!(responsible_min > 10.0 * innocent_max);
     // Structurally untouched nodes score exactly zero (b6, b8, r2..r6, r9).
     for label_zero in [b(6), b(8), r(2), r(3), r(4), r(5), r(6), r(9)] {
-        assert_eq!(ns[0][label_zero], 0.0, "node {label_zero} should be untouched");
+        assert_eq!(
+            ns[0][label_zero], 0.0,
+            "node {label_zero} should be untouched"
+        );
     }
 }
 
@@ -79,7 +88,10 @@ fn figure2_eigenmap_movements() {
     // (a) blue-blue pairs closer than blue-red pairs at time t.
     let intra = d(&e0, b(1), b(2));
     let inter = d(&e0, b(1), r(1));
-    assert!(inter > intra, "clusters should separate at t: {inter} vs {intra}");
+    assert!(
+        inter > intra,
+        "clusters should separate at t: {inter} vs {intra}"
+    );
     // (b) the cut-off red subgroup moves away from r1 at t+1.
     assert!(d(&e1, r(8), r(1)) > d(&e0, r(8), r(1)));
     // (c) b1 and r1 get closer.
@@ -92,7 +104,9 @@ fn figure2_eigenmap_movements() {
 fn figure3_cad_sharper_than_act() {
     let toy = toy_example();
     let cad_scores = exact_detector().node_scores(&toy.seq).expect("CAD");
-    let act_scores = ActDetector::with_window(1).node_scores(&toy.seq).expect("ACT");
+    let act_scores = ActDetector::with_window(1)
+        .node_scores(&toy.seq)
+        .expect("ACT");
     let cad = normalize_by_max(&cad_scores[0]);
     let act = normalize_by_max(&act_scores[0]);
 
@@ -111,7 +125,10 @@ fn figure3_cad_sharper_than_act() {
         resp_min - innocent_max
     };
     let (m_cad, m_act) = (margin(&cad), margin(&act));
-    assert!(m_cad > 0.2, "CAD must cleanly separate responsible nodes: {m_cad}");
+    assert!(
+        m_cad > 0.2,
+        "CAD must cleanly separate responsible nodes: {m_cad}"
+    );
     assert!(
         m_cad > m_act + 0.1,
         "CAD margin {m_cad} must beat ACT margin {m_act} decisively"
@@ -121,18 +138,30 @@ fn figure3_cad_sharper_than_act() {
     // (r4, r6, r9 drift with the structure) — the false-alarm failure
     // mode the paper criticizes.
     let affected_innocent = [r(4), r(6), r(9)];
-    let act_affected_max =
-        affected_innocent.iter().map(|&n| act[n]).fold(0.0f64, f64::max);
-    let cad_affected_max =
-        affected_innocent.iter().map(|&n| cad[n]).fold(0.0f64, f64::max);
-    assert!(act_affected_max > 0.2, "ACT flags affected nodes: {act_affected_max}");
-    assert_eq!(cad_affected_max, 0.0, "CAD never flags affected-but-innocent nodes");
+    let act_affected_max = affected_innocent
+        .iter()
+        .map(|&n| act[n])
+        .fold(0.0f64, f64::max);
+    let cad_affected_max = affected_innocent
+        .iter()
+        .map(|&n| cad[n])
+        .fold(0.0f64, f64::max);
+    assert!(
+        act_affected_max > 0.2,
+        "ACT flags affected nodes: {act_affected_max}"
+    );
+    assert_eq!(
+        cad_affected_max, 0.0,
+        "CAD never flags affected-but-innocent nodes"
+    );
 }
 
 #[test]
 fn detection_recovers_exact_ground_truth() {
     let toy = toy_example();
-    let result = exact_detector().detect_top_l(&toy.seq, 6).expect("detection");
+    let result = exact_detector()
+        .detect_top_l(&toy.seq, 6)
+        .expect("detection");
     let tr = &result.transitions[0];
     assert_eq!(tr.nodes, {
         let mut want = toy.anomalous_nodes.clone();
@@ -156,9 +185,11 @@ fn approximate_engine_reproduces_toy_ordering() {
         ..Default::default()
     });
     let scored = det.score_sequence(&toy.seq).expect("scores");
-    let top3: Vec<(usize, usize)> =
-        scored[0].iter().take(3).map(|e| (e.u, e.v)).collect();
+    let top3: Vec<(usize, usize)> = scored[0].iter().take(3).map(|e| (e.u, e.v)).collect();
     for edge in &toy.anomalous_edges {
-        assert!(top3.contains(edge), "{edge:?} missing from approximate top-3: {top3:?}");
+        assert!(
+            top3.contains(edge),
+            "{edge:?} missing from approximate top-3: {top3:?}"
+        );
     }
 }

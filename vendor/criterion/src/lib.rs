@@ -1,0 +1,274 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the registry
+//! `criterion` cannot be fetched. This crate implements the subset of
+//! the API the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`criterion_group!`], [`criterion_main!`] — as a
+//! simple wall-clock harness: each benchmark runs a warmup iteration
+//! followed by `sample_size` timed iterations and prints the mean time
+//! (plus throughput when declared). There is no statistical analysis,
+//! plotting, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Declared work per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    sample_size: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warmup, then `sample_size` timed iterations, and
+    /// record the mean wall-clock time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / self.sample_size as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_iter: u64, mean: Duration, unit: &str) -> String {
+    let rate = per_iter as f64 / mean.as_secs_f64();
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}/s")
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        sample_size: sample_size.max(1),
+        mean: None,
+    };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let thrpt = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {}", format_rate(n, mean, "elem"))
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {}", format_rate(n, mean, "B"))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{label:<50} mean {:>12} ({} samples){thrpt}",
+                format_duration(mean),
+                sample_size.max(1)
+            );
+        }
+        None => println!("{label:<50} (no iterations recorded)"),
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration work so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Accepted for API compatibility; this harness has no time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, DEFAULT_SAMPLE_SIZE, None, &mut f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_mean() {
+        let mut b = Bencher {
+            sample_size: 5,
+            mean: None,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.mean.is_some());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut grp = c.benchmark_group("stub");
+        grp.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        grp.bench_with_input(BenchmarkId::from_parameter(1), &41u64, |b, &x| {
+            b.iter(|| black_box(x + 1));
+            runs += 1;
+        });
+        grp.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
