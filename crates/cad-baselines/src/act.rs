@@ -135,6 +135,7 @@ impl NodeScorer for ActDetector {
 
     /// Node attribution `|a_{t+1}(i) − r_t(i)|` per transition.
     fn node_scores(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
+        let _span = cad_obs::span!("baseline_act");
         let acts = self.activity_vectors(seq)?;
         Ok((0..seq.n_transitions())
             .map(|t| {

@@ -75,6 +75,7 @@ impl NodeScorer for ClcDetector {
     }
 
     fn node_scores(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
+        let _span = cad_obs::span!("baseline_clc");
         let cc = self.centralities(seq)?;
         Ok(cc
             .windows(2)

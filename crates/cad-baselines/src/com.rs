@@ -88,6 +88,7 @@ impl NodeScorer for ComDetector {
     }
 
     fn node_scores(&self, seq: &GraphSequence) -> Result<Vec<Vec<f64>>> {
+        let _span = cad_obs::span!("baseline_com");
         match self.support {
             ComSupport::EdgeUnion => self.inner.node_scores(seq),
             ComSupport::AllPairs => {

@@ -49,6 +49,16 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key) || self.values.contains_key(key)
     }
+
+    /// Route `--quiet` / `--verbose` to the cad-obs progress sink so
+    /// every experiment binary honours them uniformly.
+    pub fn apply_verbosity(&self) {
+        if self.has("quiet") {
+            cad_obs::set_verbosity(cad_obs::Verbosity::Quiet);
+        } else if self.has("verbose") {
+            cad_obs::set_verbosity(cad_obs::Verbosity::Debug);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,86 @@
+//! Writes `BENCH_commute.json` at the repo root: a schema-versioned
+//! cad-obs report benchmarking every commute-distance oracle backend on
+//! the §4.1 GMM workload (per-instance build times, PCG iteration and
+//! residual digests, SpMV counts).
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin bench_report -- \
+//!     [--n 300] [--k 25] [--seed 7] [--out BENCH_commute.json] [--quiet]
+//! ```
+//!
+//! The output validates against the `cad validate-report` schema; see
+//! EXPERIMENTS.md for the field-by-field description.
+
+use cad_bench::Args;
+use cad_commute::{CommuteTimeEngine, EmbeddingOptions, EngineOptions};
+use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+
+fn main() {
+    let args = Args::from_env();
+    args.apply_verbosity();
+    let n = args.get("n", 300usize);
+    let k = args.get("k", 25usize);
+    let seed = args.get("seed", 7u64);
+    let out = args.get(
+        "out",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commute.json").to_string(),
+    );
+
+    let mut opts = GmmBenchmarkOptions::with_n(n);
+    opts.seed = seed;
+    let bench = GmmBenchmark::generate(&opts).expect("benchmark realization");
+    let seq = bench.seq;
+
+    let backends: [(&str, EngineOptions); 3] = [
+        ("exact", EngineOptions::Exact),
+        (
+            "embedding",
+            EngineOptions::Approximate(EmbeddingOptions {
+                k,
+                ..Default::default()
+            }),
+        ),
+        ("corrected", EngineOptions::Corrected),
+    ];
+
+    let mut report = cad_obs::Report::new("bench_commute");
+    for (label, engine) in &backends {
+        let _span = cad_obs::span!("bench_backend");
+        for (t, g) in seq.graphs().iter().enumerate() {
+            let (oracle, secs) =
+                cad_obs::time_it(|| CommuteTimeEngine::compute(g, engine).expect("oracle build"));
+            let stats = oracle
+                .build_stats()
+                .cloned()
+                .unwrap_or_else(|| cad_obs::OracleBuildStats::direct(oracle.kind().name(), secs));
+            report.instances.push(cad_obs::InstanceReport {
+                t: t as u64,
+                backend: stats.backend.to_string(),
+                build_secs: secs,
+                jl_dim: stats.jl_dim.map(|d| d as u64),
+                n_solves: stats.solves.len() as u64,
+                iterations: stats.iteration_summary(),
+                residuals: stats.residual_summary(),
+            });
+            for (row, s) in stats.solves.iter().enumerate() {
+                report.solves.push(cad_obs::SolveReport {
+                    context: format!("{label}/instance={t}/row={row}"),
+                    iterations: s.iterations as u64,
+                    residual: s.relative_residual,
+                    converged: s.converged,
+                });
+            }
+            cad_obs::progress!("{label}: instance {t} built in {secs:.3}s");
+        }
+    }
+    report.absorb_snapshot(&cad_obs::global().snapshot());
+    for (name, value) in cad_obs::counters::snapshot() {
+        report.counters.insert(name.to_string(), value);
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write report");
+    println!(
+        "wrote {out} (n = {n}, k = {k}, {} instance builds, {} solves)",
+        report.instances.len(),
+        report.solves.len()
+    );
+}

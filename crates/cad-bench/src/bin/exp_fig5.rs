@@ -20,6 +20,7 @@ use cad_eval::auc;
 
 fn main() {
     let args = Args::from_env();
+    args.apply_verbosity();
     let n = args.get("n", 500usize);
     let trials = args.get("trials", 5usize);
     let mut base = GmmBenchmarkOptions::with_n(n);
@@ -53,7 +54,7 @@ fn main() {
             let scores = det.node_scores(&bench.seq).expect("approximate scores");
             mean_auc[ki] += auc(&scores[0], &bench.node_labels);
         }
-        eprintln!("trial {trial} done");
+        cad_obs::progress!("trial {trial} done");
     }
     for a in &mut mean_auc {
         *a /= trials as f64;

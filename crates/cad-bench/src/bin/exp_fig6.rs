@@ -21,6 +21,7 @@ use cad_datasets::GmmBenchmarkOptions;
 
 fn main() {
     let args = Args::from_env();
+    args.apply_verbosity();
     let n = args.get("n", 500usize);
     let trials = args.get("trials", 20usize);
     let mut opts = GmmBenchmarkOptions::with_n(n);
@@ -36,7 +37,7 @@ fn main() {
         methods.push(&clc); // CLC is all-pairs Dijkstra: slow at large n.
     }
 
-    eprintln!(
+    cad_obs::progress!(
         "running {} methods x {trials} trials at n = {n} ...",
         methods.len()
     );

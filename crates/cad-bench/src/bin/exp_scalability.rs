@@ -51,6 +51,7 @@ fn workload(n: usize, seed: u64) -> GraphSequence {
 
 fn main() {
     let args = Args::from_env();
+    args.apply_verbosity();
     let max_n = args.get("max-n", 100_000usize);
     let clc_cap = args.get("clc-cap", 5_000usize);
     let reps = args.get("reps", 1usize).max(1);
@@ -128,7 +129,7 @@ fn main() {
                 format!("{s_clc:.3}")
             },
         ]);
-        eprintln!("n = {n} done");
+        cad_obs::progress!("n = {n} done");
     }
     t.print();
 

@@ -11,8 +11,9 @@
 pub mod args;
 pub mod eval_loop;
 pub mod table;
-pub mod timing;
 
 pub use args::Args;
+// Wall-clock helpers live in cad-obs now (shared with the report
+// pipeline); the old `cad_bench::time_it` path keeps working.
+pub use cad_obs::{time_it, time_mean};
 pub use table::Table;
-pub use timing::time_it;

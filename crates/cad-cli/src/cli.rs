@@ -9,8 +9,10 @@ cad — localize anomalous changes in time-evolving graphs (SIGMOD'14 CAD)
 USAGE:
   cad detect   --input <seq.txt> [--l <n> | --delta <x>] [--kind cad|adj|com]
                [--engine auto|exact|approx|corrected] [--k <dim>] [--threads <n>]
+               [--trace] [--metrics-json <report.json>]
   cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>] [--threads <n>]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
+  cad validate-report --input <report.json>
 
 The input format is a plain edge list:
   nodes 17
@@ -22,7 +24,12 @@ The input format is a plain edge list:
 
 detect   prints the anomalous edge/node sets per transition
 score    prints ranked edge scores per transition
-generate writes a synthetic workload (for trying the tool end to end)";
+generate writes a synthetic workload (for trying the tool end to end)
+validate-report checks a --metrics-json report against the schema
+
+--trace prints a nested per-phase timing tree (plus solver and scoring
+digests) to stderr after detection; --metrics-json writes the same data
+as a schema-versioned machine-readable JSON report.";
 
 /// Which detector scoring to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +76,11 @@ pub enum Command {
         k: usize,
         /// Worker threads (1 = sequential, 0 = one per core).
         threads: usize,
+        /// Print the per-phase timing tree after detection (`--trace`).
+        trace: bool,
+        /// Write the machine-readable JSON report here
+        /// (`--metrics-json <path>`).
+        metrics_json: Option<String>,
     },
     /// Print ranked edge scores.
     Score {
@@ -90,6 +102,11 @@ pub enum Command {
         /// Generator seed.
         seed: u64,
     },
+    /// Validate a `--metrics-json` report against the schema.
+    ValidateReport {
+        /// Report path.
+        input: String,
+    },
 }
 
 /// Parsed command line.
@@ -107,6 +124,8 @@ impl Cli {
         if sub == "--help" || sub == "-h" || sub == "help" {
             return Err(USAGE.to_string());
         }
+        // Flags that are bare switches (no value token follows).
+        const SWITCHES: &[&str] = &["trace"];
         let mut flags: HashMap<String, String> = HashMap::new();
         let mut pending: Option<String> = None;
         for tok in iter {
@@ -118,7 +137,11 @@ impl Cli {
                     let key = tok
                         .strip_prefix("--")
                         .ok_or_else(|| format!("unexpected argument `{tok}`\n\n{USAGE}"))?;
-                    pending = Some(key.to_string());
+                    if SWITCHES.contains(&key) {
+                        flags.insert(key.to_string(), "true".to_string());
+                    } else {
+                        pending = Some(key.to_string());
+                    }
                 }
             }
         }
@@ -180,6 +203,8 @@ impl Cli {
                     engine,
                     k,
                     threads: parse_threads(&flags)?,
+                    trace: flags.contains_key("trace"),
+                    metrics_json: get("metrics-json"),
                 }
             }
             "score" => {
@@ -209,6 +234,11 @@ impl Cli {
                     seed,
                 }
             }
+            "validate-report" => {
+                let input = get("input")
+                    .ok_or_else(|| format!("validate-report needs --input\n\n{USAGE}"))?;
+                Command::ValidateReport { input }
+            }
             other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
         };
         Ok(Cli { command })
@@ -235,6 +265,8 @@ mod tests {
                 engine,
                 k,
                 threads,
+                trace,
+                metrics_json,
             } => {
                 assert_eq!(input, "seq.txt");
                 assert_eq!(l, None);
@@ -243,9 +275,41 @@ mod tests {
                 assert_eq!(engine, EngineArg::Auto);
                 assert_eq!(k, 50);
                 assert_eq!(threads, 1);
+                assert!(!trace);
+                assert_eq!(metrics_json, None);
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_and_metrics_json_parse() {
+        let cli = parse("detect --input s.txt --trace --metrics-json out.json --l 3").unwrap();
+        match cli.command {
+            Command::Detect {
+                trace,
+                metrics_json,
+                l,
+                ..
+            } => {
+                assert!(trace);
+                assert_eq!(metrics_json.as_deref(), Some("out.json"));
+                assert_eq!(l, Some(3), "switch must not swallow later flags");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_report_parses() {
+        let cli = parse("validate-report --input report.json").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::ValidateReport {
+                input: "report.json".into()
+            }
+        );
+        assert!(parse("validate-report").unwrap_err().contains("--input"));
     }
 
     #[test]

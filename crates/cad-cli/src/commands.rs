@@ -82,6 +82,8 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             engine,
             k,
             threads,
+            trace,
+            metrics_json,
         } => {
             let seq = load_sequence(input)?;
             let det = CadDetector::new(CadOptions {
@@ -94,7 +96,17 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 (Some(l), None) => ThresholdPolicy::TargetNodesPerTransition(*l),
                 (None, None) => ThresholdPolicy::TargetNodesPerTransition(5),
             };
-            let result = det.detect_with_policy(&seq, policy)?;
+            let (result, metrics) = det.detect_with_policy_metered(&seq, policy)?;
+            if *trace || metrics_json.is_some() {
+                let report = build_report(&result, &metrics);
+                if *trace {
+                    eprint!("{}", report.render_trace());
+                }
+                if let Some(path) = metrics_json {
+                    std::fs::write(path, report.to_json_string())?;
+                    writeln!(out, "metrics report written to {path}")?;
+                }
+            }
             let delta_text = match result.delta {
                 Some(d) => format!("{d:.6}"),
                 None => "n/a".to_string(),
@@ -184,7 +196,64 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::ValidateReport { input } => {
+            let text = std::fs::read_to_string(input)
+                .map_err(|e| CliError::Usage(format!("cannot open `{input}`: {e}")))?;
+            let value = cad_obs::parse_json(&text)
+                .map_err(|e| CliError::Usage(format!("`{input}` is not valid JSON: {e}")))?;
+            match cad_obs::Report::validate_json(&value) {
+                Ok(()) => {
+                    let report = cad_obs::Report::from_json(&value)
+                        .map_err(|e| CliError::Usage(format!("`{input}`: {e}")))?;
+                    writeln!(
+                        out,
+                        "valid report (schema_version {}, tool `{}`): {} phases, \
+                         {} instances, {} transitions, {} solves",
+                        report.schema_version,
+                        report.tool,
+                        report.phases.len(),
+                        report.instances.len(),
+                        report.transitions.len(),
+                        report.solves.len()
+                    )?;
+                    Ok(())
+                }
+                Err(errs) => Err(CliError::Usage(format!(
+                    "`{input}` failed schema validation:\n  {}",
+                    errs.join("\n  ")
+                ))),
+            }
+        }
     }
+}
+
+/// Assemble the machine-readable run report: detection metrics (merged
+/// deterministically on the coordinator), the global span registry and
+/// the hot-path counters.
+fn build_report(
+    result: &cad_core::DetectionResult,
+    metrics: &cad_core::DetectionMetrics,
+) -> cad_obs::Report {
+    let mut report = cad_obs::Report::new("cad detect");
+    report.absorb_snapshot(&cad_obs::global().snapshot());
+    for (name, value) in cad_obs::counters::snapshot() {
+        report.counters.insert(name.to_string(), value);
+    }
+    metrics.fill_report(&mut report);
+    report.counters.insert(
+        "detect.anomalous_nodes".to_string(),
+        result.total_nodes() as u64,
+    );
+    report.counters.insert(
+        "detect.anomalous_transitions".to_string(),
+        result.anomalous_transitions().len() as u64,
+    );
+    if let Some(delta) = result.delta {
+        report
+            .summaries
+            .insert("detect.delta".to_string(), cad_obs::Summary::of([delta]));
+    }
+    report
 }
 
 fn generate_dataset(name: &str, seed: u64) -> Result<GraphSequence, CliError> {
@@ -317,6 +386,59 @@ mod tests {
         let (code, report) = run_str(&format!("detect --input {path} --l 6 --engine corrected"));
         assert_eq!(code, 0, "{report}");
         assert!(report.contains("transition 0 -> 1"), "{report}");
+    }
+
+    #[test]
+    fn metrics_json_writes_validatable_report() {
+        let seq = tmp("toy-seq6.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let report_path = tmp("report6.json");
+        let (code, msg) = run_str(&format!(
+            "detect --input {seq} --l 6 --metrics-json {report_path}"
+        ));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("metrics report written"), "{msg}");
+
+        // The written file parses and reconstructs losslessly.
+        let text = std::fs::read_to_string(&report_path).expect("report file");
+        let value = cad_obs::parse_json(&text).expect("valid json");
+        let report = cad_obs::Report::from_json(&value).expect("valid schema");
+        assert_eq!(report.schema_version, cad_obs::SCHEMA_VERSION);
+        assert_eq!(report.tool, "cad detect");
+        assert_eq!(report.instances.len(), 2, "toy has two instances");
+        assert_eq!(report.transitions.len(), 1);
+        assert!(report.counters.contains_key("linalg.spmv"));
+        assert!(report.summaries.contains_key("detect.scores"));
+
+        // And the validate-report subcommand accepts it.
+        let (code, msg) = run_str(&format!("validate-report --input {report_path}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("valid report (schema_version 1"), "{msg}");
+    }
+
+    #[test]
+    fn validate_report_rejects_garbage() {
+        let bad = tmp("bad-report.json");
+        std::fs::write(&bad, "not json at all").unwrap();
+        let (code, msg) = run_str(&format!("validate-report --input {bad}"));
+        assert_eq!(code, 1);
+        assert!(msg.contains("not valid JSON"), "{msg}");
+
+        // Valid JSON, wrong schema.
+        std::fs::write(&bad, "{\"schema_version\": \"nope\"}").unwrap();
+        let (code, msg) = run_str(&format!("validate-report --input {bad}"));
+        assert_eq!(code, 1);
+        assert!(msg.contains("failed schema validation"), "{msg}");
+    }
+
+    #[test]
+    fn trace_flag_runs_clean() {
+        let seq = tmp("toy-seq7.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let (code, msg) = run_str(&format!("detect --input {seq} --l 6 --trace"));
+        assert_eq!(code, 0, "{msg}");
+        // stdout stays the normal anomaly report; the tree goes to stderr.
+        assert!(msg.contains("transition 0 -> 1"), "{msg}");
     }
 
     #[test]

@@ -27,16 +27,24 @@ pub struct CorrectedCommute {
     degrees: Vec<f64>,
     /// Edge weights needed for the local `2w/(d_i d_j)` term.
     adjacency: cad_linalg::CsrMatrix,
+    build_stats: cad_obs::OracleBuildStats,
 }
 
 impl CorrectedCommute {
     /// Compute from a graph (exact `O(n³)` path).
     pub fn compute(g: &WeightedGraph) -> Result<Self> {
+        let (exact, build_secs) = cad_obs::time_it(|| ExactCommute::compute(g));
         Ok(CorrectedCommute {
-            exact: ExactCommute::compute(g)?,
+            exact: exact?,
             degrees: g.degrees(),
             adjacency: g.adjacency().clone(),
+            build_stats: cad_obs::OracleBuildStats::direct("corrected", build_secs),
         })
+    }
+
+    /// What the construction cost.
+    pub fn build_stats(&self) -> &cad_obs::OracleBuildStats {
+        &self.build_stats
     }
 
     /// Number of nodes.

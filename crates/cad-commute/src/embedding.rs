@@ -59,6 +59,7 @@ pub struct CommuteEmbedding {
     n: usize,
     k: usize,
     volume: f64,
+    build_stats: cad_obs::OracleBuildStats,
 }
 
 impl CommuteEmbedding {
@@ -69,6 +70,7 @@ impl CommuteEmbedding {
                 "embedding dimension k must be > 0".into(),
             ));
         }
+        let build_start = std::time::Instant::now();
         let n = g.n_nodes();
         let laplacian = g.laplacian();
         let solver = LaplacianSolver::new(&laplacian, opts.solver)?;
@@ -77,8 +79,10 @@ impl CommuteEmbedding {
 
         // One row of the sketch: build y_r = (Q W^{1/2} B)_r streamed over
         // edges — edge e = (u, v, w) contributes ±√w/√k to y[u] and ∓ to
-        // y[v] — then solve L x_r = y_r.
-        let solve_row = |row: usize| -> Result<Vec<f64>> {
+        // y[v] — then solve L x_r = y_r. The row's PCG convergence record
+        // travels back with the row so stats can be merged in row order
+        // (deterministic regardless of worker count; see cad_obs::stats).
+        let solve_row = |row: usize| -> Result<(Vec<f64>, cad_obs::SolveStats)> {
             let mut y = vec![0.0; n];
             for (e_idx, (u, v, w)) in g.edges().enumerate() {
                 let q = signs.sign(row as u64, e_idx as u64) * inv_sqrt_k;
@@ -86,17 +90,19 @@ impl CommuteEmbedding {
                 y[u] += s;
                 y[v] -= s;
             }
-            solver.solve(&y).map_err(GraphError::from)
+            solver.solve_stats(&y).map_err(GraphError::from)
         };
 
         // The k solves are independent and the solver is shared
         // immutably; the pool stripes the rows and returns them in row
         // order, so the result is thread-count invariant.
-        let rows: Vec<Vec<f64>> =
+        let rows: Vec<(Vec<f64>, cad_obs::SolveStats)> =
             cad_linalg::par::par_tabulate_result(opts.k, opts.threads.max(1), solve_row)?;
 
         let mut coords = vec![0.0; n * opts.k];
-        for (row, x) in rows.into_iter().enumerate() {
+        let mut solves = Vec::with_capacity(opts.k);
+        for (row, (x, stats)) in rows.into_iter().enumerate() {
+            solves.push(stats);
             for (i, xi) in x.into_iter().enumerate() {
                 coords[i * opts.k + row] = xi;
             }
@@ -106,7 +112,18 @@ impl CommuteEmbedding {
             n,
             k: opts.k,
             volume: g.volume(),
+            build_stats: cad_obs::OracleBuildStats {
+                backend: "embedding",
+                build_secs: build_start.elapsed().as_secs_f64(),
+                jl_dim: Some(opts.k),
+                solves,
+            },
         })
+    }
+
+    /// What the construction cost, including the per-row PCG records.
+    pub fn build_stats(&self) -> &cad_obs::OracleBuildStats {
+        &self.build_stats
     }
 
     /// Number of embedded nodes.

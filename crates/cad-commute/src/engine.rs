@@ -54,6 +54,7 @@ pub struct CommuteTimeEngine;
 impl CommuteTimeEngine {
     /// Build the oracle for one graph instance.
     pub fn compute(g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle> {
+        let _span = cad_obs::span!("oracle_build");
         match opts {
             EngineOptions::Exact => Ok(Box::new(ExactCommute::compute(g)?)),
             EngineOptions::Approximate(e) => Ok(Box::new(CommuteEmbedding::compute(g, e)?)),

@@ -20,6 +20,7 @@ const PINV_CUTOFF: f64 = 1e-9;
 pub struct ExactCommute {
     pinv: DenseMatrix,
     volume: f64,
+    build_stats: cad_obs::OracleBuildStats,
 }
 
 impl ExactCommute {
@@ -29,16 +30,24 @@ impl ExactCommute {
     /// first and falls back to the eigendecomposition route when the
     /// graph is disconnected.
     pub fn compute(g: &WeightedGraph) -> Result<Self> {
-        let l = g.laplacian_dense();
-        let pinv = if g.is_connected() {
-            laplacian_pinv_cholesky(&l).or_else(|_| sym_pinv(&l, PINV_CUTOFF))?
-        } else {
-            sym_pinv(&l, PINV_CUTOFF)?
-        };
+        let (pinv, build_secs) = cad_obs::time_it(|| {
+            let l = g.laplacian_dense();
+            if g.is_connected() {
+                laplacian_pinv_cholesky(&l).or_else(|_| sym_pinv(&l, PINV_CUTOFF))
+            } else {
+                sym_pinv(&l, PINV_CUTOFF)
+            }
+        });
         Ok(ExactCommute {
-            pinv,
+            pinv: pinv?,
             volume: g.volume(),
+            build_stats: cad_obs::OracleBuildStats::direct("exact", build_secs),
         })
+    }
+
+    /// What the construction cost.
+    pub fn build_stats(&self) -> &cad_obs::OracleBuildStats {
+        &self.build_stats
     }
 
     /// Number of nodes.

@@ -101,6 +101,14 @@ pub trait DistanceOracle: Send + Sync {
     fn is_exact(&self) -> bool {
         self.kind() == OracleKind::Exact
     }
+
+    /// What the oracle's construction cost ([`cad_obs::OracleBuildStats`]):
+    /// wall-clock build time, and for iterative backends the JL dimension
+    /// plus per-solve convergence records. `None` only for backends that
+    /// do not track construction (all in-tree backends do).
+    fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
+        None
+    }
 }
 
 /// A boxed, shareable oracle — what [`crate::CommuteTimeEngine::compute`]
@@ -134,6 +142,10 @@ impl DistanceOracle for ExactCommute {
         // the pre-trait behaviour (no multiply/divide round trip).
         ExactCommute::resistance(self, i, j)
     }
+
+    fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
+        Some(ExactCommute::build_stats(self))
+    }
 }
 
 impl DistanceOracle for CommuteEmbedding {
@@ -160,6 +172,10 @@ impl DistanceOracle for CommuteEmbedding {
     fn resistance(&self, i: usize, j: usize) -> f64 {
         CommuteEmbedding::resistance(self, i, j)
     }
+
+    fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
+        Some(CommuteEmbedding::build_stats(self))
+    }
 }
 
 impl DistanceOracle for ShortestPathTable {
@@ -173,6 +189,10 @@ impl DistanceOracle for ShortestPathTable {
 
     fn kind(&self) -> OracleKind {
         OracleKind::ShortestPath
+    }
+
+    fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
+        Some(ShortestPathTable::build_stats(self))
     }
 }
 
@@ -198,6 +218,10 @@ impl DistanceOracle for CorrectedCommute {
 
     fn resistance(&self, i: usize, j: usize) -> f64 {
         CorrectedCommute::amplified(self, i, j)
+    }
+
+    fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
+        Some(CorrectedCommute::build_stats(self))
     }
 }
 
@@ -286,6 +310,30 @@ mod tests {
         let boxed: SharedOracle = Box::new(ExactCommute::compute(&g).unwrap());
         assert_send_sync(&boxed);
         assert_eq!(boxed.n_nodes(), 3);
+    }
+
+    #[test]
+    fn every_backend_reports_build_stats() {
+        let g = path(6);
+        let oracles: Vec<SharedOracle> = vec![
+            Box::new(ExactCommute::compute(&g).unwrap()),
+            Box::new(CommuteEmbedding::compute(&g, &crate::EmbeddingOptions::default()).unwrap()),
+            Box::new(ShortestPathTable::compute(&g).unwrap()),
+            Box::new(CorrectedCommute::compute(&g).unwrap()),
+        ];
+        for o in &oracles {
+            let stats = o.build_stats().expect("every in-tree backend tracks cost");
+            assert_eq!(stats.backend, o.kind().name());
+            assert!(stats.build_secs >= 0.0);
+            if o.kind() == OracleKind::Embedding {
+                assert_eq!(stats.jl_dim, Some(crate::EmbeddingOptions::default().k));
+                assert_eq!(stats.solves.len(), stats.jl_dim.unwrap());
+                assert!(stats.solves.iter().all(|s| s.converged));
+            } else {
+                assert_eq!(stats.jl_dim, None);
+                assert!(stats.solves.is_empty());
+            }
+        }
     }
 
     #[test]

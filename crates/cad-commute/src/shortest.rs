@@ -21,6 +21,7 @@ use cad_graph::{GraphError, WeightedGraph};
 pub struct ShortestPathTable {
     n: usize,
     dist: Vec<f64>,
+    build_stats: cad_obs::OracleBuildStats,
 }
 
 impl ShortestPathTable {
@@ -32,12 +33,24 @@ impl ShortestPathTable {
                 "all-pairs shortest paths is O(n²) memory; n = {n} is too large"
             )));
         }
-        let rows = dijkstra_all_pairs(g);
-        let mut dist = Vec::with_capacity(n * n);
-        for row in rows {
-            dist.extend(row);
-        }
-        Ok(ShortestPathTable { n, dist })
+        let (dist, build_secs) = cad_obs::time_it(|| {
+            let rows = dijkstra_all_pairs(g);
+            let mut dist = Vec::with_capacity(n * n);
+            for row in rows {
+                dist.extend(row);
+            }
+            dist
+        });
+        Ok(ShortestPathTable {
+            n,
+            dist,
+            build_stats: cad_obs::OracleBuildStats::direct("shortest-path", build_secs),
+        })
+    }
+
+    /// What the construction cost.
+    pub fn build_stats(&self) -> &cad_obs::OracleBuildStats {
+        &self.build_stats
     }
 
     /// Number of nodes.

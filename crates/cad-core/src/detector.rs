@@ -31,6 +31,94 @@ impl Default for CadOptions {
     }
 }
 
+/// Observability record for one oracle construction.
+#[derive(Debug, Clone)]
+pub struct InstanceMetrics {
+    /// Instance index `t`.
+    pub t: usize,
+    /// What the build cost (backend, wall-time, JL dimension, per-solve
+    /// convergence records).
+    pub build: cad_obs::OracleBuildStats,
+}
+
+/// Observability record for one transition's scoring + thresholding.
+#[derive(Debug, Clone)]
+pub struct TransitionMetrics {
+    /// Transition index `t`.
+    pub t: usize,
+    /// Wall-clock seconds spent scoring this transition.
+    pub score_secs: f64,
+    /// Number of candidate (changed) edges scored.
+    pub n_scored: usize,
+    /// Distribution of the `ΔE` scores at this transition.
+    pub scores: cad_obs::Summary,
+    /// `|E_t|` after thresholding (0 until a detect pass runs).
+    pub n_edges_flagged: usize,
+    /// `|V_t|` after thresholding (0 until a detect pass runs).
+    pub n_nodes_flagged: usize,
+}
+
+/// Observability record for a full [`CadDetector`] run.
+///
+/// Assembled on the coordinating thread by merging per-item stats in
+/// index order, so every field except the wall-times is bit-identical
+/// for any [`CadOptions::threads`] setting. Nothing here is written to
+/// the global [`cad_obs`] registry — the caller decides what to publish.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionMetrics {
+    /// One record per graph instance (empty for the ADJ ablation, which
+    /// never builds oracles).
+    pub instances: Vec<InstanceMetrics>,
+    /// One record per transition.
+    pub transitions: Vec<TransitionMetrics>,
+}
+
+impl DetectionMetrics {
+    /// Fold this run's records into a [`cad_obs::Report`]: per-instance
+    /// build records, per-transition scoring records, one
+    /// [`cad_obs::SolveReport`] per iterative solve, and the pooled
+    /// `detect.scores` summary. Everything written here except the
+    /// wall-time fields is bit-identical for any thread count.
+    pub fn fill_report(&self, report: &mut cad_obs::Report) {
+        for inst in &self.instances {
+            report.instances.push(cad_obs::InstanceReport {
+                t: inst.t as u64,
+                backend: inst.build.backend.to_string(),
+                build_secs: inst.build.build_secs,
+                jl_dim: inst.build.jl_dim.map(|k| k as u64),
+                n_solves: inst.build.solves.len() as u64,
+                iterations: inst.build.iteration_summary(),
+                residuals: inst.build.residual_summary(),
+            });
+            for (row, s) in inst.build.solves.iter().enumerate() {
+                report.solves.push(cad_obs::SolveReport {
+                    context: format!("instance={}/row={row}", inst.t),
+                    iterations: s.iterations as u64,
+                    residual: s.relative_residual,
+                    converged: s.converged,
+                });
+            }
+        }
+        let mut pooled = cad_obs::Summary::new();
+        for tr in &self.transitions {
+            pooled.merge(&tr.scores);
+            report.transitions.push(cad_obs::TransitionReport {
+                t: tr.t as u64,
+                score_secs: tr.score_secs,
+                n_scored: tr.n_scored as u64,
+                n_edges_flagged: tr.n_edges_flagged as u64,
+                n_nodes_flagged: tr.n_nodes_flagged as u64,
+                score: tr.scores,
+            });
+        }
+        report
+            .summaries
+            .entry("detect.scores".to_string())
+            .or_default()
+            .merge(&pooled);
+    }
+}
+
 /// Anomalies reported for one transition `t → t+1`.
 #[derive(Debug, Clone)]
 pub struct TransitionAnomalies {
@@ -112,26 +200,93 @@ impl CadDetector {
     /// index and collected in order, so output is bit-identical for any
     /// thread count.
     pub fn score_sequence(&self, seq: &GraphSequence) -> Result<Vec<Vec<EdgeScore>>> {
+        self.score_sequence_metered(seq).map(|(scored, _)| scored)
+    }
+
+    /// Like [`CadDetector::score_sequence`], also returning the run's
+    /// [`DetectionMetrics`] (per-instance build costs, per-transition
+    /// scoring time and score distributions).
+    pub fn score_sequence_metered(
+        &self,
+        seq: &GraphSequence,
+    ) -> Result<(Vec<Vec<EdgeScore>>, DetectionMetrics)> {
         // ADJ never consults commute times; skip the engines entirely.
         if self.opts.kind == ScoreKind::Adj {
-            return Ok((0..seq.n_transitions())
-                .map(|t| crate::scores::adj_transition_scores(seq, t))
-                .collect());
+            let mut scored = Vec::with_capacity(seq.n_transitions());
+            let mut transitions = Vec::with_capacity(seq.n_transitions());
+            for t in 0..seq.n_transitions() {
+                let (edges, secs) =
+                    cad_obs::time_it(|| crate::scores::adj_transition_scores(seq, t));
+                transitions.push(Self::transition_metrics(t, &edges, secs));
+                scored.push(edges);
+            }
+            return Ok((
+                scored,
+                DetectionMetrics {
+                    instances: Vec::new(),
+                    transitions,
+                },
+            ));
         }
         // One oracle per instance, reused by both adjacent transitions.
-        let engines: Vec<SharedOracle> =
+        let engines: Vec<SharedOracle> = {
+            let _span = cad_obs::span!("build_oracles");
             cad_linalg::par::par_map_result(seq.graphs(), self.opts.threads, |_, g| {
                 CommuteTimeEngine::compute(g, &self.opts.engine)
-            })?;
-        cad_linalg::par::par_tabulate_result(seq.n_transitions(), self.opts.threads, |t| {
-            transition_edge_scores(
-                seq,
+            })?
+        };
+        // Build stats ride on the oracles, which the pool returned in
+        // instance order — merging here is thread-count invariant.
+        let instances = engines
+            .iter()
+            .enumerate()
+            .map(|(t, e)| InstanceMetrics {
                 t,
-                engines[t].as_ref(),
-                engines[t + 1].as_ref(),
-                self.opts.kind,
-            )
-        })
+                build: e
+                    .build_stats()
+                    .cloned()
+                    .unwrap_or_else(|| cad_obs::OracleBuildStats::direct(e.kind().name(), 0.0)),
+            })
+            .collect();
+        let timed: Vec<(Vec<EdgeScore>, f64)> = {
+            let _span = cad_obs::span!("score_transitions");
+            cad_linalg::par::par_tabulate_result(seq.n_transitions(), self.opts.threads, |t| {
+                let (res, secs) = cad_obs::time_it(|| {
+                    transition_edge_scores(
+                        seq,
+                        t,
+                        engines[t].as_ref(),
+                        engines[t + 1].as_ref(),
+                        self.opts.kind,
+                    )
+                });
+                res.map(|edges| (edges, secs))
+            })?
+        };
+        let mut scored = Vec::with_capacity(timed.len());
+        let mut transitions = Vec::with_capacity(timed.len());
+        for (t, (edges, secs)) in timed.into_iter().enumerate() {
+            transitions.push(Self::transition_metrics(t, &edges, secs));
+            scored.push(edges);
+        }
+        Ok((
+            scored,
+            DetectionMetrics {
+                instances,
+                transitions,
+            },
+        ))
+    }
+
+    fn transition_metrics(t: usize, edges: &[EdgeScore], secs: f64) -> TransitionMetrics {
+        TransitionMetrics {
+            t,
+            score_secs: secs,
+            n_scored: edges.len(),
+            scores: cad_obs::Summary::of(edges.iter().map(|e| e.score)),
+            n_edges_flagged: 0,
+            n_nodes_flagged: 0,
+        }
     }
 
     /// Run detection with an explicit threshold `δ` (Algorithm 1).
@@ -151,9 +306,25 @@ impl CadDetector {
         seq: &GraphSequence,
         policy: ThresholdPolicy,
     ) -> Result<DetectionResult> {
-        let scored = self.score_sequence(seq)?;
-        let (delta, counts) = apply_policy(&scored, seq.n_nodes(), seq.n_transitions(), policy);
-        let transitions = scored
+        self.detect_with_policy_metered(seq, policy)
+            .map(|(res, _)| res)
+    }
+
+    /// Run detection under any [`ThresholdPolicy`], also returning the
+    /// run's [`DetectionMetrics`] with the per-transition anomalous-set
+    /// sizes filled in.
+    pub fn detect_with_policy_metered(
+        &self,
+        seq: &GraphSequence,
+        policy: ThresholdPolicy,
+    ) -> Result<(DetectionResult, DetectionMetrics)> {
+        let _span = cad_obs::span!("detect");
+        let (scored, mut metrics) = self.score_sequence_metered(seq)?;
+        let (delta, counts) = {
+            let _span = cad_obs::span!("threshold");
+            apply_policy(&scored, seq.n_nodes(), seq.n_transitions(), policy)
+        };
+        let transitions: Vec<TransitionAnomalies> = scored
             .into_iter()
             .zip(counts)
             .enumerate()
@@ -165,7 +336,11 @@ impl CadDetector {
                 TransitionAnomalies { t, edges, nodes }
             })
             .collect();
-        Ok(DetectionResult { delta, transitions })
+        for (m, tr) in metrics.transitions.iter_mut().zip(&transitions) {
+            m.n_edges_flagged = tr.edges.len();
+            m.n_nodes_flagged = tr.nodes.len();
+        }
+        Ok((DetectionResult { delta, transitions }, metrics))
     }
 }
 
@@ -282,6 +457,70 @@ mod tests {
             .detect_with_policy(&seq, ThresholdPolicy::TopEdgesPerTransition(1))
             .unwrap();
         assert_eq!(topk.delta, None, "top-k policy has no delta");
+    }
+
+    #[test]
+    fn metered_detection_matches_unmetered_and_fills_metrics() {
+        let seq = two_cluster_seq();
+        let det = CadDetector::new(CadOptions::default());
+        let plain = det.detect_top_l(&seq, 2).unwrap();
+        let (metered, metrics) = det
+            .detect_with_policy_metered(&seq, ThresholdPolicy::TargetNodesPerTransition(2))
+            .unwrap();
+        assert_eq!(
+            metered.delta.unwrap().to_bits(),
+            plain.delta.unwrap().to_bits()
+        );
+        assert_eq!(metrics.instances.len(), 2);
+        assert_eq!(metrics.transitions.len(), 1);
+        for inst in &metrics.instances {
+            assert_eq!(inst.build.backend, "exact");
+            assert!(inst.build.build_secs >= 0.0);
+        }
+        let tr = &metrics.transitions[0];
+        assert_eq!(tr.n_scored, 2); // jitter + cross edge
+        assert_eq!(tr.scores.count, 2);
+        assert_eq!(tr.n_edges_flagged, metered.transitions[0].edges.len());
+        assert_eq!(tr.n_nodes_flagged, metered.transitions[0].nodes.len());
+        assert!(tr.scores.max >= tr.scores.min);
+    }
+
+    #[test]
+    fn adj_metered_has_no_instances() {
+        let seq = two_cluster_seq();
+        let det = CadDetector::new(CadOptions {
+            kind: ScoreKind::Adj,
+            ..Default::default()
+        });
+        let (_, metrics) = det.score_sequence_metered(&seq).unwrap();
+        assert!(metrics.instances.is_empty());
+        assert_eq!(metrics.transitions.len(), 1);
+    }
+
+    #[test]
+    fn metrics_deterministic_across_thread_counts() {
+        let seq = two_cluster_seq();
+        let (_, base) = CadDetector::new(CadOptions::default())
+            .detect_with_policy_metered(&seq, ThresholdPolicy::TargetNodesPerTransition(2))
+            .unwrap();
+        for threads in [2, 4] {
+            let (_, m) = CadDetector::new(CadOptions {
+                threads,
+                ..Default::default()
+            })
+            .detect_with_policy_metered(&seq, ThresholdPolicy::TargetNodesPerTransition(2))
+            .unwrap();
+            for (a, b) in m.transitions.iter().zip(&base.transitions) {
+                assert_eq!(a.n_scored, b.n_scored);
+                assert_eq!(a.scores.sum.to_bits(), b.scores.sum.to_bits());
+                assert_eq!(a.n_edges_flagged, b.n_edges_flagged);
+                assert_eq!(a.n_nodes_flagged, b.n_nodes_flagged);
+            }
+            for (a, b) in m.instances.iter().zip(&base.instances) {
+                assert_eq!(a.build.backend, b.build.backend);
+                assert_eq!(a.build.solves.len(), b.build.solves.len());
+            }
+        }
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod report;
 pub mod scores;
 pub mod threshold;
 
-pub use detector::{CadDetector, CadOptions, DetectionResult, NodeScorer, TransitionAnomalies};
+pub use detector::{
+    CadDetector, CadOptions, DetectionMetrics, DetectionResult, InstanceMetrics, NodeScorer,
+    TransitionAnomalies, TransitionMetrics,
+};
 pub use explain::{classify, explain_transition, AnomalyCase, Explanation};
 pub use node_scores::node_scores_from_edges;
 pub use online::OnlineCad;

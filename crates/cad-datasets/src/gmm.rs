@@ -102,6 +102,7 @@ pub struct GmmBenchmark {
 impl GmmBenchmark {
     /// Generate one realization.
     pub fn generate(opts: &GmmBenchmarkOptions) -> Result<Self> {
+        let _span = cad_obs::span!("dataset_gmm_generate", n = opts.n, seed = opts.seed);
         if opts.n < 8 {
             return Err(GraphError::InvalidInput(format!(
                 "benchmark needs n ≥ 8, got {}",

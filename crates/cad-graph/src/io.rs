@@ -38,6 +38,7 @@ pub fn write_graph<W: Write>(mut w: W, g: &WeightedGraph) -> Result<()> {
 /// Write a whole sequence (shared `nodes` header, one `instance` block
 /// per time step).
 pub fn write_sequence<W: Write>(mut w: W, seq: &GraphSequence) -> Result<()> {
+    let _span = cad_obs::span!("io_write_sequence");
     let io_err = |e: std::io::Error| GraphError::InvalidInput(format!("write failed: {e}"));
     writeln!(w, "nodes {}", seq.n_nodes()).map_err(io_err)?;
     for g in seq.graphs() {
@@ -117,6 +118,7 @@ pub fn read_graph<R: Read>(r: R) -> Result<WeightedGraph> {
 
 /// Read a sequence (two or more `instance` blocks).
 pub fn read_sequence<R: Read>(r: R) -> Result<GraphSequence> {
+    let _span = cad_obs::span!("io_read_sequence");
     let (_, graphs) = read_instances(r)?;
     GraphSequence::new(graphs)
 }

@@ -60,6 +60,17 @@ pub struct CgOutcome {
     pub converged: bool,
 }
 
+impl CgOutcome {
+    /// The convergence record, detached from the solution vector.
+    pub fn stats(&self) -> cad_obs::SolveStats {
+        cad_obs::SolveStats {
+            iterations: self.iterations,
+            relative_residual: self.relative_residual,
+            converged: self.converged,
+        }
+    }
+}
+
 /// Preconditioned conjugate gradients for SPD `A x = b`, starting at 0.
 ///
 /// Does not error on non-convergence: the outcome reports the achieved
@@ -81,6 +92,7 @@ pub fn cg_solve(
     }
     let bnorm = vecops::norm2(b);
     if bnorm == 0.0 {
+        cad_obs::counters::CG_SOLVES.inc();
         return Ok(CgOutcome {
             x: vec![0.0; n],
             iterations: 0,
@@ -126,6 +138,8 @@ pub fn cg_solve(
         }
     }
 
+    cad_obs::counters::CG_SOLVES.inc();
+    cad_obs::counters::CG_ITERATIONS.add(iterations as u64);
     Ok(CgOutcome {
         x,
         iterations,

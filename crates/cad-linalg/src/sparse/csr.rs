@@ -173,6 +173,7 @@ impl CsrMatrix {
                 found: (y.len(), x.len()),
             });
         }
+        cad_obs::counters::SPMV.inc();
         for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;

@@ -1,4 +1,7 @@
-//! Wall-clock timing helpers for the scalability experiments.
+//! Wall-clock timing helpers shared by the whole workspace.
+//!
+//! Formerly duplicated in `cad-bench`; every crate that needs to time a
+//! closure now uses this single implementation.
 
 use std::time::Instant;
 

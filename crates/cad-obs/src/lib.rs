@@ -1,0 +1,41 @@
+//! `cad-obs` — zero-dependency observability for the CAD pipeline.
+//!
+//! One small crate at the bottom of the workspace dependency graph
+//! provides every layer with the same vocabulary:
+//!
+//! * [`span!`] — RAII wall-clock spans with per-thread nesting, fed into
+//!   a process-wide registry ([`metrics::global`]).
+//! * [`metrics`] — lock-free [`FastCounter`]s for hot-path events plus a
+//!   mutex-guarded [`Registry`] of named counters / summaries / spans.
+//! * [`stats`] — typed result-side statistics ([`SolveStats`],
+//!   [`Summary`], [`OracleBuildStats`]) that travel *with* computation
+//!   results so aggregates stay deterministic under parallelism.
+//! * [`report`] — the schema-versioned machine-readable run [`Report`]
+//!   (JSON via `--metrics-json`) and the human tree summary (`--trace`).
+//! * [`json`] — a hand-rolled, dependency-free JSON value, printer and
+//!   parser with exact f64 round-tripping.
+//! * [`progress!`] — the uniform stderr progress sink for long-running
+//!   binaries.
+//! * [`clock`] — `time_it`/`time_mean` wall-clock helpers.
+//!
+//! The crate deliberately has **no dependencies** (std only) so every
+//! other crate — including `cad-linalg` at the base of the numeric
+//! stack — can use it without cycles or new external requirements.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod progress;
+pub mod report;
+pub mod span;
+pub mod stats;
+
+pub use clock::{time_it, time_mean};
+pub use json::{parse as parse_json, Json};
+pub use metrics::{counters, global, FastCounter, MetricsSnapshot, Registry, SpanStat};
+pub use progress::{set_verbosity, verbosity, Verbosity};
+pub use report::{HostInfo, InstanceReport, Report, SolveReport, TransitionReport, SCHEMA_VERSION};
+pub use span::SpanGuard;
+pub use stats::{OracleBuildStats, SolveStats, Summary};

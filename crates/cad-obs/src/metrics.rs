@@ -1,0 +1,238 @@
+//! The metric registry: counters, value summaries and span aggregates.
+//!
+//! Two tiers:
+//!
+//! * **Fast counters** ([`counters`]) — process-wide `AtomicU64`s for
+//!   hot-path events (one SpMV per matvec, CG iterations). Integer adds
+//!   commute, so these aggregates are deterministic no matter how many
+//!   worker threads race on them.
+//! * **The registry** ([`Registry`]) — a mutex-guarded map of named
+//!   counters, f64 [`Summary`]s and span aggregates. By convention f64
+//!   summaries are only recorded from coordinating threads in index
+//!   order (see [`crate::stats`]), which keeps their sums bit-stable.
+//!
+//! A process-wide [`global`] registry backs the `span!` macro and the
+//! CLI/bench sinks; scoped [`Registry`] instances are available for
+//! tests that must not observe cross-test traffic.
+
+use crate::stats::Summary;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A lock-free event counter safe to bump from any thread.
+#[derive(Debug)]
+pub struct FastCounter(AtomicU64);
+
+impl FastCounter {
+    /// A zeroed counter (const, for statics).
+    pub const fn new() -> Self {
+        FastCounter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FastCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Well-known hot-path counters, incremented from the numeric kernels.
+pub mod counters {
+    use super::FastCounter;
+
+    /// Sparse matrix-vector products performed (`CsrMatrix::matvec*`).
+    pub static SPMV: FastCounter = FastCounter::new();
+    /// CG/PCG solves completed.
+    pub static CG_SOLVES: FastCounter = FastCounter::new();
+    /// Total CG/PCG iterations across all solves.
+    pub static CG_ITERATIONS: FastCounter = FastCounter::new();
+
+    /// Snapshot of every well-known counter, keyed by its stable report
+    /// name.
+    pub fn snapshot() -> Vec<(&'static str, u64)> {
+        vec![
+            ("linalg.spmv", SPMV.get()),
+            ("linalg.cg_solves", CG_SOLVES.get()),
+            ("linalg.cg_iterations", CG_ITERATIONS.get()),
+        ]
+    }
+}
+
+/// Wall-time aggregate of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Total wall-clock seconds across those calls.
+    pub total_secs: f64,
+}
+
+/// A named-metric registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    summaries: Mutex<BTreeMap<String, Summary>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter.
+    pub fn add_counter(&self, name: &str, n: u64) {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        *map.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Record one value into the named summary.
+    pub fn record(&self, name: &str, value: f64) {
+        let mut map = self.summaries.lock().expect("summary map poisoned");
+        map.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Fold a prepared summary into the named summary.
+    pub fn merge_summary(&self, name: &str, s: &Summary) {
+        let mut map = self.summaries.lock().expect("summary map poisoned");
+        map.entry(name.to_string()).or_default().merge(s);
+    }
+
+    /// Record one completed span occurrence under `path`
+    /// (slash-separated nesting, e.g. `detect/oracle_build`).
+    pub fn record_span(&self, path: &str, secs: f64) {
+        let mut map = self.spans.lock().expect("span map poisoned");
+        let stat = map.entry(path.to_string()).or_default();
+        stat.calls += 1;
+        stat.total_secs += secs;
+    }
+
+    /// Immutable copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().expect("counter map poisoned").clone(),
+            summaries: self.summaries.lock().expect("summary map poisoned").clone(),
+            spans: self.spans.lock().expect("span map poisoned").clone(),
+        }
+    }
+
+    /// Clear all recorded metrics (single-process CLI runs only; tests
+    /// should prefer scoped registries).
+    pub fn reset(&self) {
+        self.counters.lock().expect("counter map poisoned").clear();
+        self.summaries.lock().expect("summary map poisoned").clear();
+        self.spans.lock().expect("span map poisoned").clear();
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Named counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named f64 summaries.
+    pub summaries: BTreeMap<String, Summary>,
+    /// Span aggregates keyed by slash-separated path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+/// The process-wide registry (backs `span!` and the CLI sinks).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_counter_accumulates() {
+        let c = FastCounter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn well_known_counters_have_stable_names() {
+        let names: Vec<&str> = counters::snapshot().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["linalg.spmv", "linalg.cg_solves", "linalg.cg_iterations"]
+        );
+    }
+
+    #[test]
+    fn registry_counters_and_summaries() {
+        let r = Registry::new();
+        r.add_counter("a", 2);
+        r.add_counter("a", 3);
+        r.record("s", 1.0);
+        r.record("s", 3.0);
+        r.merge_summary("s", &Summary::of([5.0]));
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["a"], 5);
+        assert_eq!(snap.summaries["s"].count, 3);
+        assert_eq!(snap.summaries["s"].max, 5.0);
+    }
+
+    #[test]
+    fn registry_spans_aggregate_by_path() {
+        let r = Registry::new();
+        r.record_span("detect/oracle_build", 0.5);
+        r.record_span("detect/oracle_build", 0.25);
+        r.record_span("detect", 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["detect/oracle_build"].calls, 2);
+        assert!((snap.spans["detect/oracle_build"].total_secs - 0.75).abs() < 1e-12);
+        assert_eq!(snap.spans["detect"].calls, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Registry::new();
+        r.add_counter("x", 1);
+        r.record("y", 2.0);
+        r.record_span("z", 0.1);
+        r.reset();
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.summaries.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn concurrent_fast_counter_is_exact() {
+        static C: FastCounter = FastCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get(), 4000);
+    }
+}

@@ -1,0 +1,84 @@
+//! Progress output sink for long-running binaries.
+//!
+//! The experiment binaries used to scatter ad-hoc `eprintln!` calls;
+//! routing them through one sink makes the stream uniform, quietable
+//! (`--quiet`) and expandable (`-v`/debug shows span labels too).
+//! Output always goes to stderr so it never pollutes piped stdout data.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How chatty the progress sink is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd)]
+pub enum Verbosity {
+    /// No progress output at all.
+    Quiet = 0,
+    /// Normal progress lines (the default).
+    Normal = 1,
+    /// Progress lines plus per-span debug output.
+    Debug = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Verbosity::Normal as u8);
+
+/// Set the process-wide verbosity.
+pub fn set_verbosity(v: Verbosity) {
+    LEVEL.store(v as u8, Ordering::Relaxed);
+}
+
+/// The current verbosity.
+pub fn verbosity() -> Verbosity {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        _ => Verbosity::Debug,
+    }
+}
+
+/// Emit one progress line (stderr) unless quieted.
+pub fn emit(line: &str) {
+    if verbosity() >= Verbosity::Normal {
+        eprintln!("{line}");
+    }
+}
+
+/// Emit one debug line (stderr) at debug verbosity only.
+pub fn debug(line: &str) {
+    if verbosity() >= Verbosity::Debug {
+        eprintln!("{line}");
+    }
+}
+
+/// Format-and-emit progress, `println!`-style.
+///
+/// ```
+/// # use cad_obs::progress;
+/// progress!("trial {} done", 3);
+/// ```
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress::emit(&format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_round_trips() {
+        // Serialized within this test; other tests do not read the level.
+        let original = verbosity();
+        for v in [Verbosity::Quiet, Verbosity::Debug, Verbosity::Normal] {
+            set_verbosity(v);
+            assert_eq!(verbosity(), v);
+        }
+        set_verbosity(original);
+    }
+
+    #[test]
+    fn ordering_is_quiet_normal_debug() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Debug);
+    }
+}

@@ -1,0 +1,810 @@
+//! The machine-readable run report and its stable schema.
+//!
+//! A [`Report`] is the single artifact a run leaves behind: per-phase
+//! wall-times (from the span registry), counters, per-instance
+//! oracle-build records, per-transition scoring records, and the
+//! convergence record of every iterative solve. It serializes to a
+//! schema-versioned JSON document (`schema_version` = [`SCHEMA_VERSION`])
+//! so CI and future PRs can diff runs; [`Report::validate_json`] is the
+//! authoritative schema check used by `cad validate-report` and CI.
+//!
+//! Schema stability contract: fields are only ever *added*;
+//! removing/renaming a field or changing a type bumps
+//! [`SCHEMA_VERSION`].
+
+use crate::json::Json;
+use crate::metrics::{MetricsSnapshot, SpanStat};
+use crate::stats::Summary;
+use std::collections::BTreeMap;
+
+/// Version of the JSON report schema emitted by this crate.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Host description captured into every report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available logical CPUs.
+    pub cpus: u64,
+}
+
+impl HostInfo {
+    /// Capture the current host.
+    pub fn capture() -> Self {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// One per-instance oracle-build record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceReport {
+    /// Instance index `t`.
+    pub t: u64,
+    /// Oracle backend name (`"exact"`, `"embedding"`, ...).
+    pub backend: String,
+    /// Wall-clock build seconds.
+    pub build_secs: f64,
+    /// JL projection dimension (embedding backend only).
+    pub jl_dim: Option<u64>,
+    /// Number of iterative solves performed during the build.
+    pub n_solves: u64,
+    /// Iteration counts over those solves.
+    pub iterations: Summary,
+    /// Final relative residuals over those solves.
+    pub residuals: Summary,
+}
+
+/// One per-transition scoring record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionReport {
+    /// Transition index `t` (between instances `t` and `t+1`).
+    pub t: u64,
+    /// Wall-clock seconds spent scoring this transition.
+    pub score_secs: f64,
+    /// Number of candidate edges scored.
+    pub n_scored: u64,
+    /// Edges in the anomalous set `E_t`.
+    pub n_edges_flagged: u64,
+    /// Nodes in the anomalous set `V_t`.
+    pub n_nodes_flagged: u64,
+    /// Distribution of the `ΔE` scores at this transition.
+    pub score: Summary,
+}
+
+/// Convergence record of one solve, with its pipeline context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Where the solve happened (e.g. `"instance=3/row=7"`).
+    pub context: String,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Final relative residual.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// A complete observability report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Schema version ([`SCHEMA_VERSION`] on emission).
+    pub schema_version: u64,
+    /// Which tool produced the report (`"cad detect"`, ...).
+    pub tool: String,
+    /// Host description.
+    pub host: HostInfo,
+    /// Span aggregates, keyed by slash-separated path.
+    pub phases: BTreeMap<String, SpanStat>,
+    /// Named event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named value summaries.
+    pub summaries: BTreeMap<String, Summary>,
+    /// Per-instance oracle-build records.
+    pub instances: Vec<InstanceReport>,
+    /// Per-transition scoring records.
+    pub transitions: Vec<TransitionReport>,
+    /// Every iterative solve of the run, in pipeline order.
+    pub solves: Vec<SolveReport>,
+}
+
+impl Report {
+    /// An empty report for `tool` on the current host.
+    pub fn new(tool: &str) -> Self {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            tool: tool.to_string(),
+            host: HostInfo::capture(),
+            phases: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            summaries: BTreeMap::new(),
+            instances: Vec::new(),
+            transitions: Vec::new(),
+            solves: Vec::new(),
+        }
+    }
+
+    /// Fold a registry snapshot (spans, counters, summaries) into the
+    /// report.
+    pub fn absorb_snapshot(&mut self, snap: &MetricsSnapshot) {
+        for (k, v) in &snap.spans {
+            let stat = self.phases.entry(k.clone()).or_default();
+            stat.calls += v.calls;
+            stat.total_secs += v.total_secs;
+        }
+        for (k, v) in &snap.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &snap.summaries {
+            self.summaries.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Serialize to the schema-versioned JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("tool", Json::Str(self.tool.clone())),
+            (
+                "host",
+                Json::obj(vec![
+                    ("os", Json::Str(self.host.os.clone())),
+                    ("arch", Json::Str(self.host.arch.clone())),
+                    ("cpus", Json::Num(self.host.cpus as f64)),
+                ]),
+            ),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(path, s)| {
+                            Json::obj(vec![
+                                ("path", Json::Str(path.clone())),
+                                ("calls", Json::Num(s.calls as f64)),
+                                ("secs", Json::Num(s.total_secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "summaries",
+                Json::Obj(
+                    self.summaries
+                        .iter()
+                        .map(|(k, s)| (k.clone(), summary_json(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "instances",
+                Json::Arr(
+                    self.instances
+                        .iter()
+                        .map(|i| {
+                            Json::obj(vec![
+                                ("t", Json::Num(i.t as f64)),
+                                ("backend", Json::Str(i.backend.clone())),
+                                ("build_secs", Json::Num(i.build_secs)),
+                                (
+                                    "jl_dim",
+                                    i.jl_dim.map_or(Json::Null, |k| Json::Num(k as f64)),
+                                ),
+                                ("n_solves", Json::Num(i.n_solves as f64)),
+                                ("iterations", summary_json(&i.iterations)),
+                                ("residuals", summary_json(&i.residuals)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "transitions",
+                Json::Arr(
+                    self.transitions
+                        .iter()
+                        .map(|tr| {
+                            Json::obj(vec![
+                                ("t", Json::Num(tr.t as f64)),
+                                ("score_secs", Json::Num(tr.score_secs)),
+                                ("n_scored", Json::Num(tr.n_scored as f64)),
+                                ("n_edges_flagged", Json::Num(tr.n_edges_flagged as f64)),
+                                ("n_nodes_flagged", Json::Num(tr.n_nodes_flagged as f64)),
+                                ("score", summary_json(&tr.score)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "solves",
+                Json::Arr(
+                    self.solves
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("context", Json::Str(s.context.clone())),
+                                ("iterations", Json::Num(s.iterations as f64)),
+                                ("residual", Json::Num(s.residual)),
+                                ("converged", Json::Bool(s.converged)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialize to a pretty-printed JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Rebuild a report from its JSON document (inverse of
+    /// [`Report::to_json`] for schema-valid input).
+    pub fn from_json(v: &Json) -> Result<Report, String> {
+        Report::validate_json(v).map_err(|errs| errs.join("; "))?;
+        let host = v.get("host").expect("validated");
+        let mut phases = BTreeMap::new();
+        for p in v.get("phases").and_then(Json::as_arr).expect("validated") {
+            phases.insert(
+                p.get("path")
+                    .and_then(Json::as_str)
+                    .expect("validated")
+                    .to_string(),
+                SpanStat {
+                    calls: p.get("calls").and_then(Json::as_u64).expect("validated"),
+                    total_secs: p.get("secs").and_then(Json::as_f64).expect("validated"),
+                },
+            );
+        }
+        let mut counters = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = v.get("counters") {
+            for (k, n) in pairs {
+                counters.insert(k.clone(), n.as_u64().ok_or("counter not a u64")?);
+            }
+        }
+        let mut summaries = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = v.get("summaries") {
+            for (k, s) in pairs {
+                summaries.insert(k.clone(), summary_from_json(s)?);
+            }
+        }
+        let instances = v
+            .get("instances")
+            .and_then(Json::as_arr)
+            .expect("validated")
+            .iter()
+            .map(|i| {
+                Ok(InstanceReport {
+                    t: i.get("t").and_then(Json::as_u64).expect("validated"),
+                    backend: i
+                        .get("backend")
+                        .and_then(Json::as_str)
+                        .expect("validated")
+                        .to_string(),
+                    build_secs: i
+                        .get("build_secs")
+                        .and_then(Json::as_f64)
+                        .expect("validated"),
+                    jl_dim: i.get("jl_dim").and_then(Json::as_u64),
+                    n_solves: i.get("n_solves").and_then(Json::as_u64).expect("validated"),
+                    iterations: summary_from_json(i.get("iterations").expect("validated"))?,
+                    residuals: summary_from_json(i.get("residuals").expect("validated"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let transitions = v
+            .get("transitions")
+            .and_then(Json::as_arr)
+            .expect("validated")
+            .iter()
+            .map(|t| {
+                Ok(TransitionReport {
+                    t: t.get("t").and_then(Json::as_u64).expect("validated"),
+                    score_secs: t
+                        .get("score_secs")
+                        .and_then(Json::as_f64)
+                        .expect("validated"),
+                    n_scored: t.get("n_scored").and_then(Json::as_u64).expect("validated"),
+                    n_edges_flagged: t
+                        .get("n_edges_flagged")
+                        .and_then(Json::as_u64)
+                        .expect("validated"),
+                    n_nodes_flagged: t
+                        .get("n_nodes_flagged")
+                        .and_then(Json::as_u64)
+                        .expect("validated"),
+                    score: summary_from_json(t.get("score").expect("validated"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let solves = v
+            .get("solves")
+            .and_then(Json::as_arr)
+            .expect("validated")
+            .iter()
+            .map(|s| SolveReport {
+                context: s
+                    .get("context")
+                    .and_then(Json::as_str)
+                    .expect("validated")
+                    .to_string(),
+                iterations: s
+                    .get("iterations")
+                    .and_then(Json::as_u64)
+                    .expect("validated"),
+                residual: s.get("residual").and_then(Json::as_f64).expect("validated"),
+                converged: s
+                    .get("converged")
+                    .and_then(Json::as_bool)
+                    .expect("validated"),
+            })
+            .collect();
+        Ok(Report {
+            schema_version: v
+                .get("schema_version")
+                .and_then(Json::as_u64)
+                .expect("validated"),
+            tool: v
+                .get("tool")
+                .and_then(Json::as_str)
+                .expect("validated")
+                .to_string(),
+            host: HostInfo {
+                os: host
+                    .get("os")
+                    .and_then(Json::as_str)
+                    .expect("validated")
+                    .to_string(),
+                arch: host
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .expect("validated")
+                    .to_string(),
+                cpus: host.get("cpus").and_then(Json::as_u64).expect("validated"),
+            },
+            phases,
+            counters,
+            summaries,
+            instances,
+            transitions,
+            solves,
+        })
+    }
+
+    /// Validate a JSON document against the report schema. Returns every
+    /// violation found (empty `Ok` means schema-valid).
+    pub fn validate_json(v: &Json) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        let mut need = |field: &str, ok: bool, why: &str| {
+            if !ok {
+                errs.push(format!("{field}: {why}"));
+            }
+        };
+        match v.get("schema_version").and_then(Json::as_u64) {
+            None => need("schema_version", false, "missing or not an integer"),
+            Some(ver) if ver != SCHEMA_VERSION => need(
+                "schema_version",
+                false,
+                &format!("{ver} unsupported (expected {SCHEMA_VERSION})"),
+            ),
+            Some(_) => {}
+        }
+        need(
+            "tool",
+            v.get("tool").and_then(Json::as_str).is_some(),
+            "missing string",
+        );
+        match v.get("host") {
+            None => need("host", false, "missing"),
+            Some(h) => {
+                need(
+                    "host.os",
+                    h.get("os").and_then(Json::as_str).is_some(),
+                    "missing string",
+                );
+                need(
+                    "host.arch",
+                    h.get("arch").and_then(Json::as_str).is_some(),
+                    "missing string",
+                );
+                need(
+                    "host.cpus",
+                    h.get("cpus").and_then(Json::as_u64).is_some(),
+                    "missing integer",
+                );
+            }
+        }
+        match v.get("phases").and_then(Json::as_arr) {
+            None => need("phases", false, "missing array"),
+            Some(items) => {
+                for (i, p) in items.iter().enumerate() {
+                    need(
+                        &format!("phases[{i}].path"),
+                        p.get("path").and_then(Json::as_str).is_some(),
+                        "missing string",
+                    );
+                    need(
+                        &format!("phases[{i}].calls"),
+                        p.get("calls").and_then(Json::as_u64).is_some(),
+                        "missing integer",
+                    );
+                    need(
+                        &format!("phases[{i}].secs"),
+                        p.get("secs").and_then(Json::as_f64).is_some(),
+                        "missing number",
+                    );
+                }
+            }
+        }
+        need(
+            "counters",
+            matches!(v.get("counters"), Some(Json::Obj(_))),
+            "missing object",
+        );
+        need(
+            "summaries",
+            matches!(v.get("summaries"), Some(Json::Obj(_))),
+            "missing object",
+        );
+        match v.get("instances").and_then(Json::as_arr) {
+            None => need("instances", false, "missing array"),
+            Some(items) => {
+                for (i, inst) in items.iter().enumerate() {
+                    let at = |f: &str| format!("instances[{i}].{f}");
+                    need(
+                        &at("t"),
+                        inst.get("t").and_then(Json::as_u64).is_some(),
+                        "missing integer",
+                    );
+                    need(
+                        &at("backend"),
+                        inst.get("backend").and_then(Json::as_str).is_some(),
+                        "missing string",
+                    );
+                    need(
+                        &at("build_secs"),
+                        inst.get("build_secs").and_then(Json::as_f64).is_some(),
+                        "missing number",
+                    );
+                    need(
+                        &at("n_solves"),
+                        inst.get("n_solves").and_then(Json::as_u64).is_some(),
+                        "missing integer",
+                    );
+                    for sub in ["iterations", "residuals"] {
+                        need(
+                            &at(sub),
+                            inst.get(sub)
+                                .map(|s| summary_from_json(s).is_ok())
+                                .unwrap_or(false),
+                            "missing summary",
+                        );
+                    }
+                }
+            }
+        }
+        match v.get("transitions").and_then(Json::as_arr) {
+            None => need("transitions", false, "missing array"),
+            Some(items) => {
+                for (i, tr) in items.iter().enumerate() {
+                    let at = |f: &str| format!("transitions[{i}].{f}");
+                    need(
+                        &at("t"),
+                        tr.get("t").and_then(Json::as_u64).is_some(),
+                        "missing integer",
+                    );
+                    need(
+                        &at("score_secs"),
+                        tr.get("score_secs").and_then(Json::as_f64).is_some(),
+                        "missing number",
+                    );
+                    for f in ["n_scored", "n_edges_flagged", "n_nodes_flagged"] {
+                        need(
+                            &at(f),
+                            tr.get(f).and_then(Json::as_u64).is_some(),
+                            "missing integer",
+                        );
+                    }
+                    need(
+                        &at("score"),
+                        tr.get("score")
+                            .map(|s| summary_from_json(s).is_ok())
+                            .unwrap_or(false),
+                        "missing summary",
+                    );
+                }
+            }
+        }
+        match v.get("solves").and_then(Json::as_arr) {
+            None => need("solves", false, "missing array"),
+            Some(items) => {
+                for (i, s) in items.iter().enumerate() {
+                    let at = |f: &str| format!("solves[{i}].{f}");
+                    need(
+                        &at("context"),
+                        s.get("context").and_then(Json::as_str).is_some(),
+                        "missing string",
+                    );
+                    need(
+                        &at("iterations"),
+                        s.get("iterations").and_then(Json::as_u64).is_some(),
+                        "missing integer",
+                    );
+                    need(
+                        &at("residual"),
+                        s.get("residual").and_then(Json::as_f64).is_some(),
+                        "missing number",
+                    );
+                    need(
+                        &at("converged"),
+                        s.get("converged").and_then(Json::as_bool).is_some(),
+                        "missing bool",
+                    );
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Render the human-readable summary printed by `--trace`: a nested
+    /// per-phase timing tree followed by instance/transition/solver
+    /// digests.
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== run phases (wall-clock) ==\n");
+        // Paths are slash-separated; BTreeMap order sorts parents before
+        // their children, so indentation by depth renders the tree.
+        for (path, stat) in &self.phases {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth + 1), name);
+            out.push_str(&format!(
+                "{label:<32} {:>6} call{} {:>10.3}ms\n",
+                stat.calls,
+                if stat.calls == 1 { " " } else { "s" },
+                stat.total_secs * 1e3,
+            ));
+        }
+        if !self.instances.is_empty() {
+            out.push_str("\n== per-instance oracle builds ==\n");
+            for i in &self.instances {
+                out.push_str(&format!(
+                    "  t={:<3} {:<13} {:>9.3}ms",
+                    i.t,
+                    i.backend,
+                    i.build_secs * 1e3
+                ));
+                if i.n_solves > 0 {
+                    out.push_str(&format!(
+                        "  {} solves, iters mean {:.1} max {:.0}, residual max {:.2e}",
+                        i.n_solves,
+                        i.iterations.mean(),
+                        i.iterations.max,
+                        i.residuals.max,
+                    ));
+                }
+                out.push('\n');
+            }
+        }
+        if !self.transitions.is_empty() {
+            out.push_str("\n== per-transition scoring ==\n");
+            for t in &self.transitions {
+                out.push_str(&format!(
+                    "  t={:<3} {:>9.3}ms  {} scored, {} edges / {} nodes flagged, ΔE max {:.4}\n",
+                    t.t,
+                    t.score_secs * 1e3,
+                    t.n_scored,
+                    t.n_edges_flagged,
+                    t.n_nodes_flagged,
+                    if t.score.count == 0 { 0.0 } else { t.score.max },
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n== counters ==\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<28} {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj(vec![
+        ("count", Json::Num(s.count as f64)),
+        ("sum", Json::Num(s.sum)),
+        // min/max are +-inf when empty; JSON has no inf, so emit null.
+        (
+            "min",
+            if s.count == 0 {
+                Json::Null
+            } else {
+                Json::Num(s.min)
+            },
+        ),
+        (
+            "max",
+            if s.count == 0 {
+                Json::Null
+            } else {
+                Json::Num(s.max)
+            },
+        ),
+        ("mean", Json::Num(s.mean())),
+    ])
+}
+
+fn summary_from_json(v: &Json) -> Result<Summary, String> {
+    let count = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or("summary.count missing")?;
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_f64)
+        .ok_or("summary.sum missing")?;
+    if count == 0 {
+        return Ok(Summary::new());
+    }
+    Ok(Summary {
+        count,
+        sum,
+        min: v
+            .get("min")
+            .and_then(Json::as_f64)
+            .ok_or("summary.min missing")?,
+        max: v
+            .get("max")
+            .and_then(Json::as_f64)
+            .ok_or("summary.max missing")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("cad detect");
+        r.phases.insert(
+            "detect".into(),
+            SpanStat {
+                calls: 1,
+                total_secs: 0.5,
+            },
+        );
+        r.phases.insert(
+            "detect/oracle_build".into(),
+            SpanStat {
+                calls: 2,
+                total_secs: 0.4,
+            },
+        );
+        r.counters.insert("linalg.spmv".into(), 123);
+        r.summaries.insert("score".into(), Summary::of([0.5, 2.0]));
+        r.instances.push(InstanceReport {
+            t: 0,
+            backend: "embedding".into(),
+            build_secs: 0.2,
+            jl_dim: Some(16),
+            n_solves: 2,
+            iterations: Summary::of([10.0, 12.0]),
+            residuals: Summary::of([1e-9, 2e-9]),
+        });
+        r.transitions.push(TransitionReport {
+            t: 0,
+            score_secs: 0.01,
+            n_scored: 5,
+            n_edges_flagged: 2,
+            n_nodes_flagged: 3,
+            score: Summary::of([0.5, 2.0]),
+        });
+        r.solves.push(SolveReport {
+            context: "instance=0/row=0".into(),
+            iterations: 10,
+            residual: 1e-9,
+            converged: true,
+        });
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample();
+        let text = r.to_json_string();
+        let back = Report::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn emitted_report_validates() {
+        let r = sample();
+        let v = crate::json::parse(&r.to_json_string()).unwrap();
+        assert!(Report::validate_json(&v).is_ok());
+    }
+
+    #[test]
+    fn validation_reports_missing_fields() {
+        let v = crate::json::parse(r#"{"schema_version": 1}"#).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(errs.iter().any(|e| e.starts_with("tool")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("host")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("solves")), "{errs:?}");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema_version() {
+        let mut r = sample();
+        r.schema_version = 99;
+        let v = crate::json::parse(&r.to_json_string()).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(errs[0].contains("unsupported"), "{errs:?}");
+    }
+
+    #[test]
+    fn empty_summary_round_trips_via_null_min_max() {
+        let mut r = Report::new("t");
+        r.summaries.insert("empty".into(), Summary::new());
+        let back = Report::from_json(&crate::json::parse(&r.to_json_string()).unwrap()).unwrap();
+        assert_eq!(back.summaries["empty"], Summary::new());
+    }
+
+    #[test]
+    fn absorb_snapshot_merges() {
+        let reg = crate::metrics::Registry::new();
+        reg.add_counter("c", 2);
+        reg.record("s", 1.5);
+        reg.record_span("a/b", 0.25);
+        let mut r = Report::new("t");
+        r.absorb_snapshot(&reg.snapshot());
+        r.absorb_snapshot(&reg.snapshot());
+        assert_eq!(r.counters["c"], 4);
+        assert_eq!(r.summaries["s"].count, 2);
+        assert_eq!(r.phases["a/b"].calls, 2);
+    }
+
+    #[test]
+    fn trace_render_shows_tree_and_sections() {
+        let text = sample().render_trace();
+        assert!(text.contains("run phases"));
+        // Child is indented deeper than its parent.
+        let parent = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("detect "))
+            .unwrap();
+        let child = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("oracle_build"))
+            .unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(child) > indent(parent), "{text}");
+        assert!(text.contains("per-instance oracle builds"));
+        assert!(text.contains("per-transition scoring"));
+        assert!(text.contains("linalg.spmv"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Typed statistics carried through the pipeline as return values.
+//!
+//! Determinism is the design constraint here: the CAD pipeline promises
+//! bit-identical output for any worker-thread count, and its metric
+//! aggregates must keep that promise. Floating-point accumulation is not
+//! associative, so these types are **not** fed from a shared global by
+//! racing workers. Instead each work item *returns* its stats with its
+//! result, the `cad_linalg::par` pool collects results in index order,
+//! and the coordinating thread merges them — same order every run, so
+//! every aggregate (including f64 sums) is reproducible bit-for-bit.
+
+/// Convergence record of one iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Whether the requested tolerance was met.
+    pub converged: bool,
+}
+
+/// Order-sensitive streaming summary of an f64 series: count, sum, min,
+/// max. Merging two summaries is exact for `count`/`min`/`max` and adds
+/// `sum` left-to-right, so merging in a fixed order is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`+inf` when empty).
+    pub min: f64,
+    /// Largest recorded value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another summary into this one (call in a fixed order for
+    /// deterministic sums).
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Arithmetic mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Summarize a slice in order.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut s = Summary::new();
+        for v in values {
+            s.record(v);
+        }
+        s
+    }
+}
+
+/// What it cost to build one per-instance distance oracle.
+///
+/// Produced by every `DistanceOracle` backend; the embedding backend
+/// additionally reports its JL projection dimension and the convergence
+/// record of each of its `k` Laplacian solves (in row order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleBuildStats {
+    /// Backend name (`"exact"`, `"embedding"`, ...).
+    pub backend: &'static str,
+    /// Wall-clock build time in seconds.
+    pub build_secs: f64,
+    /// JL projection dimension `k` (embedding backend only).
+    pub jl_dim: Option<usize>,
+    /// Per-solve convergence records, in solve order (empty for direct
+    /// backends that perform no iterative solves).
+    pub solves: Vec<SolveStats>,
+}
+
+impl OracleBuildStats {
+    /// A record for a direct (non-iterative) backend.
+    pub fn direct(backend: &'static str, build_secs: f64) -> Self {
+        OracleBuildStats {
+            backend,
+            build_secs,
+            jl_dim: None,
+            solves: Vec::new(),
+        }
+    }
+
+    /// Iteration counts summarized over the solves.
+    pub fn iteration_summary(&self) -> Summary {
+        Summary::of(self.solves.iter().map(|s| s.iterations as f64))
+    }
+
+    /// Final residuals summarized over the solves.
+    pub fn residual_summary(&self) -> Summary {
+        Summary::of(self.solves.iter().map(|s| s.relative_residual))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_count_sum_min_max() {
+        let s = Summary::of([2.0, -1.0, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 6.0);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_summary_is_neutral_for_merge() {
+        let mut a = Summary::new();
+        assert_eq!(a.mean(), 0.0);
+        let b = Summary::of([1.0, 3.0]);
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_deterministic() {
+        let parts: Vec<Summary> = (0..10)
+            .map(|i| Summary::of((0..5).map(|j| ((i * 5 + j) as f64 + 0.1).sin())))
+            .collect();
+        let fold = |parts: &[Summary]| {
+            let mut total = Summary::new();
+            for p in parts {
+                total.merge(p);
+            }
+            total
+        };
+        let a = fold(&parts);
+        let b = fold(&parts);
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(a.min.to_bits(), b.min.to_bits());
+    }
+
+    #[test]
+    fn oracle_build_stats_summaries() {
+        let stats = OracleBuildStats {
+            backend: "embedding",
+            build_secs: 0.5,
+            jl_dim: Some(16),
+            solves: vec![
+                SolveStats {
+                    iterations: 10,
+                    relative_residual: 1e-9,
+                    converged: true,
+                },
+                SolveStats {
+                    iterations: 14,
+                    relative_residual: 3e-9,
+                    converged: true,
+                },
+            ],
+        };
+        let it = stats.iteration_summary();
+        assert_eq!(it.count, 2);
+        assert_eq!(it.max, 14.0);
+        let res = stats.residual_summary();
+        assert!(res.max <= 3e-9);
+        let direct = OracleBuildStats::direct("exact", 0.1);
+        assert!(direct.solves.is_empty());
+        assert_eq!(direct.iteration_summary().count, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end observability contracts: the JSON run report survives a
+//! serialize → parse round trip losslessly, its deterministic metric
+//! aggregates are bit-identical for any worker-thread count, and the
+//! schema validator accepts what the pipeline emits (and rejects
+//! corruptions of it).
+
+use cad_commute::{EmbeddingOptions, EngineOptions};
+use cad_core::{CadDetector, CadOptions, DetectionMetrics, ThresholdPolicy};
+use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+use cad_graph::GraphSequence;
+use cad_obs::{Report, Summary};
+
+/// A four-instance GMM sequence (two chained two-instance benchmarks).
+fn workload(seed: u64, n: usize) -> GraphSequence {
+    let mut graphs = Vec::new();
+    for s in [seed, seed.wrapping_add(1)] {
+        let mut opts = GmmBenchmarkOptions::with_n(n);
+        opts.seed = s;
+        let bench = GmmBenchmark::generate(&opts).expect("gmm benchmark");
+        graphs.extend(bench.seq.graphs().iter().cloned());
+    }
+    GraphSequence::new(graphs).expect("valid sequence")
+}
+
+fn metered_report(threads: usize, seed: u64) -> (Report, DetectionMetrics) {
+    let seq = workload(seed, 40);
+    let det = CadDetector::new(CadOptions {
+        engine: EngineOptions::Approximate(EmbeddingOptions {
+            k: 12,
+            threads: threads.max(1),
+            ..Default::default()
+        }),
+        threads,
+        ..Default::default()
+    });
+    let (_result, metrics) = det
+        .detect_with_policy_metered(&seq, ThresholdPolicy::TargetNodesPerTransition(3))
+        .expect("metered detection");
+    let mut report = Report::new("observability-test");
+    metrics.fill_report(&mut report);
+    (report, metrics)
+}
+
+fn assert_summary_bits(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.count, b.count, "{what}: count");
+    assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "{what}: sum");
+    assert_eq!(a.min.to_bits(), b.min.to_bits(), "{what}: min");
+    assert_eq!(a.max.to_bits(), b.max.to_bits(), "{what}: max");
+}
+
+#[test]
+fn report_round_trips_through_json_losslessly() {
+    let (mut report, _) = metered_report(1, 11);
+    // Exercise every section of the schema, including counters and a
+    // summary that only exists at the report level.
+    report.counters.insert("test.counter".into(), 42);
+    report
+        .summaries
+        .insert("test.series".into(), Summary::of([0.1, -3.5, 7.25]));
+
+    let text = report.to_json_string();
+    let value = cad_obs::parse_json(&text).expect("emitted JSON parses");
+    let back = Report::from_json(&value).expect("emitted JSON validates");
+
+    assert_eq!(back.schema_version, report.schema_version);
+    assert_eq!(back.tool, report.tool);
+    assert_eq!(back.host.os, report.host.os);
+    assert_eq!(back.counters, report.counters);
+    assert_eq!(back.instances.len(), report.instances.len());
+    for (a, b) in back.instances.iter().zip(&report.instances) {
+        assert_eq!(a.t, b.t);
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.build_secs.to_bits(), b.build_secs.to_bits());
+        assert_eq!(a.jl_dim, b.jl_dim);
+        assert_eq!(a.n_solves, b.n_solves);
+        assert_summary_bits(&a.iterations, &b.iterations, "instance iterations");
+        assert_summary_bits(&a.residuals, &b.residuals, "instance residuals");
+    }
+    assert_eq!(back.transitions.len(), report.transitions.len());
+    for (a, b) in back.transitions.iter().zip(&report.transitions) {
+        assert_eq!(a.t, b.t);
+        assert_eq!(a.score_secs.to_bits(), b.score_secs.to_bits());
+        assert_eq!(a.n_scored, b.n_scored);
+        assert_summary_bits(&a.score, &b.score, "transition scores");
+    }
+    assert_eq!(back.solves.len(), report.solves.len());
+    for (a, b) in back.solves.iter().zip(&report.solves) {
+        assert_eq!(a.context, b.context);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        assert_eq!(a.converged, b.converged);
+    }
+    for (key, sum) in &report.summaries {
+        assert_summary_bits(&back.summaries[key], sum, key);
+    }
+}
+
+#[test]
+fn metric_aggregates_are_thread_count_invariant() {
+    // Wall-times (build_secs, score_secs, phases) legitimately vary;
+    // every *metric* field must be bit-identical between a sequential
+    // and a parallel run.
+    let (serial, _) = metered_report(1, 23);
+    for threads in [4usize] {
+        let (par, _) = metered_report(threads, 23);
+        assert_eq!(par.instances.len(), serial.instances.len());
+        for (a, b) in par.instances.iter().zip(&serial.instances) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.backend, b.backend, "t={}", a.t);
+            assert_eq!(a.jl_dim, b.jl_dim);
+            assert_eq!(a.n_solves, b.n_solves);
+            assert_summary_bits(&a.iterations, &b.iterations, "iterations");
+            assert_summary_bits(&a.residuals, &b.residuals, "residuals");
+        }
+        assert_eq!(par.solves.len(), serial.solves.len());
+        for (a, b) in par.solves.iter().zip(&serial.solves) {
+            assert_eq!(a.context, b.context);
+            assert_eq!(a.iterations, b.iterations, "{}", a.context);
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits(), "{}", a.context);
+            assert_eq!(a.converged, b.converged);
+        }
+        assert_eq!(par.transitions.len(), serial.transitions.len());
+        for (a, b) in par.transitions.iter().zip(&serial.transitions) {
+            assert_eq!(a.n_scored, b.n_scored, "t={}", a.t);
+            assert_eq!(a.n_edges_flagged, b.n_edges_flagged);
+            assert_eq!(a.n_nodes_flagged, b.n_nodes_flagged);
+            assert_summary_bits(&a.score, &b.score, "scores");
+        }
+        assert_summary_bits(
+            &par.summaries["detect.scores"],
+            &serial.summaries["detect.scores"],
+            "pooled detect.scores",
+        );
+    }
+}
+
+#[test]
+fn validator_accepts_pipeline_output_and_rejects_corruption() {
+    let (report, _) = metered_report(1, 5);
+    let good = cad_obs::parse_json(&report.to_json_string()).expect("parses");
+    assert_eq!(Report::validate_json(&good), Ok(()));
+
+    // Corrupt the schema version: must be rejected with a pointed error.
+    let text =
+        report
+            .to_json_string()
+            .replacen("\"schema_version\": 1", "\"schema_version\": \"x\"", 1);
+    let bad = cad_obs::parse_json(&text).expect("still valid JSON");
+    let errs = Report::validate_json(&bad).expect_err("corruption detected");
+    assert!(
+        errs.iter().any(|e| e.contains("schema_version")),
+        "{errs:?}"
+    );
+
+    // A non-object is rejected outright.
+    let scalar = cad_obs::parse_json("3").unwrap();
+    assert!(Report::validate_json(&scalar).is_err());
+}
