@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p cad-bench --bin bench_report -- \
-//!     [--n 300] [--k 25] [--seed 7] [--out BENCH_commute.json] [--quiet]
+//!     [--n 300] [--k 25] [--seed 7] [--threads 1] \
+//!     [--out BENCH_commute.json] [--quiet]
 //! ```
 //!
 //! The output validates against the `cad validate-report` schema; see
@@ -21,6 +22,7 @@ fn main() {
     let n = args.get("n", 300usize);
     let k = args.get("k", 25usize);
     let seed = args.get("seed", 7u64);
+    let threads = args.get("threads", 1usize);
     let out = args.get(
         "out",
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_commute.json").to_string(),
@@ -37,6 +39,7 @@ fn main() {
             "embedding",
             EngineOptions::Approximate(EmbeddingOptions {
                 k,
+                threads,
                 ..Default::default()
             }),
         ),
@@ -77,9 +80,17 @@ fn main() {
     for (name, value) in cad_obs::counters::snapshot() {
         report.counters.insert(name.to_string(), value);
     }
+    // The worker-thread count is part of the measurement conditions:
+    // record it so bench-diff compares like with like.
+    report
+        .counters
+        .insert("bench.threads".to_string(), threads as u64);
+    for (name, h) in cad_obs::histograms::snapshot() {
+        report.histograms.insert(name.to_string(), h);
+    }
     std::fs::write(&out, report.to_json_string()).expect("write report");
     println!(
-        "wrote {out} (n = {n}, k = {k}, {} instance builds, {} solves)",
+        "wrote {out} (n = {n}, k = {k}, threads = {threads}, {} instance builds, {} solves)",
         report.instances.len(),
         report.solves.len()
     );

@@ -1,0 +1,320 @@
+//! `cad bench-diff` — the benchmark regression gate.
+//!
+//! Compares two schema-versioned bench reports (as written by
+//! `bench_report` or `cad detect --metrics-json`) metric by metric:
+//!
+//! * **name/schema mismatches are hard errors** (exit 1): a counter,
+//!   summary, histogram, or phase present in one report but not the
+//!   other means the two runs measured different things and no ratio is
+//!   meaningful;
+//! * **wall-time metrics gate the exit code**: phase totals and
+//!   per-backend oracle-build sums are compared as `new / old` ratios,
+//!   and any ratio past `--threshold` (default 1.3×) makes the command
+//!   exit 4 ([`CliError::BenchRegression`]) so CI can soft-fail on
+//!   noisy 1-core runners while hard-failing on real errors;
+//! * **counts are informational**: event counters are printed in the
+//!   ratio table (a drifting count is a determinism smell worth eyes)
+//!   but never gate, since workload-size changes are legitimate.
+//!
+//! `--update` skips the comparison and blesses `<new>` as the baseline
+//! by copying it over `<old>`.
+
+use crate::commands::CliError;
+use std::io::Write;
+
+/// Wall-times below this floor (seconds) never gate: at micro scale the
+/// scheduler noise on a shared runner dwarfs any real regression.
+const NOISE_FLOOR_SECS: f64 = 1e-3;
+
+fn load_report(path: &str) -> Result<cad_obs::Report, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot open `{path}`: {e}")))?;
+    let value = cad_obs::parse_json(&text)
+        .map_err(|e| CliError::Usage(format!("`{path}` is not valid JSON: {e}")))?;
+    cad_obs::Report::validate_json(&value).map_err(|errs| {
+        CliError::Usage(format!(
+            "`{path}` failed schema validation:\n  {}",
+            errs.join("\n  ")
+        ))
+    })?;
+    cad_obs::Report::from_json(&value).map_err(|e| CliError::Usage(format!("`{path}`: {e}")))
+}
+
+/// Require identical key sets in one metric namespace.
+fn check_names<'a>(
+    kind: &str,
+    old: impl Iterator<Item = &'a String>,
+    new: impl Iterator<Item = &'a String>,
+) -> Result<(), CliError> {
+    let old: std::collections::BTreeSet<&String> = old.collect();
+    let new: std::collections::BTreeSet<&String> = new.collect();
+    if old == new {
+        return Ok(());
+    }
+    let missing: Vec<&str> = old.difference(&new).map(|s| s.as_str()).collect();
+    let extra: Vec<&str> = new.difference(&old).map(|s| s.as_str()).collect();
+    let mut msg = format!("{kind} name sets differ:");
+    if !missing.is_empty() {
+        msg.push_str(&format!(" missing in new: [{}]", missing.join(", ")));
+    }
+    if !extra.is_empty() {
+        msg.push_str(&format!(" extra in new: [{}]", extra.join(", ")));
+    }
+    Err(CliError::Usage(msg))
+}
+
+/// One row of the comparison table.
+struct Row {
+    name: String,
+    old: f64,
+    new: f64,
+    /// Wall-time rows gate the exit code; count rows are informational.
+    gated: bool,
+}
+
+impl Row {
+    fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new / self.old
+        }
+    }
+
+    /// A gated row regresses when `new` exceeds the threshold multiple
+    /// of `old`, with both ends clamped to the noise floor.
+    fn regressed(&self, threshold: f64) -> bool {
+        self.gated
+            && self.new > NOISE_FLOOR_SECS
+            && self.new > threshold * self.old.max(NOISE_FLOOR_SECS)
+    }
+}
+
+/// Per-backend oracle-build wall-time sums over the instance records.
+fn build_sums(report: &cad_obs::Report) -> std::collections::BTreeMap<String, f64> {
+    let mut sums = std::collections::BTreeMap::new();
+    for inst in &report.instances {
+        *sums.entry(inst.backend.clone()).or_insert(0.0) += inst.build_secs;
+    }
+    sums
+}
+
+/// Run the comparison. See the module docs for the contract.
+pub fn run_bench_diff(
+    old_path: &str,
+    new_path: &str,
+    threshold: f64,
+    update: bool,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if update {
+        // Bless: the candidate becomes the committed baseline.
+        load_report(new_path)?; // still refuse to bless garbage
+        std::fs::copy(new_path, old_path)?;
+        writeln!(out, "blessed {new_path} as the new baseline {old_path}")?;
+        return Ok(());
+    }
+    let old = load_report(old_path)?;
+    let new = load_report(new_path)?;
+
+    check_names("counter", old.counters.keys(), new.counters.keys())?;
+    check_names("summary", old.summaries.keys(), new.summaries.keys())?;
+    check_names("histogram", old.histograms.keys(), new.histograms.keys())?;
+    check_names("phase", old.phases.keys(), new.phases.keys())?;
+    let old_builds = build_sums(&old);
+    let new_builds = build_sums(&new);
+    check_names("backend", old_builds.keys(), new_builds.keys())?;
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (path, stat) in &old.phases {
+        rows.push(Row {
+            name: format!("phase/{path}"),
+            old: stat.total_secs,
+            new: new.phases[path].total_secs,
+            gated: true,
+        });
+    }
+    for (backend, secs) in &old_builds {
+        rows.push(Row {
+            name: format!("build/{backend}"),
+            old: *secs,
+            new: new_builds[backend],
+            gated: true,
+        });
+    }
+    for (name, value) in &old.counters {
+        rows.push(Row {
+            name: format!("counter/{name}"),
+            old: *value as f64,
+            new: new.counters[name] as f64,
+            gated: false,
+        });
+    }
+
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    writeln!(
+        out,
+        "{:width$}  {:>12}  {:>12}  {:>7}  gate",
+        "metric", "old", "new", "ratio"
+    )?;
+    let mut regressions = Vec::new();
+    for row in &rows {
+        let status = if row.regressed(threshold) {
+            regressions.push(row.name.clone());
+            "REGRESSED"
+        } else if !row.gated {
+            "info"
+        } else if row.old.max(row.new) <= NOISE_FLOOR_SECS {
+            "noise"
+        } else {
+            "ok"
+        };
+        writeln!(
+            out,
+            "{:width$}  {:>12.6}  {:>12.6}  {:>6.3}x  {status}",
+            row.name,
+            row.old,
+            row.new,
+            row.ratio()
+        )?;
+    }
+    if regressions.is_empty() {
+        writeln!(
+            out,
+            "no wall-time metric regressed past {threshold:.2}x ({} compared)",
+            rows.len()
+        )?;
+        Ok(())
+    } else {
+        Err(CliError::BenchRegression(format!(
+            "{} wall-time metric(s) regressed past {threshold:.2}x: {}\n\
+             (re-bless with `cad bench-diff {old_path} {new_path} --update` if intended)",
+            regressions.len(),
+            regressions.join(", ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(phase_secs: f64, build_secs: f64, counter: u64) -> String {
+        let mut r = cad_obs::Report::new("bench_test");
+        r.phases.insert(
+            "detect".into(),
+            cad_obs::SpanStat {
+                calls: 1,
+                total_secs: phase_secs,
+            },
+        );
+        r.counters.insert("linalg.spmv".into(), counter);
+        r.instances.push(cad_obs::InstanceReport {
+            t: 0,
+            backend: "exact".into(),
+            build_secs,
+            jl_dim: None,
+            n_solves: 0,
+            iterations: cad_obs::Summary::default(),
+            residuals: cad_obs::Summary::default(),
+        });
+        r.to_json_string()
+    }
+
+    fn tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("cad-bench-diff-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name).to_string_lossy().into_owned();
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn diff(old: &str, new: &str, threshold: f64) -> (Result<(), CliError>, String) {
+        let mut out = Vec::new();
+        let r = run_bench_diff(old, new, threshold, false, &mut out);
+        (r, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let text = report_with(0.1, 0.05, 100);
+        let old = tmp("id-old.json", &text);
+        let new = tmp("id-new.json", &text);
+        let (r, table) = diff(&old, &new, 1.3);
+        assert!(r.is_ok(), "{table}");
+        assert!(table.contains("no wall-time metric regressed"), "{table}");
+        assert!(table.contains("phase/detect"), "{table}");
+        assert!(table.contains("build/exact"), "{table}");
+    }
+
+    #[test]
+    fn regression_past_threshold_fails() {
+        let old = tmp("reg-old.json", &report_with(0.1, 0.05, 100));
+        let new = tmp("reg-new.json", &report_with(0.25, 0.05, 100));
+        let (r, table) = diff(&old, &new, 1.3);
+        match r {
+            Err(CliError::BenchRegression(msg)) => {
+                assert!(msg.contains("phase/detect"), "{msg}")
+            }
+            other => panic!("expected regression, got {other:?}\n{table}"),
+        }
+        assert!(table.contains("REGRESSED"), "{table}");
+    }
+
+    #[test]
+    fn counter_drift_is_informational() {
+        let old = tmp("cnt-old.json", &report_with(0.1, 0.05, 100));
+        let new = tmp("cnt-new.json", &report_with(0.1, 0.05, 100_000));
+        let (r, table) = diff(&old, &new, 1.3);
+        assert!(r.is_ok(), "counters must not gate: {table}");
+        assert!(table.contains("info"), "{table}");
+    }
+
+    #[test]
+    fn sub_noise_times_never_gate() {
+        let old = tmp("ns-old.json", &report_with(0.00001, 0.00002, 7));
+        let new = tmp("ns-new.json", &report_with(0.00009, 0.00001, 7));
+        let (r, table) = diff(&old, &new, 1.3);
+        assert!(r.is_ok(), "sub-millisecond noise must pass: {table}");
+        assert!(table.contains("noise"), "{table}");
+    }
+
+    #[test]
+    fn name_mismatch_is_a_hard_error() {
+        let old = tmp("nm-old.json", &report_with(0.1, 0.05, 100));
+        let mut r = cad_obs::Report::new("bench_test");
+        r.phases.insert(
+            "renamed_phase".into(),
+            cad_obs::SpanStat {
+                calls: 1,
+                total_secs: 0.1,
+            },
+        );
+        r.counters.insert("linalg.spmv".into(), 100);
+        let new = tmp("nm-new.json", &r.to_json_string());
+        let (result, _) = diff(&old, &new, 1.3);
+        match result {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("name sets differ"), "{msg}")
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_blesses_baseline() {
+        let old = tmp("up-old.json", &report_with(0.1, 0.05, 100));
+        let new_text = report_with(0.9, 0.5, 200);
+        let new = tmp("up-new.json", &new_text);
+        let mut out = Vec::new();
+        run_bench_diff(&old, &new, 1.3, true, &mut out).unwrap();
+        assert_eq!(std::fs::read_to_string(&old).unwrap(), new_text);
+        // After blessing, the diff is clean.
+        let (r, _) = diff(&old, &new, 1.3);
+        assert!(r.is_ok());
+    }
+}

@@ -11,8 +11,13 @@ USAGE:
                [--engine auto|exact|approx|corrected] [--k <dim>] [--threads <n>]
                [--trace] [--metrics-json <report.json>]
   cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>] [--threads <n>]
+  cad watch    [--input -|<dir>|<seq.txt>] [--l <n> | --delta <x>]
+               [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
+               [--k <dim>] [--events <log.ndjson>] [--metrics-addr <ip:port>]
+               [--max-instances <n>] [--poll-ms <ms>] [--hold-ms <ms>]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
   cad validate-report --input <report.json>
+  cad bench-diff <old.json> <new.json> [--threshold <ratio>] [--update]
 
 The input format is a plain edge list:
   nodes 17
@@ -24,8 +29,15 @@ The input format is a plain edge list:
 
 detect   prints the anomalous edge/node sets per transition
 score    prints ranked edge scores per transition
+watch    streams instances (stdin NDJSON `-`, a directory to tail, or a
+         sequence file to replay), detects per arriving transition with a
+         sliding oracle cache, and appends one NDJSON event per
+         transition; --metrics-addr serves Prometheus /metrics + /healthz
 generate writes a synthetic workload (for trying the tool end to end)
 validate-report checks a --metrics-json report against the schema
+bench-diff compares two bench reports metric-by-metric and exits 4 when
+         a wall-time metric regresses past --threshold (default 1.3);
+         --update blesses <new.json> as the baseline instead
 
 --trace prints a nested per-phase timing tree (plus solver and scoring
 digests) to stderr after detection; --metrics-json writes the same data
@@ -107,6 +119,44 @@ pub enum Command {
         /// Report path.
         input: String,
     },
+    /// Stream instances and detect per arriving transition.
+    Watch {
+        /// `-` for stdin NDJSON, a directory to tail, or a sequence
+        /// file to replay.
+        input: String,
+        /// Target nodes/transition (`--l`); mutually exclusive with delta.
+        l: Option<usize>,
+        /// Fixed threshold (`--delta`).
+        delta: Option<f64>,
+        /// Score kind.
+        kind: KindArg,
+        /// Engine selection.
+        engine: EngineArg,
+        /// Embedding dimension.
+        k: usize,
+        /// Append NDJSON events here (stdout when absent).
+        events: Option<String>,
+        /// Serve Prometheus `/metrics` + `/healthz` at this address.
+        metrics_addr: Option<String>,
+        /// Stop after this many instances (endless when absent).
+        max_instances: Option<usize>,
+        /// Directory-tail poll interval in milliseconds.
+        poll_ms: u64,
+        /// Keep the process (and exporter) alive this long after the
+        /// input ends.
+        hold_ms: u64,
+    },
+    /// Compare two bench reports and gate on wall-time regressions.
+    BenchDiff {
+        /// Baseline report path.
+        old: String,
+        /// Candidate report path.
+        new: String,
+        /// Regression gate: fail when `new/old` exceeds this ratio.
+        threshold: f64,
+        /// Bless `<new>` as the baseline instead of gating.
+        update: bool,
+    },
 }
 
 /// Parsed command line.
@@ -125,28 +175,35 @@ impl Cli {
             return Err(USAGE.to_string());
         }
         // Flags that are bare switches (no value token follows).
-        const SWITCHES: &[&str] = &["trace"];
+        const SWITCHES: &[&str] = &["trace", "update"];
         let mut flags: HashMap<String, String> = HashMap::new();
+        let mut positionals: Vec<String> = Vec::new();
         let mut pending: Option<String> = None;
         for tok in iter {
             match pending.take() {
                 Some(key) => {
                     flags.insert(key, tok);
                 }
-                None => {
-                    let key = tok
-                        .strip_prefix("--")
-                        .ok_or_else(|| format!("unexpected argument `{tok}`\n\n{USAGE}"))?;
-                    if SWITCHES.contains(&key) {
-                        flags.insert(key.to_string(), "true".to_string());
-                    } else {
-                        pending = Some(key.to_string());
+                None => match tok.strip_prefix("--") {
+                    Some(key) => {
+                        if SWITCHES.contains(&key) {
+                            flags.insert(key.to_string(), "true".to_string());
+                        } else {
+                            pending = Some(key.to_string());
+                        }
                     }
-                }
+                    None => positionals.push(tok),
+                },
             }
         }
         if let Some(key) = pending {
             return Err(format!("flag `--{key}` is missing a value\n\n{USAGE}"));
+        }
+        // Only bench-diff takes positional operands.
+        if sub != "bench-diff" {
+            if let Some(p) = positionals.first() {
+                return Err(format!("unexpected argument `{p}`\n\n{USAGE}"));
+            }
         }
 
         let get = |k: &str| flags.get(k).cloned();
@@ -164,47 +221,109 @@ impl Cli {
                 Some(other) => Err(format!("unknown --kind `{other}` (cad|adj|com)")),
             }
         };
-
-        let command = match sub.as_str() {
-            "detect" => {
-                let input =
-                    get("input").ok_or_else(|| format!("detect needs --input\n\n{USAGE}"))?;
-                let l = match get("l") {
+        let parse_engine = |flags: &HashMap<String, String>| -> Result<EngineArg, String> {
+            match flags.get("engine").map(String::as_str) {
+                None | Some("auto") => Ok(EngineArg::Auto),
+                Some("exact") => Ok(EngineArg::Exact),
+                Some("approx") => Ok(EngineArg::Approx),
+                Some("corrected") => Ok(EngineArg::Corrected),
+                Some(other) => Err(format!(
+                    "unknown --engine `{other}` (auto|exact|approx|corrected)"
+                )),
+            }
+        };
+        let parse_l_delta =
+            |flags: &HashMap<String, String>| -> Result<(Option<usize>, Option<f64>), String> {
+                let l = match flags.get("l") {
                     Some(v) => Some(v.parse().map_err(|_| format!("invalid --l `{v}`"))?),
                     None => None,
                 };
-                let delta = match get("delta") {
+                let delta = match flags.get("delta") {
                     Some(v) => Some(v.parse().map_err(|_| format!("invalid --delta `{v}`"))?),
                     None => None,
                 };
                 if l.is_some() && delta.is_some() {
                     return Err("--l and --delta are mutually exclusive".into());
                 }
-                let engine = match get("engine").as_deref() {
-                    None | Some("auto") => EngineArg::Auto,
-                    Some("exact") => EngineArg::Exact,
-                    Some("approx") => EngineArg::Approx,
-                    Some("corrected") => EngineArg::Corrected,
-                    Some(other) => {
-                        return Err(format!(
-                            "unknown --engine `{other}` (auto|exact|approx|corrected)"
-                        ))
-                    }
-                };
-                let k = match get("k") {
-                    Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`"))?,
-                    None => 50,
-                };
+                Ok((l, delta))
+            };
+        let parse_k = |flags: &HashMap<String, String>| -> Result<usize, String> {
+            match flags.get("k") {
+                Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`")),
+                None => Ok(50),
+            }
+        };
+
+        let command = match sub.as_str() {
+            "detect" => {
+                let input =
+                    get("input").ok_or_else(|| format!("detect needs --input\n\n{USAGE}"))?;
+                let (l, delta) = parse_l_delta(&flags)?;
                 Command::Detect {
                     input,
                     l,
                     delta,
                     kind: parse_kind(&flags)?,
-                    engine,
-                    k,
+                    engine: parse_engine(&flags)?,
+                    k: parse_k(&flags)?,
                     threads: parse_threads(&flags)?,
                     trace: flags.contains_key("trace"),
                     metrics_json: get("metrics-json"),
+                }
+            }
+            "watch" => {
+                let (l, delta) = parse_l_delta(&flags)?;
+                let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+                    match flags.get(key) {
+                        Some(v) => v.parse().map_err(|_| format!("invalid --{key} `{v}`")),
+                        None => Ok(default),
+                    }
+                };
+                let max_instances = match get("max-instances") {
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid --max-instances `{v}`"))?,
+                    ),
+                    None => None,
+                };
+                Command::Watch {
+                    input: get("input").unwrap_or_else(|| "-".to_string()),
+                    l,
+                    delta,
+                    kind: parse_kind(&flags)?,
+                    engine: parse_engine(&flags)?,
+                    k: parse_k(&flags)?,
+                    events: get("events"),
+                    metrics_addr: get("metrics-addr"),
+                    max_instances,
+                    poll_ms: parse_u64("poll-ms", 200)?,
+                    hold_ms: parse_u64("hold-ms", 0)?,
+                }
+            }
+            "bench-diff" => {
+                if positionals.len() != 2 {
+                    return Err(format!(
+                        "bench-diff needs exactly two report paths, got {}\n\n{USAGE}",
+                        positionals.len()
+                    ));
+                }
+                let threshold = match get("threshold") {
+                    Some(v) => {
+                        let t: f64 = v
+                            .parse()
+                            .map_err(|_| format!("invalid --threshold `{v}`"))?;
+                        if !(t.is_finite() && t >= 1.0) {
+                            return Err(format!("--threshold must be ≥ 1.0, got `{v}`"));
+                        }
+                        t
+                    }
+                    None => 1.3,
+                };
+                Command::BenchDiff {
+                    old: positionals[0].clone(),
+                    new: positionals[1].clone(),
+                    threshold,
+                    update: flags.contains_key("update"),
                 }
             }
             "score" => {
@@ -362,6 +481,97 @@ mod tests {
             parse("generate --dataset toy --seed 9").unwrap().command,
             Command::Generate { seed: 9, .. }
         ));
+    }
+
+    #[test]
+    fn watch_defaults_and_flags() {
+        let cli = parse("watch").unwrap();
+        match cli.command {
+            Command::Watch {
+                input,
+                l,
+                delta,
+                events,
+                metrics_addr,
+                max_instances,
+                poll_ms,
+                hold_ms,
+                ..
+            } => {
+                assert_eq!(input, "-");
+                assert_eq!((l, delta), (None, None));
+                assert_eq!(events, None);
+                assert_eq!(metrics_addr, None);
+                assert_eq!(max_instances, None);
+                assert_eq!(poll_ms, 200);
+                assert_eq!(hold_ms, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse(
+            "watch --input snaps --delta 0.5 --events ev.ndjson \
+             --metrics-addr 127.0.0.1:9184 --max-instances 10 --poll-ms 50 --hold-ms 250",
+        )
+        .unwrap();
+        match cli.command {
+            Command::Watch {
+                input,
+                delta,
+                events,
+                metrics_addr,
+                max_instances,
+                poll_ms,
+                hold_ms,
+                ..
+            } => {
+                assert_eq!(input, "snaps");
+                assert_eq!(delta, Some(0.5));
+                assert_eq!(events.as_deref(), Some("ev.ndjson"));
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:9184"));
+                assert_eq!(max_instances, Some(10));
+                assert_eq!(poll_ms, 50);
+                assert_eq!(hold_ms, 250);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse("watch --l 3 --delta 1.0").is_err());
+    }
+
+    #[test]
+    fn bench_diff_positionals() {
+        let cli = parse("bench-diff old.json new.json").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::BenchDiff {
+                old: "old.json".into(),
+                new: "new.json".into(),
+                threshold: 1.3,
+                update: false,
+            }
+        );
+        let cli = parse("bench-diff a.json b.json --threshold 2.0 --update").unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::BenchDiff {
+                threshold, update: true, ..
+            } if threshold == 2.0
+        ));
+        assert!(parse("bench-diff only-one.json")
+            .unwrap_err()
+            .contains("exactly two"));
+        assert!(parse("bench-diff a b c")
+            .unwrap_err()
+            .contains("exactly two"));
+        assert!(parse("bench-diff a b --threshold 0.5")
+            .unwrap_err()
+            .contains("threshold"));
+    }
+
+    #[test]
+    fn positionals_rejected_outside_bench_diff() {
+        assert!(parse("detect stray --input s.txt")
+            .unwrap_err()
+            .contains("unexpected argument `stray`"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::cli::{Cli, Command, EngineArg, KindArg};
 use cad_commute::{EmbeddingOptions, EngineOptions};
-use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdPolicy};
+use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdMode, ThresholdPolicy};
 use cad_graph::io::{read_sequence, write_sequence};
 use cad_graph::GraphSequence;
 use std::fs::File;
@@ -17,6 +17,9 @@ pub enum CliError {
     Graph(cad_graph::GraphError),
     /// Bad user input not caught at flag parsing.
     Usage(String),
+    /// `bench-diff` found a wall-time regression past the threshold
+    /// (exit code 4 so CI can distinguish it from hard failures).
+    BenchRegression(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -25,6 +28,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Usage(m) => write!(f, "{m}"),
+            CliError::BenchRegression(m) => write!(f, "{m}"),
         }
     }
 }
@@ -41,7 +45,7 @@ impl From<cad_graph::GraphError> for CliError {
     }
 }
 
-fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
+pub(crate) fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
     let embedding = EmbeddingOptions {
         k,
         ..Default::default()
@@ -57,7 +61,7 @@ fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
     }
 }
 
-fn score_kind(kind: KindArg) -> ScoreKind {
+pub(crate) fn score_kind(kind: KindArg) -> ScoreKind {
     match kind {
         KindArg::Cad => ScoreKind::Cad,
         KindArg::Adj => ScoreKind::Adj,
@@ -196,6 +200,40 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Watch {
+            input,
+            l,
+            delta,
+            kind,
+            engine,
+            k,
+            events,
+            metrics_addr,
+            max_instances,
+            poll_ms,
+            hold_ms,
+        } => {
+            let mode = match (l, delta) {
+                (_, Some(d)) => ThresholdMode::Fixed(*d),
+                (Some(l), None) => ThresholdMode::TargetNodes(*l),
+                (None, None) => ThresholdMode::TargetNodes(5),
+            };
+            let cfg = crate::watch::WatchConfig {
+                mode,
+                events: events.clone(),
+                metrics_addr: metrics_addr.clone(),
+                max_instances: *max_instances,
+                poll_ms: *poll_ms,
+                hold_ms: *hold_ms,
+            };
+            crate::watch::run_watch(input, *kind, *engine, *k, &cfg, out)
+        }
+        Command::BenchDiff {
+            old,
+            new,
+            threshold,
+            update,
+        } => crate::bench_diff::run_bench_diff(old, new, *threshold, *update, out),
         Command::ValidateReport { input } => {
             let text = std::fs::read_to_string(input)
                 .map_err(|e| CliError::Usage(format!("cannot open `{input}`: {e}")))?;
@@ -413,7 +451,7 @@ mod tests {
         // And the validate-report subcommand accepts it.
         let (code, msg) = run_str(&format!("validate-report --input {report_path}"));
         assert_eq!(code, 0, "{msg}");
-        assert!(msg.contains("valid report (schema_version 1"), "{msg}");
+        assert!(msg.contains("valid report (schema_version 2"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! `cad watch` — streaming detection over arriving graph snapshots.
+//!
+//! Instances arrive from one of three sources:
+//!
+//! * **stdin NDJSON** (`--input -`, the default): one snapshot per line,
+//!   `{"nodes": N, "edges": [[u, v, w], ...]}`;
+//! * **a directory to tail** (`--input <dir>`): snapshot files in the
+//!   plain sequence-file format, processed in lexicographic filename
+//!   order as they appear (poll interval `--poll-ms`);
+//! * **a sequence file to replay** (`--input <seq.txt>`): every
+//!   instance of an offline sequence, in order.
+//!
+//! Each arrival triggers exactly one oracle build ([`OnlineCad`]'s
+//! sliding cache keeps `G_t`'s oracle as the next transition's left
+//! operand) and, from the second instance on, one scored transition.
+//! Every transition appends one NDJSON *event* — timestamp, transition
+//! id, δ, anomalous edge/node counts, and a latency breakdown by phase —
+//! to `--events` (stdout by default). `--metrics-addr` additionally
+//! serves the live counter/histogram registry as Prometheus text plus a
+//! `/healthz` liveness probe for the duration of the run.
+
+use crate::cli::{EngineArg, KindArg};
+use crate::commands::CliError;
+use cad_core::{OnlineCad, ThresholdMode, TransitionAnomalies};
+use cad_graph::io::{read_graph, read_sequence};
+use cad_graph::WeightedGraph;
+use cad_obs::Json;
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Everything `cad watch` needs beyond the detector options.
+pub struct WatchConfig {
+    /// Threshold mode (fixed δ or running-average target).
+    pub mode: ThresholdMode,
+    /// Event-log path (append); stdout when `None`.
+    pub events: Option<String>,
+    /// Exporter bind address, e.g. `127.0.0.1:9184`.
+    pub metrics_addr: Option<String>,
+    /// Stop after this many instances.
+    pub max_instances: Option<usize>,
+    /// Directory-tail poll interval.
+    pub poll_ms: u64,
+    /// Linger after the input ends (lets a scraper catch the final
+    /// state before the exporter goes away).
+    pub hold_ms: u64,
+}
+
+/// Parse one stdin NDJSON snapshot line.
+fn graph_from_ndjson(line: &str) -> Result<WeightedGraph, CliError> {
+    let v = cad_obs::parse_json(line)
+        .map_err(|e| CliError::Usage(format!("bad snapshot line: {e}")))?;
+    let n = v
+        .get("nodes")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CliError::Usage("snapshot needs a `nodes` integer".into()))?;
+    let mut edges = Vec::new();
+    let arr = v
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CliError::Usage("snapshot needs an `edges` array".into()))?;
+    for (i, e) in arr.iter().enumerate() {
+        let triple = e
+            .as_arr()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| CliError::Usage(format!("edges[{i}] is not a [u, v, w] triple")))?;
+        let u = triple[0]
+            .as_u64()
+            .ok_or_else(|| CliError::Usage(format!("edges[{i}] endpoint not an integer")))?;
+        let v2 = triple[1]
+            .as_u64()
+            .ok_or_else(|| CliError::Usage(format!("edges[{i}] endpoint not an integer")))?;
+        let w = triple[2]
+            .as_f64()
+            .ok_or_else(|| CliError::Usage(format!("edges[{i}] weight not a number")))?;
+        edges.push((u as usize, v2 as usize, w));
+    }
+    Ok(WeightedGraph::from_edges(n as usize, &edges)?)
+}
+
+/// One NDJSON event line for a completed transition (no trailing
+/// newline). Timestamps are Unix epoch milliseconds.
+fn event_line(
+    ts_ms: u128,
+    tr: &TransitionAnomalies,
+    delta: f64,
+    n_scored: usize,
+    build_secs: f64,
+    score_secs: f64,
+) -> String {
+    format!(
+        "{{\"ts_ms\": {ts_ms}, \"t\": {}, \"delta\": {}, \"n_scored\": {}, \
+         \"n_edges\": {}, \"n_nodes\": {}, \"latency\": {{\"build_secs\": {:.6}, \
+         \"score_secs\": {:.6}, \"total_secs\": {:.6}}}}}",
+        tr.t,
+        if delta == f64::MAX {
+            "null".to_string()
+        } else {
+            format!("{delta:.6e}")
+        },
+        n_scored,
+        tr.edges.len(),
+        tr.nodes.len(),
+        build_secs,
+        score_secs,
+        build_secs + score_secs,
+    )
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// Drive the streaming detector over a source of instances, emitting
+/// one event per transition into `events`. Returns
+/// `(instances, transitions)` processed. Factored out of [`run_watch`]
+/// so integration tests can feed an in-memory source and sink.
+pub fn watch_loop(
+    source: &mut dyn Iterator<Item = Result<WeightedGraph, CliError>>,
+    online: &mut OnlineCad,
+    events: &mut dyn Write,
+    health: &cad_obs::WatchHealth,
+    max_instances: Option<usize>,
+) -> Result<(usize, usize), CliError> {
+    let mut instances = 0usize;
+    let mut transitions = 0usize;
+    for g in source {
+        let (outcome, m) = online.push_metered(g?)?;
+        instances += 1;
+        if let Some(tr) = outcome {
+            transitions += 1;
+            health.mark_transition();
+            let line = event_line(
+                now_ms(),
+                &tr,
+                online.delta(),
+                m.n_scored,
+                m.build.build_secs,
+                m.score_secs,
+            );
+            writeln!(events, "{line}")?;
+            events.flush()?;
+        }
+        if max_instances.is_some_and(|max| instances >= max) {
+            break;
+        }
+    }
+    Ok((instances, transitions))
+}
+
+/// A directory tail: yields snapshot files in lexicographic filename
+/// order as they appear, polling until `max_instances` are seen.
+struct DirTail {
+    dir: String,
+    seen: BTreeSet<String>,
+    queue: Vec<String>,
+    poll: Duration,
+    remaining: Option<usize>,
+}
+
+impl Iterator for DirTail {
+    type Item = Result<WeightedGraph, CliError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(0) = self.remaining {
+            return None;
+        }
+        loop {
+            if let Some(path) = self.queue.pop() {
+                if let Some(r) = self.remaining.as_mut() {
+                    *r -= 1;
+                }
+                let g = match File::open(&path) {
+                    Ok(f) => read_graph(f)
+                        .map_err(|e| CliError::Usage(format!("snapshot `{path}` unreadable: {e}"))),
+                    Err(e) => Err(CliError::Usage(format!("cannot open `{path}`: {e}"))),
+                };
+                return Some(g);
+            }
+            let mut fresh: Vec<String> = match std::fs::read_dir(&self.dir) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().is_file())
+                    .map(|e| e.path().to_string_lossy().into_owned())
+                    .filter(|p| !self.seen.contains(p))
+                    .collect(),
+                Err(e) => return Some(Err(CliError::Io(e))),
+            };
+            if fresh.is_empty() {
+                std::thread::sleep(self.poll);
+                continue;
+            }
+            // Lexicographic arrival order; pop() takes from the back,
+            // so sort descending.
+            fresh.sort_unstable_by(|a, b| b.cmp(a));
+            for p in &fresh {
+                self.seen.insert(p.clone());
+            }
+            self.queue = fresh;
+        }
+    }
+}
+
+/// Run the full `cad watch` command. The `--l`/`--delta` flags have
+/// already been folded into `cfg.mode` by the dispatcher.
+pub fn run_watch(
+    input: &str,
+    kind: KindArg,
+    engine: EngineArg,
+    k: usize,
+    cfg: &WatchConfig,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let opts = cad_core::CadOptions {
+        engine: crate::commands::engine_options(engine, k),
+        kind: crate::commands::score_kind(kind),
+        threads: 1,
+    };
+    let mut online = OnlineCad::with_mode(opts, cfg.mode);
+    let health = Arc::new(cad_obs::WatchHealth::new());
+    let server = match &cfg.metrics_addr {
+        Some(addr) => {
+            let s = cad_obs::MetricsServer::start(addr, Arc::clone(&health))?;
+            cad_obs::progress!("serving /metrics and /healthz at http://{}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
+    let mut event_sink: Box<dyn Write + '_> = match &cfg.events {
+        Some(path) => Box::new(File::options().create(true).append(true).open(path)?),
+        None => Box::new(&mut *out),
+    };
+
+    let path = Path::new(input);
+    let (instances, transitions) = if input == "-" {
+        let stdin = std::io::stdin();
+        let mut source = stdin.lock().lines().filter_map(|line| match line {
+            Ok(l) if l.trim().is_empty() => None,
+            Ok(l) => Some(graph_from_ndjson(&l)),
+            Err(e) => Some(Err(CliError::Io(e))),
+        });
+        watch_loop(
+            &mut source,
+            &mut online,
+            &mut event_sink,
+            &health,
+            cfg.max_instances,
+        )?
+    } else if path.is_dir() {
+        let mut source = DirTail {
+            dir: input.to_string(),
+            seen: BTreeSet::new(),
+            queue: Vec::new(),
+            poll: Duration::from_millis(cfg.poll_ms),
+            remaining: cfg.max_instances,
+        };
+        watch_loop(
+            &mut source,
+            &mut online,
+            &mut event_sink,
+            &health,
+            cfg.max_instances,
+        )?
+    } else {
+        let file = File::open(input)
+            .map_err(|e| CliError::Usage(format!("cannot open `{input}`: {e}")))?;
+        let seq = read_sequence(file)?;
+        let mut source = seq.graphs().iter().cloned().map(Ok);
+        watch_loop(
+            &mut source,
+            &mut online,
+            &mut event_sink,
+            &health,
+            cfg.max_instances,
+        )?
+    };
+
+    drop(event_sink);
+    if cfg.hold_ms > 0 {
+        std::thread::sleep(Duration::from_millis(cfg.hold_ms));
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    cad_obs::progress!("watch done: {instances} instances, {transitions} transitions");
+    // When events go to a file, stdout still gets a one-line summary.
+    if cfg.events.is_some() {
+        writeln!(out, "{instances} instances, {transitions} transitions")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_core::CadOptions;
+
+    fn instance(bridge: f64) -> WeightedGraph {
+        let mut edges = vec![
+            (0, 1, 3.0),
+            (0, 2, 3.0),
+            (1, 2, 3.0),
+            (3, 4, 3.0),
+            (3, 5, 3.0),
+            (4, 5, 3.0),
+            (2, 3, 0.2),
+        ];
+        if bridge > 0.0 {
+            edges.push((0, 5, bridge));
+        }
+        WeightedGraph::from_edges(6, &edges).unwrap()
+    }
+
+    #[test]
+    fn ndjson_snapshot_parses() {
+        let g = graph_from_ndjson(r#"{"nodes": 4, "edges": [[0, 1, 1.5], [2, 3, 0.25]]}"#).unwrap();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.edges().count(), 2);
+
+        assert!(graph_from_ndjson("not json").is_err());
+        assert!(graph_from_ndjson(r#"{"edges": []}"#).is_err());
+        assert!(graph_from_ndjson(r#"{"nodes": 2, "edges": [[0, 1]]}"#).is_err());
+    }
+
+    #[test]
+    fn event_lines_are_valid_single_line_json() {
+        let tr = TransitionAnomalies {
+            t: 3,
+            edges: Vec::new(),
+            nodes: Vec::new(),
+        };
+        let line = event_line(1234, &tr, 0.5, 7, 0.001, 0.0005);
+        assert!(!line.contains('\n'));
+        let v = cad_obs::parse_json(&line).expect("event parses");
+        assert_eq!(v.get("t").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("n_scored").and_then(Json::as_u64), Some(7));
+        assert!(v.get("latency").and_then(|l| l.get("total_secs")).is_some());
+        // δ before first calibration serializes as null.
+        let line = event_line(0, &tr, f64::MAX, 0, 0.0, 0.0);
+        let v = cad_obs::parse_json(&line).expect("parses");
+        assert!(matches!(v.get("delta"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn watch_loop_emits_one_event_per_transition() {
+        let graphs = vec![instance(0.0), instance(0.0), instance(1.5)];
+        let mut source = graphs.into_iter().map(Ok);
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
+        let mut sink = Vec::new();
+        let health = cad_obs::WatchHealth::new();
+        let (instances, transitions) =
+            watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap();
+        assert_eq!(instances, 3);
+        assert_eq!(transitions, 2);
+        assert_eq!(health.transitions(), 2);
+        let text = String::from_utf8(sink).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(cad_obs::parse_json(line).is_ok(), "bad event: {line}");
+        }
+        // The bridge transition flags the cross-cluster edge.
+        let last = cad_obs::parse_json(lines[1]).unwrap();
+        assert_eq!(last.get("t").and_then(Json::as_u64), Some(1));
+        assert_eq!(last.get("n_edges").and_then(Json::as_u64), Some(1));
+        assert_eq!(last.get("n_nodes").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn watch_loop_respects_max_instances() {
+        let graphs = vec![instance(0.0); 10];
+        let mut source = graphs.into_iter().map(Ok);
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
+        let mut sink = Vec::new();
+        let health = cad_obs::WatchHealth::new();
+        let (instances, transitions) =
+            watch_loop(&mut source, &mut online, &mut sink, &health, Some(4)).unwrap();
+        assert_eq!(instances, 4);
+        assert_eq!(transitions, 3);
+    }
+}

@@ -83,6 +83,7 @@ impl CommuteEmbedding {
         // travels back with the row so stats can be merged in row order
         // (deterministic regardless of worker count; see cad_obs::stats).
         let solve_row = |row: usize| -> Result<(Vec<f64>, cad_obs::SolveStats)> {
+            cad_obs::counters::JL_PROJECTIONS.inc();
             let mut y = vec![0.0; n];
             for (e_idx, (u, v, w)) in g.edges().enumerate() {
                 let q = signs.sign(row as u64, e_idx as u64) * inv_sqrt_k;

@@ -55,6 +55,13 @@ impl CommuteTimeEngine {
     /// Build the oracle for one graph instance.
     pub fn compute(g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle> {
         let _span = cad_obs::span!("oracle_build");
+        cad_obs::counters::ORACLE_BUILDS.inc();
+        let (oracle, secs) = cad_obs::time_it(|| Self::compute_inner(g, opts));
+        cad_obs::histograms::ORACLE_BUILD_SECS.observe(secs);
+        oracle
+    }
+
+    fn compute_inner(g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle> {
         match opts {
             EngineOptions::Exact => Ok(Box::new(ExactCommute::compute(g)?)),
             EngineOptions::Approximate(e) => Ok(Box::new(CommuteEmbedding::compute(g, e)?)),

@@ -80,6 +80,36 @@ impl DetectionMetrics {
     /// `detect.scores` summary. Everything written here except the
     /// wall-time fields is bit-identical for any thread count.
     pub fn fill_report(&self, report: &mut cad_obs::Report) {
+        // Report histograms are rebuilt here from the per-item records
+        // (instance order, then row order) rather than snapshotted from
+        // the live atomic sinks, so they honor the bit-identity
+        // contract; only the *_secs series carry wall-times.
+        let mut cg_iterations = cad_obs::Histogram::new();
+        let mut cg_residuals = cad_obs::Histogram::new();
+        let mut oracle_build_secs = cad_obs::Histogram::new();
+        let mut transition_score_secs = cad_obs::Histogram::new();
+        for inst in &self.instances {
+            oracle_build_secs.record(inst.build.build_secs);
+            for s in &inst.build.solves {
+                cg_iterations.record(s.iterations as f64);
+                cg_residuals.record(s.relative_residual);
+            }
+        }
+        for tr in &self.transitions {
+            transition_score_secs.record(tr.score_secs);
+        }
+        for (name, h) in [
+            ("cg_iterations", cg_iterations),
+            ("cg_residuals", cg_residuals),
+            ("oracle_build_secs", oracle_build_secs),
+            ("transition_score_secs", transition_score_secs),
+        ] {
+            report
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(&h);
+        }
         for inst in &self.instances {
             report.instances.push(cad_obs::InstanceReport {
                 t: inst.t as u64,

@@ -61,7 +61,7 @@ pub use detector::{
 };
 pub use explain::{classify, explain_transition, AnomalyCase, Explanation};
 pub use node_scores::node_scores_from_edges;
-pub use online::OnlineCad;
+pub use online::{OnlineCad, OnlineStepMetrics, ThresholdMode};
 pub use report::{render_report, ReportOptions};
 pub use scores::{pair_edge_scores, transition_edge_scores, EdgeScore, ScoreKind};
 pub use threshold::{choose_delta, select_prefix, ThresholdPolicy};

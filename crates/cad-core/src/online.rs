@@ -17,6 +17,36 @@ use crate::{CadOptions, Result};
 use cad_commute::{CommuteTimeEngine, SharedOracle};
 use cad_graph::WeightedGraph;
 
+/// How the streaming detector chooses its threshold δ.
+#[derive(Debug, Clone, Copy)]
+pub enum ThresholdMode {
+    /// Re-calibrate δ after every arrival so the running average
+    /// anomaly rate tracks this many nodes per transition (paper §4.2's
+    /// online modification). Keeps the full score history.
+    TargetNodes(usize),
+    /// A fixed δ for the whole stream. No score history is kept —
+    /// memory stays bounded however long the stream runs — and each
+    /// transition's anomaly set is exactly what batch detection with
+    /// the same δ would produce.
+    Fixed(f64),
+}
+
+/// Observability record for one [`OnlineCad::push_metered`] arrival.
+///
+/// The oracle for the arriving instance is built exactly once and
+/// cached for the next transition's left operand, so `build` describes
+/// the *only* build this arrival triggered.
+#[derive(Debug, Clone)]
+pub struct OnlineStepMetrics {
+    /// What building the arriving instance's oracle cost.
+    pub build: cad_obs::OracleBuildStats,
+    /// Wall-clock seconds scoring the new transition (0 on the first
+    /// arrival, which has no transition).
+    pub score_secs: f64,
+    /// Candidate (changed) edges scored (0 on the first arrival).
+    pub n_scored: usize,
+}
+
 /// Streaming CAD detector: push instances, get per-transition anomaly
 /// sets with a self-calibrating threshold.
 ///
@@ -34,13 +64,16 @@ use cad_graph::WeightedGraph;
 /// ```
 pub struct OnlineCad {
     opts: CadOptions,
-    /// Target anomalous nodes per transition.
-    l: usize,
+    mode: ThresholdMode,
     n_nodes: Option<usize>,
     /// Previous instance and its distance oracle.
     prev: Option<(WeightedGraph, SharedOracle)>,
-    /// Scored history, one sorted score list per seen transition.
+    /// Scored history, one sorted score list per seen transition
+    /// ([`ThresholdMode::TargetNodes`] only — stays empty under a fixed
+    /// δ so memory is bounded).
     history: Vec<Vec<EdgeScore>>,
+    /// Transitions observed so far.
+    seen: usize,
     /// Current calibrated threshold.
     delta: f64,
 }
@@ -48,9 +81,9 @@ pub struct OnlineCad {
 impl std::fmt::Debug for OnlineCad {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OnlineCad")
-            .field("l", &self.l)
+            .field("mode", &self.mode)
             .field("n_nodes", &self.n_nodes)
-            .field("n_transitions", &self.history.len())
+            .field("n_transitions", &self.seen)
             .field("delta", &self.delta)
             .finish_non_exhaustive()
     }
@@ -60,19 +93,29 @@ impl OnlineCad {
     /// Create a streaming detector targeting `l` anomalous nodes per
     /// transition on (running) average.
     pub fn new(opts: CadOptions, l: usize) -> Self {
+        Self::with_mode(opts, ThresholdMode::TargetNodes(l))
+    }
+
+    /// Create a streaming detector with an explicit threshold mode.
+    pub fn with_mode(opts: CadOptions, mode: ThresholdMode) -> Self {
+        let delta = match mode {
+            ThresholdMode::TargetNodes(_) => f64::MAX,
+            ThresholdMode::Fixed(d) => d,
+        };
         OnlineCad {
             opts,
-            l,
+            mode,
             n_nodes: None,
             prev: None,
             history: Vec::new(),
-            delta: f64::MAX,
+            seen: 0,
+            delta,
         }
     }
 
     /// Number of transitions observed so far.
     pub fn n_transitions(&self) -> usize {
-        self.history.len()
+        self.seen
     }
 
     /// The current calibrated threshold δ (`f64::MAX` before the first
@@ -87,39 +130,72 @@ impl OnlineCad {
     /// afterwards returns the anomaly set of the newest transition under
     /// the re-calibrated threshold.
     pub fn push(&mut self, g: WeightedGraph) -> Result<Option<TransitionAnomalies>> {
+        self.push_metered(g).map(|(out, _)| out)
+    }
+
+    /// Like [`OnlineCad::push`], also returning what the arrival cost:
+    /// the (single) oracle build and the transition-scoring latency.
+    pub fn push_metered(
+        &mut self,
+        g: WeightedGraph,
+    ) -> Result<(Option<TransitionAnomalies>, OnlineStepMetrics)> {
         match self.n_nodes {
             None => self.n_nodes = Some(g.n_nodes()),
             Some(n) if n != g.n_nodes() => {
                 return Err(cad_graph::GraphError::MixedNodeCounts {
                     expected: n,
                     found: g.n_nodes(),
-                    at: self.history.len() + 1,
+                    at: self.seen + 1,
                 });
             }
             Some(_) => {}
         }
+        // The sliding oracle cache: this build is the only one the
+        // arrival triggers — G_t's oracle was cached by the previous
+        // push and becomes this transition's left operand.
         let engine = CommuteTimeEngine::compute(&g, &self.opts.engine)?;
+        let build = engine
+            .build_stats()
+            .cloned()
+            .unwrap_or_else(|| cad_obs::OracleBuildStats::direct(engine.kind().name(), 0.0));
+        let mut metrics = OnlineStepMetrics {
+            build,
+            score_secs: 0.0,
+            n_scored: 0,
+        };
         let out = if let Some((prev_g, prev_engine)) = &self.prev {
-            let scores = pair_edge_scores(
-                prev_g,
-                &g,
-                prev_engine.as_ref(),
-                engine.as_ref(),
-                self.opts.kind,
-            )?;
-            self.history.push(scores);
-            // Re-calibrate δ over everything seen so far (paper §4.2's
-            // online modification).
-            let n = self.n_nodes.expect("set above");
-            self.delta = choose_delta(&self.history, n, self.l * self.history.len());
-            let newest = self.history.last().expect("just pushed");
+            let (scores, secs) = cad_obs::time_it(|| {
+                pair_edge_scores(
+                    prev_g,
+                    &g,
+                    prev_engine.as_ref(),
+                    engine.as_ref(),
+                    self.opts.kind,
+                )
+            });
+            let scores = scores?;
+            cad_obs::histograms::TRANSITION_SCORE_SECS.observe(secs);
+            metrics.score_secs = secs;
+            metrics.n_scored = scores.len();
+            self.seen += 1;
+            let newest = match self.mode {
+                ThresholdMode::TargetNodes(l) => {
+                    self.history.push(scores);
+                    // Re-calibrate δ over everything seen so far (paper
+                    // §4.2's online modification).
+                    let n = self.n_nodes.expect("set above");
+                    self.delta = choose_delta(&self.history, n, l * self.history.len());
+                    self.history.last().expect("just pushed")
+                }
+                ThresholdMode::Fixed(_) => &scores,
+            };
             let k = select_prefix(newest, self.delta);
             let edges: Vec<EdgeScore> = newest[..k].to_vec();
             let mut nodes: Vec<usize> = edges.iter().flat_map(|e| [e.u, e.v]).collect();
             nodes.sort_unstable();
             nodes.dedup();
             Some(TransitionAnomalies {
-                t: self.history.len() - 1,
+                t: self.seen - 1,
                 edges,
                 nodes,
             })
@@ -127,11 +203,15 @@ impl OnlineCad {
             None
         };
         self.prev = Some((g, engine));
-        Ok(out)
+        Ok((out, metrics))
     }
 
     /// Re-evaluate *all* seen transitions at the current δ — converges
     /// to exactly the offline result once the stream ends.
+    ///
+    /// Only meaningful under [`ThresholdMode::TargetNodes`]; a fixed-δ
+    /// stream keeps no history (its per-arrival output already equals
+    /// the batch result), so this returns an empty vector there.
     pub fn reevaluate_all(&self) -> Vec<TransitionAnomalies> {
         self.history
             .iter()
@@ -220,6 +300,44 @@ mod tests {
             assert_eq!(on.nodes, off.nodes, "transition {}", on.t);
             assert_eq!(on.edges.len(), off.edges.len());
         }
+    }
+
+    #[test]
+    fn fixed_delta_matches_batch_per_arrival() {
+        let stream = [0.0, 0.0, 1.5, 0.0];
+        let graphs: Vec<WeightedGraph> = stream.iter().map(|&b| instance(b)).collect();
+        let delta = 0.4;
+        let offline = CadDetector::new(CadOptions::default())
+            .detect(&GraphSequence::new(graphs.clone()).unwrap(), delta)
+            .unwrap();
+
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(delta));
+        let mut sets = Vec::new();
+        for (i, g) in graphs.into_iter().enumerate() {
+            let (out, m) = online.push_metered(g).unwrap();
+            assert!(!m.build.backend.is_empty());
+            match out {
+                None => {
+                    assert_eq!(i, 0, "only the first arrival lacks a transition");
+                    assert_eq!(m.n_scored, 0);
+                    assert_eq!(m.score_secs, 0.0);
+                }
+                Some(tr) => sets.push(tr),
+            }
+        }
+        assert_eq!(online.delta(), delta);
+        assert_eq!(sets.len(), offline.transitions.len());
+        for (on, off) in sets.iter().zip(&offline.transitions) {
+            assert_eq!(on.t, off.t);
+            assert_eq!(on.nodes, off.nodes, "transition {}", on.t);
+            assert_eq!(on.edges.len(), off.edges.len());
+            for (a, b) in on.edges.iter().zip(&off.edges) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        // Fixed mode keeps no history.
+        assert!(online.reevaluate_all().is_empty());
+        assert_eq!(online.n_transitions(), 3);
     }
 
     #[test]

@@ -93,6 +93,8 @@ pub fn cg_solve(
     let bnorm = vecops::norm2(b);
     if bnorm == 0.0 {
         cad_obs::counters::CG_SOLVES.inc();
+        cad_obs::histograms::CG_ITERATIONS.observe(0.0);
+        cad_obs::histograms::CG_RESIDUALS.observe(0.0);
         return Ok(CgOutcome {
             x: vec![0.0; n],
             iterations: 0,
@@ -140,6 +142,8 @@ pub fn cg_solve(
 
     cad_obs::counters::CG_SOLVES.inc();
     cad_obs::counters::CG_ITERATIONS.add(iterations as u64);
+    cad_obs::histograms::CG_ITERATIONS.observe(iterations as f64);
+    cad_obs::histograms::CG_RESIDUALS.observe(rnorm / bnorm);
     Ok(CgOutcome {
         x,
         iterations,

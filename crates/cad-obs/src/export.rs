@@ -1,0 +1,406 @@
+//! Live-telemetry export: Prometheus text rendering and the embedded
+//! `/metrics` + `/healthz` HTTP endpoint.
+//!
+//! Everything here is hand-rolled on `std::net::TcpListener` — one
+//! accept thread, HTTP/1.1 `GET` only, `Connection: close` — because
+//! the crate is zero-dependency by contract. The server exists to feed
+//! a Prometheus scraper (or a `curl` in CI) during `cad watch`; it is
+//! not a general web server and deliberately rejects everything but
+//! `GET /metrics` and `GET /healthz`.
+//!
+//! [`render_prometheus`] snapshots the process-wide sinks — well-known
+//! [`counters`](crate::metrics::counters), well-known
+//! [`histograms`](crate::hist::histograms) and the [`global`] span
+//! registry — into Prometheus text-exposition format (version 0.0.4):
+//! counters as `cad_<name>_total`, histograms as cumulative
+//! `_bucket{le=...}` series plus `_sum`/`_count`, span aggregates as
+//! `cad_span_seconds_total{path=...}` / `cad_span_calls_total{path=...}`.
+
+use crate::global;
+use crate::hist::{bucket_le, histograms, Histogram, N_BUCKETS};
+use crate::metrics::counters;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Turn a dotted metric name into a Prometheus-legal one:
+/// `linalg.cg_solves` → `cad_linalg_cg_solves`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("cad_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format an f64 for the exposition format (`+Inf` for infinity).
+fn prom_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v.is_nan() {
+        "NaN".into()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let base = prom_name(name);
+    out.push_str(&format!("# HELP {base} {help}\n"));
+    out.push_str(&format!("# TYPE {base} histogram\n"));
+    let mut cumulative = 0u64;
+    for i in 0..N_BUCKETS {
+        let c = h.bucket_counts()[i];
+        cumulative += c;
+        // Only print boundary buckets plus non-empty ones to keep the
+        // payload small; cumulative counts stay correct because `le`
+        // series are monotone and the final +Inf bucket is always shown.
+        if c > 0 || i == N_BUCKETS - 1 {
+            out.push_str(&format!(
+                "{base}_bucket{{le=\"{}\"}} {cumulative}\n",
+                prom_f64(bucket_le(i))
+            ));
+        }
+    }
+    out.push_str(&format!("{base}_sum {}\n", prom_f64(h.sum)));
+    out.push_str(&format!("{base}_count {}\n", h.count));
+}
+
+/// Render the live process-wide metric sinks as Prometheus text
+/// (exposition format 0.0.4). Deterministic given a fixed sink state:
+/// well-known counters and histograms print in their stable declaration
+/// order, span paths in BTreeMap (lexicographic) order.
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    for (name, value) in counters::snapshot() {
+        let base = prom_name(name);
+        out.push_str(&format!("# TYPE {base}_total counter\n"));
+        out.push_str(&format!("{base}_total {value}\n"));
+    }
+    for (name, h) in histograms::snapshot() {
+        render_histogram(&mut out, name, "log-bucketed value distribution", &h);
+    }
+    let snap = global().snapshot();
+    if !snap.spans.is_empty() {
+        out.push_str("# TYPE cad_span_seconds_total counter\n");
+        for (path, stat) in &snap.spans {
+            out.push_str(&format!(
+                "cad_span_seconds_total{{path=\"{}\"}} {}\n",
+                escape_label(path),
+                prom_f64(stat.total_secs)
+            ));
+        }
+        out.push_str("# TYPE cad_span_calls_total counter\n");
+        for (path, stat) in &snap.spans {
+            out.push_str(&format!(
+                "cad_span_calls_total{{path=\"{}\"}} {}\n",
+                escape_label(path),
+                stat.calls
+            ));
+        }
+    }
+    out
+}
+
+/// Shared liveness state for `/healthz`: when the last transition was
+/// processed and how many have been, updated by the watch loop.
+#[derive(Debug)]
+pub struct WatchHealth {
+    start: Instant,
+    /// Milliseconds since `start` of the last processed transition
+    /// (`u64::MAX` = none yet).
+    last_ms: AtomicU64,
+    transitions: AtomicU64,
+}
+
+impl WatchHealth {
+    /// Fresh health state anchored at "now".
+    pub fn new() -> Self {
+        WatchHealth {
+            start: Instant::now(),
+            last_ms: AtomicU64::new(u64::MAX),
+            transitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Mark one transition as processed "now".
+    pub fn mark_transition(&self) {
+        let ms = self.start.elapsed().as_millis() as u64;
+        self.last_ms.store(ms, Ordering::Relaxed);
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transitions processed so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the last transition (`None` before the first).
+    pub fn last_transition_age_secs(&self) -> Option<f64> {
+        let last = self.last_ms.load(Ordering::Relaxed);
+        if last == u64::MAX {
+            return None;
+        }
+        let now = self.start.elapsed().as_millis() as u64;
+        Some(now.saturating_sub(last) as f64 / 1000.0)
+    }
+
+    fn healthz_json(&self) -> String {
+        let age = match self.last_transition_age_secs() {
+            Some(a) => format!("{a:.3}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"status\": \"ok\", \"transitions\": {}, \"uptime_secs\": {:.3}, \"last_transition_age_secs\": {}}}\n",
+            self.transitions(),
+            self.start.elapsed().as_secs_f64(),
+            age
+        )
+    }
+}
+
+impl Default for WatchHealth {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The embedded metrics endpoint: one listener thread serving
+/// `GET /metrics` (Prometheus text) and `GET /healthz` (JSON liveness).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (port 0 picks a free port — see [`Self::addr`]) and
+    /// start serving on a background thread.
+    pub fn start(addr: &str, health: Arc<WatchHealth>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cad-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // Serve inline: requests are tiny and rare
+                        // (scrapes), so one thread is plenty.
+                        let _ = serve_one(stream, &health);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, health: &WatchHealth) -> std::io::Result<()> {
+    // Read until the request line is complete (clients may fragment the
+    // request across writes); ignore headers/body.
+    let mut buf = [0u8; 1024];
+    let mut n = 0;
+    while n < buf.len() && !buf[..n].contains(&b'\n') {
+        let got = stream.read(&mut buf[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(),
+            ),
+            "/healthz" => ("200 OK", "application/json", health.healthz_json()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("linalg.cg_solves"), "cad_linalg_cg_solves");
+        assert_eq!(prom_name("oracle_build_secs"), "cad_oracle_build_secs");
+    }
+
+    #[test]
+    fn prom_f64_formats() {
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(3.0), "3");
+        assert_eq!(prom_f64(1.25), "1.25e0");
+    }
+
+    #[test]
+    fn render_contains_counters_and_histogram_series() {
+        crate::counters::SPMV.add(7);
+        crate::histograms::CG_ITERATIONS.observe(12.0);
+        let text = render_prometheus();
+        assert!(text.contains("cad_linalg_spmv_total"), "{text}");
+        assert!(text.contains("# TYPE cad_cg_iterations histogram"));
+        assert!(text.contains("cad_cg_iterations_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("cad_cg_iterations_sum"));
+        assert!(text.contains("cad_cg_iterations_count"));
+        // Exposition format: every line is `name{labels} value` or a
+        // comment; assert no line is empty or malformed.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_serves_metrics_healthz_and_404() {
+        let health = Arc::new(WatchHealth::new());
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&health)).expect("bind");
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("_total"));
+
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(
+            body.contains("\"last_transition_age_secs\": null"),
+            "{body}"
+        );
+        health.mark_transition();
+        let (_, body) = http_get(addr, "/healthz");
+        assert!(body.contains("\"transitions\": 1"), "{body}");
+        assert!(!body.contains("null"), "{body}");
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        // Port is released: a fresh bind to the same port succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok());
+        let _ = rebind;
+    }
+
+    #[test]
+    fn healthz_age_tracks_transitions() {
+        let h = WatchHealth::new();
+        assert!(h.last_transition_age_secs().is_none());
+        h.mark_transition();
+        let age = h.last_transition_age_secs().expect("marked");
+        assert!((0.0..5.0).contains(&age));
+        assert_eq!(h.transitions(), 1);
+        // JSON is parseable by our own parser.
+        let parsed = crate::parse_json(&h.healthz_json()).expect("healthz json");
+        assert_eq!(parsed.get("status").and_then(|j| j.as_str()), Some("ok"));
+    }
+
+    #[test]
+    fn serve_rejects_non_get() {
+        let health = Arc::new(WatchHealth::new());
+        let server = MetricsServer::start("127.0.0.1:0", health).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("write");
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read status line");
+        assert!(line.starts_with("HTTP/1.1 405"), "{line}");
+        server.shutdown();
+    }
+}

@@ -7,6 +7,11 @@
 //!   a process-wide registry ([`metrics::global`]).
 //! * [`metrics`] — lock-free [`FastCounter`]s for hot-path events plus a
 //!   mutex-guarded [`Registry`] of named counters / summaries / spans.
+//! * [`hist`] — log-bucketed latency/value [`Histogram`]s: a
+//!   deterministic value type for reports and a lock-free
+//!   [`AtomicHistogram`] twin backing the live `/metrics` exporter.
+//! * [`export`] — Prometheus text-exposition rendering and the
+//!   hand-rolled `/metrics` + `/healthz` HTTP server for `cad watch`.
 //! * [`stats`] — typed result-side statistics ([`SolveStats`],
 //!   [`Summary`], [`OracleBuildStats`]) that travel *with* computation
 //!   results so aggregates stay deterministic under parallelism.
@@ -25,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod export;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod progress;
@@ -33,9 +40,26 @@ pub mod span;
 pub mod stats;
 
 pub use clock::{time_it, time_mean};
+pub use export::{render_prometheus, MetricsServer, WatchHealth};
+pub use hist::{histograms, AtomicHistogram, Histogram};
 pub use json::{parse as parse_json, Json};
 pub use metrics::{counters, global, FastCounter, MetricsSnapshot, Registry, SpanStat};
 pub use progress::{set_verbosity, verbosity, Verbosity};
 pub use report::{HostInfo, InstanceReport, Report, SolveReport, TransitionReport, SCHEMA_VERSION};
 pub use span::SpanGuard;
 pub use stats::{OracleBuildStats, SolveStats, Summary};
+
+/// Reset every process-wide metric sink: the [`global`] registry
+/// (spans, named counters, summaries), all well-known
+/// [`counters`](metrics::counters), and all well-known
+/// [`histograms`](hist::histograms).
+///
+/// Intended for single-process CLI runs that execute several cases
+/// back-to-back, and for integration tests that assert on global
+/// metrics (serialize such tests and call this between cases so
+/// metrics can't bleed across `#[test]` functions sharing a process).
+pub fn reset() {
+    global().reset();
+    counters::reset_all();
+    histograms::reset_all();
+}

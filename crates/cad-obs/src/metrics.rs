@@ -46,6 +46,11 @@ impl FastCounter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Zero the counter (single-process CLI runs and test isolation).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
 }
 
 impl Default for FastCounter {
@@ -64,6 +69,11 @@ pub mod counters {
     pub static CG_SOLVES: FastCounter = FastCounter::new();
     /// Total CG/PCG iterations across all solves.
     pub static CG_ITERATIONS: FastCounter = FastCounter::new();
+    /// Johnson–Lindenstrauss projection rows solved in the Khoa–Chawla
+    /// commute-embedding path.
+    pub static JL_PROJECTIONS: FastCounter = FastCounter::new();
+    /// Distance oracles built (`CommuteTimeEngine::compute` calls).
+    pub static ORACLE_BUILDS: FastCounter = FastCounter::new();
 
     /// Snapshot of every well-known counter, keyed by its stable report
     /// name.
@@ -72,7 +82,18 @@ pub mod counters {
             ("linalg.spmv", SPMV.get()),
             ("linalg.cg_solves", CG_SOLVES.get()),
             ("linalg.cg_iterations", CG_ITERATIONS.get()),
+            ("linalg.jl_projections", JL_PROJECTIONS.get()),
+            ("commute.oracle_builds", ORACLE_BUILDS.get()),
         ]
+    }
+
+    /// Zero every well-known counter.
+    pub fn reset_all() {
+        SPMV.reset();
+        CG_SOLVES.reset();
+        CG_ITERATIONS.reset();
+        JL_PROJECTIONS.reset();
+        ORACLE_BUILDS.reset();
     }
 }
 
@@ -178,7 +199,13 @@ mod tests {
         let names: Vec<&str> = counters::snapshot().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["linalg.spmv", "linalg.cg_solves", "linalg.cg_iterations"]
+            vec![
+                "linalg.spmv",
+                "linalg.cg_solves",
+                "linalg.cg_iterations",
+                "linalg.jl_projections",
+                "commute.oracle_builds"
+            ]
         );
     }
 

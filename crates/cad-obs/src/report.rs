@@ -12,13 +12,22 @@
 //! removing/renaming a field or changing a type bumps
 //! [`SCHEMA_VERSION`].
 
+use crate::hist::Histogram;
 use crate::json::Json;
 use crate::metrics::{MetricsSnapshot, SpanStat};
 use crate::stats::Summary;
 use std::collections::BTreeMap;
 
 /// Version of the JSON report schema emitted by this crate.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v1 (PR 2): phases/counters/summaries/instances/transitions/solves.
+/// v2 (PR 3): adds the `histograms` section (log-bucketed latency and
+/// convergence distributions with p50/p90/p99).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version `validate-report` still accepts. Reports
+/// emitted at v1 simply lack the `histograms` section.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Host description captured into every report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +117,8 @@ pub struct Report {
     pub counters: BTreeMap<String, u64>,
     /// Named value summaries.
     pub summaries: BTreeMap<String, Summary>,
+    /// Named value distributions (schema v2+; empty for v1 documents).
+    pub histograms: BTreeMap<String, Histogram>,
     /// Per-instance oracle-build records.
     pub instances: Vec<InstanceReport>,
     /// Per-transition scoring records.
@@ -126,6 +137,7 @@ impl Report {
             phases: BTreeMap::new(),
             counters: BTreeMap::new(),
             summaries: BTreeMap::new(),
+            histograms: BTreeMap::new(),
             instances: Vec::new(),
             transitions: Vec::new(),
             solves: Vec::new(),
@@ -191,6 +203,15 @@ impl Report {
                     self.summaries
                         .iter()
                         .map(|(k, s)| (k.clone(), summary_json(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), histogram_json(h)))
                         .collect(),
                 ),
             ),
@@ -286,6 +307,13 @@ impl Report {
         if let Some(Json::Obj(pairs)) = v.get("summaries") {
             for (k, s) in pairs {
                 summaries.insert(k.clone(), summary_from_json(s)?);
+            }
+        }
+        // Absent in v1 documents: default to an empty section.
+        let mut histograms = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = v.get("histograms") {
+            for (k, h) in pairs {
+                histograms.insert(k.clone(), histogram_from_json(h)?);
             }
         }
         let instances = v
@@ -385,6 +413,7 @@ impl Report {
             phases,
             counters,
             summaries,
+            histograms,
             instances,
             transitions,
             solves,
@@ -400,12 +429,13 @@ impl Report {
                 errs.push(format!("{field}: {why}"));
             }
         };
-        match v.get("schema_version").and_then(Json::as_u64) {
+        let version = v.get("schema_version").and_then(Json::as_u64);
+        match version {
             None => need("schema_version", false, "missing or not an integer"),
-            Some(ver) if ver != SCHEMA_VERSION => need(
+            Some(ver) if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&ver) => need(
                 "schema_version",
                 false,
-                &format!("{ver} unsupported (expected {SCHEMA_VERSION})"),
+                &format!("{ver} unsupported (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"),
             ),
             Some(_) => {}
         }
@@ -466,6 +496,23 @@ impl Report {
             matches!(v.get("summaries"), Some(Json::Obj(_))),
             "missing object",
         );
+        // `histograms` is required from v2 on; tolerated if present in
+        // a v1 document (fields are only ever added).
+        match v.get("histograms") {
+            Some(Json::Obj(pairs)) => {
+                for (k, h) in pairs {
+                    if let Err(e) = histogram_from_json(h) {
+                        need(&format!("histograms.{k}"), false, &e);
+                    }
+                }
+            }
+            Some(_) => need("histograms", false, "not an object"),
+            None => {
+                if version.is_some_and(|ver| ver >= 2) {
+                    need("histograms", false, "missing object (required from v2)");
+                }
+            }
+        }
         match v.get("instances").and_then(Json::as_arr) {
             None => need("instances", false, "missing array"),
             Some(items) => {
@@ -624,6 +671,23 @@ impl Report {
                 ));
             }
         }
+        if !self.histograms.is_empty() {
+            out.push_str("\n== histograms ==\n");
+            for (k, h) in &self.histograms {
+                if h.count == 0 {
+                    out.push_str(&format!("  {k:<24} (empty)\n"));
+                } else {
+                    out.push_str(&format!(
+                        "  {k:<24} n={:<6} p50 {:.3e}  p90 {:.3e}  p99 {:.3e}  max {:.3e}\n",
+                        h.count,
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max,
+                    ));
+                }
+            }
+        }
         if !self.counters.is_empty() {
             out.push_str("\n== counters ==\n");
             for (k, v) in &self.counters {
@@ -657,6 +721,80 @@ fn summary_json(s: &Summary) -> Json {
         ),
         ("mean", Json::Num(s.mean())),
     ])
+}
+
+/// Histogram document: scalar stats, derived percentiles (for human
+/// and dashboard consumption; recomputed on parse) and the sparse
+/// non-empty bucket list as `[index, count]` pairs.
+fn histogram_json(h: &Histogram) -> Json {
+    let empty = h.count == 0;
+    Json::obj(vec![
+        ("count", Json::Num(h.count as f64)),
+        ("sum", Json::Num(h.sum)),
+        ("min", if empty { Json::Null } else { Json::Num(h.min) }),
+        ("max", if empty { Json::Null } else { Json::Num(h.max) }),
+        ("p50", Json::Num(h.p50())),
+        ("p90", Json::Num(h.p90())),
+        ("p99", Json::Num(h.p99())),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .map(|(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn histogram_from_json(v: &Json) -> Result<Histogram, String> {
+    let count = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or("histogram.count missing")?;
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_f64)
+        .ok_or("histogram.sum missing")?;
+    let mut h = Histogram::new();
+    let buckets = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram.buckets missing")?;
+    let mut total = 0u64;
+    for (n, pair) in buckets.iter().enumerate() {
+        let pair = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("buckets[{n}] not an [index, count] pair"))?;
+        let i = pair[0]
+            .as_u64()
+            .ok_or_else(|| format!("buckets[{n}] index not an integer"))?;
+        let c = pair[1]
+            .as_u64()
+            .ok_or_else(|| format!("buckets[{n}] count not an integer"))?;
+        h.set_bucket(i as usize, c)
+            .map_err(|e| format!("buckets[{n}]: {e}"))?;
+        total += c;
+    }
+    if total != count {
+        return Err(format!(
+            "histogram bucket counts sum to {total}, count says {count}"
+        ));
+    }
+    h.count = count;
+    h.sum = sum;
+    if count > 0 {
+        h.min = v
+            .get("min")
+            .and_then(Json::as_f64)
+            .ok_or("histogram.min missing")?;
+        h.max = v
+            .get("max")
+            .and_then(Json::as_f64)
+            .ok_or("histogram.max missing")?;
+    }
+    Ok(h)
 }
 
 fn summary_from_json(v: &Json) -> Result<Summary, String> {
@@ -707,6 +845,11 @@ mod tests {
         );
         r.counters.insert("linalg.spmv".into(), 123);
         r.summaries.insert("score".into(), Summary::of([0.5, 2.0]));
+        r.histograms.insert(
+            "cg_iterations".into(),
+            Histogram::of([10.0, 12.0, 12.0, 40.0]),
+        );
+        r.histograms.insert("empty_series".into(), Histogram::new());
         r.instances.push(InstanceReport {
             t: 0,
             backend: "embedding".into(),
@@ -764,6 +907,46 @@ mod tests {
         let v = crate::json::parse(&r.to_json_string()).unwrap();
         let errs = Report::validate_json(&v).unwrap_err();
         assert!(errs[0].contains("unsupported"), "{errs:?}");
+    }
+
+    #[test]
+    fn validation_accepts_v1_without_histograms() {
+        // A v1 document has no histograms section and must still pass.
+        let mut r = sample();
+        r.schema_version = 1;
+        let text = r
+            .to_json_string()
+            .replacen("\"histograms\": {", "\"histograms_gone\": {", 1);
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(Report::validate_json(&v), Ok(()));
+        let back = Report::from_json(&v).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert!(back.histograms.is_empty());
+
+        // The same document claiming v2 is rejected: histograms are
+        // required from v2 on.
+        let text2 = text.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+        let v2 = crate::json::parse(&text2).unwrap();
+        let errs = Report::validate_json(&v2).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("histograms")), "{errs:?}");
+    }
+
+    #[test]
+    fn histogram_round_trips_and_rejects_corruption() {
+        let r = sample();
+        let back = Report::from_json(&crate::json::parse(&r.to_json_string()).unwrap()).unwrap();
+        assert_eq!(back.histograms, r.histograms);
+        let h = &back.histograms["cg_iterations"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, 40.0);
+
+        // Bucket counts disagreeing with `count` is a schema error.
+        let text = r
+            .to_json_string()
+            .replacen("\"count\": 4,", "\"count\": 5,", 1);
+        let v = crate::json::parse(&text).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("sum to")), "{errs:?}");
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Live-telemetry integration contracts: histogram merges are
+//! deterministic under striping (the thread-pool merge pattern), the
+//! streaming watch loop produces exactly the batch detector's anomaly
+//! sets while building each oracle exactly once, and the embedded
+//! `/metrics` endpoint serves valid Prometheus text for a real run.
+//!
+//! The watch and exporter tests read the process-wide counter and
+//! histogram sinks, so they serialize on [`GLOBAL_SINKS`] and call
+//! [`cad_obs::reset`] at entry — the pattern every integration test
+//! touching live telemetry must follow.
+
+use cad_cli::watch::watch_loop;
+use cad_core::{CadDetector, CadOptions, OnlineCad, ThresholdMode};
+use cad_graph::{GraphSequence, WeightedGraph};
+use cad_obs::Histogram;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::sync::Mutex;
+
+/// Serializes every test that asserts on the process-wide metric sinks.
+static GLOBAL_SINKS: Mutex<()> = Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The coordinator merges per-worker histograms in index order; the
+    /// result must not depend on how samples were striped across
+    /// workers. Counts, buckets, min and max match sequential recording
+    /// exactly; the sum (floating-point, association-dependent) must be
+    /// bit-identical across repeated index-order merges, as must every
+    /// derived quantile.
+    #[test]
+    fn striped_histogram_merge_is_deterministic(
+        values in proptest::collection::vec(1e-12f64..1e5, 1..80),
+    ) {
+        let direct = Histogram::of(values.iter().copied());
+        let merge_striped = |n_parts: usize| {
+            let mut parts = vec![Histogram::new(); n_parts];
+            for (i, &v) in values.iter().enumerate() {
+                parts[i % n_parts].record(v);
+            }
+            let mut merged = Histogram::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            merged
+        };
+        let one = merge_striped(1);
+        let four = merge_striped(4);
+
+        prop_assert_eq!(one.count, direct.count);
+        prop_assert_eq!(four.count, direct.count);
+        prop_assert_eq!(one.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(four.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(four.min.to_bits(), direct.min.to_bits());
+        prop_assert_eq!(four.max.to_bits(), direct.max.to_bits());
+        // 1-way striping is sequential recording, so even the sum matches.
+        prop_assert_eq!(one.sum.to_bits(), direct.sum.to_bits());
+        // 4-way striping resums in a different association: the contract
+        // is repeatability, not equality with the sequential sum.
+        let four_again = merge_striped(4);
+        prop_assert_eq!(four.sum.to_bits(), four_again.sum.to_bits());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(four.quantile(q).to_bits(), direct.quantile(q).to_bits());
+        }
+    }
+}
+
+/// Two triangle clusters joined by a weak link; `bridge > 0` adds the
+/// cross-cluster edge whose appearance is the anomaly.
+fn instance(bridge: f64) -> WeightedGraph {
+    let mut edges = vec![
+        (0, 1, 3.0),
+        (0, 2, 3.0),
+        (1, 2, 3.0),
+        (3, 4, 3.0),
+        (3, 5, 3.0),
+        (4, 5, 3.0),
+        (2, 3, 0.2),
+    ];
+    if bridge > 0.0 {
+        edges.push((0, 5, bridge));
+    }
+    WeightedGraph::from_edges(6, &edges).unwrap()
+}
+
+#[test]
+fn watch_matches_batch_and_builds_each_oracle_once() {
+    let _guard = GLOBAL_SINKS.lock().unwrap();
+    cad_obs::reset();
+
+    let stream = [0.0, 0.0, 1.5, 1.5, 0.0];
+    let graphs: Vec<WeightedGraph> = stream.iter().map(|&b| instance(b)).collect();
+    let delta = 0.4;
+
+    let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(delta));
+    let mut sets = Vec::new();
+    for g in graphs.clone() {
+        if let Some(tr) = online.push(g).unwrap() {
+            sets.push(tr);
+        }
+    }
+    // The sliding oracle cache: one build per arriving instance, never a
+    // rebuild of the cached left operand.
+    let (_, builds) = cad_obs::counters::snapshot()
+        .into_iter()
+        .find(|(name, _)| *name == "commute.oracle_builds")
+        .expect("well-known counter");
+    assert_eq!(
+        builds,
+        graphs.len() as u64,
+        "each arriving instance must build exactly one oracle"
+    );
+
+    let batch = CadDetector::new(CadOptions::default())
+        .detect(&GraphSequence::new(graphs).unwrap(), delta)
+        .unwrap();
+    assert_eq!(sets.len(), batch.transitions.len());
+    for (on, off) in sets.iter().zip(&batch.transitions) {
+        assert_eq!(on.t, off.t);
+        assert_eq!(on.nodes, off.nodes, "transition {}", on.t);
+        assert_eq!(on.edges.len(), off.edges.len(), "transition {}", on.t);
+        for (a, b) in on.edges.iter().zip(&off.edges) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    // One write for the whole request; the server may answer-and-close
+    // after reading only the request line (e.g. a 404), so a late EPIPE
+    // is not an error.
+    let request = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    let _ = stream.write_all(request.as_bytes());
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text_for_a_watch_run() {
+    let _guard = GLOBAL_SINKS.lock().unwrap();
+    cad_obs::reset();
+
+    let health = std::sync::Arc::new(cad_obs::WatchHealth::new());
+    let server =
+        cad_obs::MetricsServer::start("127.0.0.1:0", std::sync::Arc::clone(&health)).unwrap();
+
+    let graphs = vec![instance(0.0), instance(0.0), instance(1.5)];
+    let mut source = graphs.into_iter().map(Ok);
+    let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
+    let mut events = Vec::new();
+    let (instances, transitions) =
+        watch_loop(&mut source, &mut online, &mut events, &health, None).unwrap();
+    assert_eq!((instances, transitions), (3, 2));
+
+    let metrics = http_get(server.addr(), "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(
+        metrics.contains("cad_commute_oracle_builds_total 3"),
+        "counter for the 3 builds missing:\n{metrics}"
+    );
+    // At least one histogram with the full bucket/sum/count triple.
+    assert!(
+        metrics.contains("cad_oracle_build_secs_bucket{le=\"+Inf\"} 3"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("cad_oracle_build_secs_sum"), "{metrics}");
+    assert!(
+        metrics.contains("cad_oracle_build_secs_count 3"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("cad_transition_score_secs_count 2"),
+        "{metrics}"
+    );
+
+    let healthz = http_get(server.addr(), "/healthz");
+    assert!(healthz.starts_with("HTTP/1.1 200 OK"), "{healthz}");
+    assert!(healthz.contains("\"transitions\": 2"), "{healthz}");
+
+    let missing = http_get(server.addr(), "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    server.shutdown();
+}
