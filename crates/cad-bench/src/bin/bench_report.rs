@@ -6,15 +6,24 @@
 //! ```text
 //! cargo run --release -p cad-bench --bin bench_report -- \
 //!     [--n 300] [--k 25] [--seed 7] [--threads 1] \
-//!     [--out BENCH_commute.json] [--quiet]
+//!     [--out BENCH_commute.json] [--store-dir <dir>] [--quiet]
 //! ```
+//!
+//! A second pass runs every backend through the `cad-store` oracle
+//! cache twice — cold (miss + build + persist) and warm (artifact
+//! load) — and records both as `store.cold_build_secs.<backend>` /
+//! `store.warm_load_secs.<backend>` summaries. Without `--store-dir`
+//! the cache lives in a throwaway temp directory that is wiped first,
+//! so the cold pass is genuinely cold; an explicit `--store-dir` is
+//! used as-is (point it at a warm cache to measure only loads).
 //!
 //! The output validates against the `cad validate-report` schema; see
 //! EXPERIMENTS.md for the field-by-field description.
 
 use cad_bench::Args;
-use cad_commute::{CommuteTimeEngine, EmbeddingOptions, EngineOptions};
+use cad_commute::{CommuteTimeEngine, EmbeddingOptions, EngineOptions, OracleProvider};
 use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+use cad_store::OracleStore;
 
 fn main() {
     let args = Args::from_env();
@@ -76,6 +85,44 @@ fn main() {
             cad_obs::progress!("{label}: instance {t} built in {secs:.3}s");
         }
     }
+    // Cold vs. warm oracle acquisition through the content-addressed
+    // store: the first pass builds and persists every artifact, the
+    // second deserializes them. Both are per-instance timings.
+    let store_dir = match args.has("store-dir") {
+        true => std::path::PathBuf::from(args.get("store-dir", String::new())),
+        false => {
+            let dir = std::env::temp_dir().join(format!("cad-bench-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+    };
+    let store = OracleStore::open(&store_dir).expect("open oracle store");
+    for (label, engine) in &backends {
+        let _span = cad_obs::span!("bench_store_backend");
+        let timed_pass = || -> Vec<f64> {
+            seq.graphs()
+                .iter()
+                .enumerate()
+                .map(|(t, g)| cad_obs::time_it(|| store.oracle(t, g, engine).expect("oracle")).1)
+                .collect()
+        };
+        let cold = timed_pass();
+        let warm = timed_pass();
+        let (c, w) = (cad_obs::Summary::of(cold), cad_obs::Summary::of(warm));
+        cad_obs::progress!(
+            "{label}: store cold mean {:.3}s, warm mean {:.3}s over {} instances",
+            c.mean(),
+            w.mean(),
+            seq.len()
+        );
+        report
+            .summaries
+            .insert(format!("store.cold_build_secs.{label}"), c);
+        report
+            .summaries
+            .insert(format!("store.warm_load_secs.{label}"), w);
+    }
+
     report.absorb_snapshot(&cad_obs::global().snapshot());
     for (name, value) in cad_obs::counters::snapshot() {
         report.counters.insert(name.to_string(), value);

@@ -158,6 +158,10 @@ pub fn run_bench_diff(
     let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
     writeln!(
         out,
+        "noise floor: wall-times at or below {NOISE_FLOOR_SECS:.0e}s never gate"
+    )?;
+    writeln!(
+        out,
         "{:width$}  {:>12}  {:>12}  {:>7}  gate",
         "metric", "old", "new", "ratio"
     )?;
@@ -281,6 +285,59 @@ mod tests {
         let (r, table) = diff(&old, &new, 1.3);
         assert!(r.is_ok(), "sub-millisecond noise must pass: {table}");
         assert!(table.contains("noise"), "{table}");
+    }
+
+    #[test]
+    fn header_prints_the_noise_floor() {
+        let text = report_with(0.1, 0.05, 100);
+        let old = tmp("nf-old.json", &text);
+        let new = tmp("nf-new.json", &text);
+        let (r, table) = diff(&old, &new, 1.3);
+        assert!(r.is_ok(), "{table}");
+        assert!(
+            table.contains("noise floor") && table.contains("1e-3"),
+            "header must state the floor value: {table}"
+        );
+    }
+
+    #[test]
+    fn exact_noise_floor_boundary_never_gates() {
+        // `regressed` uses a strict `>` against the floor: a new time of
+        // exactly 1ms is still noise, even against a near-zero baseline.
+        let at_floor = Row {
+            name: "phase/x".into(),
+            old: 1e-9,
+            new: NOISE_FLOOR_SECS,
+            gated: true,
+        };
+        assert!(!at_floor.regressed(1.3), "exactly 1ms must not gate");
+        // One ULP above the floor is past it; with old clamped up to the
+        // floor the threshold comparison takes over (still not enough
+        // to regress at 1.3x)...
+        let just_above = Row {
+            name: "phase/x".into(),
+            old: 1e-9,
+            new: NOISE_FLOOR_SECS * (1.0 + f64::EPSILON),
+            gated: true,
+        };
+        assert!(!just_above.regressed(1.3), "needs threshold x floor");
+        // ...while clearing threshold * floor does regress.
+        let past = Row {
+            name: "phase/x".into(),
+            old: 1e-9,
+            new: 1.3f64 * NOISE_FLOOR_SECS + 1e-12,
+            gated: true,
+        };
+        assert!(past.regressed(1.3));
+        // And an old time exactly at the floor is clamped, not zeroed:
+        // new must exceed threshold * floor, not threshold * 0.
+        let old_at_floor = Row {
+            name: "phase/x".into(),
+            old: NOISE_FLOOR_SECS,
+            new: 1.2e-3,
+            gated: true,
+        };
+        assert!(!old_at_floor.regressed(1.3));
     }
 
     #[test]

@@ -7,15 +7,19 @@ pub const USAGE: &str = "\
 cad — localize anomalous changes in time-evolving graphs (SIGMOD'14 CAD)
 
 USAGE:
-  cad detect   --input <seq.txt> [--l <n> | --delta <x>] [--kind cad|adj|com]
-               [--engine auto|exact|approx|corrected] [--k <dim>] [--threads <n>]
-               [--trace] [--metrics-json <report.json>]
+  cad detect   --input <seq.txt|pack.cadpack> [--l <n> | --delta <x>]
+               [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
+               [--k <dim>] [--threads <n>] [--trace]
+               [--metrics-json <report.json>] [--store-dir <dir>]
   cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>] [--threads <n>]
   cad watch    [--input -|<dir>|<seq.txt>] [--l <n> | --delta <x>]
                [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
                [--k <dim>] [--events <log.ndjson>] [--metrics-addr <ip:port>]
                [--max-instances <n>] [--poll-ms <ms>] [--hold-ms <ms>]
+               [--store-dir <dir>]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
+  cad pack     --input <seq.txt> --out <pack.cadpack> [--label <text>]
+  cad inspect  --input <pack.cadpack>
   cad validate-report --input <report.json>
   cad bench-diff <old.json> <new.json> [--threshold <ratio>] [--update]
 
@@ -34,6 +38,11 @@ watch    streams instances (stdin NDJSON `-`, a directory to tail, or a
          sliding oracle cache, and appends one NDJSON event per
          transition; --metrics-addr serves Prometheus /metrics + /healthz
 generate writes a synthetic workload (for trying the tool end to end)
+pack     converts a sequence file into a compact checksummed binary
+         `.cadpack` (base snapshot + per-transition edge deltas);
+         detect accepts `.cadpack` inputs directly
+inspect  prints a pack's header, sizes and integrity status without
+         loading the graphs into a detector
 validate-report checks a --metrics-json report against the schema
 bench-diff compares two bench reports metric-by-metric and exits 4 when
          a wall-time metric regresses past --threshold (default 1.3);
@@ -41,7 +50,11 @@ bench-diff compares two bench reports metric-by-metric and exits 4 when
 
 --trace prints a nested per-phase timing tree (plus solver and scoring
 digests) to stderr after detection; --metrics-json writes the same data
-as a schema-versioned machine-readable JSON report.";
+as a schema-versioned machine-readable JSON report.
+
+--store-dir <dir> keeps a content-addressed oracle cache in <dir>:
+detect/watch reuse an oracle artifact whenever the (snapshot, engine,
+parameters) key matches a previous build, skipping the build entirely.";
 
 /// Which detector scoring to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +106,9 @@ pub enum Command {
         /// Write the machine-readable JSON report here
         /// (`--metrics-json <path>`).
         metrics_json: Option<String>,
+        /// Oracle-cache directory (`--store-dir`); no caching when
+        /// absent.
+        store_dir: Option<String>,
     },
     /// Print ranked edge scores.
     Score {
@@ -145,6 +161,23 @@ pub enum Command {
         /// Keep the process (and exporter) alive this long after the
         /// input ends.
         hold_ms: u64,
+        /// Oracle-cache directory (`--store-dir`); no caching when
+        /// absent.
+        store_dir: Option<String>,
+    },
+    /// Convert a sequence file into a `.cadpack`.
+    Pack {
+        /// Input sequence path.
+        input: String,
+        /// Output pack path.
+        out: String,
+        /// Free-form label stored in the pack header.
+        label: String,
+    },
+    /// Print a pack's header and integrity status.
+    Inspect {
+        /// Pack path.
+        input: String,
     },
     /// Compare two bench reports and gate on wall-time regressions.
     BenchDiff {
@@ -269,6 +302,7 @@ impl Cli {
                     threads: parse_threads(&flags)?,
                     trace: flags.contains_key("trace"),
                     metrics_json: get("metrics-json"),
+                    store_dir: get("store-dir"),
                 }
             }
             "watch" => {
@@ -298,7 +332,22 @@ impl Cli {
                     max_instances,
                     poll_ms: parse_u64("poll-ms", 200)?,
                     hold_ms: parse_u64("hold-ms", 0)?,
+                    store_dir: get("store-dir"),
                 }
+            }
+            "pack" => {
+                let input = get("input").ok_or_else(|| format!("pack needs --input\n\n{USAGE}"))?;
+                let out = get("out").ok_or_else(|| format!("pack needs --out\n\n{USAGE}"))?;
+                Command::Pack {
+                    input,
+                    out,
+                    label: get("label").unwrap_or_default(),
+                }
+            }
+            "inspect" => {
+                let input =
+                    get("input").ok_or_else(|| format!("inspect needs --input\n\n{USAGE}"))?;
+                Command::Inspect { input }
             }
             "bench-diff" => {
                 if positionals.len() != 2 {
@@ -386,8 +435,10 @@ mod tests {
                 threads,
                 trace,
                 metrics_json,
+                store_dir,
             } => {
                 assert_eq!(input, "seq.txt");
+                assert_eq!(store_dir, None);
                 assert_eq!(l, None);
                 assert_eq!(delta, None);
                 assert_eq!(kind, KindArg::Cad);
@@ -535,6 +586,54 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse("watch --l 3 --delta 1.0").is_err());
+    }
+
+    #[test]
+    fn pack_and_inspect_parse() {
+        let cli = parse("pack --input seq.txt --out seq.cadpack --label nightly").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Pack {
+                input: "seq.txt".into(),
+                out: "seq.cadpack".into(),
+                label: "nightly".into(),
+            }
+        );
+        // Label defaults to empty.
+        assert!(matches!(
+            parse("pack --input a --out b").unwrap().command,
+            Command::Pack { label, .. } if label.is_empty()
+        ));
+        assert!(parse("pack --input a").unwrap_err().contains("--out"));
+        assert!(parse("pack --out b").unwrap_err().contains("--input"));
+
+        let cli = parse("inspect --input seq.cadpack").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Inspect {
+                input: "seq.cadpack".into()
+            }
+        );
+        assert!(parse("inspect").unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn store_dir_parses_on_detect_and_watch() {
+        assert!(matches!(
+            parse("detect --input s.txt --store-dir cache").unwrap().command,
+            Command::Detect { store_dir: Some(d), .. } if d == "cache"
+        ));
+        assert!(matches!(
+            parse("watch --input snaps --store-dir cache").unwrap().command,
+            Command::Watch { store_dir: Some(d), .. } if d == "cache"
+        ));
+        assert!(matches!(
+            parse("watch").unwrap().command,
+            Command::Watch {
+                store_dir: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -70,9 +70,30 @@ pub(crate) fn score_kind(kind: KindArg) -> ScoreKind {
 }
 
 fn load_sequence(path: &str) -> Result<GraphSequence, CliError> {
+    // Packed inputs route through the validated binary reader; anything
+    // else is the plain-text sequence format.
+    if path.ends_with(".cadpack") {
+        let seq = cad_store::read_pack(std::path::Path::new(path))
+            .map_err(|e| CliError::Usage(format!("cannot load pack `{path}`: {e}")))?;
+        return Ok(seq);
+    }
     let file =
         File::open(path).map_err(|e| CliError::Usage(format!("cannot open `{path}`: {e}")))?;
     Ok(read_sequence(file)?)
+}
+
+/// Open the oracle cache when `--store-dir` was given.
+fn open_store(
+    dir: &Option<String>,
+) -> Result<Option<std::sync::Arc<cad_store::OracleStore>>, CliError> {
+    match dir {
+        Some(d) => {
+            let store = cad_store::OracleStore::open(std::path::Path::new(d))
+                .map_err(|e| CliError::Usage(format!("cannot open store `{d}`: {e}")))?;
+            Ok(Some(std::sync::Arc::new(store)))
+        }
+        None => Ok(None),
+    }
 }
 
 /// Run one parsed command, writing human-readable output to `out`.
@@ -88,13 +109,17 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             threads,
             trace,
             metrics_json,
+            store_dir,
         } => {
             let seq = load_sequence(input)?;
-            let det = CadDetector::new(CadOptions {
+            let mut det = CadDetector::new(CadOptions {
                 engine: engine_options(*engine, *k),
                 kind: score_kind(*kind),
                 threads: *threads,
             });
+            if let Some(store) = open_store(store_dir)? {
+                det = det.with_provider(store);
+            }
             let policy = match (l, delta) {
                 (_, Some(d)) => ThresholdPolicy::Fixed(*d),
                 (Some(l), None) => ThresholdPolicy::TargetNodesPerTransition(*l),
@@ -212,6 +237,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             max_instances,
             poll_ms,
             hold_ms,
+            store_dir,
         } => {
             let mode = match (l, delta) {
                 (_, Some(d)) => ThresholdMode::Fixed(*d),
@@ -225,8 +251,39 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 max_instances: *max_instances,
                 poll_ms: *poll_ms,
                 hold_ms: *hold_ms,
+                store_dir: store_dir.clone(),
             };
             crate::watch::run_watch(input, *kind, *engine, *k, &cfg, out)
+        }
+        Command::Pack {
+            input,
+            out: dest,
+            label,
+        } => {
+            let seq = load_sequence(input)?;
+            let bytes = cad_store::write_pack(std::path::Path::new(dest), &seq, label)
+                .map_err(|e| CliError::Usage(format!("cannot write pack `{dest}`: {e}")))?;
+            writeln!(
+                out,
+                "packed {} instances over {} nodes into {dest} ({bytes} bytes)",
+                seq.len(),
+                seq.n_nodes()
+            )?;
+            Ok(())
+        }
+        Command::Inspect { input } => {
+            let info = cad_store::inspect_pack(std::path::Path::new(input))
+                .map_err(|e| CliError::Usage(format!("cannot inspect `{input}`: {e}")))?;
+            writeln!(out, "pack: {input}")?;
+            writeln!(out, "  format version : {}", info.version)?;
+            writeln!(out, "  label          : {:?}", info.meta.label)?;
+            writeln!(out, "  nodes          : {}", info.meta.n_nodes)?;
+            writeln!(out, "  instances      : {}", info.meta.n_instances)?;
+            writeln!(out, "  base edges     : {}", info.base_edges)?;
+            writeln!(out, "  delta edges    : {:?}", info.delta_edges)?;
+            writeln!(out, "  file bytes     : {}", info.file_bytes)?;
+            writeln!(out, "  integrity      : all section checksums ok")?;
+            Ok(())
         }
         Command::BenchDiff {
             old,
@@ -477,6 +534,70 @@ mod tests {
         assert_eq!(code, 0, "{msg}");
         // stdout stays the normal anomaly report; the tree goes to stderr.
         assert!(msg.contains("transition 0 -> 1"), "{msg}");
+    }
+
+    #[test]
+    fn pack_inspect_detect_roundtrip() {
+        let seq = tmp("toy-seq8.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let pack = tmp("toy-seq8.cadpack");
+        let (code, msg) = run_str(&format!("pack --input {seq} --out {pack} --label toy"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("packed 2 instances over 17 nodes"), "{msg}");
+
+        let (code, msg) = run_str(&format!("inspect --input {pack}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("instances      : 2"), "{msg}");
+        assert!(msg.contains("nodes          : 17"), "{msg}");
+        assert!(msg.contains("label          : \"toy\""), "{msg}");
+        assert!(msg.contains("all section checksums ok"), "{msg}");
+
+        // Detection on the pack matches detection on the text file.
+        let (code, from_text) = run_str(&format!("detect --input {seq} --l 6 --engine exact"));
+        assert_eq!(code, 0, "{from_text}");
+        let (code, from_pack) = run_str(&format!("detect --input {pack} --l 6 --engine exact"));
+        assert_eq!(code, 0, "{from_pack}");
+        assert_eq!(from_text, from_pack, "pack must be a lossless input");
+    }
+
+    #[test]
+    fn inspect_rejects_corrupt_pack() {
+        let seq = tmp("toy-seq9.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let pack = tmp("toy-seq9.cadpack");
+        run_str(&format!("pack --input {seq} --out {pack}"));
+        let mut bytes = std::fs::read(&pack).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&pack, &bytes).unwrap();
+        let (code, msg) = run_str(&format!("inspect --input {pack}"));
+        assert_eq!(code, 1);
+        assert!(msg.contains("cannot inspect"), "{msg}");
+        let (code, msg) = run_str(&format!("detect --input {pack} --l 6"));
+        assert_eq!(code, 1);
+        assert!(msg.contains("cannot load pack"), "{msg}");
+    }
+
+    #[test]
+    fn store_dir_caches_across_runs() {
+        let seq = tmp("toy-seq10.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let store = tmp("store10");
+        let _ = std::fs::remove_dir_all(&store);
+        let (code, cold) = run_str(&format!(
+            "detect --input {seq} --l 6 --engine exact --store-dir {store}"
+        ));
+        assert_eq!(code, 0, "{cold}");
+        let (code, warm) = run_str(&format!(
+            "detect --input {seq} --l 6 --engine exact --store-dir {store}"
+        ));
+        assert_eq!(code, 0, "{warm}");
+        assert_eq!(cold, warm, "cache reuse must not change the output");
+        // The store directory holds one artifact per distinct snapshot.
+        let n = std::fs::read_dir(std::path::Path::new(&store).join("oracles"))
+            .unwrap()
+            .count();
+        assert_eq!(n, 2, "toy has two distinct instances");
     }
 
     #[test]

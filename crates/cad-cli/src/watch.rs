@@ -47,6 +47,8 @@ pub struct WatchConfig {
     /// Linger after the input ends (lets a scraper catch the final
     /// state before the exporter goes away).
     pub hold_ms: u64,
+    /// Oracle-cache directory; no caching when `None`.
+    pub store_dir: Option<String>,
 }
 
 /// Parse one stdin NDJSON snapshot line.
@@ -156,12 +158,22 @@ pub fn watch_loop(
 
 /// A directory tail: yields snapshot files in lexicographic filename
 /// order as they appear, polling until `max_instances` are seen.
+///
+/// Dotfiles and `*.tmp` files are invisible to the tail, so producers
+/// get atomic visibility by writing to `.snap.tmp` (or any hidden/tmp
+/// name) and renaming into place — the tail never observes a snapshot
+/// mid-write.
 struct DirTail {
     dir: String,
     seen: BTreeSet<String>,
     queue: Vec<String>,
     poll: Duration,
     remaining: Option<usize>,
+}
+
+/// Should the directory tail consider this filename at all?
+fn tailable(name: &str) -> bool {
+    !name.starts_with('.') && !name.ends_with(".tmp")
 }
 
 impl Iterator for DirTail {
@@ -187,6 +199,7 @@ impl Iterator for DirTail {
                 Ok(entries) => entries
                     .filter_map(|e| e.ok())
                     .filter(|e| e.path().is_file())
+                    .filter(|e| tailable(&e.file_name().to_string_lossy()))
                     .map(|e| e.path().to_string_lossy().into_owned())
                     .filter(|p| !self.seen.contains(p))
                     .collect(),
@@ -223,6 +236,11 @@ pub fn run_watch(
         threads: 1,
     };
     let mut online = OnlineCad::with_mode(opts, cfg.mode);
+    if let Some(dir) = &cfg.store_dir {
+        let store = cad_store::OracleStore::open(Path::new(dir))
+            .map_err(|e| CliError::Usage(format!("cannot open store `{dir}`: {e}")))?;
+        online = online.with_provider(Arc::new(store));
+    }
     let health = Arc::new(cad_obs::WatchHealth::new());
     let server = match &cfg.metrics_addr {
         Some(addr) => {
@@ -370,6 +388,69 @@ mod tests {
         assert_eq!(last.get("t").and_then(Json::as_u64), Some(1));
         assert_eq!(last.get("n_edges").and_then(Json::as_u64), Some(1));
         assert_eq!(last.get("n_nodes").and_then(Json::as_u64), Some(2));
+    }
+
+    fn snapshot_text(w: f64) -> String {
+        format!("nodes 3\ninstance\n0 1 {w}\n1 2 {w}\n")
+    }
+
+    fn tail_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cad-watch-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tail dir");
+        dir
+    }
+
+    #[test]
+    fn dir_tail_orders_lexicographically_not_by_arrival() {
+        let dir = tail_dir("order");
+        // Created newest-name-first: arrival order is 02 then 01, but
+        // the tail must still deliver 01 before 02.
+        std::fs::write(dir.join("02.snap"), snapshot_text(2.0)).unwrap();
+        std::fs::write(dir.join("01.snap"), snapshot_text(1.0)).unwrap();
+        let mut tail = DirTail {
+            dir: dir.to_string_lossy().into_owned(),
+            seen: BTreeSet::new(),
+            queue: Vec::new(),
+            poll: Duration::from_millis(1),
+            remaining: Some(3),
+        };
+        let first = tail.next().unwrap().unwrap();
+        let second = tail.next().unwrap().unwrap();
+        assert_eq!(first.weight(0, 1), 1.0, "01.snap comes first");
+        assert_eq!(second.weight(0, 1), 2.0);
+        // A later arrival with an earlier name still gets processed
+        // (queue refills once drained).
+        std::fs::write(dir.join("00.snap"), snapshot_text(0.5)).unwrap();
+        let third = tail.next().unwrap().unwrap();
+        assert_eq!(third.weight(0, 1), 0.5);
+        assert!(tail.next().is_none(), "remaining budget exhausted");
+    }
+
+    #[test]
+    fn dir_tail_ignores_tmp_and_hidden_files_until_renamed() {
+        let dir = tail_dir("partial");
+        // A producer mid-write: truncated content under a .tmp name and
+        // a hidden scratch file. Neither may reach the detector.
+        std::fs::write(dir.join("01.snap.tmp"), "nodes 3\ninstance\n0 1").unwrap();
+        std::fs::write(dir.join(".scratch"), "garbage").unwrap();
+        std::fs::write(dir.join("02.snap"), snapshot_text(2.0)).unwrap();
+        let mut tail = DirTail {
+            dir: dir.to_string_lossy().into_owned(),
+            seen: BTreeSet::new(),
+            queue: Vec::new(),
+            poll: Duration::from_millis(1),
+            remaining: Some(2),
+        };
+        let first = tail.next().unwrap().unwrap();
+        assert_eq!(first.weight(0, 1), 2.0, "tmp file skipped");
+        // The producer finishes: write-then-rename makes the complete
+        // snapshot visible atomically, and it is read intact.
+        std::fs::write(dir.join("01.snap.tmp"), snapshot_text(1.0)).unwrap();
+        std::fs::rename(dir.join("01.snap.tmp"), dir.join("01.snap")).unwrap();
+        let second = tail.next().unwrap().unwrap();
+        assert_eq!(second.weight(0, 1), 1.0);
+        assert!(tail.next().is_none());
     }
 
     #[test]

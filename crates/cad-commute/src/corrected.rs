@@ -47,6 +47,26 @@ impl CorrectedCommute {
         &self.build_stats
     }
 
+    /// Serialization view: `(inner exact oracle, degrees, adjacency)`.
+    pub(crate) fn persist_parts(&self) -> (&ExactCommute, &[f64], &cad_linalg::CsrMatrix) {
+        (&self.exact, &self.degrees, &self.adjacency)
+    }
+
+    /// Rebuild from stored parts (bit-identical queries, zero-cost
+    /// build stats).
+    pub(crate) fn from_persist(
+        exact: ExactCommute,
+        degrees: Vec<f64>,
+        adjacency: cad_linalg::CsrMatrix,
+    ) -> Self {
+        CorrectedCommute {
+            exact,
+            degrees,
+            adjacency,
+            build_stats: cad_obs::OracleBuildStats::direct("corrected", 0.0),
+        }
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.exact.n_nodes()

@@ -127,6 +127,29 @@ impl CommuteEmbedding {
         &self.build_stats
     }
 
+    /// Serialization view: `(coords, n, k, V_G)` (see [`crate::persist`]).
+    pub(crate) fn persist_parts(&self) -> (&[f64], usize, usize, f64) {
+        (&self.coords, self.n, self.k, self.volume)
+    }
+
+    /// Rebuild from stored parts. Queries are bit-identical; the build
+    /// stats record zero seconds and no solves (loading performed none).
+    pub(crate) fn from_persist(coords: Vec<f64>, n: usize, k: usize, volume: f64) -> Self {
+        debug_assert_eq!(coords.len(), n * k);
+        CommuteEmbedding {
+            coords,
+            n,
+            k,
+            volume,
+            build_stats: cad_obs::OracleBuildStats {
+                backend: "embedding",
+                build_secs: 0.0,
+                jl_dim: Some(k),
+                solves: Vec::new(),
+            },
+        }
+    }
+
     /// Number of embedded nodes.
     pub fn n_nodes(&self) -> usize {
         self.n

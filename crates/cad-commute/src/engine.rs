@@ -81,6 +81,34 @@ impl CommuteTimeEngine {
     }
 }
 
+/// A source of per-instance distance oracles — the seam where the
+/// persistent oracle cache plugs into the detectors.
+///
+/// `CadDetector`/`OnlineCad` in `cad-core` accept an implementation
+/// and call it once per instance; the default behaviour (no provider)
+/// builds fresh via [`CommuteTimeEngine::compute`]. The `cad-store`
+/// crate implements this for its content-addressed cache, loading
+/// serialized artifacts instead of rebuilding when the (snapshot,
+/// engine, params) key already exists.
+///
+/// Contract: the returned oracle must answer queries bit-identically
+/// to `CommuteTimeEngine::compute(g, opts)` — providers may change
+/// *where* an oracle comes from, never *what* it computes.
+pub trait OracleProvider: Send + Sync {
+    /// Produce the oracle for instance `t` of a sequence.
+    fn oracle(&self, t: usize, g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle>;
+}
+
+/// The trivial provider: always build fresh.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildFresh;
+
+impl OracleProvider for BuildFresh {
+    fn oracle(&self, _t: usize, g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle> {
+        CommuteTimeEngine::compute(g, opts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

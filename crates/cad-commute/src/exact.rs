@@ -50,6 +50,22 @@ impl ExactCommute {
         &self.build_stats
     }
 
+    /// Serialization view: `(L⁺, V_G)` (see [`crate::persist`]).
+    pub(crate) fn persist_parts(&self) -> (&DenseMatrix, f64) {
+        (&self.pinv, self.volume)
+    }
+
+    /// Rebuild from stored parts. Queries are bit-identical to the
+    /// oracle the parts came from; build stats report zero cost (no
+    /// computation happened).
+    pub(crate) fn from_persist(pinv: DenseMatrix, volume: f64) -> Self {
+        ExactCommute {
+            pinv,
+            volume,
+            build_stats: cad_obs::OracleBuildStats::direct("exact", 0.0),
+        }
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.pinv.nrows()

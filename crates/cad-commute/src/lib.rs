@@ -35,13 +35,15 @@ pub mod embedding;
 pub mod engine;
 pub mod exact;
 pub mod oracle;
+pub mod persist;
 pub mod shortest;
 
 pub use corrected::CorrectedCommute;
 pub use embedding::{CommuteEmbedding, EmbeddingOptions};
-pub use engine::{CommuteTimeEngine, EngineOptions};
+pub use engine::{BuildFresh, CommuteTimeEngine, EngineOptions, OracleProvider};
 pub use exact::ExactCommute;
 pub use oracle::{DistanceOracle, OracleKind, SharedOracle};
+pub use persist::{oracle_from_bytes, oracle_to_bytes};
 pub use shortest::ShortestPathTable;
 
 /// Crate-wide result alias (errors come from the graph/linalg layers).

@@ -109,6 +109,12 @@ pub trait DistanceOracle: Send + Sync {
     fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
         None
     }
+
+    /// Flatten this oracle to a self-describing byte artifact that
+    /// [`crate::persist::oracle_from_bytes`] reconstitutes with
+    /// bit-identical query behaviour. The `cad-store` oracle cache
+    /// persists these next to the pack.
+    fn to_store_bytes(&self) -> Vec<u8>;
 }
 
 /// A boxed, shareable oracle — what [`crate::CommuteTimeEngine::compute`]
@@ -146,6 +152,10 @@ impl DistanceOracle for ExactCommute {
     fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
         Some(ExactCommute::build_stats(self))
     }
+
+    fn to_store_bytes(&self) -> Vec<u8> {
+        crate::persist::exact_to_bytes(self)
+    }
 }
 
 impl DistanceOracle for CommuteEmbedding {
@@ -176,6 +186,10 @@ impl DistanceOracle for CommuteEmbedding {
     fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
         Some(CommuteEmbedding::build_stats(self))
     }
+
+    fn to_store_bytes(&self) -> Vec<u8> {
+        crate::persist::embedding_to_bytes(self)
+    }
 }
 
 impl DistanceOracle for ShortestPathTable {
@@ -193,6 +207,10 @@ impl DistanceOracle for ShortestPathTable {
 
     fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
         Some(ShortestPathTable::build_stats(self))
+    }
+
+    fn to_store_bytes(&self) -> Vec<u8> {
+        crate::persist::shortest_to_bytes(self)
     }
 }
 
@@ -222,6 +240,10 @@ impl DistanceOracle for CorrectedCommute {
 
     fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
         Some(CorrectedCommute::build_stats(self))
+    }
+
+    fn to_store_bytes(&self) -> Vec<u8> {
+        crate::persist::corrected_to_bytes(self)
     }
 }
 

@@ -53,6 +53,22 @@ impl ShortestPathTable {
         &self.build_stats
     }
 
+    /// Serialization view: `(n, row-major distance table)`.
+    pub(crate) fn persist_parts(&self) -> (usize, &[f64]) {
+        (self.n, &self.dist)
+    }
+
+    /// Rebuild from stored parts (bit-identical queries, zero-cost
+    /// build stats).
+    pub(crate) fn from_persist(n: usize, dist: Vec<f64>) -> Self {
+        debug_assert_eq!(dist.len(), n * n);
+        ShortestPathTable {
+            n,
+            dist,
+            build_stats: cad_obs::OracleBuildStats::direct("shortest-path", 0.0),
+        }
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.n

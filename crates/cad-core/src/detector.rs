@@ -4,8 +4,9 @@ use crate::node_scores::node_scores_from_edges;
 use crate::scores::{transition_edge_scores, EdgeScore, ScoreKind};
 use crate::threshold::{apply_policy, ThresholdPolicy};
 use crate::Result;
-use cad_commute::{CommuteTimeEngine, EngineOptions, SharedOracle};
+use cad_commute::{CommuteTimeEngine, EngineOptions, OracleProvider, SharedOracle};
 use cad_graph::GraphSequence;
+use std::sync::Arc;
 
 /// Configuration of a [`CadDetector`].
 #[derive(Debug, Clone, Copy)]
@@ -205,15 +206,40 @@ pub trait NodeScorer {
 /// with the approximate engine), scores the changed edges of every
 /// transition, and cuts anomaly sets with a fixed or automatically
 /// selected threshold.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct CadDetector {
     opts: CadOptions,
+    /// Where per-instance oracles come from. `None` builds fresh via
+    /// [`CommuteTimeEngine::compute`]; the `cad-store` oracle cache
+    /// plugs in here to load persisted artifacts instead.
+    provider: Option<Arc<dyn OracleProvider>>,
+}
+
+impl std::fmt::Debug for CadDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CadDetector")
+            .field("opts", &self.opts)
+            .field("provider", &self.provider.as_ref().map(|_| "custom"))
+            .finish()
+    }
 }
 
 impl CadDetector {
     /// Create a detector with the given options.
     pub fn new(opts: CadOptions) -> Self {
-        CadDetector { opts }
+        CadDetector {
+            opts,
+            provider: None,
+        }
+    }
+
+    /// Use `provider` as the oracle source (e.g. the `cad-store`
+    /// content-addressed cache). Providers must honour the
+    /// [`OracleProvider`] contract: same query results as a fresh
+    /// build, bit for bit.
+    pub fn with_provider(mut self, provider: Arc<dyn OracleProvider>) -> Self {
+        self.provider = Some(provider);
+        self
     }
 
     /// The configured options.
@@ -261,8 +287,11 @@ impl CadDetector {
         // One oracle per instance, reused by both adjacent transitions.
         let engines: Vec<SharedOracle> = {
             let _span = cad_obs::span!("build_oracles");
-            cad_linalg::par::par_map_result(seq.graphs(), self.opts.threads, |_, g| {
-                CommuteTimeEngine::compute(g, &self.opts.engine)
+            cad_linalg::par::par_map_result(seq.graphs(), self.opts.threads, |t, g| {
+                match &self.provider {
+                    Some(p) => p.oracle(t, g, &self.opts.engine),
+                    None => CommuteTimeEngine::compute(g, &self.opts.engine),
+                }
             })?
         };
         // Build stats ride on the oracles, which the pool returned in

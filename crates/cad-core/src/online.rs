@@ -14,8 +14,9 @@ use crate::detector::TransitionAnomalies;
 use crate::scores::{pair_edge_scores, EdgeScore};
 use crate::threshold::{choose_delta, select_prefix};
 use crate::{CadOptions, Result};
-use cad_commute::{CommuteTimeEngine, SharedOracle};
+use cad_commute::{CommuteTimeEngine, OracleProvider, SharedOracle};
 use cad_graph::WeightedGraph;
+use std::sync::Arc;
 
 /// How the streaming detector chooses its threshold δ.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +66,11 @@ pub struct OnlineStepMetrics {
 pub struct OnlineCad {
     opts: CadOptions,
     mode: ThresholdMode,
+    /// Oracle source; `None` builds fresh (see
+    /// [`cad_commute::OracleProvider`]). The sliding-window payoff of
+    /// the `cad-store` cache: a re-seen instance loads its artifact
+    /// instead of rebuilding.
+    provider: Option<Arc<dyn OracleProvider>>,
     n_nodes: Option<usize>,
     /// Previous instance and its distance oracle.
     prev: Option<(WeightedGraph, SharedOracle)>,
@@ -105,12 +111,21 @@ impl OnlineCad {
         OnlineCad {
             opts,
             mode,
+            provider: None,
             n_nodes: None,
             prev: None,
             history: Vec::new(),
             seen: 0,
             delta,
         }
+    }
+
+    /// Use `provider` as the oracle source (e.g. the `cad-store`
+    /// content-addressed cache); must honour the [`OracleProvider`]
+    /// bit-identity contract.
+    pub fn with_provider(mut self, provider: Arc<dyn OracleProvider>) -> Self {
+        self.provider = Some(provider);
+        self
     }
 
     /// Number of transitions observed so far.
@@ -153,7 +168,10 @@ impl OnlineCad {
         // The sliding oracle cache: this build is the only one the
         // arrival triggers — G_t's oracle was cached by the previous
         // push and becomes this transition's left operand.
-        let engine = CommuteTimeEngine::compute(&g, &self.opts.engine)?;
+        let engine = match &self.provider {
+            Some(p) => p.oracle(self.seen, &g, &self.opts.engine)?,
+            None => CommuteTimeEngine::compute(&g, &self.opts.engine)?,
+        };
         let build = engine
             .build_stats()
             .cloned()

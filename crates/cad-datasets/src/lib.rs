@@ -33,5 +33,19 @@ pub use enron::{EnronSim, EnronSimOptions, Role};
 pub use gmm::{GmmBenchmark, GmmBenchmarkOptions};
 pub use precip::{PrecipSim, PrecipSimOptions};
 
+/// Export a generated sequence as a `.cadpack` file (base snapshot +
+/// per-transition deltas; see `cad-store`). Returns the bytes written.
+///
+/// The pack round-trips bit-identically, so detection on the exported
+/// file matches detection on the in-memory sequence exactly — the
+/// generators' determinism guarantee extends to the stored artifact.
+pub fn export_pack(
+    seq: &cad_graph::GraphSequence,
+    path: &std::path::Path,
+    label: &str,
+) -> cad_store::Result<u64> {
+    cad_store::write_pack(path, seq, label)
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, cad_graph::GraphError>;

@@ -320,6 +320,8 @@ pub mod histograms {
     pub static ORACLE_BUILD_SECS: AtomicHistogram = AtomicHistogram::new();
     /// Wall-clock seconds per transition scoring pass.
     pub static TRANSITION_SCORE_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// Wall-clock seconds per `.cadpack`/oracle-cache read or write.
+    pub static PACK_IO_SECS: AtomicHistogram = AtomicHistogram::new();
 
     /// Snapshot of every well-known histogram, keyed by its stable
     /// report name.
@@ -329,6 +331,7 @@ pub mod histograms {
             ("cg_residuals", CG_RESIDUALS.snapshot()),
             ("oracle_build_secs", ORACLE_BUILD_SECS.snapshot()),
             ("transition_score_secs", TRANSITION_SCORE_SECS.snapshot()),
+            ("pack_io_secs", PACK_IO_SECS.snapshot()),
         ]
     }
 
@@ -338,6 +341,7 @@ pub mod histograms {
         CG_RESIDUALS.reset();
         ORACLE_BUILD_SECS.reset();
         TRANSITION_SCORE_SECS.reset();
+        PACK_IO_SECS.reset();
     }
 }
 
@@ -463,7 +467,8 @@ mod tests {
                 "cg_iterations",
                 "cg_residuals",
                 "oracle_build_secs",
-                "transition_score_secs"
+                "transition_score_secs",
+                "pack_io_secs"
             ]
         );
     }

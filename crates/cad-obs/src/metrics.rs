@@ -74,6 +74,12 @@ pub mod counters {
     pub static JL_PROJECTIONS: FastCounter = FastCounter::new();
     /// Distance oracles built (`CommuteTimeEngine::compute` calls).
     pub static ORACLE_BUILDS: FastCounter = FastCounter::new();
+    /// Oracle artifacts served from the content-addressed store cache.
+    pub static STORE_CACHE_HITS: FastCounter = FastCounter::new();
+    /// Oracle cache lookups that missed and fell back to a fresh build.
+    pub static STORE_CACHE_MISSES: FastCounter = FastCounter::new();
+    /// Bytes read from `.cadpack` files and cached oracle artifacts.
+    pub static STORE_BYTES_READ: FastCounter = FastCounter::new();
 
     /// Snapshot of every well-known counter, keyed by its stable report
     /// name.
@@ -84,6 +90,9 @@ pub mod counters {
             ("linalg.cg_iterations", CG_ITERATIONS.get()),
             ("linalg.jl_projections", JL_PROJECTIONS.get()),
             ("commute.oracle_builds", ORACLE_BUILDS.get()),
+            ("store.cache_hits", STORE_CACHE_HITS.get()),
+            ("store.cache_misses", STORE_CACHE_MISSES.get()),
+            ("store.bytes_read", STORE_BYTES_READ.get()),
         ]
     }
 
@@ -94,6 +103,9 @@ pub mod counters {
         CG_ITERATIONS.reset();
         JL_PROJECTIONS.reset();
         ORACLE_BUILDS.reset();
+        STORE_CACHE_HITS.reset();
+        STORE_CACHE_MISSES.reset();
+        STORE_BYTES_READ.reset();
     }
 }
 
@@ -204,7 +216,10 @@ mod tests {
                 "linalg.cg_solves",
                 "linalg.cg_iterations",
                 "linalg.jl_projections",
-                "commute.oracle_builds"
+                "commute.oracle_builds",
+                "store.cache_hits",
+                "store.cache_misses",
+                "store.bytes_read"
             ]
         );
     }

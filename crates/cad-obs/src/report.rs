@@ -762,6 +762,7 @@ fn histogram_from_json(v: &Json) -> Result<Histogram, String> {
         .and_then(Json::as_arr)
         .ok_or("histogram.buckets missing")?;
     let mut total = 0u64;
+    let mut prev_index: Option<u64> = None;
     for (n, pair) in buckets.iter().enumerate() {
         let pair = pair
             .as_arr()
@@ -773,6 +774,17 @@ fn histogram_from_json(v: &Json) -> Result<Histogram, String> {
         let c = pair[1]
             .as_u64()
             .ok_or_else(|| format!("buckets[{n}] count not an integer"))?;
+        // The sparse list is emitted in ascending index order; anything
+        // else (including a duplicate index) is a malformed document,
+        // not something to silently re-sort.
+        if let Some(p) = prev_index {
+            if i <= p {
+                return Err(format!(
+                    "buckets[{n}] index {i} not in ascending order (follows {p})"
+                ));
+            }
+        }
+        prev_index = Some(i);
         h.set_bucket(i as usize, c)
             .map_err(|e| format!("buckets[{n}]: {e}"))?;
         total += c;
@@ -947,6 +959,72 @@ mod tests {
         let v = crate::json::parse(&text).unwrap();
         let errs = Report::validate_json(&v).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("sum to")), "{errs:?}");
+    }
+
+    #[test]
+    fn histogram_bucket_order_is_enforced() {
+        // Ascending sparse indices are exactly what the emitter writes:
+        // accepted.
+        let mk = |buckets: &str| {
+            let mut r = Report::new("t");
+            r.histograms
+                .insert("h".into(), Histogram::of([10.0, 12.0, 12.0]));
+            let text = r.to_json_string();
+            let start = text.find("\"buckets\": [").unwrap();
+            // The sparse list is a nested (and pretty-printed) array:
+            // scan for its matching close bracket rather than the
+            // first `]`, which only closes an [index, count] pair.
+            let open = start + "\"buckets\": ".len();
+            let mut depth = 0usize;
+            let mut end = open;
+            for (i, b) in text.as_bytes()[open..].iter().enumerate() {
+                match b {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = open + i + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            assert!(end > open, "unterminated buckets array");
+            format!("{}\"buckets\": {}{}", &text[..start], buckets, &text[end..])
+        };
+        // Histogram::of([10,12,12]) lands in two distinct buckets; find
+        // their real indices so the synthetic lists stay count-consistent.
+        let h = Histogram::of([10.0, 12.0, 12.0]);
+        let idx: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(idx.len(), 2);
+        let (lo, hi) = (idx[0], idx[1]);
+
+        let ascending = mk(&format!("[[{}, {}], [{}, {}]]", lo.0, lo.1, hi.0, hi.1));
+        let v = crate::json::parse(&ascending).unwrap();
+        assert_eq!(Report::validate_json(&v), Ok(()));
+        assert!(Report::from_json(&v).is_ok());
+
+        // The same pairs swapped out of ascending index order: rejected
+        // by both the validator and the parser.
+        let descending = mk(&format!("[[{}, {}], [{}, {}]]", hi.0, hi.1, lo.0, lo.1));
+        let v = crate::json::parse(&descending).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("ascending")), "{errs:?}");
+        assert!(Report::from_json(&v).is_err());
+
+        // A duplicated index is equally malformed.
+        let duplicate = mk(&format!(
+            "[[{}, {}], [{}, 1], [{}, {}]]",
+            lo.0,
+            lo.1 - 1,
+            lo.0,
+            hi.0,
+            hi.1
+        ));
+        let v = crate::json::parse(&duplicate).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("ascending")), "{errs:?}");
     }
 
     #[test]

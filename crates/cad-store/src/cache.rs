@@ -1,0 +1,340 @@
+//! The content-addressed oracle cache.
+//!
+//! Each built [`cad_commute::DistanceOracle`] is persisted under
+//! `<store_dir>/oracles/<key>.oracle`, where `<key>` is the SHA-256 of
+//! everything the oracle's contents depend on:
+//!
+//! * the **snapshot bytes** — [`crate::pack::snapshot_bytes`]: node
+//!   count plus the sorted edge list with raw `f64` weight bits, so any
+//!   topology or weight change (even one ULP) changes the key;
+//! * the **resolved engine fingerprint** — backend name plus every
+//!   numeric parameter that feeds the computation (`k`, seed, solver
+//!   kind, preconditioner, CG tolerance and iteration cap), with `f64`
+//!   parameters rendered as exact bit patterns. `Auto` is resolved
+//!   against the graph's node count first, so an `Auto` run and an
+//!   explicit run of the engine it picks share artifacts. Thread count
+//!   is deliberately *excluded*: the engines guarantee bit-identical
+//!   results for any thread count, so it cannot affect the artifact.
+//!
+//! Invalidation is therefore automatic — there is none. A key either
+//! matches an artifact byte-for-byte or a fresh build happens; stale
+//! entries are merely unreferenced files. Artifacts carry a CRC-32
+//! footer and are written via write-then-rename, so torn or damaged
+//! files fail validation and fall back to a rebuild (counted as a
+//! miss), never a wrong answer.
+
+use crate::crc::crc32;
+use crate::hash::{to_hex, Sha256};
+use crate::pack::snapshot_bytes;
+use crate::{Result, StoreError};
+use cad_commute::{
+    oracle_from_bytes, CommuteTimeEngine, DistanceOracle, EngineOptions, OracleProvider,
+    SharedOracle,
+};
+use cad_graph::WeightedGraph;
+use std::path::{Path, PathBuf};
+
+fn solver_fp(s: &cad_linalg::solve::LaplacianSolverOptions) -> String {
+    use cad_linalg::solve::laplacian::PrecondKind;
+    use cad_linalg::solve::SolverKind;
+    let kind = match s.kind {
+        SolverKind::Grounded => "grounded".to_string(),
+        SolverKind::Regularized(eps) => {
+            format!("regularized:{:016x}", eps.to_bits())
+        }
+    };
+    let precond = match s.precond {
+        PrecondKind::Jacobi => "jacobi",
+        PrecondKind::IncompleteCholesky => "ic0",
+        PrecondKind::SpanningTree => "tree",
+        PrecondKind::None => "none",
+    };
+    let max_iter = match s.cg.max_iter {
+        Some(m) => m.to_string(),
+        None => "auto".to_string(),
+    };
+    format!(
+        "solver={kind};precond={precond};tol={:016x};max_iter={max_iter}",
+        s.cg.tol.to_bits()
+    )
+}
+
+/// Stable fingerprint of the engine configuration, resolved against
+/// the instance's node count (`Auto` collapses to the engine it picks).
+pub fn engine_fingerprint(opts: &EngineOptions, n_nodes: usize) -> String {
+    match opts {
+        EngineOptions::Exact => "exact".to_string(),
+        EngineOptions::ShortestPath => "shortest-path".to_string(),
+        EngineOptions::Corrected => "corrected".to_string(),
+        EngineOptions::Approximate(e) => {
+            format!(
+                "embedding;k={};seed={};{}",
+                e.k,
+                e.seed,
+                solver_fp(&e.solver)
+            )
+        }
+        EngineOptions::Auto {
+            threshold,
+            embedding,
+        } => {
+            if n_nodes <= *threshold {
+                engine_fingerprint(&EngineOptions::Exact, n_nodes)
+            } else {
+                engine_fingerprint(&EngineOptions::Approximate(*embedding), n_nodes)
+            }
+        }
+    }
+}
+
+/// The content-address of an oracle: SHA-256 over the snapshot bytes
+/// and the resolved engine fingerprint.
+pub fn cache_key(g: &WeightedGraph, opts: &EngineOptions) -> String {
+    let mut h = Sha256::new();
+    h.update(&snapshot_bytes(g));
+    h.update(&[0xff]); // domain separator
+    h.update(engine_fingerprint(opts, g.n_nodes()).as_bytes());
+    to_hex(&h.finish())
+}
+
+/// A directory of content-addressed oracle artifacts.
+///
+/// Implements [`cad_commute::OracleProvider`], so it plugs straight
+/// into `CadDetector`/`OnlineCad`: cache hits load a serialized oracle
+/// (bypassing `CommuteTimeEngine::compute`, so `commute.oracle_builds`
+/// stays untouched); misses build fresh and persist the artifact for
+/// next time.
+#[derive(Debug, Clone)]
+pub struct OracleStore {
+    dir: PathBuf,
+}
+
+impl OracleStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join("oracles"))?;
+        Ok(OracleStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where the artifact for `key` lives.
+    pub fn artifact_path(&self, key: &str) -> PathBuf {
+        self.dir.join("oracles").join(format!("{key}.oracle"))
+    }
+
+    /// Load and validate the artifact for `key`. Any damage (bad CRC,
+    /// truncation, undecodable payload) reads as "not cached".
+    fn load_artifact(&self, key: &str) -> Option<SharedOracle> {
+        let path = self.artifact_path(key);
+        if !path.exists() {
+            return None;
+        }
+        let (bytes, secs) = cad_obs::time_it(|| std::fs::read(&path));
+        cad_obs::histograms::PACK_IO_SECS.observe(secs);
+        let bytes = bytes.ok()?;
+        cad_obs::counters::STORE_BYTES_READ.add(bytes.len() as u64);
+        if bytes.len() < 4 {
+            return None;
+        }
+        let (payload, footer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return None;
+        }
+        oracle_from_bytes(payload).ok()
+    }
+
+    /// Persist `oracle` under `key` (write-then-rename, CRC footer).
+    pub fn store_oracle(&self, key: &str, oracle: &dyn DistanceOracle) -> Result<()> {
+        let mut bytes = oracle.to_store_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let final_path = self.artifact_path(key);
+        let tmp = final_path.with_extension(format!("tmp{}", std::process::id()));
+        let (res, secs) = cad_obs::time_it(|| {
+            std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &final_path))
+        });
+        cad_obs::histograms::PACK_IO_SECS.observe(secs);
+        res.map_err(StoreError::Io)
+    }
+
+    /// The provider entry point: load on hit, build-and-persist on
+    /// miss. Instruments `store.cache_hits` / `store.cache_misses`.
+    pub fn get_or_build(
+        &self,
+        g: &WeightedGraph,
+        opts: &EngineOptions,
+    ) -> cad_commute::Result<SharedOracle> {
+        let key = cache_key(g, opts);
+        if let Some(oracle) = self.load_artifact(&key) {
+            if oracle.n_nodes() == g.n_nodes() {
+                cad_obs::counters::STORE_CACHE_HITS.inc();
+                return Ok(oracle);
+            }
+        }
+        cad_obs::counters::STORE_CACHE_MISSES.inc();
+        let oracle = CommuteTimeEngine::compute(g, opts)?;
+        // Persisting is best-effort: a full disk must not fail the
+        // detection run that just succeeded in memory.
+        let _ = self.store_oracle(&key, oracle.as_ref());
+        Ok(oracle)
+    }
+}
+
+impl OracleProvider for OracleStore {
+    fn oracle(
+        &self,
+        _t: usize,
+        g: &WeightedGraph,
+        opts: &EngineOptions,
+    ) -> cad_commute::Result<SharedOracle> {
+        self.get_or_build(g, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The hit/miss/build counters are process-global; serialize the
+    /// tests that assert on their deltas.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn fresh_store(name: &str) -> OracleStore {
+        let dir = std::env::temp_dir()
+            .join("cad-store-cache-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        OracleStore::open(dir).unwrap()
+    }
+
+    fn graph(w: f64) -> WeightedGraph {
+        WeightedGraph::from_edges(5, &[(0, 1, w), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 1.5)]).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_skips_the_build() {
+        let _guard = lock();
+        let store = fresh_store("hit");
+        let g = graph(1.0);
+        let opts = EngineOptions::Exact;
+
+        let builds_before = cad_obs::counters::ORACLE_BUILDS.get();
+        let misses_before = cad_obs::counters::STORE_CACHE_MISSES.get();
+        let first = store.get_or_build(&g, &opts).unwrap();
+        assert_eq!(cad_obs::counters::ORACLE_BUILDS.get(), builds_before + 1);
+        assert_eq!(
+            cad_obs::counters::STORE_CACHE_MISSES.get(),
+            misses_before + 1
+        );
+
+        let hits_before = cad_obs::counters::STORE_CACHE_HITS.get();
+        let second = store.get_or_build(&g, &opts).unwrap();
+        // The hit bypassed CommuteTimeEngine::compute entirely.
+        assert_eq!(cad_obs::counters::ORACLE_BUILDS.get(), builds_before + 1);
+        assert_eq!(cad_obs::counters::STORE_CACHE_HITS.get(), hits_before + 1);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(
+                    first.distance(i, j).to_bits(),
+                    second.distance(i, j).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_is_sensitive_to_graph_and_engine() {
+        let g1 = graph(1.0);
+        let g2 = graph(1.0 + 1e-14);
+        let exact = EngineOptions::Exact;
+        assert_eq!(cache_key(&g1, &exact), cache_key(&graph(1.0), &exact));
+        assert_ne!(cache_key(&g1, &exact), cache_key(&g2, &exact));
+        assert_ne!(
+            cache_key(&g1, &exact),
+            cache_key(&g1, &EngineOptions::Corrected)
+        );
+        let emb = |seed| {
+            EngineOptions::Approximate(cad_commute::EmbeddingOptions {
+                k: 8,
+                seed,
+                ..Default::default()
+            })
+        };
+        assert_ne!(cache_key(&g1, &emb(1)), cache_key(&g1, &emb(2)));
+        assert_eq!(cache_key(&g1, &emb(1)), cache_key(&g1, &emb(1)));
+    }
+
+    #[test]
+    fn auto_resolves_to_the_engine_it_picks() {
+        let g = graph(1.0); // 5 nodes
+        let auto = EngineOptions::Auto {
+            threshold: 512,
+            embedding: cad_commute::EmbeddingOptions::default(),
+        };
+        assert_eq!(cache_key(&g, &auto), cache_key(&g, &EngineOptions::Exact));
+        let auto_low = EngineOptions::Auto {
+            threshold: 2,
+            embedding: cad_commute::EmbeddingOptions::default(),
+        };
+        assert_eq!(
+            cache_key(&g, &auto_low),
+            cache_key(
+                &g,
+                &EngineOptions::Approximate(cad_commute::EmbeddingOptions::default())
+            )
+        );
+    }
+
+    #[test]
+    fn threads_do_not_change_the_key() {
+        let g = graph(1.0);
+        let emb = |threads| {
+            EngineOptions::Approximate(cad_commute::EmbeddingOptions {
+                k: 8,
+                threads,
+                ..Default::default()
+            })
+        };
+        assert_eq!(cache_key(&g, &emb(1)), cache_key(&g, &emb(4)));
+    }
+
+    #[test]
+    fn corrupted_artifact_falls_back_to_rebuild() {
+        let _guard = lock();
+        let store = fresh_store("corrupt");
+        let g = graph(1.0);
+        let opts = EngineOptions::Exact;
+        store.get_or_build(&g, &opts).unwrap();
+
+        let key = cache_key(&g, &opts);
+        let path = store.artifact_path(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let misses_before = cad_obs::counters::STORE_CACHE_MISSES.get();
+        let rebuilt = store.get_or_build(&g, &opts).unwrap();
+        assert_eq!(
+            cad_obs::counters::STORE_CACHE_MISSES.get(),
+            misses_before + 1,
+            "damaged artifact must read as a miss"
+        );
+        assert_eq!(rebuilt.n_nodes(), 5);
+        // The rebuild repaired the artifact in place.
+        let hits_before = cad_obs::counters::STORE_CACHE_HITS.get();
+        store.get_or_build(&g, &opts).unwrap();
+        assert_eq!(cad_obs::counters::STORE_CACHE_HITS.get(), hits_before + 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Persistence layer for CAD graph sequences and distance oracles.
+//!
+//! Two pieces, both zero-dependency (std + workspace crates only):
+//!
+//! * [`pack`] — the `.cadpack` on-disk format: a versioned, CRC-checked
+//!   binary file holding a [`cad_graph::GraphSequence`] as one full base
+//!   snapshot plus per-transition edge deltas. Time-evolving graphs in
+//!   the paper's regime change only a few edges per step, so deltas are
+//!   tiny; varint + zigzag encoding of sorted edge lists keeps them so.
+//! * [`cache`] — a content-addressed oracle store: each built
+//!   [`cad_commute::DistanceOracle`] is serialized next to the pack
+//!   under a SHA-256 key of (snapshot bytes, engine, seed, params), so
+//!   repeated `cad detect` runs and sliding `cad watch` windows load
+//!   artifacts instead of rebuilding them.
+//!
+//! Everything read from disk is validated: truncation, flipped bytes
+//! and version skew surface as [`StoreError`], never as a panic or a
+//! silently wrong graph.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod crc;
+pub mod hash;
+pub mod pack;
+pub mod varint;
+
+pub use cache::{cache_key, engine_fingerprint, OracleStore};
+pub use pack::{
+    decode_pack, encode_pack, inspect_pack, read_pack, snapshot_bytes, write_pack, PackInfo,
+    PackMeta, FORMAT_VERSION,
+};
+
+/// Errors from reading or writing store artifacts.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `.cadpack` magic.
+    BadMagic,
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// Structural damage: truncation, checksum mismatch, trailing
+    /// bytes, or out-of-contract values.
+    Corrupt(String),
+    /// The decoded edges do not form a valid graph sequence.
+    Graph(cad_graph::GraphError),
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a .cadpack file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported .cadpack version {v} (this build reads {})",
+                    pack::FORMAT_VERSION
+                )
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt store data: {msg}"),
+            StoreError::Graph(e) => write!(f, "decoded data is not a valid sequence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<cad_graph::GraphError> for StoreError {
+    fn from(e: cad_graph::GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,112 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+//!
+//! The pack format stores node indices as deltas between consecutive
+//! sorted edges, so most values are tiny; LEB128 keeps them to one or
+//! two bytes. Deltas of the second endpoint can be negative when the
+//! first endpoint advances, hence the zigzag mapping for `i64`.
+
+use crate::StoreError;
+
+/// Append `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint from the front of `buf`, advancing it.
+pub fn read_u64(buf: &mut &[u8]) -> Result<u64, StoreError> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i == 10 {
+            return Err(StoreError::corrupt("varint longer than 10 bytes"));
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte holds bits 63.. — anything beyond the low bit
+        // would shift out of a u64 silently.
+        if i == 9 && payload > 1 {
+            return Err(StoreError::corrupt("varint overflows u64"));
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            *buf = &buf[i + 1..];
+            return Ok(v);
+        }
+    }
+    Err(StoreError::corrupt("varint truncated"))
+}
+
+/// Map a signed value to the zigzag unsigned encoding
+/// (`0, -1, 1, -2, … → 0, 1, 2, 3, …`).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append `v` to `out` zigzag-mapped then LEB128-encoded.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Read a zigzag LEB128 signed varint from the front of `buf`.
+pub fn read_i64(buf: &mut &[u8]) -> Result<i64, StoreError> {
+    read_u64(buf).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_u64(&mut slice).unwrap(), v);
+            assert!(slice.is_empty(), "no trailing bytes for {v}");
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_i64(&mut slice).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_compact_for_small_magnitudes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(-12345)), -12345);
+    }
+
+    #[test]
+    fn truncated_and_overlong_are_rejected() {
+        let mut empty: &[u8] = &[];
+        assert!(read_u64(&mut empty).is_err());
+        let mut dangling: &[u8] = &[0x80];
+        assert!(read_u64(&mut dangling).is_err());
+        let mut overlong: &[u8] = &[0x80; 11];
+        assert!(read_u64(&mut overlong).is_err());
+        // 10 continuation-heavy bytes whose top chunk overflows 64 bits.
+        let mut toobig: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(read_u64(&mut toobig).is_err());
+    }
+}
