@@ -1,0 +1,182 @@
+//! Loopback load benchmark for the `cad-serve` HTTP detection service:
+//! N concurrent keep-alive clients, each driving its own session with a
+//! stream of snapshot pushes, measured end to end from the client side.
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin bench_serve -- \
+//!     [--clients 4] [--instances 40] [--nodes 32] [--workers 4] \
+//!     [--out BENCH_serve.json] [--quiet]
+//! ```
+//!
+//! Reports client-observed push latency (`serve.client_push_secs`, with
+//! p50/p99 via the histogram) and aggregate throughput
+//! (`serve.throughput_rps`), alongside the server-side registry
+//! (`serve_push_secs` histogram, `serve.requests` counter, ...) in the
+//! same schema-versioned report `bench_report` writes, so `cad
+//! bench-diff` can gate regressions on it.
+
+use cad_bench::Args;
+use cad_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// A keep-alive HTTP/1.1 client on one loopback connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    /// One round trip; returns (status, body).
+    fn call(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).expect("write head");
+        self.writer.write_all(body).expect("write body");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8"))
+    }
+}
+
+/// Snapshot `i` of the workload: a unit-weight ring over `nodes`
+/// vertices plus a cross-ring chord whose weight spikes every fifth
+/// instance — enough change to keep the detector scoring real work.
+fn snapshot_body(nodes: usize, i: usize) -> String {
+    let chord = if i % 5 == 2 { 2.0 } else { 0.2 };
+    let mut edges: Vec<String> = (0..nodes)
+        .map(|u| format!("[{u}, {}, 1.0]", (u + 1) % nodes))
+        .collect();
+    edges.push(format!("[0, {}, {chord:?}]", nodes / 2));
+    format!(r#"{{"nodes": {nodes}, "edges": [{}]}}"#, edges.join(", "))
+}
+
+fn main() {
+    let args = Args::from_env();
+    args.apply_verbosity();
+    let clients = args.get("clients", 4usize);
+    let instances = args.get("instances", 40usize);
+    let nodes = args.get("nodes", 32usize);
+    let workers = args.get("workers", 4usize);
+    let out = args.get(
+        "out",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string(),
+    );
+
+    let server = Server::start(ServeConfig {
+        workers,
+        ..Default::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let spec = format!(
+                    r#"{{"nodes": {nodes}, "engine": "exact", "delta": 0.4, "label": "bench-{c}"}}"#
+                );
+                let (status, body) = client.call("POST", "/v1/sequences", spec.as_bytes());
+                assert_eq!(status, 201, "create failed: {body}");
+                let id = cad_obs::parse_json(&body)
+                    .expect("json")
+                    .get("id")
+                    .and_then(cad_obs::Json::as_u64)
+                    .expect("id");
+                let path = format!("/v1/sequences/{id}/snapshots");
+                let mut latencies = Vec::with_capacity(instances);
+                for i in 0..instances {
+                    let body = snapshot_body(nodes, i);
+                    let (resp, secs) =
+                        cad_obs::time_it(|| client.call("POST", &path, body.as_bytes()));
+                    assert_eq!(resp.0, 200, "push {i} failed: {}", resp.1);
+                    latencies.push(secs);
+                }
+                let (status, _) = client.call("DELETE", &format!("/v1/sequences/{id}"), b"");
+                assert_eq!(status, 200);
+                latencies
+            })
+        })
+        .collect();
+    let latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    server.drain();
+
+    let pushes = latencies.len();
+    let rps = pushes as f64 / wall;
+    let client_hist = cad_obs::Histogram::of(latencies.iter().copied());
+    let (p50, p99) = (client_hist.p50(), client_hist.p99());
+
+    let mut report = cad_obs::Report::new("bench_serve");
+    report.absorb_snapshot(&cad_obs::global().snapshot());
+    for (name, value) in cad_obs::counters::snapshot() {
+        report.counters.insert(name.to_string(), value);
+    }
+    for (name, h) in cad_obs::histograms::snapshot() {
+        report.histograms.insert(name.to_string(), h);
+    }
+    report
+        .histograms
+        .insert("serve.client_push_secs".to_string(), client_hist);
+    report.summaries.insert(
+        "serve.client_push_secs".to_string(),
+        cad_obs::Summary::of(latencies),
+    );
+    report.summaries.insert(
+        "serve.throughput_rps".to_string(),
+        cad_obs::Summary::of([rps]),
+    );
+    // Measurement conditions, so bench-diff compares like with like.
+    for (key, value) in [
+        ("bench.serve_clients", clients),
+        ("bench.serve_instances", instances),
+        ("bench.serve_nodes", nodes),
+        ("bench.serve_workers", workers),
+    ] {
+        report.counters.insert(key.to_string(), value as u64);
+    }
+    std::fs::write(&out, report.to_json_string()).expect("write report");
+    println!(
+        "wrote {out}: {clients} clients x {instances} pushes over {nodes} nodes -> \
+         {rps:.1} req/s, p50 {:.1} ms, p99 {:.1} ms",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+}

@@ -17,9 +17,12 @@ USAGE:
                [--k <dim>] [--events <log.ndjson>] [--metrics-addr <ip:port>]
                [--max-instances <n>] [--poll-ms <ms>] [--hold-ms <ms>]
                [--store-dir <dir>]
+  cad serve    [--addr <ip:port>] [--workers <n>] [--max-body <bytes>]
+               [--max-sessions <n>] [--store-dir <dir>]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
   cad pack     --input <seq.txt> --out <pack.cadpack> [--label <text>]
   cad inspect  --input <pack.cadpack>
+  cad store    gc --store-dir <dir> --max-bytes <n>
   cad validate-report --input <report.json>
   cad bench-diff <old.json> <new.json> [--threshold <ratio>] [--update]
 
@@ -37,12 +40,20 @@ watch    streams instances (stdin NDJSON `-`, a directory to tail, or a
          sequence file to replay), detects per arriving transition with a
          sliding oracle cache, and appends one NDJSON event per
          transition; --metrics-addr serves Prometheus /metrics + /healthz
+serve    runs the HTTP detection service: POST /v1/sequences creates a
+         session, POST /v1/sequences/{id}/snapshots pushes instances
+         (JSON edge lists or binary .cadpack edge deltas) and returns
+         the transition's anomaly set; GET /metrics, GET /healthz and
+         POST /v1/shutdown (graceful drain) round it out. A full worker
+         queue answers 503 + Retry-After instead of queueing unboundedly
 generate writes a synthetic workload (for trying the tool end to end)
 pack     converts a sequence file into a compact checksummed binary
          `.cadpack` (base snapshot + per-transition edge deltas);
          detect accepts `.cadpack` inputs directly
 inspect  prints a pack's header, sizes and integrity status without
          loading the graphs into a detector
+store gc shrinks a --store-dir oracle cache to --max-bytes by deleting
+         the least-recently-used artifacts first, printing what it freed
 validate-report checks a --metrics-json report against the schema
 bench-diff compares two bench reports metric-by-metric and exits 4 when
          a wall-time metric regresses past --threshold (default 1.3);
@@ -179,6 +190,28 @@ pub enum Command {
         /// Pack path.
         input: String,
     },
+    /// Run the HTTP detection service.
+    Serve {
+        /// Listen address (`--addr`), e.g. `127.0.0.1:8080`; port 0
+        /// picks a free port.
+        addr: String,
+        /// Worker-thread count (`--workers`).
+        workers: usize,
+        /// Maximum request body size in bytes (`--max-body`).
+        max_body: usize,
+        /// Maximum live sessions (`--max-sessions`).
+        max_sessions: usize,
+        /// Oracle-cache directory (`--store-dir`); no caching when
+        /// absent.
+        store_dir: Option<String>,
+    },
+    /// Shrink an oracle cache to a byte budget (LRU eviction).
+    StoreGc {
+        /// Cache directory (`--store-dir`).
+        store_dir: String,
+        /// Byte budget the cache is trimmed down to (`--max-bytes`).
+        max_bytes: u64,
+    },
     /// Compare two bench reports and gate on wall-time regressions.
     BenchDiff {
         /// Baseline report path.
@@ -232,8 +265,9 @@ impl Cli {
         if let Some(key) = pending {
             return Err(format!("flag `--{key}` is missing a value\n\n{USAGE}"));
         }
-        // Only bench-diff takes positional operands.
-        if sub != "bench-diff" {
+        // Only bench-diff (report paths) and store (the `gc` action)
+        // take positional operands.
+        if sub != "bench-diff" && sub != "store" {
             if let Some(p) = positionals.first() {
                 return Err(format!("unexpected argument `{p}`\n\n{USAGE}"));
             }
@@ -400,6 +434,43 @@ impl Cli {
                     dataset,
                     out: get("out"),
                     seed,
+                }
+            }
+            "serve" => {
+                let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+                    match flags.get(key) {
+                        Some(v) => v.parse().map_err(|_| format!("invalid --{key} `{v}`")),
+                        None => Ok(default),
+                    }
+                };
+                let workers = parse_usize("workers", 4)?;
+                if workers == 0 {
+                    return Err("--workers must be ≥ 1".into());
+                }
+                Command::Serve {
+                    addr: get("addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+                    workers,
+                    max_body: parse_usize("max-body", 4 * 1024 * 1024)?,
+                    max_sessions: parse_usize("max-sessions", 256)?,
+                    store_dir: get("store-dir"),
+                }
+            }
+            "store" => {
+                match positionals.first().map(String::as_str) {
+                    Some("gc") if positionals.len() == 1 => {}
+                    _ => return Err(format!("store needs the `gc` action\n\n{USAGE}")),
+                }
+                let store_dir = get("store-dir")
+                    .ok_or_else(|| format!("store gc needs --store-dir\n\n{USAGE}"))?;
+                let max_bytes = match get("max-bytes") {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| format!("invalid --max-bytes `{v}`"))?,
+                    None => return Err(format!("store gc needs --max-bytes\n\n{USAGE}")),
+                };
+                Command::StoreGc {
+                    store_dir,
+                    max_bytes,
                 }
             }
             "validate-report" => {
@@ -634,6 +705,68 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cli = parse("serve").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: 4,
+                max_body: 4 * 1024 * 1024,
+                max_sessions: 256,
+                store_dir: None,
+            }
+        );
+        let cli = parse(
+            "serve --addr 0.0.0.0:9000 --workers 8 --max-body 1024 \
+             --max-sessions 2 --store-dir cache",
+        )
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                max_body: 1024,
+                max_sessions: 2,
+                store_dir: Some("cache".into()),
+            }
+        );
+        assert!(parse("serve --workers 0").unwrap_err().contains("workers"));
+        assert!(parse("serve --max-body x")
+            .unwrap_err()
+            .contains("--max-body"));
+        assert!(parse("serve stray")
+            .unwrap_err()
+            .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn store_gc_parses() {
+        let cli = parse("store gc --store-dir cache --max-bytes 4096").unwrap();
+        assert_eq!(
+            cli.command,
+            Command::StoreGc {
+                store_dir: "cache".into(),
+                max_bytes: 4096,
+            }
+        );
+        assert!(parse("store").unwrap_err().contains("gc"));
+        assert!(parse("store prune --store-dir c --max-bytes 1")
+            .unwrap_err()
+            .contains("gc"));
+        assert!(parse("store gc --max-bytes 1")
+            .unwrap_err()
+            .contains("--store-dir"));
+        assert!(parse("store gc --store-dir c")
+            .unwrap_err()
+            .contains("--max-bytes"));
+        assert!(parse("store gc --store-dir c --max-bytes tiny")
+            .unwrap_err()
+            .contains("--max-bytes"));
     }
 
     #[test]

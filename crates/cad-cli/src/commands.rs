@@ -285,6 +285,45 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "  integrity      : all section checksums ok")?;
             Ok(())
         }
+        Command::Serve {
+            addr,
+            workers,
+            max_body,
+            max_sessions,
+            store_dir,
+        } => {
+            let cfg = cad_serve::ServeConfig {
+                addr: addr.clone(),
+                workers: *workers,
+                max_body_bytes: *max_body,
+                max_sessions: *max_sessions,
+                store_dir: store_dir.clone().map(std::path::PathBuf::from),
+                ..Default::default()
+            };
+            let server = cad_serve::Server::start(cfg)
+                .map_err(|e| CliError::Usage(format!("cannot start server: {e}")))?;
+            writeln!(out, "serving detection API at http://{}", server.addr())?;
+            out.flush()?;
+            server.serve_until_shutdown();
+            writeln!(out, "drained; all sessions closed")?;
+            Ok(())
+        }
+        Command::StoreGc {
+            store_dir,
+            max_bytes,
+        } => {
+            let store = cad_store::OracleStore::open(std::path::Path::new(store_dir))
+                .map_err(|e| CliError::Usage(format!("cannot open store `{store_dir}`: {e}")))?;
+            let stats = store
+                .gc(*max_bytes)
+                .map_err(|e| CliError::Usage(format!("gc failed in `{store_dir}`: {e}")))?;
+            writeln!(
+                out,
+                "reclaimed {} bytes ({} files); kept {} bytes ({} files)",
+                stats.bytes_reclaimed, stats.files_removed, stats.bytes_kept, stats.files_kept
+            )?;
+            Ok(())
+        }
         Command::BenchDiff {
             old,
             new,
@@ -598,6 +637,28 @@ mod tests {
             .unwrap()
             .count();
         assert_eq!(n, 2, "toy has two distinct instances");
+    }
+
+    #[test]
+    fn store_gc_trims_the_cache() {
+        let seq = tmp("toy-seq11.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let store = tmp("store11");
+        let _ = std::fs::remove_dir_all(&store);
+        let (code, msg) = run_str(&format!(
+            "detect --input {seq} --l 6 --engine exact --store-dir {store}"
+        ));
+        assert_eq!(code, 0, "{msg}");
+
+        // A zero budget evicts every artifact and reports the bytes.
+        let (code, msg) = run_str(&format!("store gc --store-dir {store} --max-bytes 0"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("(2 files)"), "{msg}");
+        assert!(msg.contains("kept 0 bytes (0 files)"), "{msg}");
+        let n = std::fs::read_dir(std::path::Path::new(&store).join("oracles"))
+            .unwrap()
+            .count();
+        assert_eq!(n, 0, "gc with zero budget must empty the cache");
     }
 
     #[test]

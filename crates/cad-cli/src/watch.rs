@@ -133,7 +133,21 @@ pub fn watch_loop(
     let mut instances = 0usize;
     let mut transitions = 0usize;
     for g in source {
-        let (outcome, m) = online.push_metered(g?)?;
+        let (outcome, m) = match g.and_then(|g| Ok(online.push_metered(g)?)) {
+            Ok(step) => step,
+            Err(CliError::Graph(e)) => {
+                // A malformed snapshot (e.g. a vertex id past the
+                // stream's vertex-set size) emits the same structured
+                // error body the serve endpoint answers with, so log
+                // consumers see one schema either way.
+                let body =
+                    cad_obs::http::error_body(cad_serve::graph_error_code(&e).1, &e.to_string());
+                events.write_all(body.as_bytes())?;
+                events.flush()?;
+                return Err(CliError::Graph(e));
+            }
+            Err(other) => return Err(other),
+        };
         instances += 1;
         if let Some(tr) = outcome {
             transitions += 1;
@@ -451,6 +465,47 @@ mod tests {
         let second = tail.next().unwrap().unwrap();
         assert_eq!(second.weight(0, 1), 1.0);
         assert!(tail.next().is_none());
+    }
+
+    #[test]
+    fn bad_snapshots_leave_a_structured_error_event() {
+        // A vertex id past the stream's vertex set: the loop fails, but
+        // the event log's last line is the serve-endpoint error schema.
+        let mut source = vec![
+            Ok(instance(0.0)),
+            graph_from_ndjson(r#"{"nodes": 6, "edges": [[0, 9, 1.0]]}"#),
+        ]
+        .into_iter();
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
+        let mut sink = Vec::new();
+        let health = cad_obs::WatchHealth::new();
+        let err = watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::Graph(cad_graph::GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+        let text = String::from_utf8(sink).unwrap();
+        let last = text.lines().last().expect("an error event");
+        let v = cad_obs::parse_json(last).expect("structured error parses");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("node_out_of_range")
+        );
+
+        // A snapshot whose vertex-set size disagrees with the stream's
+        // trips the same path from inside the detector.
+        let mut source = vec![
+            Ok(instance(0.0)),
+            Ok(WeightedGraph::from_edges(5, &[(0, 1, 1.0)]).unwrap()),
+        ]
+        .into_iter();
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
+        let mut sink = Vec::new();
+        watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap_err();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("\"mixed_node_counts\""), "{text}");
     }
 
     #[test]

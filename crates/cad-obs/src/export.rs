@@ -2,10 +2,12 @@
 //! `/metrics` + `/healthz` HTTP endpoint.
 //!
 //! Everything here is hand-rolled on `std::net::TcpListener` — one
-//! accept thread, HTTP/1.1 `GET` only, `Connection: close` — because
-//! the crate is zero-dependency by contract. The server exists to feed
-//! a Prometheus scraper (or a `curl` in CI) during `cad watch`; it is
-//! not a general web server and deliberately rejects everything but
+//! accept thread, HTTP/1.1 `GET` only — on top of the shared
+//! [`crate::http`] request plumbing (fragmented-write reassembly,
+//! header/body caps, read/write deadlines, keep-alive), because the
+//! crate is zero-dependency by contract. The server exists to feed a
+//! Prometheus scraper (or a `curl` in CI) during `cad watch`; it is not
+//! a general web server and deliberately rejects everything but
 //! `GET /metrics` and `GET /healthz`.
 //!
 //! [`render_prometheus`] snapshots the process-wide sinks — well-known
@@ -18,12 +20,12 @@
 
 use crate::global;
 use crate::hist::{bucket_le, histograms, Histogram, N_BUCKETS};
+use crate::http::{self, HttpLimits};
 use crate::metrics::counters;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Turn a dotted metric name into a Prometheus-legal one:
 /// `linalg.cg_solves` → `cad_linalg_cg_solves`.
@@ -212,7 +214,7 @@ impl MetricsServer {
                     if let Ok(stream) = conn {
                         // Serve inline: requests are tiny and rare
                         // (scrapes), so one thread is plenty.
-                        let _ = serve_one(stream, &health);
+                        serve_conn(stream, &health);
                     }
                 }
             })?;
@@ -249,61 +251,82 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_one(mut stream: TcpStream, health: &WatchHealth) -> std::io::Result<()> {
-    // Read until the request line is complete (clients may fragment the
-    // request across writes); ignore headers/body.
-    let mut buf = [0u8; 1024];
-    let mut n = 0;
-    while n < buf.len() && !buf[..n].contains(&b'\n') {
-        let got = stream.read(&mut buf[n..])?;
-        if got == 0 {
-            break;
-        }
-        n += got;
+/// Request limits for the scrape endpoint: scrapes are tiny GETs, so
+/// the caps are tight and a stalled or oversized peer is cut off fast
+/// (431/400/408 via the shared [`http`] module) instead of pinning the
+/// single listener thread.
+fn scrape_limits() -> HttpLimits {
+    HttpLimits {
+        max_head_bytes: 4 * 1024,
+        max_body_bytes: 4 * 1024,
+        read_timeout: Some(Duration::from_secs(5)),
+        write_timeout: Some(Duration::from_secs(5)),
     }
-    let head = String::from_utf8_lossy(&buf[..n]);
-    let request_line = head.lines().next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+}
 
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
+/// Serve one connection (possibly several keep-alive requests).
+fn serve_conn(mut stream: TcpStream, health: &WatchHealth) {
+    let limits = scrape_limits();
+    loop {
+        let req = match http::read_request(&mut stream, &limits) {
+            Ok(req) => req,
+            Err(err) => {
+                http::respond_read_error(&mut stream, &err);
+                return;
+            }
+        };
+        let (status, content_type, body) = if req.method != "GET" {
+            (
+                405,
+                "application/json",
+                http::error_body("method_not_allowed", "only GET is served here"),
+            )
+        } else {
+            match req.path.as_str() {
+                "/metrics" => (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(),
+                ),
+                "/healthz" => (200, "application/json", health.healthz_json()),
+                _ => (
+                    404,
+                    "application/json",
+                    http::error_body("not_found", &format!("no route for {}", req.path)),
+                ),
+            }
+        };
+        // Only successful scrapes keep the connection: an erroring
+        // client gets its status and is disconnected rather than
+        // holding the single listener thread through keep-alive.
+        let keep = req.keep_alive && status == 200;
+        if http::write_response(
+            &mut stream,
+            status,
+            content_type,
+            body.as_bytes(),
+            keep,
+            &[],
         )
-    } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                render_prometheus(),
-            ),
-            "/healthz" => ("200 OK", "application/json", health.healthz_json()),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found\n".to_string(),
-            ),
+        .is_err()
+            || !keep
+        {
+            return;
         }
-    };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufRead;
+    use std::io::{BufRead, Read, Write};
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
             .expect("write request");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read response");
@@ -401,6 +424,70 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).expect("read status line");
         assert!(line.starts_with("HTTP/1.1 405"), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_survives_fragmented_requests() {
+        let health = Arc::new(WatchHealth::new());
+        let server = MetricsServer::start("127.0.0.1:0", health).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        for chunk in [
+            "GET /hea",
+            "lthz HTTP/1.1\r\n",
+            "Host: x\r\nConnec",
+            "tion: close\r\n\r\n",
+        ] {
+            stream.write_all(chunk.as_bytes()).expect("write chunk");
+            stream.flush().expect("flush");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"status\": \"ok\""), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_oversized_heads_with_431() {
+        let health = Arc::new(WatchHealth::new());
+        let server = MetricsServer::start("127.0.0.1:0", health).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\n")
+            .expect("write");
+        let padding = format!("X-Padding: {}\r\n", "a".repeat(512));
+        // Keep writing headers until the server cuts us off or we are
+        // far past the 4 KiB cap.
+        for _ in 0..32 {
+            if stream.write_all(padding.as_bytes()).is_err() {
+                break;
+            }
+        }
+        let _ = stream.write_all(b"\r\n");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+        assert!(response.contains("head_too_large"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_garbage_with_400_instead_of_hanging() {
+        let health = Arc::new(WatchHealth::new());
+        let server = MetricsServer::start("127.0.0.1:0", health).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .write_all(b"\x01\x02garbage that is not http\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("bad_request"), "{response}");
+        // The server is still alive and serving after the bad client.
+        let (head, _) = http_get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
         server.shutdown();
     }
 }

@@ -322,6 +322,15 @@ pub mod histograms {
     pub static TRANSITION_SCORE_SECS: AtomicHistogram = AtomicHistogram::new();
     /// Wall-clock seconds per `.cadpack`/oracle-cache read or write.
     pub static PACK_IO_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// `cad serve`: wall-clock seconds per `POST .../snapshots` request
+    /// (parse + push + respond — the detection hot path).
+    pub static SERVE_PUSH_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// `cad serve`: wall-clock seconds per `POST /v1/sequences`
+    /// (session creation).
+    pub static SERVE_CREATE_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// `cad serve`: wall-clock seconds per remaining endpoint (status,
+    /// delete, healthz, metrics).
+    pub static SERVE_ADMIN_SECS: AtomicHistogram = AtomicHistogram::new();
 
     /// Snapshot of every well-known histogram, keyed by its stable
     /// report name.
@@ -332,6 +341,9 @@ pub mod histograms {
             ("oracle_build_secs", ORACLE_BUILD_SECS.snapshot()),
             ("transition_score_secs", TRANSITION_SCORE_SECS.snapshot()),
             ("pack_io_secs", PACK_IO_SECS.snapshot()),
+            ("serve_push_secs", SERVE_PUSH_SECS.snapshot()),
+            ("serve_create_secs", SERVE_CREATE_SECS.snapshot()),
+            ("serve_admin_secs", SERVE_ADMIN_SECS.snapshot()),
         ]
     }
 
@@ -342,6 +354,9 @@ pub mod histograms {
         ORACLE_BUILD_SECS.reset();
         TRANSITION_SCORE_SECS.reset();
         PACK_IO_SECS.reset();
+        SERVE_PUSH_SECS.reset();
+        SERVE_CREATE_SECS.reset();
+        SERVE_ADMIN_SECS.reset();
     }
 }
 
@@ -468,7 +483,10 @@ mod tests {
                 "cg_residuals",
                 "oracle_build_secs",
                 "transition_score_secs",
-                "pack_io_secs"
+                "pack_io_secs",
+                "serve_push_secs",
+                "serve_create_secs",
+                "serve_admin_secs"
             ]
         );
     }

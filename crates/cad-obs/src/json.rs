@@ -83,6 +83,47 @@ impl Json {
         }
     }
 
+    /// Serialize on a single line with no insignificant whitespace
+    /// (for NDJSON event lines and HTTP bodies). Numbers print exactly
+    /// as in [`Json::pretty`], so compact output round-trips the same
+    /// bits.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Serialize with 2-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();

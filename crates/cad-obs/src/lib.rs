@@ -10,6 +10,10 @@
 //! * [`hist`] — log-bucketed latency/value [`Histogram`]s: a
 //!   deterministic value type for reports and a lock-free
 //!   [`AtomicHistogram`] twin backing the live `/metrics` exporter.
+//! * [`http`] — shared hand-rolled HTTP/1.1 plumbing (request parsing
+//!   with header/body caps, timeouts, keep-alive, structured error
+//!   bodies) used by the `/metrics` exporter and the `cad-serve`
+//!   detection service.
 //! * [`export`] — Prometheus text-exposition rendering and the
 //!   hand-rolled `/metrics` + `/healthz` HTTP server for `cad watch`.
 //! * [`stats`] — typed result-side statistics ([`SolveStats`],
@@ -32,6 +36,7 @@
 pub mod clock;
 pub mod export;
 pub mod hist;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod progress;

@@ -42,6 +42,14 @@ impl FastCounter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Subtract `n` (for the few gauge-like counters such as
+    /// `serve.sessions_active`; callers must keep adds and subs
+    /// balanced — this does not saturate).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -80,6 +88,15 @@ pub mod counters {
     pub static STORE_CACHE_MISSES: FastCounter = FastCounter::new();
     /// Bytes read from `.cadpack` files and cached oracle artifacts.
     pub static STORE_BYTES_READ: FastCounter = FastCounter::new();
+    /// HTTP requests handled by the `cad serve` detection service
+    /// (everything that reached the router, any status).
+    pub static SERVE_REQUESTS: FastCounter = FastCounter::new();
+    /// Connections answered `503` because the serve worker queue was
+    /// full (the backpressure contract).
+    pub static SERVE_REJECTED_BACKPRESSURE: FastCounter = FastCounter::new();
+    /// Detection sessions currently alive in `cad serve` (gauge-like:
+    /// increments on create, decrements on delete/TTL-sweep).
+    pub static SERVE_SESSIONS_ACTIVE: FastCounter = FastCounter::new();
 
     /// Snapshot of every well-known counter, keyed by its stable report
     /// name.
@@ -93,6 +110,12 @@ pub mod counters {
             ("store.cache_hits", STORE_CACHE_HITS.get()),
             ("store.cache_misses", STORE_CACHE_MISSES.get()),
             ("store.bytes_read", STORE_BYTES_READ.get()),
+            ("serve.requests", SERVE_REQUESTS.get()),
+            (
+                "serve.rejected_backpressure",
+                SERVE_REJECTED_BACKPRESSURE.get(),
+            ),
+            ("serve.sessions_active", SERVE_SESSIONS_ACTIVE.get()),
         ]
     }
 
@@ -106,6 +129,9 @@ pub mod counters {
         STORE_CACHE_HITS.reset();
         STORE_CACHE_MISSES.reset();
         STORE_BYTES_READ.reset();
+        SERVE_REQUESTS.reset();
+        SERVE_REJECTED_BACKPRESSURE.reset();
+        SERVE_SESSIONS_ACTIVE.reset();
     }
 }
 
@@ -219,7 +245,10 @@ mod tests {
                 "commute.oracle_builds",
                 "store.cache_hits",
                 "store.cache_misses",
-                "store.bytes_read"
+                "store.bytes_read",
+                "serve.requests",
+                "serve.rejected_backpressure",
+                "serve.sessions_active"
             ]
         );
     }

@@ -1,0 +1,678 @@
+//! Request routing for the detection service.
+//!
+//! One pure-ish entry point, [`route`]: parsed request in, [`Response`]
+//! out. All endpoint semantics live here — the server module only moves
+//! connections and bytes. Every response body is JSON (one line,
+//! NDJSON-compatible) except `/healthz` and `/metrics`; every error
+//! uses the shared [`cad_obs::http::error_body`] schema
+//! `{"error": {"code": ..., "message": ...}}`.
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | `POST` | `/v1/sequences` | create a session from a JSON spec |
+//! | `POST` | `/v1/sequences/{id}/snapshots` | push the next instance |
+//! | `GET` | `/v1/sequences/{id}` | session status |
+//! | `DELETE` | `/v1/sequences/{id}` | drop the session |
+//! | `GET` | `/healthz` | liveness probe |
+//! | `GET` | `/metrics` | Prometheus text exposition |
+//! | `POST` | `/v1/shutdown` | request graceful drain |
+
+use crate::server::Shutdown;
+use crate::session::{parse_spec, CreateError, Session, SessionMap};
+use cad_commute::OracleProvider;
+use cad_core::{OnlineStepMetrics, TransitionAnomalies};
+use cad_graph::{GraphError, WeightedGraph};
+use cad_obs::http::{error_body, Request};
+use cad_obs::Json;
+use std::sync::Arc;
+
+/// A response ready for [`cad_obs::http::write_response`].
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    fn json(status: u16, v: Json) -> Response {
+        let mut body = v.compact();
+        body.push('\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn error(status: u16, code: &str, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: error_body(code, message).into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+}
+
+/// Everything [`route`] needs besides the request.
+pub struct RouterCtx {
+    /// The session registry.
+    pub sessions: SessionMap,
+    /// Warm oracle cache wired into every new session (`--store-dir`).
+    pub provider: Option<Arc<dyn OracleProvider>>,
+    /// The drain signal `POST /v1/shutdown` trips.
+    pub shutdown: Arc<Shutdown>,
+}
+
+/// The media type of a binary `.cadpack` edge-delta snapshot body.
+pub const DELTA_CONTENT_TYPE: &str = "application/x-cadpack-delta";
+
+fn num(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+/// Serialize a transition (or its absence) exactly: scores go through
+/// the 17-significant-digit JSON number path, so a client reading them
+/// back sees the same `f64` bits batch detection produces.
+fn transition_json(tr: &Option<TransitionAnomalies>, delta: f64, m: &OnlineStepMetrics) -> Json {
+    let Some(tr) = tr else {
+        return Json::Null;
+    };
+    let edges: Vec<Json> = tr
+        .edges
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("u", num(e.u)),
+                ("v", num(e.v)),
+                ("score", Json::Num(e.score)),
+                ("d_weight", Json::Num(e.d_weight)),
+                ("d_commute", Json::Num(e.d_commute)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("t", num(tr.t)),
+        (
+            "delta",
+            if delta == f64::MAX {
+                Json::Null
+            } else {
+                Json::Num(delta)
+            },
+        ),
+        ("n_scored", num(m.n_scored)),
+        ("edges", Json::Arr(edges)),
+        (
+            "nodes",
+            Json::Arr(tr.nodes.iter().map(|&n| num(n)).collect()),
+        ),
+        (
+            "latency",
+            Json::obj(vec![
+                ("build_secs", Json::Num(m.build.build_secs)),
+                ("score_secs", Json::Num(m.score_secs)),
+            ]),
+        ),
+    ])
+}
+
+/// `(status, code)` for a snapshot the detector rejected. Public so
+/// `cad watch` can emit the *same* structured error body
+/// (`{"error": {"code": ..., ...}}`) for a bad NDJSON snapshot that the
+/// serve snapshot endpoint returns for the same defect.
+pub fn graph_error_code(e: &GraphError) -> (u16, &'static str) {
+    match e {
+        GraphError::NodeOutOfRange { .. } => (422, "node_out_of_range"),
+        GraphError::MixedNodeCounts { .. } => (422, "mixed_node_counts"),
+        GraphError::InvalidWeight { .. } => (422, "invalid_weight"),
+        GraphError::SelfLoop { .. } => (422, "self_loop"),
+        _ => (422, "invalid_snapshot"),
+    }
+}
+
+/// Parse a JSON edge-list snapshot `{"nodes": N, "edges": [[u, v, w],
+/// ...]}`. `nodes` may be omitted — the session's vertex-set size is
+/// used — but when present it must match exactly.
+fn snapshot_from_json(body: &[u8], session_nodes: usize) -> Result<WeightedGraph, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "bad_request", "snapshot body is not UTF-8"))?;
+    let v = cad_obs::parse_json(text)
+        .map_err(|e| Response::error(400, "bad_request", &format!("snapshot is not JSON: {e}")))?;
+    let n = match v.get("nodes") {
+        Some(j) => j.as_u64().ok_or_else(|| {
+            Response::error(400, "bad_request", "`nodes` must be a non-negative integer")
+        })? as usize,
+        None => session_nodes,
+    };
+    if n != session_nodes {
+        let e = GraphError::MixedNodeCounts {
+            expected: session_nodes,
+            found: n,
+            at: 0,
+        };
+        let (status, code) = graph_error_code(&e);
+        return Err(Response::error(status, code, &e.to_string()));
+    }
+    let arr = v
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Response::error(400, "bad_request", "snapshot needs an `edges` array"))?;
+    let mut edges = Vec::with_capacity(arr.len());
+    for (i, e) in arr.iter().enumerate() {
+        let triple = e.as_arr().filter(|t| t.len() == 3).ok_or_else(|| {
+            Response::error(
+                400,
+                "bad_request",
+                &format!("edges[{i}] is not a [u, v, w] triple"),
+            )
+        })?;
+        let u = triple[0].as_u64().ok_or_else(|| {
+            Response::error(
+                400,
+                "bad_request",
+                &format!("edges[{i}] endpoint not an integer"),
+            )
+        })?;
+        let v2 = triple[1].as_u64().ok_or_else(|| {
+            Response::error(
+                400,
+                "bad_request",
+                &format!("edges[{i}] endpoint not an integer"),
+            )
+        })?;
+        let w = triple[2].as_f64().ok_or_else(|| {
+            Response::error(
+                400,
+                "bad_request",
+                &format!("edges[{i}] weight not a number"),
+            )
+        })?;
+        edges.push((u as usize, v2 as usize, w));
+    }
+    WeightedGraph::from_edges(n, &edges).map_err(|e| {
+        let (status, code) = graph_error_code(&e);
+        Response::error(status, code, &e.to_string())
+    })
+}
+
+/// Decode a binary edge-delta body against the session's current
+/// snapshot.
+fn snapshot_from_delta(
+    body: &[u8],
+    base: Option<&WeightedGraph>,
+) -> Result<WeightedGraph, Response> {
+    let Some(base) = base else {
+        return Err(Response::error(
+            422,
+            "delta_without_base",
+            "an edge-delta body needs a previous snapshot to apply to; \
+             send the first snapshot as a JSON edge list",
+        ));
+    };
+    let delta = cad_store::decode_edge_delta(body)
+        .map_err(|e| Response::error(400, "bad_delta", &e.to_string()))?;
+    cad_store::apply_edge_delta(base, &delta).map_err(|e| match e {
+        cad_store::StoreError::Graph(g) => {
+            let (status, code) = graph_error_code(&g);
+            Response::error(status, code, &g.to_string())
+        }
+        other => Response::error(400, "bad_delta", &other.to_string()),
+    })
+}
+
+fn create_session(req: &Request, ctx: &RouterCtx) -> Response {
+    let spec = match parse_spec(&req.body) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(422, "bad_spec", &msg),
+    };
+    match ctx.sessions.create(spec, ctx.provider.clone()) {
+        Ok(session) => Response::json(
+            201,
+            Json::obj(vec![
+                ("id", num(session.id as usize)),
+                ("nodes", num(session.n_nodes)),
+                ("label", Json::Str(session.label.clone())),
+            ]),
+        ),
+        Err(CreateError::Full { max_sessions }) => {
+            let mut resp = Response::error(
+                429,
+                "too_many_sessions",
+                &format!("session cap of {max_sessions} reached; delete one or retry later"),
+            );
+            resp.extra.push(("Retry-After", "1".to_string()));
+            resp
+        }
+    }
+}
+
+fn push_snapshot(req: &Request, session: &Session) -> Response {
+    let mut inner = session.lock();
+    let is_delta = req
+        .header("content-type")
+        .is_some_and(|ct| ct.split(';').next().map(str::trim) == Some(DELTA_CONTENT_TYPE));
+    let g = if is_delta {
+        snapshot_from_delta(&req.body, inner.current.as_ref())
+    } else {
+        snapshot_from_json(&req.body, session.n_nodes)
+    };
+    let g = match g {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
+    match inner.online.push_metered(g.clone()) {
+        Ok((tr, m)) => {
+            inner.current = Some(g);
+            inner.instances += 1;
+            Response::json(
+                200,
+                Json::obj(vec![
+                    ("id", num(session.id as usize)),
+                    ("instance", num(inner.instances - 1)),
+                    ("transition", transition_json(&tr, inner.online.delta(), &m)),
+                ]),
+            )
+        }
+        Err(e) => {
+            let (status, code) = graph_error_code(&e);
+            Response::error(status, code, &e.to_string())
+        }
+    }
+}
+
+fn session_status(session: &Session) -> Response {
+    let inner = session.lock();
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("id", num(session.id as usize)),
+            ("nodes", num(session.n_nodes)),
+            ("label", Json::Str(session.label.clone())),
+            ("instances", num(inner.instances)),
+            ("transitions", num(inner.online.n_transitions())),
+            (
+                "delta",
+                if inner.online.delta() == f64::MAX {
+                    Json::Null
+                } else {
+                    Json::Num(inner.online.delta())
+                },
+            ),
+        ]),
+    )
+}
+
+fn not_found(path: &str) -> Response {
+    Response::error(404, "not_found", &format!("no route for `{path}`"))
+}
+
+fn method_not_allowed(method: &str, path: &str) -> Response {
+    Response::error(
+        405,
+        "method_not_allowed",
+        &format!("`{method}` not allowed on `{path}`"),
+    )
+}
+
+/// Route one request. Counts `serve.requests` and observes the
+/// per-endpoint latency histograms.
+pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
+    cad_obs::counters::SERVE_REQUESTS.inc();
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = req.method.as_str();
+
+    match segments.as_slice() {
+        ["healthz"] => {
+            let (resp, secs) = cad_obs::time_it(|| match method {
+                "GET" => Response {
+                    status: 200,
+                    content_type: "text/plain; charset=utf-8",
+                    body: b"ok\n".to_vec(),
+                    extra: Vec::new(),
+                },
+                _ => method_not_allowed(method, path),
+            });
+            cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
+            resp
+        }
+        ["metrics"] => {
+            let (resp, secs) = cad_obs::time_it(|| match method {
+                "GET" => Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    body: cad_obs::render_prometheus().into_bytes(),
+                    extra: Vec::new(),
+                },
+                _ => method_not_allowed(method, path),
+            });
+            cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
+            resp
+        }
+        ["v1", "shutdown"] => {
+            let (resp, secs) = cad_obs::time_it(|| match method {
+                "POST" => {
+                    ctx.shutdown.request();
+                    Response::json(200, Json::obj(vec![("draining", Json::Bool(true))]))
+                }
+                _ => method_not_allowed(method, path),
+            });
+            cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
+            resp
+        }
+        ["v1", "sequences"] => match method {
+            "POST" => {
+                let (resp, secs) = cad_obs::time_it(|| create_session(req, ctx));
+                cad_obs::histograms::SERVE_CREATE_SECS.observe(secs);
+                resp
+            }
+            _ => method_not_allowed(method, path),
+        },
+        ["v1", "sequences", id] => {
+            let Ok(id) = id.parse::<u64>() else {
+                return not_found(path);
+            };
+            let Some(session) = ctx.sessions.get(id) else {
+                return Response::error(404, "no_such_session", &format!("no session {id}"));
+            };
+            let (resp, secs) = cad_obs::time_it(|| match method {
+                "GET" => session_status(&session),
+                "DELETE" => {
+                    ctx.sessions.remove(id);
+                    Response::json(
+                        200,
+                        Json::obj(vec![
+                            ("id", num(id as usize)),
+                            ("deleted", Json::Bool(true)),
+                        ]),
+                    )
+                }
+                _ => method_not_allowed(method, path),
+            });
+            cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
+            resp
+        }
+        ["v1", "sequences", id, "snapshots"] => {
+            let Ok(id) = id.parse::<u64>() else {
+                return not_found(path);
+            };
+            match method {
+                "POST" => {
+                    let Some(session) = ctx.sessions.get(id) else {
+                        return Response::error(
+                            404,
+                            "no_such_session",
+                            &format!("no session {id}"),
+                        );
+                    };
+                    let (resp, secs) = cad_obs::time_it(|| push_snapshot(req, &session));
+                    cad_obs::histograms::SERVE_PUSH_SECS.observe(secs);
+                    resp
+                }
+                _ => method_not_allowed(method, path),
+            }
+        }
+        _ => not_found(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RouterCtx {
+        RouterCtx {
+            sessions: SessionMap::new(8),
+            provider: None,
+            shutdown: Arc::new(Shutdown::new()),
+        }
+    }
+
+    fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn delta_request(path: &str, body: &[u8]) -> Request {
+        let mut req = request("POST", path, body);
+        req.headers
+            .push(("content-type".to_string(), DELTA_CONTENT_TYPE.to_string()));
+        req
+    }
+
+    fn parse(resp: &Response) -> Json {
+        let text = std::str::from_utf8(&resp.body).expect("utf-8 body");
+        cad_obs::parse_json(text).expect("json body")
+    }
+
+    fn snapshot_body(bridge: f64) -> String {
+        let mut edges = vec![
+            (0, 1, 3.0),
+            (0, 2, 3.0),
+            (1, 2, 3.0),
+            (3, 4, 3.0),
+            (3, 5, 3.0),
+            (4, 5, 3.0),
+            (2, 3, 0.2),
+        ];
+        if bridge > 0.0 {
+            edges.push((0, 5, bridge));
+        }
+        let list: Vec<String> = edges
+            .iter()
+            .map(|(u, v, w)| format!("[{u}, {v}, {w:?}]"))
+            .collect();
+        format!(r#"{{"nodes": 6, "edges": [{}]}}"#, list.join(", "))
+    }
+
+    #[test]
+    fn create_push_status_delete_lifecycle() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+            ),
+            &ctx,
+        );
+        assert_eq!(resp.status, 201);
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+
+        let push = format!("/v1/sequences/{id}/snapshots");
+        let resp = route(&request("POST", &push, snapshot_body(0.0).as_bytes()), &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(matches!(parse(&resp).get("transition"), Some(Json::Null)));
+
+        let resp = route(&request("POST", &push, snapshot_body(1.5).as_bytes()), &ctx);
+        assert_eq!(resp.status, 200);
+        let tr = parse(&resp);
+        let tr = tr.get("transition").expect("transition");
+        assert_eq!(tr.get("t").and_then(Json::as_u64), Some(0));
+        let edges = tr.get("edges").and_then(Json::as_arr).unwrap();
+        assert_eq!(edges.len(), 1, "the bridge edge is anomalous");
+        assert_eq!(edges[0].get("u").and_then(Json::as_u64), Some(0));
+        assert_eq!(edges[0].get("v").and_then(Json::as_u64), Some(5));
+
+        let status_path = format!("/v1/sequences/{id}");
+        let resp = route(&request("GET", &status_path, b""), &ctx);
+        assert_eq!(resp.status, 200);
+        let v = parse(&resp);
+        assert_eq!(v.get("instances").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("transitions").and_then(Json::as_u64), Some(1));
+
+        let resp = route(&request("DELETE", &status_path, b""), &ctx);
+        assert_eq!(resp.status, 200);
+        let resp = route(&request("GET", &status_path, b""), &ctx);
+        assert_eq!(resp.status, 404);
+        assert_eq!(cad_obs::counters::SERVE_REQUESTS.get(), 6);
+    }
+
+    #[test]
+    fn node_out_of_range_is_the_structured_error() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(&request("POST", "/v1/sequences", br#"{"nodes": 4}"#), &ctx);
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+        let resp = route(
+            &request("POST", &push, br#"{"edges": [[0, 9, 1.0]]}"#),
+            &ctx,
+        );
+        assert_eq!(resp.status, 422);
+        let v = parse(&resp);
+        let e = v.get("error").expect("error object");
+        assert_eq!(
+            e.get("code").and_then(|j| j.as_str()),
+            Some("node_out_of_range")
+        );
+        // A declared vertex-set size that disagrees with the session is
+        // rejected before any edge parsing.
+        let resp = route(
+            &request("POST", &push, br#"{"nodes": 9, "edges": []}"#),
+            &ctx,
+        );
+        assert_eq!(resp.status, 422);
+        let v = parse(&resp);
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|j| j.as_str()),
+            Some("mixed_node_counts")
+        );
+    }
+
+    #[test]
+    fn delta_bodies_apply_against_the_previous_snapshot() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+            ),
+            &ctx,
+        );
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+
+        // A delta with no base is refused with a pointed error.
+        let resp = route(&delta_request(&push, b"\x00"), &ctx);
+        assert_eq!(resp.status, 422);
+
+        let resp = route(&request("POST", &push, snapshot_body(0.0).as_bytes()), &ctx);
+        assert_eq!(resp.status, 200);
+
+        // Now the bridge appears via a binary delta.
+        let base = WeightedGraph::from_edges(
+            6,
+            &[
+                (0, 1, 3.0),
+                (0, 2, 3.0),
+                (1, 2, 3.0),
+                (3, 4, 3.0),
+                (3, 5, 3.0),
+                (4, 5, 3.0),
+                (2, 3, 0.2),
+            ],
+        )
+        .unwrap();
+        let next = WeightedGraph::from_edges(
+            6,
+            &[
+                (0, 1, 3.0),
+                (0, 2, 3.0),
+                (1, 2, 3.0),
+                (3, 4, 3.0),
+                (3, 5, 3.0),
+                (4, 5, 3.0),
+                (2, 3, 0.2),
+                (0, 5, 1.5),
+            ],
+        )
+        .unwrap();
+        let body = cad_store::encode_edge_delta(&base, &next);
+        let resp = route(&delta_request(&push, &body), &ctx);
+        assert_eq!(resp.status, 200);
+        let v = parse(&resp);
+        let tr = v.get("transition").expect("transition");
+        let edges = tr.get("edges").and_then(Json::as_arr).unwrap();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].get("v").and_then(Json::as_u64), Some(5));
+
+        // Garbage delta bytes are a 400, not a panic.
+        let resp = route(&delta_request(&push, b"\xff\xff\xff\xff"), &ctx);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_404_405() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        assert_eq!(route(&request("GET", "/nope", b""), &ctx).status, 404);
+        assert_eq!(
+            route(&request("GET", "/v1/sequences", b""), &ctx).status,
+            405
+        );
+        assert_eq!(route(&request("PUT", "/healthz", b""), &ctx).status, 405);
+        assert_eq!(
+            route(&request("GET", "/v1/sequences/abc", b""), &ctx).status,
+            404
+        );
+        assert_eq!(
+            route(&request("GET", "/v1/sequences/99", b""), &ctx).status,
+            404
+        );
+        let resp = route(&request("GET", "/metrics", b""), &ctx);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("serve_requests_total"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_endpoint_trips_the_drain_signal() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        assert!(!ctx.shutdown.is_requested());
+        let resp = route(&request("POST", "/v1/shutdown", b""), &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(ctx.shutdown.is_requested());
+    }
+
+    #[test]
+    fn session_cap_returns_429_with_retry_after() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = RouterCtx {
+            sessions: SessionMap::new(1),
+            provider: None,
+            shutdown: Arc::new(Shutdown::new()),
+        };
+        assert_eq!(
+            route(&request("POST", "/v1/sequences", br#"{"nodes": 4}"#), &ctx).status,
+            201
+        );
+        let resp = route(&request("POST", "/v1/sequences", br#"{"nodes": 4}"#), &ctx);
+        assert_eq!(resp.status, 429);
+        assert!(resp.extra.iter().any(|(k, _)| *k == "Retry-After"));
+    }
+}

@@ -1,0 +1,598 @@
+//! The concurrent HTTP server: accept loop, bounded worker queue,
+//! keep-alive connection handling, idle-session sweeper and graceful
+//! drain.
+//!
+//! Threading model:
+//!
+//! * **one accept thread** pulls connections off the listener and
+//!   offers each to a bounded queue. A full queue is answered *from the
+//!   accept thread* with `503` + `Retry-After` (and counted in
+//!   `serve.rejected_backpressure`) — overload sheds load immediately
+//!   instead of queueing unboundedly;
+//! * **N worker threads** pop connections and run the keep-alive
+//!   request loop (parse → [`crate::router::route`] → respond);
+//! * **one sweeper thread** evicts sessions idle past the TTL.
+//!
+//! Drain ([`Server::drain`]) stops the accept loop (a self-connect
+//! wakes it from `accept()`), closes the queue so workers finish
+//! already-queued connections and exit, then joins every thread.
+//! In-flight requests complete and get their responses; new
+//! connections are refused by the closed listener.
+
+use crate::router::{route, Response, RouterCtx};
+use crate::session::SessionMap;
+use cad_obs::http::{self, error_body, HttpLimits};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A latched one-way signal: once requested, stays requested.
+pub struct Shutdown {
+    flag: AtomicBool,
+    state: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Shutdown {
+    /// A fresh, untripped signal.
+    pub fn new() -> Self {
+        Shutdown {
+            flag: AtomicBool::new(false),
+            state: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Trip the signal and wake every waiter.
+    pub fn request(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let _guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        self.cv.notify_all();
+    }
+
+    /// Whether the signal has been tripped.
+    pub fn is_requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Block until tripped.
+    pub fn wait(&self) {
+        let mut guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while !self.is_requested() {
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Block until tripped or `timeout` elapses; returns whether the
+    /// signal is tripped.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if self.is_requested() {
+            return true;
+        }
+        let _ = self
+            .cv
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+        self.is_requested()
+    }
+}
+
+impl Default for Shutdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    open: bool,
+}
+
+/// The bounded connection queue between the accept thread and workers.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Offer a connection; hands it back when the queue is full (the
+    /// caller sheds it with a `503`).
+    fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if !state.open || state.conns.len() >= self.cap {
+            return Err(conn);
+        }
+        state.conns.push_back(conn);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Pop the next connection, blocking while the queue is open and
+    /// empty. `None` means closed *and* drained: time for the worker to
+    /// exit. Queued connections are always served, even after close.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Stop accepting pushes and wake every blocked worker.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.open = false;
+        self.cv.notify_all();
+    }
+}
+
+/// Server configuration (`cad serve` flags map onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Connections that may wait for a worker before overflow turns
+    /// into `503`s.
+    pub queue_depth: usize,
+    /// Cap on snapshot/request bodies, in bytes.
+    pub max_body_bytes: usize,
+    /// Live-session cap (`429` beyond).
+    pub max_sessions: usize,
+    /// Idle time after which the sweeper drops a session.
+    pub session_ttl: Duration,
+    /// How often the sweeper scans.
+    pub sweep_interval: Duration,
+    /// Per-connection socket read deadline (also bounds how long an
+    /// idle keep-alive connection can pin a worker).
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// Warm oracle-cache directory shared by every session.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+            max_sessions: 256,
+            session_ttl: Duration::from_secs(900),
+            sweep_interval: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            store_dir: None,
+        }
+    }
+}
+
+struct Shared {
+    queue: ConnQueue,
+    ctx: RouterCtx,
+    limits: HttpLimits,
+}
+
+/// A running detection service.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+/// Answer an overflow connection with `503 Retry-After: 1` without ever
+/// reading its request, then drain a bounded amount of whatever it sent
+/// so closing does not RST the response away.
+fn reject_busy(mut conn: TcpStream, write_timeout: Duration) {
+    cad_obs::counters::SERVE_REJECTED_BACKPRESSURE.inc();
+    let _ = conn.set_write_timeout(Some(write_timeout));
+    let body = error_body("overloaded", "worker queue is full; retry shortly");
+    if http::write_response(
+        &mut conn,
+        503,
+        "application/json",
+        body.as_bytes(),
+        false,
+        &[("Retry-After", "1".to_string())],
+    )
+    .is_err()
+    {
+        return;
+    }
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..64 {
+        match conn.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// The per-connection keep-alive loop a worker runs.
+fn serve_conn(mut conn: TcpStream, shared: &Shared) {
+    loop {
+        match http::read_request(&mut conn, &shared.limits) {
+            Ok(req) => {
+                let Response {
+                    status,
+                    content_type,
+                    body,
+                    extra,
+                } = route(&req, &shared.ctx);
+                // Draining closes after the in-flight response; so does
+                // any error status, which keeps framing mistakes from
+                // poisoning a reused connection.
+                let keep = req.keep_alive && status < 400 && !shared.ctx.shutdown.is_requested();
+                let extra: Vec<(&str, String)> =
+                    extra.iter().map(|(k, v)| (*k, v.clone())).collect();
+                if http::write_response(&mut conn, status, content_type, &body, keep, &extra)
+                    .is_err()
+                    || !keep
+                {
+                    return;
+                }
+            }
+            Err(err) => {
+                http::respond_read_error(&mut conn, &err);
+                return;
+            }
+        }
+    }
+}
+
+impl Server {
+    /// Bind and start the full thread complement.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let provider: Option<Arc<dyn cad_commute::OracleProvider>> = match &cfg.store_dir {
+            Some(dir) => {
+                let store = cad_store::OracleStore::open(dir.clone()).map_err(|e| {
+                    std::io::Error::other(format!("cannot open store `{}`: {e}", dir.display()))
+                })?;
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            queue: ConnQueue::new(cfg.queue_depth),
+            ctx: RouterCtx {
+                sessions: SessionMap::new(cfg.max_sessions),
+                provider,
+                shutdown: Arc::new(Shutdown::new()),
+            },
+            limits: HttpLimits {
+                max_head_bytes: 8 * 1024,
+                max_body_bytes: cfg.max_body_bytes,
+                read_timeout: Some(cfg.read_timeout),
+                write_timeout: Some(cfg.write_timeout),
+            },
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cad-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(conn) = shared.queue.pop() {
+                            serve_conn(conn, &shared);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let sweeper = {
+            let shared = Arc::clone(&shared);
+            let ttl = cfg.session_ttl;
+            let interval = cfg.sweep_interval;
+            std::thread::Builder::new()
+                .name("cad-serve-sweeper".to_string())
+                .spawn(move || {
+                    while !shared.ctx.shutdown.wait_timeout(interval) {
+                        shared.ctx.sessions.sweep_idle(ttl);
+                    }
+                })
+                .expect("spawn sweeper")
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let write_timeout = cfg.write_timeout;
+            std::thread::Builder::new()
+                .name("cad-serve-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.ctx.shutdown.is_requested() {
+                            break;
+                        }
+                        let Ok(conn) = conn else { continue };
+                        if let Err(conn) = shared.queue.try_push(conn) {
+                            reject_busy(conn, write_timeout);
+                        }
+                    }
+                })
+                .expect("spawn accept")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            sweeper: Some(sweeper),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The drain signal (`POST /v1/shutdown` trips the same one).
+    pub fn shutdown_signal(&self) -> Arc<Shutdown> {
+        Arc::clone(&self.shared.ctx.shutdown)
+    }
+
+    /// Block until something requests shutdown, then drain.
+    pub fn serve_until_shutdown(self) {
+        self.shared.ctx.shutdown.wait();
+        self.drain();
+    }
+
+    /// Graceful drain: stop accepting, let in-flight and queued
+    /// requests finish with responses, join every thread.
+    pub fn drain(mut self) {
+        self.shared.ctx.shutdown.request();
+        // The accept thread is parked in accept(); a throwaway
+        // self-connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            sweep_interval: Duration::from_millis(50),
+            ..Default::default()
+        }
+    }
+
+    /// One round-trip on a fresh connection; returns (status, body).
+    fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        call_with(addr, method, path, body, &[])
+    }
+
+    fn call_with(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        conn.write_all(head.as_bytes()).expect("write head");
+        conn.write_all(body).expect("write body");
+        read_response(&mut conn)
+    }
+
+    fn read_response(conn: &mut TcpStream) -> (u16, String) {
+        let mut reader = BufReader::new(conn);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8"))
+    }
+
+    #[test]
+    fn end_to_end_session_lifecycle_over_tcp() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let server = Server::start(test_config()).expect("start");
+        let addr = server.addr();
+
+        let (status, body) = call(
+            addr,
+            "POST",
+            "/v1/sequences",
+            br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+        );
+        assert_eq!(status, 201, "{body}");
+        let id = cad_obs::parse_json(&body)
+            .unwrap()
+            .get("id")
+            .and_then(cad_obs::Json::as_u64)
+            .unwrap();
+
+        let push = format!("/v1/sequences/{id}/snapshots");
+        let quiet = br#"{"nodes": 6, "edges": [[0, 1, 3.0], [0, 2, 3.0], [1, 2, 3.0], [3, 4, 3.0], [3, 5, 3.0], [4, 5, 3.0], [2, 3, 0.2]]}"#;
+        let (status, body) = call(addr, "POST", &push, quiet);
+        assert_eq!(status, 200, "{body}");
+
+        let bridged = br#"{"nodes": 6, "edges": [[0, 1, 3.0], [0, 2, 3.0], [1, 2, 3.0], [3, 4, 3.0], [3, 5, 3.0], [4, 5, 3.0], [2, 3, 0.2], [0, 5, 1.5]]}"#;
+        let (status, body) = call(addr, "POST", &push, bridged);
+        assert_eq!(status, 200, "{body}");
+        let v = cad_obs::parse_json(&body).unwrap();
+        let edges = v
+            .get("transition")
+            .and_then(|t| t.get("edges"))
+            .and_then(cad_obs::Json::as_arr)
+            .expect("edges");
+        assert_eq!(edges.len(), 1);
+
+        let (status, body) = call(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        assert!(body.contains("serve_requests_total"), "{body}");
+        assert!(body.contains("serve_sessions_active_total 1"), "{body}");
+
+        let (status, _) = call(addr, "DELETE", &format!("/v1/sequences/{id}"), b"");
+        assert_eq!(status, 200);
+
+        let (status, body) = call(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        server.drain();
+    }
+
+    #[test]
+    fn drain_completes_in_flight_request_and_refuses_new_connections() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let server = Server::start(test_config()).expect("start");
+        let addr = server.addr();
+
+        let (status, body) = call(
+            addr,
+            "POST",
+            "/v1/sequences",
+            br#"{"nodes": 3, "delta": 0.5}"#,
+        );
+        assert_eq!(status, 201, "{body}");
+        let id = cad_obs::parse_json(&body)
+            .unwrap()
+            .get("id")
+            .and_then(cad_obs::Json::as_u64)
+            .unwrap();
+
+        // Start a push but only send half the body...
+        let snapshot = br#"{"nodes": 3, "edges": [[0, 1, 1.0], [1, 2, 2.0]]}"#;
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let head = format!(
+            "POST /v1/sequences/{id}/snapshots HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            snapshot.len()
+        );
+        conn.write_all(head.as_bytes()).unwrap();
+        conn.write_all(&snapshot[..10]).unwrap();
+        conn.flush().unwrap();
+
+        // ...begin the drain from another thread while it is in flight...
+        let drainer = std::thread::spawn(move || server.drain());
+        std::thread::sleep(Duration::from_millis(100));
+
+        // ...finish the body: the in-flight request must complete with
+        // a real response.
+        conn.write_all(&snapshot[10..]).unwrap();
+        let (status, body) = read_response(&mut conn);
+        assert_eq!(status, 200, "{body}");
+        drainer.join().expect("drain finishes");
+
+        // The listener is gone: connecting now fails or yields nothing.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut conn) => {
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+                let _ = conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+                let mut buf = Vec::new();
+                let got = conn.read_to_end(&mut buf).unwrap_or(0);
+                assert_eq!(got, 0, "drained server must not answer new requests");
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_sweeper_evicts_idle_sessions() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let server = Server::start(ServeConfig {
+            session_ttl: Duration::from_millis(100),
+            sweep_interval: Duration::from_millis(25),
+            ..test_config()
+        })
+        .expect("start");
+        let addr = server.addr();
+        let (status, body) = call(addr, "POST", "/v1/sequences", br#"{"nodes": 3}"#);
+        assert_eq!(status, 201, "{body}");
+        let id = cad_obs::parse_json(&body)
+            .unwrap()
+            .get("id")
+            .and_then(cad_obs::Json::as_u64)
+            .unwrap();
+        let path = format!("/v1/sequences/{id}");
+        let (status, _) = call(addr, "GET", &path, b"");
+        assert_eq!(status, 200);
+        // Let it idle past the TTL; the sweeper reaps it.
+        std::thread::sleep(Duration::from_millis(400));
+        let (status, _) = call(addr, "GET", &path, b"");
+        assert_eq!(status, 404, "idle session must be swept");
+        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 0);
+        server.drain();
+    }
+}

@@ -1,0 +1,397 @@
+//! Detection sessions and the sharded registry that owns them.
+//!
+//! A *session* is one [`OnlineCad`] stream plus the latest snapshot it
+//! has seen (the base for `.cadpack` edge-delta bodies). Sessions are
+//! addressed by a monotonically assigned numeric id and live in a
+//! [`SessionMap`]: a fixed set of `Mutex<HashMap>` shards, so lookups
+//! on different sessions rarely contend, while each session's own inner
+//! mutex serialises its pushes — concurrent snapshots to *one* session
+//! are ordered, snapshots to *different* sessions run in parallel.
+
+use cad_commute::{EmbeddingOptions, EngineOptions, OracleProvider};
+use cad_core::{CadOptions, OnlineCad, ScoreKind, ThresholdMode};
+use cad_graph::WeightedGraph;
+use cad_obs::Json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Shards in the session map. A power of two so the id→shard map is a
+/// mask; 16 is plenty for the worker counts a single box runs.
+const N_SHARDS: usize = 16;
+
+/// Everything a `POST /v1/sequences` body can configure.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Vertex-set size every snapshot must match.
+    pub n_nodes: usize,
+    /// Detector options (engine, score kind; threads pinned to 1 —
+    /// parallelism comes from serving many sessions, not from one).
+    pub opts: CadOptions,
+    /// Threshold mode (fixed δ or running target-l).
+    pub mode: ThresholdMode,
+    /// Free-form label echoed back in status responses.
+    pub label: String,
+}
+
+/// Parse the JSON body of a session-create request.
+///
+/// ```json
+/// {"nodes": 64, "engine": "exact", "kind": "cad", "delta": 0.4}
+/// {"nodes": 64, "engine": "approx", "k": 6, "l": 2, "label": "demo"}
+/// ```
+///
+/// `nodes` is required. `engine` is one of `auto` (default), `exact`,
+/// `approx`, `shortest-path`, `corrected`; `k` is the embedding
+/// dimension for `approx`/`auto`. `kind` is `cad` (default), `adj` or
+/// `com`. Exactly one of `delta` (fixed threshold — the mode whose
+/// per-arrival output is bit-identical to batch detection) or `l`
+/// (running-average target nodes per transition) may be given;
+/// neither defaults to `l = 2`.
+pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v = cad_obs::parse_json(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let n_nodes = v
+        .get("nodes")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "`nodes` (positive integer) is required".to_string())?;
+    if n_nodes == 0 {
+        return Err("`nodes` must be at least 1".to_string());
+    }
+    let k = match v.get("k") {
+        Some(j) => {
+            j.as_u64()
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| "`k` must be a positive integer".to_string())? as usize
+        }
+        None => EmbeddingOptions::default().k,
+    };
+    let embedding = EmbeddingOptions {
+        k,
+        ..Default::default()
+    };
+    let engine = match v.get("engine").map(|j| j.as_str()) {
+        None => EngineOptions::Auto {
+            threshold: 512,
+            embedding,
+        },
+        Some(Some("auto")) => EngineOptions::Auto {
+            threshold: 512,
+            embedding,
+        },
+        Some(Some("exact")) => EngineOptions::Exact,
+        Some(Some("approx")) => EngineOptions::Approximate(embedding),
+        Some(Some("shortest-path")) => EngineOptions::ShortestPath,
+        Some(Some("corrected")) => EngineOptions::Corrected,
+        Some(other) => return Err(format!(
+            "unknown `engine` {other:?} (want auto | exact | approx | shortest-path | corrected)"
+        )),
+    };
+    let kind = match v.get("kind").map(|j| j.as_str()) {
+        None | Some(Some("cad")) => ScoreKind::Cad,
+        Some(Some("adj")) => ScoreKind::Adj,
+        Some(Some("com")) => ScoreKind::Com,
+        Some(other) => return Err(format!("unknown `kind` {other:?} (want cad | adj | com)")),
+    };
+    let mode = match (v.get("delta"), v.get("l")) {
+        (Some(_), Some(_)) => {
+            return Err("`delta` and `l` are mutually exclusive".to_string());
+        }
+        (Some(d), None) => {
+            let d = d
+                .as_f64()
+                .filter(|d| d.is_finite() && *d >= 0.0)
+                .ok_or_else(|| "`delta` must be a finite non-negative number".to_string())?;
+            ThresholdMode::Fixed(d)
+        }
+        (None, Some(l)) => {
+            let l = l
+                .as_u64()
+                .filter(|&l| l >= 1)
+                .ok_or_else(|| "`l` must be a positive integer".to_string())?;
+            ThresholdMode::TargetNodes(l as usize)
+        }
+        (None, None) => ThresholdMode::TargetNodes(2),
+    };
+    let label = match v.get("label") {
+        Some(j) => j
+            .as_str()
+            .ok_or_else(|| "`label` must be a string".to_string())?
+            .to_string(),
+        None => String::new(),
+    };
+    Ok(SessionSpec {
+        n_nodes: n_nodes as usize,
+        opts: CadOptions {
+            engine,
+            kind,
+            threads: 1,
+        },
+        mode,
+        label,
+    })
+}
+
+/// The mutable core of one session, guarded by the session mutex.
+pub struct SessionInner {
+    /// The streaming detector.
+    pub online: OnlineCad,
+    /// Latest accepted snapshot — the base an edge-delta body applies
+    /// to (`None` until the first snapshot).
+    pub current: Option<WeightedGraph>,
+    /// Snapshots accepted so far.
+    pub instances: usize,
+    /// Last create/push/status touch, for the idle-TTL sweeper.
+    pub last_used: Instant,
+}
+
+/// One detection session.
+pub struct Session {
+    /// The session's id (also its URL path segment).
+    pub id: u64,
+    /// Vertex-set size every snapshot must match.
+    pub n_nodes: usize,
+    /// Label from the create request.
+    pub label: String,
+    inner: Mutex<SessionInner>,
+}
+
+impl Session {
+    /// Lock the session for one serialized push/status operation,
+    /// refreshing its idle clock.
+    pub fn lock(&self) -> MutexGuard<'_, SessionInner> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.last_used = Instant::now();
+        inner
+    }
+
+    /// Seconds since the session was last touched.
+    fn idle(&self) -> Duration {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.last_used.elapsed()
+    }
+}
+
+/// Why a session could not be created.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CreateError {
+    /// The registry is at its configured capacity.
+    Full {
+        /// The configured session cap.
+        max_sessions: usize,
+    },
+}
+
+/// The sharded session registry.
+pub struct SessionMap {
+    shards: Vec<Mutex<HashMap<u64, Arc<Session>>>>,
+    next_id: AtomicU64,
+    active: AtomicUsize,
+    max_sessions: usize,
+}
+
+impl SessionMap {
+    /// An empty registry capped at `max_sessions` live sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        SessionMap {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+            active: AtomicUsize::new(0),
+            max_sessions,
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Session>>> {
+        &self.shards[(id as usize) & (N_SHARDS - 1)]
+    }
+
+    /// Live sessions right now.
+    pub fn len(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Whether the registry holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Create a session from `spec`, wiring the oracle `provider`
+    /// (the warm `--store-dir` cache) into its detector when present.
+    pub fn create(
+        &self,
+        spec: SessionSpec,
+        provider: Option<Arc<dyn OracleProvider>>,
+    ) -> Result<Arc<Session>, CreateError> {
+        // Optimistic reservation: bump, then roll back if over cap —
+        // two racing creates cannot both slip under the limit.
+        let prev = self.active.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.max_sessions {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return Err(CreateError::Full {
+                max_sessions: self.max_sessions,
+            });
+        }
+        let mut online = OnlineCad::with_mode(spec.opts, spec.mode);
+        if let Some(p) = provider {
+            online = online.with_provider(p);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session {
+            id,
+            n_nodes: spec.n_nodes,
+            label: spec.label,
+            inner: Mutex::new(SessionInner {
+                online,
+                current: None,
+                instances: 0,
+                last_used: Instant::now(),
+            }),
+        });
+        self.shard(id)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, Arc::clone(&session));
+        cad_obs::counters::SERVE_SESSIONS_ACTIVE.inc();
+        Ok(session)
+    }
+
+    /// Look up a live session.
+    pub fn get(&self, id: u64) -> Option<Arc<Session>> {
+        self.shard(id)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// Remove a session, returning it if it existed.
+    pub fn remove(&self, id: u64) -> Option<Arc<Session>> {
+        let removed = self
+            .shard(id)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+        if removed.is_some() {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            cad_obs::counters::SERVE_SESSIONS_ACTIVE.sub(1);
+        }
+        removed
+    }
+
+    /// Drop every session idle for longer than `ttl`; returns how many
+    /// were evicted. An in-flight push holds the session `Arc`, so the
+    /// work it is doing completes even if the sweep wins the race —
+    /// the session just stops being addressable.
+    pub fn sweep_idle(&self, ttl: Duration) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let expired: Vec<u64> = {
+                let map = shard.lock().unwrap_or_else(|p| p.into_inner());
+                map.iter()
+                    .filter(|(_, s)| s.idle() > ttl)
+                    .map(|(&id, _)| id)
+                    .collect()
+            };
+            for id in expired {
+                if self.remove(id).is_some() {
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_accepts_the_documented_shapes() {
+        let s = parse_spec(br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#).unwrap();
+        assert_eq!(s.n_nodes, 6);
+        assert!(matches!(s.opts.engine, EngineOptions::Exact));
+        assert!(matches!(s.mode, ThresholdMode::Fixed(d) if d == 0.4));
+        assert_eq!(s.opts.threads, 1);
+
+        let s = parse_spec(br#"{"nodes": 9, "engine": "approx", "k": 6, "l": 3}"#).unwrap();
+        match s.opts.engine {
+            EngineOptions::Approximate(e) => assert_eq!(e.k, 6),
+            other => panic!("wrong engine: {other:?}"),
+        }
+        assert!(matches!(s.mode, ThresholdMode::TargetNodes(3)));
+
+        let s = parse_spec(br#"{"nodes": 4, "label": "demo"}"#).unwrap();
+        assert!(matches!(s.mode, ThresholdMode::TargetNodes(2)));
+        assert!(matches!(s.opts.engine, EngineOptions::Auto { .. }));
+        assert_eq!(s.label, "demo");
+
+        for engine in ["shortest-path", "corrected"] {
+            let body = format!(r#"{{"nodes": 4, "engine": "{engine}"}}"#);
+            parse_spec(body.as_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_spec_rejects_bad_bodies_with_messages() {
+        for (body, needle) in [
+            (&b"not json"[..], "not JSON"),
+            (br#"{"edges": []}"#, "`nodes`"),
+            (br#"{"nodes": 0}"#, "at least 1"),
+            (br#"{"nodes": 4, "engine": "warp"}"#, "unknown `engine`"),
+            (br#"{"nodes": 4, "kind": "odd"}"#, "unknown `kind`"),
+            (
+                br#"{"nodes": 4, "delta": 0.1, "l": 2}"#,
+                "mutually exclusive",
+            ),
+            (br#"{"nodes": 4, "delta": -1.0}"#, "`delta`"),
+            (br#"{"nodes": 4, "l": 0}"#, "`l`"),
+            (br#"{"nodes": 4, "k": 0}"#, "`k`"),
+            (br#"{"nodes": 4, "label": 7}"#, "`label`"),
+        ] {
+            let err = parse_spec(body).expect_err("must reject");
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn map_caps_sessions_and_counts_active() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let map = SessionMap::new(2);
+        let spec = || parse_spec(br#"{"nodes": 4}"#).unwrap();
+        let a = map.create(spec(), None).unwrap();
+        let b = map.create(spec(), None).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(map.len(), 2);
+        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 2);
+        assert!(matches!(
+            map.create(spec(), None).map(|_| ()),
+            Err(CreateError::Full { max_sessions: 2 })
+        ));
+        assert!(map.remove(a.id).is_some());
+        assert!(map.remove(a.id).is_none(), "double delete is a miss");
+        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 1);
+        map.create(spec(), None).expect("capacity freed");
+        assert!(map.get(b.id).is_some());
+        assert!(map.get(a.id).is_none());
+    }
+
+    #[test]
+    fn sweep_evicts_only_idle_sessions() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let map = SessionMap::new(8);
+        let spec = || parse_spec(br#"{"nodes": 4}"#).unwrap();
+        let old = map.create(spec(), None).unwrap();
+        let fresh = map.create(spec(), None).unwrap();
+        // Age the first session by rewinding its idle clock.
+        old.inner.lock().unwrap().last_used = Instant::now() - Duration::from_secs(60);
+        let evicted = map.sweep_idle(Duration::from_secs(30));
+        assert_eq!(evicted, 1);
+        assert!(map.get(old.id).is_none());
+        assert!(map.get(fresh.id).is_some());
+        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 1);
+    }
+}

@@ -186,6 +186,67 @@ impl OracleStore {
     }
 }
 
+/// What one [`OracleStore::gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Artifacts deleted.
+    pub files_removed: usize,
+    /// Bytes those artifacts occupied.
+    pub bytes_reclaimed: u64,
+    /// Artifacts left in the store.
+    pub files_kept: usize,
+    /// Bytes still occupied after the sweep.
+    pub bytes_kept: u64,
+}
+
+impl OracleStore {
+    /// Shrink the artifact directory to at most `max_bytes` by deleting
+    /// the least-recently-modified `.oracle` files first (mtime-ordered
+    /// LRU: `get_or_build` rewrites artifacts on rebuild and stores them
+    /// fresh on miss, so older mtimes mean colder entries). Partially
+    /// written `.tmp*` droppings are always removed. Deleting a cached
+    /// oracle is always safe — the next lookup is a miss that rebuilds.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcStats> {
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let mut stats = GcStats::default();
+        for entry in std::fs::read_dir(self.dir.join("oracles"))? {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let path = entry.path();
+            let is_oracle = path.extension().is_some_and(|e| e == "oracle");
+            if !is_oracle {
+                // Stale write-then-rename temporaries from crashed
+                // processes; reclaim unconditionally.
+                stats.files_removed += 1;
+                stats.bytes_reclaimed += meta.len();
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((path, meta.len(), mtime));
+        }
+        // Oldest first; tie-break on path so the order is deterministic.
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut total: u64 = entries.iter().map(|e| e.1).sum();
+        let mut evict = entries.into_iter();
+        while total > max_bytes {
+            let Some((path, len, _)) = evict.next() else {
+                break;
+            };
+            std::fs::remove_file(&path)?;
+            stats.files_removed += 1;
+            stats.bytes_reclaimed += len;
+            total -= len;
+        }
+        stats.files_kept = evict.count();
+        stats.bytes_kept = total;
+        Ok(stats)
+    }
+}
+
 impl OracleProvider for OracleStore {
     fn oracle(
         &self,
@@ -307,6 +368,67 @@ mod tests {
             })
         };
         assert_eq!(cache_key(&g, &emb(1)), cache_key(&g, &emb(4)));
+    }
+
+    #[test]
+    fn gc_evicts_oldest_artifacts_first_and_reports_bytes() {
+        let _guard = lock();
+        let store = fresh_store("gc");
+        let opts = EngineOptions::Exact;
+        // Three artifacts with strictly increasing mtimes (set
+        // explicitly so the test does not depend on filesystem
+        // timestamp resolution).
+        let weights = [1.0, 2.0, 3.0];
+        let mut paths = Vec::new();
+        for (i, &w) in weights.iter().enumerate() {
+            let g = graph(w);
+            store.get_or_build(&g, &opts).unwrap();
+            let path = store.artifact_path(&cache_key(&g, &opts));
+            let t = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000 + i as u64);
+            let f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(t).unwrap();
+            paths.push(path);
+        }
+        let sizes: Vec<u64> = paths
+            .iter()
+            .map(|p| std::fs::metadata(p).unwrap().len())
+            .collect();
+        let total: u64 = sizes.iter().sum();
+
+        // A budget that fits everything removes nothing.
+        let stats = store.gc(total).unwrap();
+        assert_eq!(stats.files_removed, 0);
+        assert_eq!(stats.bytes_kept, total);
+        assert_eq!(stats.files_kept, 3);
+
+        // A budget one byte short evicts exactly the oldest artifact.
+        let stats = store.gc(total - 1).unwrap();
+        assert_eq!(stats.files_removed, 1);
+        assert_eq!(stats.bytes_reclaimed, sizes[0]);
+        assert!(!paths[0].exists(), "oldest artifact must go first");
+        assert!(paths[1].exists() && paths[2].exists());
+
+        // Budget zero clears the store.
+        let stats = store.gc(0).unwrap();
+        assert_eq!(stats.files_removed, 2);
+        assert_eq!(stats.bytes_reclaimed, sizes[1] + sizes[2]);
+        assert_eq!(stats.bytes_kept, 0);
+        assert_eq!(stats.files_kept, 0);
+    }
+
+    #[test]
+    fn gc_always_removes_stale_tmp_files() {
+        let _guard = lock();
+        let store = fresh_store("gc-tmp");
+        let g = graph(1.0);
+        store.get_or_build(&g, &EngineOptions::Exact).unwrap();
+        let tmp = store.dir().join("oracles").join("abc.tmp9999");
+        std::fs::write(&tmp, b"torn write").unwrap();
+        let stats = store.gc(u64::MAX).unwrap();
+        assert!(!tmp.exists());
+        assert_eq!(stats.files_removed, 1);
+        assert_eq!(stats.bytes_reclaimed, 10);
+        assert_eq!(stats.files_kept, 1);
     }
 
     #[test]

@@ -25,10 +25,10 @@ pub mod hash;
 pub mod pack;
 pub mod varint;
 
-pub use cache::{cache_key, engine_fingerprint, OracleStore};
+pub use cache::{cache_key, engine_fingerprint, GcStats, OracleStore};
 pub use pack::{
-    decode_pack, encode_pack, inspect_pack, read_pack, snapshot_bytes, write_pack, PackInfo,
-    PackMeta, FORMAT_VERSION,
+    apply_edge_delta, decode_edge_delta, decode_pack, encode_edge_delta, encode_pack, inspect_pack,
+    read_pack, snapshot_bytes, write_pack, PackInfo, PackMeta, FORMAT_VERSION,
 };
 
 /// Errors from reading or writing store artifacts.

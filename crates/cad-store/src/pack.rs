@@ -219,6 +219,55 @@ fn apply_delta(
     Ok(())
 }
 
+/// Encode the changed edges from `old` to `new` as a standalone
+/// edge-delta body (the same varint/zigzag/raw-bits wire encoding used
+/// by in-pack delta sections, without section framing). A weight of
+/// exactly `+0.0` marks removal. This is the payload format the
+/// `cad serve` snapshot endpoint accepts as a `.cadpack` delta.
+pub fn encode_edge_delta(old: &WeightedGraph, new: &WeightedGraph) -> Vec<u8> {
+    let delta = diff_edges(old, new);
+    let mut out = Vec::with_capacity(8 + 10 * delta.len());
+    encode_edges(&mut out, &delta);
+    out
+}
+
+/// Decode a standalone edge-delta body produced by
+/// [`encode_edge_delta`] (or any writer of the same wire encoding).
+/// Rejects trailing bytes and all the structural corruption the
+/// in-pack decoder rejects.
+pub fn decode_edge_delta(bytes: &[u8]) -> Result<Vec<(usize, usize, f64)>> {
+    let mut buf = bytes;
+    let delta = decode_edges(&mut buf, "edge delta")?;
+    if !buf.is_empty() {
+        return Err(StoreError::corrupt(format!(
+            "edge delta: {} trailing bytes",
+            buf.len()
+        )));
+    }
+    Ok(delta)
+}
+
+/// Apply a decoded edge delta to `base`, producing the next snapshot.
+/// Entries with weight `+0.0` remove the named edge (an error if it is
+/// absent); all other entries insert or overwrite. Endpoints at or
+/// beyond `base.n_nodes()` surface as a [`StoreError::Graph`] from
+/// reassembly, never a panic.
+pub fn apply_edge_delta(
+    base: &WeightedGraph,
+    delta: &[(usize, usize, f64)],
+) -> Result<WeightedGraph> {
+    let mut edges: BTreeMap<(usize, usize), u64> = base
+        .edges()
+        .map(|(u, v, w)| ((u, v), w.to_bits()))
+        .collect();
+    apply_delta(&mut edges, delta, 0)?;
+    let list: Vec<_> = edges
+        .iter()
+        .map(|(&(u, v), &bits)| (u, v, f64::from_bits(bits)))
+        .collect();
+    Ok(WeightedGraph::from_edges(base.n_nodes(), &list)?)
+}
+
 // ---------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------
@@ -604,6 +653,47 @@ mod tests {
         assert!(matches!(
             decode_pack(&wrong_version),
             Err(StoreError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn edge_delta_round_trip_reproduces_the_next_snapshot() {
+        let seq = sample_sequence();
+        let graphs = seq.graphs();
+        for pair in graphs.windows(2) {
+            let body = encode_edge_delta(&pair[0], &pair[1]);
+            let delta = decode_edge_delta(&body).unwrap();
+            let next = apply_edge_delta(&pair[0], &delta).unwrap();
+            let want: Vec<_> = pair[1]
+                .edges()
+                .map(|(u, v, w)| (u, v, w.to_bits()))
+                .collect();
+            let got: Vec<_> = next.edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+            assert_eq!(want, got);
+        }
+    }
+
+    #[test]
+    fn edge_delta_rejects_trailing_bytes_and_absent_removal() {
+        let seq = sample_sequence();
+        let graphs = seq.graphs();
+        let mut body = encode_edge_delta(&graphs[1], &graphs[2]);
+        body.push(0);
+        assert!(decode_edge_delta(&body).is_err());
+        // Removing an edge the base does not have is corruption, not a
+        // silent no-op.
+        let absent = vec![(0usize, 4usize, 0.0f64)];
+        assert!(apply_edge_delta(&graphs[0], &absent).is_err());
+    }
+
+    #[test]
+    fn edge_delta_with_out_of_range_endpoint_is_a_graph_error() {
+        let seq = sample_sequence();
+        let g = &seq.graphs()[0]; // 6 nodes
+        let delta = vec![(5usize, 9usize, 1.25f64)];
+        assert!(matches!(
+            apply_edge_delta(g, &delta),
+            Err(StoreError::Graph(_))
         ));
     }
 
