@@ -123,6 +123,52 @@ fn main() {
             .insert(format!("store.warm_load_secs.{label}"), w);
     }
 
+    // Cold build vs incremental update: perturb a few edge weights of
+    // instance 0 (the small-delta workload `--update-mode incremental`
+    // targets) and time `apply_delta` against a from-scratch build of
+    // the perturbed graph, per updatable backend.
+    let g0 = &seq.graphs()[0];
+    let perturbed_edges: Vec<(usize, usize, f64)> = g0
+        .edges()
+        .enumerate()
+        .map(|(idx, (u, v, w))| {
+            let scale = if idx % 5 == 0 { 1.2 } else { 1.0 };
+            (u, v, w * scale)
+        })
+        .collect();
+    let perturbed =
+        cad_graph::WeightedGraph::from_edges(g0.n_nodes(), &perturbed_edges).expect("perturbed");
+    let delta = cad_commute::EdgeDelta::between(g0, &perturbed);
+    assert!(!delta.structural, "weight-only perturbation");
+    for (label, engine) in &backends {
+        let base = CommuteTimeEngine::compute(g0, engine).expect("base oracle");
+        let (_, cold_secs) =
+            cad_obs::time_it(|| CommuteTimeEngine::compute(&perturbed, engine).expect("cold"));
+        let mut candidate = base.clone_box();
+        let (outcome, update_secs) = cad_obs::time_it(|| {
+            candidate
+                .as_updatable()
+                .expect("updatable backend")
+                .apply_delta(&delta)
+                .expect("apply_delta")
+        });
+        assert!(
+            matches!(outcome, cad_commute::UpdateOutcome::Applied { .. }),
+            "{label}: weight-only delta must update in place"
+        );
+        cad_obs::progress!(
+            "{label}: cold build {cold_secs:.4}s vs incremental update {update_secs:.4}s"
+        );
+        report.summaries.insert(
+            format!("update.cold_build_secs.{label}"),
+            cad_obs::Summary::of([cold_secs]),
+        );
+        report.summaries.insert(
+            format!("update.incremental_update_secs.{label}"),
+            cad_obs::Summary::of([update_secs]),
+        );
+    }
+
     report.absorb_snapshot(&cad_obs::global().snapshot());
     for (name, value) in cad_obs::counters::snapshot() {
         report.counters.insert(name.to_string(), value);

@@ -14,6 +14,12 @@
 //! (`serve_push_secs` histogram, `serve.requests` counter, ...) in the
 //! same schema-versioned report `bench_report` writes, so `cad
 //! bench-diff` can gate regressions on it.
+//!
+//! A second phase measures the small-delta push workload — snapshots
+//! that only wiggle one edge weight — once per oracle update mode
+//! (`rebuild` vs `incremental`, over `--delta-nodes` vertices), and
+//! records both latency distributions plus their p99 speedup
+//! (`serve.small_delta_speedup_p99`).
 
 use cad_bench::Args;
 use cad_serve::{ServeConfig, Server};
@@ -30,18 +36,22 @@ struct Client {
 impl Client {
     fn connect(addr: std::net::SocketAddr) -> Client {
         let writer = TcpStream::connect(addr).expect("connect");
+        // Benchmark latencies must reflect server work, not Nagle /
+        // delayed-ACK artifacts on the loopback round trip.
+        writer.set_nodelay(true).expect("nodelay");
         let reader = BufReader::new(writer.try_clone().expect("clone stream"));
         Client { writer, reader }
     }
 
     /// One round trip; returns (status, body).
     fn call(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
-        let head = format!(
+        let mut req = format!(
             "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
             body.len()
-        );
-        self.writer.write_all(head.as_bytes()).expect("write head");
-        self.writer.write_all(body).expect("write body");
+        )
+        .into_bytes();
+        req.extend_from_slice(body);
+        self.writer.write_all(&req).expect("write request");
         let mut status_line = String::new();
         self.reader.read_line(&mut status_line).expect("status");
         let status: u16 = status_line
@@ -83,6 +93,61 @@ fn snapshot_body(nodes: usize, i: usize) -> String {
     format!(r#"{{"nodes": {nodes}, "edges": [{}]}}"#, edges.join(", "))
 }
 
+/// Small-delta snapshot `i`: the same ring topology every push, with
+/// only the chord's weight wiggling — the workload incremental updates
+/// exist for.
+fn small_delta_body(nodes: usize, i: usize) -> String {
+    let chord = 0.2 + 0.01 * ((i % 7) as f64);
+    let mut edges: Vec<String> = (0..nodes)
+        .map(|u| format!("[{u}, {}, 1.0]", (u + 1) % nodes))
+        .collect();
+    edges.push(format!("[0, {}, {chord:?}]", nodes / 2));
+    format!(r#"{{"nodes": {nodes}, "edges": [{}]}}"#, edges.join(", "))
+}
+
+/// Drive one session of small-delta pushes under the given update mode
+/// and return the client-observed per-push latencies.
+fn small_delta_run(
+    addr: std::net::SocketAddr,
+    nodes: usize,
+    pushes: usize,
+    mode: &str,
+) -> Vec<f64> {
+    let mut client = Client::connect(addr);
+    let spec = format!(
+        r#"{{"nodes": {nodes}, "engine": "exact", "delta": 0.4, "update_mode": "{mode}", "label": "small-delta-{mode}"}}"#
+    );
+    let (status, body) = client.call("POST", "/v1/sequences", spec.as_bytes());
+    assert_eq!(status, 201, "create failed: {body}");
+    let id = cad_obs::parse_json(&body)
+        .expect("json")
+        .get("id")
+        .and_then(cad_obs::Json::as_u64)
+        .expect("id");
+    let path = format!("/v1/sequences/{id}/snapshots");
+    let mut latencies = Vec::with_capacity(pushes);
+    for i in 0..pushes {
+        let body = small_delta_body(nodes, i);
+        let (resp, secs) = cad_obs::time_it(|| client.call("POST", &path, body.as_bytes()));
+        assert_eq!(resp.0, 200, "push {i} failed: {}", resp.1);
+        // The first push has no previous oracle; every later one must
+        // take the requested path (no fallback storms on this workload).
+        if i > 0 && mode == "incremental" {
+            let v = cad_obs::parse_json(&resp.1).expect("json");
+            assert_eq!(
+                v.get("update_mode").and_then(cad_obs::Json::as_str),
+                Some("incremental"),
+                "push {i} fell back: {}",
+                resp.1
+            );
+        }
+        latencies.push(secs);
+    }
+    let (status, _) = client.call("DELETE", &format!("/v1/sequences/{id}"), b"");
+    assert_eq!(status, 200);
+    latencies
+}
+
 fn main() {
     let args = Args::from_env();
     args.apply_verbosity();
@@ -90,6 +155,8 @@ fn main() {
     let instances = args.get("instances", 40usize);
     let nodes = args.get("nodes", 32usize);
     let workers = args.get("workers", 4usize);
+    let delta_nodes = args.get("delta-nodes", 160usize);
+    let delta_pushes = args.get("delta-pushes", 30usize);
     let out = args.get(
         "out",
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string(),
@@ -137,6 +204,11 @@ fn main() {
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
     let wall = start.elapsed().as_secs_f64();
+
+    // Small-delta phase: one session per update mode, sequentially, so
+    // the two latency distributions see identical load (none).
+    let rebuild_lat = small_delta_run(addr, delta_nodes, delta_pushes, "rebuild");
+    let incr_lat = small_delta_run(addr, delta_nodes, delta_pushes, "incremental");
     server.drain();
 
     let pushes = latencies.len();
@@ -163,12 +235,31 @@ fn main() {
         "serve.throughput_rps".to_string(),
         cad_obs::Summary::of([rps]),
     );
+    // Small-delta phase: drop each run's first push (the cold build both
+    // modes share) so the distributions compare steady-state pushes.
+    let rebuild_hist = cad_obs::Histogram::of(rebuild_lat.iter().skip(1).copied());
+    let incr_hist = cad_obs::Histogram::of(incr_lat.iter().skip(1).copied());
+    let speedup = rebuild_hist.p99() / incr_hist.p99().max(f64::MIN_POSITIVE);
+    report.histograms.insert(
+        "serve.small_delta_rebuild_secs".to_string(),
+        rebuild_hist.clone(),
+    );
+    report.histograms.insert(
+        "serve.small_delta_incremental_secs".to_string(),
+        incr_hist.clone(),
+    );
+    report.summaries.insert(
+        "serve.small_delta_speedup_p99".to_string(),
+        cad_obs::Summary::of([speedup]),
+    );
     // Measurement conditions, so bench-diff compares like with like.
     for (key, value) in [
         ("bench.serve_clients", clients),
         ("bench.serve_instances", instances),
         ("bench.serve_nodes", nodes),
         ("bench.serve_workers", workers),
+        ("bench.serve_delta_nodes", delta_nodes),
+        ("bench.serve_delta_pushes", delta_pushes),
     ] {
         report.counters.insert(key.to_string(), value as u64);
     }
@@ -178,5 +269,12 @@ fn main() {
          {rps:.1} req/s, p50 {:.1} ms, p99 {:.1} ms",
         p50 * 1e3,
         p99 * 1e3
+    );
+    println!(
+        "small-delta ({delta_nodes} nodes, {} steady-state pushes/mode): \
+         rebuild p99 {:.2} ms, incremental p99 {:.2} ms -> {speedup:.1}x",
+        delta_pushes - 1,
+        rebuild_hist.p99() * 1e3,
+        incr_hist.p99() * 1e3
     );
 }

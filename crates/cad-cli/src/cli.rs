@@ -16,9 +16,10 @@ USAGE:
                [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
                [--k <dim>] [--events <log.ndjson>] [--metrics-addr <ip:port>]
                [--max-instances <n>] [--poll-ms <ms>] [--hold-ms <ms>]
-               [--store-dir <dir>]
+               [--store-dir <dir>] [--update-mode rebuild|incremental|auto]
   cad serve    [--addr <ip:port>] [--workers <n>] [--max-body <bytes>]
                [--max-sessions <n>] [--store-dir <dir>]
+               [--update-mode rebuild|incremental|auto]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
   cad pack     --input <seq.txt> --out <pack.cadpack> [--label <text>]
   cad inspect  --input <pack.cadpack>
@@ -65,7 +66,14 @@ as a schema-versioned machine-readable JSON report.
 
 --store-dir <dir> keeps a content-addressed oracle cache in <dir>:
 detect/watch reuse an oracle artifact whenever the (snapshot, engine,
-parameters) key matches a previous build, skipping the build entirely.";
+parameters) key matches a previous build, skipping the build entirely.
+
+--update-mode picks the oracle lifecycle for streaming detection
+(watch, and the serve default new sessions inherit): `rebuild` builds a
+fresh oracle per snapshot (the default; bit-identical to batch),
+`incremental` applies each edge delta to the previous oracle in place
+(falling back to a rebuild on structural changes), `auto` is
+incremental with a periodic full refresh.";
 
 /// Which detector scoring to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +99,18 @@ pub enum EngineArg {
     Approx,
     /// Exact amplified (von Luxburg-corrected) commute distance.
     Corrected,
+}
+
+/// Oracle lifecycle for streaming detection (`--update-mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateModeArg {
+    /// Fresh oracle per snapshot (bit-identical to batch).
+    #[default]
+    Rebuild,
+    /// Delta-update the previous oracle; rebuild only on fallback.
+    Incremental,
+    /// Incremental with a periodic full refresh.
+    Auto,
 }
 
 /// A parsed command.
@@ -175,6 +195,8 @@ pub enum Command {
         /// Oracle-cache directory (`--store-dir`); no caching when
         /// absent.
         store_dir: Option<String>,
+        /// Oracle lifecycle (`--update-mode`).
+        update_mode: UpdateModeArg,
     },
     /// Convert a sequence file into a `.cadpack`.
     Pack {
@@ -204,6 +226,8 @@ pub enum Command {
         /// Oracle-cache directory (`--store-dir`); no caching when
         /// absent.
         store_dir: Option<String>,
+        /// Default oracle lifecycle for new sessions (`--update-mode`).
+        update_mode: UpdateModeArg,
     },
     /// Shrink an oracle cache to a byte budget (LRU eviction).
     StoreGc {
@@ -314,6 +338,16 @@ impl Cli {
                 }
                 Ok((l, delta))
             };
+        let parse_update_mode = |flags: &HashMap<String, String>| -> Result<UpdateModeArg, String> {
+            match flags.get("update-mode").map(String::as_str) {
+                None | Some("rebuild") => Ok(UpdateModeArg::Rebuild),
+                Some("incremental") => Ok(UpdateModeArg::Incremental),
+                Some("auto") => Ok(UpdateModeArg::Auto),
+                Some(other) => Err(format!(
+                    "unknown --update-mode `{other}` (rebuild|incremental|auto)"
+                )),
+            }
+        };
         let parse_k = |flags: &HashMap<String, String>| -> Result<usize, String> {
             match flags.get("k") {
                 Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`")),
@@ -367,6 +401,7 @@ impl Cli {
                     poll_ms: parse_u64("poll-ms", 200)?,
                     hold_ms: parse_u64("hold-ms", 0)?,
                     store_dir: get("store-dir"),
+                    update_mode: parse_update_mode(&flags)?,
                 }
             }
             "pack" => {
@@ -453,6 +488,7 @@ impl Cli {
                     max_body: parse_usize("max-body", 4 * 1024 * 1024)?,
                     max_sessions: parse_usize("max-sessions", 256)?,
                     store_dir: get("store-dir"),
+                    update_mode: parse_update_mode(&flags)?,
                 }
             }
             "store" => {
@@ -630,9 +666,17 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+        assert!(matches!(
+            parse("watch").unwrap().command,
+            Command::Watch {
+                update_mode: UpdateModeArg::Rebuild,
+                ..
+            }
+        ));
         let cli = parse(
             "watch --input snaps --delta 0.5 --events ev.ndjson \
-             --metrics-addr 127.0.0.1:9184 --max-instances 10 --poll-ms 50 --hold-ms 250",
+             --metrics-addr 127.0.0.1:9184 --max-instances 10 --poll-ms 50 --hold-ms 250 \
+             --update-mode incremental",
         )
         .unwrap();
         match cli.command {
@@ -644,6 +688,7 @@ mod tests {
                 max_instances,
                 poll_ms,
                 hold_ms,
+                update_mode,
                 ..
             } => {
                 assert_eq!(input, "snaps");
@@ -653,10 +698,14 @@ mod tests {
                 assert_eq!(max_instances, Some(10));
                 assert_eq!(poll_ms, 50);
                 assert_eq!(hold_ms, 250);
+                assert_eq!(update_mode, UpdateModeArg::Incremental);
             }
             other => panic!("wrong command {other:?}"),
         }
         assert!(parse("watch --l 3 --delta 1.0").is_err());
+        assert!(parse("watch --update-mode warp")
+            .unwrap_err()
+            .contains("--update-mode"));
     }
 
     #[test]
@@ -718,11 +767,12 @@ mod tests {
                 max_body: 4 * 1024 * 1024,
                 max_sessions: 256,
                 store_dir: None,
+                update_mode: UpdateModeArg::Rebuild,
             }
         );
         let cli = parse(
             "serve --addr 0.0.0.0:9000 --workers 8 --max-body 1024 \
-             --max-sessions 2 --store-dir cache",
+             --max-sessions 2 --store-dir cache --update-mode auto",
         )
         .unwrap();
         assert_eq!(
@@ -733,6 +783,7 @@ mod tests {
                 max_body: 1024,
                 max_sessions: 2,
                 store_dir: Some("cache".into()),
+                update_mode: UpdateModeArg::Auto,
             }
         );
         assert!(parse("serve --workers 0").unwrap_err().contains("workers"));

@@ -1,8 +1,8 @@
 //! Command implementations for the `cad` binary.
 
-use crate::cli::{Cli, Command, EngineArg, KindArg};
+use crate::cli::{Cli, Command, EngineArg, KindArg, UpdateModeArg};
 use cad_commute::{EmbeddingOptions, EngineOptions};
-use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdMode, ThresholdPolicy};
+use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdMode, ThresholdPolicy, UpdateMode};
 use cad_graph::io::{read_sequence, write_sequence};
 use cad_graph::GraphSequence;
 use std::fs::File;
@@ -58,6 +58,14 @@ pub(crate) fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
         EngineArg::Exact => EngineOptions::Exact,
         EngineArg::Approx => EngineOptions::Approximate(embedding),
         EngineArg::Corrected => EngineOptions::Corrected,
+    }
+}
+
+pub(crate) fn update_mode(mode: UpdateModeArg) -> UpdateMode {
+    match mode {
+        UpdateModeArg::Rebuild => UpdateMode::Rebuild,
+        UpdateModeArg::Incremental => UpdateMode::Incremental,
+        UpdateModeArg::Auto => UpdateMode::Auto,
     }
 }
 
@@ -238,6 +246,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             poll_ms,
             hold_ms,
             store_dir,
+            update_mode: upd,
         } => {
             let mode = match (l, delta) {
                 (_, Some(d)) => ThresholdMode::Fixed(*d),
@@ -252,6 +261,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 poll_ms: *poll_ms,
                 hold_ms: *hold_ms,
                 store_dir: store_dir.clone(),
+                update_mode: update_mode(*upd),
             };
             crate::watch::run_watch(input, *kind, *engine, *k, &cfg, out)
         }
@@ -291,6 +301,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             max_body,
             max_sessions,
             store_dir,
+            update_mode: upd,
         } => {
             let cfg = cad_serve::ServeConfig {
                 addr: addr.clone(),
@@ -298,6 +309,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 max_body_bytes: *max_body,
                 max_sessions: *max_sessions,
                 store_dir: store_dir.clone().map(std::path::PathBuf::from),
+                update_mode: update_mode(*upd),
                 ..Default::default()
             };
             let server = cad_serve::Server::start(cfg)

@@ -21,7 +21,7 @@
 
 use crate::cli::{EngineArg, KindArg};
 use crate::commands::CliError;
-use cad_core::{OnlineCad, ThresholdMode, TransitionAnomalies};
+use cad_core::{OnlineCad, StepOracle, ThresholdMode, TransitionAnomalies, UpdateMode};
 use cad_graph::io::{read_graph, read_sequence};
 use cad_graph::WeightedGraph;
 use cad_obs::Json;
@@ -49,6 +49,8 @@ pub struct WatchConfig {
     pub hold_ms: u64,
     /// Oracle-cache directory; no caching when `None`.
     pub store_dir: Option<String>,
+    /// Oracle lifecycle (`--update-mode`).
+    pub update_mode: UpdateMode,
 }
 
 /// Parse one stdin NDJSON snapshot line.
@@ -84,18 +86,31 @@ fn graph_from_ndjson(line: &str) -> Result<WeightedGraph, CliError> {
 }
 
 /// One NDJSON event line for a completed transition (no trailing
-/// newline). Timestamps are Unix epoch milliseconds.
+/// newline). Timestamps are Unix epoch milliseconds. `"mode"` is the
+/// oracle path the step actually took (`incremental` or `rebuild`); a
+/// fallback additionally names its trigger in `"fallback"` so a storm
+/// of rebuilds under `--update-mode incremental` is visible in the log.
 fn event_line(
     ts_ms: u128,
     tr: &TransitionAnomalies,
     delta: f64,
     n_scored: usize,
+    oracle: StepOracle,
     build_secs: f64,
     score_secs: f64,
 ) -> String {
+    let fallback = match oracle.fallback_reason() {
+        Some(r) => format!(", \"fallback\": \"{}\"", r.name()),
+        None => String::new(),
+    };
+    let update_secs = match oracle {
+        StepOracle::Incremental { update_secs, .. } => update_secs,
+        _ => 0.0,
+    };
     format!(
         "{{\"ts_ms\": {ts_ms}, \"t\": {}, \"delta\": {}, \"n_scored\": {}, \
-         \"n_edges\": {}, \"n_nodes\": {}, \"latency\": {{\"build_secs\": {:.6}, \
+         \"n_edges\": {}, \"n_nodes\": {}, \"mode\": \"{}\"{fallback}, \
+         \"latency\": {{\"build_secs\": {:.6}, \"update_secs\": {:.6}, \
          \"score_secs\": {:.6}, \"total_secs\": {:.6}}}}}",
         tr.t,
         if delta == f64::MAX {
@@ -106,9 +121,11 @@ fn event_line(
         n_scored,
         tr.edges.len(),
         tr.nodes.len(),
+        oracle.mode_name(),
         build_secs,
+        update_secs,
         score_secs,
-        build_secs + score_secs,
+        build_secs + update_secs + score_secs,
     )
 }
 
@@ -157,6 +174,7 @@ pub fn watch_loop(
                 &tr,
                 online.delta(),
                 m.n_scored,
+                m.oracle,
                 m.build.build_secs,
                 m.score_secs,
             );
@@ -249,7 +267,7 @@ pub fn run_watch(
         kind: crate::commands::score_kind(kind),
         threads: 1,
     };
-    let mut online = OnlineCad::with_mode(opts, cfg.mode);
+    let mut online = OnlineCad::with_mode(opts, cfg.mode).with_update_mode(cfg.update_mode);
     if let Some(dir) = &cfg.store_dir {
         let store = cad_store::OracleStore::open(Path::new(dir))
             .map_err(|e| CliError::Usage(format!("cannot open store `{dir}`: {e}")))?;
@@ -367,16 +385,59 @@ mod tests {
             edges: Vec::new(),
             nodes: Vec::new(),
         };
-        let line = event_line(1234, &tr, 0.5, 7, 0.001, 0.0005);
+        let line = event_line(1234, &tr, 0.5, 7, StepOracle::Rebuilt, 0.001, 0.0005);
         assert!(!line.contains('\n'));
         let v = cad_obs::parse_json(&line).expect("event parses");
         assert_eq!(v.get("t").and_then(Json::as_u64), Some(3));
         assert_eq!(v.get("n_scored").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("rebuild"));
+        assert!(v.get("fallback").is_none(), "a plain rebuild has no reason");
         assert!(v.get("latency").and_then(|l| l.get("total_secs")).is_some());
         // δ before first calibration serializes as null.
-        let line = event_line(0, &tr, f64::MAX, 0, 0.0, 0.0);
+        let line = event_line(0, &tr, f64::MAX, 0, StepOracle::Rebuilt, 0.0, 0.0);
         let v = cad_obs::parse_json(&line).expect("parses");
         assert!(matches!(v.get("delta"), Some(Json::Null)));
+
+        // An incremental step reports its mode and update latency.
+        let step = StepOracle::Incremental {
+            update_secs: 0.002,
+            changes: 3,
+        };
+        let line = event_line(0, &tr, 0.5, 7, step, 0.0, 0.0005);
+        let v = cad_obs::parse_json(&line).expect("parses");
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("incremental"));
+        let latency = v.get("latency").unwrap();
+        let upd = latency.get("update_secs").and_then(Json::as_f64).unwrap();
+        assert!((upd - 0.002).abs() < 1e-9);
+
+        // A fallback names its trigger.
+        let step = StepOracle::Fallback(cad_commute::RebuildReason::Structural);
+        let line = event_line(0, &tr, 0.5, 7, step, 0.001, 0.0005);
+        let v = cad_obs::parse_json(&line).expect("parses");
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("rebuild"));
+        assert_eq!(v.get("fallback").and_then(Json::as_str), Some("structural"));
+    }
+
+    #[test]
+    fn incremental_watch_events_report_the_mode_taken() {
+        let graphs = vec![instance(0.0), instance(0.0), instance(1.5)];
+        let mut source = graphs.into_iter().map(Ok);
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4))
+            .with_update_mode(UpdateMode::Incremental);
+        let mut sink = Vec::new();
+        let health = cad_obs::WatchHealth::new();
+        let (instances, transitions) =
+            watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap();
+        assert_eq!((instances, transitions), (3, 2));
+        let text = String::from_utf8(sink).unwrap();
+        for line in text.lines() {
+            let v = cad_obs::parse_json(line).unwrap();
+            assert_eq!(
+                v.get("mode").and_then(Json::as_str),
+                Some("incremental"),
+                "weight-only deltas stay incremental: {line}"
+            );
+        }
     }
 
     #[test]

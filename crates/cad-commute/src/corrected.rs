@@ -17,6 +17,7 @@
 //! with a test demonstrating exactly the failure it repairs.
 
 use crate::exact::ExactCommute;
+use crate::update::{EdgeDelta, UpdatableOracle, UpdateOutcome};
 use crate::Result;
 use cad_graph::WeightedGraph;
 
@@ -95,6 +96,20 @@ impl CorrectedCommute {
         }
         let w = self.adjacency.get(i, j);
         (self.exact.resistance(i, j) - 1.0 / di - 1.0 / dj + 2.0 * w / (di * dj)).max(0.0)
+    }
+}
+
+impl UpdatableOracle for CorrectedCommute {
+    /// Delegates the `L⁺` maintenance to the inner exact oracle, then
+    /// refreshes the local degree/adjacency views from the new snapshot
+    /// (cheap relative to the rank-1 updates).
+    fn apply_delta(&mut self, delta: &EdgeDelta) -> Result<UpdateOutcome> {
+        let outcome = self.exact.apply_delta(delta)?;
+        if let UpdateOutcome::Applied { .. } = outcome {
+            self.degrees = delta.new.degrees();
+            self.adjacency = delta.new.adjacency().clone();
+        }
+        Ok(outcome)
     }
 }
 

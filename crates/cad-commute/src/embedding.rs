@@ -19,6 +19,7 @@
 //! cost. The paper's §3.1 uses a Spielman–Teng solver for the latter;
 //! here it is preconditioned CG (DESIGN.md §5).
 
+use crate::update::{EdgeDelta, RebuildReason, UpdatableOracle, UpdateOutcome};
 use crate::Result;
 use cad_graph::{GraphError, WeightedGraph};
 use cad_linalg::rp::RademacherSource;
@@ -59,6 +60,11 @@ pub struct CommuteEmbedding {
     n: usize,
     k: usize,
     volume: f64,
+    /// The options this embedding was computed with — needed to replay
+    /// the Rademacher projection for delta updates. `None` when loaded
+    /// from the store (the artifact carries no options), in which case
+    /// updates fall back to a rebuild.
+    opts: Option<EmbeddingOptions>,
     build_stats: cad_obs::OracleBuildStats,
 }
 
@@ -113,6 +119,7 @@ impl CommuteEmbedding {
             n,
             k: opts.k,
             volume: g.volume(),
+            opts: Some(*opts),
             build_stats: cad_obs::OracleBuildStats {
                 backend: "embedding",
                 build_secs: build_start.elapsed().as_secs_f64(),
@@ -141,6 +148,7 @@ impl CommuteEmbedding {
             n,
             k,
             volume,
+            opts: None,
             build_stats: cad_obs::OracleBuildStats {
                 backend: "embedding",
                 build_secs: 0.0,
@@ -181,6 +189,67 @@ impl CommuteEmbedding {
     /// Approximate commute time `V_G · ‖z_i − z_j‖²`.
     pub fn commute_distance(&self, i: usize, j: usize) -> f64 {
         self.volume * self.resistance(i, j)
+    }
+}
+
+impl UpdatableOracle for CommuteEmbedding {
+    /// Warm-started re-solve: each of the `k` sketch rows is re-solved
+    /// against the new Laplacian using the current coordinates as the
+    /// initial CG guess. The right-hand sides are rebuilt in full from
+    /// the new edge list — the Rademacher signs are indexed by edge
+    /// *position*, so insertions shift every later sign and an
+    /// incremental RHS patch would diverge from what a fresh build uses.
+    /// Convergence is judged against `‖y‖` exactly as in a cold solve,
+    /// so the warm start changes iteration counts, not accuracy.
+    fn apply_delta(&mut self, delta: &EdgeDelta) -> Result<UpdateOutcome> {
+        let Some(opts) = self.opts else {
+            // Loaded from the store without build options: the projection
+            // cannot be replayed, so the update is not expressible.
+            return Ok(UpdateOutcome::RebuildRequired(RebuildReason::Unsupported));
+        };
+        if delta.old.n_nodes() != self.n {
+            return Err(GraphError::InvalidInput(format!(
+                "delta is over {} nodes but the oracle covers {}",
+                delta.old.n_nodes(),
+                self.n
+            )));
+        }
+        if delta.structural {
+            return Ok(UpdateOutcome::RebuildRequired(RebuildReason::Structural));
+        }
+        let g = delta.new;
+        let n = self.n;
+        let laplacian = g.laplacian();
+        let solver = LaplacianSolver::new(&laplacian, opts.solver)?;
+        let signs = RademacherSource::new(opts.seed);
+        let inv_sqrt_k = 1.0 / (self.k as f64).sqrt();
+
+        let coords = &self.coords;
+        let k = self.k;
+        let solve_row = |row: usize| -> Result<(Vec<f64>, cad_obs::SolveStats)> {
+            cad_obs::counters::JL_PROJECTIONS.inc();
+            let mut y = vec![0.0; n];
+            for (e_idx, (u, v, w)) in g.edges().enumerate() {
+                let q = signs.sign(row as u64, e_idx as u64) * inv_sqrt_k;
+                let s = q * w.sqrt();
+                y[u] += s;
+                y[v] -= s;
+            }
+            let x0: Vec<f64> = (0..n).map(|i| coords[i * k + row]).collect();
+            solver.solve_from_stats(&y, &x0).map_err(GraphError::from)
+        };
+        let rows: Vec<(Vec<f64>, cad_obs::SolveStats)> =
+            cad_linalg::par::par_tabulate_result(self.k, opts.threads.max(1), solve_row)?;
+
+        for (row, (x, _stats)) in rows.into_iter().enumerate() {
+            for (i, xi) in x.into_iter().enumerate() {
+                self.coords[i * self.k + row] = xi;
+            }
+        }
+        self.volume = g.volume();
+        Ok(UpdateOutcome::Applied {
+            changes: delta.changes.len(),
+        })
     }
 }
 
@@ -315,6 +384,85 @@ mod tests {
     fn rejects_zero_k() {
         let g = path(3);
         assert!(CommuteEmbedding::compute(&g, &opts(0, 0)).is_err());
+    }
+
+    #[test]
+    fn apply_delta_tracks_fresh_build() {
+        let old = WeightedGraph::from_edges(
+            8,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 6, 1.0),
+                (6, 7, 1.0),
+                (0, 7, 0.5),
+            ],
+        )
+        .unwrap();
+        let new = WeightedGraph::from_edges(
+            8,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 2.4),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 6, 1.0),
+                (6, 7, 1.0),
+                (0, 7, 0.5),
+                (2, 6, 0.8),
+            ],
+        )
+        .unwrap();
+        let o = opts(32, 7);
+        let mut upd = CommuteEmbedding::compute(&old, &o).unwrap();
+        let delta = EdgeDelta::between(&old, &new);
+        assert_eq!(
+            upd.apply_delta(&delta).unwrap(),
+            UpdateOutcome::Applied { changes: 2 }
+        );
+        let fresh = CommuteEmbedding::compute(&new, &o).unwrap();
+        assert_eq!(upd.volume().to_bits(), fresh.volume().to_bits());
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (upd.commute_distance(i, j), fresh.commute_distance(i, j));
+                assert!(
+                    (a - b).abs() <= crate::update::UPDATE_REL_TOL * (1.0 + b),
+                    "c({i},{j}): updated {a} vs fresh {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_declines_structural_and_persisted() {
+        let old = path(5);
+        let o = opts(16, 11);
+
+        // Structural: node-count change.
+        let grown = path(6);
+        let mut upd = CommuteEmbedding::compute(&old, &o).unwrap();
+        let delta = EdgeDelta::between(&old, &grown);
+        assert_eq!(
+            upd.apply_delta(&delta).unwrap(),
+            UpdateOutcome::RebuildRequired(crate::update::RebuildReason::Structural)
+        );
+
+        // A store-loaded embedding has no options to replay.
+        let built = CommuteEmbedding::compute(&old, &o).unwrap();
+        let (coords, n, k, volume) = built.persist_parts();
+        let mut loaded = CommuteEmbedding::from_persist(coords.to_vec(), n, k, volume);
+        let bumped =
+            WeightedGraph::from_edges(5, &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+                .unwrap();
+        let d2 = EdgeDelta::between(&old, &bumped);
+        assert_eq!(
+            loaded.apply_delta(&d2).unwrap(),
+            UpdateOutcome::RebuildRequired(crate::update::RebuildReason::Unsupported)
+        );
     }
 
     #[test]

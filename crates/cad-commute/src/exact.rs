@@ -1,8 +1,9 @@
 //! Exact commute times via the Laplacian pseudoinverse.
 
+use crate::update::{EdgeDelta, RebuildReason, UpdatableOracle, UpdateOutcome, SM_DEN_TOL};
 use crate::Result;
-use cad_graph::WeightedGraph;
-use cad_linalg::pinv::{laplacian_pinv_cholesky, sym_pinv};
+use cad_graph::{GraphError, WeightedGraph};
+use cad_linalg::pinv::{laplacian_pinv_cholesky, pinv_edge_update, sym_pinv};
 use cad_linalg::DenseMatrix;
 
 /// Relative eigenvalue cutoff used when falling back to the eigen-based
@@ -94,6 +95,44 @@ impl ExactCommute {
     pub fn full_matrix(&self) -> DenseMatrix {
         let n = self.n_nodes();
         DenseMatrix::from_fn(n, n, |i, j| self.commute_distance(i, j))
+    }
+}
+
+impl UpdatableOracle for ExactCommute {
+    /// Sherman–Morrison on `L⁺`: one rank-1 correction per changed edge
+    /// (`O(n²)` each, versus the `O(n³)` rebuild). Algebraically exact
+    /// while the component partition is unchanged — structural deltas
+    /// and near-singular denominators request a rebuild instead.
+    fn apply_delta(&mut self, delta: &EdgeDelta) -> Result<UpdateOutcome> {
+        if delta.old.n_nodes() != self.n_nodes() {
+            return Err(GraphError::InvalidInput(format!(
+                "delta is over {} nodes but the oracle covers {}",
+                delta.old.n_nodes(),
+                self.n_nodes()
+            )));
+        }
+        if delta.structural {
+            return Ok(UpdateOutcome::RebuildRequired(RebuildReason::Structural));
+        }
+        for change in &delta.changes {
+            let applied = pinv_edge_update(
+                &mut self.pinv,
+                change.u,
+                change.v,
+                change.d_weight(),
+                SM_DEN_TOL,
+            )
+            .map_err(|e| GraphError::InvalidInput(e.to_string()))?;
+            if !applied {
+                return Ok(UpdateOutcome::RebuildRequired(RebuildReason::Degenerate));
+            }
+        }
+        // Recompute from the new snapshot rather than accumulating
+        // 2·δw — identical to what a fresh build would store.
+        self.volume = delta.new.volume();
+        Ok(UpdateOutcome::Applied {
+            changes: delta.changes.len(),
+        })
     }
 }
 
@@ -229,6 +268,74 @@ mod tests {
                 assert_eq!(m.get(i, j), c.commute_distance(i, j));
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_tracks_fresh_build() {
+        let old = WeightedGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 0.5),
+                (0, 4, 1.5),
+            ],
+        )
+        .unwrap();
+        // Weight bump, an insertion and a removal, all non-structural.
+        let new = WeightedGraph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.6),
+                (2, 3, 1.0),
+                (3, 4, 0.5),
+                (0, 4, 1.5),
+                (1, 3, 0.7),
+            ],
+        )
+        .unwrap();
+        let mut upd = ExactCommute::compute(&old).unwrap();
+        let delta = EdgeDelta::between(&old, &new);
+        assert_eq!(
+            upd.apply_delta(&delta).unwrap(),
+            UpdateOutcome::Applied { changes: 2 }
+        );
+        let fresh = ExactCommute::compute(&new).unwrap();
+        assert_eq!(upd.volume().to_bits(), fresh.volume().to_bits());
+        for i in 0..5 {
+            for j in 0..5 {
+                let (a, b) = (upd.commute_distance(i, j), fresh.commute_distance(i, j));
+                assert!(
+                    (a - b).abs() <= crate::update::UPDATE_REL_TOL * (1.0 + b),
+                    "c({i},{j}): updated {a} vs fresh {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_declines_structural_and_degenerate() {
+        let old = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut upd = ExactCommute::compute(&old).unwrap();
+
+        // Bridge removal → structural (detected by the delta itself).
+        let split = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let delta = EdgeDelta::between(&old, &split);
+        assert_eq!(
+            ExactCommute::compute(&old)
+                .unwrap()
+                .apply_delta(&delta)
+                .unwrap(),
+            UpdateOutcome::RebuildRequired(RebuildReason::Structural)
+        );
+
+        // Mismatched oracle/delta dimensions are an error, not a fallback.
+        let small = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let bumped = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        let d3 = EdgeDelta::between(&small, &bumped);
+        assert!(upd.apply_delta(&d3).is_err());
     }
 
     #[test]

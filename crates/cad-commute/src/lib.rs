@@ -37,6 +37,7 @@ pub mod exact;
 pub mod oracle;
 pub mod persist;
 pub mod shortest;
+pub mod update;
 
 pub use corrected::CorrectedCommute;
 pub use embedding::{CommuteEmbedding, EmbeddingOptions};
@@ -45,6 +46,10 @@ pub use exact::ExactCommute;
 pub use oracle::{DistanceOracle, OracleKind, SharedOracle};
 pub use persist::{oracle_from_bytes, oracle_to_bytes};
 pub use shortest::ShortestPathTable;
+pub use update::{
+    EdgeChange, EdgeDelta, RebuildReason, UpdatableOracle, UpdateOutcome, SM_DEN_TOL,
+    UPDATE_REL_TOL,
+};
 
 /// Crate-wide result alias (errors come from the graph/linalg layers).
 pub type Result<T> = std::result::Result<T, cad_graph::GraphError>;

@@ -18,6 +18,7 @@ use crate::corrected::CorrectedCommute;
 use crate::embedding::CommuteEmbedding;
 use crate::exact::ExactCommute;
 use crate::shortest::ShortestPathTable;
+use crate::update::UpdatableOracle;
 
 /// Which backend a [`DistanceOracle`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +116,21 @@ pub trait DistanceOracle: Send + Sync {
     /// bit-identical query behaviour. The `cad-store` oracle cache
     /// persists these next to the pack.
     fn to_store_bytes(&self) -> Vec<u8>;
+
+    /// Deep-copy this oracle behind a fresh box.
+    ///
+    /// The incremental update path clones the previous snapshot's oracle
+    /// before [`UpdatableOracle::apply_delta`] mutates it, so a
+    /// [`crate::UpdateOutcome::RebuildRequired`] fallback can discard the
+    /// half-updated clone without restore logic.
+    fn clone_box(&self) -> SharedOracle;
+
+    /// Downcast to the in-place update seam, when this backend supports
+    /// delta updates. The default (`None`) routes callers to a fresh
+    /// build.
+    fn as_updatable(&mut self) -> Option<&mut dyn UpdatableOracle> {
+        None
+    }
 }
 
 /// A boxed, shareable oracle — what [`crate::CommuteTimeEngine::compute`]
@@ -156,6 +172,14 @@ impl DistanceOracle for ExactCommute {
     fn to_store_bytes(&self) -> Vec<u8> {
         crate::persist::exact_to_bytes(self)
     }
+
+    fn clone_box(&self) -> SharedOracle {
+        Box::new(self.clone())
+    }
+
+    fn as_updatable(&mut self) -> Option<&mut dyn UpdatableOracle> {
+        Some(self)
+    }
 }
 
 impl DistanceOracle for CommuteEmbedding {
@@ -190,6 +214,14 @@ impl DistanceOracle for CommuteEmbedding {
     fn to_store_bytes(&self) -> Vec<u8> {
         crate::persist::embedding_to_bytes(self)
     }
+
+    fn clone_box(&self) -> SharedOracle {
+        Box::new(self.clone())
+    }
+
+    fn as_updatable(&mut self) -> Option<&mut dyn UpdatableOracle> {
+        Some(self)
+    }
 }
 
 impl DistanceOracle for ShortestPathTable {
@@ -211,6 +243,10 @@ impl DistanceOracle for ShortestPathTable {
 
     fn to_store_bytes(&self) -> Vec<u8> {
         crate::persist::shortest_to_bytes(self)
+    }
+
+    fn clone_box(&self) -> SharedOracle {
+        Box::new(self.clone())
     }
 }
 
@@ -244,6 +280,14 @@ impl DistanceOracle for CorrectedCommute {
 
     fn to_store_bytes(&self) -> Vec<u8> {
         crate::persist::corrected_to_bytes(self)
+    }
+
+    fn clone_box(&self) -> SharedOracle {
+        Box::new(self.clone())
+    }
+
+    fn as_updatable(&mut self) -> Option<&mut dyn UpdatableOracle> {
+        Some(self)
     }
 }
 

@@ -61,7 +61,9 @@ pub use detector::{
 };
 pub use explain::{classify, explain_transition, AnomalyCase, Explanation};
 pub use node_scores::node_scores_from_edges;
-pub use online::{OnlineCad, OnlineStepMetrics, ThresholdMode};
+pub use online::{
+    OnlineCad, OnlineStepMetrics, StepOracle, ThresholdMode, UpdateMode, REFRESH_THRESHOLD,
+};
 pub use report::{render_report, ReportOptions};
 pub use scores::{pair_edge_scores, transition_edge_scores, EdgeScore, ScoreKind};
 pub use threshold::{choose_delta, select_prefix, ThresholdPolicy};

@@ -14,9 +14,55 @@ use crate::detector::TransitionAnomalies;
 use crate::scores::{pair_edge_scores, EdgeScore};
 use crate::threshold::{choose_delta, select_prefix};
 use crate::{CadOptions, Result};
-use cad_commute::{CommuteTimeEngine, OracleProvider, SharedOracle};
+use cad_commute::{
+    CommuteTimeEngine, EdgeDelta, OracleProvider, RebuildReason, SharedOracle, UpdateOutcome,
+};
 use cad_graph::WeightedGraph;
 use std::sync::Arc;
+
+/// How the streaming detector obtains each arriving instance's oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateMode {
+    /// Build a fresh oracle per snapshot — bit-identical to batch
+    /// detection for every backend and thread count. The default.
+    #[default]
+    Rebuild,
+    /// Update the previous oracle in place from the edge delta
+    /// ([`cad_commute::UpdatableOracle`]); falls back to a fresh build
+    /// when the backend declines (structural delta, degenerate
+    /// denominator, unsupported backend). Results agree with rebuild
+    /// within [`cad_commute::UPDATE_REL_TOL`].
+    Incremental,
+    /// [`UpdateMode::Incremental`], plus a forced fresh build every
+    /// [`REFRESH_THRESHOLD`] consecutive updates to cap accumulated
+    /// floating-point drift.
+    Auto,
+}
+
+/// Consecutive in-place updates [`UpdateMode::Auto`] allows before
+/// forcing a fresh build.
+pub const REFRESH_THRESHOLD: usize = 32;
+
+impl UpdateMode {
+    /// Stable lowercase name (CLI flags, NDJSON events, HTTP bodies).
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateMode::Rebuild => "rebuild",
+            UpdateMode::Incremental => "incremental",
+            UpdateMode::Auto => "auto",
+        }
+    }
+
+    /// Parse a [`UpdateMode::name`] back (CLI/serve knob).
+    pub fn from_name(s: &str) -> Option<UpdateMode> {
+        match s {
+            "rebuild" => Some(UpdateMode::Rebuild),
+            "incremental" => Some(UpdateMode::Incremental),
+            "auto" => Some(UpdateMode::Auto),
+            _ => None,
+        }
+    }
+}
 
 /// How the streaming detector chooses its threshold δ.
 #[derive(Debug, Clone, Copy)]
@@ -32,20 +78,61 @@ pub enum ThresholdMode {
     Fixed(f64),
 }
 
+/// How one arrival's oracle was actually obtained (the mode *taken*,
+/// as opposed to the configured [`UpdateMode`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOracle {
+    /// Built fresh: the first arrival, [`UpdateMode::Rebuild`], or a
+    /// provider/cache load.
+    Rebuilt,
+    /// Updated in place from the previous instance's oracle.
+    Incremental {
+        /// Wall-clock seconds applying the delta.
+        update_secs: f64,
+        /// Edge changes folded in.
+        changes: usize,
+    },
+    /// An incremental update was attempted (or due) but declined, and
+    /// the oracle was rebuilt fresh instead.
+    Fallback(RebuildReason),
+}
+
+impl StepOracle {
+    /// `"incremental"` or `"rebuild"` — the stable event/response label.
+    pub fn mode_name(self) -> &'static str {
+        match self {
+            StepOracle::Incremental { .. } => "incremental",
+            StepOracle::Rebuilt | StepOracle::Fallback(_) => "rebuild",
+        }
+    }
+
+    /// The fallback reason, when this step declined an update.
+    pub fn fallback_reason(self) -> Option<RebuildReason> {
+        match self {
+            StepOracle::Fallback(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 /// Observability record for one [`OnlineCad::push_metered`] arrival.
 ///
-/// The oracle for the arriving instance is built exactly once and
-/// cached for the next transition's left operand, so `build` describes
-/// the *only* build this arrival triggered.
+/// The oracle for the arriving instance is built (or updated) exactly
+/// once and cached for the next transition's left operand, so `build`
+/// describes the *only* oracle work this arrival triggered.
 #[derive(Debug, Clone)]
 pub struct OnlineStepMetrics {
-    /// What building the arriving instance's oracle cost.
+    /// What building the arriving instance's oracle cost. For an
+    /// incremental step no build happened: the backend name is real but
+    /// `build_secs` is 0 — the update cost lives in [`StepOracle`].
     pub build: cad_obs::OracleBuildStats,
     /// Wall-clock seconds scoring the new transition (0 on the first
     /// arrival, which has no transition).
     pub score_secs: f64,
     /// Candidate (changed) edges scored (0 on the first arrival).
     pub n_scored: usize,
+    /// How the oracle was obtained (rebuild vs in-place update).
+    pub oracle: StepOracle,
 }
 
 /// Streaming CAD detector: push instances, get per-transition anomaly
@@ -71,6 +158,11 @@ pub struct OnlineCad {
     /// the `cad-store` cache: a re-seen instance loads its artifact
     /// instead of rebuilding.
     provider: Option<Arc<dyn OracleProvider>>,
+    /// Rebuild per snapshot, or update the held oracle per delta.
+    update_mode: UpdateMode,
+    /// Consecutive in-place updates since the last fresh build
+    /// ([`UpdateMode::Auto`]'s refresh trigger).
+    updates_since_build: usize,
     n_nodes: Option<usize>,
     /// Previous instance and its distance oracle.
     prev: Option<(WeightedGraph, SharedOracle)>,
@@ -112,6 +204,8 @@ impl OnlineCad {
             opts,
             mode,
             provider: None,
+            update_mode: UpdateMode::default(),
+            updates_since_build: 0,
             n_nodes: None,
             prev: None,
             history: Vec::new(),
@@ -126,6 +220,18 @@ impl OnlineCad {
     pub fn with_provider(mut self, provider: Arc<dyn OracleProvider>) -> Self {
         self.provider = Some(provider);
         self
+    }
+
+    /// Choose how arriving instances obtain their oracle (default:
+    /// [`UpdateMode::Rebuild`]).
+    pub fn with_update_mode(mut self, mode: UpdateMode) -> Self {
+        self.update_mode = mode;
+        self
+    }
+
+    /// The configured oracle-update mode.
+    pub fn update_mode(&self) -> UpdateMode {
+        self.update_mode
     }
 
     /// Number of transitions observed so far.
@@ -165,21 +271,27 @@ impl OnlineCad {
             }
             Some(_) => {}
         }
-        // The sliding oracle cache: this build is the only one the
-        // arrival triggers — G_t's oracle was cached by the previous
-        // push and becomes this transition's left operand.
-        let engine = match &self.provider {
-            Some(p) => p.oracle(self.seen, &g, &self.opts.engine)?,
-            None => CommuteTimeEngine::compute(&g, &self.opts.engine)?,
+        // The sliding oracle cache: this build (or in-place update) is
+        // the only oracle work the arrival triggers — G_t's oracle was
+        // cached by the previous push and becomes this transition's
+        // left operand.
+        let (engine, step) = self.obtain_oracle(&g)?;
+        let build = match step {
+            // No build happened; the clone carries the *previous* build's
+            // stats, which would misreport this arrival's cost.
+            StepOracle::Incremental { .. } => {
+                cad_obs::OracleBuildStats::direct(engine.kind().name(), 0.0)
+            }
+            _ => engine
+                .build_stats()
+                .cloned()
+                .unwrap_or_else(|| cad_obs::OracleBuildStats::direct(engine.kind().name(), 0.0)),
         };
-        let build = engine
-            .build_stats()
-            .cloned()
-            .unwrap_or_else(|| cad_obs::OracleBuildStats::direct(engine.kind().name(), 0.0));
         let mut metrics = OnlineStepMetrics {
             build,
             score_secs: 0.0,
             n_scored: 0,
+            oracle: step,
         };
         let out = if let Some((prev_g, prev_engine)) = &self.prev {
             let (scores, secs) = cad_obs::time_it(|| {
@@ -222,6 +334,76 @@ impl OnlineCad {
         };
         self.prev = Some((g, engine));
         Ok((out, metrics))
+    }
+
+    /// Obtain the arriving instance's oracle according to the configured
+    /// [`UpdateMode`]: in-place delta update when possible, fresh build
+    /// otherwise. Bumps the `commute.incremental_updates` /
+    /// `commute.rebuild_fallbacks` counters and the `oracle_update_secs`
+    /// histogram accordingly; fresh builds keep their existing
+    /// `commute.oracle_builds` accounting inside
+    /// [`CommuteTimeEngine::compute`].
+    fn obtain_oracle(&mut self, g: &WeightedGraph) -> Result<(SharedOracle, StepOracle)> {
+        // First decide without mutating: either an updated clone of the
+        // held oracle, or the reason a fresh build is needed.
+        let attempt: Option<std::result::Result<(SharedOracle, f64, usize), RebuildReason>> =
+            match (self.update_mode, &self.prev) {
+                (UpdateMode::Rebuild, _) | (_, None) => None,
+                (mode, Some((prev_g, prev_oracle))) => {
+                    if mode == UpdateMode::Auto && self.updates_since_build >= REFRESH_THRESHOLD {
+                        Some(Err(RebuildReason::Refresh))
+                    } else {
+                        let delta = EdgeDelta::between(prev_g, g);
+                        let mut candidate = prev_oracle.clone_box();
+                        match candidate.as_updatable() {
+                            None => Some(Err(RebuildReason::Unsupported)),
+                            Some(upd) => {
+                                let (outcome, secs) = cad_obs::time_it(|| upd.apply_delta(&delta));
+                                match outcome? {
+                                    UpdateOutcome::Applied { changes } => {
+                                        Some(Ok((candidate, secs, changes)))
+                                    }
+                                    // The half-updated clone is dropped
+                                    // here — the held oracle is untouched.
+                                    UpdateOutcome::RebuildRequired(reason) => Some(Err(reason)),
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+        match attempt {
+            Some(Ok((oracle, update_secs, changes))) => {
+                cad_obs::counters::INCREMENTAL_UPDATES.inc();
+                cad_obs::histograms::ORACLE_UPDATE_SECS.observe(update_secs);
+                self.updates_since_build += 1;
+                Ok((
+                    oracle,
+                    StepOracle::Incremental {
+                        update_secs,
+                        changes,
+                    },
+                ))
+            }
+            Some(Err(reason)) => {
+                cad_obs::counters::REBUILD_FALLBACKS.inc();
+                let oracle = self.build_fresh(g)?;
+                self.updates_since_build = 0;
+                Ok((oracle, StepOracle::Fallback(reason)))
+            }
+            None => {
+                let oracle = self.build_fresh(g)?;
+                self.updates_since_build = 0;
+                Ok((oracle, StepOracle::Rebuilt))
+            }
+        }
+    }
+
+    fn build_fresh(&self, g: &WeightedGraph) -> Result<SharedOracle> {
+        match &self.provider {
+            Some(p) => p.oracle(self.seen, g, &self.opts.engine),
+            None => CommuteTimeEngine::compute(g, &self.opts.engine),
+        }
     }
 
     /// Re-evaluate *all* seen transitions at the current δ — converges
@@ -356,6 +538,130 @@ mod tests {
         // Fixed mode keeps no history.
         assert!(online.reevaluate_all().is_empty());
         assert_eq!(online.n_transitions(), 3);
+    }
+
+    #[test]
+    fn update_mode_names_round_trip() {
+        for mode in [
+            UpdateMode::Rebuild,
+            UpdateMode::Incremental,
+            UpdateMode::Auto,
+        ] {
+            assert_eq!(UpdateMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(UpdateMode::from_name("nope"), None);
+        assert_eq!(UpdateMode::default(), UpdateMode::Rebuild);
+    }
+
+    #[test]
+    fn incremental_mode_matches_rebuild_within_tolerance() {
+        let stream = [0.0, 0.3, 1.5, 1.2, 0.9];
+        let graphs: Vec<WeightedGraph> = stream.iter().map(|&b| instance(b)).collect();
+        let delta = 0.4;
+
+        let run = |mode: UpdateMode| {
+            let mut online =
+                OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(delta))
+                    .with_update_mode(mode);
+            let mut sets = Vec::new();
+            let mut steps = Vec::new();
+            for g in graphs.clone() {
+                let (out, m) = online.push_metered(g).unwrap();
+                steps.push(m.oracle);
+                if let Some(tr) = out {
+                    sets.push(tr);
+                }
+            }
+            (sets, steps)
+        };
+        let (rebuilt, rebuilt_steps) = run(UpdateMode::Rebuild);
+        let (incr, incr_steps) = run(UpdateMode::Incremental);
+
+        assert!(rebuilt_steps.iter().all(|s| *s == StepOracle::Rebuilt));
+        // First arrival has nothing to update; the bridge edge toggling
+        // between 0 and positive weight never disconnects `instance`, so
+        // every later step updates in place.
+        assert_eq!(incr_steps[0], StepOracle::Rebuilt);
+        for (i, s) in incr_steps.iter().enumerate().skip(1) {
+            assert!(
+                matches!(s, StepOracle::Incremental { .. }),
+                "step {i}: {s:?}"
+            );
+            assert_eq!(s.mode_name(), "incremental");
+        }
+
+        assert_eq!(incr.len(), rebuilt.len());
+        for (a, b) in incr.iter().zip(&rebuilt) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.nodes, b.nodes, "transition {}", a.t);
+            assert_eq!(a.edges.len(), b.edges.len());
+            for (ea, eb) in a.edges.iter().zip(&b.edges) {
+                assert!(
+                    (ea.score - eb.score).abs()
+                        <= cad_commute::UPDATE_REL_TOL * (1.0 + eb.score.abs()),
+                    "t={} edge ({},{}): {} vs {}",
+                    a.t,
+                    ea.u,
+                    ea.v,
+                    ea.score,
+                    eb.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_mode_falls_back_on_structural_delta() {
+        // instance(0.0) → instance(bridge) keeps the partition, but a
+        // genuinely disconnecting stream must fall back.
+        let joined =
+            WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let split = WeightedGraph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.5))
+            .with_update_mode(UpdateMode::Incremental);
+        let (_, m0) = online.push_metered(joined.clone()).unwrap();
+        assert_eq!(m0.oracle, StepOracle::Rebuilt);
+        let (_, m1) = online.push_metered(split).unwrap();
+        assert_eq!(
+            m1.oracle,
+            StepOracle::Fallback(cad_commute::RebuildReason::Structural)
+        );
+        assert_eq!(m1.oracle.mode_name(), "rebuild");
+        assert_eq!(
+            m1.oracle.fallback_reason(),
+            Some(cad_commute::RebuildReason::Structural)
+        );
+        // Reconnecting is structural again; a plain weight bump is not.
+        let (_, m2) = online.push_metered(joined).unwrap();
+        assert_eq!(
+            m2.oracle,
+            StepOracle::Fallback(cad_commute::RebuildReason::Structural)
+        );
+        let bumped =
+            WeightedGraph::from_edges(4, &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let (_, m3) = online.push_metered(bumped).unwrap();
+        assert!(matches!(m3.oracle, StepOracle::Incremental { .. }));
+    }
+
+    #[test]
+    fn auto_mode_refreshes_after_threshold() {
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.5))
+            .with_update_mode(UpdateMode::Auto);
+        online.push(instance(0.0)).unwrap();
+        let mut fallbacks = Vec::new();
+        for i in 0..REFRESH_THRESHOLD + 1 {
+            let (_, m) = online
+                .push_metered(instance(0.1 + 0.01 * i as f64))
+                .unwrap();
+            if let StepOracle::Fallback(r) = m.oracle {
+                fallbacks.push((i, r));
+            }
+        }
+        assert_eq!(
+            fallbacks,
+            vec![(REFRESH_THRESHOLD, cad_commute::RebuildReason::Refresh)],
+            "exactly one forced refresh, after {REFRESH_THRESHOLD} updates"
+        );
     }
 
     #[test]

@@ -152,6 +152,98 @@ pub fn cg_solve(
     })
 }
 
+/// Warm-started PCG: like [`cg_solve`] but starting from `x0` instead of
+/// the zero vector.
+///
+/// The initial residual is `b − A x0`, so a guess already within
+/// tolerance returns in zero iterations. Convergence is still judged
+/// relative to `‖b‖₂` (not the initial residual), which keeps the
+/// achieved accuracy identical to a cold solve — a warm start only
+/// changes how fast it is reached. Incremental oracle updates feed the
+/// previous snapshot's solution here; small graph deltas leave the
+/// solution nearly unchanged, so most solves finish in a handful of
+/// iterations.
+pub fn cg_solve_from(
+    a: &dyn LinOp,
+    b: &[f64],
+    x0: &[f64],
+    pre: &dyn Preconditioner,
+    opts: CgOptions,
+) -> Result<CgOutcome> {
+    let n = a.dim();
+    if b.len() != n || x0.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cg_solve_from",
+            expected: (n, 1),
+            found: (if b.len() != n { b.len() } else { x0.len() }, 1),
+        });
+    }
+    let bnorm = vecops::norm2(b);
+    if bnorm == 0.0 {
+        // A is SPD on the solve subspace, so b = 0 has the unique
+        // solution 0 — same short-circuit as the cold solve.
+        cad_obs::counters::CG_SOLVES.inc();
+        cad_obs::histograms::CG_ITERATIONS.observe(0.0);
+        cad_obs::histograms::CG_RESIDUALS.observe(0.0);
+        return Ok(CgOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        });
+    }
+    let max_iter = opts.max_iter.unwrap_or(10 * n + 100);
+    let target = opts.tol * bnorm;
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    a.apply(&x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let mut z = vec![0.0; n];
+    pre.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = vecops::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut iterations = 0;
+    let mut rnorm = vecops::norm2(&r);
+    while iterations < max_iter && rnorm > target {
+        a.apply(&p, &mut ap);
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            break;
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        rnorm = vecops::norm2(&r);
+        iterations += 1;
+        if rnorm <= target {
+            break;
+        }
+        pre.apply(&r, &mut z);
+        let rz_new = vecops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    cad_obs::counters::CG_SOLVES.inc();
+    cad_obs::counters::CG_ITERATIONS.add(iterations as u64);
+    cad_obs::histograms::CG_ITERATIONS.observe(iterations as f64);
+    cad_obs::histograms::CG_RESIDUALS.observe(rnorm / bnorm);
+    Ok(CgOutcome {
+        x,
+        iterations,
+        relative_residual: rnorm / bnorm,
+        converged: rnorm <= target,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +321,96 @@ mod tests {
         .unwrap();
         assert!(out.converged);
         assert!(out.iterations <= 4);
+    }
+
+    #[test]
+    fn warm_start_from_exact_solution_takes_no_iterations() {
+        let a = spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let cold = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let warm = cg_solve_from(
+            &a,
+            &b,
+            &cold.x,
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        )
+        .unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.iterations, 0, "exact guess must short-circuit");
+        assert_eq!(warm.x, cold.x);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution() {
+        let a = spd();
+        let b = vec![1.0, -2.0, 0.5];
+        let cold = cg_solve(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                max_iter: None,
+            },
+        )
+        .unwrap();
+        // A deliberately wrong guess still converges to the same answer.
+        let warm = cg_solve_from(
+            &a,
+            &b,
+            &[5.0, -5.0, 5.0],
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                max_iter: None,
+            },
+        )
+        .unwrap();
+        assert!(warm.converged);
+        for (w, c) in warm.x.iter().zip(&cold.x) {
+            assert!((w - c).abs() < 1e-9, "{w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn warm_start_zero_guess_matches_cold_solve() {
+        let a = spd();
+        let b = vec![0.5, 1.5, -0.5];
+        let cold = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let warm = cg_solve_from(
+            &a,
+            &b,
+            &[0.0; 3],
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(warm.iterations, cold.iterations);
+        for (w, c) in warm.x.iter().zip(&cold.x) {
+            assert_eq!(w.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_dimensions() {
+        let a = spd();
+        assert!(cg_solve_from(
+            &a,
+            &[1.0; 3],
+            &[1.0; 2],
+            &IdentityPreconditioner,
+            CgOptions::default()
+        )
+        .is_err());
+        assert!(cg_solve_from(
+            &a,
+            &[1.0; 2],
+            &[1.0; 3],
+            &IdentityPreconditioner,
+            CgOptions::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   previously disconnected parts (paper Case 2 in the extreme).
 
 use crate::error::LinalgError;
-use crate::solve::cg::{cg_solve, CgOptions};
+use crate::solve::cg::{cg_solve, cg_solve_from, CgOptions};
 use crate::solve::precond::{
     IdentityPreconditioner, IncompleteCholesky, JacobiPreconditioner, Preconditioner,
 };
@@ -106,6 +106,9 @@ pub struct LaplacianSolver {
     /// Grounded strategy: reduced index -> full index. Empty for the
     /// regularized strategy.
     full_index: Vec<usize>,
+    /// Grounded strategy: the pinned node of each component. Empty for
+    /// the regularized strategy.
+    ground: Vec<usize>,
     precond: PrecondImpl,
     cg: CgOptions,
 }
@@ -136,7 +139,7 @@ impl LaplacianSolver {
             component_sizes[c as usize] += 1;
         }
 
-        let (op, full_index) = match opts.kind {
+        let (op, full_index, ground) = match opts.kind {
             SolverKind::Regularized(eps) => {
                 let mut tri: Vec<(u32, u32, f64)> = laplacian
                     .iter()
@@ -145,7 +148,7 @@ impl LaplacianSolver {
                 for i in 0..n {
                     tri.push((i as u32, i as u32, eps));
                 }
-                (CsrMatrix::from_triplets(n, n, &tri), Vec::new())
+                (CsrMatrix::from_triplets(n, n, &tri), Vec::new(), Vec::new())
             }
             SolverKind::Grounded => {
                 // Ground the max-degree (max diagonal) node of each component.
@@ -173,7 +176,7 @@ impl LaplacianSolver {
                     .map(|(i, j, v)| (reduced_index[i] as u32, reduced_index[j] as u32, v))
                     .collect();
                 let m = full_index.len();
-                (CsrMatrix::from_triplets(m, m, &tri), full_index)
+                (CsrMatrix::from_triplets(m, m, &tri), full_index, ground)
             }
         };
 
@@ -210,6 +213,7 @@ impl LaplacianSolver {
             component_sizes,
             op,
             full_index,
+            ground,
             precond,
             cg: opts.cg,
         })
@@ -283,6 +287,59 @@ impl LaplacianSolver {
                 }
                 let out = cg_solve(&self.op, &br, self.precond.as_dyn(), cg)?;
                 // Expand (grounded entries = 0) and re-center.
+                let mut x = vec![0.0; self.n];
+                for (r, &f) in self.full_index.iter().enumerate() {
+                    x[f] = out.x[r];
+                }
+                self.center_per_component(&mut x);
+                Ok((x, out.stats()))
+            }
+        }
+    }
+
+    /// Warm-started solve: like [`LaplacianSolver::solve`], with `x0`
+    /// (typically the solution against the previous snapshot's
+    /// Laplacian) as the CG initial guess.
+    pub fn solve_from(&self, b: &[f64], x0: &[f64]) -> Result<Vec<f64>> {
+        self.solve_from_stats(b, x0).map(|(x, _)| x)
+    }
+
+    /// Warm-started solve returning the PCG convergence record.
+    ///
+    /// The achieved tolerance is the same as a cold
+    /// [`LaplacianSolver::solve_stats`] (convergence is judged against
+    /// `‖b‖`, not the initial residual); a good guess only shrinks the
+    /// iteration count. For the grounded strategy `x0` is re-based so
+    /// the pinned node of each component sits at zero — the gauge the
+    /// reduced system is solved in — before being restricted.
+    pub fn solve_from_stats(
+        &self,
+        b: &[f64],
+        x0: &[f64],
+    ) -> Result<(Vec<f64>, cad_obs::SolveStats)> {
+        if b.len() != self.n || x0.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "laplacian solve_from",
+                expected: (self.n, 1),
+                found: (if b.len() != self.n { b.len() } else { x0.len() }, 1),
+            });
+        }
+        match self.kind {
+            SolverKind::Regularized(_) => {
+                let out = cg_solve_from(&self.op, b, x0, self.precond.as_dyn(), self.cg)?;
+                let stats = out.stats();
+                Ok((out.x, stats))
+            }
+            SolverKind::Grounded => {
+                let mut bp = b.to_vec();
+                self.center_per_component(&mut bp);
+                let mut br = vec![0.0; self.full_index.len()];
+                let mut x0r = vec![0.0; self.full_index.len()];
+                for (r, &f) in self.full_index.iter().enumerate() {
+                    br[r] = bp[f];
+                    x0r[r] = x0[f] - x0[self.ground[self.component[f] as usize]];
+                }
+                let out = cg_solve_from(&self.op, &br, &x0r, self.precond.as_dyn(), self.cg)?;
                 let mut x = vec![0.0; self.n];
                 for (r, &f) in self.full_index.iter().enumerate() {
                     x[f] = out.x[r];
@@ -588,6 +645,90 @@ mod tests {
             ic0 < plain,
             "IC(0) took {ic0} iterations, plain CG took {plain}"
         );
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_solution() {
+        let l = path4_laplacian();
+        let solver = LaplacianSolver::new(&l, LaplacianSolverOptions::default()).unwrap();
+        let b = vec![1.0, 0.0, 0.0, -1.0];
+        let (x, cold) = solver.solve_stats(&b).unwrap();
+        // Re-solving the same system from its own solution is free.
+        let (xw, warm) = solver.solve_from_stats(&b, &x).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for (a, b) in xw.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        // A slightly perturbed Laplacian still profits from the guess
+        // and lands on that system's own solution.
+        let mut tri: Vec<(u32, u32, f64)> =
+            l.iter().map(|(i, j, v)| (i as u32, j as u32, v)).collect();
+        for (i, j) in [(1u32, 2u32), (2, 1)] {
+            tri.push((i, j, -0.05));
+        }
+        for i in [1u32, 2] {
+            tri.push((i, i, 0.05));
+        }
+        let l2 = CsrMatrix::from_triplets(4, 4, &tri);
+        let s2 = LaplacianSolver::new(&l2, LaplacianSolverOptions::default()).unwrap();
+        let (fresh, _) = s2.solve_stats(&b).unwrap();
+        let (xw2, warm2) = s2.solve_from_stats(&b, &x).unwrap();
+        assert!(warm2.converged);
+        for (a, b) in xw2.iter().zip(&fresh) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_start_regularized_and_disconnected() {
+        // Regularized path.
+        let l = path4_laplacian();
+        let r = LaplacianSolver::new(
+            &l,
+            LaplacianSolverOptions {
+                kind: SolverKind::Regularized(1e-8),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = vec![1.0, -1.0, 1.0, -1.0];
+        let x = r.solve(&b).unwrap();
+        let (xw, stats) = r.solve_from_stats(&b, &x).unwrap();
+        assert!(stats.converged);
+        for (a, b) in xw.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-7);
+        }
+        // Grounded path with two components: the per-component re-basing
+        // must keep the guess consistent in each gauge.
+        let tri = vec![
+            (0u32, 1u32, -2.0),
+            (1, 0, -2.0),
+            (0, 0, 2.0),
+            (1, 1, 2.0),
+            (2, 3, -0.5),
+            (3, 2, -0.5),
+            (2, 2, 0.5),
+            (3, 3, 0.5),
+        ];
+        let l2 = CsrMatrix::from_triplets(4, 4, &tri);
+        let s = LaplacianSolver::new(&l2, LaplacianSolverOptions::default()).unwrap();
+        let b2 = vec![1.0, -1.0, 0.5, -0.5];
+        let x2 = s.solve(&b2).unwrap();
+        let (xw2, warm) = s.solve_from_stats(&b2, &x2).unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.iterations, 0, "own solution is already converged");
+        for (a, b) in xw2.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Dimension checks.
+        assert!(s.solve_from(&b2, &[0.0; 3]).is_err());
+        assert!(s.solve_from(&[0.0; 3], &b2).is_err());
     }
 
     #[test]

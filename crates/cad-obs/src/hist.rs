@@ -318,6 +318,9 @@ pub mod histograms {
     pub static CG_RESIDUALS: AtomicHistogram = AtomicHistogram::new();
     /// Wall-clock seconds per distance-oracle build.
     pub static ORACLE_BUILD_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// Wall-clock seconds per in-place oracle delta update (the
+    /// incremental sibling of `oracle_build_secs`).
+    pub static ORACLE_UPDATE_SECS: AtomicHistogram = AtomicHistogram::new();
     /// Wall-clock seconds per transition scoring pass.
     pub static TRANSITION_SCORE_SECS: AtomicHistogram = AtomicHistogram::new();
     /// Wall-clock seconds per `.cadpack`/oracle-cache read or write.
@@ -339,6 +342,7 @@ pub mod histograms {
             ("cg_iterations", CG_ITERATIONS.snapshot()),
             ("cg_residuals", CG_RESIDUALS.snapshot()),
             ("oracle_build_secs", ORACLE_BUILD_SECS.snapshot()),
+            ("oracle_update_secs", ORACLE_UPDATE_SECS.snapshot()),
             ("transition_score_secs", TRANSITION_SCORE_SECS.snapshot()),
             ("pack_io_secs", PACK_IO_SECS.snapshot()),
             ("serve_push_secs", SERVE_PUSH_SECS.snapshot()),
@@ -352,6 +356,7 @@ pub mod histograms {
         CG_ITERATIONS.reset();
         CG_RESIDUALS.reset();
         ORACLE_BUILD_SECS.reset();
+        ORACLE_UPDATE_SECS.reset();
         TRANSITION_SCORE_SECS.reset();
         PACK_IO_SECS.reset();
         SERVE_PUSH_SECS.reset();
@@ -482,6 +487,7 @@ mod tests {
                 "cg_iterations",
                 "cg_residuals",
                 "oracle_build_secs",
+                "oracle_update_secs",
                 "transition_score_secs",
                 "pack_io_secs",
                 "serve_push_secs",

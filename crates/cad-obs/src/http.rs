@@ -306,8 +306,12 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // One write for head + body: two separate segments interact badly
+    // with Nagle + delayed ACK (a ~40ms stall per response on Linux
+    // loopback when the peer batches its ACKs).
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 

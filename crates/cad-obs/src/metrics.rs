@@ -82,6 +82,12 @@ pub mod counters {
     pub static JL_PROJECTIONS: FastCounter = FastCounter::new();
     /// Distance oracles built (`CommuteTimeEngine::compute` calls).
     pub static ORACLE_BUILDS: FastCounter = FastCounter::new();
+    /// Oracle delta updates applied in place (no rebuild).
+    pub static INCREMENTAL_UPDATES: FastCounter = FastCounter::new();
+    /// Incremental updates that fell back to a fresh build (structural
+    /// delta, degenerate denominator, refresh threshold, or an
+    /// unsupported backend).
+    pub static REBUILD_FALLBACKS: FastCounter = FastCounter::new();
     /// Oracle artifacts served from the content-addressed store cache.
     pub static STORE_CACHE_HITS: FastCounter = FastCounter::new();
     /// Oracle cache lookups that missed and fell back to a fresh build.
@@ -107,6 +113,8 @@ pub mod counters {
             ("linalg.cg_iterations", CG_ITERATIONS.get()),
             ("linalg.jl_projections", JL_PROJECTIONS.get()),
             ("commute.oracle_builds", ORACLE_BUILDS.get()),
+            ("commute.incremental_updates", INCREMENTAL_UPDATES.get()),
+            ("commute.rebuild_fallbacks", REBUILD_FALLBACKS.get()),
             ("store.cache_hits", STORE_CACHE_HITS.get()),
             ("store.cache_misses", STORE_CACHE_MISSES.get()),
             ("store.bytes_read", STORE_BYTES_READ.get()),
@@ -126,6 +134,8 @@ pub mod counters {
         CG_ITERATIONS.reset();
         JL_PROJECTIONS.reset();
         ORACLE_BUILDS.reset();
+        INCREMENTAL_UPDATES.reset();
+        REBUILD_FALLBACKS.reset();
         STORE_CACHE_HITS.reset();
         STORE_CACHE_MISSES.reset();
         STORE_BYTES_READ.reset();
@@ -243,6 +253,8 @@ mod tests {
                 "linalg.cg_iterations",
                 "linalg.jl_projections",
                 "commute.oracle_builds",
+                "commute.incremental_updates",
+                "commute.rebuild_fallbacks",
                 "store.cache_hits",
                 "store.cache_misses",
                 "store.bytes_read",

@@ -1028,6 +1028,48 @@ mod tests {
     }
 
     #[test]
+    fn incremental_update_metrics_validate_and_reject_corruption() {
+        // A report carrying the incremental-update telemetry — the
+        // counters `commute.incremental_updates` /
+        // `commute.rebuild_fallbacks` and the `oracle_update_secs`
+        // histogram — passes validation and round-trips.
+        let mut r = Report::new("t");
+        r.counters.insert("commute.incremental_updates".into(), 7);
+        r.counters.insert("commute.rebuild_fallbacks".into(), 2);
+        r.histograms.insert(
+            "oracle_update_secs".into(),
+            Histogram::of([0.002, 0.004, 0.004]),
+        );
+        let text = r.to_json_string();
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(Report::validate_json(&v), Ok(()));
+        let back = Report::from_json(&v).unwrap();
+        assert_eq!(back.counters["commute.incremental_updates"], 7);
+        assert_eq!(back.counters["commute.rebuild_fallbacks"], 2);
+        assert_eq!(back.histograms["oracle_update_secs"].count, 3);
+
+        // A corrupted oracle_update_secs histogram (count disagreeing
+        // with its buckets) is rejected, attributed to the right key.
+        let bad = text.replacen("\"count\": 3,", "\"count\": 4,", 1);
+        let v = crate::json::parse(&bad).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("oracle_update_secs") && e.contains("sum to")),
+            "{errs:?}"
+        );
+
+        // A non-integer fallback counter is rejected by the parser.
+        let bad2 = text.replacen(
+            "\"commute.rebuild_fallbacks\": 2",
+            "\"commute.rebuild_fallbacks\": \"two\"",
+            1,
+        );
+        let v2 = crate::json::parse(&bad2).unwrap();
+        assert!(Report::from_json(&v2).is_err());
+    }
+
+    #[test]
     fn empty_summary_round_trips_via_null_min_max() {
         let mut r = Report::new("t");
         r.summaries.insert("empty".into(), Summary::new());

@@ -20,7 +20,7 @@
 use crate::server::Shutdown;
 use crate::session::{parse_spec, CreateError, Session, SessionMap};
 use cad_commute::OracleProvider;
-use cad_core::{OnlineStepMetrics, TransitionAnomalies};
+use cad_core::{OnlineStepMetrics, StepOracle, TransitionAnomalies};
 use cad_graph::{GraphError, WeightedGraph};
 use cad_obs::http::{error_body, Request};
 use cad_obs::Json;
@@ -117,10 +117,29 @@ fn transition_json(tr: &Option<TransitionAnomalies>, delta: f64, m: &OnlineStepM
             "latency",
             Json::obj(vec![
                 ("build_secs", Json::Num(m.build.build_secs)),
+                (
+                    "update_secs",
+                    match m.oracle {
+                        StepOracle::Incremental { update_secs, .. } => Json::Num(update_secs),
+                        _ => Json::Num(0.0),
+                    },
+                ),
                 ("score_secs", Json::Num(m.score_secs)),
             ]),
         ),
     ])
+}
+
+/// The oracle path this push took: `"update_mode"` is `incremental` or
+/// `rebuild`, and a fallback (incremental requested, rebuild taken)
+/// additionally names its trigger in `"fallback"` so operators can tell
+/// a fallback storm from plain rebuild mode.
+fn oracle_json(step: StepOracle) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![("update_mode", Json::Str(step.mode_name().to_string()))];
+    if let Some(reason) = step.fallback_reason() {
+        fields.push(("fallback", Json::Str(reason.name().to_string())));
+    }
+    fields
 }
 
 /// `(status, code)` for a snapshot the detector rejected. Public so
@@ -271,14 +290,13 @@ fn push_snapshot(req: &Request, session: &Session) -> Response {
         Ok((tr, m)) => {
             inner.current = Some(g);
             inner.instances += 1;
-            Response::json(
-                200,
-                Json::obj(vec![
-                    ("id", num(session.id as usize)),
-                    ("instance", num(inner.instances - 1)),
-                    ("transition", transition_json(&tr, inner.online.delta(), &m)),
-                ]),
-            )
+            let mut fields = vec![
+                ("id", num(session.id as usize)),
+                ("instance", num(inner.instances - 1)),
+            ];
+            fields.extend(oracle_json(m.oracle));
+            fields.push(("transition", transition_json(&tr, inner.online.delta(), &m)));
+            Response::json(200, Json::obj(fields))
         }
         Err(e) => {
             let (status, code) = graph_error_code(&e);
@@ -520,6 +538,54 @@ mod tests {
         let resp = route(&request("GET", &status_path, b""), &ctx);
         assert_eq!(resp.status, 404);
         assert_eq!(cad_obs::counters::SERVE_REQUESTS.get(), 6);
+    }
+
+    #[test]
+    fn push_reports_update_mode_and_fallbacks() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4, "update_mode": "incremental"}"#,
+            ),
+            &ctx,
+        );
+        assert_eq!(resp.status, 201);
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+
+        // First snapshot has no previous oracle: always a fresh build.
+        let resp = route(&request("POST", &push, snapshot_body(0.0).as_bytes()), &ctx);
+        let v = parse(&resp);
+        assert_eq!(v.get("update_mode").and_then(Json::as_str), Some("rebuild"));
+        assert!(
+            v.get("fallback").is_none(),
+            "a plain rebuild is no fallback"
+        );
+
+        // A weight-only delta is applied in place.
+        let resp = route(&request("POST", &push, snapshot_body(1.5).as_bytes()), &ctx);
+        let v = parse(&resp);
+        assert_eq!(
+            v.get("update_mode").and_then(Json::as_str),
+            Some("incremental")
+        );
+        assert!(v.get("fallback").is_none());
+        let latency = v.get("transition").unwrap().get("latency").unwrap();
+        let upd = latency.get("update_secs").and_then(Json::as_f64).unwrap();
+        assert!(upd >= 0.0);
+
+        // Dropping the connector splits the graph: structural fallback.
+        let body = r#"{"nodes": 6, "edges": [[0, 1, 3.0], [0, 2, 3.0], [1, 2, 3.0], [3, 4, 3.0], [3, 5, 3.0], [4, 5, 3.0]]}"#;
+        let resp = route(&request("POST", &push, body.as_bytes()), &ctx);
+        let v = parse(&resp);
+        assert_eq!(v.get("update_mode").and_then(Json::as_str), Some("rebuild"));
+        assert_eq!(v.get("fallback").and_then(Json::as_str), Some("structural"));
+        assert_eq!(cad_obs::counters::INCREMENTAL_UPDATES.get(), 1);
+        assert_eq!(cad_obs::counters::REBUILD_FALLBACKS.get(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::router::{route, Response, RouterCtx};
 use crate::session::SessionMap;
+use cad_core::UpdateMode;
 use cad_obs::http::{self, error_body, HttpLimits};
 use std::collections::VecDeque;
 use std::io::Read;
@@ -174,6 +175,9 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Warm oracle-cache directory shared by every session.
     pub store_dir: Option<PathBuf>,
+    /// Default oracle update mode for sessions whose create spec does
+    /// not pick one (`--update-mode`).
+    pub update_mode: UpdateMode,
 }
 
 impl Default for ServeConfig {
@@ -189,6 +193,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             store_dir: None,
+            update_mode: UpdateMode::default(),
         }
     }
 }
@@ -286,7 +291,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(cfg.queue_depth),
             ctx: RouterCtx {
-                sessions: SessionMap::new(cfg.max_sessions),
+                sessions: SessionMap::new(cfg.max_sessions).with_update_mode(cfg.update_mode),
                 provider,
                 shutdown: Arc::new(Shutdown::new()),
             },

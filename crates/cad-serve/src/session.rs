@@ -9,7 +9,7 @@
 //! are ordered, snapshots to *different* sessions run in parallel.
 
 use cad_commute::{EmbeddingOptions, EngineOptions, OracleProvider};
-use cad_core::{CadOptions, OnlineCad, ScoreKind, ThresholdMode};
+use cad_core::{CadOptions, OnlineCad, ScoreKind, ThresholdMode, UpdateMode};
 use cad_graph::WeightedGraph;
 use cad_obs::Json;
 use std::collections::HashMap;
@@ -31,6 +31,9 @@ pub struct SessionSpec {
     pub opts: CadOptions,
     /// Threshold mode (fixed δ or running target-l).
     pub mode: ThresholdMode,
+    /// Oracle update mode; `None` inherits the server default
+    /// (`--update-mode`).
+    pub update_mode: Option<UpdateMode>,
     /// Free-form label echoed back in status responses.
     pub label: String,
 }
@@ -48,7 +51,9 @@ pub struct SessionSpec {
 /// `com`. Exactly one of `delta` (fixed threshold — the mode whose
 /// per-arrival output is bit-identical to batch detection) or `l`
 /// (running-average target nodes per transition) may be given;
-/// neither defaults to `l = 2`.
+/// neither defaults to `l = 2`. `update_mode` is one of `rebuild`,
+/// `incremental`, `auto`; omitted inherits the server's `--update-mode`
+/// default.
 pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let v = cad_obs::parse_json(text).map_err(|e| format!("body is not JSON: {e}"))?;
@@ -84,9 +89,11 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
         Some(Some("approx")) => EngineOptions::Approximate(embedding),
         Some(Some("shortest-path")) => EngineOptions::ShortestPath,
         Some(Some("corrected")) => EngineOptions::Corrected,
-        Some(other) => return Err(format!(
+        Some(other) => {
+            return Err(format!(
             "unknown `engine` {other:?} (want auto | exact | approx | shortest-path | corrected)"
-        )),
+        ))
+        }
     };
     let kind = match v.get("kind").map(|j| j.as_str()) {
         None | Some(Some("cad")) => ScoreKind::Cad,
@@ -114,6 +121,20 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
         }
         (None, None) => ThresholdMode::TargetNodes(2),
     };
+    let update_mode = match v.get("update_mode").map(|j| j.as_str()) {
+        None => None,
+        Some(Some(s)) => match UpdateMode::from_name(s) {
+            Some(m) => Some(m),
+            None => {
+                return Err(format!(
+                    "unknown `update_mode` {s:?} (want rebuild | incremental | auto)"
+                ))
+            }
+        },
+        Some(None) => {
+            return Err("`update_mode` must be a string (rebuild | incremental | auto)".to_string())
+        }
+    };
     let label = match v.get("label") {
         Some(j) => j
             .as_str()
@@ -129,6 +150,7 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
             threads: 1,
         },
         mode,
+        update_mode,
         label,
     })
 }
@@ -189,6 +211,7 @@ pub struct SessionMap {
     next_id: AtomicU64,
     active: AtomicUsize,
     max_sessions: usize,
+    default_update_mode: UpdateMode,
 }
 
 impl SessionMap {
@@ -199,7 +222,15 @@ impl SessionMap {
             next_id: AtomicU64::new(1),
             active: AtomicUsize::new(0),
             max_sessions,
+            default_update_mode: UpdateMode::default(),
         }
+    }
+
+    /// Set the update mode sessions inherit when their create spec does
+    /// not choose one (the server's `--update-mode` flag).
+    pub fn with_update_mode(mut self, mode: UpdateMode) -> Self {
+        self.default_update_mode = mode;
+        self
     }
 
     fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Session>>> {
@@ -232,7 +263,8 @@ impl SessionMap {
                 max_sessions: self.max_sessions,
             });
         }
-        let mut online = OnlineCad::with_mode(spec.opts, spec.mode);
+        let mut online = OnlineCad::with_mode(spec.opts, spec.mode)
+            .with_update_mode(spec.update_mode.unwrap_or(self.default_update_mode));
         if let Some(p) = provider {
             online = online.with_provider(p);
         }
@@ -326,6 +358,10 @@ mod tests {
         assert!(matches!(s.mode, ThresholdMode::TargetNodes(2)));
         assert!(matches!(s.opts.engine, EngineOptions::Auto { .. }));
         assert_eq!(s.label, "demo");
+        assert_eq!(s.update_mode, None, "omitted means inherit server default");
+
+        let s = parse_spec(br#"{"nodes": 4, "update_mode": "incremental"}"#).unwrap();
+        assert_eq!(s.update_mode, Some(UpdateMode::Incremental));
 
         for engine in ["shortest-path", "corrected"] {
             let body = format!(r#"{{"nodes": 4, "engine": "{engine}"}}"#);
@@ -349,10 +385,36 @@ mod tests {
             (br#"{"nodes": 4, "l": 0}"#, "`l`"),
             (br#"{"nodes": 4, "k": 0}"#, "`k`"),
             (br#"{"nodes": 4, "label": 7}"#, "`label`"),
+            (
+                br#"{"nodes": 4, "update_mode": "warp"}"#,
+                "unknown `update_mode`",
+            ),
+            (br#"{"nodes": 4, "update_mode": 3}"#, "`update_mode`"),
         ] {
             let err = parse_spec(body).expect_err("must reject");
             assert!(err.contains(needle), "{err:?} should mention {needle:?}");
         }
+    }
+
+    #[test]
+    fn create_applies_server_default_unless_spec_overrides() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let map = SessionMap::new(4).with_update_mode(UpdateMode::Incremental);
+        let inherited = map
+            .create(parse_spec(br#"{"nodes": 4}"#).unwrap(), None)
+            .unwrap();
+        assert_eq!(
+            inherited.lock().online.update_mode(),
+            UpdateMode::Incremental
+        );
+        let explicit = map
+            .create(
+                parse_spec(br#"{"nodes": 4, "update_mode": "rebuild"}"#).unwrap(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(explicit.lock().online.update_mode(), UpdateMode::Rebuild);
     }
 
     #[test]

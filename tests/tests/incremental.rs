@@ -1,0 +1,197 @@
+//! The incremental-oracle contract, cross-crate: for every engine,
+//! `apply_delta` against the previous instance's oracle must agree with
+//! a fresh build on the new instance.
+//!
+//! Two regimes, matching the documented contract in
+//! `cad_commute::update`:
+//!
+//! * **incremental paths** (`UpdateOutcome::Applied`) are
+//!   tolerance-bounded: every pairwise distance agrees with the fresh
+//!   build within `UPDATE_REL_TOL · (1 + d_fresh)`;
+//! * **rebuild-fallback paths** (structural deltas, backends without
+//!   update support) discard the updated oracle and build fresh — and a
+//!   fresh build is *bit-identical* to any other fresh build, which is
+//!   what keeps `--update-mode incremental` safe to run against the
+//!   batch detector.
+//!
+//! All four engines are exercised, at 1 and 4 worker threads.
+
+use cad_commute::{
+    CommuteTimeEngine, EdgeDelta, EmbeddingOptions, EngineOptions, SharedOracle, UpdateOutcome,
+    UPDATE_REL_TOL,
+};
+use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
+use cad_graph::WeightedGraph;
+use proptest::prelude::*;
+
+/// The four engine configurations under test, with the worker-thread
+/// count threaded into the one backend that parallelizes its build.
+fn engines(threads: usize) -> Vec<EngineOptions> {
+    vec![
+        EngineOptions::Exact,
+        EngineOptions::Approximate(EmbeddingOptions {
+            k: 24,
+            threads,
+            ..Default::default()
+        }),
+        EngineOptions::ShortestPath,
+        EngineOptions::Corrected,
+    ]
+}
+
+/// Two consecutive GMM instances over a shared vertex set.
+fn gmm_pair(seed: u64, n: usize) -> (WeightedGraph, WeightedGraph) {
+    let mut opts = GmmBenchmarkOptions::with_n(n);
+    opts.seed = seed;
+    let bench = GmmBenchmark::generate(&opts).expect("gmm benchmark");
+    let graphs = bench.seq.graphs();
+    (graphs[0].clone(), graphs[1].clone())
+}
+
+/// Every pairwise distance of `a` and `b`, compared bit-for-bit.
+fn assert_bit_identical(a: &SharedOracle, b: &SharedOracle, what: &str) {
+    assert_eq!(a.n_nodes(), b.n_nodes());
+    for i in 0..a.n_nodes() {
+        for j in (i + 1)..a.n_nodes() {
+            assert_eq!(
+                a.distance(i, j).to_bits(),
+                b.distance(i, j).to_bits(),
+                "{what}: d({i},{j}) not bit-identical"
+            );
+        }
+    }
+}
+
+/// Apply `old → new` to a clone of `old`'s oracle and check the
+/// contract for whichever path the update takes.
+fn check_engine(opts: &EngineOptions, old: &WeightedGraph, new: &WeightedGraph) {
+    let prev = CommuteTimeEngine::compute(old, opts).expect("oracle on old");
+    let fresh = CommuteTimeEngine::compute(new, opts).expect("oracle on new");
+    let delta = EdgeDelta::between(old, new);
+
+    let mut candidate = prev.clone_box();
+    let outcome = match candidate.as_updatable() {
+        Some(upd) => upd.apply_delta(&delta).expect("apply_delta"),
+        // Backend without update support: the documented fallback.
+        None => {
+            let rebuilt = CommuteTimeEngine::compute(new, opts).expect("rebuild");
+            assert_bit_identical(&rebuilt, &fresh, "unsupported-backend rebuild");
+            return;
+        }
+    };
+    match outcome {
+        UpdateOutcome::Applied { .. } => {
+            assert_eq!(candidate.n_nodes(), fresh.n_nodes());
+            for i in 0..fresh.n_nodes() {
+                for j in (i + 1)..fresh.n_nodes() {
+                    let d_upd = candidate.distance(i, j);
+                    let d_fresh = fresh.distance(i, j);
+                    assert!(
+                        (d_upd - d_fresh).abs() <= UPDATE_REL_TOL * (1.0 + d_fresh.abs()),
+                        "incremental d({i},{j}) = {d_upd} vs fresh {d_fresh} \
+                         exceeds the documented bound"
+                    );
+                }
+            }
+        }
+        UpdateOutcome::RebuildRequired(reason) => {
+            // The candidate may be partially mutated and is discarded;
+            // the replacement fresh build must be bit-identical to any
+            // other fresh build.
+            drop(candidate);
+            let rebuilt = CommuteTimeEngine::compute(new, opts).expect("rebuild");
+            assert_bit_identical(&rebuilt, &fresh, &format!("fallback ({})", reason.name()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn apply_delta_agrees_with_fresh_build(seed in 0u64..1_000, n in 24usize..40) {
+        let (old, new) = gmm_pair(seed, n);
+        for threads in [1usize, 4] {
+            for opts in engines(threads) {
+                check_engine(&opts, &old, &new);
+            }
+        }
+    }
+}
+
+/// A stream that disconnects forces the structural fallback on every
+/// engine; the rebuild must stay bit-identical to a batch build.
+#[test]
+fn structural_delta_falls_back_bit_identically_on_every_engine() {
+    let joined = WeightedGraph::from_edges(
+        8,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 0.5),
+            (4, 5, 1.0),
+            (5, 6, 2.0),
+            (6, 7, 1.0),
+        ],
+    )
+    .unwrap();
+    // Dropping the {3,4} bridge splits the graph in two.
+    let split = WeightedGraph::from_edges(
+        8,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (4, 5, 1.0),
+            (5, 6, 2.0),
+            (6, 7, 1.0),
+        ],
+    )
+    .unwrap();
+    let delta = EdgeDelta::between(&joined, &split);
+    assert!(delta.structural);
+    for threads in [1usize, 4] {
+        for opts in engines(threads) {
+            check_engine(&opts, &joined, &split);
+        }
+    }
+}
+
+/// A pure weight perturbation takes the incremental path on every
+/// updatable engine (and the resulting volume matches the fresh build
+/// bit-for-bit, because the update recomputes it from the new graph).
+#[test]
+fn weight_only_delta_updates_in_place() {
+    let (old, _) = gmm_pair(11, 30);
+    // Perturb a handful of existing edge weights, keeping the topology.
+    let edges: Vec<(usize, usize, f64)> = old
+        .edges()
+        .enumerate()
+        .map(|(idx, (u, v, w))| {
+            let scale = if idx % 3 == 0 { 1.25 } else { 1.0 };
+            (u, v, w * scale)
+        })
+        .collect();
+    let new = WeightedGraph::from_edges(old.n_nodes(), &edges).unwrap();
+    let delta = EdgeDelta::between(&old, &new);
+    assert!(!delta.structural);
+    assert!(!delta.is_empty());
+
+    for opts in [EngineOptions::Exact, EngineOptions::Corrected] {
+        let prev = CommuteTimeEngine::compute(&old, &opts).unwrap();
+        let fresh = CommuteTimeEngine::compute(&new, &opts).unwrap();
+        let mut candidate = prev.clone_box();
+        let outcome = candidate
+            .as_updatable()
+            .expect("updatable backend")
+            .apply_delta(&delta)
+            .unwrap();
+        assert!(matches!(outcome, UpdateOutcome::Applied { .. }));
+        assert_eq!(
+            candidate.volume().map(f64::to_bits),
+            fresh.volume().map(f64::to_bits),
+            "volume maintenance must match the fresh build exactly"
+        );
+    }
+}
