@@ -224,6 +224,30 @@ fn main() {
     for (name, h) in cad_obs::histograms::snapshot() {
         report.histograms.insert(name.to_string(), h);
     }
+    for (name, label, cells) in cad_obs::histograms::labeled::snapshot() {
+        for (value, h) in cells {
+            if h.count > 0 {
+                report
+                    .histograms
+                    .insert(format!("{name}{{{label}={value}}}"), h);
+            }
+        }
+    }
+    for (name, value) in cad_obs::gauges::snapshot() {
+        report.gauges.insert(name.to_string(), value);
+    }
+    // The server-side queue-wait distribution, summarized so bench-diff
+    // can gate on its mean like any other wall-time metric.
+    let queue_wait = cad_obs::histograms::SERVE_QUEUE_WAIT_SECS.snapshot();
+    report.summaries.insert(
+        "serve.queue_wait_secs".to_string(),
+        cad_obs::Summary {
+            count: queue_wait.count,
+            sum: queue_wait.sum,
+            min: queue_wait.min,
+            max: queue_wait.max,
+        },
+    );
     report
         .histograms
         .insert("serve.client_push_secs".to_string(), client_hist);

@@ -20,6 +20,7 @@ USAGE:
   cad serve    [--addr <ip:port>] [--workers <n>] [--max-body <bytes>]
                [--max-sessions <n>] [--store-dir <dir>]
                [--update-mode rebuild|incremental|auto]
+               [--access-log <path|->]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
   cad pack     --input <seq.txt> --out <pack.cadpack> [--label <text>]
   cad inspect  --input <pack.cadpack>
@@ -46,7 +47,10 @@ serve    runs the HTTP detection service: POST /v1/sequences creates a
          (JSON edge lists or binary .cadpack edge deltas) and returns
          the transition's anomaly set; GET /metrics, GET /healthz and
          POST /v1/shutdown (graceful drain) round it out. A full worker
-         queue answers 503 + Retry-After instead of queueing unboundedly
+         queue answers 503 + Retry-After instead of queueing unboundedly.
+         --access-log appends one NDJSON line per request (trace id,
+         status, queue wait, latency); GET /v1/debug/trace?limit=N dumps
+         the newest flight-recorder events
 generate writes a synthetic workload (for trying the tool end to end)
 pack     converts a sequence file into a compact checksummed binary
          `.cadpack` (base snapshot + per-transition edge deltas);
@@ -228,6 +232,9 @@ pub enum Command {
         store_dir: Option<String>,
         /// Default oracle lifecycle for new sessions (`--update-mode`).
         update_mode: UpdateModeArg,
+        /// NDJSON access-log destination (`--access-log`): a file path,
+        /// `-` for stderr, disabled when absent.
+        access_log: Option<String>,
     },
     /// Shrink an oracle cache to a byte budget (LRU eviction).
     StoreGc {
@@ -489,6 +496,7 @@ impl Cli {
                     max_sessions: parse_usize("max-sessions", 256)?,
                     store_dir: get("store-dir"),
                     update_mode: parse_update_mode(&flags)?,
+                    access_log: get("access-log"),
                 }
             }
             "store" => {
@@ -768,11 +776,13 @@ mod tests {
                 max_sessions: 256,
                 store_dir: None,
                 update_mode: UpdateModeArg::Rebuild,
+                access_log: None,
             }
         );
         let cli = parse(
             "serve --addr 0.0.0.0:9000 --workers 8 --max-body 1024 \
-             --max-sessions 2 --store-dir cache --update-mode auto",
+             --max-sessions 2 --store-dir cache --update-mode auto \
+             --access-log -",
         )
         .unwrap();
         assert_eq!(
@@ -784,6 +794,7 @@ mod tests {
                 max_sessions: 2,
                 store_dir: Some("cache".into()),
                 update_mode: UpdateModeArg::Auto,
+                access_log: Some("-".into()),
             }
         );
         assert!(parse("serve --workers 0").unwrap_err().contains("workers"));

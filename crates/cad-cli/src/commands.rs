@@ -302,6 +302,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             max_sessions,
             store_dir,
             update_mode: upd,
+            access_log,
         } => {
             let cfg = cad_serve::ServeConfig {
                 addr: addr.clone(),
@@ -310,8 +311,16 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 max_sessions: *max_sessions,
                 store_dir: store_dir.clone().map(std::path::PathBuf::from),
                 update_mode: update_mode(*upd),
+                access_log: access_log.clone(),
                 ..Default::default()
             };
+            // A crash should leave the last-seconds story behind: dump
+            // the flight-recorder ring to stderr before unwinding.
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let _ = cad_obs::recorder().dump(&mut std::io::stderr().lock());
+                default_hook(info);
+            }));
             let server = cad_serve::Server::start(cfg)
                 .map_err(|e| CliError::Usage(format!("cannot start server: {e}")))?;
             writeln!(out, "serving detection API at http://{}", server.addr())?;
@@ -384,6 +393,21 @@ fn build_report(
     report.absorb_snapshot(&cad_obs::global().snapshot());
     for (name, value) in cad_obs::counters::snapshot() {
         report.counters.insert(name.to_string(), value);
+    }
+    for (name, value) in cad_obs::gauges::snapshot() {
+        report.gauges.insert(name.to_string(), value);
+    }
+    for (name, label, values) in cad_obs::labeled::snapshot() {
+        report.labels.insert(
+            name.to_string(),
+            cad_obs::LabelFamily {
+                label: label.to_string(),
+                values: values
+                    .into_iter()
+                    .map(|(value, count)| (value.to_string(), count))
+                    .collect(),
+            },
+        );
     }
     metrics.fill_report(&mut report);
     report.counters.insert(
@@ -559,7 +583,7 @@ mod tests {
         // And the validate-report subcommand accepts it.
         let (code, msg) = run_str(&format!("validate-report --input {report_path}"));
         assert_eq!(code, 0, "{msg}");
-        assert!(msg.contains("valid report (schema_version 2"), "{msg}");
+        assert!(msg.contains("valid report (schema_version 3"), "{msg}");
     }
 
     #[test]

@@ -86,12 +86,17 @@ fn graph_from_ndjson(line: &str) -> Result<WeightedGraph, CliError> {
 }
 
 /// One NDJSON event line for a completed transition (no trailing
-/// newline). Timestamps are Unix epoch milliseconds. `"mode"` is the
-/// oracle path the step actually took (`incremental` or `rebuild`); a
-/// fallback additionally names its trigger in `"fallback"` so a storm
-/// of rebuilds under `--update-mode incremental` is visible in the log.
+/// newline). Timestamps are Unix epoch milliseconds. `"trace_id"` is
+/// the 16-hex id minted for the instance that completed the
+/// transition, matching the flight-recorder events the push emitted.
+/// `"mode"` is the oracle path the step actually took (`incremental`
+/// or `rebuild`); a fallback additionally names its trigger in
+/// `"fallback"` so a storm of rebuilds under `--update-mode
+/// incremental` is visible in the log.
+#[allow(clippy::too_many_arguments)]
 fn event_line(
     ts_ms: u128,
+    trace_id: u64,
     tr: &TransitionAnomalies,
     delta: f64,
     n_scored: usize,
@@ -108,10 +113,12 @@ fn event_line(
         _ => 0.0,
     };
     format!(
-        "{{\"ts_ms\": {ts_ms}, \"t\": {}, \"delta\": {}, \"n_scored\": {}, \
+        "{{\"ts_ms\": {ts_ms}, \"trace_id\": \"{}\", \"t\": {}, \"delta\": {}, \
+         \"n_scored\": {}, \
          \"n_edges\": {}, \"n_nodes\": {}, \"mode\": \"{}\"{fallback}, \
          \"latency\": {{\"build_secs\": {:.6}, \"update_secs\": {:.6}, \
          \"score_secs\": {:.6}, \"total_secs\": {:.6}}}}}",
+        cad_obs::trace::id_hex(trace_id),
         tr.t,
         if delta == f64::MAX {
             "null".to_string()
@@ -150,6 +157,11 @@ pub fn watch_loop(
     let mut instances = 0usize;
     let mut transitions = 0usize;
     for g in source {
+        // Mint a fresh trace per incoming instance so the oracle
+        // update/fallback events this push emits into the flight
+        // recorder share an id with the NDJSON event line below.
+        let trace = cad_obs::TraceCtx::mint(0);
+        let _guard = cad_obs::trace::set_current(trace);
         let (outcome, m) = match g.and_then(|g| Ok(online.push_metered(g)?)) {
             Ok(step) => step,
             Err(CliError::Graph(e)) => {
@@ -171,6 +183,7 @@ pub fn watch_loop(
             health.mark_transition();
             let line = event_line(
                 now_ms(),
+                trace.trace_id,
                 &tr,
                 online.delta(),
                 m.n_scored,
@@ -385,16 +398,29 @@ mod tests {
             edges: Vec::new(),
             nodes: Vec::new(),
         };
-        let line = event_line(1234, &tr, 0.5, 7, StepOracle::Rebuilt, 0.001, 0.0005);
+        let line = event_line(
+            1234,
+            0xdead_beef_0042,
+            &tr,
+            0.5,
+            7,
+            StepOracle::Rebuilt,
+            0.001,
+            0.0005,
+        );
         assert!(!line.contains('\n'));
         let v = cad_obs::parse_json(&line).expect("event parses");
         assert_eq!(v.get("t").and_then(Json::as_u64), Some(3));
         assert_eq!(v.get("n_scored").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            v.get("trace_id").and_then(Json::as_str),
+            Some("0000deadbeef0042")
+        );
         assert_eq!(v.get("mode").and_then(Json::as_str), Some("rebuild"));
         assert!(v.get("fallback").is_none(), "a plain rebuild has no reason");
         assert!(v.get("latency").and_then(|l| l.get("total_secs")).is_some());
         // δ before first calibration serializes as null.
-        let line = event_line(0, &tr, f64::MAX, 0, StepOracle::Rebuilt, 0.0, 0.0);
+        let line = event_line(0, 1, &tr, f64::MAX, 0, StepOracle::Rebuilt, 0.0, 0.0);
         let v = cad_obs::parse_json(&line).expect("parses");
         assert!(matches!(v.get("delta"), Some(Json::Null)));
 
@@ -403,7 +429,7 @@ mod tests {
             update_secs: 0.002,
             changes: 3,
         };
-        let line = event_line(0, &tr, 0.5, 7, step, 0.0, 0.0005);
+        let line = event_line(0, 1, &tr, 0.5, 7, step, 0.0, 0.0005);
         let v = cad_obs::parse_json(&line).expect("parses");
         assert_eq!(v.get("mode").and_then(Json::as_str), Some("incremental"));
         let latency = v.get("latency").unwrap();
@@ -412,7 +438,7 @@ mod tests {
 
         // A fallback names its trigger.
         let step = StepOracle::Fallback(cad_commute::RebuildReason::Structural);
-        let line = event_line(0, &tr, 0.5, 7, step, 0.001, 0.0005);
+        let line = event_line(0, 1, &tr, 0.5, 7, step, 0.001, 0.0005);
         let v = cad_obs::parse_json(&line).expect("parses");
         assert_eq!(v.get("mode").and_then(Json::as_str), Some("rebuild"));
         assert_eq!(v.get("fallback").and_then(Json::as_str), Some("structural"));

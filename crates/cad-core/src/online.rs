@@ -376,6 +376,12 @@ impl OnlineCad {
             Some(Ok((oracle, update_secs, changes))) => {
                 cad_obs::counters::INCREMENTAL_UPDATES.inc();
                 cad_obs::histograms::ORACLE_UPDATE_SECS.observe(update_secs);
+                cad_obs::events::record(
+                    cad_obs::EventKind::Update,
+                    "incremental",
+                    update_secs,
+                    changes as u64,
+                );
                 self.updates_since_build += 1;
                 Ok((
                     oracle,
@@ -387,12 +393,18 @@ impl OnlineCad {
             }
             Some(Err(reason)) => {
                 cad_obs::counters::REBUILD_FALLBACKS.inc();
-                let oracle = self.build_fresh(g)?;
+                cad_obs::labeled::REBUILD_FALLBACKS_BY_REASON.inc(reason.name());
+                cad_obs::events::record(cad_obs::EventKind::Fallback, reason.name(), 0.0, 0);
+                let (oracle, build_secs) = cad_obs::time_it(|| self.build_fresh(g));
+                let oracle = oracle?;
+                cad_obs::events::record(cad_obs::EventKind::Update, "rebuild", build_secs, 0);
                 self.updates_since_build = 0;
                 Ok((oracle, StepOracle::Fallback(reason)))
             }
             None => {
-                let oracle = self.build_fresh(g)?;
+                let (oracle, build_secs) = cad_obs::time_it(|| self.build_fresh(g));
+                let oracle = oracle?;
+                cad_obs::events::record(cad_obs::EventKind::Update, "rebuild", build_secs, 0);
                 self.updates_since_build = 0;
                 Ok((oracle, StepOracle::Rebuilt))
             }

@@ -270,7 +270,8 @@ impl LaplacianSolver {
                 found: (b.len(), 1),
             });
         }
-        match self.kind {
+        let traced = trace_start();
+        let result = match self.kind {
             SolverKind::Regularized(_) => {
                 let out = cg_solve(&self.op, b, self.precond.as_dyn(), cg)?;
                 let stats = out.stats();
@@ -294,7 +295,9 @@ impl LaplacianSolver {
                 self.center_per_component(&mut x);
                 Ok((x, out.stats()))
             }
-        }
+        };
+        trace_finish(traced, &result);
+        result
     }
 
     /// Warm-started solve: like [`LaplacianSolver::solve`], with `x0`
@@ -324,7 +327,8 @@ impl LaplacianSolver {
                 found: (if b.len() != self.n { b.len() } else { x0.len() }, 1),
             });
         }
-        match self.kind {
+        let traced = trace_start();
+        let result = match self.kind {
             SolverKind::Regularized(_) => {
                 let out = cg_solve_from(&self.op, b, x0, self.precond.as_dyn(), self.cg)?;
                 let stats = out.stats();
@@ -347,7 +351,9 @@ impl LaplacianSolver {
                 self.center_per_component(&mut x);
                 Ok((x, out.stats()))
             }
-        }
+        };
+        trace_finish(traced, &result);
+        result
     }
 
     fn center_per_component(&self, x: &mut [f64]) {
@@ -361,6 +367,33 @@ impl LaplacianSolver {
         for (i, v) in x.iter_mut().enumerate() {
             *v -= sums[self.component[i] as usize];
         }
+    }
+}
+
+/// Start flight-recorder timing for one solve, but only when the thread
+/// carries an active request trace — batch runs pay nothing and keep
+/// the ring free for serve-side forensics.
+fn trace_start() -> Option<std::time::Instant> {
+    if cad_obs::trace::current().is_active() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Record the per-solve `laplacian_solve` event (elapsed seconds, PCG
+/// iteration count in `detail`) for a traced solve that succeeded.
+fn trace_finish(
+    start: Option<std::time::Instant>,
+    result: &Result<(Vec<f64>, cad_obs::SolveStats)>,
+) {
+    if let (Some(t0), Ok((_, stats))) = (start, result) {
+        cad_obs::events::record(
+            cad_obs::EventKind::SpanClose,
+            "laplacian_solve",
+            t0.elapsed().as_secs_f64(),
+            stats.iterations as u64,
+        );
     }
 }
 

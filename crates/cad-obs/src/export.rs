@@ -66,10 +66,20 @@ fn prom_f64(v: f64) -> String {
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
-    let base = prom_name(name);
-    out.push_str(&format!("# HELP {base} {help}\n"));
-    out.push_str(&format!("# TYPE {base} histogram\n"));
+/// Append one histogram's sample lines (`_bucket`/`_sum`/`_count`),
+/// optionally tagged with a `key="value"` label pair. The `# TYPE`
+/// header is the caller's job so labeled and unlabeled series of the
+/// same family can share one declaration.
+fn render_histogram_series(
+    out: &mut String,
+    base: &str,
+    label: Option<(&str, &str)>,
+    h: &Histogram,
+) {
+    let tag = match label {
+        Some((k, v)) => format!("{k}=\"{}\",", escape_label(v)),
+        None => String::new(),
+    };
     let mut cumulative = 0u64;
     for i in 0..N_BUCKETS {
         let c = h.bucket_counts()[i];
@@ -79,28 +89,101 @@ fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
         // series are monotone and the final +Inf bucket is always shown.
         if c > 0 || i == N_BUCKETS - 1 {
             out.push_str(&format!(
-                "{base}_bucket{{le=\"{}\"}} {cumulative}\n",
+                "{base}_bucket{{{tag}le=\"{}\"}} {cumulative}\n",
                 prom_f64(bucket_le(i))
             ));
         }
     }
-    out.push_str(&format!("{base}_sum {}\n", prom_f64(h.sum)));
-    out.push_str(&format!("{base}_count {}\n", h.count));
+    let plain_tag = match label {
+        Some((k, v)) => format!("{{{k}=\"{}\"}}", escape_label(v)),
+        None => String::new(),
+    };
+    out.push_str(&format!("{base}_sum{plain_tag} {}\n", prom_f64(h.sum)));
+    out.push_str(&format!("{base}_count{plain_tag} {}\n", h.count));
+}
+
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let base = prom_name(name);
+    out.push_str(&format!("# HELP {base} {help}\n"));
+    out.push_str(&format!("# TYPE {base} histogram\n"));
+    render_histogram_series(out, &base, None, h);
 }
 
 /// Render the live process-wide metric sinks as Prometheus text
 /// (exposition format 0.0.4). Deterministic given a fixed sink state:
-/// well-known counters and histograms print in their stable declaration
-/// order, span paths in BTreeMap (lexicographic) order.
+/// well-known counters, gauges and histograms print in their stable
+/// declaration order (labeled series in label-value declaration order),
+/// span paths in BTreeMap (lexicographic) order.
 pub fn render_prometheus() -> String {
+    let labeled_counters = crate::metrics::labeled::snapshot();
+    let labeled_hists = crate::hist::histograms::labeled::snapshot();
     let mut out = String::new();
     for (name, value) in counters::snapshot() {
         let base = prom_name(name);
         out.push_str(&format!("# TYPE {base}_total counter\n"));
         out.push_str(&format!("{base}_total {value}\n"));
+        // A labeled family with the same name shares this declaration:
+        // the unlabeled series stays the all-values aggregate.
+        for (fam_name, label, cells) in &labeled_counters {
+            if *fam_name != name {
+                continue;
+            }
+            for (val, n) in cells {
+                if *n > 0 {
+                    out.push_str(&format!(
+                        "{base}_total{{{label}=\"{}\"}} {n}\n",
+                        escape_label(val)
+                    ));
+                }
+            }
+        }
+    }
+    // Labeled counter families without an unlabeled sibling.
+    for (fam_name, label, cells) in &labeled_counters {
+        if counters::snapshot().iter().any(|(n, _)| n == fam_name) {
+            continue;
+        }
+        let base = prom_name(fam_name);
+        out.push_str(&format!("# TYPE {base}_total counter\n"));
+        for (val, n) in cells {
+            if *n > 0 {
+                out.push_str(&format!(
+                    "{base}_total{{{label}=\"{}\"}} {n}\n",
+                    escape_label(val)
+                ));
+            }
+        }
+    }
+    for (name, value) in crate::metrics::gauges::snapshot() {
+        let base = prom_name(name);
+        out.push_str(&format!("# TYPE {base} gauge\n"));
+        out.push_str(&format!("{base} {value}\n"));
     }
     for (name, h) in histograms::snapshot() {
         render_histogram(&mut out, name, "log-bucketed value distribution", &h);
+        for (fam_name, label, cells) in &labeled_hists {
+            if *fam_name != name {
+                continue;
+            }
+            for (val, lh) in cells {
+                if lh.count > 0 {
+                    render_histogram_series(&mut out, &prom_name(name), Some((label, val)), lh);
+                }
+            }
+        }
+    }
+    // Labeled histogram families without an unlabeled sibling.
+    for (fam_name, label, cells) in &labeled_hists {
+        if histograms::snapshot().iter().any(|(n, _)| n == fam_name) {
+            continue;
+        }
+        let base = prom_name(fam_name);
+        out.push_str(&format!("# TYPE {base} histogram\n"));
+        for (val, lh) in cells {
+            if lh.count > 0 {
+                render_histogram_series(&mut out, &base, Some((label, val)), lh);
+            }
+        }
     }
     let snap = global().snapshot();
     if !snap.spans.is_empty() {
@@ -365,6 +448,50 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn render_contains_gauges_and_labeled_series() {
+        crate::metrics::gauges::SERVE_QUEUE_DEPTH.set(3);
+        crate::metrics::labeled::REBUILD_FALLBACKS_BY_REASON.inc("structural");
+        crate::histograms::labeled::SERVE_PUSH_SECS_BY_ENGINE.observe("exact", 0.01);
+        let text = render_prometheus();
+        assert!(
+            text.contains("# TYPE cad_serve_queue_depth gauge"),
+            "{text}"
+        );
+        assert!(text.contains("cad_serve_queue_depth 3"), "{text}");
+        assert!(!text.contains("cad_serve_queue_depth_total"), "{text}");
+        assert!(
+            text.contains("cad_commute_rebuild_fallbacks_total{reason=\"structural\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cad_serve_push_secs_bucket{engine=\"exact\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cad_serve_push_secs_count{engine=\"exact\"} 1"),
+            "{text}"
+        );
+        // One TYPE declaration per family, even with labeled siblings.
+        let fallback_types = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE cad_commute_rebuild_fallbacks_total"))
+            .count();
+        assert_eq!(fallback_types, 1);
+        let push_types = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE cad_serve_push_secs"))
+            .count();
+        assert_eq!(push_types, 1);
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+        crate::metrics::gauges::SERVE_QUEUE_DEPTH.reset();
     }
 
     #[test]

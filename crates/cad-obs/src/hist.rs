@@ -334,6 +334,9 @@ pub mod histograms {
     /// `cad serve`: wall-clock seconds per remaining endpoint (status,
     /// delete, healthz, metrics).
     pub static SERVE_ADMIN_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// `cad serve`: seconds an accepted connection waited in the worker
+    /// queue before a worker picked it up.
+    pub static SERVE_QUEUE_WAIT_SECS: AtomicHistogram = AtomicHistogram::new();
 
     /// Snapshot of every well-known histogram, keyed by its stable
     /// report name.
@@ -348,6 +351,7 @@ pub mod histograms {
             ("serve_push_secs", SERVE_PUSH_SECS.snapshot()),
             ("serve_create_secs", SERVE_CREATE_SECS.snapshot()),
             ("serve_admin_secs", SERVE_ADMIN_SECS.snapshot()),
+            ("serve_queue_wait_secs", SERVE_QUEUE_WAIT_SECS.snapshot()),
         ]
     }
 
@@ -362,6 +366,98 @@ pub mod histograms {
         SERVE_PUSH_SECS.reset();
         SERVE_CREATE_SECS.reset();
         SERVE_ADMIN_SECS.reset();
+        SERVE_QUEUE_WAIT_SECS.reset();
+        labeled::reset_all();
+    }
+
+    /// Labeled histogram families: one [`AtomicHistogram`] per allowed
+    /// label value, cardinality fixed at compile time (the same bounded
+    /// discipline as [`crate::metrics::LabeledCounters`]). The family
+    /// name may coincide with an unlabeled histogram's — the Prometheus
+    /// renderer groups both under one `# TYPE` declaration.
+    pub mod labeled {
+        use super::{AtomicHistogram, Histogram};
+
+        /// `serve_push_secs` split by the oracle backend that served
+        /// the push (`engine` label). The unlabeled sibling remains the
+        /// all-engines aggregate.
+        pub struct LabeledHistograms<const N: usize> {
+            /// Base metric name (exposition key).
+            pub name: &'static str,
+            /// The label key (e.g. `engine`).
+            pub label: &'static str,
+            /// Allowed label values; the last entry is the catch-all.
+            pub values: [&'static str; N],
+            cells: [AtomicHistogram; N],
+        }
+
+        impl<const N: usize> LabeledHistograms<N> {
+            /// An empty family (const, for statics).
+            pub const fn new(
+                name: &'static str,
+                label: &'static str,
+                values: [&'static str; N],
+            ) -> Self {
+                LabeledHistograms {
+                    name,
+                    label,
+                    values,
+                    cells: [const { AtomicHistogram::new() }; N],
+                }
+            }
+
+            /// Record one sample under `value` (the trailing catch-all
+            /// when `value` is not in the set).
+            pub fn observe(&self, value: &str, v: f64) {
+                let idx = self
+                    .values
+                    .iter()
+                    .position(|&n| n == value)
+                    .unwrap_or(N - 1);
+                self.cells[idx].observe(v);
+            }
+
+            /// Point-in-time copy per label value, declaration order.
+            pub fn snapshot(&self) -> Vec<(&'static str, Histogram)> {
+                self.values
+                    .iter()
+                    .zip(&self.cells)
+                    .map(|(&v, c)| (v, c.snapshot()))
+                    .collect()
+            }
+
+            /// Zero every cell.
+            pub fn reset(&self) {
+                for c in &self.cells {
+                    c.reset();
+                }
+            }
+        }
+
+        /// Push latency by oracle backend.
+        pub static SERVE_PUSH_SECS_BY_ENGINE: LabeledHistograms<5> = LabeledHistograms::new(
+            "serve_push_secs",
+            "engine",
+            ["exact", "embedding", "shortest-path", "corrected", "other"],
+        );
+
+        /// One labeled histogram family:
+        /// `(name, label, [(value, histogram)...])`.
+        pub type FamilySnapshot = (&'static str, &'static str, Vec<(&'static str, Histogram)>);
+
+        /// Every labeled histogram family.
+        pub fn snapshot() -> Vec<FamilySnapshot> {
+            vec![(
+                SERVE_PUSH_SECS_BY_ENGINE.name,
+                SERVE_PUSH_SECS_BY_ENGINE.label,
+                SERVE_PUSH_SECS_BY_ENGINE.snapshot(),
+            )]
+        }
+
+        /// Zero every labeled histogram family.
+        pub fn reset_all() {
+            SERVE_PUSH_SECS_BY_ENGINE.reset();
+        }
     }
 }
 
@@ -492,9 +588,27 @@ mod tests {
                 "pack_io_secs",
                 "serve_push_secs",
                 "serve_create_secs",
-                "serve_admin_secs"
+                "serve_admin_secs",
+                "serve_queue_wait_secs"
             ]
         );
+    }
+
+    #[test]
+    fn labeled_histograms_route_by_value_with_catch_all() {
+        use histograms::labeled::LabeledHistograms;
+        static FAM: LabeledHistograms<3> =
+            LabeledHistograms::new("test_secs", "engine", ["exact", "embedding", "other"]);
+        FAM.observe("exact", 0.5);
+        FAM.observe("exact", 1.0);
+        FAM.observe("unlisted-backend", 2.0);
+        let snap = FAM.snapshot();
+        assert_eq!(snap[0].0, "exact");
+        assert_eq!(snap[0].1.count, 2);
+        assert_eq!(snap[1].1.count, 0);
+        assert_eq!(snap[2].1.count, 1);
+        FAM.reset();
+        assert!(FAM.snapshot().iter().all(|(_, h)| h.count == 0));
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! * [`hist`] — log-bucketed latency/value [`Histogram`]s: a
 //!   deterministic value type for reports and a lock-free
 //!   [`AtomicHistogram`] twin backing the live `/metrics` exporter.
+//! * [`trace`] — per-request [`TraceCtx`] (trace id + session id +
+//!   explicit child-span stack) installed thread-locally by `cad-serve`
+//!   and read back by every layer below for event attribution.
+//! * [`events`] — the lock-free bounded flight recorder: a fixed-size
+//!   ring of structured [`EventRecord`]s (span open/close, errors,
+//!   fallbacks, evictions) with overwrite-oldest semantics and an
+//!   explicit dropped counter, serving `GET /v1/debug/trace`.
 //! * [`http`] — shared hand-rolled HTTP/1.1 plumbing (request parsing
 //!   with header/body caps, timeouts, keep-alive, structured error
 //!   bodies) used by the `/metrics` exporter and the `cad-serve`
@@ -34,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod events;
 pub mod export;
 pub mod hist;
 pub mod http;
@@ -43,21 +51,30 @@ pub mod progress;
 pub mod report;
 pub mod span;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{time_it, time_mean};
+pub use events::{recorder, EventKind, EventRecord, RingSnapshot, RING_CAPACITY};
 pub use export::{render_prometheus, MetricsServer, WatchHealth};
 pub use hist::{histograms, AtomicHistogram, Histogram};
 pub use json::{parse as parse_json, Json};
-pub use metrics::{counters, global, FastCounter, MetricsSnapshot, Registry, SpanStat};
+pub use metrics::{
+    counters, gauges, global, labeled, FastCounter, Gauge, LabeledCounters, MetricsSnapshot,
+    Registry, SpanStat,
+};
 pub use progress::{set_verbosity, verbosity, Verbosity};
-pub use report::{HostInfo, InstanceReport, Report, SolveReport, TransitionReport, SCHEMA_VERSION};
+pub use report::{
+    HostInfo, InstanceReport, LabelFamily, Report, SolveReport, TransitionReport, SCHEMA_VERSION,
+};
 pub use span::SpanGuard;
 pub use stats::{OracleBuildStats, SolveStats, Summary};
+pub use trace::{TraceCtx, TraceGuard, TraceSpan};
 
 /// Reset every process-wide metric sink: the [`global`] registry
 /// (spans, named counters, summaries), all well-known
-/// [`counters`](metrics::counters), and all well-known
-/// [`histograms`](hist::histograms).
+/// [`counters`](metrics::counters), [`gauges`](metrics::gauges) and
+/// labeled families, all well-known [`histograms`](hist::histograms)
+/// (labeled included), and the flight-recorder ring.
 ///
 /// Intended for single-process CLI runs that execute several cases
 /// back-to-back, and for integration tests that assert on global
@@ -66,5 +83,8 @@ pub use stats::{OracleBuildStats, SolveStats, Summary};
 pub fn reset() {
     global().reset();
     counters::reset_all();
+    gauges::reset_all();
+    labeled::reset_all();
     histograms::reset_all();
+    events::recorder().reset();
 }

@@ -42,9 +42,8 @@ impl FastCounter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Subtract `n` (for the few gauge-like counters such as
-    /// `serve.sessions_active`; callers must keep adds and subs
-    /// balanced — this does not saturate).
+    /// Subtract `n` (callers must keep adds and subs balanced — this
+    /// does not saturate; prefer [`Gauge`] for level-style metrics).
     #[inline]
     pub fn sub(&self, n: u64) {
         self.0.fetch_sub(n, Ordering::Relaxed);
@@ -100,9 +99,6 @@ pub mod counters {
     /// Connections answered `503` because the serve worker queue was
     /// full (the backpressure contract).
     pub static SERVE_REJECTED_BACKPRESSURE: FastCounter = FastCounter::new();
-    /// Detection sessions currently alive in `cad serve` (gauge-like:
-    /// increments on create, decrements on delete/TTL-sweep).
-    pub static SERVE_SESSIONS_ACTIVE: FastCounter = FastCounter::new();
 
     /// Snapshot of every well-known counter, keyed by its stable report
     /// name.
@@ -123,7 +119,6 @@ pub mod counters {
                 "serve.rejected_backpressure",
                 SERVE_REJECTED_BACKPRESSURE.get(),
             ),
-            ("serve.sessions_active", SERVE_SESSIONS_ACTIVE.get()),
         ]
     }
 
@@ -141,7 +136,176 @@ pub mod counters {
         STORE_BYTES_READ.reset();
         SERVE_REQUESTS.reset();
         SERVE_REJECTED_BACKPRESSURE.reset();
+    }
+}
+
+/// A lock-free level metric: a nonnegative quantity that goes up *and*
+/// down (queue depth, in-flight requests, live sessions). Rendered as a
+/// Prometheus `gauge` (no `_total` suffix) and reported in the `gauges`
+/// section of report v3.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge (const, for statics).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Raise the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower the level by one. Callers keep incs and decs balanced;
+    /// like [`FastCounter::sub`] this does not saturate.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set the level outright.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge (test isolation).
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Well-known live gauges, maintained by `cad-serve`.
+pub mod gauges {
+    use super::Gauge;
+
+    /// Accepted connections waiting for a worker.
+    pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new();
+    /// Requests currently inside the router.
+    pub static SERVE_INFLIGHT_REQUESTS: Gauge = Gauge::new();
+    /// Detection sessions currently alive (incremented on create,
+    /// decremented on delete/TTL-sweep).
+    pub static SERVE_SESSIONS_ACTIVE: Gauge = Gauge::new();
+
+    /// Snapshot of every well-known gauge, keyed by its stable report
+    /// name.
+    pub fn snapshot() -> Vec<(&'static str, u64)> {
+        vec![
+            ("serve.queue_depth", SERVE_QUEUE_DEPTH.get()),
+            ("serve.inflight_requests", SERVE_INFLIGHT_REQUESTS.get()),
+            ("serve.sessions_active", SERVE_SESSIONS_ACTIVE.get()),
+        ]
+    }
+
+    /// Zero every well-known gauge.
+    pub fn reset_all() {
+        SERVE_QUEUE_DEPTH.reset();
+        SERVE_INFLIGHT_REQUESTS.reset();
         SERVE_SESSIONS_ACTIVE.reset();
+    }
+}
+
+/// A counter family split by one bounded label: `N` lock-free cells,
+/// one per allowed label value. Cardinality is fixed at compile time —
+/// the defence against label explosions (DESIGN.md §12); values outside
+/// the set land in the mandatory trailing `"other"` cell.
+#[derive(Debug)]
+pub struct LabeledCounters<const N: usize> {
+    /// Base metric name (report/exposition key, dotted form).
+    pub name: &'static str,
+    /// The label key (e.g. `reason`).
+    pub label: &'static str,
+    /// Allowed label values; the last entry is the catch-all.
+    pub values: [&'static str; N],
+    cells: [FastCounter; N],
+}
+
+impl<const N: usize> LabeledCounters<N> {
+    /// A zeroed family (const, for statics).
+    pub const fn new(name: &'static str, label: &'static str, values: [&'static str; N]) -> Self {
+        LabeledCounters {
+            name,
+            label,
+            values,
+            cells: [const { FastCounter::new() }; N],
+        }
+    }
+
+    /// Add one to the cell for `value` (the trailing catch-all when
+    /// `value` is not in the set).
+    pub fn inc(&self, value: &str) {
+        let idx = self
+            .values
+            .iter()
+            .position(|&v| v == value)
+            .unwrap_or(N - 1);
+        self.cells[idx].inc();
+    }
+
+    /// Current count per label value, in declaration order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.values
+            .iter()
+            .zip(&self.cells)
+            .map(|(&v, c)| (v, c.get()))
+            .collect()
+    }
+
+    /// Zero every cell.
+    pub fn reset(&self) {
+        for c in &self.cells {
+            c.reset();
+        }
+    }
+}
+
+/// Well-known labeled counter families.
+pub mod labeled {
+    use super::LabeledCounters;
+
+    /// Rebuild fallbacks split by [`RebuildReason`] name — the
+    /// per-cause view of `commute.rebuild_fallbacks`.
+    pub static REBUILD_FALLBACKS_BY_REASON: LabeledCounters<5> = LabeledCounters::new(
+        "commute.rebuild_fallbacks",
+        "reason",
+        [
+            "structural",
+            "degenerate",
+            "unsupported",
+            "refresh",
+            "other",
+        ],
+    );
+
+    /// One labeled counter family in the exposition/report feed:
+    /// `(name, label, [(value, count)...])`.
+    pub type FamilySnapshot = (&'static str, &'static str, Vec<(&'static str, u64)>);
+
+    /// Every labeled counter family.
+    pub fn snapshot() -> Vec<FamilySnapshot> {
+        vec![(
+            REBUILD_FALLBACKS_BY_REASON.name,
+            REBUILD_FALLBACKS_BY_REASON.label,
+            REBUILD_FALLBACKS_BY_REASON.snapshot(),
+        )]
+    }
+
+    /// Zero every labeled counter family.
+    pub fn reset_all() {
+        REBUILD_FALLBACKS_BY_REASON.reset();
     }
 }
 
@@ -259,10 +423,48 @@ mod tests {
                 "store.cache_misses",
                 "store.bytes_read",
                 "serve.requests",
-                "serve.rejected_backpressure",
+                "serve.rejected_backpressure"
+            ]
+        );
+    }
+
+    #[test]
+    fn well_known_gauges_have_stable_names() {
+        let names: Vec<&str> = gauges::snapshot().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "serve.queue_depth",
+                "serve.inflight_requests",
                 "serve.sessions_active"
             ]
         );
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn labeled_counters_route_by_value_with_catch_all() {
+        static FAM: LabeledCounters<3> =
+            LabeledCounters::new("test.family", "cause", ["a", "b", "other"]);
+        FAM.inc("a");
+        FAM.inc("a");
+        FAM.inc("b");
+        FAM.inc("never-declared");
+        assert_eq!(FAM.snapshot(), vec![("a", 2), ("b", 1), ("other", 1)]);
+        FAM.reset();
+        assert!(FAM.snapshot().iter().all(|&(_, n)| n == 0));
     }
 
     #[test]

@@ -23,10 +23,14 @@ use std::collections::BTreeMap;
 /// v1 (PR 2): phases/counters/summaries/instances/transitions/solves.
 /// v2 (PR 3): adds the `histograms` section (log-bucketed latency and
 /// convergence distributions with p50/p90/p99).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3 (PR 7): adds the `gauges` section (point-in-time levels such as
+/// queue depth) and the `labels` section (labeled counter families such
+/// as `commute.rebuild_fallbacks` split by reason).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version `validate-report` still accepts. Reports
-/// emitted at v1 simply lack the `histograms` section.
+/// emitted at v1 simply lack the `histograms` section; v1/v2 reports
+/// lack `gauges` and `labels`.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Host description captured into every report.
@@ -89,6 +93,16 @@ pub struct TransitionReport {
     pub score: Summary,
 }
 
+/// One labeled-counter family in the report (schema v3+): the label key
+/// plus the per-value cells, e.g. `{label: "reason", values: {"structural": 2}}`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LabelFamily {
+    /// The label key (e.g. `"reason"`, `"engine"`).
+    pub label: String,
+    /// Counter value per label value, sorted by label value.
+    pub values: BTreeMap<String, u64>,
+}
+
 /// Convergence record of one solve, with its pipeline context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
@@ -119,6 +133,11 @@ pub struct Report {
     pub summaries: BTreeMap<String, Summary>,
     /// Named value distributions (schema v2+; empty for v1 documents).
     pub histograms: BTreeMap<String, Histogram>,
+    /// Point-in-time level metrics (schema v3+; empty for older
+    /// documents). Captured at report-emission time.
+    pub gauges: BTreeMap<String, u64>,
+    /// Labeled counter families (schema v3+; empty for older documents).
+    pub labels: BTreeMap<String, LabelFamily>,
     /// Per-instance oracle-build records.
     pub instances: Vec<InstanceReport>,
     /// Per-transition scoring records.
@@ -138,6 +157,8 @@ impl Report {
             counters: BTreeMap::new(),
             summaries: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            labels: BTreeMap::new(),
             instances: Vec::new(),
             transitions: Vec::new(),
             solves: Vec::new(),
@@ -212,6 +233,40 @@ impl Report {
                     self.histograms
                         .iter()
                         .map(|(k, h)| (k.clone(), histogram_json(h)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "labels",
+                Json::Obj(
+                    self.labels
+                        .iter()
+                        .map(|(k, fam)| {
+                            (
+                                k.clone(),
+                                Json::obj(vec![
+                                    ("label", Json::Str(fam.label.clone())),
+                                    (
+                                        "values",
+                                        Json::Obj(
+                                            fam.values
+                                                .iter()
+                                                .map(|(v, c)| (v.clone(), Json::Num(*c as f64)))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ]),
+                            )
+                        })
                         .collect(),
                 ),
             ),
@@ -316,6 +371,19 @@ impl Report {
                 histograms.insert(k.clone(), histogram_from_json(h)?);
             }
         }
+        // Absent in v1/v2 documents: default to empty sections.
+        let mut gauges = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = v.get("gauges") {
+            for (k, n) in pairs {
+                gauges.insert(k.clone(), n.as_u64().ok_or("gauge not a u64")?);
+            }
+        }
+        let mut labels = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = v.get("labels") {
+            for (k, fam) in pairs {
+                labels.insert(k.clone(), label_family_from_json(fam)?);
+            }
+        }
         let instances = v
             .get("instances")
             .and_then(Json::as_arr)
@@ -414,6 +482,8 @@ impl Report {
             counters,
             summaries,
             histograms,
+            gauges,
+            labels,
             instances,
             transitions,
             solves,
@@ -510,6 +580,40 @@ impl Report {
             None => {
                 if version.is_some_and(|ver| ver >= 2) {
                     need("histograms", false, "missing object (required from v2)");
+                }
+            }
+        }
+        // `gauges` and `labels` are required from v3 on; tolerated if
+        // present in older documents (fields are only ever added).
+        match v.get("gauges") {
+            Some(Json::Obj(pairs)) => {
+                for (k, n) in pairs {
+                    need(
+                        &format!("gauges.{k}"),
+                        n.as_u64().is_some(),
+                        "not an integer",
+                    );
+                }
+            }
+            Some(_) => need("gauges", false, "not an object"),
+            None => {
+                if version.is_some_and(|ver| ver >= 3) {
+                    need("gauges", false, "missing object (required from v3)");
+                }
+            }
+        }
+        match v.get("labels") {
+            Some(Json::Obj(pairs)) => {
+                for (k, fam) in pairs {
+                    if let Err(e) = label_family_from_json(fam) {
+                        need(&format!("labels.{k}"), false, &e);
+                    }
+                }
+            }
+            Some(_) => need("labels", false, "not an object"),
+            None => {
+                if version.is_some_and(|ver| ver >= 3) {
+                    need("labels", false, "missing object (required from v3)");
                 }
             }
         }
@@ -694,6 +798,21 @@ impl Report {
                 out.push_str(&format!("  {k:<28} {v}\n"));
             }
         }
+        if !self.gauges.is_empty() {
+            out.push_str("\n== gauges (at emission) ==\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<28} {v}\n"));
+            }
+        }
+        if !self.labels.is_empty() {
+            out.push_str("\n== labeled counters ==\n");
+            for (k, fam) in &self.labels {
+                for (val, c) in &fam.values {
+                    let cell = format!("{k}{{{}={val}}}", fam.label);
+                    out.push_str(&format!("  {cell:<40} {c}\n"));
+                }
+            }
+        }
         out
     }
 }
@@ -809,6 +928,28 @@ fn histogram_from_json(v: &Json) -> Result<Histogram, String> {
     Ok(h)
 }
 
+fn label_family_from_json(v: &Json) -> Result<LabelFamily, String> {
+    let label = v
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("label family missing `label` string")?
+        .to_string();
+    let mut values = BTreeMap::new();
+    match v.get("values") {
+        Some(Json::Obj(pairs)) => {
+            for (k, n) in pairs {
+                values.insert(
+                    k.clone(),
+                    n.as_u64()
+                        .ok_or_else(|| format!("label value `{k}` not a u64"))?,
+                );
+            }
+        }
+        _ => return Err("label family missing `values` object".into()),
+    }
+    Ok(LabelFamily { label, values })
+}
+
 fn summary_from_json(v: &Json) -> Result<Summary, String> {
     let count = v
         .get("count")
@@ -862,6 +1003,17 @@ mod tests {
             Histogram::of([10.0, 12.0, 12.0, 40.0]),
         );
         r.histograms.insert("empty_series".into(), Histogram::new());
+        r.gauges.insert("serve.queue_depth".into(), 2);
+        r.gauges.insert("serve.sessions_active".into(), 1);
+        r.labels.insert(
+            "commute.rebuild_fallbacks".into(),
+            LabelFamily {
+                label: "reason".into(),
+                values: [("structural".to_string(), 2), ("degenerate".to_string(), 1)]
+                    .into_iter()
+                    .collect(),
+            },
+        );
         r.instances.push(InstanceReport {
             t: 0,
             backend: "embedding".into(),
@@ -941,6 +1093,67 @@ mod tests {
         let v2 = crate::json::parse(&text2).unwrap();
         let errs = Report::validate_json(&v2).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("histograms")), "{errs:?}");
+    }
+
+    #[test]
+    fn validation_accepts_v2_without_gauges_and_labels() {
+        // A v2 document predates the gauges/labels sections and must
+        // still pass; the parser defaults them to empty.
+        let mut r = sample();
+        r.schema_version = 2;
+        let text = r
+            .to_json_string()
+            .replacen("\"gauges\": {", "\"gauges_gone\": {", 1)
+            .replacen("\"labels\": {", "\"labels_gone\": {", 1);
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(Report::validate_json(&v), Ok(()));
+        let back = Report::from_json(&v).unwrap();
+        assert!(back.gauges.is_empty());
+        assert!(back.labels.is_empty());
+
+        // The same document claiming v3 is rejected: both sections are
+        // required from v3 on.
+        let text3 = text.replacen("\"schema_version\": 2", "\"schema_version\": 3", 1);
+        let v3 = crate::json::parse(&text3).unwrap();
+        let errs = Report::validate_json(&v3).unwrap_err();
+        assert!(errs.iter().any(|e| e.starts_with("gauges")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("labels")), "{errs:?}");
+    }
+
+    #[test]
+    fn gauges_and_labels_round_trip_and_reject_corruption() {
+        let r = sample();
+        let text = r.to_json_string();
+        let back = Report::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.gauges["serve.queue_depth"], 2);
+        assert_eq!(
+            back.labels["commute.rebuild_fallbacks"].values["structural"],
+            2
+        );
+
+        // A non-integer gauge is a schema error attributed to its key.
+        let bad = text.replacen(
+            "\"serve.queue_depth\": 2",
+            "\"serve.queue_depth\": \"two\"",
+            1,
+        );
+        let v = crate::json::parse(&bad).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("gauges.serve.queue_depth")),
+            "{errs:?}"
+        );
+
+        // A label family without its `values` object is rejected.
+        let bad2 = text.replacen("\"values\": {", "\"values_gone\": {", 1);
+        let v2 = crate::json::parse(&bad2).unwrap();
+        let errs = Report::validate_json(&v2).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("labels.commute.rebuild_fallbacks")),
+            "{errs:?}"
+        );
+        assert!(Report::from_json(&v2).is_err());
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Request-scoped trace context.
+//!
+//! `cad-serve` mints one [`TraceCtx`] per request and installs it on the
+//! worker thread for the duration of the handler ([`set_current`]). Every
+//! layer below — `cad-core`'s online detector, `cad-commute`'s
+//! incremental updates, `cad-linalg`'s Laplacian solves — reads the
+//! ambient context back with [`current`] when it records a flight-recorder
+//! event ([`crate::events`]), so per-request attribution needs no
+//! signature changes through the stack. Sessions pin their detector to
+//! one thread (`threads: 1`), so everything a push does happens on the
+//! thread that installed its context.
+//!
+//! Alongside the ids, the context tracks an **explicit child-span stack**
+//! per thread: [`TraceSpan`] pushes a static name on enter and pops it on
+//! drop, emitting paired [`EventKind::SpanOpen`]/[`EventKind::SpanClose`]
+//! records stamped with the ambient trace. This is deliberately separate
+//! from [`crate::span!`]: spans feed the *aggregate* registry (which must
+//! stay deterministic), the trace stack feeds the *forensic* ring (which
+//! is sanctioned wall-clock/nondeterministic territory).
+//!
+//! Trace ids are 64-bit, nonzero, and intentionally nondeterministic
+//! (process seed mixed with a global counter); id `0` means "no trace"
+//! and is what batch CLI runs observe. The wire form is 16 lowercase hex
+//! digits ([`TraceCtx::id_hex`]).
+
+use crate::events::EventKind;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The identity of one in-flight request: trace id plus owning session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Nonzero per-request id; `0` = no active trace.
+    pub trace_id: u64,
+    /// The session the request addresses (`0` when none).
+    pub session_id: u64,
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; good dispersion from a
+/// sequential counter, no external dependencies.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Process-wide mint state: a seed derived from the clock on first use
+/// plus a monotone counter, so ids are unique within a process and
+/// almost surely unique across restarts.
+static MINT_SEED: AtomicU64 = AtomicU64::new(0);
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TraceCtx {
+    /// The absent context (trace id 0).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        session_id: 0,
+    };
+
+    /// Is a real trace attached?
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Mint a fresh, nonzero trace id for a request against
+    /// `session_id` (use `0` for requests outside any session).
+    pub fn mint(session_id: u64) -> TraceCtx {
+        let mut seed = MINT_SEED.load(Ordering::Relaxed);
+        if seed == 0 {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5eed);
+            seed = splitmix64(nanos) | 1;
+            // First caller wins; everyone re-reads the published seed.
+            let _ = MINT_SEED.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+            seed = MINT_SEED.load(Ordering::Relaxed);
+        }
+        let n = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut id = splitmix64(seed ^ n.wrapping_mul(0x2545f4914f6cdd1d));
+        if id == 0 {
+            id = 1;
+        }
+        TraceCtx {
+            trace_id: id,
+            session_id,
+        }
+    }
+
+    /// The wire form of the trace id: exactly 16 lowercase hex digits
+    /// (the `X-Cad-Trace-Id` header and access-log/event value).
+    pub fn id_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+}
+
+/// Render any trace id in the 16-hex-digit wire form.
+pub fn id_hex(trace_id: u64) -> String {
+    format!("{trace_id:016x}")
+}
+
+thread_local! {
+    static CURRENT: RefCell<TraceState> = const {
+        RefCell::new(TraceState { ctx: TraceCtx::NONE, spans: Vec::new() })
+    };
+}
+
+struct TraceState {
+    ctx: TraceCtx,
+    /// Explicit child-span stack of the active trace (static names,
+    /// slash-joined for event records).
+    spans: Vec<&'static str>,
+}
+
+/// The context installed on this thread (`TraceCtx::NONE` outside a
+/// request).
+pub fn current() -> TraceCtx {
+    CURRENT.with(|s| s.borrow().ctx)
+}
+
+/// The slash-joined child-span stack of the current trace (empty string
+/// at request top level).
+pub fn span_path() -> String {
+    CURRENT.with(|s| s.borrow().spans.join("/"))
+}
+
+/// Install `ctx` as this thread's ambient trace for the guard's
+/// lifetime; the previous context (and span stack) is restored on drop,
+/// so nested installs compose.
+pub fn set_current(ctx: TraceCtx) -> TraceGuard {
+    let prev = CURRENT.with(|s| {
+        let mut state = s.borrow_mut();
+        let prev = (state.ctx, std::mem::take(&mut state.spans));
+        state.ctx = ctx;
+        prev
+    });
+    TraceGuard { prev: Some(prev) }
+}
+
+/// RAII restore for [`set_current`].
+#[derive(Debug)]
+pub struct TraceGuard {
+    #[allow(clippy::type_complexity)]
+    prev: Option<(TraceCtx, Vec<&'static str>)>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some((ctx, spans)) = self.prev.take() {
+            CURRENT.with(|s| {
+                let mut state = s.borrow_mut();
+                state.ctx = ctx;
+                state.spans = spans;
+            });
+        }
+    }
+}
+
+/// A child span of the ambient trace: pushes `name` onto the explicit
+/// span stack and emits a [`EventKind::SpanOpen`] record; the matching
+/// [`EventKind::SpanClose`] (carrying the elapsed seconds) is emitted on
+/// drop. Use for forensic, per-request timing; use [`crate::span!`] for
+/// the deterministic aggregate registry.
+#[derive(Debug)]
+pub struct TraceSpan {
+    name: &'static str,
+    start: Instant,
+}
+
+impl TraceSpan {
+    /// Open a child span named `name` on the current trace.
+    pub fn enter(name: &'static str) -> TraceSpan {
+        CURRENT.with(|s| s.borrow_mut().spans.push(name));
+        crate::events::record(EventKind::SpanOpen, name, 0.0, 0);
+        TraceSpan {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        CURRENT.with(|s| {
+            let mut state = s.borrow_mut();
+            if state.spans.last() == Some(&self.name) {
+                state.spans.pop();
+            }
+        });
+        crate::events::record(EventKind::SpanClose, self.name, secs, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = TraceCtx::mint(1);
+        let b = TraceCtx::mint(1);
+        assert!(a.is_active() && b.is_active());
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.session_id, 1);
+        assert!(!TraceCtx::NONE.is_active());
+    }
+
+    #[test]
+    fn id_hex_is_sixteen_lowercase_hex_digits() {
+        let ctx = TraceCtx {
+            trace_id: 0xABC,
+            session_id: 0,
+        };
+        assert_eq!(ctx.id_hex(), "0000000000000abc");
+        let minted = TraceCtx::mint(0).id_hex();
+        assert_eq!(minted.len(), 16);
+        assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(!minted.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn guard_installs_and_restores_with_nesting() {
+        assert_eq!(current(), TraceCtx::NONE);
+        let outer = TraceCtx::mint(7);
+        {
+            let _g = set_current(outer);
+            assert_eq!(current(), outer);
+            {
+                let inner = TraceCtx::mint(8);
+                let _g2 = set_current(inner);
+                assert_eq!(current(), inner);
+            }
+            assert_eq!(current(), outer);
+        }
+        assert_eq!(current(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn trace_spans_maintain_the_child_stack() {
+        let _g = set_current(TraceCtx::mint(1));
+        assert_eq!(span_path(), "");
+        {
+            let _a = TraceSpan::enter("push");
+            assert_eq!(span_path(), "push");
+            {
+                let _b = TraceSpan::enter("oracle_update");
+                assert_eq!(span_path(), "push/oracle_update");
+            }
+            assert_eq!(span_path(), "push");
+        }
+        assert_eq!(span_path(), "");
+    }
+
+    #[test]
+    fn fresh_threads_have_no_trace() {
+        let _g = set_current(TraceCtx::mint(3));
+        let seen = std::thread::spawn(current).join().unwrap();
+        assert_eq!(seen, TraceCtx::NONE);
+    }
+}

@@ -15,16 +15,43 @@
 //! | `DELETE` | `/v1/sequences/{id}` | drop the session |
 //! | `GET` | `/healthz` | liveness probe |
 //! | `GET` | `/metrics` | Prometheus text exposition |
+//! | `GET` | `/v1/debug/trace` | flight-recorder snapshot (`?limit=N`) |
 //! | `POST` | `/v1/shutdown` | request graceful drain |
+//!
+//! Every request is minted a [`cad_obs::TraceCtx`] installed for the
+//! handler's duration, echoed back as `X-Cad-Trace-Id`, and stamped on
+//! every flight-recorder event the layers below emit.
 
 use crate::server::Shutdown;
 use crate::session::{parse_spec, CreateError, Session, SessionMap};
 use cad_commute::OracleProvider;
 use cad_core::{OnlineStepMetrics, StepOracle, TransitionAnomalies};
 use cad_graph::{GraphError, WeightedGraph};
+use cad_obs::events::EventKind;
 use cad_obs::http::{error_body, Request};
 use cad_obs::Json;
 use std::sync::Arc;
+
+/// Request attribution the server's access log needs back from the
+/// handler: everything here is observability-only (wall-times and
+/// trace ids — the sanctioned nondeterminism) and never feeds the
+/// anomaly path.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseMeta {
+    /// The trace id minted for the request (0 when routed outside the
+    /// traced entry point).
+    pub trace_id: u64,
+    /// Session id the request addressed (0 when none).
+    pub session_id: u64,
+    /// Handler wall-clock seconds (excludes parse and socket writes).
+    pub handler_secs: f64,
+    /// `"incremental"` / `"rebuild"` for snapshot pushes.
+    pub update_mode: Option<&'static str>,
+    /// Fallback reason name when a push declined an incremental update.
+    pub fallback: Option<&'static str>,
+    /// Oracle backend that served a push (labels `serve_push_secs`).
+    pub engine: Option<&'static str>,
+}
 
 /// A response ready for [`cad_obs::http::write_response`].
 pub struct Response {
@@ -36,6 +63,8 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Extra headers (e.g. `Retry-After`).
     pub extra: Vec<(&'static str, String)>,
+    /// Access-log attribution fields.
+    pub meta: ResponseMeta,
 }
 
 impl Response {
@@ -47,6 +76,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             extra: Vec::new(),
+            meta: ResponseMeta::default(),
         }
     }
 
@@ -56,6 +86,7 @@ impl Response {
             content_type: "application/json",
             body: error_body(code, message).into_bytes(),
             extra: Vec::new(),
+            meta: ResponseMeta::default(),
         }
     }
 }
@@ -159,6 +190,7 @@ pub fn graph_error_code(e: &GraphError) -> (u16, &'static str) {
 /// Parse a JSON edge-list snapshot `{"nodes": N, "edges": [[u, v, w],
 /// ...]}`. `nodes` may be omitted — the session's vertex-set size is
 /// used — but when present it must match exactly.
+#[allow(clippy::result_large_err)] // the Err is a cold bad-request path
 fn snapshot_from_json(body: &[u8], session_nodes: usize) -> Result<WeightedGraph, Response> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Response::error(400, "bad_request", "snapshot body is not UTF-8"))?;
@@ -223,6 +255,7 @@ fn snapshot_from_json(body: &[u8], session_nodes: usize) -> Result<WeightedGraph
 
 /// Decode a binary edge-delta body against the session's current
 /// snapshot.
+#[allow(clippy::result_large_err)] // the Err is a cold bad-request path
 fn snapshot_from_delta(
     body: &[u8],
     base: Option<&WeightedGraph>,
@@ -273,6 +306,7 @@ fn create_session(req: &Request, ctx: &RouterCtx) -> Response {
 }
 
 fn push_snapshot(req: &Request, session: &Session) -> Response {
+    let _span = cad_obs::TraceSpan::enter("push");
     let mut inner = session.lock();
     let is_delta = req
         .header("content-type")
@@ -296,7 +330,11 @@ fn push_snapshot(req: &Request, session: &Session) -> Response {
             ];
             fields.extend(oracle_json(m.oracle));
             fields.push(("transition", transition_json(&tr, inner.online.delta(), &m)));
-            Response::json(200, Json::obj(fields))
+            let mut resp = Response::json(200, Json::obj(fields));
+            resp.meta.update_mode = Some(m.oracle.mode_name());
+            resp.meta.fallback = m.oracle.fallback_reason().map(|r| r.name());
+            resp.meta.engine = Some(m.build.backend);
+            resp
         }
         Err(e) => {
             let (status, code) = graph_error_code(&e);
@@ -339,15 +377,133 @@ fn method_not_allowed(method: &str, path: &str) -> Response {
     )
 }
 
-/// Route one request. Counts `serve.requests` and observes the
-/// per-endpoint latency histograms.
+/// Extract a query parameter from a raw request path
+/// (`/v1/debug/trace?limit=32`).
+fn query_param<'a>(raw_path: &'a str, key: &str) -> Option<&'a str> {
+    let query = raw_path.split('?').nth(1)?;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+/// `GET /v1/debug/trace?limit=N` — the newest `N` flight-recorder
+/// events (default 256), oldest first, with the ring's drop accounting.
+fn debug_trace(raw_path: &str) -> Response {
+    let limit = query_param(raw_path, "limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256);
+    let snap = cad_obs::recorder().snapshot(limit);
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("total", Json::Num(snap.total as f64)),
+            ("dropped", Json::Num(snap.dropped as f64)),
+            ("retained", num(snap.events.len())),
+            (
+                "events",
+                Json::Arr(snap.events.iter().map(|e| e.to_json()).collect()),
+            ),
+        ]),
+    )
+}
+
+/// The closed event-table name for the endpoint a request hit.
+fn endpoint_name(segments: &[&str], method: &str) -> &'static str {
+    match segments {
+        ["healthz"] => "healthz",
+        ["metrics"] => "metrics",
+        ["v1", "shutdown"] => "shutdown",
+        ["v1", "debug", "trace"] => "debug_trace",
+        ["v1", "sequences"] => "create",
+        ["v1", "sequences", _] if method == "DELETE" => "delete",
+        ["v1", "sequences", _] => "status",
+        ["v1", "sequences", _, "snapshots"] => "push",
+        _ => "other",
+    }
+}
+
+/// The closed event-table name for an error status.
+fn error_event_name(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "timeout",
+        413 => "body_too_large",
+        422 => "bad_request",
+        429 => "session_cap",
+        431 => "head_too_large",
+        500 => "internal",
+        503 => "overloaded",
+        _ => "other",
+    }
+}
+
+/// Route one request. Counts `serve.requests`, observes the
+/// per-endpoint latency histograms, and runs the handler under a
+/// freshly minted [`cad_obs::TraceCtx`] echoed back as
+/// `X-Cad-Trace-Id`.
 pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
+    route_queued(req, ctx, None, 0)
+}
+
+/// [`route`] for requests popped off the worker queue: `queue_wait` is
+/// the seconds the connection waited for a worker (recorded as a
+/// `queue_wait` event and in the `serve_queue_wait_secs` histogram;
+/// pass `None` when the request did not cross the queue) and `worker`
+/// is the handling worker's index.
+pub fn route_queued(
+    req: &Request,
+    ctx: &RouterCtx,
+    queue_wait: Option<f64>,
+    worker: usize,
+) -> Response {
     cad_obs::counters::SERVE_REQUESTS.inc();
     let path = req.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let method = req.method.as_str();
 
-    match segments.as_slice() {
+    // Attribute everything below — events, counter deltas, solver
+    // spans — to this request.
+    let session_id = match segments.as_slice() {
+        ["v1", "sequences", id, ..] => id.parse::<u64>().unwrap_or(0),
+        _ => 0,
+    };
+    let tr = cad_obs::TraceCtx::mint(session_id);
+    let _trace = cad_obs::trace::set_current(tr);
+    if let Some(wait) = queue_wait {
+        cad_obs::histograms::SERVE_QUEUE_WAIT_SECS.observe(wait);
+        cad_obs::events::record(EventKind::QueueWait, "queue_wait", wait, worker as u64);
+    }
+    let endpoint = endpoint_name(&segments, method);
+    let (mut resp, secs) = cad_obs::time_it(|| dispatch(req, ctx, path, &segments, method));
+    cad_obs::events::record(EventKind::Request, endpoint, secs, resp.status as u64);
+    if resp.status >= 400 {
+        cad_obs::events::record(
+            EventKind::Error,
+            error_event_name(resp.status),
+            0.0,
+            resp.status as u64,
+        );
+    }
+    resp.meta.trace_id = tr.trace_id;
+    resp.meta.session_id = session_id;
+    resp.meta.handler_secs = secs;
+    resp.extra.push(("X-Cad-Trace-Id", tr.id_hex()));
+    resp
+}
+
+/// The endpoint dispatch [`route_queued`] runs under the installed
+/// trace.
+fn dispatch(
+    req: &Request,
+    ctx: &RouterCtx,
+    path: &str,
+    segments: &[&str],
+    method: &str,
+) -> Response {
+    match segments {
         ["healthz"] => {
             let (resp, secs) = cad_obs::time_it(|| match method {
                 "GET" => Response {
@@ -355,6 +511,7 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
                     content_type: "text/plain; charset=utf-8",
                     body: b"ok\n".to_vec(),
                     extra: Vec::new(),
+                    meta: ResponseMeta::default(),
                 },
                 _ => method_not_allowed(method, path),
             });
@@ -368,7 +525,16 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
                     body: cad_obs::render_prometheus().into_bytes(),
                     extra: Vec::new(),
+                    meta: ResponseMeta::default(),
                 },
+                _ => method_not_allowed(method, path),
+            });
+            cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
+            resp
+        }
+        ["v1", "debug", "trace"] => {
+            let (resp, secs) = cad_obs::time_it(|| match method {
+                "GET" => debug_trace(&req.path),
                 _ => method_not_allowed(method, path),
             });
             cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
@@ -432,6 +598,10 @@ pub fn route(req: &Request, ctx: &RouterCtx) -> Response {
                     };
                     let (resp, secs) = cad_obs::time_it(|| push_snapshot(req, &session));
                     cad_obs::histograms::SERVE_PUSH_SECS.observe(secs);
+                    if let Some(engine) = resp.meta.engine {
+                        cad_obs::histograms::labeled::SERVE_PUSH_SECS_BY_ENGINE
+                            .observe(engine, secs);
+                    }
                     resp
                 }
                 _ => method_not_allowed(method, path),
@@ -722,6 +892,96 @@ mod tests {
         let resp = route(&request("POST", "/v1/shutdown", b""), &ctx);
         assert_eq!(resp.status, 200);
         assert!(ctx.shutdown.is_requested());
+    }
+
+    #[test]
+    fn requests_carry_trace_ids_into_the_flight_recorder() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+            ),
+            &ctx,
+        );
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+        let resp = route(&request("POST", &push, snapshot_body(0.0).as_bytes()), &ctx);
+        assert_eq!(resp.status, 200);
+        let trace_hex = resp
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "X-Cad-Trace-Id")
+            .map(|(_, v)| v.clone())
+            .expect("push response carries a trace id");
+        assert_eq!(trace_hex.len(), 16);
+        assert_eq!(
+            resp.meta.trace_id,
+            u64::from_str_radix(&trace_hex, 16).unwrap()
+        );
+        assert_eq!(resp.meta.session_id, id);
+        assert_eq!(resp.meta.update_mode, Some("rebuild"));
+        assert_eq!(resp.meta.engine, Some("exact"));
+
+        let resp = route(&request("GET", "/v1/debug/trace?limit=64", b""), &ctx);
+        assert_eq!(resp.status, 200);
+        let v = parse(&resp);
+        let events = v.get("events").and_then(Json::as_arr).expect("events");
+        let of_trace: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("trace_id").and_then(Json::as_str) == Some(trace_hex.as_str()))
+            .collect();
+        // The push's span pair and its request record all carry the id.
+        assert!(
+            of_trace.iter().any(
+                |e| e.get("kind").and_then(Json::as_str) == Some("span_open")
+                    && e.get("name").and_then(Json::as_str) == Some("push")
+            ),
+            "{of_trace:?}"
+        );
+        assert!(
+            of_trace
+                .iter()
+                .any(|e| e.get("kind").and_then(Json::as_str) == Some("request")
+                    && e.get("name").and_then(Json::as_str) == Some("push")
+                    && e.get("detail").and_then(Json::as_u64) == Some(200)),
+            "{of_trace:?}"
+        );
+        // A rebuild on the first push leaves an update event on the id.
+        assert!(
+            of_trace
+                .iter()
+                .any(|e| e.get("kind").and_then(Json::as_str) == Some("update")),
+            "{of_trace:?}"
+        );
+        // All of it attributed to the session.
+        assert!(of_trace
+            .iter()
+            .all(|e| e.get("session").and_then(Json::as_u64) == Some(id)));
+    }
+
+    #[test]
+    fn debug_trace_respects_the_limit_parameter() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        for _ in 0..5 {
+            route(&request("GET", "/healthz", b""), &ctx);
+        }
+        let resp = route(&request("GET", "/v1/debug/trace?limit=3", b""), &ctx);
+        let v = parse(&resp);
+        assert_eq!(v.get("retained").and_then(Json::as_u64), Some(3));
+        let events = v.get("events").and_then(Json::as_arr).unwrap();
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("seq").and_then(Json::as_u64).unwrap())
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "events come oldest-first");
     }
 
     #[test]

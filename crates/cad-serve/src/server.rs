@@ -19,18 +19,19 @@
 //! In-flight requests complete and get their responses; new
 //! connections are refused by the closed listener.
 
-use crate::router::{route, Response, RouterCtx};
+use crate::router::{route_queued, Response, RouterCtx};
 use crate::session::SessionMap;
 use cad_core::UpdateMode;
-use cad_obs::http::{self, error_body, HttpLimits};
+use cad_obs::http::{self, error_body, HttpLimits, Request};
+use cad_obs::Json;
 use std::collections::VecDeque;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A latched one-way signal: once requested, stays requested.
 pub struct Shutdown {
@@ -91,11 +92,13 @@ impl Default for Shutdown {
 }
 
 struct QueueState {
-    conns: VecDeque<TcpStream>,
+    conns: VecDeque<(TcpStream, Instant)>,
     open: bool,
 }
 
 /// The bounded connection queue between the accept thread and workers.
+/// Entries carry their enqueue time so the popping worker knows the
+/// queue wait; the `serve_queue_depth` gauge tracks the live length.
 struct ConnQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
@@ -121,19 +124,22 @@ impl ConnQueue {
         if !state.open || state.conns.len() >= self.cap {
             return Err(conn);
         }
-        state.conns.push_back(conn);
+        state.conns.push_back((conn, Instant::now()));
+        cad_obs::gauges::SERVE_QUEUE_DEPTH.inc();
         self.cv.notify_one();
         Ok(())
     }
 
-    /// Pop the next connection, blocking while the queue is open and
-    /// empty. `None` means closed *and* drained: time for the worker to
-    /// exit. Queued connections are always served, even after close.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Pop the next connection and the seconds it waited, blocking
+    /// while the queue is open and empty. `None` means closed *and*
+    /// drained: time for the worker to exit. Queued connections are
+    /// always served, even after close.
+    fn pop(&self) -> Option<(TcpStream, f64)> {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(conn) = state.conns.pop_front() {
-                return Some(conn);
+            if let Some((conn, enqueued)) = state.conns.pop_front() {
+                cad_obs::gauges::SERVE_QUEUE_DEPTH.dec();
+                return Some((conn, enqueued.elapsed().as_secs_f64()));
             }
             if !state.open {
                 return None;
@@ -178,6 +184,9 @@ pub struct ServeConfig {
     /// Default oracle update mode for sessions whose create spec does
     /// not pick one (`--update-mode`).
     pub update_mode: UpdateMode,
+    /// Structured NDJSON access log: a file path, `-` for stderr, or
+    /// `None` to disable (`--access-log`). One line per request.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -194,6 +203,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             store_dir: None,
             update_mode: UpdateMode::default(),
+            access_log: None,
         }
     }
 }
@@ -202,6 +212,43 @@ struct Shared {
     queue: ConnQueue,
     ctx: RouterCtx,
     limits: HttpLimits,
+    /// The access-log sink, when enabled. One mutex-guarded writer:
+    /// lines are small and already formatted when the lock is taken.
+    access_log: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+/// Write one NDJSON access-log line for a completed request. Every
+/// field is observability-only; the detection path never reads it.
+fn log_access(shared: &Shared, req: &Request, resp: &Response, worker: usize, queue_wait: f64) {
+    let Some(log) = &shared.access_log else {
+        return;
+    };
+    let mut fields = vec![
+        ("ts_ms", Json::Num(cad_obs::events::now_ms() as f64)),
+        (
+            "trace_id",
+            Json::Str(cad_obs::trace::id_hex(resp.meta.trace_id)),
+        ),
+        ("method", Json::Str(req.method.clone())),
+        ("path", Json::Str(req.path.clone())),
+        ("status", Json::Num(resp.status as f64)),
+        ("worker", Json::Num(worker as f64)),
+        ("queue_wait_secs", Json::Num(queue_wait)),
+        ("handler_secs", Json::Num(resp.meta.handler_secs)),
+    ];
+    if resp.meta.session_id != 0 {
+        fields.push(("session", Json::Num(resp.meta.session_id as f64)));
+    }
+    if let Some(mode) = resp.meta.update_mode {
+        fields.push(("update_mode", Json::Str(mode.to_string())));
+    }
+    if let Some(reason) = resp.meta.fallback {
+        fields.push(("fallback", Json::Str(reason.to_string())));
+    }
+    let line = Json::obj(fields).compact();
+    let mut w = log.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
 }
 
 /// A running detection service.
@@ -242,31 +289,53 @@ fn reject_busy(mut conn: TcpStream, write_timeout: Duration) {
     }
 }
 
-/// The per-connection keep-alive loop a worker runs.
-fn serve_conn(mut conn: TcpStream, shared: &Shared) {
+/// The per-connection keep-alive loop a worker runs. `queue_wait` is
+/// the seconds the connection sat in the worker queue — charged to the
+/// first request only; later keep-alive requests on the same
+/// connection never waited.
+fn serve_conn(mut conn: TcpStream, shared: &Shared, worker: usize, mut queue_wait: f64) {
     loop {
         match http::read_request(&mut conn, &shared.limits) {
             Ok(req) => {
-                let Response {
-                    status,
-                    content_type,
-                    body,
-                    extra,
-                } = route(&req, &shared.ctx);
+                cad_obs::gauges::SERVE_INFLIGHT_REQUESTS.inc();
+                let wait = queue_wait;
+                queue_wait = 0.0;
+                let resp = route_queued(&req, &shared.ctx, Some(wait), worker);
+                cad_obs::gauges::SERVE_INFLIGHT_REQUESTS.dec();
                 // Draining closes after the in-flight response; so does
                 // any error status, which keeps framing mistakes from
                 // poisoning a reused connection.
-                let keep = req.keep_alive && status < 400 && !shared.ctx.shutdown.is_requested();
+                let keep =
+                    req.keep_alive && resp.status < 400 && !shared.ctx.shutdown.is_requested();
                 let extra: Vec<(&str, String)> =
-                    extra.iter().map(|(k, v)| (*k, v.clone())).collect();
-                if http::write_response(&mut conn, status, content_type, &body, keep, &extra)
-                    .is_err()
-                    || !keep
-                {
+                    resp.extra.iter().map(|(k, v)| (*k, v.clone())).collect();
+                // Log before writing: the moment the response bytes
+                // land, the client may race ahead (and tests measure
+                // from there), so the write stays the worker's last
+                // act on this request.
+                log_access(shared, &req, &resp, worker, wait);
+                let wrote = http::write_response(
+                    &mut conn,
+                    resp.status,
+                    resp.content_type,
+                    &resp.body,
+                    keep,
+                    &extra,
+                );
+                if wrote.is_err() || !keep {
                     return;
                 }
             }
             Err(err) => {
+                if let Some(status) = http::status_for(&err) {
+                    let name = match status {
+                        408 => "timeout",
+                        413 => "body_too_large",
+                        431 => "head_too_large",
+                        _ => "bad_request",
+                    };
+                    cad_obs::events::record(cad_obs::EventKind::Error, name, 0.0, status as u64);
+                }
                 http::respond_read_error(&mut conn, &err);
                 return;
             }
@@ -288,6 +357,20 @@ impl Server {
             }
             None => None,
         };
+        let access_log: Option<Mutex<Box<dyn Write + Send>>> = match cfg.access_log.as_deref() {
+            None => None,
+            Some("-") => Some(Mutex::new(Box::new(std::io::stderr()))),
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| {
+                        std::io::Error::other(format!("cannot open access log `{path}`: {e}"))
+                    })?;
+                Some(Mutex::new(Box::new(file)))
+            }
+        };
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(cfg.queue_depth),
             ctx: RouterCtx {
@@ -301,6 +384,7 @@ impl Server {
                 read_timeout: Some(cfg.read_timeout),
                 write_timeout: Some(cfg.write_timeout),
             },
+            access_log,
         });
 
         let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
@@ -309,8 +393,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("cad-serve-worker-{i}"))
                     .spawn(move || {
-                        while let Some(conn) = shared.queue.pop() {
-                            serve_conn(conn, &shared);
+                        while let Some((conn, queue_wait)) = shared.queue.pop() {
+                            serve_conn(conn, &shared, i, queue_wait);
                         }
                     })
                     .expect("spawn worker")
@@ -338,12 +422,25 @@ impl Server {
                 .name("cad-serve-accept".to_string())
                 .spawn(move || {
                     for conn in listener.incoming() {
-                        if shared.ctx.shutdown.is_requested() {
-                            break;
-                        }
-                        let Ok(conn) = conn else { continue };
+                        let draining = shared.ctx.shutdown.is_requested();
+                        let Ok(conn) = conn else {
+                            if draining {
+                                break;
+                            }
+                            continue;
+                        };
                         if let Err(conn) = shared.queue.try_push(conn) {
                             reject_busy(conn, write_timeout);
+                        }
+                        // Checked *after* the hand-off: a connection
+                        // that raced the drain signal into the backlog
+                        // was accepted before shutdown and still gets a
+                        // worker, not a reset. (The drain's throwaway
+                        // wake-up connection also lands in the queue;
+                        // its immediate EOF reads as `Closed` and the
+                        // worker moves on.)
+                        if draining {
+                            break;
                         }
                     }
                 })
@@ -391,6 +488,13 @@ impl Server {
         }
         if let Some(h) = self.sweeper.take() {
             let _ = h.join();
+        }
+        // Forensic dump: leave the flight recorder's last moments on
+        // stderr so a drained process can still be debugged post-hoc.
+        // Only when the operator opted into logging — tests and quiet
+        // embedders keep their stderr clean.
+        if self.shared.access_log.is_some() {
+            let _ = cad_obs::recorder().dump(&mut std::io::stderr().lock());
         }
     }
 }
@@ -505,7 +609,7 @@ mod tests {
         let (status, body) = call(addr, "GET", "/metrics", b"");
         assert_eq!(status, 200);
         assert!(body.contains("serve_requests_total"), "{body}");
-        assert!(body.contains("serve_sessions_active_total 1"), "{body}");
+        assert!(body.contains("serve_sessions_active 1"), "{body}");
 
         let (status, _) = call(addr, "DELETE", &format!("/v1/sequences/{id}"), b"");
         assert_eq!(status, 200);
@@ -572,6 +676,130 @@ mod tests {
         }
     }
 
+    /// Like [`call`] but also returns the raw response header block.
+    fn call_with_headers(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> (u16, String, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.write_all(head.as_bytes()).expect("write head");
+        conn.write_all(body).expect("write body");
+        let mut reader = BufReader::new(conn);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut headers = String::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header");
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .trim_end()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().expect("length");
+            }
+            headers.push_str(&line);
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (status, headers, String::from_utf8(body).expect("utf-8"))
+    }
+
+    #[test]
+    fn access_log_and_trace_header_attribute_every_request() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let dir = std::env::temp_dir().join(format!("cad-serve-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("access.ndjson");
+        let _ = std::fs::remove_file(&log_path);
+        let server = Server::start(ServeConfig {
+            access_log: Some(log_path.display().to_string()),
+            ..test_config()
+        })
+        .expect("start");
+        let addr = server.addr();
+
+        let (status, headers, body) = call_with_headers(
+            addr,
+            "POST",
+            "/v1/sequences",
+            br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+        );
+        assert_eq!(status, 201, "{body}");
+        let id = cad_obs::parse_json(&body)
+            .unwrap()
+            .get("id")
+            .and_then(cad_obs::Json::as_u64)
+            .unwrap();
+        assert!(
+            headers.to_ascii_lowercase().contains("x-cad-trace-id:"),
+            "{headers}"
+        );
+
+        let push = format!("/v1/sequences/{id}/snapshots");
+        let quiet = br#"{"nodes": 6, "edges": [[0, 1, 3.0], [0, 2, 3.0], [1, 2, 3.0], [3, 4, 3.0], [3, 5, 3.0], [4, 5, 3.0], [2, 3, 0.2]]}"#;
+        let (status, headers, body) = call_with_headers(addr, "POST", &push, quiet);
+        assert_eq!(status, 200, "{body}");
+        let trace_hex = headers
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .starts_with("x-cad-trace-id:")
+                    .then(|| l.split(':').nth(1).unwrap().trim().to_string())
+            })
+            .expect("trace header");
+        assert_eq!(trace_hex.len(), 16, "{trace_hex}");
+
+        server.drain();
+
+        // One NDJSON line per request, each with a 16-hex trace id; the
+        // push's line carries the same id the header announced, plus
+        // its update outcome.
+        let log = std::fs::read_to_string(&log_path).expect("access log written");
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2, "{log}");
+        for line in &lines {
+            let v = cad_obs::parse_json(line).expect("valid JSON line");
+            let id = v.get("trace_id").and_then(cad_obs::Json::as_str).unwrap();
+            assert_eq!(id.len(), 16);
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(v.get("status").is_some() && v.get("method").is_some());
+            assert!(v.get("queue_wait_secs").is_some());
+        }
+        let push_line = cad_obs::parse_json(lines[1]).unwrap();
+        assert_eq!(
+            push_line.get("trace_id").and_then(cad_obs::Json::as_str),
+            Some(trace_hex.as_str())
+        );
+        assert_eq!(
+            push_line.get("update_mode").and_then(cad_obs::Json::as_str),
+            Some("rebuild")
+        );
+        assert_eq!(
+            push_line.get("session").and_then(cad_obs::Json::as_u64),
+            Some(id)
+        );
+        let _ = std::fs::remove_file(&log_path);
+    }
+
     #[test]
     fn ttl_sweeper_evicts_idle_sessions() {
         let _g = crate::test_lock();
@@ -597,7 +825,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(400));
         let (status, _) = call(addr, "GET", &path, b"");
         assert_eq!(status, 404, "idle session must be swept");
-        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 0);
+        assert_eq!(cad_obs::gauges::SERVE_SESSIONS_ACTIVE.get(), 0);
         server.drain();
     }
 }

@@ -284,7 +284,7 @@ impl SessionMap {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert(id, Arc::clone(&session));
-        cad_obs::counters::SERVE_SESSIONS_ACTIVE.inc();
+        cad_obs::gauges::SERVE_SESSIONS_ACTIVE.inc();
         Ok(session)
     }
 
@@ -306,7 +306,7 @@ impl SessionMap {
             .remove(&id);
         if removed.is_some() {
             self.active.fetch_sub(1, Ordering::Relaxed);
-            cad_obs::counters::SERVE_SESSIONS_ACTIVE.sub(1);
+            cad_obs::gauges::SERVE_SESSIONS_ACTIVE.dec();
         }
         removed
     }
@@ -327,6 +327,12 @@ impl SessionMap {
             };
             for id in expired {
                 if self.remove(id).is_some() {
+                    cad_obs::events::record(
+                        cad_obs::EventKind::Eviction,
+                        "session_evicted",
+                        0.0,
+                        id,
+                    );
                     evicted += 1;
                 }
             }
@@ -427,14 +433,14 @@ mod tests {
         let b = map.create(spec(), None).unwrap();
         assert_ne!(a.id, b.id);
         assert_eq!(map.len(), 2);
-        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 2);
+        assert_eq!(cad_obs::gauges::SERVE_SESSIONS_ACTIVE.get(), 2);
         assert!(matches!(
             map.create(spec(), None).map(|_| ()),
             Err(CreateError::Full { max_sessions: 2 })
         ));
         assert!(map.remove(a.id).is_some());
         assert!(map.remove(a.id).is_none(), "double delete is a miss");
-        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 1);
+        assert_eq!(cad_obs::gauges::SERVE_SESSIONS_ACTIVE.get(), 1);
         map.create(spec(), None).expect("capacity freed");
         assert!(map.get(b.id).is_some());
         assert!(map.get(a.id).is_none());
@@ -454,6 +460,6 @@ mod tests {
         assert_eq!(evicted, 1);
         assert!(map.get(old.id).is_none());
         assert!(map.get(fresh.id).is_some());
-        assert_eq!(cad_obs::counters::SERVE_SESSIONS_ACTIVE.get(), 1);
+        assert_eq!(cad_obs::gauges::SERVE_SESSIONS_ACTIVE.get(), 1);
     }
 }

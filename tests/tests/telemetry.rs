@@ -1,8 +1,10 @@
 //! Live-telemetry integration contracts: histogram merges are
 //! deterministic under striping (the thread-pool merge pattern), the
-//! streaming watch loop produces exactly the batch detector's anomaly
-//! sets while building each oracle exactly once, and the embedded
-//! `/metrics` endpoint serves valid Prometheus text for a real run.
+//! flight-recorder ring never loses accounting across wraparound or
+//! concurrent writers, the streaming watch loop produces exactly the
+//! batch detector's anomaly sets while building each oracle exactly
+//! once, and the embedded `/metrics` endpoint serves valid Prometheus
+//! text for a real run.
 //!
 //! The watch and exporter tests read the process-wide counter and
 //! histogram sinks, so they serialize on [`GLOBAL_SINKS`] and call
@@ -64,6 +66,130 @@ proptest! {
             prop_assert_eq!(four.quantile(q).to_bits(), direct.quantile(q).to_bits());
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Wraparound bookkeeping: after `n` sequential records the ring
+    /// retains the newest `min(n, RING_CAPACITY)` records with
+    /// contiguous ascending sequence numbers, and `total - dropped`
+    /// equals exactly what was retained — no record is ever lost
+    /// without being counted.
+    #[test]
+    fn flight_recorder_wraparound_never_loses_the_dropped_count(
+        n in 1usize..3 * cad_obs::RING_CAPACITY,
+    ) {
+        let _guard = GLOBAL_SINKS.lock().unwrap();
+        cad_obs::reset();
+        let rec = cad_obs::recorder();
+        for i in 0..n {
+            rec.record_for(
+                cad_obs::TraceCtx { trace_id: i as u64 + 1, session_id: 0 },
+                cad_obs::EventKind::Request,
+                "push",
+                0.0,
+                i as u64,
+            );
+        }
+        let snap = rec.snapshot(cad_obs::RING_CAPACITY);
+        prop_assert_eq!(snap.total, n as u64);
+        prop_assert_eq!(
+            snap.dropped,
+            n.saturating_sub(cad_obs::RING_CAPACITY) as u64
+        );
+        prop_assert_eq!(snap.events.len(), n.min(cad_obs::RING_CAPACITY));
+        prop_assert_eq!(snap.total - snap.dropped, snap.events.len() as u64);
+        for (k, ev) in snap.events.iter().enumerate() {
+            let expect = (n - snap.events.len() + k) as u64;
+            // Retained seqs must be the newest, ascending, and the
+            // payload must travel with its seq.
+            prop_assert_eq!(ev.seq, expect);
+            prop_assert_eq!(ev.detail, expect);
+        }
+    }
+
+    /// `snapshot(limit)` keeps the newest `limit` records, oldest
+    /// first — the `/v1/debug/trace?limit=N` contract.
+    #[test]
+    fn flight_recorder_limit_returns_the_newest_in_order(
+        n in 1usize..2048,
+        limit in 0usize..64,
+    ) {
+        let _guard = GLOBAL_SINKS.lock().unwrap();
+        cad_obs::reset();
+        let rec = cad_obs::recorder();
+        for i in 0..n {
+            rec.record_for(
+                cad_obs::TraceCtx { trace_id: 7, session_id: 1 },
+                cad_obs::EventKind::Update,
+                "incremental",
+                0.0,
+                i as u64,
+            );
+        }
+        let snap = rec.snapshot(limit);
+        let expect_len = limit.min(n).min(cad_obs::RING_CAPACITY);
+        prop_assert_eq!(snap.events.len(), expect_len);
+        for (k, ev) in snap.events.iter().enumerate() {
+            prop_assert_eq!(ev.seq, (n - expect_len + k) as u64);
+        }
+    }
+}
+
+/// Concurrent writers racing through several wraparounds: every claim
+/// is counted (`total` exact), eviction accounting balances
+/// (`total - dropped == retained`), and no retained record is torn —
+/// each event's payload fields still agree with each other.
+#[test]
+fn flight_recorder_survives_concurrent_writers() {
+    let _guard = GLOBAL_SINKS.lock().unwrap();
+    cad_obs::reset();
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 1500;
+    let rec = cad_obs::recorder();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    rec.record_for(
+                        cad_obs::TraceCtx {
+                            trace_id: w * 1_000_000 + i + 1,
+                            session_id: w,
+                        },
+                        cad_obs::EventKind::Request,
+                        "push",
+                        0.0,
+                        w * 1_000_000 + i + 1,
+                    );
+                }
+            });
+        }
+    });
+    let total = WRITERS * PER_WRITER;
+    let snap = rec.snapshot(cad_obs::RING_CAPACITY);
+    assert_eq!(snap.total, total);
+    assert_eq!(snap.dropped, total - cad_obs::RING_CAPACITY as u64);
+    assert_eq!(snap.events.len(), cad_obs::RING_CAPACITY);
+    assert_eq!(snap.total - snap.dropped, snap.events.len() as u64);
+    let mut seen = std::collections::BTreeSet::new();
+    for ev in &snap.events {
+        assert!(seen.insert(ev.seq), "duplicate seq {}", ev.seq);
+        // Torn-write detector: trace id, session and detail were all
+        // derived from the same (writer, i) pair at record time.
+        assert_eq!(ev.trace_id, ev.detail, "torn record at seq {}", ev.seq);
+        assert_eq!(
+            ev.session_id,
+            ev.trace_id / 1_000_000,
+            "torn record at seq {}",
+            ev.seq
+        );
+    }
+    assert_eq!(
+        (*seen.first().unwrap(), *seen.last().unwrap()),
+        (total - cad_obs::RING_CAPACITY as u64, total - 1),
+        "retained window must be exactly the newest RING_CAPACITY seqs"
+    );
 }
 
 /// Two triangle clusters joined by a weak link; `bridge > 0` adds the
