@@ -52,6 +52,7 @@ fn bench_cad_scaling(c: &mut Criterion) {
                 cg: CgOptions {
                     tol: 1e-4,
                     max_iter: None,
+                    ..Default::default()
                 },
                 ..Default::default()
             },
@@ -84,6 +85,7 @@ fn bench_engine_build_threads(c: &mut Criterion) {
             cg: CgOptions {
                 tol: 1e-4,
                 max_iter: None,
+                ..Default::default()
             },
             ..Default::default()
         },

@@ -21,6 +21,7 @@ fn solve_with(g: &WeightedGraph, precond: PrecondKind) {
             cg: CgOptions {
                 tol: 1e-6,
                 max_iter: None,
+                ..Default::default()
             },
             ..Default::default()
         },

@@ -25,6 +25,11 @@ use cad_commute::{CommuteTimeEngine, EmbeddingOptions, EngineOptions, OracleProv
 use cad_datasets::{GmmBenchmark, GmmBenchmarkOptions};
 use cad_store::OracleStore;
 
+/// Count every heap event so the report's `memory` section and the
+/// per-backend allocation summaries are exact, not sampled.
+#[global_allocator]
+static ALLOC: cad_obs::CountingAlloc = cad_obs::CountingAlloc::new();
+
 fn main() {
     let args = Args::from_env();
     args.apply_verbosity();
@@ -58,6 +63,7 @@ fn main() {
     let mut report = cad_obs::Report::new("bench_commute");
     for (label, engine) in &backends {
         let _span = cad_obs::span!("bench_backend");
+        let mem_before = cad_obs::alloc::stats();
         for (t, g) in seq.graphs().iter().enumerate() {
             let (oracle, secs) =
                 cad_obs::time_it(|| CommuteTimeEngine::compute(g, engine).expect("oracle build"));
@@ -80,10 +86,25 @@ fn main() {
                     iterations: s.iterations as u64,
                     residual: s.relative_residual,
                     converged: s.converged,
+                    residual_trace: s.residual_trace.clone(),
                 });
             }
             cad_obs::progress!("{label}: instance {t} built in {secs:.3}s");
         }
+        // Allocation cost per instance build (counting allocator delta
+        // over the whole backend pass, divided evenly).
+        let mem_after = cad_obs::alloc::stats();
+        let builds = seq.len() as f64;
+        report.summaries.insert(
+            format!("mem.allocs_per_build.{label}"),
+            cad_obs::Summary::of([(mem_after.allocs - mem_before.allocs) as f64 / builds]),
+        );
+        report.summaries.insert(
+            format!("mem.bytes_per_build.{label}"),
+            cad_obs::Summary::of([
+                (mem_after.bytes_allocated - mem_before.bytes_allocated) as f64 / builds,
+            ]),
+        );
     }
     // Cold vs. warm oracle acquisition through the content-addressed
     // store: the first pass builds and persists every artifact, the
@@ -181,10 +202,16 @@ fn main() {
     for (name, h) in cad_obs::histograms::snapshot() {
         report.histograms.insert(name.to_string(), h);
     }
+    for (name, value) in cad_obs::gauges::snapshot() {
+        report.gauges.insert(name.to_string(), value);
+    }
+    report.capture_memory();
     std::fs::write(&out, report.to_json_string()).expect("write report");
     println!(
-        "wrote {out} (n = {n}, k = {k}, threads = {threads}, {} instance builds, {} solves)",
+        "wrote {out} (n = {n}, k = {k}, threads = {threads}, {} instance builds, {} solves, \
+         peak heap {} bytes)",
         report.instances.len(),
-        report.solves.len()
+        report.solves.len(),
+        report.memory.heap_peak_bytes
     );
 }

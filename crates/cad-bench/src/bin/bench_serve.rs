@@ -27,6 +27,12 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
+/// Exact heap accounting for the whole benchmark: the allocator deltas
+/// around the push loop become the `mem.*_per_push` columns and the
+/// report's `memory` section.
+#[global_allocator]
+static ALLOC: cad_obs::CountingAlloc = cad_obs::CountingAlloc::new();
+
 /// A keep-alive HTTP/1.1 client on one loopback connection.
 struct Client {
     writer: TcpStream,
@@ -169,6 +175,7 @@ fn main() {
     .expect("start server");
     let addr = server.addr();
 
+    let mem_before = cad_obs::alloc::stats();
     let start = Instant::now();
     let handles: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
         .map(|c| {
@@ -204,6 +211,7 @@ fn main() {
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
     let wall = start.elapsed().as_secs_f64();
+    let mem_after = cad_obs::alloc::stats();
 
     // Small-delta phase: one session per update mode, sequentially, so
     // the two latency distributions see identical load (none).
@@ -259,6 +267,20 @@ fn main() {
         "serve.throughput_rps".to_string(),
         cad_obs::Summary::of([rps]),
     );
+    // Allocator pressure of the concurrent push phase, normalized per
+    // push so the column is comparable across --clients/--instances.
+    // Informational in bench-diff (summaries are not latency-gated).
+    let allocs_per_push = (mem_after.allocs - mem_before.allocs) as f64 / pushes.max(1) as f64;
+    let bytes_per_push =
+        (mem_after.bytes_allocated - mem_before.bytes_allocated) as f64 / pushes.max(1) as f64;
+    report.summaries.insert(
+        "mem.allocs_per_push".to_string(),
+        cad_obs::Summary::of([allocs_per_push]),
+    );
+    report.summaries.insert(
+        "mem.bytes_per_push".to_string(),
+        cad_obs::Summary::of([bytes_per_push]),
+    );
     // Small-delta phase: drop each run's first push (the cold build both
     // modes share) so the distributions compare steady-state pushes.
     let rebuild_hist = cad_obs::Histogram::of(rebuild_lat.iter().skip(1).copied());
@@ -287,12 +309,15 @@ fn main() {
     ] {
         report.counters.insert(key.to_string(), value as u64);
     }
+    report.capture_memory();
     std::fs::write(&out, report.to_json_string()).expect("write report");
     println!(
         "wrote {out}: {clients} clients x {instances} pushes over {nodes} nodes -> \
-         {rps:.1} req/s, p50 {:.1} ms, p99 {:.1} ms",
+         {rps:.1} req/s, p50 {:.1} ms, p99 {:.1} ms, \
+         {allocs_per_push:.0} allocs/push, peak heap {} bytes",
         p50 * 1e3,
-        p99 * 1e3
+        p99 * 1e3,
+        cad_obs::alloc::stats().heap_peak_bytes,
     );
     println!(
         "small-delta ({delta_nodes} nodes, {} steady-state pushes/mode): \

@@ -70,7 +70,7 @@ fn main() {
             precond: cad_linalg::solve::laplacian::PrecondKind::SpanningTree,
             cg: cad_linalg::solve::CgOptions {
                 tol: 1e-4,
-                max_iter: None,
+                ..Default::default()
             },
             ..Default::default()
         },

@@ -14,7 +14,16 @@
 //!   noisy 1-core runners while hard-failing on real errors;
 //! * **counts are informational**: event counters are printed in the
 //!   ratio table (a drifting count is a determinism smell worth eyes)
-//!   but never gate, since workload-size changes are legitimate.
+//!   but never gate, since workload-size changes are legitimate;
+//! * **v3 surfaces are first-class**: gauge names and labeled-counter
+//!   cells (family label keys and per-value cells) must match exactly —
+//!   a missing `mem.heap_peak_bytes` gauge or a vanished
+//!   `engine=exact` cell is a schema drift, not a perf delta — while
+//!   labeled-histogram cells (flattened as `name{label=value}` rows)
+//!   gate on their wall-time sums like any other latency metric;
+//! * **v4 `memory` is informational**: allocator totals are printed as
+//!   ratio rows but never gate, since a v3 baseline reads back as all
+//!   zeros and allocation counts legitimately track workload size.
 //!
 //! `--update` skips the comparison and blesses `<new>` as the baseline
 //! by copying it over `<old>`.
@@ -125,6 +134,16 @@ pub fn run_bench_diff(
     check_names("summary", old.summaries.keys(), new.summaries.keys())?;
     check_names("histogram", old.histograms.keys(), new.histograms.keys())?;
     check_names("phase", old.phases.keys(), new.phases.keys())?;
+    check_names("gauge", old.gauges.keys(), new.gauges.keys())?;
+    check_names("label family", old.labels.keys(), new.labels.keys())?;
+    for (family, old_cells) in &old.labels {
+        // Same family on both sides (checked above); now the cells.
+        check_names(
+            &format!("label cell ({family})"),
+            old_cells.values.keys(),
+            new.labels[family].values.keys(),
+        )?;
+    }
     let old_builds = build_sums(&old);
     let new_builds = build_sums(&new);
     check_names("backend", old_builds.keys(), new_builds.keys())?;
@@ -146,6 +165,20 @@ pub fn run_bench_diff(
             gated: true,
         });
     }
+    // Labeled-histogram cells arrive flattened as `name{label=value}`
+    // histogram keys; their per-cell wall-time sums gate so a latency
+    // regression confined to one engine cannot hide inside an
+    // unchanged aggregate.
+    for (name, h) in &old.histograms {
+        if name.contains('{') {
+            rows.push(Row {
+                name: format!("cell/{name}"),
+                old: h.sum,
+                new: new.histograms[name].sum,
+                gated: true,
+            });
+        }
+    }
     for (name, value) in &old.counters {
         rows.push(Row {
             name: format!("counter/{name}"),
@@ -153,6 +186,41 @@ pub fn run_bench_diff(
             new: new.counters[name] as f64,
             gated: false,
         });
+    }
+    for (name, value) in &old.gauges {
+        rows.push(Row {
+            name: format!("gauge/{name}"),
+            old: *value as f64,
+            new: new.gauges[name] as f64,
+            gated: false,
+        });
+    }
+    // Allocator totals (schema v4): informational — a v3 baseline reads
+    // back zeroed, and allocation counts scale with workload size.
+    if old.memory != cad_obs::MemoryReport::default()
+        || new.memory != cad_obs::MemoryReport::default()
+    {
+        for (name, o, n) in [
+            ("allocs", old.memory.allocs, new.memory.allocs),
+            (
+                "bytes_allocated",
+                old.memory.bytes_allocated,
+                new.memory.bytes_allocated,
+            ),
+            ("heap_bytes", old.memory.heap_bytes, new.memory.heap_bytes),
+            (
+                "heap_peak_bytes",
+                old.memory.heap_peak_bytes,
+                new.memory.heap_peak_bytes,
+            ),
+        ] {
+            rows.push(Row {
+                name: format!("memory/{name}"),
+                old: o as f64,
+                new: n as f64,
+                gated: false,
+            });
+        }
     }
 
     let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
@@ -360,6 +428,109 @@ mod tests {
             }
             other => panic!("expected usage error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn gauge_name_mismatch_is_a_hard_error_but_drift_is_informational() {
+        let with_gauges = |heap: u64, extra: bool| {
+            let mut r = cad_obs::Report::new("bench_test");
+            r.gauges.insert("mem.heap_peak_bytes".into(), heap);
+            if extra {
+                r.gauges.insert("sessions.active".into(), 3);
+            }
+            r.to_json_string()
+        };
+        // A gauge present in only one report: schema drift, exit 1.
+        let old = tmp("gg-old.json", &with_gauges(1000, false));
+        let new = tmp("gg-new.json", &with_gauges(1000, true));
+        let (result, _) = diff(&old, &new, 1.3);
+        match result {
+            Err(CliError::Usage(msg)) => {
+                assert!(
+                    msg.contains("gauge name sets differ") && msg.contains("sessions.active"),
+                    "{msg}"
+                )
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // Same names, 100x the value: informational only.
+        let old = tmp("gd-old.json", &with_gauges(1000, true));
+        let new = tmp("gd-new.json", &with_gauges(100_000, true));
+        let (r, table) = diff(&old, &new, 1.3);
+        assert!(r.is_ok(), "gauges must not gate: {table}");
+        assert!(table.contains("gauge/mem.heap_peak_bytes"), "{table}");
+    }
+
+    #[test]
+    fn labeled_histogram_cells_gate_and_label_cells_must_match() {
+        let with_cell = |secs: f64, value: &str| {
+            let mut r = cad_obs::Report::new("bench_test");
+            r.histograms.insert(
+                format!("serve_push_secs{{engine={value}}}"),
+                cad_obs::Histogram::of([secs]),
+            );
+            let mut fam = cad_obs::LabelFamily {
+                label: "reason".into(),
+                values: std::collections::BTreeMap::new(),
+            };
+            fam.values.insert(value.to_string(), 2);
+            r.labels.insert("fallbacks".into(), fam);
+            r.to_json_string()
+        };
+        // A 10x regression confined to one engine cell gates.
+        let old = tmp("lc-old.json", &with_cell(0.01, "exact"));
+        let new = tmp("lc-new.json", &with_cell(0.1, "exact"));
+        let (result, table) = diff(&old, &new, 1.3);
+        match result {
+            Err(CliError::BenchRegression(msg)) => {
+                assert!(msg.contains("cell/serve_push_secs{engine=exact}"), "{msg}")
+            }
+            other => panic!("expected regression, got {other:?}\n{table}"),
+        }
+        // A renamed labeled-counter cell is a hard error.
+        let old = tmp("lv-old.json", &with_cell(0.01, "exact"));
+        let new = tmp("lv-new.json", &with_cell(0.01, "cg"));
+        let (result, _) = diff(&old, &new, 1.3);
+        assert!(
+            matches!(result, Err(CliError::Usage(_))),
+            "cell rename must be a hard error, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn memory_section_is_informational_even_against_a_v3_baseline() {
+        // Old report: no memory section (reads back zeroed, like v3).
+        let old = tmp("mm-old.json", &report_with(0.1, 0.05, 100));
+        let mut r = cad_obs::Report::new("bench_test");
+        r.phases.insert(
+            "detect".into(),
+            cad_obs::SpanStat {
+                calls: 1,
+                total_secs: 0.1,
+            },
+        );
+        r.counters.insert("linalg.spmv".into(), 100);
+        r.instances.push(cad_obs::InstanceReport {
+            t: 0,
+            backend: "exact".into(),
+            build_secs: 0.05,
+            jl_dim: None,
+            n_solves: 0,
+            iterations: cad_obs::Summary::default(),
+            residuals: cad_obs::Summary::default(),
+        });
+        r.memory = cad_obs::MemoryReport {
+            allocs: 10_000,
+            frees: 9_000,
+            bytes_allocated: 1 << 20,
+            bytes_freed: 1 << 19,
+            heap_bytes: 1 << 19,
+            heap_peak_bytes: 1 << 20,
+        };
+        let new = tmp("mm-new.json", &r.to_json_string());
+        let (result, table) = diff(&old, &new, 1.3);
+        assert!(result.is_ok(), "memory must not gate: {table}");
+        assert!(table.contains("memory/heap_peak_bytes"), "{table}");
     }
 
     #[test]

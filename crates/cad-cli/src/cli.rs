@@ -9,7 +9,7 @@ cad — localize anomalous changes in time-evolving graphs (SIGMOD'14 CAD)
 USAGE:
   cad detect   --input <seq.txt|pack.cadpack> [--l <n> | --delta <x>]
                [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
-               [--k <dim>] [--threads <n>] [--trace]
+               [--k <dim>] [--threads <n>] [--trace] [--profile <trace.json>]
                [--metrics-json <report.json>] [--store-dir <dir>]
   cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>] [--threads <n>]
   cad watch    [--input -|<dir>|<seq.txt>] [--l <n> | --delta <x>]
@@ -17,6 +17,8 @@ USAGE:
                [--k <dim>] [--events <log.ndjson>] [--metrics-addr <ip:port>]
                [--max-instances <n>] [--poll-ms <ms>] [--hold-ms <ms>]
                [--store-dir <dir>] [--update-mode rebuild|incremental|auto]
+               [--access-log <path|->]
+  cad profile  <command and its flags> [--out <trace.json>]
   cad serve    [--addr <ip:port>] [--workers <n>] [--max-body <bytes>]
                [--max-sessions <n>] [--store-dir <dir>]
                [--update-mode rebuild|incremental|auto]
@@ -63,10 +65,17 @@ validate-report checks a --metrics-json report against the schema
 bench-diff compares two bench reports metric-by-metric and exits 4 when
          a wall-time metric regresses past --threshold (default 1.3);
          --update blesses <new.json> as the baseline instead
+profile  runs the wrapped command with tracing active and writes a
+         Chrome-trace/Perfetto timeline (trace-event JSON) of its spans
+         and flight-recorder events to --out (default trace.json; when
+         the trailing flags are `--out <path>` they belong to profile,
+         everything else is passed to the wrapped command verbatim)
 
 --trace prints a nested per-phase timing tree (plus solver and scoring
 digests) to stderr after detection; --metrics-json writes the same data
-as a schema-versioned machine-readable JSON report.
+as a schema-versioned machine-readable JSON report; --profile <path>
+additionally writes the Perfetto timeline of the run (detection output
+is bit-identical with or without it).
 
 --store-dir <dir> keeps a content-addressed oracle cache in <dir>:
 detect/watch reuse an oracle artifact whenever the (snapshot, engine,
@@ -144,6 +153,9 @@ pub enum Command {
         /// Oracle-cache directory (`--store-dir`); no caching when
         /// absent.
         store_dir: Option<String>,
+        /// Write a Chrome-trace/Perfetto timeline of the run here
+        /// (`--profile <path>`).
+        profile: Option<String>,
     },
     /// Print ranked edge scores.
     Score {
@@ -201,6 +213,9 @@ pub enum Command {
         store_dir: Option<String>,
         /// Oracle lifecycle (`--update-mode`).
         update_mode: UpdateModeArg,
+        /// NDJSON access-log destination (`--access-log`): a file path,
+        /// `-` for stderr, disabled when absent.
+        access_log: Option<String>,
     },
     /// Convert a sequence file into a `.cadpack`.
     Pack {
@@ -254,6 +269,13 @@ pub enum Command {
         /// Bless `<new>` as the baseline instead of gating.
         update: bool,
     },
+    /// Run another command under tracing and write its timeline.
+    Profile {
+        /// The wrapped command.
+        inner: Box<Command>,
+        /// Trace-event JSON output path (`--out`).
+        out: String,
+    },
 }
 
 /// Parsed command line.
@@ -270,6 +292,32 @@ impl Cli {
         let sub = iter.next().ok_or_else(|| USAGE.to_string())?;
         if sub == "--help" || sub == "-h" || sub == "help" {
             return Err(USAGE.to_string());
+        }
+        if sub == "profile" {
+            // Everything after `profile` is the wrapped command, except
+            // a *trailing* `--out <path>` pair, which names the trace
+            // file (trailing so a wrapped `generate --out ...` keeps
+            // its own flag).
+            let mut rest: Vec<String> = iter.collect();
+            let mut out = "trace.json".to_string();
+            if rest.len() >= 2 && rest[rest.len() - 2] == "--out" {
+                out = rest.pop().expect("length checked");
+                rest.pop();
+            }
+            match rest.first().map(String::as_str) {
+                None => return Err(format!("profile needs a command to run\n\n{USAGE}")),
+                Some("profile") => {
+                    return Err(format!("profile cannot wrap itself\n\n{USAGE}"));
+                }
+                Some(_) => {}
+            }
+            let inner = Cli::parse(rest)?;
+            return Ok(Cli {
+                command: Command::Profile {
+                    inner: Box::new(inner.command),
+                    out,
+                },
+            });
         }
         // Flags that are bare switches (no value token follows).
         const SWITCHES: &[&str] = &["trace", "update"];
@@ -378,6 +426,7 @@ impl Cli {
                     trace: flags.contains_key("trace"),
                     metrics_json: get("metrics-json"),
                     store_dir: get("store-dir"),
+                    profile: get("profile"),
                 }
             }
             "watch" => {
@@ -409,6 +458,7 @@ impl Cli {
                     hold_ms: parse_u64("hold-ms", 0)?,
                     store_dir: get("store-dir"),
                     update_mode: parse_update_mode(&flags)?,
+                    access_log: get("access-log"),
                 }
             }
             "pack" => {
@@ -551,6 +601,7 @@ mod tests {
                 trace,
                 metrics_json,
                 store_dir,
+                profile,
             } => {
                 assert_eq!(input, "seq.txt");
                 assert_eq!(store_dir, None);
@@ -562,6 +613,7 @@ mod tests {
                 assert_eq!(threads, 1);
                 assert!(!trace);
                 assert_eq!(metrics_json, None);
+                assert_eq!(profile, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -714,6 +766,65 @@ mod tests {
         assert!(parse("watch --update-mode warp")
             .unwrap_err()
             .contains("--update-mode"));
+        assert!(matches!(
+            parse("watch").unwrap().command,
+            Command::Watch {
+                access_log: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("watch --access-log -").unwrap().command,
+            Command::Watch { access_log: Some(dest), .. } if dest == "-"
+        ));
+    }
+
+    #[test]
+    fn profile_wraps_a_command_and_takes_a_trailing_out() {
+        let cli = parse("profile detect --input s.txt --l 3 --out run.json").unwrap();
+        match cli.command {
+            Command::Profile { inner, out } => {
+                assert_eq!(out, "run.json");
+                assert!(matches!(
+                    *inner,
+                    Command::Detect { ref input, l: Some(3), .. } if input == "s.txt"
+                ));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --out defaults to trace.json.
+        assert!(matches!(
+            parse("profile detect --input s.txt").unwrap().command,
+            Command::Profile { out, .. } if out == "trace.json"
+        ));
+        // A non-trailing --out belongs to the wrapped command.
+        match parse("profile generate --dataset toy --out seq.txt --seed 3")
+            .unwrap()
+            .command
+        {
+            Command::Profile { inner, out } => {
+                assert_eq!(out, "trace.json");
+                assert!(matches!(
+                    *inner,
+                    Command::Generate { out: Some(ref p), .. } if p == "seq.txt"
+                ));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse("profile").unwrap_err().contains("needs a command"));
+        assert!(parse("profile profile detect --input s")
+            .unwrap_err()
+            .contains("cannot wrap itself"));
+        // Bad inner commands surface the inner parse error.
+        assert!(parse("profile detect").unwrap_err().contains("--input"));
+    }
+
+    #[test]
+    fn detect_profile_flag_parses() {
+        assert!(matches!(
+            parse("detect --input s.txt --profile tl.json").unwrap().command,
+            Command::Detect { profile: Some(p), .. } if p == "tl.json"
+        ));
     }
 
     #[test]

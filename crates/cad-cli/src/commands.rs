@@ -46,8 +46,23 @@ impl From<cad_graph::GraphError> for CliError {
 }
 
 pub(crate) fn engine_options(engine: EngineArg, k: usize) -> EngineOptions {
+    engine_options_traced(engine, k, 0)
+}
+
+/// Like [`engine_options`], with per-solve residual tracing: keep the
+/// last `residual_trace_cap` relative residuals of every PCG solve
+/// (surfaced in the v4 report's `solves[].residual_trace`). Purely
+/// observational — the solve path and its output are unchanged.
+pub(crate) fn engine_options_traced(
+    engine: EngineArg,
+    k: usize,
+    residual_trace_cap: usize,
+) -> EngineOptions {
+    let mut solver = cad_linalg::solve::LaplacianSolverOptions::default();
+    solver.cg.residual_trace_cap = residual_trace_cap;
     let embedding = EmbeddingOptions {
         k,
+        solver,
         ..Default::default()
     };
     match engine {
@@ -118,10 +133,18 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             trace,
             metrics_json,
             store_dir,
+            profile,
         } => {
             let seq = load_sequence(input)?;
+            // Any observability sink opts into per-solve residual
+            // traces; the bounded ring never perturbs the solves.
+            let residual_cap = if *trace || metrics_json.is_some() || profile.is_some() {
+                DETECT_RESIDUAL_TRACE_CAP
+            } else {
+                0
+            };
             let mut det = CadDetector::new(CadOptions {
-                engine: engine_options(*engine, *k),
+                engine: engine_options_traced(*engine, *k, residual_cap),
                 kind: score_kind(*kind),
                 threads: *threads,
             });
@@ -133,6 +156,12 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 (Some(l), None) => ThresholdPolicy::TargetNodesPerTransition(*l),
                 (None, None) => ThresholdPolicy::TargetNodesPerTransition(5),
             };
+            // With `--profile` an ambient trace context is installed so
+            // trace-gated events (e.g. laplacian_solve span closes)
+            // reach the flight recorder for the timeline.
+            let _trace_guard = profile
+                .as_ref()
+                .map(|_| cad_obs::trace::set_current(cad_obs::TraceCtx::mint(0)));
             let (result, metrics) = det.detect_with_policy_metered(&seq, policy)?;
             if *trace || metrics_json.is_some() {
                 let report = build_report(&result, &metrics);
@@ -184,6 +213,10 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 .filter(|t| t.edges.is_empty())
                 .count();
             writeln!(out, "{quiet} quiet transitions")?;
+            if let Some(path) = profile {
+                write_profile(path)?;
+                eprintln!("profile written to {path}");
+            }
             Ok(())
         }
         Command::Score {
@@ -247,6 +280,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             hold_ms,
             store_dir,
             update_mode: upd,
+            access_log,
         } => {
             let mode = match (l, delta) {
                 (_, Some(d)) => ThresholdMode::Fixed(*d),
@@ -262,7 +296,17 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 hold_ms: *hold_ms,
                 store_dir: store_dir.clone(),
                 update_mode: update_mode(*upd),
+                access_log: access_log.clone(),
             };
+            if access_log.is_some() {
+                // Same crash story as serve: an operator who asked for
+                // an access log gets the flight recorder on panic too.
+                let default_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    let _ = cad_obs::recorder().dump(&mut std::io::stderr().lock());
+                    default_hook(info);
+                }));
+            }
             crate::watch::run_watch(input, *kind, *engine, *k, &cfg, out)
         }
         Command::Pack {
@@ -351,6 +395,30 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             threshold,
             update,
         } => crate::bench_diff::run_bench_diff(old, new, *threshold, *update, out),
+        Command::Profile {
+            inner,
+            out: trace_out,
+        } => {
+            // Install an ambient trace context so gated instrumentation
+            // (laplacian_solve, span close events) records while the
+            // wrapped command runs; its own output is untouched.
+            let guard = cad_obs::trace::set_current(cad_obs::TraceCtx::mint(0));
+            let inner_cli = Cli {
+                command: (**inner).clone(),
+            };
+            // The whole wrapped command runs inside one traced span, so
+            // even a batch run (which never touches the flight recorder
+            // on its own) leaves a span-close record carrying the trace
+            // id — the timeline's flow anchor.
+            let result = {
+                let _span = cad_obs::TraceSpan::enter("command");
+                dispatch(&inner_cli, out)
+            };
+            drop(guard);
+            write_profile(trace_out)?;
+            eprintln!("profile written to {trace_out}");
+            result
+        }
         Command::ValidateReport { input } => {
             let text = std::fs::read_to_string(input)
                 .map_err(|e| CliError::Usage(format!("cannot open `{input}`: {e}")))?;
@@ -382,6 +450,18 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
+/// How many trailing per-iteration residuals each traced PCG solve
+/// keeps (bounded ring; see `CgOptions::residual_trace_cap`).
+const DETECT_RESIDUAL_TRACE_CAP: usize = 32;
+
+/// Render the process-wide span registry + flight recorder as a
+/// Chrome-trace/Perfetto trace-event JSON file.
+fn write_profile(path: &str) -> Result<(), CliError> {
+    let doc = cad_obs::profile::capture(cad_obs::RING_CAPACITY);
+    std::fs::write(path, doc.compact())?;
+    Ok(())
+}
+
 /// Assemble the machine-readable run report: detection metrics (merged
 /// deterministically on the coordinator), the global span registry and
 /// the hot-path counters.
@@ -410,6 +490,7 @@ fn build_report(
         );
     }
     metrics.fill_report(&mut report);
+    report.capture_memory();
     report.counters.insert(
         "detect.anomalous_nodes".to_string(),
         result.total_nodes() as u64,
@@ -583,7 +664,7 @@ mod tests {
         // And the validate-report subcommand accepts it.
         let (code, msg) = run_str(&format!("validate-report --input {report_path}"));
         assert_eq!(code, 0, "{msg}");
-        assert!(msg.contains("valid report (schema_version 3"), "{msg}");
+        assert!(msg.contains("valid report (schema_version 4"), "{msg}");
     }
 
     #[test]
@@ -609,6 +690,55 @@ mod tests {
         assert_eq!(code, 0, "{msg}");
         // stdout stays the normal anomaly report; the tree goes to stderr.
         assert!(msg.contains("transition 0 -> 1"), "{msg}");
+    }
+
+    #[test]
+    fn profile_flag_leaves_detection_output_bit_identical() {
+        let seq = tmp("toy-seq-prof.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let trace = tmp("prof-detect.json");
+        let (code, plain) = run_str(&format!("detect --input {seq} --l 6"));
+        assert_eq!(code, 0, "{plain}");
+        let (code, profiled) = run_str(&format!("detect --input {seq} --l 6 --profile {trace}"));
+        assert_eq!(code, 0, "{profiled}");
+        // The profile notice goes to stderr; stdout must be the same
+        // bytes with profiling on or off.
+        assert_eq!(plain, profiled, "profiling must not perturb detection");
+        let text = std::fs::read_to_string(&trace).expect("trace file");
+        assert!(cad_obs::parse_json(&text).is_ok(), "trace is JSON: {text}");
+    }
+
+    #[test]
+    fn profile_command_wraps_detect_and_writes_a_perfetto_trace() {
+        let seq = tmp("toy-seq-profcmd.txt");
+        run_str(&format!("generate --dataset toy --out {seq}"));
+        let trace = tmp("profcmd.json");
+        let (code, msg) = run_str(&format!("profile detect --input {seq} --l 6 --out {trace}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("transition 0 -> 1"), "{msg}");
+        let text = std::fs::read_to_string(&trace).expect("trace file");
+        let v = cad_obs::parse_json(&text).expect("valid trace-event json");
+        let events = v
+            .get("traceEvents")
+            .and_then(cad_obs::Json::as_arr)
+            .expect("traceEvents");
+        // Aggregates lay child span paths (detect/...) inside their
+        // parents, so a detect run always yields nested "X" events.
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(cad_obs::Json::as_str) == Some("X")
+                    && e.get("name")
+                        .and_then(cad_obs::Json::as_str)
+                        .is_some_and(|n| n.contains('/'))
+            }),
+            "expected a nested duration event: {text}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("bind_id").and_then(cad_obs::Json::as_str).is_some()),
+            "expected at least one flow binding: {text}"
+        );
     }
 
     #[test]

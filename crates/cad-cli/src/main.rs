@@ -1,6 +1,11 @@
 //! The `cad` command-line tool — see [`cad_cli`] for the command
 //! surface and `cad --help` for usage.
 
+/// Exact heap accounting for the whole binary: feeds the `mem.*`
+/// gauges in `/metrics` and the report's `memory` section.
+#[global_allocator]
+static ALLOC: cad_obs::CountingAlloc = cad_obs::CountingAlloc::new();
+
 fn main() {
     let mut stdout = std::io::stdout().lock();
     let code = cad_cli::run(std::env::args().skip(1), &mut stdout);

@@ -51,6 +51,42 @@ pub struct WatchConfig {
     pub store_dir: Option<String>,
     /// Oracle lifecycle (`--update-mode`).
     pub update_mode: UpdateMode,
+    /// NDJSON access-log destination: a path (append), `-` for stderr,
+    /// disabled when `None`. Same line schema as `cad serve`.
+    pub access_log: Option<String>,
+}
+
+/// One NDJSON access-log line per processed instance, mirroring the
+/// `cad serve` schema (ts_ms, trace_id, method, path, status, worker,
+/// queue_wait_secs, handler_secs, update_mode, fallback) so one log
+/// pipeline digests both tools. `method` is the fixed verb `WATCH` and
+/// `path` addresses the instance index in the stream.
+fn access_line(
+    ts_ms: u128,
+    trace_id: u64,
+    instance: usize,
+    status: u16,
+    handler_secs: f64,
+    update_mode: Option<&str>,
+    fallback: Option<&str>,
+) -> String {
+    let mut fields = vec![
+        ("ts_ms", Json::Num(ts_ms as f64)),
+        ("trace_id", Json::Str(cad_obs::trace::id_hex(trace_id))),
+        ("method", Json::Str("WATCH".to_string())),
+        ("path", Json::Str(format!("/watch/instances/{instance}"))),
+        ("status", Json::Num(status as f64)),
+        ("worker", Json::Num(0.0)),
+        ("queue_wait_secs", Json::Num(0.0)),
+        ("handler_secs", Json::Num(handler_secs)),
+    ];
+    if let Some(mode) = update_mode {
+        fields.push(("update_mode", Json::Str(mode.to_string())));
+    }
+    if let Some(reason) = fallback {
+        fields.push(("fallback", Json::Str(reason.to_string())));
+    }
+    Json::obj(fields).compact()
 }
 
 /// Parse one stdin NDJSON snapshot line.
@@ -147,10 +183,11 @@ fn now_ms() -> u128 {
 /// one event per transition into `events`. Returns
 /// `(instances, transitions)` processed. Factored out of [`run_watch`]
 /// so integration tests can feed an in-memory source and sink.
-pub fn watch_loop(
+pub fn watch_loop<'w>(
     source: &mut dyn Iterator<Item = Result<WeightedGraph, CliError>>,
     online: &mut OnlineCad,
     events: &mut dyn Write,
+    mut access: Option<&mut (dyn Write + 'w)>,
     health: &cad_obs::WatchHealth,
     max_instances: Option<usize>,
 ) -> Result<(usize, usize), CliError> {
@@ -169,14 +206,37 @@ pub fn watch_loop(
                 // stream's vertex-set size) emits the same structured
                 // error body the serve endpoint answers with, so log
                 // consumers see one schema either way.
-                let body =
-                    cad_obs::http::error_body(cad_serve::graph_error_code(&e).1, &e.to_string());
+                let (status, code) = cad_serve::graph_error_code(&e);
+                let body = cad_obs::http::error_body(code, &e.to_string());
                 events.write_all(body.as_bytes())?;
                 events.flush()?;
+                if let Some(w) = access.as_deref_mut() {
+                    let line =
+                        access_line(now_ms(), trace.trace_id, instances, status, 0.0, None, None);
+                    writeln!(w, "{line}")?;
+                    w.flush()?;
+                }
                 return Err(CliError::Graph(e));
             }
             Err(other) => return Err(other),
         };
+        if let Some(w) = access.as_deref_mut() {
+            let update_secs = match m.oracle {
+                StepOracle::Incremental { update_secs, .. } => update_secs,
+                _ => 0.0,
+            };
+            let line = access_line(
+                now_ms(),
+                trace.trace_id,
+                instances,
+                200,
+                m.build.build_secs + update_secs + m.score_secs,
+                Some(m.oracle.mode_name()),
+                m.oracle.fallback_reason().map(|r| r.name()),
+            );
+            writeln!(w, "{line}")?;
+            w.flush()?;
+        }
         instances += 1;
         if let Some(tr) = outcome {
             transitions += 1;
@@ -299,6 +359,14 @@ pub fn run_watch(
         Some(path) => Box::new(File::options().create(true).append(true).open(path)?),
         None => Box::new(&mut *out),
     };
+    // Same destination convention as `cad serve --access-log`: `-` means
+    // stderr (keeps stdout clean for events/summary), else append to a
+    // file so successive runs accumulate one audit trail.
+    let mut access_sink: Option<Box<dyn Write>> = match &cfg.access_log {
+        Some(p) if p == "-" => Some(Box::new(std::io::stderr())),
+        Some(p) => Some(Box::new(File::options().create(true).append(true).open(p)?)),
+        None => None,
+    };
 
     let path = Path::new(input);
     let (instances, transitions) = if input == "-" {
@@ -312,6 +380,7 @@ pub fn run_watch(
             &mut source,
             &mut online,
             &mut event_sink,
+            access_sink.as_deref_mut(),
             &health,
             cfg.max_instances,
         )?
@@ -327,6 +396,7 @@ pub fn run_watch(
             &mut source,
             &mut online,
             &mut event_sink,
+            access_sink.as_deref_mut(),
             &health,
             cfg.max_instances,
         )?
@@ -339,6 +409,7 @@ pub fn run_watch(
             &mut source,
             &mut online,
             &mut event_sink,
+            access_sink.as_deref_mut(),
             &health,
             cfg.max_instances,
         )?
@@ -453,7 +524,7 @@ mod tests {
         let mut sink = Vec::new();
         let health = cad_obs::WatchHealth::new();
         let (instances, transitions) =
-            watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap();
+            watch_loop(&mut source, &mut online, &mut sink, None, &health, None).unwrap();
         assert_eq!((instances, transitions), (3, 2));
         let text = String::from_utf8(sink).unwrap();
         for line in text.lines() {
@@ -474,7 +545,7 @@ mod tests {
         let mut sink = Vec::new();
         let health = cad_obs::WatchHealth::new();
         let (instances, transitions) =
-            watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap();
+            watch_loop(&mut source, &mut online, &mut sink, None, &health, None).unwrap();
         assert_eq!(instances, 3);
         assert_eq!(transitions, 2);
         assert_eq!(health.transitions(), 2);
@@ -566,7 +637,7 @@ mod tests {
         let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
         let mut sink = Vec::new();
         let health = cad_obs::WatchHealth::new();
-        let err = watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap_err();
+        let err = watch_loop(&mut source, &mut online, &mut sink, None, &health, None).unwrap_err();
         assert!(matches!(
             err,
             CliError::Graph(cad_graph::GraphError::NodeOutOfRange { node: 9, .. })
@@ -590,9 +661,89 @@ mod tests {
         .into_iter();
         let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
         let mut sink = Vec::new();
-        watch_loop(&mut source, &mut online, &mut sink, &health, None).unwrap_err();
+        watch_loop(&mut source, &mut online, &mut sink, None, &health, None).unwrap_err();
         let text = String::from_utf8(sink).unwrap();
         assert!(text.contains("\"mixed_node_counts\""), "{text}");
+    }
+
+    #[test]
+    fn access_log_gets_one_serve_schema_line_per_instance() {
+        let graphs = vec![instance(0.0), instance(0.0), instance(1.5)];
+        let mut source = graphs.into_iter().map(Ok);
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4))
+            .with_update_mode(UpdateMode::Incremental);
+        let mut sink = Vec::new();
+        let mut access = Vec::new();
+        let health = cad_obs::WatchHealth::new();
+        let (instances, _) = watch_loop(
+            &mut source,
+            &mut online,
+            &mut sink,
+            Some(&mut access),
+            &health,
+            None,
+        )
+        .unwrap();
+        assert_eq!(instances, 3);
+        let text = String::from_utf8(access).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one access line per instance: {text}");
+        for (i, line) in lines.iter().enumerate() {
+            let v = cad_obs::parse_json(line).expect("access line parses");
+            // Field parity with the serve access log.
+            for key in [
+                "ts_ms",
+                "trace_id",
+                "method",
+                "path",
+                "status",
+                "worker",
+                "queue_wait_secs",
+                "handler_secs",
+                "update_mode",
+            ] {
+                assert!(v.get(key).is_some(), "missing {key} in {line}");
+            }
+            assert_eq!(v.get("method").and_then(Json::as_str), Some("WATCH"));
+            assert_eq!(v.get("status").and_then(Json::as_u64), Some(200));
+            assert_eq!(
+                v.get("path").and_then(Json::as_str),
+                Some(format!("/watch/instances/{i}").as_str())
+            );
+            let id = v.get("trace_id").and_then(Json::as_str).unwrap();
+            assert_eq!(id.len(), 16, "16-hex trace id: {id}");
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+            assert!(
+                v.get("handler_secs").and_then(Json::as_f64).unwrap() >= 0.0,
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_failing_instance_still_leaves_an_access_line_with_its_status() {
+        let mut source = vec![
+            Ok(instance(0.0)),
+            graph_from_ndjson(r#"{"nodes": 6, "edges": [[0, 9, 1.0]]}"#),
+        ]
+        .into_iter();
+        let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
+        let mut sink = Vec::new();
+        let mut access = Vec::new();
+        let health = cad_obs::WatchHealth::new();
+        watch_loop(
+            &mut source,
+            &mut online,
+            &mut sink,
+            Some(&mut access),
+            &health,
+            None,
+        )
+        .unwrap_err();
+        let text = String::from_utf8(access).unwrap();
+        let last = text.lines().last().expect("an access line for the failure");
+        let v = cad_obs::parse_json(last).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_u64), Some(422), "{last}");
     }
 
     #[test]
@@ -603,7 +754,7 @@ mod tests {
         let mut sink = Vec::new();
         let health = cad_obs::WatchHealth::new();
         let (instances, transitions) =
-            watch_loop(&mut source, &mut online, &mut sink, &health, Some(4)).unwrap();
+            watch_loop(&mut source, &mut online, &mut sink, None, &health, Some(4)).unwrap();
         assert_eq!(instances, 4);
         assert_eq!(transitions, 3);
     }

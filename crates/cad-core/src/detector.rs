@@ -127,6 +127,7 @@ impl DetectionMetrics {
                     iterations: s.iterations as u64,
                     residual: s.relative_residual,
                     converged: s.converged,
+                    residual_trace: s.residual_trace.clone(),
                 });
             }
         }

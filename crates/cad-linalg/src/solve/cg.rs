@@ -36,6 +36,11 @@ pub struct CgOptions {
     pub tol: f64,
     /// Iteration cap; `None` defaults to `10·n + 100`.
     pub max_iter: Option<usize>,
+    /// Per-iteration residual trace cap: keep the **last** this many
+    /// relative residuals in [`CgOutcome::residual_trace`]. `0` (the
+    /// default) disables tracing; the solve path is unchanged either
+    /// way — the trace observes `‖r‖/‖b‖` values CG computes anyway.
+    pub residual_trace_cap: usize,
 }
 
 impl Default for CgOptions {
@@ -43,7 +48,43 @@ impl Default for CgOptions {
         CgOptions {
             tol: 1e-8,
             max_iter: None,
+            residual_trace_cap: 0,
         }
+    }
+}
+
+/// Bounded ring keeping the newest `cap` residuals in push order.
+struct ResidualRing {
+    cap: usize,
+    buf: Vec<f64>,
+    next: usize,
+}
+
+impl ResidualRing {
+    fn new(cap: usize) -> ResidualRing {
+        ResidualRing {
+            cap,
+            buf: Vec::with_capacity(cap.min(256)),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// The retained residuals, oldest first.
+    fn into_chronological(mut self) -> Vec<f64> {
+        self.buf.rotate_left(self.next);
+        self.buf
     }
 }
 
@@ -58,6 +99,9 @@ pub struct CgOutcome {
     pub relative_residual: f64,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// The last [`CgOptions::residual_trace_cap`] per-iteration relative
+    /// residuals, oldest first (empty when tracing is off).
+    pub residual_trace: Vec<f64>,
 }
 
 impl CgOutcome {
@@ -67,6 +111,7 @@ impl CgOutcome {
             iterations: self.iterations,
             relative_residual: self.relative_residual,
             converged: self.converged,
+            residual_trace: self.residual_trace.clone(),
         }
     }
 }
@@ -100,10 +145,12 @@ pub fn cg_solve(
             iterations: 0,
             relative_residual: 0.0,
             converged: true,
+            residual_trace: Vec::new(),
         });
     }
     let max_iter = opts.max_iter.unwrap_or(10 * n + 100);
     let target = opts.tol * bnorm;
+    let mut trace = ResidualRing::new(opts.residual_trace_cap);
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -128,6 +175,7 @@ pub fn cg_solve(
         vecops::axpy(-alpha, &ap, &mut r);
         rnorm = vecops::norm2(&r);
         iterations += 1;
+        trace.push(rnorm / bnorm);
         if rnorm <= target {
             break;
         }
@@ -149,6 +197,7 @@ pub fn cg_solve(
         iterations,
         relative_residual: rnorm / bnorm,
         converged: rnorm <= target,
+        residual_trace: trace.into_chronological(),
     })
 }
 
@@ -190,10 +239,12 @@ pub fn cg_solve_from(
             iterations: 0,
             relative_residual: 0.0,
             converged: true,
+            residual_trace: Vec::new(),
         });
     }
     let max_iter = opts.max_iter.unwrap_or(10 * n + 100);
     let target = opts.tol * bnorm;
+    let mut trace = ResidualRing::new(opts.residual_trace_cap);
 
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
@@ -220,6 +271,7 @@ pub fn cg_solve_from(
         vecops::axpy(-alpha, &ap, &mut r);
         rnorm = vecops::norm2(&r);
         iterations += 1;
+        trace.push(rnorm / bnorm);
         if rnorm <= target {
             break;
         }
@@ -241,6 +293,7 @@ pub fn cg_solve_from(
         iterations,
         relative_residual: rnorm / bnorm,
         converged: rnorm <= target,
+        residual_trace: trace.into_chronological(),
     })
 }
 
@@ -316,6 +369,7 @@ mod tests {
             CgOptions {
                 tol: 1e-12,
                 max_iter: Some(5),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -352,6 +406,7 @@ mod tests {
             CgOptions {
                 tol: 1e-12,
                 max_iter: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -364,6 +419,7 @@ mod tests {
             CgOptions {
                 tol: 1e-12,
                 max_iter: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -414,6 +470,83 @@ mod tests {
     }
 
     #[test]
+    fn residual_trace_records_monotone_tail_without_perturbing_solve() {
+        let a = spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let plain = cg_solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let traced = cg_solve(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions {
+                residual_trace_cap: 16,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        // Tracing is observational: bit-identical solution and counts.
+        assert_eq!(traced.iterations, plain.iterations);
+        for (t, p) in traced.x.iter().zip(&plain.x) {
+            assert_eq!(t.to_bits(), p.to_bits());
+        }
+        assert!(plain.residual_trace.is_empty());
+        assert_eq!(traced.residual_trace.len(), traced.iterations);
+        // The last trace entry is exactly the reported final residual.
+        assert_eq!(
+            traced.residual_trace.last().unwrap().to_bits(),
+            traced.relative_residual.to_bits()
+        );
+    }
+
+    #[test]
+    fn residual_trace_keeps_only_the_newest_entries() {
+        let a = spd();
+        let b = vec![1.0, -2.0, 0.5];
+        let full = cg_solve(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                residual_trace_cap: 64,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(full.iterations >= 2, "need a few iterations to truncate");
+        let capped = cg_solve(
+            &a,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                residual_trace_cap: 2,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.residual_trace.len(), 2);
+        // The capped ring holds the chronological tail of the full trace.
+        let tail = &full.residual_trace[full.residual_trace.len() - 2..];
+        assert_eq!(capped.residual_trace, tail);
+    }
+
+    #[test]
+    fn warm_start_trace_is_shorter_than_cold() {
+        let a = spd();
+        let b = vec![1.0, 2.0, 3.0];
+        let opts = CgOptions {
+            residual_trace_cap: 32,
+            ..CgOptions::default()
+        };
+        let cold = cg_solve(&a, &b, &IdentityPreconditioner, opts).unwrap();
+        let warm = cg_solve_from(&a, &b, &cold.x, &IdentityPreconditioner, opts).unwrap();
+        assert!(warm.residual_trace.is_empty(), "exact guess: no iterations");
+        assert_eq!(cold.residual_trace.len(), cold.iterations);
+        assert_eq!(cold.stats().residual_trace, cold.residual_trace);
+    }
+
+    #[test]
     fn iteration_cap_respected() {
         let a = spd();
         let b = vec![1.0, 2.0, 3.0];
@@ -424,6 +557,7 @@ mod tests {
             CgOptions {
                 tol: 1e-15,
                 max_iter: Some(1),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -494,6 +494,7 @@ mod tests {
                 CgOptions {
                     tol: 1e-12,
                     max_iter: None,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -524,6 +525,7 @@ mod tests {
         let cg = CgOptions {
             tol: 1e-12,
             max_iter: None,
+            ..Default::default()
         };
         let xg = g.solve_with(&b, cg).unwrap();
         let mut xr = r.solve_with(&b, cg).unwrap();
@@ -557,6 +559,7 @@ mod tests {
                 CgOptions {
                     tol: 1e-12,
                     max_iter: None,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -585,6 +588,7 @@ mod tests {
         let cg = CgOptions {
             tol: 1e-12,
             max_iter: None,
+            ..Default::default()
         };
         let b = vec![1.0, 2.0, -1.0, -2.0];
         let xj = LaplacianSolver::new(&l, LaplacianSolverOptions::default())
@@ -653,6 +657,7 @@ mod tests {
         let cg = CgOptions {
             tol: 1e-10,
             max_iter: None,
+            ..Default::default()
         };
         let n = l.nrows();
         let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();

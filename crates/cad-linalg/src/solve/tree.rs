@@ -283,6 +283,7 @@ mod tests {
         let opts = CgOptions {
             tol: 1e-10,
             max_iter: None,
+            ..Default::default()
         };
         let fast = cg_solve(&a, &b, &tree, opts).unwrap();
         let slow = cg_solve(&a, &b, &jac, opts).unwrap();
@@ -335,6 +336,7 @@ mod tests {
             CgOptions {
                 tol: 1e-10,
                 max_iter: None,
+                ..Default::default()
             },
         )
         .unwrap();

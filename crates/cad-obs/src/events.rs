@@ -96,10 +96,13 @@ pub const EVENT_NAMES: &[&str] = &[
     "delete",
     "admin",
     "debug_trace",
+    "debug_profile",
     "metrics",
     "healthz",
     "shutdown",
     "drain",
+    // the span `cad profile` wraps around its command
+    "command",
     // detector phases
     "oracle_build",
     "oracle_update",

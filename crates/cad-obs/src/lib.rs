@@ -23,6 +23,13 @@
 //!   detection service.
 //! * [`export`] — Prometheus text-exposition rendering and the
 //!   hand-rolled `/metrics` + `/healthz` HTTP server for `cad watch`.
+//! * [`alloc`] — the counting `#[global_allocator]` wrapper: exact,
+//!   lock-free heap accounting (allocs/frees/bytes, live level and
+//!   high-water mark) feeding the `mem.*` gauges and the report's
+//!   `memory` section.
+//! * [`profile`] — the Chrome-trace/Perfetto timeline exporter:
+//!   renders the span registry plus the flight-recorder ring as
+//!   trace-event JSON (`cad profile`, `GET /v1/debug/profile`).
 //! * [`stats`] — typed result-side statistics ([`SolveStats`],
 //!   [`Summary`], [`OracleBuildStats`]) that travel *with* computation
 //!   results so aggregates stay deterministic under parallelism.
@@ -40,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod clock;
 pub mod events;
 pub mod export;
@@ -47,12 +55,14 @@ pub mod hist;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod report;
 pub mod span;
 pub mod stats;
 pub mod trace;
 
+pub use alloc::{CountingAlloc, MemoryStats};
 pub use clock::{time_it, time_mean};
 pub use events::{recorder, EventKind, EventRecord, RingSnapshot, RING_CAPACITY};
 pub use export::{render_prometheus, MetricsServer, WatchHealth};
@@ -64,7 +74,8 @@ pub use metrics::{
 };
 pub use progress::{set_verbosity, verbosity, Verbosity};
 pub use report::{
-    HostInfo, InstanceReport, LabelFamily, Report, SolveReport, TransitionReport, SCHEMA_VERSION,
+    HostInfo, InstanceReport, LabelFamily, MemoryReport, Report, SolveReport, TransitionReport,
+    SCHEMA_VERSION,
 };
 pub use span::SpanGuard;
 pub use stats::{OracleBuildStats, SolveStats, Summary};

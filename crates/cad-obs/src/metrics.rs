@@ -188,7 +188,9 @@ impl Default for Gauge {
     }
 }
 
-/// Well-known live gauges, maintained by `cad-serve`.
+/// Well-known live gauges: the `serve.*` levels maintained by
+/// `cad-serve` plus the `mem.*` heap levels read straight from the
+/// counting allocator ([`crate::alloc`]) at snapshot time.
 pub mod gauges {
     use super::Gauge;
 
@@ -201,16 +203,27 @@ pub mod gauges {
     pub static SERVE_SESSIONS_ACTIVE: Gauge = Gauge::new();
 
     /// Snapshot of every well-known gauge, keyed by its stable report
-    /// name.
+    /// name. The `mem.*` entries are sampled from the counting
+    /// allocator at call time (all zeros when no [`crate::alloc::CountingAlloc`]
+    /// is installed).
     pub fn snapshot() -> Vec<(&'static str, u64)> {
+        let mem = crate::alloc::stats();
         vec![
             ("serve.queue_depth", SERVE_QUEUE_DEPTH.get()),
             ("serve.inflight_requests", SERVE_INFLIGHT_REQUESTS.get()),
             ("serve.sessions_active", SERVE_SESSIONS_ACTIVE.get()),
+            ("mem.heap_bytes", mem.heap_bytes),
+            ("mem.heap_peak_bytes", mem.heap_peak_bytes),
+            ("mem.allocs", mem.allocs),
+            ("mem.frees", mem.frees),
+            ("mem.bytes_allocated", mem.bytes_allocated),
         ]
     }
 
-    /// Zero every well-known gauge.
+    /// Zero every well-known gauge. The `mem.*` levels are untouched:
+    /// allocator counters are process-lifetime monotone (see
+    /// [`crate::alloc`]) and a reset racing a live free would corrupt
+    /// them.
     pub fn reset_all() {
         SERVE_QUEUE_DEPTH.reset();
         SERVE_INFLIGHT_REQUESTS.reset();
@@ -436,7 +449,12 @@ mod tests {
             vec![
                 "serve.queue_depth",
                 "serve.inflight_requests",
-                "serve.sessions_active"
+                "serve.sessions_active",
+                "mem.heap_bytes",
+                "mem.heap_peak_bytes",
+                "mem.allocs",
+                "mem.frees",
+                "mem.bytes_allocated"
             ]
         );
     }

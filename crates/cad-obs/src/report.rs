@@ -26,11 +26,15 @@ use std::collections::BTreeMap;
 /// v3 (PR 7): adds the `gauges` section (point-in-time levels such as
 /// queue depth) and the `labels` section (labeled counter families such
 /// as `commute.rebuild_fallbacks` split by reason).
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4 (PR 8): adds the `memory` section (counting-allocator totals:
+/// allocs/frees/bytes plus live heap level and high-water mark) and the
+/// optional per-solve `residual_trace` array (bounded per-iteration
+/// relative residuals, opt-in via the solver's trace cap).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version `validate-report` still accepts. Reports
 /// emitted at v1 simply lack the `histograms` section; v1/v2 reports
-/// lack `gauges` and `labels`.
+/// lack `gauges` and `labels`; v1-v3 reports lack `memory`.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Host description captured into every report.
@@ -114,6 +118,45 @@ pub struct SolveReport {
     pub residual: f64,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// Per-iteration relative residuals (schema v4+, opt-in): the tail
+    /// of the solve's convergence curve, bounded by the solver's trace
+    /// cap. Empty when tracing was off; omitted from JSON when empty.
+    pub residual_trace: Vec<f64>,
+}
+
+/// The `memory` section of a schema-v4 report: counting-allocator
+/// totals captured at emission time ([`crate::alloc::stats`]). All
+/// zeros when the emitting binary did not install the counting
+/// allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryReport {
+    /// Successful heap allocations.
+    pub allocs: u64,
+    /// Heap deallocations.
+    pub frees: u64,
+    /// Total bytes ever allocated.
+    pub bytes_allocated: u64,
+    /// Total bytes ever freed.
+    pub bytes_freed: u64,
+    /// Live heap bytes at emission.
+    pub heap_bytes: u64,
+    /// High-water mark of the live heap.
+    pub heap_peak_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Capture the current allocator counters.
+    pub fn capture() -> Self {
+        let m = crate::alloc::stats();
+        MemoryReport {
+            allocs: m.allocs,
+            frees: m.frees,
+            bytes_allocated: m.bytes_allocated,
+            bytes_freed: m.bytes_freed,
+            heap_bytes: m.heap_bytes,
+            heap_peak_bytes: m.heap_peak_bytes,
+        }
+    }
 }
 
 /// A complete observability report for one run.
@@ -138,6 +181,9 @@ pub struct Report {
     pub gauges: BTreeMap<String, u64>,
     /// Labeled counter families (schema v3+; empty for older documents).
     pub labels: BTreeMap<String, LabelFamily>,
+    /// Counting-allocator totals at emission (schema v4+; zeroed for
+    /// older documents and for binaries without the allocator).
+    pub memory: MemoryReport,
     /// Per-instance oracle-build records.
     pub instances: Vec<InstanceReport>,
     /// Per-transition scoring records.
@@ -159,10 +205,16 @@ impl Report {
             histograms: BTreeMap::new(),
             gauges: BTreeMap::new(),
             labels: BTreeMap::new(),
+            memory: MemoryReport::default(),
             instances: Vec::new(),
             transitions: Vec::new(),
             solves: Vec::new(),
         }
+    }
+
+    /// Stamp the `memory` section from the live allocator counters.
+    pub fn capture_memory(&mut self) {
+        self.memory = MemoryReport::capture();
     }
 
     /// Fold a registry snapshot (spans, counters, summaries) into the
@@ -271,6 +323,23 @@ impl Report {
                 ),
             ),
             (
+                "memory",
+                Json::obj(vec![
+                    ("allocs", Json::Num(self.memory.allocs as f64)),
+                    ("frees", Json::Num(self.memory.frees as f64)),
+                    (
+                        "bytes_allocated",
+                        Json::Num(self.memory.bytes_allocated as f64),
+                    ),
+                    ("bytes_freed", Json::Num(self.memory.bytes_freed as f64)),
+                    ("heap_bytes", Json::Num(self.memory.heap_bytes as f64)),
+                    (
+                        "heap_peak_bytes",
+                        Json::Num(self.memory.heap_peak_bytes as f64),
+                    ),
+                ]),
+            ),
+            (
                 "instances",
                 Json::Arr(
                     self.instances
@@ -316,12 +385,21 @@ impl Report {
                     self.solves
                         .iter()
                         .map(|s| {
-                            Json::obj(vec![
+                            let mut fields = vec![
                                 ("context", Json::Str(s.context.clone())),
                                 ("iterations", Json::Num(s.iterations as f64)),
                                 ("residual", Json::Num(s.residual)),
                                 ("converged", Json::Bool(s.converged)),
-                            ])
+                            ];
+                            if !s.residual_trace.is_empty() {
+                                fields.push((
+                                    "residual_trace",
+                                    Json::Arr(
+                                        s.residual_trace.iter().map(|&r| Json::Num(r)).collect(),
+                                    ),
+                                ));
+                            }
+                            Json::obj(fields)
                         })
                         .collect(),
                 ),
@@ -384,6 +462,11 @@ impl Report {
                 labels.insert(k.clone(), label_family_from_json(fam)?);
             }
         }
+        // Absent in v1-v3 documents: default to a zeroed section.
+        let memory = match v.get("memory") {
+            Some(m) => memory_from_json(m)?,
+            None => MemoryReport::default(),
+        };
         let instances = v
             .get("instances")
             .and_then(Json::as_arr)
@@ -453,6 +536,11 @@ impl Report {
                     .get("converged")
                     .and_then(Json::as_bool)
                     .expect("validated"),
+                residual_trace: s
+                    .get("residual_trace")
+                    .and_then(Json::as_arr)
+                    .map(|arr| arr.iter().filter_map(Json::as_f64).collect())
+                    .unwrap_or_default(),
             })
             .collect();
         Ok(Report {
@@ -484,6 +572,7 @@ impl Report {
             histograms,
             gauges,
             labels,
+            memory,
             instances,
             transitions,
             solves,
@@ -617,6 +706,20 @@ impl Report {
                 }
             }
         }
+        // `memory` is required from v4 on; tolerated if present in
+        // older documents (fields are only ever added).
+        match v.get("memory") {
+            Some(m) => {
+                if let Err(e) = memory_from_json(m) {
+                    need("memory", false, &e);
+                }
+            }
+            None => {
+                if version.is_some_and(|ver| ver >= 4) {
+                    need("memory", false, "missing object (required from v4)");
+                }
+            }
+        }
         match v.get("instances").and_then(Json::as_arr) {
             None => need("instances", false, "missing array"),
             Some(items) => {
@@ -711,6 +814,16 @@ impl Report {
                         s.get("converged").and_then(Json::as_bool).is_some(),
                         "missing bool",
                     );
+                    // Optional (v4+): when present, must be an array of
+                    // numbers.
+                    if let Some(tr) = s.get("residual_trace") {
+                        need(
+                            &at("residual_trace"),
+                            tr.as_arr()
+                                .is_some_and(|a| a.iter().all(|r| r.as_f64().is_some())),
+                            "not an array of numbers",
+                        );
+                    }
                 }
             }
         }
@@ -812,6 +925,17 @@ impl Report {
                     out.push_str(&format!("  {cell:<40} {c}\n"));
                 }
             }
+        }
+        if self.memory != MemoryReport::default() {
+            out.push_str("\n== memory (counting allocator) ==\n");
+            out.push_str(&format!(
+                "  allocs {} / frees {} ({} live), heap {} B, peak {} B\n",
+                self.memory.allocs,
+                self.memory.frees,
+                self.memory.allocs - self.memory.frees,
+                self.memory.heap_bytes,
+                self.memory.heap_peak_bytes,
+            ));
         }
         out
     }
@@ -928,6 +1052,25 @@ fn histogram_from_json(v: &Json) -> Result<Histogram, String> {
     Ok(h)
 }
 
+fn memory_from_json(v: &Json) -> Result<MemoryReport, String> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err("memory section not an object".into());
+    }
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("memory.{name} missing or not an integer"))
+    };
+    Ok(MemoryReport {
+        allocs: field("allocs")?,
+        frees: field("frees")?,
+        bytes_allocated: field("bytes_allocated")?,
+        bytes_freed: field("bytes_freed")?,
+        heap_bytes: field("heap_bytes")?,
+        heap_peak_bytes: field("heap_peak_bytes")?,
+    })
+}
+
 fn label_family_from_json(v: &Json) -> Result<LabelFamily, String> {
     let label = v
         .get("label")
@@ -1031,11 +1174,27 @@ mod tests {
             n_nodes_flagged: 3,
             score: Summary::of([0.5, 2.0]),
         });
+        r.memory = MemoryReport {
+            allocs: 100,
+            frees: 90,
+            bytes_allocated: 65536,
+            bytes_freed: 32768,
+            heap_bytes: 32768,
+            heap_peak_bytes: 40960,
+        };
         r.solves.push(SolveReport {
             context: "instance=0/row=0".into(),
             iterations: 10,
             residual: 1e-9,
             converged: true,
+            residual_trace: vec![0.4375, 0.1, 1e-5, 1e-9],
+        });
+        r.solves.push(SolveReport {
+            context: "instance=0/row=1".into(),
+            iterations: 9,
+            residual: 2e-9,
+            converged: true,
+            residual_trace: Vec::new(),
         });
         r
     }
@@ -1118,6 +1277,71 @@ mod tests {
         let errs = Report::validate_json(&v3).unwrap_err();
         assert!(errs.iter().any(|e| e.starts_with("gauges")), "{errs:?}");
         assert!(errs.iter().any(|e| e.starts_with("labels")), "{errs:?}");
+    }
+
+    #[test]
+    fn validation_accepts_v3_without_memory() {
+        // A v3 document predates the memory section and must still
+        // pass; the parser defaults it to zeros.
+        let mut r = sample();
+        r.schema_version = 3;
+        let text = r
+            .to_json_string()
+            .replacen("\"memory\": {", "\"memory_gone\": {", 1);
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(Report::validate_json(&v), Ok(()));
+        let back = Report::from_json(&v).unwrap();
+        assert_eq!(back.memory, MemoryReport::default());
+
+        // The same document claiming v4 is rejected: the memory
+        // section is required from v4 on.
+        let text4 = text.replacen("\"schema_version\": 3", "\"schema_version\": 4", 1);
+        let v4 = crate::json::parse(&text4).unwrap();
+        let errs = Report::validate_json(&v4).unwrap_err();
+        assert!(errs.iter().any(|e| e.starts_with("memory")), "{errs:?}");
+    }
+
+    #[test]
+    fn memory_and_residual_traces_round_trip_and_reject_corruption() {
+        let r = sample();
+        let text = r.to_json_string();
+        let back = Report::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.memory.heap_peak_bytes, 40960);
+        assert_eq!(back.solves[0].residual_trace.len(), 4);
+        assert!(
+            back.solves[1].residual_trace.is_empty(),
+            "untraced solves omit the array and parse back empty"
+        );
+        assert!(
+            !text.contains("\"residual_trace\": []"),
+            "empty traces must be omitted, not emitted"
+        );
+
+        // A non-integer memory field is a schema error.
+        let bad = text.replacen(
+            "\"heap_peak_bytes\": 40960",
+            "\"heap_peak_bytes\": \"lots\"",
+            1,
+        );
+        let v = crate::json::parse(&bad).unwrap();
+        let errs = Report::validate_json(&v).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("heap_peak_bytes")),
+            "{errs:?}"
+        );
+
+        // A residual trace holding a non-number is rejected. (0.4375
+        // is unique to the trace in the sample document — emitted as
+        // 17-digit scientific notation — so the replacement cannot
+        // land in a summary instead.)
+        let bad2 = text.replacen("4.37500000000000000e-1", "\"fast\"", 1);
+        assert_ne!(bad2, text, "trace head must be present to corrupt");
+        let v2 = crate::json::parse(&bad2).unwrap();
+        let errs = Report::validate_json(&v2).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("residual_trace")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! every aggregate (including f64 sums) is reproducible bit-for-bit.
 
 /// Convergence record of one iterative solve.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SolveStats {
     /// Iterations performed.
     pub iterations: usize,
@@ -18,6 +18,9 @@ pub struct SolveStats {
     pub relative_residual: f64,
     /// Whether the requested tolerance was met.
     pub converged: bool,
+    /// Per-iteration relative residuals (the solver's bounded trailing
+    /// ring, oldest first; empty unless tracing was requested).
+    pub residual_trace: Vec<f64>,
 }
 
 /// Order-sensitive streaming summary of an f64 series: count, sum, min,
@@ -180,11 +183,13 @@ mod tests {
                     iterations: 10,
                     relative_residual: 1e-9,
                     converged: true,
+                    residual_trace: vec![1e-3, 1e-6, 1e-9],
                 },
                 SolveStats {
                     iterations: 14,
                     relative_residual: 3e-9,
                     converged: true,
+                    residual_trace: Vec::new(),
                 },
             ],
         };

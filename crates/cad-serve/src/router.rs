@@ -16,6 +16,7 @@
 //! | `GET` | `/healthz` | liveness probe |
 //! | `GET` | `/metrics` | Prometheus text exposition |
 //! | `GET` | `/v1/debug/trace` | flight-recorder snapshot (`?limit=N`) |
+//! | `GET` | `/v1/debug/profile` | Chrome-trace timeline (`?limit=N`) |
 //! | `POST` | `/v1/shutdown` | request graceful drain |
 //!
 //! Every request is minted a [`cad_obs::TraceCtx`] installed for the
@@ -408,6 +409,18 @@ fn debug_trace(raw_path: &str) -> Response {
     )
 }
 
+/// `GET /v1/debug/profile?limit=N` — the flight recorder and span
+/// registry rendered as Chrome trace-event JSON
+/// ([`cad_obs::profile`]), ready to drop into Perfetto / `chrome:`
+/// `//tracing` without restarting the server. `limit` bounds the
+/// flight-recorder events considered (default: the whole ring).
+fn debug_profile(raw_path: &str) -> Response {
+    let limit = query_param(raw_path, "limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(cad_obs::RING_CAPACITY);
+    Response::json(200, cad_obs::profile::capture(limit))
+}
+
 /// The closed event-table name for the endpoint a request hit.
 fn endpoint_name(segments: &[&str], method: &str) -> &'static str {
     match segments {
@@ -415,6 +428,7 @@ fn endpoint_name(segments: &[&str], method: &str) -> &'static str {
         ["metrics"] => "metrics",
         ["v1", "shutdown"] => "shutdown",
         ["v1", "debug", "trace"] => "debug_trace",
+        ["v1", "debug", "profile"] => "debug_profile",
         ["v1", "sequences"] => "create",
         ["v1", "sequences", _] if method == "DELETE" => "delete",
         ["v1", "sequences", _] => "status",
@@ -535,6 +549,14 @@ fn dispatch(
         ["v1", "debug", "trace"] => {
             let (resp, secs) = cad_obs::time_it(|| match method {
                 "GET" => debug_trace(&req.path),
+                _ => method_not_allowed(method, path),
+            });
+            cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
+            resp
+        }
+        ["v1", "debug", "profile"] => {
+            let (resp, secs) = cad_obs::time_it(|| match method {
+                "GET" => debug_profile(&req.path),
                 _ => method_not_allowed(method, path),
             });
             cad_obs::histograms::SERVE_ADMIN_SECS.observe(secs);
@@ -982,6 +1004,54 @@ mod tests {
         let mut sorted = seqs.clone();
         sorted.sort_unstable();
         assert_eq!(seqs, sorted, "events come oldest-first");
+    }
+
+    #[test]
+    fn debug_profile_serves_a_chrome_trace_timeline() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+            ),
+            &ctx,
+        );
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+        route(&request("POST", &push, snapshot_body(0.0).as_bytes()), &ctx);
+        route(&request("POST", &push, snapshot_body(1.5).as_bytes()), &ctx);
+
+        let resp = route(&request("GET", "/v1/debug/profile?limit=128", b""), &ctx);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "application/json");
+        let v = parse(&resp);
+        assert_eq!(v.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // The pushes above leave complete ("X") request events on the
+        // timeline, each carrying a flow binding back to its trace id.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("cat").and_then(Json::as_str) == Some("request")),
+            "pushes should appear as complete events"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("bind_id").and_then(Json::as_str).is_some()),
+            "request events should carry flow bindings"
+        );
+        assert_eq!(
+            route(&request("POST", "/v1/debug/profile", b""), &ctx).status,
+            405
+        );
     }
 
     #[test]

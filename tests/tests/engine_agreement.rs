@@ -99,6 +99,7 @@ fn solver_strategies_agree() {
             cg: CgOptions {
                 tol: 1e-10,
                 max_iter: None,
+                ..Default::default()
             },
             ..Default::default()
         },

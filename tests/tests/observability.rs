@@ -144,7 +144,7 @@ fn validator_accepts_pipeline_output_and_rejects_corruption() {
     let text =
         report
             .to_json_string()
-            .replacen("\"schema_version\": 3", "\"schema_version\": \"x\"", 1);
+            .replacen("\"schema_version\": 4", "\"schema_version\": \"x\"", 1);
     let bad = cad_obs::parse_json(&text).expect("still valid JSON");
     let errs = Report::validate_json(&bad).expect_err("corruption detected");
     assert!(

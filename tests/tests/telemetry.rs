@@ -279,7 +279,7 @@ fn metrics_endpoint_serves_prometheus_text_for_a_watch_run() {
     let mut online = OnlineCad::with_mode(CadOptions::default(), ThresholdMode::Fixed(0.4));
     let mut events = Vec::new();
     let (instances, transitions) =
-        watch_loop(&mut source, &mut online, &mut events, &health, None).unwrap();
+        watch_loop(&mut source, &mut online, &mut events, None, &health, None).unwrap();
     assert_eq!((instances, transitions), (3, 2));
 
     let metrics = http_get(server.addr(), "/metrics");
