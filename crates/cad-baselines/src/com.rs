@@ -71,6 +71,7 @@ impl ComDetector {
                 engine,
                 kind: ScoreKind::Com,
                 threads,
+                partition: None,
             }),
         }
     }

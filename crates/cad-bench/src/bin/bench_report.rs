@@ -9,6 +9,18 @@
 //!     [--out BENCH_commute.json] [--store-dir <dir>] [--quiet]
 //! ```
 //!
+//! The **first** pass builds block-partitioned oracles (`--partition`,
+//! default 4 blocks) for the exact and embedding backends and records
+//! per-instance build times (`part.build_secs.<backend>`), the
+//! per-block solve histograms (flattened as
+//! `part_block_solve_secs{block=...}` rows) and the heap peak at the
+//! end of the pass (`part.peak_heap_bytes`). It runs before any
+//! monolithic build on purpose: the counting allocator's peak is
+//! process-monotone, so the partitioned peak is only meaningful while
+//! no monolithic oracle has yet materialized its dense matrices —
+//! compare `part.peak_heap_bytes` against the report's final
+//! `memory.heap_peak_bytes` to see the partitioned memory headroom.
+//!
 //! A second pass runs every backend through the `cad-store` oracle
 //! cache twice — cold (miss + build + persist) and warm (artifact
 //! load) — and records both as `store.cold_build_secs.<backend>` /
@@ -61,6 +73,43 @@ fn main() {
     ];
 
     let mut report = cad_obs::Report::new("bench_commute");
+
+    // Block-partitioned pass FIRST (see the module docs): the heap peak
+    // never decreases, so measuring the partitioned footprint after a
+    // monolithic build would just read back the monolithic peak.
+    let part_spec = cad_commute::PartitionSpec {
+        blocks: args.get("partition", 4usize),
+        mode: cad_commute::PartitionMode::Auto,
+    };
+    for (label, engine) in &backends[..2] {
+        let _span = cad_obs::span!("bench_partitioned");
+        let times: Vec<f64> = seq
+            .graphs()
+            .iter()
+            .map(|g| {
+                cad_obs::time_it(|| {
+                    cad_part::PartitionedOracle::build(g, engine, part_spec, threads)
+                        .expect("partitioned build")
+                })
+                .1
+            })
+            .collect();
+        let s = cad_obs::Summary::of(times);
+        cad_obs::progress!(
+            "partitioned/{label}: mean build {:.3}s over {} instances ({} blocks)",
+            s.mean(),
+            seq.len(),
+            part_spec.blocks
+        );
+        report
+            .summaries
+            .insert(format!("part.build_secs.{label}"), s);
+    }
+    report.summaries.insert(
+        "part.peak_heap_bytes".to_string(),
+        cad_obs::Summary::of([cad_obs::alloc::stats().heap_peak_bytes as f64]),
+    );
+
     for (label, engine) in &backends {
         let _span = cad_obs::span!("bench_backend");
         let mem_before = cad_obs::alloc::stats();
@@ -201,6 +250,18 @@ fn main() {
         .insert("bench.threads".to_string(), threads as u64);
     for (name, h) in cad_obs::histograms::snapshot() {
         report.histograms.insert(name.to_string(), h);
+    }
+    // Labeled histograms flatten to `name{label=value}` rows — this is
+    // where the per-block solve work units (`part_block_solve_secs`)
+    // land, one row per block label.
+    for (name, label, cells) in cad_obs::histograms::labeled::snapshot() {
+        for (value, h) in cells {
+            if h.count > 0 {
+                report
+                    .histograms
+                    .insert(format!("{name}{{{label}={value}}}"), h);
+            }
+        }
     }
     for (name, value) in cad_obs::gauges::snapshot() {
         report.gauges.insert(name.to_string(), value);

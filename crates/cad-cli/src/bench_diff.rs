@@ -49,19 +49,34 @@ fn load_report(path: &str) -> Result<cad_obs::Report, CliError> {
     cad_obs::Report::from_json(&value).map_err(|e| CliError::Usage(format!("`{path}`: {e}")))
 }
 
-/// Require identical key sets in one metric namespace.
+/// Whether a metric name belongs to the block-partition telemetry
+/// namespace (`part.blocks`, `part_block_solve_secs{block=0}`, ...).
+fn is_part_metric(name: &str) -> bool {
+    name.starts_with("part.") || name.starts_with("part_")
+}
+
+/// Require identical key sets in one metric namespace. With
+/// `allow_part_additions`, names in the `part.*` telemetry namespace
+/// that appear only in the new report are tolerated — a baseline
+/// predating the partitioned oracle gains them on the first partitioned
+/// run, which is an addition, not a drift.
 fn check_names<'a>(
     kind: &str,
     old: impl Iterator<Item = &'a String>,
     new: impl Iterator<Item = &'a String>,
+    allow_part_additions: bool,
 ) -> Result<(), CliError> {
     let old: std::collections::BTreeSet<&String> = old.collect();
     let new: std::collections::BTreeSet<&String> = new.collect();
-    if old == new {
+    let missing: Vec<&str> = old.difference(&new).map(|s| s.as_str()).collect();
+    let extra: Vec<&str> = new
+        .difference(&old)
+        .map(|s| s.as_str())
+        .filter(|s| !(allow_part_additions && is_part_metric(s)))
+        .collect();
+    if missing.is_empty() && extra.is_empty() {
         return Ok(());
     }
-    let missing: Vec<&str> = old.difference(&new).map(|s| s.as_str()).collect();
-    let extra: Vec<&str> = new.difference(&old).map(|s| s.as_str()).collect();
     let mut msg = format!("{kind} name sets differ:");
     if !missing.is_empty() {
         msg.push_str(&format!(" missing in new: [{}]", missing.join(", ")));
@@ -121,8 +136,23 @@ pub fn run_bench_diff(
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     if update {
-        // Bless: the candidate becomes the committed baseline.
-        load_report(new_path)?; // still refuse to bless garbage
+        // Bless: the candidate becomes the committed baseline. `part.*`
+        // counter/histogram additions are what blessing a first
+        // partitioned run looks like, so they pass; any *other*
+        // counter/histogram name drift against a readable baseline is
+        // still refused — blessing should not silently paper over a
+        // renamed metric. A missing or unreadable baseline blesses
+        // unconditionally (first-time baseline).
+        let new = load_report(new_path)?; // still refuse to bless garbage
+        if let Ok(old) = load_report(old_path) {
+            check_names("counter", old.counters.keys(), new.counters.keys(), true)?;
+            check_names(
+                "histogram",
+                old.histograms.keys(),
+                new.histograms.keys(),
+                true,
+            )?;
+        }
         std::fs::copy(new_path, old_path)?;
         writeln!(out, "blessed {new_path} as the new baseline {old_path}")?;
         return Ok(());
@@ -130,23 +160,29 @@ pub fn run_bench_diff(
     let old = load_report(old_path)?;
     let new = load_report(new_path)?;
 
-    check_names("counter", old.counters.keys(), new.counters.keys())?;
-    check_names("summary", old.summaries.keys(), new.summaries.keys())?;
-    check_names("histogram", old.histograms.keys(), new.histograms.keys())?;
-    check_names("phase", old.phases.keys(), new.phases.keys())?;
-    check_names("gauge", old.gauges.keys(), new.gauges.keys())?;
-    check_names("label family", old.labels.keys(), new.labels.keys())?;
+    check_names("counter", old.counters.keys(), new.counters.keys(), false)?;
+    check_names("summary", old.summaries.keys(), new.summaries.keys(), false)?;
+    check_names(
+        "histogram",
+        old.histograms.keys(),
+        new.histograms.keys(),
+        false,
+    )?;
+    check_names("phase", old.phases.keys(), new.phases.keys(), false)?;
+    check_names("gauge", old.gauges.keys(), new.gauges.keys(), false)?;
+    check_names("label family", old.labels.keys(), new.labels.keys(), false)?;
     for (family, old_cells) in &old.labels {
         // Same family on both sides (checked above); now the cells.
         check_names(
             &format!("label cell ({family})"),
             old_cells.values.keys(),
             new.labels[family].values.keys(),
+            false,
         )?;
     }
     let old_builds = build_sums(&old);
     let new_builds = build_sums(&new);
-    check_names("backend", old_builds.keys(), new_builds.keys())?;
+    check_names("backend", old_builds.keys(), new_builds.keys(), false)?;
 
     let mut rows: Vec<Row> = Vec::new();
     for (path, stat) in &old.phases {
@@ -531,6 +567,85 @@ mod tests {
         let (result, table) = diff(&old, &new, 1.3);
         assert!(result.is_ok(), "memory must not gate: {table}");
         assert!(table.contains("memory/heap_peak_bytes"), "{table}");
+    }
+
+    #[test]
+    fn part_additions_bless_with_update_but_hard_fail_without() {
+        // The new report measured the same run plus the partitioned
+        // oracle's telemetry: part.* counter and histogram additions.
+        let with_part = |part: bool| {
+            let mut r = cad_obs::Report::new("bench_test");
+            r.phases.insert(
+                "detect".into(),
+                cad_obs::SpanStat {
+                    calls: 1,
+                    total_secs: 0.1,
+                },
+            );
+            r.counters.insert("linalg.spmv".into(), 100);
+            if part {
+                r.counters.insert("part.blocks".into(), 4);
+                r.counters.insert("part.block_solves".into(), 4);
+                r.histograms.insert(
+                    "part_block_solve_secs{block=0}".into(),
+                    cad_obs::Histogram::of([0.01]),
+                );
+            }
+            r.to_json_string()
+        };
+        // Without --update: a part.* addition is still a name-set
+        // mismatch, exit 1.
+        let old = tmp("pt-old.json", &with_part(false));
+        let new = tmp("pt-new.json", &with_part(true));
+        let (result, _) = diff(&old, &new, 1.3);
+        match result {
+            Err(CliError::Usage(msg)) => {
+                assert!(
+                    msg.contains("name sets differ") && msg.contains("part."),
+                    "{msg}"
+                )
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // With --update: part.* additions are blessed in.
+        let mut out = Vec::new();
+        run_bench_diff(&old, &new, 1.3, true, &mut out).unwrap();
+        assert_eq!(std::fs::read_to_string(&old).unwrap(), with_part(true));
+        // After blessing, the strict diff is clean again.
+        let (r, table) = diff(&old, &new, 1.3);
+        assert!(r.is_ok(), "{table}");
+    }
+
+    #[test]
+    fn update_still_refuses_non_part_name_drift() {
+        let with_counter = |name: &str| {
+            let mut r = cad_obs::Report::new("bench_test");
+            r.counters.insert("linalg.spmv".into(), 100);
+            r.counters.insert(name.into(), 1);
+            r.to_json_string()
+        };
+        let old_text = with_counter("detect.anomalous_nodes");
+        let old = tmp("np-old.json", &old_text);
+        let new = tmp("np-new.json", &with_counter("detect.renamed_nodes"));
+        let mut out = Vec::new();
+        let result = run_bench_diff(&old, &new, 1.3, true, &mut out);
+        match result {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("name sets differ"), "{msg}")
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // The refused bless must leave the baseline untouched.
+        assert_eq!(std::fs::read_to_string(&old).unwrap(), old_text);
+        // A missing baseline blesses unconditionally (first baseline).
+        let fresh = std::env::temp_dir()
+            .join("cad-bench-diff-tests")
+            .join("np-fresh-baseline.json");
+        let _ = std::fs::remove_file(&fresh);
+        let fresh = fresh.to_string_lossy().into_owned();
+        let mut out = Vec::new();
+        run_bench_diff(&fresh, &new, 1.3, true, &mut out).unwrap();
+        assert!(std::fs::metadata(&fresh).is_ok(), "baseline was created");
     }
 
     #[test]

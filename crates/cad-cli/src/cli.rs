@@ -11,6 +11,7 @@ USAGE:
                [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
                [--k <dim>] [--threads <n>] [--trace] [--profile <trace.json>]
                [--metrics-json <report.json>] [--store-dir <dir>]
+               [--partition <blocks> [--partition-mode auto|components|bfs]]
   cad score    --input <seq.txt> [--kind cad|adj|com] [--top <n>] [--threads <n>]
   cad watch    [--input -|<dir>|<seq.txt>] [--l <n> | --delta <x>]
                [--kind cad|adj|com] [--engine auto|exact|approx|corrected]
@@ -77,6 +78,14 @@ as a schema-versioned machine-readable JSON report; --profile <path>
 additionally writes the Perfetto timeline of the run (detection output
 is bit-identical with or without it).
 
+--partition <blocks> splits the graph into blocks and solves each block
+independently (block-partitioned oracle): connected components are
+exact; BFS splits of connected graphs stitch cross-block distances
+through a boundary interface solve and track the monolithic oracle to
+a documented relative tolerance. --partition-mode picks how blocks are
+formed (`auto` uses components when there are enough, else bfs) and
+requires --partition.
+
 --store-dir <dir> keeps a content-addressed oracle cache in <dir>:
 detect/watch reuse an oracle artifact whenever the (snapshot, engine,
 parameters) key matches a previous build, skipping the build entirely.
@@ -112,6 +121,18 @@ pub enum EngineArg {
     Approx,
     /// Exact amplified (von Luxburg-corrected) commute distance.
     Corrected,
+}
+
+/// How `--partition` forms blocks (`--partition-mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionModeArg {
+    /// Components when the graph has enough, BFS otherwise.
+    #[default]
+    Auto,
+    /// One block per connected component (exact).
+    Components,
+    /// Greedy balanced BFS splitter (approximate on connected graphs).
+    Bfs,
 }
 
 /// Oracle lifecycle for streaming detection (`--update-mode`).
@@ -156,6 +177,11 @@ pub enum Command {
         /// Write a Chrome-trace/Perfetto timeline of the run here
         /// (`--profile <path>`).
         profile: Option<String>,
+        /// Block-partitioned oracle target block count (`--partition`);
+        /// monolithic when absent.
+        partition: Option<usize>,
+        /// How partition blocks are formed (`--partition-mode`).
+        partition_mode: PartitionModeArg,
     },
     /// Print ranked edge scores.
     Score {
@@ -403,6 +429,38 @@ impl Cli {
                 )),
             }
         };
+        let parse_partition = |flags: &HashMap<String, String>| -> Result<
+            (Option<usize>, PartitionModeArg),
+            String,
+        > {
+            let blocks = match flags.get("partition") {
+                Some(v) => {
+                    let b: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid --partition `{v}`"))?;
+                    if b == 0 {
+                        return Err("--partition must be ≥ 1".into());
+                    }
+                    Some(b)
+                }
+                None => None,
+            };
+            let mode = match flags.get("partition-mode").map(String::as_str) {
+                None => PartitionModeArg::Auto,
+                Some("auto") => PartitionModeArg::Auto,
+                Some("components") => PartitionModeArg::Components,
+                Some("bfs") => PartitionModeArg::Bfs,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown --partition-mode `{other}` (auto|components|bfs)"
+                    ))
+                }
+            };
+            if blocks.is_none() && flags.contains_key("partition-mode") {
+                return Err("--partition-mode requires --partition <blocks>".into());
+            }
+            Ok((blocks, mode))
+        };
         let parse_k = |flags: &HashMap<String, String>| -> Result<usize, String> {
             match flags.get("k") {
                 Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`")),
@@ -415,6 +473,7 @@ impl Cli {
                 let input =
                     get("input").ok_or_else(|| format!("detect needs --input\n\n{USAGE}"))?;
                 let (l, delta) = parse_l_delta(&flags)?;
+                let (partition, partition_mode) = parse_partition(&flags)?;
                 Command::Detect {
                     input,
                     l,
@@ -427,6 +486,8 @@ impl Cli {
                     metrics_json: get("metrics-json"),
                     store_dir: get("store-dir"),
                     profile: get("profile"),
+                    partition,
+                    partition_mode,
                 }
             }
             "watch" => {
@@ -602,6 +663,8 @@ mod tests {
                 metrics_json,
                 store_dir,
                 profile,
+                partition,
+                partition_mode,
             } => {
                 assert_eq!(input, "seq.txt");
                 assert_eq!(store_dir, None);
@@ -614,6 +677,8 @@ mod tests {
                 assert!(!trace);
                 assert_eq!(metrics_json, None);
                 assert_eq!(profile, None);
+                assert_eq!(partition, None);
+                assert_eq!(partition_mode, PartitionModeArg::Auto);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -682,6 +747,50 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn partition_flags_parse() {
+        assert!(matches!(
+            parse("detect --input s.txt --partition 4").unwrap().command,
+            Command::Detect {
+                partition: Some(4),
+                partition_mode: PartitionModeArg::Auto,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("detect --input s.txt --partition 3 --partition-mode components")
+                .unwrap()
+                .command,
+            Command::Detect {
+                partition: Some(3),
+                partition_mode: PartitionModeArg::Components,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("detect --input s.txt --partition 2 --partition-mode bfs")
+                .unwrap()
+                .command,
+            Command::Detect {
+                partition_mode: PartitionModeArg::Bfs,
+                ..
+            }
+        ));
+        // --partition-mode without --partition is a usage error.
+        assert!(parse("detect --input s.txt --partition-mode bfs")
+            .unwrap_err()
+            .contains("requires --partition"));
+        assert!(parse("detect --input s.txt --partition 0")
+            .unwrap_err()
+            .contains("≥ 1"));
+        assert!(parse("detect --input s.txt --partition x")
+            .unwrap_err()
+            .contains("--partition"));
+        assert!(parse("detect --input s.txt --partition 2 --partition-mode warp")
+            .unwrap_err()
+            .contains("--partition-mode"));
     }
 
     #[test]

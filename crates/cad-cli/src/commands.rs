@@ -1,7 +1,7 @@
 //! Command implementations for the `cad` binary.
 
-use crate::cli::{Cli, Command, EngineArg, KindArg, UpdateModeArg};
-use cad_commute::{EmbeddingOptions, EngineOptions};
+use crate::cli::{Cli, Command, EngineArg, KindArg, PartitionModeArg, UpdateModeArg};
+use cad_commute::{EmbeddingOptions, EngineOptions, PartitionMode, PartitionSpec};
 use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdMode, ThresholdPolicy, UpdateMode};
 use cad_graph::io::{read_sequence, write_sequence};
 use cad_graph::GraphSequence;
@@ -84,6 +84,22 @@ pub(crate) fn update_mode(mode: UpdateModeArg) -> UpdateMode {
     }
 }
 
+/// Map the parsed `--partition` / `--partition-mode` pair onto the
+/// engine-facing spec (`None` = monolithic oracle).
+pub(crate) fn partition_spec(
+    blocks: Option<usize>,
+    mode: PartitionModeArg,
+) -> Option<PartitionSpec> {
+    blocks.map(|blocks| PartitionSpec {
+        blocks,
+        mode: match mode {
+            PartitionModeArg::Auto => PartitionMode::Auto,
+            PartitionModeArg::Components => PartitionMode::Components,
+            PartitionModeArg::Bfs => PartitionMode::Bfs,
+        },
+    })
+}
+
 pub(crate) fn score_kind(kind: KindArg) -> ScoreKind {
     match kind {
         KindArg::Cad => ScoreKind::Cad,
@@ -134,6 +150,8 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             metrics_json,
             store_dir,
             profile,
+            partition,
+            partition_mode,
         } => {
             let seq = load_sequence(input)?;
             // Any observability sink opts into per-solve residual
@@ -147,6 +165,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 engine: engine_options_traced(*engine, *k, residual_cap),
                 kind: score_kind(*kind),
                 threads: *threads,
+                partition: partition_spec(*partition, *partition_mode),
             });
             if let Some(store) = open_store(store_dir)? {
                 det = det.with_provider(store);
@@ -230,6 +249,7 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 engine: EngineOptions::default(),
                 kind: score_kind(*kind),
                 threads: *threads,
+                partition: None,
             });
             let scored = det.score_sequence(&seq)?;
             for (t, scores) in scored.iter().enumerate() {
@@ -628,6 +648,24 @@ mod tests {
         let (code, par) = run_str(&format!("detect --input {path} --l 6 --threads 4"));
         assert_eq!(code, 0, "{par}");
         assert_eq!(serial, par, "output must be thread-count invariant");
+    }
+
+    #[test]
+    fn partitioned_detect_runs() {
+        let path = tmp("toy-seq-part.txt");
+        run_str(&format!("generate --dataset toy --out {path}"));
+        let (code, report) = run_str(&format!(
+            "detect --input {path} --l 6 --engine exact --partition 3"
+        ));
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("transition 0 -> 1"), "{report}");
+        // The toy example's anomalous edges survive partitioning.
+        assert!(report.contains("edge 0 8"), "{report}");
+        let (code, report) = run_str(&format!(
+            "detect --input {path} --l 6 --engine exact --partition 2 --partition-mode bfs"
+        ));
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("edge 0 8"), "{report}");
     }
 
     #[test]

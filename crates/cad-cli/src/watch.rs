@@ -339,6 +339,7 @@ pub fn run_watch(
         engine: crate::commands::engine_options(engine, k),
         kind: crate::commands::score_kind(kind),
         threads: 1,
+        partition: None,
     };
     let mut online = OnlineCad::with_mode(opts, cfg.mode).with_update_mode(cfg.update_mode);
     if let Some(dir) = &cfg.store_dir {

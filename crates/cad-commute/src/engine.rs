@@ -94,9 +94,36 @@ impl CommuteTimeEngine {
 /// Contract: the returned oracle must answer queries bit-identically
 /// to `CommuteTimeEngine::compute(g, opts)` — providers may change
 /// *where* an oracle comes from, never *what* it computes.
+/// For *partitioned* requests ([`OracleProvider::oracle_partitioned`])
+/// the contract weakens from bit-identity to the documented
+/// `cad-part` tolerance: the returned oracle must answer exactly as a
+/// fresh `PartitionedOracle` build for the same `(g, opts, spec)` would
+/// — which is itself within `PART_REL_TOL` of the monolithic oracle,
+/// and exact when blocks are connected components.
 pub trait OracleProvider: Send + Sync {
     /// Produce the oracle for instance `t` of a sequence.
     fn oracle(&self, t: usize, g: &WeightedGraph, opts: &EngineOptions) -> Result<SharedOracle>;
+
+    /// Produce a *block-partitioned* oracle for instance `t`, laid out
+    /// per `spec` with per-block work fanned out over `threads`.
+    ///
+    /// Only providers that know how to build or cache partitioned
+    /// artifacts override this (the `cad-store` oracle cache does); the
+    /// default declines, so callers without such a provider route to a
+    /// direct `cad-part` build instead.
+    fn oracle_partitioned(
+        &self,
+        t: usize,
+        g: &WeightedGraph,
+        opts: &EngineOptions,
+        spec: crate::partition::PartitionSpec,
+        threads: usize,
+    ) -> Result<SharedOracle> {
+        let _ = (t, g, opts, spec, threads);
+        Err(cad_graph::GraphError::InvalidInput(
+            "this oracle provider does not support partitioned builds".into(),
+        ))
+    }
 }
 
 /// The trivial provider: always build fresh.

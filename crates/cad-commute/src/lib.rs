@@ -35,6 +35,7 @@ pub mod embedding;
 pub mod engine;
 pub mod exact;
 pub mod oracle;
+pub mod partition;
 pub mod persist;
 pub mod shortest;
 pub mod update;
@@ -44,6 +45,7 @@ pub use embedding::{CommuteEmbedding, EmbeddingOptions};
 pub use engine::{BuildFresh, CommuteTimeEngine, EngineOptions, OracleProvider};
 pub use exact::ExactCommute;
 pub use oracle::{DistanceOracle, OracleKind, SharedOracle};
+pub use partition::{PartitionInfo, PartitionMode, PartitionSpec};
 pub use persist::{oracle_from_bytes, oracle_to_bytes};
 pub use shortest::ShortestPathTable;
 pub use update::{

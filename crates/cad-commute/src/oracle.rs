@@ -131,6 +131,13 @@ pub trait DistanceOracle: Send + Sync {
     fn as_updatable(&mut self) -> Option<&mut dyn UpdatableOracle> {
         None
     }
+
+    /// Layout facts for block-partitioned oracles (`cad-part`'s
+    /// `PartitionedOracle`): realised block count and edge-cut size.
+    /// Monolithic backends — everything in this crate — report `None`.
+    fn partition_info(&self) -> Option<crate::partition::PartitionInfo> {
+        None
+    }
 }
 
 /// A boxed, shareable oracle — what [`crate::CommuteTimeEngine::compute`]

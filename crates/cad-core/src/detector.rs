@@ -4,7 +4,7 @@ use crate::node_scores::node_scores_from_edges;
 use crate::scores::{transition_edge_scores, EdgeScore, ScoreKind};
 use crate::threshold::{apply_policy, ThresholdPolicy};
 use crate::Result;
-use cad_commute::{CommuteTimeEngine, EngineOptions, OracleProvider, SharedOracle};
+use cad_commute::{EngineOptions, OracleProvider, SharedOracle};
 use cad_graph::GraphSequence;
 use std::sync::Arc;
 
@@ -20,6 +20,13 @@ pub struct CadOptions {
     /// per-transition scoring (1 = sequential, 0 = one per core).
     /// Results are bit-identical regardless of thread count.
     pub threads: usize,
+    /// Block-partitioned oracle builds (`cad-part`): `None` (default)
+    /// builds monolithic oracles; `Some(spec)` splits each instance
+    /// into blocks and solves them as independent work units. Results
+    /// stay bit-identical across thread counts, and track the
+    /// monolithic detector within `cad_part::PART_REL_TOL` (exactly,
+    /// when blocks are connected components).
+    pub partition: Option<cad_commute::PartitionSpec>,
 }
 
 impl Default for CadOptions {
@@ -28,6 +35,7 @@ impl Default for CadOptions {
             engine: EngineOptions::default(),
             kind: ScoreKind::Cad,
             threads: 1,
+            partition: None,
         }
     }
 }
@@ -289,10 +297,7 @@ impl CadDetector {
         let engines: Vec<SharedOracle> = {
             let _span = cad_obs::span!("build_oracles");
             cad_linalg::par::par_map_result(seq.graphs(), self.opts.threads, |t, g| {
-                match &self.provider {
-                    Some(p) => p.oracle(t, g, &self.opts.engine),
-                    None => CommuteTimeEngine::compute(g, &self.opts.engine),
-                }
+                crate::build_oracle(self.provider.as_deref(), t, g, &self.opts)
             })?
         };
         // Build stats ride on the oracles, which the pool returned in

@@ -70,3 +70,25 @@ pub use threshold::{choose_delta, select_prefix, ThresholdPolicy};
 
 /// Crate-wide result alias (errors surface from the graph/linalg layers).
 pub type Result<T> = std::result::Result<T, cad_graph::GraphError>;
+
+/// Build (or load) the oracle for instance `t` under `opts` — the one
+/// routing point between monolithic and block-partitioned builds, shared
+/// by [`CadDetector`] and [`OnlineCad`].
+///
+/// With a provider, partitioned requests go through
+/// [`cad_commute::OracleProvider::oracle_partitioned`] so the `cad-store`
+/// cache can key artifacts by partition layout; without one they build
+/// directly via [`cad_part::PartitionedOracle`].
+pub(crate) fn build_oracle(
+    provider: Option<&dyn cad_commute::OracleProvider>,
+    t: usize,
+    g: &cad_graph::WeightedGraph,
+    opts: &CadOptions,
+) -> Result<cad_commute::SharedOracle> {
+    match (provider, opts.partition) {
+        (Some(p), Some(spec)) => p.oracle_partitioned(t, g, &opts.engine, spec, opts.threads),
+        (Some(p), None) => p.oracle(t, g, &opts.engine),
+        (None, Some(spec)) => cad_part::PartitionedOracle::build(g, &opts.engine, spec, opts.threads),
+        (None, None) => cad_commute::CommuteTimeEngine::compute(g, &opts.engine),
+    }
+}

@@ -14,9 +14,7 @@ use crate::detector::TransitionAnomalies;
 use crate::scores::{pair_edge_scores, EdgeScore};
 use crate::threshold::{choose_delta, select_prefix};
 use crate::{CadOptions, Result};
-use cad_commute::{
-    CommuteTimeEngine, EdgeDelta, OracleProvider, RebuildReason, SharedOracle, UpdateOutcome,
-};
+use cad_commute::{EdgeDelta, OracleProvider, RebuildReason, SharedOracle, UpdateOutcome};
 use cad_graph::WeightedGraph;
 use std::sync::Arc;
 
@@ -133,6 +131,10 @@ pub struct OnlineStepMetrics {
     pub n_scored: usize,
     /// How the oracle was obtained (rebuild vs in-place update).
     pub oracle: StepOracle,
+    /// Block layout of the arriving instance's oracle, when it is a
+    /// partitioned build (`CadOptions::partition`); `None` for
+    /// monolithic oracles.
+    pub partition: Option<cad_commute::PartitionInfo>,
 }
 
 /// Streaming CAD detector: push instances, get per-transition anomaly
@@ -292,6 +294,7 @@ impl OnlineCad {
             score_secs: 0.0,
             n_scored: 0,
             oracle: step,
+            partition: engine.partition_info(),
         };
         let out = if let Some((prev_g, prev_engine)) = &self.prev {
             let (scores, secs) = cad_obs::time_it(|| {
@@ -412,10 +415,7 @@ impl OnlineCad {
     }
 
     fn build_fresh(&self, g: &WeightedGraph) -> Result<SharedOracle> {
-        match &self.provider {
-            Some(p) => p.oracle(self.seen, g, &self.opts.engine),
-            None => CommuteTimeEngine::compute(g, &self.opts.engine),
-        }
+        crate::build_oracle(self.provider.as_deref(), self.seen, g, &self.opts)
     }
 
     /// Re-evaluate *all* seen transitions at the current δ — converges

@@ -441,22 +441,39 @@ pub mod histograms {
             ["exact", "embedding", "shortest-path", "corrected", "other"],
         );
 
+        /// `cad-part`: wall-clock seconds per per-block solve work unit
+        /// (block factor/pseudoinverse build), split by block index.
+        /// Blocks beyond the bounded label set aggregate into `other`.
+        pub static PART_BLOCK_SOLVE_SECS: LabeledHistograms<9> = LabeledHistograms::new(
+            "part_block_solve_secs",
+            "block",
+            ["0", "1", "2", "3", "4", "5", "6", "7", "other"],
+        );
+
         /// One labeled histogram family:
         /// `(name, label, [(value, histogram)...])`.
         pub type FamilySnapshot = (&'static str, &'static str, Vec<(&'static str, Histogram)>);
 
         /// Every labeled histogram family.
         pub fn snapshot() -> Vec<FamilySnapshot> {
-            vec![(
-                SERVE_PUSH_SECS_BY_ENGINE.name,
-                SERVE_PUSH_SECS_BY_ENGINE.label,
-                SERVE_PUSH_SECS_BY_ENGINE.snapshot(),
-            )]
+            vec![
+                (
+                    SERVE_PUSH_SECS_BY_ENGINE.name,
+                    SERVE_PUSH_SECS_BY_ENGINE.label,
+                    SERVE_PUSH_SECS_BY_ENGINE.snapshot(),
+                ),
+                (
+                    PART_BLOCK_SOLVE_SECS.name,
+                    PART_BLOCK_SOLVE_SECS.label,
+                    PART_BLOCK_SOLVE_SECS.snapshot(),
+                ),
+            ]
         }
 
         /// Zero every labeled histogram family.
         pub fn reset_all() {
             SERVE_PUSH_SECS_BY_ENGINE.reset();
+            PART_BLOCK_SOLVE_SECS.reset();
         }
     }
 }

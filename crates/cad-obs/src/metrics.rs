@@ -99,6 +99,15 @@ pub mod counters {
     /// Connections answered `503` because the serve worker queue was
     /// full (the backpressure contract).
     pub static SERVE_REJECTED_BACKPRESSURE: FastCounter = FastCounter::new();
+    /// Blocks realised by partitioned oracle builds (`cad-part`), summed
+    /// across builds.
+    pub static PART_BLOCKS: FastCounter = FastCounter::new();
+    /// Cut (cross-block) edges across partitioned oracle builds — the
+    /// size of the boundary-vertex interface work.
+    pub static PART_BOUNDARY_EDGES: FastCounter = FastCounter::new();
+    /// Per-block solve work units completed (block factor/pseudoinverse
+    /// builds inside a partitioned oracle build).
+    pub static PART_BLOCK_SOLVES: FastCounter = FastCounter::new();
 
     /// Snapshot of every well-known counter, keyed by its stable report
     /// name.
@@ -119,6 +128,9 @@ pub mod counters {
                 "serve.rejected_backpressure",
                 SERVE_REJECTED_BACKPRESSURE.get(),
             ),
+            ("part.blocks", PART_BLOCKS.get()),
+            ("part.boundary_edges", PART_BOUNDARY_EDGES.get()),
+            ("part.block_solves", PART_BLOCK_SOLVES.get()),
         ]
     }
 
@@ -136,6 +148,9 @@ pub mod counters {
         STORE_BYTES_READ.reset();
         SERVE_REQUESTS.reset();
         SERVE_REJECTED_BACKPRESSURE.reset();
+        PART_BLOCKS.reset();
+        PART_BOUNDARY_EDGES.reset();
+        PART_BLOCK_SOLVES.reset();
     }
 }
 
@@ -436,7 +451,10 @@ mod tests {
                 "store.cache_misses",
                 "store.bytes_read",
                 "serve.requests",
-                "serve.rejected_backpressure"
+                "serve.rejected_backpressure",
+                "part.blocks",
+                "part.boundary_edges",
+                "part.block_solves"
             ]
         );
     }

@@ -1,0 +1,384 @@
+//! [`PartitionedOracle`] — a [`DistanceOracle`] whose solves run
+//! block-by-block as independent work units.
+
+use crate::blocks::ExactBlocks;
+use crate::partitioner::{partition, Partition};
+use cad_commute::{
+    CommuteTimeEngine, DistanceOracle, EngineOptions, OracleKind, PartitionInfo, PartitionSpec,
+    Result, SharedOracle,
+};
+use cad_graph::WeightedGraph;
+use cad_linalg::rp::RademacherSource;
+
+/// The partitioned solve state behind a [`PartitionedOracle`].
+#[derive(Debug, Clone)]
+pub(crate) enum Inner {
+    /// Exact per-block `L⁺` pieces plus the interface solve.
+    Exact(ExactBlocks),
+    /// JL-sketched coordinates (row-major `n × k`), solved through the
+    /// block machinery at build time; the block structures are dropped
+    /// once the sketch is in hand.
+    Embedding {
+        coords: Vec<f64>,
+        k: usize,
+    },
+}
+
+/// A block-partitioned commute-time oracle.
+///
+/// Same query semantics as the monolithic exact/embedding oracles —
+/// `distance` is the commute distance `V_G · r_eff` — but every
+/// per-block factorization is an independent work unit fanned out over
+/// `cad_linalg::par` (index-order merge, so results are bit-identical
+/// for any thread count). Divergence from the *unpartitioned* oracle is
+/// bounded by [`crate::PART_REL_TOL`], and is exactly zero when every
+/// block is a whole connected component (components mode).
+#[derive(Debug, Clone)]
+pub struct PartitionedOracle {
+    pub(crate) n: usize,
+    pub(crate) volume: f64,
+    pub(crate) info: PartitionInfo,
+    pub(crate) inner: Inner,
+    pub(crate) build_stats: cad_obs::OracleBuildStats,
+}
+
+impl PartitionedOracle {
+    /// Build a partitioned oracle for `g`.
+    ///
+    /// The engine choice mirrors [`CommuteTimeEngine`]: `Exact` and the
+    /// small side of `Auto` take the per-block Schur route, `Approximate`
+    /// and the large side of `Auto` sketch through the block solver. The
+    /// ablation engines (`ShortestPath`, `Corrected`) have no block
+    /// formulation — those requests fall back to the monolithic build
+    /// (the returned oracle then reports no partition info).
+    pub fn build(
+        g: &WeightedGraph,
+        opts: &EngineOptions,
+        spec: PartitionSpec,
+        threads: usize,
+    ) -> Result<SharedOracle> {
+        enum Route {
+            Exact,
+            Embedding(cad_commute::EmbeddingOptions),
+        }
+        let route = match opts {
+            EngineOptions::Exact => Route::Exact,
+            EngineOptions::Approximate(e) => Route::Embedding(*e),
+            EngineOptions::Auto {
+                threshold,
+                embedding,
+            } => {
+                if g.n_nodes() <= *threshold {
+                    Route::Exact
+                } else {
+                    Route::Embedding(*embedding)
+                }
+            }
+            EngineOptions::ShortestPath | EngineOptions::Corrected => {
+                return CommuteTimeEngine::compute(g, opts);
+            }
+        };
+
+        let _span = cad_obs::span!("oracle_build");
+        cad_obs::counters::ORACLE_BUILDS.inc();
+        let (oracle, secs) = cad_obs::time_it(|| -> Result<PartitionedOracle> {
+            let build_start = std::time::Instant::now();
+            let part = partition(g, spec)?;
+            cad_obs::counters::PART_BLOCKS.add(part.n_blocks as u64);
+            cad_obs::counters::PART_BOUNDARY_EDGES.add(part.cut_edges as u64);
+            let info = PartitionInfo {
+                blocks: part.n_blocks,
+                boundary_edges: part.cut_edges,
+            };
+            let blocks = ExactBlocks::build(g, &part, threads)?;
+            let (inner, backend) = match route {
+                Route::Exact => (Inner::Exact(blocks), "partitioned-exact"),
+                Route::Embedding(e) => (
+                    Self::sketch(g, &blocks, &e, threads)?,
+                    "partitioned-embedding",
+                ),
+            };
+            let jl_dim = match &inner {
+                Inner::Embedding { k, .. } => Some(*k),
+                Inner::Exact(_) => None,
+            };
+            Ok(PartitionedOracle {
+                n: g.n_nodes(),
+                volume: g.volume(),
+                info,
+                inner,
+                build_stats: cad_obs::OracleBuildStats {
+                    backend,
+                    build_secs: build_start.elapsed().as_secs_f64(),
+                    jl_dim,
+                    solves: Vec::new(),
+                },
+            })
+        });
+        cad_obs::histograms::ORACLE_BUILD_SECS.observe(secs);
+        oracle.map(|o| Box::new(o) as SharedOracle)
+    }
+
+    /// The same JL sketch as `CommuteEmbedding::compute` — identical
+    /// seed, sign stream and scaling — with each row's Laplacian solve
+    /// routed through the block machinery instead of monolithic CG.
+    fn sketch(
+        g: &WeightedGraph,
+        blocks: &ExactBlocks,
+        e: &cad_commute::EmbeddingOptions,
+        threads: usize,
+    ) -> Result<Inner> {
+        if e.k == 0 {
+            return Err(cad_graph::GraphError::InvalidInput(
+                "embedding dimension k must be > 0".into(),
+            ));
+        }
+        let n = g.n_nodes();
+        let signs = RademacherSource::new(e.seed);
+        let inv_sqrt_k = 1.0 / (e.k as f64).sqrt();
+        let solve_row = |row: usize| -> Result<Vec<f64>> {
+            cad_obs::counters::JL_PROJECTIONS.inc();
+            let mut y = vec![0.0; n];
+            for (e_idx, (u, v, w)) in g.edges().enumerate() {
+                let q = signs.sign(row as u64, e_idx as u64) * inv_sqrt_k;
+                let s = q * w.sqrt();
+                y[u] += s;
+                y[v] -= s;
+            }
+            blocks.solve_mean_zero(&y)
+        };
+        let rows: Vec<Vec<f64>> =
+            cad_linalg::par::par_tabulate_result(e.k, threads.max(1), solve_row)?;
+        let mut coords = vec![0.0; n * e.k];
+        for (row, x) in rows.into_iter().enumerate() {
+            for (i, xi) in x.into_iter().enumerate() {
+                coords[i * e.k + row] = xi;
+            }
+        }
+        Ok(Inner::Embedding { coords, k: e.k })
+    }
+
+    /// Effective resistance (exact: stitched block solve; embedding:
+    /// sketch distance).
+    pub fn resistance(&self, i: usize, j: usize) -> f64 {
+        match &self.inner {
+            Inner::Exact(b) => b.resistance(i, j),
+            Inner::Embedding { coords, k } => {
+                if i == j {
+                    0.0
+                } else {
+                    cad_linalg::vecops::dist2_sq(
+                        &coords[i * k..(i + 1) * k],
+                        &coords[j * k..(j + 1) * k],
+                    )
+                }
+            }
+        }
+    }
+
+    /// Realised block layout facts.
+    pub fn info(&self) -> PartitionInfo {
+        self.info
+    }
+}
+
+impl DistanceOracle for PartitionedOracle {
+    fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.volume * self.resistance(i, j)
+    }
+
+    fn kind(&self) -> OracleKind {
+        match self.inner {
+            Inner::Exact(_) => OracleKind::Exact,
+            Inner::Embedding { .. } => OracleKind::Embedding,
+        }
+    }
+
+    fn volume(&self) -> Option<f64> {
+        Some(self.volume)
+    }
+
+    fn resistance(&self, i: usize, j: usize) -> f64 {
+        PartitionedOracle::resistance(self, i, j)
+    }
+
+    fn build_stats(&self) -> Option<&cad_obs::OracleBuildStats> {
+        Some(&self.build_stats)
+    }
+
+    fn to_store_bytes(&self) -> Vec<u8> {
+        crate::persist::to_bytes(self)
+    }
+
+    fn clone_box(&self) -> SharedOracle {
+        Box::new(self.clone())
+    }
+
+    fn partition_info(&self) -> Option<PartitionInfo> {
+        Some(self.info)
+    }
+}
+
+/// Re-borrow of [`Partition`] so downstream crates can inspect layouts
+/// without the solve state.
+pub fn layout(g: &WeightedGraph, spec: PartitionSpec) -> Result<Partition> {
+    partition(g, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_commute::{EmbeddingOptions, ExactCommute, PartitionMode};
+
+    fn bridged(n_half: usize) -> WeightedGraph {
+        // Two cliques joined by one edge: a connected graph with a cut.
+        let mut edges = Vec::new();
+        for base in [0, n_half] {
+            for a in 0..n_half {
+                for b in (a + 1)..n_half {
+                    edges.push((base + a, base + b, 1.0));
+                }
+            }
+        }
+        edges.push((n_half - 1, n_half, 0.25));
+        WeightedGraph::from_edges(2 * n_half, &edges).unwrap()
+    }
+
+    #[test]
+    fn exact_partitioned_matches_monolithic() {
+        let g = bridged(5);
+        let spec = PartitionSpec {
+            blocks: 2,
+            mode: PartitionMode::Bfs,
+        };
+        let o = PartitionedOracle::build(&g, &EngineOptions::Exact, spec, 1).unwrap();
+        assert_eq!(o.kind(), OracleKind::Exact);
+        assert!(o.is_exact());
+        let info = o.partition_info().unwrap();
+        assert_eq!(info.blocks, 2);
+        assert!(info.boundary_edges > 0);
+        let mono = ExactCommute::compute(&g).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (o.distance(i, j), mono.commute_distance(i, j));
+                assert!(
+                    (a - b).abs() <= crate::PART_REL_TOL * (1.0 + b),
+                    "c({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_partitioned_tracks_monolithic_embedding() {
+        let g = bridged(4);
+        let e = EmbeddingOptions {
+            k: 64,
+            ..Default::default()
+        };
+        let spec = PartitionSpec {
+            blocks: 2,
+            mode: PartitionMode::Bfs,
+        };
+        let o =
+            PartitionedOracle::build(&g, &EngineOptions::Approximate(e), spec, 1).unwrap();
+        assert_eq!(o.kind(), OracleKind::Embedding);
+        let mono = cad_commute::CommuteEmbedding::compute(&g, &e).unwrap();
+        // Same sketch, direct instead of CG solves: agreement is limited
+        // only by the CG tolerance, far inside PART_REL_TOL.
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (o.commute_distance(i, j), mono.commute_distance(i, j));
+                assert!(
+                    (a - b).abs() <= crate::PART_REL_TOL * (1.0 + b),
+                    "c({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_engines_fall_back_to_monolithic() {
+        let g = bridged(3);
+        let spec = PartitionSpec::auto(2);
+        let o = PartitionedOracle::build(&g, &EngineOptions::ShortestPath, spec, 1).unwrap();
+        assert_eq!(o.kind(), OracleKind::ShortestPath);
+        assert!(o.partition_info().is_none(), "fallback is unpartitioned");
+        let c = PartitionedOracle::build(&g, &EngineOptions::Corrected, spec, 1).unwrap();
+        assert_eq!(c.kind(), OracleKind::Corrected);
+        assert!(c.partition_info().is_none());
+    }
+
+    #[test]
+    fn auto_routes_by_threshold() {
+        let g = bridged(4);
+        let opts = |threshold| EngineOptions::Auto {
+            threshold,
+            embedding: EmbeddingOptions {
+                k: 8,
+                ..Default::default()
+            },
+        };
+        let spec = PartitionSpec::auto(2);
+        let small = PartitionedOracle::build(&g, &opts(8), spec, 1).unwrap();
+        assert_eq!(small.kind(), OracleKind::Exact);
+        let large = PartitionedOracle::build(&g, &opts(7), spec, 1).unwrap();
+        assert_eq!(large.kind(), OracleKind::Embedding);
+    }
+
+    #[test]
+    fn components_mode_is_bit_exact_per_component() {
+        let g = WeightedGraph::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (0, 2, 0.5),
+                (3, 4, 1.0),
+                (4, 5, 3.0),
+            ],
+        )
+        .unwrap();
+        let spec = PartitionSpec {
+            blocks: 2,
+            mode: PartitionMode::Components,
+        };
+        let o = PartitionedOracle::build(&g, &EngineOptions::Exact, spec, 1).unwrap();
+        let info = o.partition_info().unwrap();
+        assert_eq!(info.boundary_edges, 0);
+        let mono = ExactCommute::compute(&g).unwrap();
+        // No interface at all: the only arithmetic difference vs the
+        // monolithic build is pinv on the component instead of the whole
+        // matrix — both land on the same Cholesky route per component.
+        for i in 0..6 {
+            for j in 0..6 {
+                let (a, b) = (o.distance(i, j), mono.commute_distance(i, j));
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b),
+                    "c({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counters_track_layout() {
+        let before_blocks = cad_obs::counters::PART_BLOCKS.get();
+        let before_solves = cad_obs::counters::PART_BLOCK_SOLVES.get();
+        let g = bridged(4);
+        let spec = PartitionSpec {
+            blocks: 2,
+            mode: PartitionMode::Bfs,
+        };
+        let _o = PartitionedOracle::build(&g, &EngineOptions::Exact, spec, 1).unwrap();
+        assert_eq!(cad_obs::counters::PART_BLOCKS.get(), before_blocks + 2);
+        assert_eq!(
+            cad_obs::counters::PART_BLOCK_SOLVES.get(),
+            before_solves + 2
+        );
+    }
+}

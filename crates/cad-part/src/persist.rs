@@ -1,0 +1,455 @@
+//! Partitioned-oracle serialization — the `cad-store` artifact format
+//! for [`PartitionedOracle`].
+//!
+//! Mirrors `cad_commute::persist` byte-for-byte in spirit: every `f64`
+//! is stored as its raw IEEE-754 bit pattern (little-endian), so a
+//! loaded oracle answers queries bit-identically to the instance that
+//! was saved. Layout: `magic "CADPART\0" · version u32 · tag u8 ·
+//! payload` with tag 1 = exact blocks, tag 2 = embedding. The store
+//! handles integrity (CRC); this module bounds-checks every read and
+//! rejects truncated or trailing bytes.
+//!
+//! [`decode_oracle`] is the store-facing entry point: it dispatches on
+//! the magic, falling back to [`cad_commute::oracle_from_bytes`] for
+//! monolithic artifacts — partitioned requests for the ablation engines
+//! (shortest-path, corrected) build monolithically, so their cached
+//! artifacts carry the `CADORCL` magic even under a partitioned cache
+//! key.
+
+use crate::blocks::{Block, ExactBlocks, Loc};
+use crate::oracle::{Inner, PartitionedOracle};
+use cad_commute::{PartitionInfo, Result, SharedOracle};
+use cad_graph::GraphError;
+use cad_linalg::DenseMatrix;
+
+/// Partitioned-artifact magic, 8 bytes.
+pub const PART_MAGIC: &[u8; 8] = b"CADPART\0";
+/// Partitioned-artifact format version.
+pub const PART_FORMAT_VERSION: u32 = 1;
+
+const TAG_EXACT: u8 = 1;
+const TAG_EMBEDDING: u8 = 2;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32s(out: &mut Vec<u8>, values: &[u32]) {
+    out.reserve(4 * values.len());
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    out.reserve(8 * values.len());
+    for &v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Serialize a [`PartitionedOracle`] (called via
+/// `DistanceOracle::to_store_bytes`).
+pub(crate) fn to_bytes(o: &PartitionedOracle) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(PART_MAGIC);
+    out.extend_from_slice(&PART_FORMAT_VERSION.to_le_bytes());
+    out.push(match o.inner {
+        Inner::Exact(_) => TAG_EXACT,
+        Inner::Embedding { .. } => TAG_EMBEDDING,
+    });
+    put_u64(&mut out, o.n as u64);
+    put_f64(&mut out, o.volume);
+    put_u64(&mut out, o.info.blocks as u64);
+    put_u64(&mut out, o.info.boundary_edges as u64);
+    match &o.inner {
+        Inner::Embedding { coords, k } => {
+            put_u64(&mut out, *k as u64);
+            put_f64s(&mut out, coords);
+        }
+        Inner::Exact(b) => {
+            put_u32s(&mut out, &b.comp_of);
+            put_u64(&mut out, b.comp_size.len() as u64);
+            put_u64(&mut out, b.sep.len() as u64);
+            put_u32s(&mut out, &b.sep);
+            put_f64s(&mut out, b.s_pinv.data());
+            match &b.diag {
+                Some(d) => {
+                    out.push(1);
+                    put_f64s(&mut out, d);
+                }
+                None => out.push(0),
+            }
+            put_u64(&mut out, b.blocks.len() as u64);
+            for block in &b.blocks {
+                out.push(u8::from(block.whole));
+                put_u64(&mut out, block.nodes.len() as u64);
+                put_u32s(&mut out, &block.nodes);
+                put_f64s(&mut out, block.m.data());
+                put_f64s(&mut out, block.w.data());
+            }
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> std::result::Result<&'a [u8], GraphError> {
+        if self.buf.len() < n {
+            return Err(invalid(format!(
+                "partitioned artifact truncated: wanted {n} bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u64(&mut self) -> std::result::Result<u64, GraphError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn usize_checked(&mut self, what: &str) -> std::result::Result<usize, GraphError> {
+        let v = self.u64()?;
+        if v > (1 << 32) {
+            return Err(invalid(format!(
+                "partitioned artifact: implausible {what} {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn f64_bits(&mut self) -> std::result::Result<f64, GraphError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8"),
+        )))
+    }
+
+    fn f64s(&mut self, n: usize, what: &str) -> std::result::Result<Vec<f64>, GraphError> {
+        let raw = self.take(n.checked_mul(8).ok_or_else(|| {
+            invalid(format!("partitioned artifact: {what} length overflows"))
+        })?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
+            .collect())
+    }
+
+    fn u32s(&mut self, n: usize, what: &str) -> std::result::Result<Vec<u32>, GraphError> {
+        let raw = self.take(n.checked_mul(4).ok_or_else(|| {
+            invalid(format!("partitioned artifact: {what} length overflows"))
+        })?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
+            .collect())
+    }
+
+    fn byte(&mut self) -> std::result::Result<u8, GraphError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn finish(&self, what: &str) -> std::result::Result<(), GraphError> {
+        if !self.buf.is_empty() {
+            return Err(invalid(format!(
+                "partitioned artifact: {} trailing bytes after {what}",
+                self.buf.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn invalid(msg: String) -> GraphError {
+    GraphError::InvalidInput(msg)
+}
+
+fn matrix(
+    cur: &mut Cursor<'_>,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> std::result::Result<DenseMatrix, GraphError> {
+    let len = rows
+        .checked_mul(cols)
+        .ok_or_else(|| invalid(format!("partitioned artifact: {what} size overflows")))?;
+    let data = cur.f64s(len, what)?;
+    DenseMatrix::from_vec(rows, cols, data).map_err(GraphError::from)
+}
+
+fn decode_exact(
+    cur: &mut Cursor<'_>,
+    n: usize,
+) -> Result<ExactBlocks> {
+    let comp_of = cur.u32s(n, "component ids")?;
+    let n_components = cur.usize_checked("component count")?;
+    let mut comp_size = vec![0usize; n_components];
+    for &c in &comp_of {
+        let c = c as usize;
+        if c >= n_components {
+            return Err(invalid(format!(
+                "partitioned artifact: component id {c} out of range"
+            )));
+        }
+        comp_size[c] += 1;
+    }
+    let ns = cur.usize_checked("boundary size")?;
+    if ns > n {
+        return Err(invalid(format!(
+            "partitioned artifact: boundary size {ns} exceeds n = {n}"
+        )));
+    }
+    let sep = cur.u32s(ns, "boundary vertices")?;
+    let s_pinv = matrix(cur, ns, ns, "interface pseudoinverse")?;
+    let diag = match cur.byte()? {
+        0 => None,
+        1 => Some(cur.f64s(n, "diagonal")?),
+        other => {
+            return Err(invalid(format!(
+                "partitioned artifact: bad diagonal flag {other}"
+            )))
+        }
+    };
+    let n_blocks = cur.usize_checked("block count")?;
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20));
+    for k in 0..n_blocks {
+        let whole = match cur.byte()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(invalid(format!(
+                    "partitioned artifact: block {k} bad whole flag {other}"
+                )))
+            }
+        };
+        let ni = cur.usize_checked("block size")?;
+        if ni > n {
+            return Err(invalid(format!(
+                "partitioned artifact: block {k} size {ni} exceeds n = {n}"
+            )));
+        }
+        let nodes = cur.u32s(ni, "block nodes")?;
+        let m = matrix(cur, ni, ni, "block inverse")?;
+        let w_rows = if whole { 0 } else { ni };
+        let w = matrix(cur, w_rows, ns, "block coupling")?;
+        blocks.push(Block { nodes, whole, m, w });
+    }
+
+    // Rebuild the per-vertex location table and require exact coverage:
+    // every vertex is either boundary or interior of exactly one block.
+    let mut loc = vec![None; n];
+    for (q, &v) in sep.iter().enumerate() {
+        let v = v as usize;
+        if v >= n || loc[v].is_some() {
+            return Err(invalid(format!(
+                "partitioned artifact: bad boundary vertex {v}"
+            )));
+        }
+        loc[v] = Some(Loc::Boundary { pos: q as u32 });
+    }
+    for (k, block) in blocks.iter().enumerate() {
+        for (p, &v) in block.nodes.iter().enumerate() {
+            let v = v as usize;
+            if v >= n || loc[v].is_some() {
+                return Err(invalid(format!(
+                    "partitioned artifact: vertex {v} multiply assigned"
+                )));
+            }
+            loc[v] = Some(Loc::Interior {
+                block: k as u32,
+                pos: p as u32,
+            });
+        }
+    }
+    let loc: Vec<Loc> = loc
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| invalid("partitioned artifact: uncovered vertex".into()))?;
+
+    Ok(ExactBlocks {
+        n,
+        comp_of,
+        comp_size,
+        blocks,
+        loc,
+        sep,
+        s_pinv,
+        diag,
+    })
+}
+
+/// Reconstitute an oracle from store bytes.
+///
+/// Partitioned artifacts (`CADPART` magic) decode here; anything else
+/// is handed to [`cad_commute::oracle_from_bytes`], which covers the
+/// monolithic artifacts that partitioned requests for ablation engines
+/// produce. Never panics on hostile input.
+pub fn decode_oracle(bytes: &[u8]) -> Result<SharedOracle> {
+    if bytes.len() < 8 || &bytes[..8] != PART_MAGIC {
+        return cad_commute::oracle_from_bytes(bytes);
+    }
+    let mut cur = Cursor { buf: &bytes[8..] };
+    let version = u32::from_le_bytes(cur.take(4)?.try_into().expect("4"));
+    if version != PART_FORMAT_VERSION {
+        return Err(invalid(format!(
+            "partitioned artifact version {version} unsupported (this build reads {PART_FORMAT_VERSION})"
+        )));
+    }
+    let tag = cur.byte()?;
+    let n = cur.usize_checked("node count")?;
+    let volume = cur.f64_bits()?;
+    let info = PartitionInfo {
+        blocks: cur.usize_checked("block count")?,
+        boundary_edges: cur.usize_checked("boundary edge count")?,
+    };
+    let (inner, backend) = match tag {
+        TAG_EMBEDDING => {
+            let k = cur.usize_checked("embedding dimension")?;
+            let len = n
+                .checked_mul(k)
+                .ok_or_else(|| invalid("partitioned artifact: n·k overflows".into()))?;
+            let coords = cur.f64s(len, "coordinates")?;
+            cur.finish("partitioned embedding")?;
+            (Inner::Embedding { coords, k }, "partitioned-embedding")
+        }
+        TAG_EXACT => {
+            let blocks = decode_exact(&mut cur, n)?;
+            cur.finish("partitioned exact oracle")?;
+            (Inner::Exact(blocks), "partitioned-exact")
+        }
+        other => {
+            return Err(invalid(format!(
+                "partitioned artifact: unknown tag {other}"
+            )))
+        }
+    };
+    let jl_dim = match &inner {
+        Inner::Embedding { k, .. } => Some(*k),
+        Inner::Exact(_) => None,
+    };
+    Ok(Box::new(PartitionedOracle {
+        n,
+        volume,
+        info,
+        inner,
+        // Truthful provenance: loading performed no solves.
+        build_stats: cad_obs::OracleBuildStats {
+            backend,
+            build_secs: 0.0,
+            jl_dim,
+            solves: Vec::new(),
+        },
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_commute::{EmbeddingOptions, EngineOptions, PartitionMode, PartitionSpec};
+    use cad_graph::WeightedGraph;
+
+    fn graph() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            9,
+            &[
+                (0, 1, 1.5),
+                (1, 2, 0.75),
+                (2, 3, 2.0),
+                (3, 4, 1.0),
+                (0, 4, 0.5),
+                (4, 5, 1.0),
+                (5, 6, 1.25),
+                (7, 8, 3.0), // second component
+            ],
+        )
+        .unwrap()
+    }
+
+    fn round_trip(opts: &EngineOptions, spec: PartitionSpec) {
+        let g = graph();
+        let fresh = PartitionedOracle::build(&g, opts, spec, 1).unwrap();
+        let loaded = decode_oracle(&fresh.to_store_bytes()).unwrap();
+        assert_eq!(loaded.kind(), fresh.kind());
+        assert_eq!(loaded.n_nodes(), fresh.n_nodes());
+        assert_eq!(loaded.partition_info(), fresh.partition_info());
+        assert_eq!(
+            loaded.volume().map(f64::to_bits),
+            fresh.volume().map(f64::to_bits)
+        );
+        for i in 0..g.n_nodes() {
+            for j in 0..g.n_nodes() {
+                assert_eq!(
+                    loaded.distance(i, j).to_bits(),
+                    fresh.distance(i, j).to_bits(),
+                    "distance({i}, {j})"
+                );
+            }
+        }
+        let stats = loaded.build_stats().expect("loaded oracles keep stats");
+        assert_eq!(stats.build_secs, 0.0);
+    }
+
+    #[test]
+    fn exact_round_trips_bit_identically() {
+        for mode in [PartitionMode::Bfs, PartitionMode::Components, PartitionMode::Auto] {
+            round_trip(&EngineOptions::Exact, PartitionSpec { blocks: 3, mode });
+        }
+    }
+
+    #[test]
+    fn embedding_round_trips_bit_identically() {
+        round_trip(
+            &EngineOptions::Approximate(EmbeddingOptions {
+                k: 10,
+                ..Default::default()
+            }),
+            PartitionSpec::auto(2),
+        );
+    }
+
+    #[test]
+    fn monolithic_fallback_artifacts_decode_too() {
+        let g = graph();
+        let spec = PartitionSpec::auto(2);
+        let o = PartitionedOracle::build(&g, &EngineOptions::Corrected, spec, 1).unwrap();
+        let loaded = decode_oracle(&o.to_store_bytes()).unwrap();
+        assert_eq!(loaded.kind(), o.kind());
+        assert_eq!(
+            loaded.distance(0, 6).to_bits(),
+            o.distance(0, 6).to_bits()
+        );
+    }
+
+    #[test]
+    fn damaged_artifacts_error_instead_of_panicking() {
+        let g = graph();
+        let spec = PartitionSpec {
+            blocks: 3,
+            mode: PartitionMode::Bfs,
+        };
+        let bytes = PartitionedOracle::build(&g, &EngineOptions::Exact, spec, 1)
+            .unwrap()
+            .to_store_bytes();
+        for cut in 0..bytes.len().min(96) {
+            assert!(decode_oracle(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(7);
+        assert!(decode_oracle(&extended).is_err());
+        let mut bad_tag = bytes.clone();
+        bad_tag[12] = 9;
+        assert!(decode_oracle(&bad_tag).is_err());
+        let mut bad_version = bytes;
+        bad_version[8] = 42;
+        assert!(decode_oracle(&bad_version).is_err());
+    }
+}

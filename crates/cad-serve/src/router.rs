@@ -330,6 +330,15 @@ fn push_snapshot(req: &Request, session: &Session) -> Response {
                 ("instance", num(inner.instances - 1)),
             ];
             fields.extend(oracle_json(m.oracle));
+            if let Some(p) = &m.partition {
+                fields.push((
+                    "partition",
+                    Json::obj(vec![
+                        ("blocks", num(p.blocks)),
+                        ("boundary_edges", num(p.boundary_edges)),
+                    ]),
+                ));
+            }
             fields.push(("transition", transition_json(&tr, inner.online.delta(), &m)));
             let mut resp = Response::json(200, Json::obj(fields));
             resp.meta.update_mode = Some(m.oracle.mode_name());
@@ -778,6 +787,41 @@ mod tests {
         assert_eq!(v.get("fallback").and_then(Json::as_str), Some("structural"));
         assert_eq!(cad_obs::counters::INCREMENTAL_UPDATES.get(), 1);
         assert_eq!(cad_obs::counters::REBUILD_FALLBACKS.get(), 1);
+    }
+
+    #[test]
+    fn partitioned_session_reports_layout_on_push() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx();
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4, "partition": {"blocks": 2, "mode": "components"}}"#,
+            ),
+            &ctx,
+        );
+        assert_eq!(resp.status, 201, "{:?}", parse(&resp));
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+
+        // Two triangles, no connector: two components, zero cut edges.
+        let body = r#"{"nodes": 6, "edges": [[0, 1, 3.0], [0, 2, 3.0], [1, 2, 3.0], [3, 4, 3.0], [3, 5, 3.0], [4, 5, 3.0]]}"#;
+        let resp = route(&request("POST", &push, body.as_bytes()), &ctx);
+        assert_eq!(resp.status, 200, "{:?}", parse(&resp));
+        let v = parse(&resp);
+        let p = v.get("partition").expect("partition object");
+        assert_eq!(p.get("blocks").and_then(Json::as_u64), Some(2));
+        assert_eq!(p.get("boundary_edges").and_then(Json::as_u64), Some(0));
+
+        // An unpartitioned session's push carries no partition field.
+        let resp = route(&request("POST", "/v1/sequences", br#"{"nodes": 6}"#), &ctx);
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+        let resp = route(&request("POST", &push, body.as_bytes()), &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(parse(&resp).get("partition").is_none());
     }
 
     #[test]

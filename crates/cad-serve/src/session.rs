@@ -8,7 +8,7 @@
 //! mutex serialises its pushes — concurrent snapshots to *one* session
 //! are ordered, snapshots to *different* sessions run in parallel.
 
-use cad_commute::{EmbeddingOptions, EngineOptions, OracleProvider};
+use cad_commute::{EmbeddingOptions, EngineOptions, OracleProvider, PartitionMode, PartitionSpec};
 use cad_core::{CadOptions, OnlineCad, ScoreKind, ThresholdMode, UpdateMode};
 use cad_graph::WeightedGraph;
 use cad_obs::Json;
@@ -53,7 +53,10 @@ pub struct SessionSpec {
 /// (running-average target nodes per transition) may be given;
 /// neither defaults to `l = 2`. `update_mode` is one of `rebuild`,
 /// `incremental`, `auto`; omitted inherits the server's `--update-mode`
-/// default.
+/// default. `partition` requests the block-partitioned oracle: either a
+/// positive integer (the target block count, mode `auto`) or an object
+/// `{"blocks": n, "mode": "auto"|"components"|"bfs"}`; push responses
+/// then report the realised `blocks` and `boundary_edges`.
 pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let v = cad_obs::parse_json(text).map_err(|e| format!("body is not JSON: {e}"))?;
@@ -135,6 +138,40 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
             return Err("`update_mode` must be a string (rebuild | incremental | auto)".to_string())
         }
     };
+    let partition = match v.get("partition") {
+        None => None,
+        Some(j) => {
+            let (blocks, mode_j) = match j.as_u64() {
+                Some(b) => (b, None),
+                None => {
+                    let b = j.get("blocks").and_then(Json::as_u64).ok_or_else(|| {
+                        "`partition` must be a positive integer or an object with \
+                         `blocks` (positive integer)"
+                            .to_string()
+                    })?;
+                    (b, j.get("mode"))
+                }
+            };
+            if blocks == 0 {
+                return Err("`partition` blocks must be at least 1".to_string());
+            }
+            let mode = match mode_j.map(|m| m.as_str()) {
+                None => PartitionMode::Auto,
+                Some(Some(s)) => PartitionMode::parse(s).ok_or_else(|| {
+                    format!("unknown partition `mode` {s:?} (want auto | components | bfs)")
+                })?,
+                Some(None) => {
+                    return Err(
+                        "partition `mode` must be a string (auto | components | bfs)".to_string()
+                    )
+                }
+            };
+            Some(PartitionSpec {
+                blocks: blocks as usize,
+                mode,
+            })
+        }
+    };
     let label = match v.get("label") {
         Some(j) => j
             .as_str()
@@ -148,6 +185,7 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
             engine,
             kind,
             threads: 1,
+            partition,
         },
         mode,
         update_mode,
@@ -372,6 +410,57 @@ mod tests {
         for engine in ["shortest-path", "corrected"] {
             let body = format!(r#"{{"nodes": 4, "engine": "{engine}"}}"#);
             parse_spec(body.as_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_spec_accepts_partition_shapes() {
+        let s = parse_spec(br#"{"nodes": 8}"#).unwrap();
+        assert_eq!(s.opts.partition, None, "monolithic by default");
+
+        let s = parse_spec(br#"{"nodes": 8, "partition": 4}"#).unwrap();
+        assert_eq!(
+            s.opts.partition,
+            Some(PartitionSpec {
+                blocks: 4,
+                mode: PartitionMode::Auto
+            })
+        );
+
+        let s =
+            parse_spec(br#"{"nodes": 8, "partition": {"blocks": 3, "mode": "bfs"}}"#).unwrap();
+        assert_eq!(
+            s.opts.partition,
+            Some(PartitionSpec {
+                blocks: 3,
+                mode: PartitionMode::Bfs
+            })
+        );
+
+        let s = parse_spec(br#"{"nodes": 8, "partition": {"blocks": 2}}"#).unwrap();
+        assert_eq!(
+            s.opts.partition,
+            Some(PartitionSpec {
+                blocks: 2,
+                mode: PartitionMode::Auto
+            })
+        );
+
+        for (body, needle) in [
+            (&br#"{"nodes": 8, "partition": 0}"#[..], "at least 1"),
+            (br#"{"nodes": 8, "partition": "four"}"#, "`partition`"),
+            (br#"{"nodes": 8, "partition": {"mode": "bfs"}}"#, "`blocks`"),
+            (
+                br#"{"nodes": 8, "partition": {"blocks": 2, "mode": "warp"}}"#,
+                "unknown partition `mode`",
+            ),
+            (
+                br#"{"nodes": 8, "partition": {"blocks": 2, "mode": 7}}"#,
+                "must be a string",
+            ),
+        ] {
+            let err = parse_spec(body).expect_err("must reject");
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
         }
     }
 

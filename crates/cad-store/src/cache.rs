@@ -97,6 +97,27 @@ pub fn cache_key(g: &WeightedGraph, opts: &EngineOptions) -> String {
     to_hex(&h.finish())
 }
 
+/// The content-address of a *block-partitioned* oracle: [`cache_key`]'s
+/// inputs plus the partition layout fingerprint
+/// ([`cad_commute::PartitionSpec::fingerprint`] — requested mode and
+/// block count). A second domain separator keeps partitioned keys
+/// disjoint from monolithic ones even for identical snapshot × engine
+/// pairs; like thread count, the fingerprint deliberately excludes
+/// anything that cannot change artifact contents.
+pub fn cache_key_partitioned(
+    g: &WeightedGraph,
+    opts: &EngineOptions,
+    spec: cad_commute::PartitionSpec,
+) -> String {
+    let mut h = Sha256::new();
+    h.update(&snapshot_bytes(g));
+    h.update(&[0xff]); // domain separator
+    h.update(engine_fingerprint(opts, g.n_nodes()).as_bytes());
+    h.update(&[0xff]); // partition domain separator
+    h.update(spec.fingerprint().as_bytes());
+    to_hex(&h.finish())
+}
+
 /// A directory of content-addressed oracle artifacts.
 ///
 /// Implements [`cad_commute::OracleProvider`], so it plugs straight
@@ -129,7 +150,15 @@ impl OracleStore {
 
     /// Load and validate the artifact for `key`. Any damage (bad CRC,
     /// truncation, undecodable payload) reads as "not cached".
-    fn load_artifact(&self, key: &str) -> Option<SharedOracle> {
+    /// `decode` is the payload decoder — [`oracle_from_bytes`] for
+    /// monolithic artifacts, [`cad_part::decode_oracle`] for partitioned
+    /// ones (which also accepts monolithic payloads, covering the
+    /// ablation-engine fallback cached under partitioned keys).
+    fn load_artifact_with(
+        &self,
+        key: &str,
+        decode: fn(&[u8]) -> cad_commute::Result<SharedOracle>,
+    ) -> Option<SharedOracle> {
         let path = self.artifact_path(key);
         if !path.exists() {
             return None;
@@ -146,7 +175,11 @@ impl OracleStore {
         if crc32(payload) != stored {
             return None;
         }
-        oracle_from_bytes(payload).ok()
+        decode(payload).ok()
+    }
+
+    fn load_artifact(&self, key: &str) -> Option<SharedOracle> {
+        self.load_artifact_with(key, oracle_from_bytes)
     }
 
     /// Persist `oracle` under `key` (write-then-rename, CRC footer).
@@ -181,6 +214,29 @@ impl OracleStore {
         let oracle = CommuteTimeEngine::compute(g, opts)?;
         // Persisting is best-effort: a full disk must not fail the
         // detection run that just succeeded in memory.
+        let _ = self.store_oracle(&key, oracle.as_ref());
+        Ok(oracle)
+    }
+
+    /// Partitioned analogue of [`OracleStore::get_or_build`]: keys by
+    /// [`cache_key_partitioned`], builds via
+    /// [`cad_part::PartitionedOracle::build`] on miss.
+    pub fn get_or_build_partitioned(
+        &self,
+        g: &WeightedGraph,
+        opts: &EngineOptions,
+        spec: cad_commute::PartitionSpec,
+        threads: usize,
+    ) -> cad_commute::Result<SharedOracle> {
+        let key = cache_key_partitioned(g, opts, spec);
+        if let Some(oracle) = self.load_artifact_with(&key, cad_part::decode_oracle) {
+            if oracle.n_nodes() == g.n_nodes() {
+                cad_obs::counters::STORE_CACHE_HITS.inc();
+                return Ok(oracle);
+            }
+        }
+        cad_obs::counters::STORE_CACHE_MISSES.inc();
+        let oracle = cad_part::PartitionedOracle::build(g, opts, spec, threads)?;
         let _ = self.store_oracle(&key, oracle.as_ref());
         Ok(oracle)
     }
@@ -255,6 +311,17 @@ impl OracleProvider for OracleStore {
         opts: &EngineOptions,
     ) -> cad_commute::Result<SharedOracle> {
         self.get_or_build(g, opts)
+    }
+
+    fn oracle_partitioned(
+        &self,
+        _t: usize,
+        g: &WeightedGraph,
+        opts: &EngineOptions,
+        spec: cad_commute::PartitionSpec,
+        threads: usize,
+    ) -> cad_commute::Result<SharedOracle> {
+        self.get_or_build_partitioned(g, opts, spec, threads)
     }
 }
 
@@ -429,6 +496,76 @@ mod tests {
         assert_eq!(stats.files_removed, 1);
         assert_eq!(stats.bytes_reclaimed, 10);
         assert_eq!(stats.files_kept, 1);
+    }
+
+    #[test]
+    fn partitioned_keys_are_disjoint_and_layout_sensitive() {
+        use cad_commute::{PartitionMode, PartitionSpec};
+        let g = graph(1.0);
+        let opts = EngineOptions::Exact;
+        let spec = |blocks, mode| PartitionSpec { blocks, mode };
+        let base = cache_key_partitioned(&g, &opts, spec(2, PartitionMode::Bfs));
+        // Partitioned keys never collide with monolithic ones.
+        assert_ne!(base, cache_key(&g, &opts));
+        // Block count and mode are part of the address...
+        assert_ne!(
+            base,
+            cache_key_partitioned(&g, &opts, spec(3, PartitionMode::Bfs))
+        );
+        assert_ne!(
+            base,
+            cache_key_partitioned(&g, &opts, spec(2, PartitionMode::Auto))
+        );
+        // ...and the same request is stable.
+        assert_eq!(
+            base,
+            cache_key_partitioned(&graph(1.0), &opts, spec(2, PartitionMode::Bfs))
+        );
+        // Snapshot and engine still separate as for monolithic keys.
+        assert_ne!(
+            base,
+            cache_key_partitioned(&graph(2.0), &opts, spec(2, PartitionMode::Bfs))
+        );
+        assert_ne!(
+            base,
+            cache_key_partitioned(&g, &EngineOptions::Corrected, spec(2, PartitionMode::Bfs))
+        );
+    }
+
+    #[test]
+    fn partitioned_lookup_hits_with_bit_identical_queries() {
+        use cad_commute::{PartitionMode, PartitionSpec};
+        let _guard = lock();
+        let store = fresh_store("part-hit");
+        let g = graph(1.0);
+        let opts = EngineOptions::Exact;
+        let spec = PartitionSpec {
+            blocks: 2,
+            mode: PartitionMode::Bfs,
+        };
+
+        let misses_before = cad_obs::counters::STORE_CACHE_MISSES.get();
+        let first = store.get_or_build_partitioned(&g, &opts, spec, 1).unwrap();
+        assert_eq!(
+            cad_obs::counters::STORE_CACHE_MISSES.get(),
+            misses_before + 1
+        );
+        assert_eq!(first.partition_info().map(|i| i.blocks), Some(2));
+
+        let hits_before = cad_obs::counters::STORE_CACHE_HITS.get();
+        let second = store.get_or_build_partitioned(&g, &opts, spec, 1).unwrap();
+        assert_eq!(cad_obs::counters::STORE_CACHE_HITS.get(), hits_before + 1);
+        assert_eq!(second.partition_info(), first.partition_info());
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(
+                    first.distance(i, j).to_bits(),
+                    second.distance(i, j).to_bits()
+                );
+            }
+        }
+        // The monolithic key for the same snapshot × engine is untouched.
+        assert!(!store.artifact_path(&cache_key(&g, &opts)).exists());
     }
 
     #[test]

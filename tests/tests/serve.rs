@@ -192,6 +192,7 @@ fn http_pushed_sequences_are_bit_identical_to_batch_detect_for_every_engine() {
             engine: engine.clone(),
             kind: ScoreKind::Cad,
             threads: 1,
+            partition: None,
         })
         .detect(&seq, delta)
         .expect("batch detection");
@@ -353,6 +354,7 @@ fn tracing_and_access_logging_never_perturb_detection_results() {
         engine: EngineOptions::Exact,
         kind: ScoreKind::Cad,
         threads: 1,
+        partition: None,
     })
     .detect(&seq, 0.4)
     .expect("batch detection");
@@ -382,6 +384,7 @@ fn concurrent_sessions_stay_isolated_and_ordered() {
                     engine: EngineOptions::Exact,
                     kind: ScoreKind::Cad,
                     threads: 1,
+                    partition: None,
                 })
                 .detect(&seq, 0.4)
                 .expect("batch detection");

@@ -205,6 +205,73 @@ fn warm_cache_detect_builds_zero_oracles() {
     }
 }
 
+/// Mirror of [`cache_keys_separate_engines_and_snapshots`] for the
+/// partition layout: a cache populated by the monolithic oracle never
+/// serves a partitioned request, two different layouts never share
+/// artifacts, and re-running one layout hits every artifact it wrote.
+#[test]
+fn cache_keys_separate_partition_layouts() {
+    let _guard = GLOBAL_SINKS.lock().unwrap();
+    let seq = bridge_sequence();
+    let store: Arc<dyn cad_commute::OracleProvider> =
+        Arc::new(OracleStore::open(&temp_dir("part-keys")).unwrap());
+
+    // Monolithic exact populates the unpartitioned namespace.
+    cad_obs::reset();
+    let mono = CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        ..Default::default()
+    })
+    .with_provider(Arc::clone(&store));
+    mono.detect(&seq, 0.4).unwrap();
+    assert_eq!(counter("store.cache_misses"), seq.len() as u64);
+
+    // Same engine, same snapshots, but a partition layout: all misses.
+    let two_blocks = cad_commute::PartitionSpec {
+        blocks: 2,
+        mode: cad_commute::PartitionMode::Bfs,
+    };
+    cad_obs::reset();
+    let part = CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        partition: Some(two_blocks),
+        ..Default::default()
+    })
+    .with_provider(Arc::clone(&store));
+    part.detect(&seq, 0.4).unwrap();
+    assert_eq!(
+        counter("store.cache_hits"),
+        0,
+        "partition layout is part of the key"
+    );
+    assert_eq!(counter("store.cache_misses"), seq.len() as u64);
+
+    // The same layout again: every artifact hits.
+    cad_obs::reset();
+    part.detect(&seq, 0.4).unwrap();
+    assert_eq!(counter("store.cache_hits"), seq.len() as u64);
+    assert_eq!(counter("store.cache_misses"), 0);
+
+    // A different block count is a different layout: all misses again.
+    cad_obs::reset();
+    let three_blocks = CadDetector::new(CadOptions {
+        engine: EngineOptions::Exact,
+        partition: Some(cad_commute::PartitionSpec {
+            blocks: 3,
+            mode: cad_commute::PartitionMode::Bfs,
+        }),
+        ..Default::default()
+    })
+    .with_provider(Arc::clone(&store));
+    three_blocks.detect(&seq, 0.4).unwrap();
+    assert_eq!(
+        counter("store.cache_hits"),
+        0,
+        "block count is part of the key"
+    );
+    assert_eq!(counter("store.cache_misses"), seq.len() as u64);
+}
+
 /// A cache populated by one engine never serves another engine's
 /// request, and a perturbed snapshot never hits a stale artifact.
 #[test]
