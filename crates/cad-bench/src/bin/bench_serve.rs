@@ -20,6 +20,12 @@
 //! (`rebuild` vs `incremental`, over `--delta-nodes` vertices), and
 //! records both latency distributions plus their p99 speedup
 //! (`serve.small_delta_speedup_p99`).
+//!
+//! A third phase measures durability: the same single-session workload
+//! against an unjournaled server and a `--journal-dir` server with the
+//! default fsync-every-append policy, reporting the p99 cost ratio
+//! (`serve.journal_overhead_p99`), then restarts from the journals left
+//! behind and reports the replay wall time (`journal.recovery_secs`).
 
 use cad_bench::Args;
 use cad_serve::{ServeConfig, Server};
@@ -154,6 +160,41 @@ fn small_delta_run(
     latencies
 }
 
+/// One session of `snapshot_body` pushes from a single client, used by
+/// the durability phase on both the unjournaled and journaled servers.
+/// Skipping the DELETE leaves the session's journal behind for the
+/// recovery measurement.
+fn durability_run(
+    addr: std::net::SocketAddr,
+    nodes: usize,
+    pushes: usize,
+    delete: bool,
+) -> Vec<f64> {
+    let mut client = Client::connect(addr);
+    let spec =
+        format!(r#"{{"nodes": {nodes}, "engine": "exact", "delta": 0.4, "label": "durability"}}"#);
+    let (status, body) = client.call("POST", "/v1/sequences", spec.as_bytes());
+    assert_eq!(status, 201, "create failed: {body}");
+    let id = cad_obs::parse_json(&body)
+        .expect("json")
+        .get("id")
+        .and_then(cad_obs::Json::as_u64)
+        .expect("id");
+    let path = format!("/v1/sequences/{id}/snapshots");
+    let mut latencies = Vec::with_capacity(pushes);
+    for i in 0..pushes {
+        let body = snapshot_body(nodes, i);
+        let (resp, secs) = cad_obs::time_it(|| client.call("POST", &path, body.as_bytes()));
+        assert_eq!(resp.0, 200, "push {i} failed: {}", resp.1);
+        latencies.push(secs);
+    }
+    if delete {
+        let (status, _) = client.call("DELETE", &format!("/v1/sequences/{id}"), b"");
+        assert_eq!(status, 200);
+    }
+    latencies
+}
+
 fn main() {
     let args = Args::from_env();
     args.apply_verbosity();
@@ -217,7 +258,34 @@ fn main() {
     // the two latency distributions see identical load (none).
     let rebuild_lat = small_delta_run(addr, delta_nodes, delta_pushes, "rebuild");
     let incr_lat = small_delta_run(addr, delta_nodes, delta_pushes, "incremental");
+    // Durability baseline on the same (now otherwise idle) server.
+    let plain_lat = durability_run(addr, nodes, instances, true);
     server.drain();
+
+    // Durability phase: the identical workload with a write-ahead log
+    // under the default fsync-every-append policy, then a restart that
+    // replays the journal left behind.
+    let journal_dir =
+        std::env::temp_dir().join(format!("cad-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let journaled = Server::start(ServeConfig {
+        workers,
+        journal_dir: Some(journal_dir.clone()),
+        ..Default::default()
+    })
+    .expect("start journaled server");
+    let journal_lat = durability_run(journaled.addr(), nodes, instances, false);
+    journaled.drain();
+    let (restarted, recovery_secs) = cad_obs::time_it(|| {
+        Server::start(ServeConfig {
+            workers,
+            journal_dir: Some(journal_dir.clone()),
+            ..Default::default()
+        })
+        .expect("restart journaled server")
+    });
+    restarted.drain();
+    let _ = std::fs::remove_dir_all(&journal_dir);
 
     let pushes = latencies.len();
     let rps = pushes as f64 / wall;
@@ -298,6 +366,23 @@ fn main() {
         "serve.small_delta_speedup_p99".to_string(),
         cad_obs::Summary::of([speedup]),
     );
+    // Durability phase: journaled-vs-plain push cost and recovery time.
+    // Both land as summaries (informational, not latency-gated) because
+    // fsync cost is the noisiest thing a CI box measures.
+    let plain_hist = cad_obs::Histogram::of(plain_lat.iter().copied());
+    let journal_hist = cad_obs::Histogram::of(journal_lat.iter().copied());
+    let journal_overhead = journal_hist.p99() / plain_hist.p99().max(f64::MIN_POSITIVE);
+    report
+        .histograms
+        .insert("serve.journal_push_secs".to_string(), journal_hist.clone());
+    report.summaries.insert(
+        "serve.journal_overhead_p99".to_string(),
+        cad_obs::Summary::of([journal_overhead]),
+    );
+    report.summaries.insert(
+        "journal.recovery_secs".to_string(),
+        cad_obs::Summary::of([recovery_secs]),
+    );
     // Measurement conditions, so bench-diff compares like with like.
     for (key, value) in [
         ("bench.serve_clients", clients),
@@ -325,5 +410,12 @@ fn main() {
         delta_pushes - 1,
         rebuild_hist.p99() * 1e3,
         incr_hist.p99() * 1e3
+    );
+    println!(
+        "durability ({instances} pushes, fsync always): plain p99 {:.2} ms, \
+         journaled p99 {:.2} ms -> {journal_overhead:.2}x; recovery {:.1} ms",
+        plain_hist.p99() * 1e3,
+        journal_hist.p99() * 1e3,
+        recovery_secs * 1e3
     );
 }

@@ -23,11 +23,14 @@ USAGE:
   cad serve    [--addr <ip:port>] [--workers <n>] [--max-body <bytes>]
                [--max-sessions <n>] [--store-dir <dir>]
                [--update-mode rebuild|incremental|auto]
-               [--access-log <path|->]
+               [--access-log <path|->] [--journal-dir <dir>]
+               [--journal-fsync always|never|every-<n>]
+               [--max-push-rps <rate>]
   cad generate --dataset toy|gmm|enron|dblp|precip [--out <seq.txt>] [--seed <s>]
   cad pack     --input <seq.txt> --out <pack.cadpack> [--label <text>]
   cad inspect  --input <pack.cadpack>
   cad store    gc --store-dir <dir> --max-bytes <n>
+  cad journal  inspect|compact <journal-dir>
   cad validate-report --input <report.json>
   cad bench-diff <old.json> <new.json> [--threshold <ratio>] [--update]
 
@@ -62,6 +65,11 @@ inspect  prints a pack's header, sizes and integrity status without
          loading the graphs into a detector
 store gc shrinks a --store-dir oracle cache to --max-bytes by deleting
          the least-recently-used artifacts first, printing what it freed
+journal inspect prints every session journal under <journal-dir>
+         (segments, record counts, torn tails) without modifying it;
+         journal compact replays each session offline and rewrites its
+         journal down to a single checkpoint segment — the same
+         compaction serve runs in the background, forced now
 validate-report checks a --metrics-json report against the schema
 bench-diff compares two bench reports metric-by-metric and exits 4 when
          a wall-time metric regresses past --threshold (default 1.3);
@@ -89,6 +97,17 @@ requires --partition.
 --store-dir <dir> keeps a content-addressed oracle cache in <dir>:
 detect/watch reuse an oracle artifact whenever the (snapshot, engine,
 parameters) key matches a previous build, skipping the build entirely.
+
+--journal-dir <dir> makes serve durable: each session appends its
+lifecycle (create, per-push edge delta, delete) to a per-session
+write-ahead log under <dir> before the response is sent, and a restart
+replays the journals to rebuild every session bit-identically — a torn
+record from a crash is dropped at the last complete frame.
+--journal-fsync picks when appends reach the disk: `always` (the
+default) survives power loss, `every-<n>` bounds loss to n records,
+`never` leaves flushing to the OS (sealed segments still sync).
+--max-push-rps <rate> rate-limits snapshot pushes per session with a
+token bucket; over-limit pushes get 429 + Retry-After.
 
 --update-mode picks the oracle lifecycle for streaming detection
 (watch, and the serve default new sessions inherit): `rebuild` builds a
@@ -145,6 +164,15 @@ pub enum UpdateModeArg {
     Incremental,
     /// Incremental with a periodic full refresh.
     Auto,
+}
+
+/// The `cad journal` action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalAction {
+    /// Summarize every session journal without modifying anything.
+    Inspect,
+    /// Replay each session and rewrite its journal to one checkpoint.
+    Compact,
 }
 
 /// A parsed command.
@@ -276,6 +304,15 @@ pub enum Command {
         /// NDJSON access-log destination (`--access-log`): a file path,
         /// `-` for stderr, disabled when absent.
         access_log: Option<String>,
+        /// Write-ahead-log root (`--journal-dir`); sessions are not
+        /// durable when absent.
+        journal_dir: Option<String>,
+        /// Journal fsync policy name (`--journal-fsync`):
+        /// `always` | `never` | `every-<n>`.
+        journal_fsync: Option<String>,
+        /// Per-session push rate limit in requests/second
+        /// (`--max-push-rps`); unlimited when absent.
+        max_push_rps: Option<f64>,
     },
     /// Shrink an oracle cache to a byte budget (LRU eviction).
     StoreGc {
@@ -283,6 +320,13 @@ pub enum Command {
         store_dir: String,
         /// Byte budget the cache is trimmed down to (`--max-bytes`).
         max_bytes: u64,
+    },
+    /// Inspect or compact the write-ahead journals under a directory.
+    Journal {
+        /// What to do with the journals.
+        action: JournalAction,
+        /// Journal root directory (`serve --journal-dir`).
+        dir: String,
     },
     /// Compare two bench reports and gate on wall-time regressions.
     BenchDiff {
@@ -370,9 +414,9 @@ impl Cli {
         if let Some(key) = pending {
             return Err(format!("flag `--{key}` is missing a value\n\n{USAGE}"));
         }
-        // Only bench-diff (report paths) and store (the `gc` action)
-        // take positional operands.
-        if sub != "bench-diff" && sub != "store" {
+        // Only bench-diff (report paths), store (the `gc` action) and
+        // journal (action + directory) take positional operands.
+        if sub != "bench-diff" && sub != "store" && sub != "journal" {
             if let Some(p) = positionals.first() {
                 return Err(format!("unexpected argument `{p}`\n\n{USAGE}"));
             }
@@ -429,38 +473,36 @@ impl Cli {
                 )),
             }
         };
-        let parse_partition = |flags: &HashMap<String, String>| -> Result<
-            (Option<usize>, PartitionModeArg),
-            String,
-        > {
-            let blocks = match flags.get("partition") {
-                Some(v) => {
-                    let b: usize = v
-                        .parse()
-                        .map_err(|_| format!("invalid --partition `{v}`"))?;
-                    if b == 0 {
-                        return Err("--partition must be ≥ 1".into());
+        let parse_partition =
+            |flags: &HashMap<String, String>| -> Result<(Option<usize>, PartitionModeArg), String> {
+                let blocks = match flags.get("partition") {
+                    Some(v) => {
+                        let b: usize = v
+                            .parse()
+                            .map_err(|_| format!("invalid --partition `{v}`"))?;
+                        if b == 0 {
+                            return Err("--partition must be ≥ 1".into());
+                        }
+                        Some(b)
                     }
-                    Some(b)
+                    None => None,
+                };
+                let mode = match flags.get("partition-mode").map(String::as_str) {
+                    None => PartitionModeArg::Auto,
+                    Some("auto") => PartitionModeArg::Auto,
+                    Some("components") => PartitionModeArg::Components,
+                    Some("bfs") => PartitionModeArg::Bfs,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown --partition-mode `{other}` (auto|components|bfs)"
+                        ))
+                    }
+                };
+                if blocks.is_none() && flags.contains_key("partition-mode") {
+                    return Err("--partition-mode requires --partition <blocks>".into());
                 }
-                None => None,
+                Ok((blocks, mode))
             };
-            let mode = match flags.get("partition-mode").map(String::as_str) {
-                None => PartitionModeArg::Auto,
-                Some("auto") => PartitionModeArg::Auto,
-                Some("components") => PartitionModeArg::Components,
-                Some("bfs") => PartitionModeArg::Bfs,
-                Some(other) => {
-                    return Err(format!(
-                        "unknown --partition-mode `{other}` (auto|components|bfs)"
-                    ))
-                }
-            };
-            if blocks.is_none() && flags.contains_key("partition-mode") {
-                return Err("--partition-mode requires --partition <blocks>".into());
-            }
-            Ok((blocks, mode))
-        };
         let parse_k = |flags: &HashMap<String, String>| -> Result<usize, String> {
             match flags.get("k") {
                 Some(v) => v.parse().map_err(|_| format!("invalid --k `{v}`")),
@@ -600,6 +642,39 @@ impl Cli {
                 if workers == 0 {
                     return Err("--workers must be ≥ 1".into());
                 }
+                let journal_dir = get("journal-dir");
+                let journal_fsync = match get("journal-fsync") {
+                    None => None,
+                    Some(v) => {
+                        // Mirrors cad-journal's FsyncPolicy::from_name
+                        // grammar so bad values fail at flag parsing.
+                        let every = v
+                            .strip_prefix("every-")
+                            .and_then(|n| n.parse::<u32>().ok())
+                            .is_some_and(|n| n >= 1);
+                        if !(v == "always" || v == "never" || every) {
+                            return Err(format!(
+                                "unknown --journal-fsync `{v}` (always|never|every-<n>)"
+                            ));
+                        }
+                        if journal_dir.is_none() {
+                            return Err("--journal-fsync requires --journal-dir <dir>".into());
+                        }
+                        Some(v)
+                    }
+                };
+                let max_push_rps = match get("max-push-rps") {
+                    None => None,
+                    Some(v) => {
+                        let r: f64 = v
+                            .parse()
+                            .map_err(|_| format!("invalid --max-push-rps `{v}`"))?;
+                        if !(r.is_finite() && r > 0.0) {
+                            return Err(format!("--max-push-rps must be > 0, got `{v}`"));
+                        }
+                        Some(r)
+                    }
+                };
                 Command::Serve {
                     addr: get("addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
                     workers,
@@ -608,6 +683,31 @@ impl Cli {
                     store_dir: get("store-dir"),
                     update_mode: parse_update_mode(&flags)?,
                     access_log: get("access-log"),
+                    journal_dir,
+                    journal_fsync,
+                    max_push_rps,
+                }
+            }
+            "journal" => {
+                let action = match positionals.first().map(String::as_str) {
+                    Some("inspect") => JournalAction::Inspect,
+                    Some("compact") => JournalAction::Compact,
+                    _ => {
+                        return Err(format!(
+                            "journal needs `inspect <dir>` or `compact <dir>`\n\n{USAGE}"
+                        ))
+                    }
+                };
+                if positionals.len() != 2 {
+                    return Err(format!(
+                        "journal {} needs exactly one <journal-dir>, got {}\n\n{USAGE}",
+                        positionals[0],
+                        positionals.len() - 1
+                    ));
+                }
+                Command::Journal {
+                    action,
+                    dir: positionals[1].clone(),
                 }
             }
             "store" => {
@@ -788,9 +888,11 @@ mod tests {
         assert!(parse("detect --input s.txt --partition x")
             .unwrap_err()
             .contains("--partition"));
-        assert!(parse("detect --input s.txt --partition 2 --partition-mode warp")
-            .unwrap_err()
-            .contains("--partition-mode"));
+        assert!(
+            parse("detect --input s.txt --partition 2 --partition-mode warp")
+                .unwrap_err()
+                .contains("--partition-mode")
+        );
     }
 
     #[test]
@@ -997,12 +1099,16 @@ mod tests {
                 store_dir: None,
                 update_mode: UpdateModeArg::Rebuild,
                 access_log: None,
+                journal_dir: None,
+                journal_fsync: None,
+                max_push_rps: None,
             }
         );
         let cli = parse(
             "serve --addr 0.0.0.0:9000 --workers 8 --max-body 1024 \
              --max-sessions 2 --store-dir cache --update-mode auto \
-             --access-log -",
+             --access-log - --journal-dir wal --journal-fsync every-8 \
+             --max-push-rps 2.5",
         )
         .unwrap();
         assert_eq!(
@@ -1015,6 +1121,9 @@ mod tests {
                 store_dir: Some("cache".into()),
                 update_mode: UpdateModeArg::Auto,
                 access_log: Some("-".into()),
+                journal_dir: Some("wal".into()),
+                journal_fsync: Some("every-8".into()),
+                max_push_rps: Some(2.5),
             }
         );
         assert!(parse("serve --workers 0").unwrap_err().contains("workers"));
@@ -1024,6 +1133,66 @@ mod tests {
         assert!(parse("serve stray")
             .unwrap_err()
             .contains("unexpected argument"));
+    }
+
+    #[test]
+    fn serve_journal_flags_validated() {
+        // Every fsync grammar production parses (with a journal dir).
+        for policy in ["always", "never", "every-1", "every-64"] {
+            assert!(matches!(
+                parse(&format!("serve --journal-dir wal --journal-fsync {policy}"))
+                    .unwrap()
+                    .command,
+                Command::Serve { journal_fsync: Some(p), .. } if p == policy
+            ));
+        }
+        assert!(parse("serve --journal-dir wal --journal-fsync sometimes")
+            .unwrap_err()
+            .contains("--journal-fsync"));
+        assert!(parse("serve --journal-dir wal --journal-fsync every-0")
+            .unwrap_err()
+            .contains("--journal-fsync"));
+        // Fsync policy without a journal is a usage error.
+        assert!(parse("serve --journal-fsync always")
+            .unwrap_err()
+            .contains("requires --journal-dir"));
+        assert!(parse("serve --max-push-rps 0")
+            .unwrap_err()
+            .contains("--max-push-rps"));
+        assert!(parse("serve --max-push-rps nan")
+            .unwrap_err()
+            .contains("--max-push-rps"));
+        assert!(parse("serve --max-push-rps x")
+            .unwrap_err()
+            .contains("--max-push-rps"));
+    }
+
+    #[test]
+    fn journal_subcommand_parses() {
+        assert_eq!(
+            parse("journal inspect wal").unwrap().command,
+            Command::Journal {
+                action: JournalAction::Inspect,
+                dir: "wal".into(),
+            }
+        );
+        assert_eq!(
+            parse("journal compact wal").unwrap().command,
+            Command::Journal {
+                action: JournalAction::Compact,
+                dir: "wal".into(),
+            }
+        );
+        assert!(parse("journal").unwrap_err().contains("inspect <dir>"));
+        assert!(parse("journal prune wal")
+            .unwrap_err()
+            .contains("inspect <dir>"));
+        assert!(parse("journal inspect")
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse("journal compact a b")
+            .unwrap_err()
+            .contains("exactly one"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Command implementations for the `cad` binary.
 
-use crate::cli::{Cli, Command, EngineArg, KindArg, PartitionModeArg, UpdateModeArg};
+use crate::cli::{
+    Cli, Command, EngineArg, JournalAction, KindArg, PartitionModeArg, UpdateModeArg,
+};
 use cad_commute::{EmbeddingOptions, EngineOptions, PartitionMode, PartitionSpec};
 use cad_core::{CadDetector, CadOptions, ScoreKind, ThresholdMode, ThresholdPolicy, UpdateMode};
 use cad_graph::io::{read_sequence, write_sequence};
@@ -367,7 +369,15 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             store_dir,
             update_mode: upd,
             access_log,
+            journal_dir,
+            journal_fsync,
+            max_push_rps,
         } => {
+            let mut journal = cad_journal::JournalConfig::default();
+            if let Some(name) = journal_fsync {
+                journal.fsync = cad_journal::FsyncPolicy::from_name(name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown --journal-fsync `{name}`")))?;
+            }
             let cfg = cad_serve::ServeConfig {
                 addr: addr.clone(),
                 workers: *workers,
@@ -376,6 +386,9 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 store_dir: store_dir.clone().map(std::path::PathBuf::from),
                 update_mode: update_mode(*upd),
                 access_log: access_log.clone(),
+                journal_dir: journal_dir.clone().map(std::path::PathBuf::from),
+                journal,
+                max_push_rps: *max_push_rps,
                 ..Default::default()
             };
             // A crash should leave the last-seconds story behind: dump
@@ -387,6 +400,23 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
             }));
             let server = cad_serve::Server::start(cfg)
                 .map_err(|e| CliError::Usage(format!("cannot start server: {e}")))?;
+            if let Some(log) = server.access_log() {
+                // Panicking must not strand buffered access-log lines:
+                // flush and fsync them before the recorder dump above
+                // (the previous hook) runs.
+                let prev_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    log.sync();
+                    prev_hook(info);
+                }));
+            }
+            if let Some(dir) = journal_dir {
+                writeln!(
+                    out,
+                    "recovered {} session(s) from {dir}",
+                    server.recovered_sessions()
+                )?;
+            }
             writeln!(out, "serving detection API at http://{}", server.addr())?;
             out.flush()?;
             server.serve_until_shutdown();
@@ -408,6 +438,84 @@ pub fn dispatch(cli: &Cli, out: &mut dyn Write) -> Result<(), CliError> {
                 stats.bytes_reclaimed, stats.files_removed, stats.bytes_kept, stats.files_kept
             )?;
             Ok(())
+        }
+        Command::Journal { action, dir } => {
+            let root = std::path::Path::new(dir);
+            match action {
+                JournalAction::Inspect => {
+                    let infos = cad_journal::inspect_root(root).map_err(|e| {
+                        CliError::Usage(format!("cannot inspect journals in `{dir}`: {e}"))
+                    })?;
+                    if infos.is_empty() {
+                        writeln!(out, "no session journals under {dir}")?;
+                        return Ok(());
+                    }
+                    for info in &infos {
+                        let bytes: u64 = info.segments.iter().map(|&(_, b)| b).sum();
+                        writeln!(out, "session {}:", info.session_id)?;
+                        write!(out, "  segments  : {} ({bytes} bytes)", info.segments.len())?;
+                        if info.stale_segments > 0 {
+                            write!(out, " + {} stale pre-checkpoint", info.stale_segments)?;
+                        }
+                        writeln!(out)?;
+                        writeln!(
+                            out,
+                            "  records   : {} create, {} delta, {} delete, {} checkpoint",
+                            info.counts[0], info.counts[1], info.counts[2], info.counts[3]
+                        )?;
+                        writeln!(
+                            out,
+                            "  torn tail : {}",
+                            if info.torn_tail {
+                                "yes (dropped on recovery)"
+                            } else {
+                                "no"
+                            }
+                        )?;
+                    }
+                    Ok(())
+                }
+                JournalAction::Compact => {
+                    let recovered = cad_journal::recover_root(root).map_err(|e| {
+                        CliError::Usage(format!("cannot recover journals in `{dir}`: {e}"))
+                    })?;
+                    if recovered.is_empty() {
+                        writeln!(out, "no session journals under {dir}")?;
+                        return Ok(());
+                    }
+                    for rec in &recovered {
+                        let sid = rec.session_id;
+                        // Replay offline (no oracle cache — the state we
+                        // checkpoint is engine-independent) and collapse
+                        // the whole record stream into one checkpoint.
+                        let rs = cad_serve::replay(rec, None)
+                            .map_err(|e| CliError::Usage(format!("session {sid}: {e}")))?;
+                        let checkpoint = cad_serve::journal::encode_checkpoint(
+                            &rs.spec_json,
+                            &rs.online.state(),
+                        );
+                        let mut journal = cad_journal::SessionJournal::open(
+                            root,
+                            cad_journal::JournalConfig::default(),
+                            rec,
+                        )
+                        .map_err(|e| {
+                            CliError::Usage(format!("session {sid}: cannot reopen journal: {e}"))
+                        })?;
+                        journal.compact(&checkpoint).map_err(|e| {
+                            CliError::Usage(format!("session {sid}: compaction failed: {e}"))
+                        })?;
+                        writeln!(
+                            out,
+                            "session {sid}: {} records, {} -> {} bytes",
+                            rec.records.len(),
+                            rec.total_bytes,
+                            journal.total_bytes()
+                        )?;
+                    }
+                    Ok(())
+                }
+            }
         }
         Command::BenchDiff {
             old,
@@ -863,6 +971,78 @@ mod tests {
             .unwrap()
             .count();
         assert_eq!(n, 0, "gc with zero budget must empty the cache");
+    }
+
+    #[test]
+    fn journal_inspect_and_compact_cli() {
+        let dir = tmp("wal-cli");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Both actions handle an empty root gracefully.
+        let (code, msg) = run_str(&format!("journal inspect {dir}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("no session journals"), "{msg}");
+        let (code, msg) = run_str(&format!("journal compact {dir}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("no session journals"), "{msg}");
+
+        // Forge a journal the way serve writes one: a create record
+        // carrying the session spec, then one edge-delta per push.
+        let root = std::path::Path::new(&dir);
+        let mut j =
+            cad_journal::SessionJournal::create(root, 7, cad_journal::JournalConfig::default())
+                .unwrap();
+        j.append(
+            cad_journal::RecordKind::Create,
+            br#"{"nodes":6,"delta":0.5,"engine":"exact","update_mode":"rebuild"}"#,
+        )
+        .unwrap();
+        let empty = cad_graph::WeightedGraph::from_edges(6, &[]).unwrap();
+        let g1 = cad_graph::WeightedGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0), (4, 5, 1.0)],
+        )
+        .unwrap();
+        let g2 = cad_graph::WeightedGraph::from_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 9.0), (3, 4, 1.0), (4, 5, 1.0)],
+        )
+        .unwrap();
+        j.append(
+            cad_journal::RecordKind::Delta,
+            &cad_store::encode_edge_delta(&empty, &g1),
+        )
+        .unwrap();
+        j.append(
+            cad_journal::RecordKind::Delta,
+            &cad_store::encode_edge_delta(&g1, &g2),
+        )
+        .unwrap();
+        drop(j);
+
+        let (code, msg) = run_str(&format!("journal inspect {dir}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("session 7:"), "{msg}");
+        assert!(msg.contains("1 create, 2 delta"), "{msg}");
+        assert!(msg.contains("torn tail : no"), "{msg}");
+
+        let (code, msg) = run_str(&format!("journal compact {dir}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(msg.contains("session 7: 3 records"), "{msg}");
+
+        // The compacted journal is a single checkpoint and still
+        // replayable/inspectable.
+        let (code, msg) = run_str(&format!("journal inspect {dir}"));
+        assert_eq!(code, 0, "{msg}");
+        assert!(
+            msg.contains("0 create, 0 delta, 0 delete, 1 checkpoint"),
+            "{msg}"
+        );
+
+        let (code, msg) = run_str(&format!("journal inspect {dir}/definitely-missing"));
+        assert_eq!(code, 1);
+        assert!(msg.contains("cannot inspect"), "{msg}");
     }
 
     #[test]

@@ -62,7 +62,8 @@ pub use detector::{
 pub use explain::{classify, explain_transition, AnomalyCase, Explanation};
 pub use node_scores::node_scores_from_edges;
 pub use online::{
-    OnlineCad, OnlineStepMetrics, StepOracle, ThresholdMode, UpdateMode, REFRESH_THRESHOLD,
+    OnlineCad, OnlineState, OnlineStepMetrics, StepOracle, ThresholdMode, UpdateMode,
+    REFRESH_THRESHOLD,
 };
 pub use report::{render_report, ReportOptions};
 pub use scores::{pair_edge_scores, transition_edge_scores, EdgeScore, ScoreKind};
@@ -88,7 +89,9 @@ pub(crate) fn build_oracle(
     match (provider, opts.partition) {
         (Some(p), Some(spec)) => p.oracle_partitioned(t, g, &opts.engine, spec, opts.threads),
         (Some(p), None) => p.oracle(t, g, &opts.engine),
-        (None, Some(spec)) => cad_part::PartitionedOracle::build(g, &opts.engine, spec, opts.threads),
+        (None, Some(spec)) => {
+            cad_part::PartitionedOracle::build(g, &opts.engine, spec, opts.threads)
+        }
         (None, None) => cad_commute::CommuteTimeEngine::compute(g, &opts.engine),
     }
 }

@@ -76,6 +76,32 @@ pub enum ThresholdMode {
     Fixed(f64),
 }
 
+/// Everything an [`OnlineCad`] carries *across* pushes, captured by
+/// [`OnlineCad::state`] and reinstalled by [`OnlineCad::resume`].
+///
+/// Configuration ([`CadOptions`], [`ThresholdMode`], [`UpdateMode`],
+/// provider) is intentionally excluded: the caller persists it
+/// separately (it is part of the session spec, not of the stream), and
+/// resume installs this state into a detector already configured the
+/// same way. The previous oracle is excluded too — it is a pure
+/// function of `prev_graph` and the configuration, so resume rebuilds
+/// it rather than serializing solver internals.
+#[derive(Debug, Clone)]
+pub struct OnlineState {
+    /// Node count pinned by the first arrival (`None` before it).
+    pub n_nodes: Option<usize>,
+    /// Transitions observed so far.
+    pub seen: usize,
+    /// Current calibrated threshold δ (`f64::MAX` before the first
+    /// transition under [`ThresholdMode::TargetNodes`]).
+    pub delta: f64,
+    /// Scored history, one sorted list per transition
+    /// ([`ThresholdMode::TargetNodes`] only; empty under a fixed δ).
+    pub history: Vec<Vec<EdgeScore>>,
+    /// The most recent instance — the next transition's left operand.
+    pub prev_graph: Option<WeightedGraph>,
+}
+
 /// How one arrival's oracle was actually obtained (the mode *taken*,
 /// as opposed to the configured [`UpdateMode`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -418,6 +444,51 @@ impl OnlineCad {
         crate::build_oracle(self.provider.as_deref(), self.seen, g, &self.opts)
     }
 
+    /// Capture the cross-push state needed to resume this stream later
+    /// (crash recovery, checkpointing). The previous instance's *oracle*
+    /// is deliberately not captured — [`OnlineCad::resume`] rebuilds it
+    /// fresh from the graph, which under [`UpdateMode::Rebuild`] is
+    /// bit-identical to what the uninterrupted stream held.
+    pub fn state(&self) -> OnlineState {
+        OnlineState {
+            n_nodes: self.n_nodes,
+            seen: self.seen,
+            delta: self.delta,
+            history: self.history.clone(),
+            prev_graph: self.prev.as_ref().map(|(g, _)| g.clone()),
+        }
+    }
+
+    /// Install a previously captured [`OnlineState`] into a freshly
+    /// configured detector (same `opts`/mode/provider/update-mode as the
+    /// original), rebuilding the previous instance's oracle fresh.
+    ///
+    /// Under [`UpdateMode::Rebuild`] — the default — every subsequent
+    /// push is bit-identical to the uninterrupted stream, because the
+    /// uninterrupted stream also built that oracle fresh. Under
+    /// [`UpdateMode::Incremental`]/[`UpdateMode::Auto`] the resume point
+    /// introduces one fresh build where the original may have updated in
+    /// place (results then agree within
+    /// [`cad_commute::UPDATE_REL_TOL`], the mode's documented contract).
+    pub fn resume(mut self, state: OnlineState) -> Result<Self> {
+        self.n_nodes = state.n_nodes;
+        self.seen = state.seen;
+        self.delta = match self.mode {
+            ThresholdMode::Fixed(d) => d,
+            ThresholdMode::TargetNodes(_) => state.delta,
+        };
+        self.history = state.history;
+        self.updates_since_build = 0;
+        self.prev = match state.prev_graph {
+            Some(g) => {
+                let oracle = self.build_fresh(&g)?;
+                Some((g, oracle))
+            }
+            None => None,
+        };
+        Ok(self)
+    }
+
     /// Re-evaluate *all* seen transitions at the current δ — converges
     /// to exactly the offline result once the stream ends.
     ///
@@ -674,6 +745,49 @@ mod tests {
             vec![(REFRESH_THRESHOLD, cad_commute::RebuildReason::Refresh)],
             "exactly one forced refresh, after {REFRESH_THRESHOLD} updates"
         );
+    }
+
+    #[test]
+    fn state_resume_is_bit_identical_at_every_prefix() {
+        let stream = [0.0, 0.3, 1.5, 0.0, 1.2, 0.9];
+        let graphs: Vec<WeightedGraph> = stream.iter().map(|&b| instance(b)).collect();
+
+        // Uninterrupted reference run.
+        let mut reference = OnlineCad::new(CadOptions::default(), 2);
+        let full: Vec<Option<TransitionAnomalies>> = graphs
+            .iter()
+            .map(|g| reference.push(g.clone()).unwrap())
+            .collect();
+
+        for cut in 0..graphs.len() {
+            let mut first = OnlineCad::new(CadOptions::default(), 2);
+            for g in &graphs[..cut] {
+                first.push(g.clone()).unwrap();
+            }
+            let mut resumed = OnlineCad::new(CadOptions::default(), 2)
+                .resume(first.state())
+                .unwrap();
+            assert_eq!(resumed.n_transitions(), first.n_transitions());
+            assert_eq!(resumed.delta().to_bits(), first.delta().to_bits());
+            for (g, expect) in graphs[cut..].iter().zip(&full[cut..]) {
+                let got = resumed.push(g.clone()).unwrap();
+                match (got, expect) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.t, b.t);
+                        assert_eq!(a.nodes, b.nodes, "cut={cut} t={}", a.t);
+                        assert_eq!(a.edges.len(), b.edges.len());
+                        for (ea, eb) in a.edges.iter().zip(&b.edges) {
+                            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+                            assert_eq!(ea.score.to_bits(), eb.score.to_bits());
+                            assert_eq!(ea.d_weight.to_bits(), eb.d_weight.to_bits());
+                            assert_eq!(ea.d_commute.to_bits(), eb.d_commute.to_bits());
+                        }
+                    }
+                    (got, expect) => panic!("cut={cut}: {got:?} vs {expect:?}"),
+                }
+            }
+        }
     }
 
     #[test]

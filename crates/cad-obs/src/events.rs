@@ -51,6 +51,13 @@ pub enum EventKind {
     Error = 6,
     /// A session was evicted or deleted; `detail` is the session id.
     Eviction = 7,
+    /// A session was rebuilt from its journal at boot; `name` is
+    /// `recovery` (or `torn_tail` when a truncated final frame was
+    /// dropped), `detail` the session id, `secs` the replay time.
+    Recovery = 8,
+    /// A journal was compacted to a checkpoint segment; `detail` is the
+    /// session id, `secs` the compaction time.
+    Compaction = 9,
 }
 
 impl EventKind {
@@ -65,6 +72,8 @@ impl EventKind {
             EventKind::Fallback => "fallback",
             EventKind::Error => "error",
             EventKind::Eviction => "eviction",
+            EventKind::Recovery => "recovery",
+            EventKind::Compaction => "compaction",
         }
     }
 
@@ -77,6 +86,8 @@ impl EventKind {
             5 => EventKind::Fallback,
             6 => EventKind::Error,
             7 => EventKind::Eviction,
+            8 => EventKind::Recovery,
+            9 => EventKind::Compaction,
             _ => EventKind::SpanOpen,
         }
     }
@@ -134,6 +145,12 @@ pub const EVENT_NAMES: &[&str] = &[
     "session_cap",
     "unknown_session",
     "internal",
+    "rate_limited",
+    // journal lifecycle
+    "recovery",
+    "torn_tail",
+    "compaction",
+    "journal_error",
 ];
 
 fn name_code(name: &str) -> u64 {

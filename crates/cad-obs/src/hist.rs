@@ -337,6 +337,12 @@ pub mod histograms {
     /// `cad serve`: seconds an accepted connection waited in the worker
     /// queue before a worker picked it up.
     pub static SERVE_QUEUE_WAIT_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// Journal: wall-clock seconds per record append (frame encode +
+    /// write, excluding any fsync).
+    pub static JOURNAL_APPEND_SECS: AtomicHistogram = AtomicHistogram::new();
+    /// Journal: wall-clock seconds per `fsync` issued by the configured
+    /// durability policy.
+    pub static JOURNAL_FSYNC_SECS: AtomicHistogram = AtomicHistogram::new();
 
     /// Snapshot of every well-known histogram, keyed by its stable
     /// report name.
@@ -352,6 +358,8 @@ pub mod histograms {
             ("serve_create_secs", SERVE_CREATE_SECS.snapshot()),
             ("serve_admin_secs", SERVE_ADMIN_SECS.snapshot()),
             ("serve_queue_wait_secs", SERVE_QUEUE_WAIT_SECS.snapshot()),
+            ("journal_append_secs", JOURNAL_APPEND_SECS.snapshot()),
+            ("journal_fsync_secs", JOURNAL_FSYNC_SECS.snapshot()),
         ]
     }
 
@@ -367,6 +375,8 @@ pub mod histograms {
         SERVE_CREATE_SECS.reset();
         SERVE_ADMIN_SECS.reset();
         SERVE_QUEUE_WAIT_SECS.reset();
+        JOURNAL_APPEND_SECS.reset();
+        JOURNAL_FSYNC_SECS.reset();
         labeled::reset_all();
     }
 
@@ -606,7 +616,9 @@ mod tests {
                 "serve_push_secs",
                 "serve_create_secs",
                 "serve_admin_secs",
-                "serve_queue_wait_secs"
+                "serve_queue_wait_secs",
+                "journal_append_secs",
+                "journal_fsync_secs"
             ]
         );
     }

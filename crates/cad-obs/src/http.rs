@@ -478,7 +478,7 @@ mod tests {
 
     #[test]
     fn immediate_close_reads_as_closed() {
-        let err = with_connection(tight(), |s| drop(s)).expect_err("closed");
+        let err = with_connection(tight(), drop).expect_err("closed");
         assert!(matches!(err, ReadError::Closed), "{err:?}");
         assert_eq!(status_for(&err), None, "nobody to answer");
     }

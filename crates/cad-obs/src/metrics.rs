@@ -108,6 +108,20 @@ pub mod counters {
     /// Per-block solve work units completed (block factor/pseudoinverse
     /// builds inside a partitioned oracle build).
     pub static PART_BLOCK_SOLVES: FastCounter = FastCounter::new();
+    /// Records appended to per-session write-ahead journals.
+    pub static JOURNAL_APPENDS: FastCounter = FastCounter::new();
+    /// Bytes written to journal segment files (frames + headers).
+    pub static JOURNAL_BYTES_WRITTEN: FastCounter = FastCounter::new();
+    /// Journal compactions completed (checkpoint written, old segments
+    /// dropped).
+    pub static JOURNAL_COMPACTIONS: FastCounter = FastCounter::new();
+    /// Sessions rebuilt from journals at boot.
+    pub static JOURNAL_RECOVERED_SESSIONS: FastCounter = FastCounter::new();
+    /// Torn (truncated) tail frames dropped during journal recovery.
+    pub static JOURNAL_TORN_TAILS: FastCounter = FastCounter::new();
+    /// Pushes answered `429` by the per-session token-bucket rate
+    /// limiter (`--max-push-rps`).
+    pub static SERVE_RATE_LIMITED: FastCounter = FastCounter::new();
 
     /// Snapshot of every well-known counter, keyed by its stable report
     /// name.
@@ -131,6 +145,15 @@ pub mod counters {
             ("part.blocks", PART_BLOCKS.get()),
             ("part.boundary_edges", PART_BOUNDARY_EDGES.get()),
             ("part.block_solves", PART_BLOCK_SOLVES.get()),
+            ("journal.appends", JOURNAL_APPENDS.get()),
+            ("journal.bytes_written", JOURNAL_BYTES_WRITTEN.get()),
+            ("journal.compactions", JOURNAL_COMPACTIONS.get()),
+            (
+                "journal.recovered_sessions",
+                JOURNAL_RECOVERED_SESSIONS.get(),
+            ),
+            ("journal.torn_tails", JOURNAL_TORN_TAILS.get()),
+            ("serve.rate_limited", SERVE_RATE_LIMITED.get()),
         ]
     }
 
@@ -151,6 +174,12 @@ pub mod counters {
         PART_BLOCKS.reset();
         PART_BOUNDARY_EDGES.reset();
         PART_BLOCK_SOLVES.reset();
+        JOURNAL_APPENDS.reset();
+        JOURNAL_BYTES_WRITTEN.reset();
+        JOURNAL_COMPACTIONS.reset();
+        JOURNAL_RECOVERED_SESSIONS.reset();
+        JOURNAL_TORN_TAILS.reset();
+        SERVE_RATE_LIMITED.reset();
     }
 }
 
@@ -454,7 +483,13 @@ mod tests {
                 "serve.rejected_backpressure",
                 "part.blocks",
                 "part.boundary_edges",
-                "part.block_solves"
+                "part.block_solves",
+                "journal.appends",
+                "journal.bytes_written",
+                "journal.compactions",
+                "journal.recovered_sessions",
+                "journal.torn_tails",
+                "serve.rate_limited"
             ]
         );
     }

@@ -128,7 +128,9 @@ impl ExactBlocks {
     /// result is bit-identical for any thread count).
     pub(crate) fn build(g: &WeightedGraph, part: &Partition, threads: usize) -> Result<Self> {
         let n = g.n_nodes();
-        let sep: Vec<u32> = (0..n as u32).filter(|&v| part.boundary[v as usize]).collect();
+        let sep: Vec<u32> = (0..n as u32)
+            .filter(|&v| part.boundary[v as usize])
+            .collect();
         let ns = sep.len();
         let mut spos = vec![u32::MAX; n];
         for (q, &v) in sep.iter().enumerate() {
@@ -276,6 +278,7 @@ impl ExactBlocks {
     }
 
     /// `diag(L⁺)` via `p_vv = bᵀ L⁺ b` with `b = e_v − 1_C / n_C`.
+    #[allow(clippy::needless_range_loop)] // v also indexes loc/comp_of
     fn compute_diag(&self) -> Vec<f64> {
         let ns = self.sep.len();
         let n_comp = self.comp_size.len();
@@ -317,12 +320,11 @@ impl ExactBlocks {
                         diag[v] = b.m.get(p, p);
                         continue;
                     }
-                    let mterm =
-                        b.m.get(p, p) - (2.0 / nc) * msum[k][p] + sigma_c[c] / (nc * nc);
+                    let mterm = b.m.get(p, p) - (2.0 / nc) * msum[k][p] + sigma_c[c] / (nc * nc);
                     for (q, slot) in rhs.iter_mut().enumerate() {
                         let in_c = self.comp_of[self.sep[q] as usize] as usize == c;
-                        *slot = if in_c { -1.0 / nc } else { 0.0 } + wsum_c[c][q] / nc
-                            - b.w.get(p, q);
+                        *slot =
+                            if in_c { -1.0 / nc } else { 0.0 } + wsum_c[c][q] / nc - b.w.get(p, q);
                     }
                     diag[v] = (mterm + quad(&self.s_pinv, &rhs)).max(0.0);
                 }

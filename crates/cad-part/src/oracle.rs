@@ -18,10 +18,7 @@ pub(crate) enum Inner {
     /// JL-sketched coordinates (row-major `n × k`), solved through the
     /// block machinery at build time; the block structures are dropped
     /// once the sketch is in hand.
-    Embedding {
-        coords: Vec<f64>,
-        k: usize,
-    },
+    Embedding { coords: Vec<f64>, k: usize },
 }
 
 /// A block-partitioned commute-time oracle.
@@ -284,8 +281,7 @@ mod tests {
             blocks: 2,
             mode: PartitionMode::Bfs,
         };
-        let o =
-            PartitionedOracle::build(&g, &EngineOptions::Approximate(e), spec, 1).unwrap();
+        let o = PartitionedOracle::build(&g, &EngineOptions::Approximate(e), spec, 1).unwrap();
         assert_eq!(o.kind(), OracleKind::Embedding);
         let mono = cad_commute::CommuteEmbedding::compute(&g, &e).unwrap();
         // Same sketch, direct instead of CG solves: agreement is limited
@@ -357,10 +353,7 @@ mod tests {
         for i in 0..6 {
             for j in 0..6 {
                 let (a, b) = (o.distance(i, j), mono.commute_distance(i, j));
-                assert!(
-                    (a - b).abs() <= 1e-9 * (1.0 + b),
-                    "c({i},{j}): {a} vs {b}"
-                );
+                assert!((a - b).abs() <= 1e-9 * (1.0 + b), "c({i},{j}): {a} vs {b}");
             }
         }
     }

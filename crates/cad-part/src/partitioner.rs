@@ -9,8 +9,8 @@
 //! `cad-store` cache key partitioned artifacts by `(snapshot, engine,
 //! spec)` alone.
 
-use cad_commute::{PartitionMode, PartitionSpec};
 use cad_commute::Result;
+use cad_commute::{PartitionMode, PartitionSpec};
 use cad_graph::{GraphError, WeightedGraph};
 
 /// A concrete block layout for one graph instance.

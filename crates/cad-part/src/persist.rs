@@ -135,9 +135,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn f64s(&mut self, n: usize, what: &str) -> std::result::Result<Vec<f64>, GraphError> {
-        let raw = self.take(n.checked_mul(8).ok_or_else(|| {
-            invalid(format!("partitioned artifact: {what} length overflows"))
-        })?)?;
+        let raw = self
+            .take(n.checked_mul(8).ok_or_else(|| {
+                invalid(format!("partitioned artifact: {what} length overflows"))
+            })?)?;
         Ok(raw
             .chunks_exact(8)
             .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8"))))
@@ -145,9 +146,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32s(&mut self, n: usize, what: &str) -> std::result::Result<Vec<u32>, GraphError> {
-        let raw = self.take(n.checked_mul(4).ok_or_else(|| {
-            invalid(format!("partitioned artifact: {what} length overflows"))
-        })?)?;
+        let raw = self
+            .take(n.checked_mul(4).ok_or_else(|| {
+                invalid(format!("partitioned artifact: {what} length overflows"))
+            })?)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
@@ -186,10 +188,7 @@ fn matrix(
     DenseMatrix::from_vec(rows, cols, data).map_err(GraphError::from)
 }
 
-fn decode_exact(
-    cur: &mut Cursor<'_>,
-    n: usize,
-) -> Result<ExactBlocks> {
+fn decode_exact(cur: &mut Cursor<'_>, n: usize) -> Result<ExactBlocks> {
     let comp_of = cur.u32s(n, "component ids")?;
     let n_components = cur.usize_checked("component count")?;
     let mut comp_size = vec![0usize; n_components];
@@ -400,7 +399,11 @@ mod tests {
 
     #[test]
     fn exact_round_trips_bit_identically() {
-        for mode in [PartitionMode::Bfs, PartitionMode::Components, PartitionMode::Auto] {
+        for mode in [
+            PartitionMode::Bfs,
+            PartitionMode::Components,
+            PartitionMode::Auto,
+        ] {
             round_trip(&EngineOptions::Exact, PartitionSpec { blocks: 3, mode });
         }
     }
@@ -423,10 +426,7 @@ mod tests {
         let o = PartitionedOracle::build(&g, &EngineOptions::Corrected, spec, 1).unwrap();
         let loaded = decode_oracle(&o.to_store_bytes()).unwrap();
         assert_eq!(loaded.kind(), o.kind());
-        assert_eq!(
-            loaded.distance(0, 6).to_bits(),
-            o.distance(0, 6).to_bits()
-        );
+        assert_eq!(loaded.distance(0, 6).to_bits(), o.distance(0, 6).to_bits());
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!
 //! * [`session`] — detection sessions (one `OnlineCad` stream each) in
 //!   a sharded registry with per-session serialization, a live-session
-//!   cap, and idle-TTL eviction;
+//!   cap, idle-TTL eviction, and optional per-session push rate
+//!   limiting;
+//! * [`journal`] — the serve-layer semantics over the [`cad_journal`]
+//!   write-ahead log (`--journal-dir`): spec/delta/checkpoint payload
+//!   codecs and the boot-time replay that rebuilds every session
+//!   bit-identically after a crash;
 //! * [`router`] — endpoint semantics: create sessions from a JSON spec,
 //!   push snapshots (JSON edge lists or binary `.cadpack` edge deltas),
 //!   query status, delete, `/healthz`, `/metrics`, and the
@@ -25,13 +30,15 @@
 
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod router;
 pub mod server;
 pub mod session;
 
+pub use journal::{recover_all, replay, spec_to_json, RecoveredSession};
 pub use router::{graph_error_code, route, Response, RouterCtx, DELTA_CONTENT_TYPE};
-pub use server::{ServeConfig, Server, Shutdown};
-pub use session::{parse_spec, Session, SessionMap, SessionSpec};
+pub use server::{AccessLog, ServeConfig, Server, Shutdown};
+pub use session::{parse_spec, Session, SessionMap, SessionSpec, TokenBucket};
 
 /// Serialize tests that assert on the process-wide metric sinks.
 #[cfg(test)]

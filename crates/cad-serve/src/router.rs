@@ -52,6 +52,9 @@ pub struct ResponseMeta {
     pub fallback: Option<&'static str>,
     /// Oracle backend that served a push (labels `serve_push_secs`).
     pub engine: Option<&'static str>,
+    /// Closed-table event name overriding the status-derived one for
+    /// the error event (e.g. `rate_limited` vs the generic 429 name).
+    pub error_event: Option<&'static str>,
 }
 
 /// A response ready for [`cad_obs::http::write_response`].
@@ -303,12 +306,40 @@ fn create_session(req: &Request, ctx: &RouterCtx) -> Response {
             resp.extra.push(("Retry-After", "1".to_string()));
             resp
         }
+        Err(CreateError::Journal(e)) => {
+            let mut resp = Response::error(
+                500,
+                "journal_error",
+                &format!("cannot journal the session create: {e}"),
+            );
+            resp.meta.error_event = Some("journal_error");
+            resp
+        }
     }
 }
 
 fn push_snapshot(req: &Request, session: &Session) -> Response {
     let _span = cad_obs::TraceSpan::enter("push");
     let mut inner = session.lock();
+    if let Some(bucket) = inner.bucket.as_mut() {
+        if let Err(wait_secs) = bucket.try_take() {
+            cad_obs::counters::SERVE_RATE_LIMITED.inc();
+            let mut resp = Response::error(
+                429,
+                "rate_limited",
+                &format!(
+                    "session {} exceeded its push rate limit; retry in {wait_secs:.3}s",
+                    session.id
+                ),
+            );
+            resp.extra.push((
+                "Retry-After",
+                format!("{}", wait_secs.ceil().max(1.0) as u64),
+            ));
+            resp.meta.error_event = Some("rate_limited");
+            return resp;
+        }
+    }
     let is_delta = req
         .header("content-type")
         .is_some_and(|ct| ct.split(';').next().map(str::trim) == Some(DELTA_CONTENT_TYPE));
@@ -323,6 +354,31 @@ fn push_snapshot(req: &Request, session: &Session) -> Response {
     };
     match inner.online.push_metered(g.clone()) {
         Ok((tr, m)) => {
+            // Journal the accepted push before the response exists: a
+            // crash after the append replays this instance; a crash
+            // before it never acknowledged the push. The delta is
+            // re-encoded from the session's own previous snapshot, so
+            // JSON and binary bodies journal identically.
+            if inner.journal.is_some() {
+                let delta = match &inner.current {
+                    Some(base) => cad_store::encode_edge_delta(base, &g),
+                    None => {
+                        let empty = WeightedGraph::from_edges(session.n_nodes, &[])
+                            .expect("empty graph is always valid");
+                        cad_store::encode_edge_delta(&empty, &g)
+                    }
+                };
+                let journal = inner.journal.as_mut().expect("checked above");
+                if let Err(e) = journal.append(cad_journal::RecordKind::Delta, &delta) {
+                    let mut resp = Response::error(
+                        500,
+                        "journal_error",
+                        &format!("cannot journal the push: {e}"),
+                    );
+                    resp.meta.error_event = Some("journal_error");
+                    return resp;
+                }
+            }
             inner.current = Some(g);
             inner.instances += 1;
             let mut fields = vec![
@@ -505,7 +561,9 @@ pub fn route_queued(
     if resp.status >= 400 {
         cad_obs::events::record(
             EventKind::Error,
-            error_event_name(resp.status),
+            resp.meta
+                .error_event
+                .unwrap_or_else(|| error_event_name(resp.status)),
             0.0,
             resp.status as u64,
         );
@@ -1096,6 +1154,204 @@ mod tests {
             route(&request("POST", "/v1/debug/profile", b""), &ctx).status,
             405
         );
+    }
+
+    fn ctx_with(sessions: SessionMap) -> RouterCtx {
+        RouterCtx {
+            sessions,
+            provider: None,
+            shutdown: Arc::new(Shutdown::new()),
+        }
+    }
+
+    fn tmp_journal_root(tag: &str) -> std::path::PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "cad-router-journal-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn rate_limited_pushes_get_429_with_retry_after() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let ctx = ctx_with(SessionMap::new(8).with_push_rps(0.25));
+        let resp = route(
+            &request(
+                "POST",
+                "/v1/sequences",
+                br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#,
+            ),
+            &ctx,
+        );
+        assert_eq!(resp.status, 201);
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let push = format!("/v1/sequences/{id}/snapshots");
+
+        // Burst of one: the first push spends the bucket...
+        let resp = route(&request("POST", &push, snapshot_body(0.0).as_bytes()), &ctx);
+        assert_eq!(resp.status, 200);
+        // ...and the second is shed with the shared error schema.
+        let resp = route(&request("POST", &push, snapshot_body(1.5).as_bytes()), &ctx);
+        assert_eq!(resp.status, 429);
+        let v = parse(&resp);
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("rate_limited")
+        );
+        let retry: u64 = resp
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "Retry-After")
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("Retry-After header");
+        assert!(retry >= 1, "{retry}");
+        assert_eq!(cad_obs::counters::SERVE_RATE_LIMITED.get(), 1);
+        // The session itself is untouched: no instance was consumed.
+        let resp = route(&request("GET", &format!("/v1/sequences/{id}"), b""), &ctx);
+        assert_eq!(
+            parse(&resp).get("instances").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    /// Push `bodies` into session `id` on `ctx`, returning each push's
+    /// response body with the trailing `latency` object (wall-clock
+    /// times — the sanctioned nondeterminism) scrubbed off. Everything
+    /// left — ids, thresholds, scores at full 17-digit precision — must
+    /// be bit-identical across a replay.
+    fn push_all(ctx: &RouterCtx, id: u64, bodies: &[String]) -> Vec<String> {
+        let push = format!("/v1/sequences/{id}/snapshots");
+        bodies
+            .iter()
+            .map(|b| {
+                let resp = route(&request("POST", &push, b.as_bytes()), ctx);
+                assert_eq!(resp.status, 200, "{:?}", parse(&resp));
+                let body = String::from_utf8(resp.body).unwrap();
+                match body.find(",\"latency\"") {
+                    Some(i) => body[..i].to_string(),
+                    None => body,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn journaled_session_replays_bit_identically_after_a_kill() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let root = tmp_journal_root("kill");
+        let cfg = cad_journal::JournalConfig {
+            fsync: cad_journal::FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let spec = br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#;
+        let bodies: Vec<String> = [0.0, 1.5, 2.5, 0.9, 3.1]
+            .iter()
+            .map(|&b| snapshot_body(b))
+            .collect();
+
+        // Control: one uninterrupted, unjournaled session.
+        let control_ctx = ctx_with(SessionMap::new(8));
+        let resp = route(&request("POST", "/v1/sequences", spec), &control_ctx);
+        let control_id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let control = push_all(&control_ctx, control_id, &bodies);
+
+        // Journaled run, killed (dropped without drain) after 2 pushes.
+        let ctx = ctx_with(SessionMap::new(8).with_journal(root.clone(), cfg.clone()));
+        let resp = route(&request("POST", "/v1/sequences", spec), &ctx);
+        assert_eq!(resp.status, 201, "{:?}", parse(&resp));
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        assert_eq!(id, control_id, "same registry, same first id");
+        let before = push_all(&ctx, id, &bodies[..2]);
+        assert_eq!(before, control[..2].to_vec());
+        drop(ctx);
+
+        // Restart: recover, then push the remaining snapshots.
+        let sessions = SessionMap::new(8).with_journal(root.clone(), cfg.clone());
+        let n = crate::journal::recover_all(&root, &cfg, &sessions, None).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(cad_obs::counters::JOURNAL_RECOVERED_SESSIONS.get(), 1);
+        let ctx = ctx_with(sessions);
+        let resp = route(&request("GET", &format!("/v1/sequences/{id}"), b""), &ctx);
+        assert_eq!(
+            parse(&resp).get("instances").and_then(Json::as_u64),
+            Some(2),
+            "recovered session remembers its pushes"
+        );
+        let after = push_all(&ctx, id, &bodies[2..]);
+        assert_eq!(
+            after,
+            control[2..].to_vec(),
+            "replayed session must answer bit-identically"
+        );
+
+        // Delete tears the journal down; a restart finds nothing.
+        let resp = route(
+            &request("DELETE", &format!("/v1/sequences/{id}"), b""),
+            &ctx,
+        );
+        assert_eq!(resp.status, 200);
+        let sessions = SessionMap::new(8);
+        assert_eq!(
+            crate::journal::recover_all(&root, &cfg, &sessions, None).unwrap(),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_checkpoint_preserves_replay_equality() {
+        let _g = crate::test_lock();
+        cad_obs::reset();
+        let root = tmp_journal_root("compact");
+        // Tiny thresholds: every sweep wants to compact.
+        let cfg = cad_journal::JournalConfig {
+            fsync: cad_journal::FsyncPolicy::Never,
+            max_segment_bytes: 256,
+            compact_segments: 1,
+            compact_bytes: 1,
+        };
+        let spec = br#"{"nodes": 6, "engine": "exact", "delta": 0.4}"#;
+        let bodies: Vec<String> = [0.0, 1.5, 2.5, 0.9, 3.1, 0.0, 2.0]
+            .iter()
+            .map(|&b| snapshot_body(b))
+            .collect();
+
+        let control_ctx = ctx_with(SessionMap::new(8));
+        let resp = route(&request("POST", "/v1/sequences", spec), &control_ctx);
+        let control_id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let control = push_all(&control_ctx, control_id, &bodies);
+
+        let ctx = ctx_with(SessionMap::new(8).with_journal(root.clone(), cfg.clone()));
+        let resp = route(&request("POST", "/v1/sequences", spec), &ctx);
+        let id = parse(&resp).get("id").and_then(Json::as_u64).unwrap();
+        let before = push_all(&ctx, id, &bodies[..4]);
+        assert_eq!(before, control[..4].to_vec());
+        assert_eq!(ctx.sessions.compact_journals(), 1);
+        assert_eq!(cad_obs::counters::JOURNAL_COMPACTIONS.get(), 1);
+        drop(ctx);
+
+        let sessions = SessionMap::new(8).with_journal(root.clone(), cfg.clone());
+        assert_eq!(
+            crate::journal::recover_all(&root, &cfg, &sessions, None).unwrap(),
+            1
+        );
+        let ctx = ctx_with(sessions);
+        let after = push_all(&ctx, id, &bodies[4..]);
+        assert_eq!(
+            after,
+            control[4..].to_vec(),
+            "checkpoint resume must not perturb later results"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -22,9 +22,11 @@
 use crate::router::{route_queued, Response, RouterCtx};
 use crate::session::SessionMap;
 use cad_core::UpdateMode;
+use cad_journal::JournalConfig;
 use cad_obs::http::{self, error_body, HttpLimits, Request};
 use cad_obs::Json;
 use std::collections::VecDeque;
+use std::fs::File;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -187,6 +189,16 @@ pub struct ServeConfig {
     /// Structured NDJSON access log: a file path, `-` for stderr, or
     /// `None` to disable (`--access-log`). One line per request.
     pub access_log: Option<String>,
+    /// Per-session write-ahead journal root (`--journal-dir`);
+    /// `None` runs unjournaled. On start, every journal found under it
+    /// is replayed into a live session before the listener answers.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal tuning: fsync policy (`--journal-fsync`), rotation and
+    /// compaction thresholds.
+    pub journal: JournalConfig,
+    /// Per-session push rate limit in requests per second
+    /// (`--max-push-rps`); `None` is unlimited.
+    pub max_push_rps: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -204,6 +216,66 @@ impl Default for ServeConfig {
             store_dir: None,
             update_mode: UpdateMode::default(),
             access_log: None,
+            journal_dir: None,
+            journal: JournalConfig::default(),
+            max_push_rps: None,
+        }
+    }
+}
+
+enum LogSink {
+    Stderr,
+    File(File),
+}
+
+/// Shared handle to the access-log sink. Cloneable so the CLI's panic
+/// hook can force buffered lines to the platter after the worker that
+/// owned the request is already unwinding.
+#[derive(Clone)]
+pub struct AccessLog {
+    sink: Arc<Mutex<LogSink>>,
+}
+
+impl AccessLog {
+    fn stderr() -> AccessLog {
+        AccessLog {
+            sink: Arc::new(Mutex::new(LogSink::Stderr)),
+        }
+    }
+
+    fn file(file: File) -> AccessLog {
+        AccessLog {
+            sink: Arc::new(Mutex::new(LogSink::File(file))),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut sink = self.sink.lock().unwrap_or_else(|p| p.into_inner());
+        match &mut *sink {
+            LogSink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+                let _ = err.flush();
+            }
+            LogSink::File(f) => {
+                let _ = writeln!(f, "{line}");
+                let _ = f.flush();
+            }
+        }
+    }
+
+    /// Flush and fsync the log so every written line survives the
+    /// process: called on graceful drain and from the panic hook.
+    pub fn sync(&self) {
+        let mut sink = self.sink.lock().unwrap_or_else(|p| p.into_inner());
+        match &mut *sink {
+            LogSink::Stderr => {
+                let _ = std::io::stderr().lock().flush();
+            }
+            LogSink::File(f) => {
+                let _ = f.flush();
+                let _ = f.sync_all();
+            }
         }
     }
 }
@@ -214,7 +286,7 @@ struct Shared {
     limits: HttpLimits,
     /// The access-log sink, when enabled. One mutex-guarded writer:
     /// lines are small and already formatted when the lock is taken.
-    access_log: Option<Mutex<Box<dyn Write + Send>>>,
+    access_log: Option<AccessLog>,
 }
 
 /// Write one NDJSON access-log line for a completed request. Every
@@ -246,9 +318,7 @@ fn log_access(shared: &Shared, req: &Request, resp: &Response, worker: usize, qu
         fields.push(("fallback", Json::Str(reason.to_string())));
     }
     let line = Json::obj(fields).compact();
-    let mut w = log.lock().unwrap_or_else(|p| p.into_inner());
-    let _ = writeln!(w, "{line}");
-    let _ = w.flush();
+    log.write_line(&line);
 }
 
 /// A running detection service.
@@ -258,6 +328,7 @@ pub struct Server {
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     sweeper: Option<JoinHandle<()>>,
+    recovered_sessions: usize,
 }
 
 /// Answer an overflow connection with `503 Retry-After: 1` without ever
@@ -357,9 +428,9 @@ impl Server {
             }
             None => None,
         };
-        let access_log: Option<Mutex<Box<dyn Write + Send>>> = match cfg.access_log.as_deref() {
+        let access_log: Option<AccessLog> = match cfg.access_log.as_deref() {
             None => None,
-            Some("-") => Some(Mutex::new(Box::new(std::io::stderr()))),
+            Some("-") => Some(AccessLog::stderr()),
             Some(path) => {
                 let file = std::fs::OpenOptions::new()
                     .create(true)
@@ -368,13 +439,29 @@ impl Server {
                     .map_err(|e| {
                         std::io::Error::other(format!("cannot open access log `{path}`: {e}"))
                     })?;
-                Some(Mutex::new(Box::new(file)))
+                Some(AccessLog::file(file))
             }
         };
+        let mut sessions = SessionMap::new(cfg.max_sessions).with_update_mode(cfg.update_mode);
+        if let Some(rps) = cfg.max_push_rps {
+            sessions = sessions.with_push_rps(rps);
+        }
+        let mut recovered_sessions = 0;
+        if let Some(dir) = &cfg.journal_dir {
+            std::fs::create_dir_all(dir)?;
+            sessions = sessions.with_journal(dir.clone(), cfg.journal.clone());
+            // Replay before any thread can touch the registry: boot
+            // recovery is single-threaded and either completes or
+            // fails the start — a durable server never serves from
+            // partial state.
+            recovered_sessions =
+                crate::journal::recover_all(dir, &cfg.journal, &sessions, provider.clone())
+                    .map_err(|e| std::io::Error::other(format!("journal recovery failed: {e}")))?;
+        }
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(cfg.queue_depth),
             ctx: RouterCtx {
-                sessions: SessionMap::new(cfg.max_sessions).with_update_mode(cfg.update_mode),
+                sessions,
                 provider,
                 shutdown: Arc::new(Shutdown::new()),
             },
@@ -410,6 +497,7 @@ impl Server {
                 .spawn(move || {
                     while !shared.ctx.shutdown.wait_timeout(interval) {
                         shared.ctx.sessions.sweep_idle(ttl);
+                        shared.ctx.sessions.compact_journals();
                     }
                 })
                 .expect("spawn sweeper")
@@ -453,6 +541,7 @@ impl Server {
             accept: Some(accept),
             workers,
             sweeper: Some(sweeper),
+            recovered_sessions,
         })
     }
 
@@ -464,6 +553,18 @@ impl Server {
     /// The drain signal (`POST /v1/shutdown` trips the same one).
     pub fn shutdown_signal(&self) -> Arc<Shutdown> {
         Arc::clone(&self.shared.ctx.shutdown)
+    }
+
+    /// A clone of the access-log sink handle, for callers (the CLI's
+    /// panic hook) that must force it to disk out-of-band.
+    pub fn access_log(&self) -> Option<AccessLog> {
+        self.shared.access_log.clone()
+    }
+
+    /// How many sessions boot-time journal recovery replayed (0 when
+    /// running unjournaled or from an empty `--journal-dir`).
+    pub fn recovered_sessions(&self) -> usize {
+        self.recovered_sessions
     }
 
     /// Block until something requests shutdown, then drain.
@@ -488,6 +589,12 @@ impl Server {
         }
         if let Some(h) = self.sweeper.take() {
             let _ = h.join();
+        }
+        // Every acknowledged request's line reaches the platter before
+        // the process exits: the log is only trustworthy forensics if
+        // a crash right after drain cannot eat its tail.
+        if let Some(log) = &self.shared.access_log {
+            log.sync();
         }
         // Forensic dump: leave the flight recorder's last moments on
         // stderr so a drained process can still be debugged post-hoc.

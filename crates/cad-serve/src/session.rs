@@ -11,8 +11,10 @@
 use cad_commute::{EmbeddingOptions, EngineOptions, OracleProvider, PartitionMode, PartitionSpec};
 use cad_core::{CadOptions, OnlineCad, ScoreKind, ThresholdMode, UpdateMode};
 use cad_graph::WeightedGraph;
+use cad_journal::{JournalConfig, RecordKind, SessionJournal};
 use cad_obs::Json;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -162,7 +164,7 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
                 })?,
                 Some(None) => {
                     return Err(
-                        "partition `mode` must be a string (auto | components | bfs)".to_string()
+                        "partition `mode` must be a string (auto | components | bfs)".to_string(),
                     )
                 }
             };
@@ -193,6 +195,47 @@ pub fn parse_spec(body: &[u8]) -> Result<SessionSpec, String> {
     })
 }
 
+/// Per-session token bucket for push rate limiting (`--max-push-rps`).
+///
+/// Refills continuously at `rate` tokens per second up to a burst of
+/// `max(rate, 1)`; each accepted push spends one token. Lives inside
+/// the session mutex, so no extra synchronization.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate` tokens per second.
+    pub fn new(rate: f64) -> TokenBucket {
+        let burst = rate.max(1.0);
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: Instant::now(),
+        }
+    }
+
+    /// Spend one token, or report how many seconds until one is
+    /// available (the `Retry-After` the 429 carries).
+    pub fn try_take(&mut self) -> Result<(), f64> {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((1.0 - self.tokens) / self.rate)
+        }
+    }
+}
+
 /// The mutable core of one session, guarded by the session mutex.
 pub struct SessionInner {
     /// The streaming detector.
@@ -204,6 +247,15 @@ pub struct SessionInner {
     pub instances: usize,
     /// Last create/push/status touch, for the idle-TTL sweeper.
     pub last_used: Instant,
+    /// Write-ahead journal handle (`--journal-dir`); `None` when the
+    /// server runs unjournaled. Appends happen under the session mutex,
+    /// so records land in exactly the order pushes were applied.
+    pub journal: Option<SessionJournal>,
+    /// Push rate limiter (`--max-push-rps`); `None` means unlimited.
+    pub bucket: Option<TokenBucket>,
+    /// The resolved spec as journaled — re-used verbatim when
+    /// compaction writes a checkpoint, so the round trip cannot drift.
+    pub spec_json: String,
 }
 
 /// One detection session.
@@ -241,6 +293,12 @@ pub enum CreateError {
         /// The configured session cap.
         max_sessions: usize,
     },
+    /// The journal could not record the create — the session is not
+    /// durable, so it is not created at all.
+    Journal(
+        /// The underlying I/O failure.
+        String,
+    ),
 }
 
 /// The sharded session registry.
@@ -250,6 +308,8 @@ pub struct SessionMap {
     active: AtomicUsize,
     max_sessions: usize,
     default_update_mode: UpdateMode,
+    journal: Option<(PathBuf, JournalConfig)>,
+    push_rps: Option<f64>,
 }
 
 impl SessionMap {
@@ -261,6 +321,8 @@ impl SessionMap {
             active: AtomicUsize::new(0),
             max_sessions,
             default_update_mode: UpdateMode::default(),
+            journal: None,
+            push_rps: None,
         }
     }
 
@@ -268,6 +330,19 @@ impl SessionMap {
     /// not choose one (the server's `--update-mode` flag).
     pub fn with_update_mode(mut self, mode: UpdateMode) -> Self {
         self.default_update_mode = mode;
+        self
+    }
+
+    /// Journal every session's lifecycle under `root`
+    /// (`--journal-dir`).
+    pub fn with_journal(mut self, root: PathBuf, cfg: JournalConfig) -> Self {
+        self.journal = Some((root, cfg));
+        self
+    }
+
+    /// Cap pushes per session at `rate` per second (`--max-push-rps`).
+    pub fn with_push_rps(mut self, rate: f64) -> Self {
+        self.push_rps = Some(rate);
         self
     }
 
@@ -287,6 +362,10 @@ impl SessionMap {
 
     /// Create a session from `spec`, wiring the oracle `provider`
     /// (the warm `--store-dir` cache) into its detector when present.
+    ///
+    /// When journaling is on, the create record is appended (and, under
+    /// `--journal-fsync always`, durable) *before* the session becomes
+    /// addressable — a journal failure fails the create.
     pub fn create(
         &self,
         spec: SessionSpec,
@@ -301,12 +380,29 @@ impl SessionMap {
                 max_sessions: self.max_sessions,
             });
         }
-        let mut online = OnlineCad::with_mode(spec.opts, spec.mode)
-            .with_update_mode(spec.update_mode.unwrap_or(self.default_update_mode));
+        let resolved = spec.update_mode.unwrap_or(self.default_update_mode);
+        let mut online = OnlineCad::with_mode(spec.opts, spec.mode).with_update_mode(resolved);
         if let Some(p) = provider {
             online = online.with_provider(p);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let spec_json = crate::journal::spec_to_json(&spec, resolved);
+        let journal = match &self.journal {
+            Some((root, cfg)) => {
+                let opened = SessionJournal::create(root, id, cfg.clone()).and_then(|mut j| {
+                    j.append(RecordKind::Create, spec_json.as_bytes())?;
+                    Ok(j)
+                });
+                match opened {
+                    Ok(j) => Some(j),
+                    Err(e) => {
+                        self.active.fetch_sub(1, Ordering::Relaxed);
+                        return Err(CreateError::Journal(e.to_string()));
+                    }
+                }
+            }
+            None => None,
+        };
         let session = Arc::new(Session {
             id,
             n_nodes: spec.n_nodes,
@@ -316,12 +412,53 @@ impl SessionMap {
                 current: None,
                 instances: 0,
                 last_used: Instant::now(),
+                journal,
+                bucket: self.push_rps.map(TokenBucket::new),
+                spec_json,
             }),
         });
         self.shard(id)
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert(id, Arc::clone(&session));
+        cad_obs::gauges::SERVE_SESSIONS_ACTIVE.inc();
+        Ok(session)
+    }
+
+    /// Re-insert a session replayed from its journal at boot, keeping
+    /// its original id (`next_id` advances past it, so new sessions
+    /// never collide with recovered ones).
+    pub fn restore(
+        &self,
+        rs: crate::journal::RecoveredSession,
+        journal: SessionJournal,
+    ) -> Result<Arc<Session>, CreateError> {
+        let prev = self.active.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.max_sessions {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return Err(CreateError::Full {
+                max_sessions: self.max_sessions,
+            });
+        }
+        self.next_id.fetch_max(rs.id + 1, Ordering::Relaxed);
+        let session = Arc::new(Session {
+            id: rs.id,
+            n_nodes: rs.spec.n_nodes,
+            label: rs.spec.label,
+            inner: Mutex::new(SessionInner {
+                online: rs.online,
+                current: rs.current,
+                instances: rs.instances,
+                last_used: Instant::now(),
+                journal: Some(journal),
+                bucket: self.push_rps.map(TokenBucket::new),
+                spec_json: rs.spec_json,
+            }),
+        });
+        self.shard(rs.id)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(rs.id, Arc::clone(&session));
         cad_obs::gauges::SERVE_SESSIONS_ACTIVE.inc();
         Ok(session)
     }
@@ -336,17 +473,72 @@ impl SessionMap {
     }
 
     /// Remove a session, returning it if it existed.
+    ///
+    /// A journaled session gets a terminal delete record and its
+    /// journal directory torn down — deletion (or TTL eviction) is as
+    /// durable as creation, so a restart does not resurrect it.
     pub fn remove(&self, id: u64) -> Option<Arc<Session>> {
         let removed = self
             .shard(id)
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .remove(&id);
-        if removed.is_some() {
+        if let Some(session) = &removed {
             self.active.fetch_sub(1, Ordering::Relaxed);
             cad_obs::gauges::SERVE_SESSIONS_ACTIVE.dec();
+            let mut inner = session.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(mut journal) = inner.journal.take() {
+                // Best-effort: the delete record makes the tombstone
+                // redundant if directory removal is interrupted, and
+                // recovery honours either.
+                let _ = journal.append(RecordKind::Delete, b"");
+                let _ = journal.destroy();
+            }
         }
         removed
+    }
+
+    /// Compact every journaled session past its segment-count or byte
+    /// threshold: snapshot the detector state under the session mutex,
+    /// replace the record history with one checkpoint. Returns how many
+    /// sessions were compacted. Runs on the sweeper thread.
+    pub fn compact_journals(&self) -> usize {
+        let mut compacted = 0;
+        for shard in &self.shards {
+            let sessions: Vec<Arc<Session>> = {
+                let map = shard.lock().unwrap_or_else(|p| p.into_inner());
+                map.values().cloned().collect()
+            };
+            for session in sessions {
+                // Plain inner lock: background compaction must not
+                // refresh the idle clock and defeat TTL eviction.
+                let mut inner = session.inner.lock().unwrap_or_else(|p| p.into_inner());
+                if !inner
+                    .journal
+                    .as_ref()
+                    .is_some_and(SessionJournal::needs_compaction)
+                {
+                    continue;
+                }
+                let payload =
+                    crate::journal::encode_checkpoint(&inner.spec_json, &inner.online.state());
+                match inner
+                    .journal
+                    .as_mut()
+                    .expect("checked above")
+                    .compact(&payload)
+                {
+                    Ok(()) => compacted += 1,
+                    Err(_) => cad_obs::events::record(
+                        cad_obs::EventKind::Error,
+                        "journal_error",
+                        0.0,
+                        session.id,
+                    ),
+                }
+            }
+        }
+        compacted
     }
 
     /// Drop every session idle for longer than `ttl`; returns how many
@@ -427,8 +619,7 @@ mod tests {
             })
         );
 
-        let s =
-            parse_spec(br#"{"nodes": 8, "partition": {"blocks": 3, "mode": "bfs"}}"#).unwrap();
+        let s = parse_spec(br#"{"nodes": 8, "partition": {"blocks": 3, "mode": "bfs"}}"#).unwrap();
         assert_eq!(
             s.opts.partition,
             Some(PartitionSpec {

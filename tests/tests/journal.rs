@@ -1,0 +1,211 @@
+//! Durability properties of the per-session write-ahead log: a session
+//! interrupted after *any* prefix of pushes — with or without an
+//! intervening snapshot compaction — and rebuilt from its journal must
+//! continue bit-identically to a session that was never interrupted,
+//! for every oracle engine.
+//!
+//! Two layers are exercised:
+//!
+//! * the checkpoint codec alone (`encode_checkpoint`,
+//!   `decode_checkpoint`, `OnlineCad::resume`), across engines × thread counts — serve
+//!   pins sessions to one thread, so the thread axis only exists here;
+//! * the full on-disk lifecycle (`append* → compact → append* → kill →
+//!   recover_root → replay`), the exact path `cad serve --journal-dir`
+//!   takes across a crash.
+
+use cad_commute::{EmbeddingOptions, EngineOptions};
+use cad_core::{CadOptions, OnlineCad, ScoreKind, ThresholdMode, TransitionAnomalies, UpdateMode};
+use cad_graph::WeightedGraph;
+use cad_integration_tests::two_clusters;
+use cad_journal::{FsyncPolicy, JournalConfig, RecordKind, SessionJournal};
+use cad_serve::journal::{decode_checkpoint, encode_checkpoint, spec_to_json};
+use cad_serve::{parse_spec, replay};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn engines() -> [(&'static str, EngineOptions); 4] {
+    [
+        ("exact", EngineOptions::Exact),
+        (
+            "approx",
+            EngineOptions::Approximate(EmbeddingOptions {
+                k: 6,
+                ..Default::default()
+            }),
+        ),
+        ("shortest-path", EngineOptions::ShortestPath),
+        ("corrected", EngineOptions::Corrected),
+    ]
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let id = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cad-int-journal-{tag}-{}-{id}", std::process::id()))
+}
+
+/// Everything a transition asserts on, with float bits kept exact.
+type TransitionDigest = (usize, Vec<(usize, usize, u64, u64, u64)>, Vec<usize>);
+
+fn digest(tr: &Option<TransitionAnomalies>) -> Option<TransitionDigest> {
+    tr.as_ref().map(|t| {
+        (
+            t.t,
+            t.edges
+                .iter()
+                .map(|e| {
+                    (
+                        e.u,
+                        e.v,
+                        e.score.to_bits(),
+                        e.d_weight.to_bits(),
+                        e.d_commute.to_bits(),
+                    )
+                })
+                .collect(),
+            t.nodes.clone(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Checkpoint + resume at any cut point reproduces the
+    /// uninterrupted session's remaining transitions and final state
+    /// bit for bit, for all four engines × {1, 4} threads.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_for_every_engine_and_thread_count(
+        bridges in proptest::collection::vec(0.1f64..3.0, 2..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let graphs: Vec<WeightedGraph> = bridges
+            .iter()
+            .map(|&b| two_clusters(6, 3.0, b))
+            .collect();
+        let cut = ((graphs.len() as f64) * cut_frac) as usize;
+        for (_name, engine) in engines() {
+            for threads in [1usize, 4] {
+                let mk = || {
+                    OnlineCad::with_mode(
+                        CadOptions {
+                            engine,
+                            kind: ScoreKind::Cad,
+                            threads,
+                            partition: None,
+                        },
+                        ThresholdMode::Fixed(0.4),
+                    )
+                    .with_update_mode(UpdateMode::Rebuild)
+                };
+                let mut full = mk();
+                let mut full_out = Vec::new();
+                for g in &graphs {
+                    full_out.push(digest(&full.push(g.clone()).unwrap()));
+                }
+
+                let mut pre = mk();
+                for g in &graphs[..cut] {
+                    pre.push(g.clone()).unwrap();
+                }
+                let bytes = encode_checkpoint("spec-under-test", &pre.state());
+                let (spec_str, state) = decode_checkpoint(&bytes).unwrap();
+                prop_assert_eq!(spec_str, "spec-under-test");
+                let mut resumed = mk().resume(state).unwrap();
+                let mut resumed_out = Vec::new();
+                for g in &graphs[cut..] {
+                    resumed_out.push(digest(&resumed.push(g.clone()).unwrap()));
+                }
+                prop_assert_eq!(&full_out[cut..], &resumed_out[..]);
+                prop_assert_eq!(
+                    encode_checkpoint("spec-under-test", &full.state()),
+                    encode_checkpoint("spec-under-test", &resumed.state())
+                );
+            }
+        }
+    }
+
+    /// The on-disk lifecycle: records appended before every push, an
+    /// optional mid-stream compaction, the process "killed" (journal
+    /// dropped, never destroyed), then recovery replays the journal
+    /// into a session whose state — and whose next push — is
+    /// bit-identical to a session that never died.
+    #[test]
+    fn journaled_session_recovers_bit_identically_around_compaction(
+        bridges in proptest::collection::vec(0.1f64..3.0, 2..6),
+        cut_frac in 0.0f64..1.0,
+        compact_mid_sel in 0u32..2,
+    ) {
+        let graphs: Vec<WeightedGraph> = bridges
+            .iter()
+            .map(|&b| two_clusters(6, 3.0, b))
+            .collect();
+        let cut = ((graphs.len() as f64) * cut_frac) as usize;
+        let compact_mid = compact_mid_sel == 1;
+        for (name, _) in engines() {
+            let root = tmp_root(name);
+            std::fs::create_dir_all(&root).unwrap();
+            let spec_body = format!(
+                r#"{{"nodes": 12, "engine": "{name}", "k": 6, "delta": 0.4, "update_mode": "rebuild"}}"#
+            );
+            let spec = parse_spec(spec_body.as_bytes()).unwrap();
+            let spec_json = spec_to_json(&spec, UpdateMode::Rebuild);
+            let mk = || {
+                OnlineCad::with_mode(spec.opts, spec.mode)
+                    .with_update_mode(UpdateMode::Rebuild)
+            };
+
+            // The session that never dies.
+            let mut reference = mk();
+            for g in &graphs {
+                reference.push(g.clone()).unwrap();
+            }
+
+            // The journaled twin: delta appended before each push (the
+            // server's ordering), compacted mid-stream when asked.
+            let cfg = JournalConfig {
+                fsync: FsyncPolicy::Never,
+                ..Default::default()
+            };
+            let mut journal = SessionJournal::create(&root, 1, cfg).unwrap();
+            journal
+                .append(RecordKind::Create, spec_json.as_bytes())
+                .unwrap();
+            let mut live = mk();
+            let mut current: Option<WeightedGraph> = None;
+            for (i, g) in graphs.iter().enumerate() {
+                if compact_mid && i == cut {
+                    journal
+                        .compact(&encode_checkpoint(&spec_json, &live.state()))
+                        .unwrap();
+                }
+                let base = match &current {
+                    Some(b) => b.clone(),
+                    None => WeightedGraph::from_edges(12, &[]).unwrap(),
+                };
+                journal
+                    .append(RecordKind::Delta, &cad_store::encode_edge_delta(&base, g))
+                    .unwrap();
+                live.push(g.clone()).unwrap();
+                current = Some(g.clone());
+            }
+            drop(journal); // kill -9: no destroy, no final sync
+
+            let recovered = cad_journal::recover_root(&root).unwrap();
+            prop_assert_eq!(recovered.len(), 1);
+            let mut rs = replay(&recovered[0], None).unwrap();
+            prop_assert_eq!(rs.instances, graphs.len());
+            prop_assert_eq!(
+                encode_checkpoint(&spec_json, &rs.online.state()),
+                encode_checkpoint(&spec_json, &reference.state())
+            );
+            // And the *next* push after recovery matches too.
+            let extra = two_clusters(6, 3.0, 2.2);
+            prop_assert_eq!(
+                digest(&rs.online.push(extra.clone()).unwrap()),
+                digest(&reference.push(extra).unwrap())
+            );
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+    }
+}

@@ -40,9 +40,13 @@ fn engines() -> Vec<EngineOptions> {
     ]
 }
 
-fn detector(engine: &EngineOptions, threads: usize, partition: Option<PartitionSpec>) -> CadDetector {
+fn detector(
+    engine: &EngineOptions,
+    threads: usize,
+    partition: Option<PartitionSpec>,
+) -> CadDetector {
     CadDetector::new(CadOptions {
-        engine: engine.clone(),
+        engine: *engine,
         threads,
         partition,
         ..Default::default()

@@ -189,7 +189,7 @@ fn http_pushed_sequences_are_bit_identical_to_batch_detect_for_every_engine() {
     let addr = server.addr();
     for (name, engine) in engines {
         let batch = CadDetector::new(CadOptions {
-            engine: engine.clone(),
+            engine,
             kind: ScoreKind::Cad,
             threads: 1,
             partition: None,
@@ -275,7 +275,7 @@ fn trace_ids_round_trip_header_flight_recorder_and_access_log() {
     let log = std::fs::read_to_string(&log_path).expect("access log written");
     let push_line = log
         .lines()
-        .map(|l| json(l))
+        .map(json)
         .find(|v| v.get("path").and_then(Json::as_str) == Some(path.as_str()))
         .expect("push line in access log");
     assert_eq!(

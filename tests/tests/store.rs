@@ -108,7 +108,7 @@ proptest! {
         for engine in engines() {
             for threads in [1usize, 4] {
                 let det = CadDetector::new(CadOptions {
-                    engine: engine.clone(),
+                    engine,
                     threads,
                     ..Default::default()
                 });
@@ -166,7 +166,7 @@ fn warm_cache_detect_builds_zero_oracles() {
     let _guard = GLOBAL_SINKS.lock().unwrap();
     let seq = bridge_sequence();
     let store: Arc<dyn cad_commute::OracleProvider> =
-        Arc::new(OracleStore::open(&temp_dir("warm")).unwrap());
+        Arc::new(OracleStore::open(temp_dir("warm")).unwrap());
     let det = CadDetector::new(CadOptions::default()).with_provider(store);
 
     cad_obs::reset();
@@ -214,7 +214,7 @@ fn cache_keys_separate_partition_layouts() {
     let _guard = GLOBAL_SINKS.lock().unwrap();
     let seq = bridge_sequence();
     let store: Arc<dyn cad_commute::OracleProvider> =
-        Arc::new(OracleStore::open(&temp_dir("part-keys")).unwrap());
+        Arc::new(OracleStore::open(temp_dir("part-keys")).unwrap());
 
     // Monolithic exact populates the unpartitioned namespace.
     cad_obs::reset();
@@ -279,7 +279,7 @@ fn cache_keys_separate_engines_and_snapshots() {
     let _guard = GLOBAL_SINKS.lock().unwrap();
     let seq = bridge_sequence();
     let store: Arc<dyn cad_commute::OracleProvider> =
-        Arc::new(OracleStore::open(&temp_dir("keys")).unwrap());
+        Arc::new(OracleStore::open(temp_dir("keys")).unwrap());
 
     cad_obs::reset();
     let exact = CadDetector::new(CadOptions {
